@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file bench_common.h
+/// Shared helpers for the reproduction benches. Every bench prints the
+/// paper-style rows to stdout and writes the same series as CSV next to
+/// the binary ("<bench>.csv").
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "coopcharge/coopcharge.h"
+#include "util/csv.h"
+#include "util/stats.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace cc::bench {
+
+/// Mean comprehensive cost of `algorithm` over `seeds` instances drawn
+/// from `config` (seed field overridden per draw).
+struct AlgoSweepResult {
+  double mean_cost = 0.0;
+  double mean_elapsed_ms = 0.0;
+  util::Summary cost_summary;
+};
+
+inline AlgoSweepResult sweep_algorithm(const std::string& algorithm,
+                                       core::GeneratorConfig config,
+                                       int seeds,
+                                       std::uint64_t seed_base = 1) {
+  const auto scheduler = core::make_scheduler(algorithm);
+  std::vector<double> costs;
+  double elapsed = 0.0;
+  for (int s = 0; s < seeds; ++s) {
+    config.seed = seed_base + static_cast<std::uint64_t>(s);
+    const core::Instance instance = core::generate(config);
+    const core::CostModel cost(instance);
+    const auto result = scheduler->run(instance);
+    result.schedule.validate(instance);
+    costs.push_back(result.schedule.total_cost(cost));
+    elapsed += result.stats.elapsed_ms;
+  }
+  AlgoSweepResult out;
+  out.cost_summary = util::summarize(costs);
+  out.mean_cost = out.cost_summary.mean;
+  out.mean_elapsed_ms = elapsed / static_cast<double>(seeds);
+  return out;
+}
+
+/// Standard banner: which experiment, what the paper reports.
+inline void banner(const std::string& experiment,
+                   const std::string& paper_claim) {
+  std::cout << "=== " << experiment << " ===\n";
+  if (!paper_claim.empty()) {
+    std::cout << "paper: " << paper_claim << '\n';
+  }
+  std::cout << '\n';
+}
+
+}  // namespace cc::bench

@@ -1,0 +1,59 @@
+// Extension bench — mobile-charger service vs static service.
+// Sweeps the charger travel cost coefficient and maps the crossover:
+// cheap charger travel ⇒ mobile service wins (devices barely move);
+// expensive ⇒ static pads win. Device moving shrinks to the geometric-
+// median optimum either way.
+
+#include "bench_common.h"
+#include "mobile/planner.h"
+
+int main() {
+  cc::bench::banner("Extension — mobile-charger service crossover",
+                    "mobile wins while charger travel is cheap");
+
+  constexpr int kSeeds = 10;
+  cc::util::Table table({"charger $/m", "static cost", "mobile cost",
+                         "device move (mobile)", "charger travel",
+                         "mobile vs static (%)"});
+  cc::util::CsvWriter csv("bench_ext_mobile.csv");
+  csv.write_header({"charger_unit_cost", "static_cost", "mobile_cost",
+                    "device_move", "charger_travel", "percent"});
+
+  for (double charger_cost : {0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    double static_sum = 0.0;
+    double mobile_sum = 0.0;
+    double move_sum = 0.0;
+    double travel_sum = 0.0;
+    for (int s = 0; s < kSeeds; ++s) {
+      cc::core::GeneratorConfig config;
+      config.seed = static_cast<std::uint64_t>(s) + 1;
+      const auto instance = cc::core::generate(config);
+      const auto schedule = cc::core::Ccsa().run(instance).schedule;
+      cc::mobile::MobileParams params;
+      params.charger_unit_cost = charger_cost;
+      const auto plan =
+          cc::mobile::plan_mobile_service(instance, schedule, params);
+      static_sum += cc::mobile::static_service_cost(instance, schedule);
+      mobile_sum += plan.total_cost();
+      move_sum += plan.total_device_move;
+      travel_sum += plan.total_charger_travel;
+    }
+    const double pct = cc::util::percent_change(static_sum, mobile_sum);
+    table.row()
+        .cell(charger_cost, 2)
+        .cell(static_sum / kSeeds, 1)
+        .cell(mobile_sum / kSeeds, 1)
+        .cell(move_sum / kSeeds, 1)
+        .cell(travel_sum / kSeeds, 1)
+        .cell(pct, 1);
+    csv.write_row({cc::util::format_double(charger_cost, 2),
+                   cc::util::format_double(static_sum / kSeeds, 4),
+                   cc::util::format_double(mobile_sum / kSeeds, 4),
+                   cc::util::format_double(move_sum / kSeeds, 4),
+                   cc::util::format_double(travel_sum / kSeeds, 4),
+                   cc::util::format_double(pct, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\ncsv: bench_ext_mobile.csv\n";
+  return 0;
+}

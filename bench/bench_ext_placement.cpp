@@ -1,0 +1,59 @@
+// Extension bench — charger placement quality.
+// Sweeps the charger budget k and compares greedy+swap placement against
+// random and lattice baselines, with the scheduled CCSA cost as the
+// yardstick. Expected shape: placement-aware siting beats both
+// baselines at every k; the advantage is largest at small k (one badly
+// placed charger is fatal, one of many is noise); diminishing returns
+// in k mirror Fig. 4's charger-density curve.
+
+#include "bench_common.h"
+#include "placement/placement.h"
+
+int main() {
+  cc::bench::banner("Extension — charger placement (provider planning)",
+                    "optimized siting beats random/lattice, most at low k");
+
+  cc::core::GeneratorConfig gen;
+  gen.num_devices = 30;
+  gen.num_chargers = 1;  // placement ignores template chargers
+  gen.clusters = 3;
+  gen.seed = 17;
+  const auto devices = cc::core::generate(gen);
+
+  cc::util::Table table({"k", "greedy+swap", "lattice", "random (3-seed avg)",
+                         "greedy vs random (%)", "oracle evals"});
+  cc::util::CsvWriter csv("bench_ext_placement.csv");
+  csv.write_header({"k", "greedy", "lattice", "random_avg",
+                    "greedy_vs_random_percent", "evaluations"});
+
+  for (int k : {1, 2, 3, 4, 6, 8}) {
+    cc::placement::PlacementConfig config;
+    config.num_chargers = k;
+    config.grid_side = 5;
+    const auto greedy = choose_placement(devices, config);
+    const auto lattice = lattice_placement(devices, config);
+    double random_avg = 0.0;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      random_avg += random_placement(devices, config, seed).scheduled_cost;
+    }
+    random_avg /= 3.0;
+    const double pct =
+        cc::util::percent_change(random_avg, greedy.scheduled_cost);
+    table.row()
+        .cell(k)
+        .cell(greedy.scheduled_cost, 1)
+        .cell(lattice.scheduled_cost, 1)
+        .cell(random_avg, 1)
+        .cell(pct, 1)
+        .cell(greedy.evaluations);
+    csv.write_row({std::to_string(k),
+                   cc::util::format_double(greedy.scheduled_cost, 4),
+                   cc::util::format_double(lattice.scheduled_cost, 4),
+                   cc::util::format_double(random_avg, 4),
+                   cc::util::format_double(pct, 2),
+                   std::to_string(greedy.evaluations)});
+  }
+  table.print(std::cout);
+  std::cout << "\ncsv: bench_ext_placement.csv\n";
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Fig. 3 — comprehensive cost vs number of devices.
+// Expected shape: every curve grows with n; CCSA lowest, CCSGA close
+// behind, clustering heuristic in between, non-cooperation highest.
+
+#include "bench_common.h"
+
+int main() {
+  cc::bench::banner("Fig. 3 — comprehensive cost vs number of devices",
+                    "CCSA < CCSGA < KMeans < NonCoop at every n");
+
+  constexpr int kSeeds = 10;
+  const std::vector<int> device_counts{20, 40, 60, 80, 100, 140, 200};
+  const std::vector<std::string> algorithms{"noncoop", "kmeans", "ccsga",
+                                            "ccsa"};
+
+  std::vector<std::string> headers{"n"};
+  headers.insert(headers.end(), algorithms.begin(), algorithms.end());
+  cc::util::Table table(headers);
+  cc::util::CsvWriter csv("bench_fig3_cost_vs_devices.csv");
+  std::vector<std::string> csv_header{"n"};
+  csv_header.insert(csv_header.end(), algorithms.begin(), algorithms.end());
+  csv.write_header(csv_header);
+
+  for (int n : device_counts) {
+    cc::core::GeneratorConfig config;
+    config.num_devices = n;
+    table.row().cell(n);
+    std::vector<std::string> csv_row{std::to_string(n)};
+    for (const auto& algorithm : algorithms) {
+      const auto r = cc::bench::sweep_algorithm(algorithm, config, kSeeds);
+      table.cell(r.mean_cost, 1);
+      csv_row.push_back(cc::util::format_double(r.mean_cost, 4));
+    }
+    csv.write_row(csv_row);
+  }
+  table.print(std::cout);
+  std::cout << "\ncsv: bench_fig3_cost_vs_devices.csv\n";
+  return 0;
+}

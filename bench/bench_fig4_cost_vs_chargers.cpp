@@ -1,0 +1,50 @@
+// Fig. 4 — comprehensive cost vs number of chargers (n = 60).
+// Expected shape: all curves fall as chargers densify (shorter trips,
+// cheaper standalone options); the cooperative algorithms keep a
+// roughly constant relative advantage over non-cooperation.
+
+#include "bench_common.h"
+
+int main() {
+  cc::bench::banner("Fig. 4 — comprehensive cost vs number of chargers",
+                    "costs fall with m; cooperative advantage persists");
+
+  constexpr int kSeeds = 10;
+  const std::vector<int> charger_counts{2, 4, 6, 8, 10, 14, 18, 24};
+  const std::vector<std::string> algorithms{"noncoop", "kmeans", "ccsga",
+                                            "ccsa"};
+
+  std::vector<std::string> headers{"m"};
+  headers.insert(headers.end(), algorithms.begin(), algorithms.end());
+  headers.push_back("ccsa vs noncoop (%)");
+  cc::util::Table table(headers);
+  cc::util::CsvWriter csv("bench_fig4_cost_vs_chargers.csv");
+  std::vector<std::string> csv_header{"m"};
+  csv_header.insert(csv_header.end(), algorithms.begin(), algorithms.end());
+  csv.write_header(csv_header);
+
+  for (int m : charger_counts) {
+    cc::core::GeneratorConfig config;
+    config.num_chargers = m;
+    table.row().cell(m);
+    std::vector<std::string> csv_row{std::to_string(m)};
+    double noncoop_cost = 0.0;
+    double ccsa_cost = 0.0;
+    for (const auto& algorithm : algorithms) {
+      const auto r = cc::bench::sweep_algorithm(algorithm, config, kSeeds);
+      table.cell(r.mean_cost, 1);
+      csv_row.push_back(cc::util::format_double(r.mean_cost, 4));
+      if (algorithm == "noncoop") {
+        noncoop_cost = r.mean_cost;
+      }
+      if (algorithm == "ccsa") {
+        ccsa_cost = r.mean_cost;
+      }
+    }
+    table.cell(cc::util::percent_change(noncoop_cost, ccsa_cost), 1);
+    csv.write_row(csv_row);
+  }
+  table.print(std::cout);
+  std::cout << "\ncsv: bench_fig4_cost_vs_chargers.csv\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Fig. 7 — CCSGA convergence: switch operations and rounds to reach a
+// switch-stable partition as the instance grows.
+// Expected shape: switches grow roughly linearly in n (each device
+// switches a small constant number of times); rounds stay flat; every
+// run terminates converged.
+
+#include "bench_common.h"
+
+int main() {
+  cc::bench::banner("Fig. 7 — CCSGA convergence to a stable partition",
+                    "switch count ~ linear in n; rounds flat; always "
+                    "converges");
+
+  constexpr int kSeeds = 5;
+  const std::vector<int> device_counts{50, 100, 200, 300, 400, 500};
+
+  cc::util::Table table({"n", "rounds", "switches", "switches/device",
+                         "converged", "stable (verified)", "ms"});
+  cc::util::CsvWriter csv("bench_fig7_ccsga_convergence.csv");
+  csv.write_header({"n", "rounds", "switches", "switches_per_device",
+                    "converged", "elapsed_ms"});
+
+  for (int n : device_counts) {
+    double rounds = 0.0;
+    double switches = 0.0;
+    double elapsed = 0.0;
+    bool all_converged = true;
+    bool all_stable = true;
+    for (int s = 0; s < kSeeds; ++s) {
+      cc::core::GeneratorConfig config;
+      config.num_devices = n;
+      config.num_chargers = 10;
+      config.seed = static_cast<std::uint64_t>(s) + 1;
+      const auto instance = cc::core::generate(config);
+      const auto result = cc::core::Ccsga().run(instance);
+      rounds += static_cast<double>(result.stats.iterations);
+      switches += static_cast<double>(result.stats.switches);
+      elapsed += result.stats.elapsed_ms;
+      all_converged &= result.stats.converged;
+      // Verifying stability is quadratic; sample it on small n only.
+      if (n <= 200) {
+        all_stable &= cc::core::is_switch_stable(
+            instance, result.schedule, cc::core::SharingScheme::kEgalitarian,
+            cc::core::StabilityRule::kIndividual);
+      }
+    }
+    rounds /= kSeeds;
+    switches /= kSeeds;
+    elapsed /= kSeeds;
+    table.row()
+        .cell(n)
+        .cell(rounds, 1)
+        .cell(switches, 1)
+        .cell(switches / n, 3)
+        .cell(all_converged ? "yes" : "NO")
+        .cell(n <= 200 ? (all_stable ? "yes" : "NO") : "(skipped)")
+        .cell(elapsed, 1);
+    csv.write_row({std::to_string(n), cc::util::format_double(rounds, 2),
+                   cc::util::format_double(switches, 2),
+                   cc::util::format_double(switches / n, 4),
+                   all_converged ? "1" : "0",
+                   cc::util::format_double(elapsed, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\ncsv: bench_fig7_ccsga_convergence.csv\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Fig. 8 — running time: CCSGA vs CCSA vs the exact solver.
+// Expected shape: CCSGA is orders of magnitude faster than CCSA at
+// scale (the abstract's "much faster ... more suitable for large-scale
+// cooperative charging scheduling"); ExactDp blows up past ~14 devices.
+//
+// Uses google-benchmark so the numbers come with proper repetition.
+
+#include <benchmark/benchmark.h>
+
+#include "coopcharge/coopcharge.h"
+
+namespace {
+
+cc::core::Instance instance_of(int n, int m = 10) {
+  cc::core::GeneratorConfig config;
+  config.num_devices = n;
+  config.num_chargers = m;
+  config.seed = 42;
+  return cc::core::generate(config);
+}
+
+void BM_Ccsa(benchmark::State& state) {
+  const auto instance = instance_of(static_cast<int>(state.range(0)));
+  const cc::core::Ccsa scheduler;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.run(instance));
+  }
+}
+
+void BM_CcsaWolfe(benchmark::State& state) {
+  const auto instance = instance_of(static_cast<int>(state.range(0)));
+  const cc::core::Ccsa scheduler(cc::core::CcsaBackend::kWolfe);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.run(instance));
+  }
+}
+
+void BM_Ccsga(benchmark::State& state) {
+  const auto instance = instance_of(static_cast<int>(state.range(0)));
+  const cc::core::Ccsga scheduler;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.run(instance));
+  }
+}
+
+void BM_NonCoop(benchmark::State& state) {
+  const auto instance = instance_of(static_cast<int>(state.range(0)));
+  const cc::core::NonCooperation scheduler;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.run(instance));
+  }
+}
+
+void BM_ExactDp(benchmark::State& state) {
+  const auto instance = instance_of(static_cast<int>(state.range(0)), 5);
+  const cc::core::ExactDp scheduler;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.run(instance));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_NonCoop)->Arg(50)->Arg(200)->Arg(400)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Ccsga)->Arg(50)->Arg(100)->Arg(200)->Arg(400)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Ccsa)->Arg(50)->Arg(100)->Arg(200)->Arg(400)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CcsaWolfe)->Arg(50)->Arg(100)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ExactDp)->Arg(10)->Arg(12)->Arg(14)->Arg(16)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Campus sensing scenario: clustered sensor deployments (buildings) with
+// a handful of charging kiosks. Shows the cost *breakdown* (fees vs
+// moving) and how the sharing schemes split one coalition's bill — the
+// scenario the paper's service model motivates.
+//
+//   ./campus_sensing [--buildings=4] [--devices=48] [--seed=7]
+
+#include <iostream>
+
+#include "coopcharge/coopcharge.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace {
+
+struct Breakdown {
+  double fees = 0.0;
+  double moving = 0.0;
+};
+
+Breakdown breakdown_of(const cc::core::CostModel& cost,
+                       const cc::core::Schedule& schedule) {
+  Breakdown b;
+  for (const auto& coalition : schedule.coalitions()) {
+    b.fees += cost.session_fee(coalition.charger, coalition.members);
+    for (cc::core::DeviceId i : coalition.members) {
+      b.moving += cost.move_cost(i, coalition.charger);
+    }
+  }
+  return b;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cc::util::Cli cli(argc, argv);
+
+  cc::core::GeneratorConfig config;
+  config.num_devices = cli.get_int("devices", 48);
+  config.num_chargers = cli.get_int("kiosks", 8);
+  config.clusters = cli.get_int("buildings", 4);
+  config.cluster_sigma_m = 6.0;
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+
+  const cc::core::Instance instance = cc::core::generate(config);
+  const cc::core::CostModel cost(instance);
+
+  std::cout << "Campus: " << config.clusters << " buildings, "
+            << instance.num_devices() << " sensors, "
+            << instance.num_chargers() << " charging kiosks\n\n";
+
+  cc::util::Table table(
+      {"algorithm", "total", "fees", "moving", "fee share"});
+  for (const char* name : {"noncoop", "kmeans", "ccsga", "ccsa"}) {
+    const auto result = cc::core::make_scheduler(name)->run(instance);
+    const Breakdown b = breakdown_of(cost, result.schedule);
+    table.row()
+        .cell(name)
+        .cell(b.fees + b.moving, 2)
+        .cell(b.fees, 2)
+        .cell(b.moving, 2)
+        .cell(100.0 * b.fees / (b.fees + b.moving), 1);
+  }
+  table.print(std::cout);
+  std::cout << "\nCooperation converts fee spend into (smaller) extra "
+               "moving spend: the fee column shrinks as grouping "
+               "improves.\n\n";
+
+  // Zoom into the largest CCSA coalition and show its bill under each
+  // sharing scheme.
+  const auto ccsa = cc::core::make_scheduler("ccsa")->run(instance);
+  const cc::core::Coalition* largest = nullptr;
+  for (const auto& c : ccsa.schedule.coalitions()) {
+    if (largest == nullptr || c.members.size() > largest->members.size()) {
+      largest = &c;
+    }
+  }
+  std::cout << "Largest coalition (" << largest->members.size()
+            << " members at kiosk " << largest->charger
+            << "), fee split per scheme:\n\n";
+  cc::util::Table bill({"device", "demand (J)", "egalitarian",
+                        "proportional", "shapley", "standalone"});
+  const auto egal = payments(cc::core::SharingScheme::kEgalitarian, cost,
+                             largest->charger, largest->members);
+  const auto prop = payments(cc::core::SharingScheme::kProportional, cost,
+                             largest->charger, largest->members);
+  const auto shap = payments(cc::core::SharingScheme::kShapley, cost,
+                             largest->charger, largest->members);
+  for (std::size_t idx = 0; idx < largest->members.size(); ++idx) {
+    const cc::core::DeviceId i = largest->members[idx];
+    bill.row()
+        .cell(i)
+        .cell(instance.device(i).demand_j, 1)
+        .cell(egal[idx], 2)
+        .cell(prop[idx], 2)
+        .cell(shap[idx], 2)
+        .cell(cost.standalone(i).second, 2);
+  }
+  bill.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Mobile-charger service: plan CCSA's coalitions as charger tours to
+// device rendezvous points (geometric medians) instead of gathering
+// devices at static pads. Prints each charger's route.
+//
+//   ./mobile_service [--devices=36] [--chargers=4] [--charger-cost=0.5]
+
+#include <iostream>
+#include <sstream>
+
+#include "coopcharge/coopcharge.h"
+#include "mobile/planner.h"
+#include "util/cli.h"
+#include "util/table.h"
+#include "viz/svg.h"
+
+int main(int argc, char** argv) {
+  const cc::util::Cli cli(argc, argv);
+  cc::core::GeneratorConfig config;
+  config.num_devices = cli.get_int("devices", 36);
+  config.num_chargers = cli.get_int("chargers", 4);
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 11));
+
+  const auto instance = cc::core::generate(config);
+  const auto schedule = cc::core::Ccsa().run(instance).schedule;
+
+  cc::mobile::MobileParams params;
+  params.charger_unit_cost = cli.get_double("charger-cost", 0.5);
+  const auto plan =
+      cc::mobile::plan_mobile_service(instance, schedule, params);
+
+  std::cout << "Static service cost : "
+            << cc::mobile::static_service_cost(instance, schedule) << '\n'
+            << "Mobile service cost : " << plan.total_cost() << "  (fees "
+            << plan.total_fee << " + device moves "
+            << plan.total_device_move << " + charger travel "
+            << plan.total_charger_travel << ")\n"
+            << "Mobile makespan     : " << plan.makespan_s() << " s\n\n";
+
+  for (const auto& route : plan.routes) {
+    std::cout << "Charger " << route.charger << " — tour "
+              << route.travel_length_m << " m, done at "
+              << route.completion_time_s << " s\n";
+    cc::util::Table stops({"stop", "rendezvous", "members",
+                           "session (s)", "fee", "device move"});
+    for (std::size_t v = 0; v < route.visits.size(); ++v) {
+      const auto& visit = route.visits[v];
+      const auto& coalition =
+          schedule.coalitions()[visit.coalition_index];
+      std::ostringstream where;
+      where << '(' << cc::util::format_double(visit.rendezvous.x, 1)
+            << ", " << cc::util::format_double(visit.rendezvous.y, 1)
+            << ')';
+      stops.row()
+          .cell(v + 1)
+          .cell(where.str())
+          .cell(coalition.members.size())
+          .cell(visit.session_time_s, 1)
+          .cell(visit.session_fee, 2)
+          .cell(visit.device_move_cost, 2);
+    }
+    stops.print(std::cout);
+    std::cout << '\n';
+  }
+
+  const std::string svg_path = cli.get("svg", "mobile_plan.svg");
+  cc::viz::save_svg(svg_path,
+                    cc::viz::render_mobile_plan(instance, schedule, plan));
+  std::cout << "Wrote " << svg_path << " (open in a browser to see the "
+               "routes).\n";
+  return 0;
+}

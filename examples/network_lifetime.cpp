@@ -1,0 +1,74 @@
+// Network lifetime scenario: weeks of sustained sensing with periodic
+// cooperative recharging. Shows the epoch-by-epoch operation and the
+// compounding economic gap between cooperative and solo charging.
+//
+//   ./network_lifetime [--epochs=40] [--devices=30] [--draw=0.08]
+
+#include <iostream>
+
+#include "coopcharge/coopcharge.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  const cc::util::Cli cli(argc, argv);
+
+  cc::core::GeneratorConfig gen;
+  gen.num_devices = cli.get_int("devices", 30);
+  gen.num_chargers = cli.get_int("chargers", 8);
+  gen.battery_headroom = 2.0;
+  gen.seed = static_cast<std::uint64_t>(cli.get_int("seed", 5));
+  const auto instance = cc::core::generate(gen);
+
+  cc::lifetime::LifetimeConfig config;
+  config.epochs = cli.get_int("epochs", 40);
+  config.mean_draw_w = cli.get_double("draw", 0.08);
+
+  std::cout << "Operating " << instance.num_devices() << " sensors for "
+            << config.epochs << " epochs of " << config.epoch_seconds
+            << " s (mean draw " << config.mean_draw_w << " W)\n\n";
+
+  const auto coop = run_lifetime(instance, cc::core::Ccsa(), config);
+  const auto solo =
+      run_lifetime(instance, cc::core::NonCooperation(), config);
+
+  std::cout << "Epoch detail (cooperative schedule):\n";
+  cc::util::Table table({"epoch", "requesters", "cost", "energy (J)",
+                         "outages"});
+  for (std::size_t e = 0; e < coop.epochs.size(); e += 5) {
+    const auto& stats = coop.epochs[e];
+    table.row()
+        .cell(e)
+        .cell(stats.requesters)
+        .cell(stats.scheduled_cost, 1)
+        .cell(stats.energy_delivered_j, 1)
+        .cell(stats.outage_devices);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nHorizon totals:\n";
+  cc::util::Table totals({"algorithm", "total cost", "requests",
+                          "energy (kJ)", "outage rate (%)"});
+  totals.row()
+      .cell("ccsa")
+      .cell(coop.total_cost, 1)
+      .cell(coop.total_requests)
+      .cell(coop.total_energy_j / 1000.0, 2)
+      .cell(100.0 * coop.mean_outage_rate(instance.num_devices()), 2);
+  totals.row()
+      .cell("noncoop")
+      .cell(solo.total_cost, 1)
+      .cell(solo.total_requests)
+      .cell(solo.total_energy_j / 1000.0, 2)
+      .cell(100.0 * solo.mean_outage_rate(instance.num_devices()), 2);
+  totals.print(std::cout);
+
+  std::cout << "\nCooperation saves "
+            << cc::util::format_double(
+                   100.0 * (solo.total_cost - coop.total_cost) /
+                       solo.total_cost,
+                   1)
+            << "% of the operating budget over the horizon (same energy "
+               "delivered).\n";
+  return 0;
+}

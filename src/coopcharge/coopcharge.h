@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file coopcharge.h
+/// Umbrella header: the library's public API in one include.
+///
+/// ```cpp
+/// #include "coopcharge/coopcharge.h"
+///
+/// cc::core::GeneratorConfig config;
+/// const cc::core::Instance instance = cc::core::generate(config);
+/// const auto ccsa = cc::core::make_scheduler("ccsa");
+/// const auto result = ccsa->run(instance);
+/// ```
+
+#include "core/anneal.h"        // IWYU pragma: export
+#include "core/ccsa.h"          // IWYU pragma: export
+#include "core/ccsga.h"         // IWYU pragma: export
+#include "core/cost_model.h"    // IWYU pragma: export
+#include "core/exact_dp.h"      // IWYU pragma: export
+#include "core/game_analysis.h" // IWYU pragma: export
+#include "core/generator.h"     // IWYU pragma: export
+#include "core/instance.h"      // IWYU pragma: export
+#include "core/io.h"            // IWYU pragma: export
+#include "core/kmeans_baseline.h"  // IWYU pragma: export
+#include "core/metrics.h"       // IWYU pragma: export
+#include "core/noncoop.h"       // IWYU pragma: export
+#include "core/online.h"        // IWYU pragma: export
+#include "core/random_baseline.h"  // IWYU pragma: export
+#include "core/refine.h"        // IWYU pragma: export
+#include "core/schedule.h"      // IWYU pragma: export
+#include "core/scheduler.h"     // IWYU pragma: export
+#include "core/sharing.h"       // IWYU pragma: export
+#include "lifetime/lifetime.h"  // IWYU pragma: export
+#include "mobile/planner.h"     // IWYU pragma: export
+#include "placement/placement.h"  // IWYU pragma: export
+#include "sim/engine.h"         // IWYU pragma: export
+#include "testbed/testbed.h"    // IWYU pragma: export
+#include "viz/svg.h"            // IWYU pragma: export

@@ -1,0 +1,165 @@
+#include "core/anneal.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/noncoop.h"
+#include "util/assert.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace cc::core {
+
+namespace {
+
+/// Annealing state: coalition per device plus cached per-group costs.
+/// Group identity is positional; empty groups are tombstones.
+struct State {
+  const Instance* instance;
+  const CostModel* cost;
+  std::vector<Coalition> groups;
+  std::vector<int> group_of;    // device -> group index
+  std::vector<double> group_cost;  // cached, 0 for empty groups
+  double total = 0.0;
+
+  void recompute_group(std::size_t g) {
+    total -= group_cost[g];
+    if (groups[g].members.empty()) {
+      group_cost[g] = 0.0;
+    } else {
+      const auto [best_j, c] = cost->best_charger(groups[g].members);
+      groups[g].charger = best_j;
+      group_cost[g] = c;
+    }
+    total += group_cost[g];
+  }
+
+  void move_device(DeviceId i, std::size_t to) {
+    const auto from = static_cast<std::size_t>(
+        group_of[static_cast<std::size_t>(i)]);
+    auto& members = groups[from].members;
+    members.erase(std::find(members.begin(), members.end(), i));
+    groups[to].members.push_back(i);
+    group_of[static_cast<std::size_t>(i)] = static_cast<int>(to);
+    recompute_group(from);
+    recompute_group(to);
+  }
+
+  [[nodiscard]] std::size_t fresh_group() {
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      if (groups[g].members.empty()) {
+        return g;
+      }
+    }
+    groups.push_back(Coalition{});
+    group_cost.push_back(0.0);
+    return groups.size() - 1;
+  }
+};
+
+}  // namespace
+
+SchedulerResult Anneal::run(const Instance& instance) const {
+  const util::Stopwatch watch;
+  CC_EXPECTS(options_.iterations > 0, "annealing needs iterations");
+  CC_EXPECTS(options_.cooling > 0.0 && options_.cooling < 1.0,
+             "cooling factor must lie in (0, 1)");
+  const CostModel cost(instance);
+  util::Rng rng(options_.seed);
+
+  // Start from the non-cooperative partition.
+  State state;
+  state.instance = &instance;
+  state.cost = &cost;
+  state.group_of.assign(static_cast<std::size_t>(instance.num_devices()),
+                        -1);
+  {
+    const auto noncoop = NonCooperation().run(instance);
+    for (const Coalition& c : noncoop.schedule.coalitions()) {
+      state.groups.push_back(c);
+      state.group_cost.push_back(cost.group_cost(c.charger, c.members));
+      state.total += state.group_cost.back();
+      for (DeviceId i : c.members) {
+        state.group_of[static_cast<std::size_t>(i)] =
+            static_cast<int>(state.groups.size()) - 1;
+      }
+    }
+  }
+
+  double temperature = options_.initial_temperature > 0.0
+                           ? options_.initial_temperature
+                           : 0.05 * state.total;
+  Schedule best;
+  double best_cost = state.total;
+  const auto snapshot = [&]() {
+    Schedule s;
+    for (const Coalition& c : state.groups) {
+      if (!c.members.empty()) {
+        Coalition sorted = c;
+        std::sort(sorted.members.begin(), sorted.members.end());
+        s.add(std::move(sorted));
+      }
+    }
+    return s;
+  };
+  best = snapshot();
+
+  SchedulerResult result;
+  for (long iter = 0; iter < options_.iterations; ++iter) {
+    ++result.stats.iterations;
+    temperature *= options_.cooling;
+
+    // Propose: pick a random device, send it to a random other group or
+    // a fresh singleton (relocate covers merge/split over time).
+    const auto i = static_cast<DeviceId>(
+        rng.index(static_cast<std::size_t>(instance.num_devices())));
+    const auto from = static_cast<std::size_t>(
+        state.group_of[static_cast<std::size_t>(i)]);
+
+    // Candidate destinations: nonempty groups (≠ from, within cap) plus
+    // a fresh singleton if the device has company.
+    std::vector<std::size_t> destinations;
+    for (std::size_t g = 0; g < state.groups.size(); ++g) {
+      if (g == from || state.groups[g].members.empty()) {
+        continue;
+      }
+      if (!cost.has_feasible_charger(
+              static_cast<int>(state.groups[g].members.size()) + 1)) {
+        continue;
+      }
+      destinations.push_back(g);
+    }
+    const bool can_split = state.groups[from].members.size() > 1;
+    if (destinations.empty() && !can_split) {
+      continue;
+    }
+    const std::size_t pick = rng.index(destinations.size() +
+                                       (can_split ? 1 : 0));
+    const bool split = pick == destinations.size();
+    const std::size_t to = split ? state.fresh_group() : destinations[pick];
+
+    const double before = state.total;
+    state.move_device(i, to);
+    const double delta = state.total - before;
+    const bool accept =
+        delta <= 0.0 ||
+        (temperature > 1e-12 &&
+         rng.uniform(0.0, 1.0) < std::exp(-delta / temperature));
+    if (!accept) {
+      state.move_device(i, from);  // undo
+      continue;
+    }
+    ++result.stats.switches;
+    if (state.total < best_cost - 1e-12) {
+      best_cost = state.total;
+      best = snapshot();
+    }
+  }
+
+  result.schedule = std::move(best);
+  result.schedule.validate(instance);
+  result.stats.elapsed_ms = watch.elapsed_ms();
+  return result;
+}
+
+}  // namespace cc::core

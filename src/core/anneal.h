@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file anneal.h
+/// Simulated-annealing scheduler — an algorithm-agnostic quality probe.
+///
+/// CCSA's near-optimality claims on large instances cannot be checked
+/// against ExactDp (exponential). Annealing explores the same partition
+/// space with none of CCSA's structural assumptions, so "CCSA ≈ long SA
+/// run" is independent evidence the greedy+adjust pipeline is not stuck
+/// in a poor basin. Neighbourhood: relocate one device / merge two
+/// coalitions / split one device off; geometric cooling; always returns
+/// the best state visited.
+
+#include <cstdint>
+
+#include "core/scheduler.h"
+
+namespace cc::core {
+
+struct AnnealOptions {
+  long iterations = 20000;
+  double initial_temperature = 0.0;  ///< 0 ⇒ auto: 5% of the start cost
+  double cooling = 0.9995;           ///< geometric factor per iteration
+  std::uint64_t seed = 97;
+};
+
+class Anneal final : public Scheduler {
+ public:
+  explicit Anneal(AnnealOptions options = {}) noexcept
+      : options_(options) {}
+
+  [[nodiscard]] std::string name() const override { return "anneal"; }
+  [[nodiscard]] SchedulerResult run(const Instance& instance) const override;
+
+  [[nodiscard]] const AnnealOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  AnnealOptions options_;
+};
+
+}  // namespace cc::core

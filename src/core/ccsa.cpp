@@ -1,0 +1,78 @@
+#include "core/ccsa.h"
+
+#include <limits>
+
+#include "core/refine.h"
+#include "submodular/densest.h"
+#include "util/assert.h"
+#include "util/stopwatch.h"
+
+namespace cc::core {
+
+SchedulerResult Ccsa::run(const Instance& instance) const {
+  const util::Stopwatch watch;
+  const CostModel cost(instance);
+  SchedulerResult result;
+
+  std::vector<DeviceId> uncovered;
+  uncovered.reserve(static_cast<std::size_t>(instance.num_devices()));
+  for (DeviceId i = 0; i < instance.num_devices(); ++i) {
+    uncovered.push_back(i);
+  }
+
+  const sub::WolfeSfm wolfe_solver;
+  bool any_cap = false;
+  for (ChargerId j = 0; j < instance.num_chargers(); ++j) {
+    any_cap |= cost.session_cap(j) > 0;
+  }
+  CC_EXPECTS(!any_cap || options_.backend == CcsaBackend::kStructured,
+             "session capacity constraints need the structured backend");
+
+  while (!uncovered.empty()) {
+    ++result.stats.iterations;
+    double best_average = std::numeric_limits<double>::infinity();
+    ChargerId best_charger = 0;
+    std::vector<int> best_local;  // indices into `uncovered`
+
+    for (ChargerId j = 0; j < instance.num_chargers(); ++j) {
+      const int cap = cost.session_cap(j);
+      const sub::MaxModularFunction group_fn =
+          cost.group_cost_function(j, uncovered);
+      const sub::DensestResult densest =
+          cap > 0 ? sub::min_average_cost_capped(group_fn, cap)
+          : options_.backend == CcsaBackend::kStructured
+              ? sub::min_average_cost(group_fn)
+              : sub::min_average_cost(group_fn, wolfe_solver);
+      if (densest.average_cost < best_average) {
+        best_average = densest.average_cost;
+        best_charger = j;
+        best_local = densest.set;
+      }
+    }
+
+    CC_ASSERT(!best_local.empty(),
+              "greedy step must commit a nonempty coalition");
+    Coalition coalition;
+    coalition.charger = best_charger;
+    coalition.members.reserve(best_local.size());
+    for (int local : best_local) {
+      coalition.members.push_back(uncovered[static_cast<std::size_t>(local)]);
+    }
+    // Remove committed devices (descending local index keeps shifts safe).
+    for (auto it = best_local.rbegin(); it != best_local.rend(); ++it) {
+      uncovered.erase(uncovered.begin() + *it);
+    }
+    result.schedule.add(std::move(coalition));
+  }
+
+  if (options_.refine) {
+    const RefineStats refine_stats =
+        refine_schedule(instance, result.schedule, options_.refine_rounds);
+    result.stats.switches = refine_stats.relocations + refine_stats.merges;
+  }
+
+  result.stats.elapsed_ms = watch.elapsed_ms();
+  return result;
+}
+
+}  // namespace cc::core

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file ccsa.h
+/// CCSA — the paper's approximation algorithm for the CCS problem,
+/// built from a greedy approach and submodular function minimization.
+///
+/// Phase 1 (cover): while uncovered devices remain, every charger
+/// proposes the coalition of uncovered devices minimizing its *average*
+/// comprehensive cost C_j(S)/|S| (a Dinkelbach fractional program whose
+/// inner step is SFM); the globally cheapest proposal is committed.
+/// This is the classical greedy for minimum-cost submodular cover and
+/// inherits its H_n approximation factor.
+///
+/// Phase 2 (adjust): social-cost local search (relocate + merge moves,
+/// see refine.h) polishes the cover to the single-digit-percent-of-
+/// optimal quality the paper reports. The ablation bench isolates each
+/// phase's contribution; `refine=false` exposes the raw greedy.
+
+#include "core/scheduler.h"
+
+namespace cc::core {
+
+/// Which SFM engine powers the Dinkelbach inner step.
+enum class CcsaBackend {
+  kStructured,  ///< exact O(n log n) max+modular minimizer (default)
+  kWolfe,       ///< generic Fujishige–Wolfe minimum-norm point
+};
+
+struct CcsaOptions {
+  CcsaBackend backend = CcsaBackend::kStructured;
+  bool refine = true;      ///< run the local-search adjust phase
+  int refine_rounds = 100; ///< cap on refinement passes
+};
+
+class Ccsa final : public Scheduler {
+ public:
+  explicit Ccsa(CcsaOptions options = {}) noexcept : options_(options) {}
+  explicit Ccsa(CcsaBackend backend) noexcept {
+    options_.backend = backend;
+  }
+
+  [[nodiscard]] std::string name() const override {
+    if (!options_.refine) {
+      return "ccsa-raw";
+    }
+    return options_.backend == CcsaBackend::kStructured ? "ccsa"
+                                                        : "ccsa-wolfe";
+  }
+  [[nodiscard]] SchedulerResult run(const Instance& instance) const override;
+
+  [[nodiscard]] const CcsaOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  CcsaOptions options_;
+};
+
+}  // namespace cc::core

@@ -1,0 +1,268 @@
+#include "core/ccsga.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/assert.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace cc::core {
+
+namespace {
+
+/// Mutable partition state. Coalitions are anchored at the charger they
+/// were opened at (see ccsga.h); empty slots are tombstones for reuse.
+struct GameState {
+  const CostModel* cost;
+  SharingScheme scheme;
+  double epsilon;
+  std::vector<Coalition> coalitions;
+  std::vector<int> coalition_of_device;  // device -> coalition index
+
+  [[nodiscard]] double member_payment(int coalition_idx, DeviceId i) const {
+    const Coalition& c = coalitions[static_cast<std::size_t>(coalition_idx)];
+    return payment_of(scheme, *cost, c.charger, c.members, i);
+  }
+
+  /// Payment device i would face after joining coalition `target` at the
+  /// target's anchored charger.
+  [[nodiscard]] double payment_if_joining(int target, DeviceId i) const {
+    const Coalition& c = coalitions[static_cast<std::size_t>(target)];
+    std::vector<DeviceId> enlarged = c.members;
+    enlarged.push_back(i);
+    return payment_of(scheme, *cost, c.charger, enlarged, i);
+  }
+
+  /// Consent: would any incumbent of `target` pay more after i joins?
+  [[nodiscard]] bool incumbents_accept(int target, DeviceId i) const {
+    const Coalition& c = coalitions[static_cast<std::size_t>(target)];
+    std::vector<DeviceId> enlarged = c.members;
+    enlarged.push_back(i);
+    const std::vector<double> before =
+        payments(scheme, *cost, c.charger, c.members);
+    const std::vector<double> after =
+        payments(scheme, *cost, c.charger, enlarged);
+    for (std::size_t idx = 0; idx < c.members.size(); ++idx) {
+      if (after[idx] > before[idx] + epsilon) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void remove_from_coalition(DeviceId i) {
+    const int idx = coalition_of_device[static_cast<std::size_t>(i)];
+    Coalition& c = coalitions[static_cast<std::size_t>(idx)];
+    c.members.erase(std::find(c.members.begin(), c.members.end(), i));
+    coalition_of_device[static_cast<std::size_t>(i)] = -1;
+  }
+
+  void add_to_coalition(int target, DeviceId i) {
+    Coalition& c = coalitions[static_cast<std::size_t>(target)];
+    c.members.push_back(i);
+    coalition_of_device[static_cast<std::size_t>(i)] = target;
+  }
+
+  int open_singleton(DeviceId i) {
+    const ChargerId best_j = cost->standalone(i).first;
+    for (std::size_t k = 0; k < coalitions.size(); ++k) {
+      if (coalitions[k].members.empty()) {
+        coalitions[k].charger = best_j;
+        add_to_coalition(static_cast<int>(k), i);
+        return static_cast<int>(k);
+      }
+    }
+    coalitions.push_back(Coalition{best_j, {}});
+    const int idx = static_cast<int>(coalitions.size()) - 1;
+    add_to_coalition(idx, i);
+    return idx;
+  }
+};
+
+}  // namespace
+
+SchedulerResult Ccsga::run(const Instance& instance) const {
+  const util::Stopwatch watch;
+  const CostModel cost(instance);
+  util::Rng rng(options_.seed);
+
+  GameState state;
+  state.cost = &cost;
+  state.scheme = options_.scheme;
+  state.epsilon = options_.epsilon;
+  state.coalition_of_device.assign(
+      static_cast<std::size_t>(instance.num_devices()), -1);
+  // Non-cooperative start: singletons at the private best charger.
+  for (DeviceId i = 0; i < instance.num_devices(); ++i) {
+    Coalition c;
+    c.charger = cost.standalone(i).first;
+    c.members = {i};
+    state.coalitions.push_back(std::move(c));
+    state.coalition_of_device[static_cast<std::size_t>(i)] =
+        static_cast<int>(state.coalitions.size()) - 1;
+  }
+
+  SchedulerResult result;
+  std::vector<DeviceId> order(
+      static_cast<std::size_t>(instance.num_devices()));
+  std::iota(order.begin(), order.end(), 0);
+
+  bool any_switch = true;
+  for (int round = 0; round < options_.max_rounds && any_switch; ++round) {
+    ++result.stats.iterations;
+    any_switch = false;
+    rng.shuffle(order);
+    for (DeviceId i : order) {
+      const int cur_idx =
+          state.coalition_of_device[static_cast<std::size_t>(i)];
+      const double cur_pay = state.member_payment(cur_idx, i);
+      const bool is_singleton =
+          state.coalitions[static_cast<std::size_t>(cur_idx)]
+              .members.size() == 1;
+
+      double best_pay = std::numeric_limits<double>::infinity();
+      int best_target = -2;  // -2: none, -1: open singleton, >=0: join
+      for (std::size_t k = 0; k < state.coalitions.size(); ++k) {
+        if (static_cast<int>(k) == cur_idx ||
+            state.coalitions[k].members.empty()) {
+          continue;
+        }
+        const int cap = cost.session_cap(state.coalitions[k].charger);
+        if (cap > 0 &&
+            static_cast<int>(state.coalitions[k].members.size()) >= cap) {
+          continue;  // session at capacity
+        }
+        const double pay = state.payment_if_joining(static_cast<int>(k), i);
+        if (pay >= best_pay || pay >= cur_pay - options_.epsilon) {
+          continue;
+        }
+        if (options_.mode == CcsgaMode::kConsent &&
+            !state.incumbents_accept(static_cast<int>(k), i)) {
+          continue;
+        }
+        best_pay = pay;
+        best_target = static_cast<int>(k);
+      }
+      if (!is_singleton) {
+        const double standalone_cost = cost.standalone(i).second;
+        if (standalone_cost < best_pay &&
+            standalone_cost < cur_pay - options_.epsilon) {
+          best_pay = standalone_cost;
+          best_target = -1;
+        }
+      }
+
+      if (best_target == -2) {
+        continue;  // no admissible beneficial switch
+      }
+
+      if (options_.mode == CcsgaMode::kGuarded) {
+        // Social-cost delta of the tentative switch.
+        const Coalition& cur =
+            state.coalitions[static_cast<std::size_t>(cur_idx)];
+        std::vector<DeviceId> cur_without = cur.members;
+        cur_without.erase(
+            std::find(cur_without.begin(), cur_without.end(), i));
+        double delta = -cost.group_cost(cur.charger, cur.members);
+        if (!cur_without.empty()) {
+          delta += cost.group_cost(cur.charger, cur_without);
+        }
+        if (best_target >= 0) {
+          const Coalition& tgt =
+              state.coalitions[static_cast<std::size_t>(best_target)];
+          std::vector<DeviceId> enlarged = tgt.members;
+          enlarged.push_back(i);
+          delta -= cost.group_cost(tgt.charger, tgt.members);
+          delta += cost.group_cost(tgt.charger, enlarged);
+        } else {
+          delta += cost.standalone(i).second;
+        }
+        if (delta >= -options_.epsilon) {
+          continue;
+        }
+      }
+
+      // Execute the switch.
+      state.remove_from_coalition(i);
+      if (best_target >= 0) {
+        state.add_to_coalition(best_target, i);
+      } else {
+        state.open_singleton(i);
+      }
+      ++result.stats.switches;
+      any_switch = true;
+    }
+  }
+  result.stats.converged = !any_switch;
+
+  for (Coalition& c : state.coalitions) {
+    if (!c.members.empty()) {
+      std::sort(c.members.begin(), c.members.end());
+      result.schedule.add(std::move(c));
+    }
+  }
+  result.stats.elapsed_ms = watch.elapsed_ms();
+  return result;
+}
+
+bool is_switch_stable(const Instance& instance, const Schedule& schedule,
+                      SharingScheme scheme, StabilityRule rule,
+                      double epsilon) {
+  const CostModel cost(instance);
+  const auto coalitions = schedule.coalitions();
+  for (std::size_t k = 0; k < coalitions.size(); ++k) {
+    for (DeviceId i : coalitions[k].members) {
+      const double cur_pay = payment_of(scheme, cost, coalitions[k].charger,
+                                        coalitions[k].members, i);
+      // Deviation: open a singleton (only sensible with company).
+      if (coalitions[k].members.size() > 1 &&
+          cost.standalone(i).second < cur_pay - epsilon) {
+        return false;
+      }
+      // Deviation: join any other session at its anchored charger.
+      for (std::size_t t = 0; t < coalitions.size(); ++t) {
+        if (t == k) {
+          continue;
+        }
+        const int cap = cost.session_cap(coalitions[t].charger);
+        if (cap > 0 &&
+            static_cast<int>(coalitions[t].members.size()) >= cap) {
+          continue;
+        }
+        std::vector<DeviceId> enlarged(coalitions[t].members.begin(),
+                                       coalitions[t].members.end());
+        enlarged.push_back(i);
+        const double pay = payment_of(scheme, cost, coalitions[t].charger,
+                                      enlarged, i);
+        if (pay >= cur_pay - epsilon) {
+          continue;  // not beneficial for the mover
+        }
+        if (rule == StabilityRule::kNash) {
+          return false;
+        }
+        // Individual stability: the deviation only counts if every
+        // incumbent consents.
+        const std::vector<double> before = payments(
+            scheme, cost, coalitions[t].charger, coalitions[t].members);
+        const std::vector<double> after =
+            payments(scheme, cost, coalitions[t].charger, enlarged);
+        bool consent = true;
+        for (std::size_t idx = 0; idx < coalitions[t].members.size();
+             ++idx) {
+          if (after[idx] > before[idx] + epsilon) {
+            consent = false;
+            break;
+          }
+        }
+        if (consent) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace cc::core

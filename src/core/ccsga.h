@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file ccsga.h
+/// CCSGA — the paper's game-theoretic algorithm for large-scale CCS.
+///
+/// The CCS problem is cast as a coalition formation game: each device's
+/// utility is the negative of its personal payment (fee share under the
+/// active sharing scheme plus its own moving cost). Starting from the
+/// non-cooperative partition, devices repeatedly perform *switch
+/// operations*: leave the current coalition and join another session (at
+/// the target's charger — sessions are anchored where they were opened)
+/// or open a fresh singleton at their own best charger.
+///
+/// Admissibility of a switch depends on the mode:
+///  * `kConsent` (default) — the mover's payment must strictly drop AND
+///    no member of the welcoming coalition may be made worse off. This
+///    is the individual-stability rule of hedonic games; it is what the
+///    cost-sharing schemes' "sustain cooperation" role amounts to, and
+///    it removes the chase cycles pure better-response exhibits (a
+///    high-demand device endlessly pursuing a cheap session whose
+///    incumbents keep fleeing). The dynamics terminate at a partition
+///    with no admissible switch — a pure Nash equilibrium of the game
+///    whose strategy space is the admissible switches; verified post-hoc
+///    by `is_switch_stable`.
+///  * `kSelfish` — mover-only better response. Ablation mode: can cycle
+///    (the round cap backstops it; `SchedulerStats::converged` reports
+///    whether a fixed point was reached).
+///  * `kGuarded` — additionally requires the social cost to drop,
+///    making total cost a strict potential ⇒ guaranteed termination.
+
+#include <cstdint>
+
+#include "core/scheduler.h"
+
+namespace cc::core {
+
+enum class CcsgaMode { kConsent, kSelfish, kGuarded };
+
+/// Deviation rules for stability checks.
+enum class StabilityRule {
+  kNash,        ///< mover-only deviations (anyone may join any session)
+  kIndividual,  ///< deviations need the welcoming coalition's consent
+};
+
+struct CcsgaOptions {
+  SharingScheme scheme = SharingScheme::kEgalitarian;
+  CcsgaMode mode = CcsgaMode::kConsent;
+  double epsilon = 1e-9;  ///< minimum strict improvement for a switch
+  int max_rounds = 1000;  ///< safety cap on full passes over the devices
+  std::uint64_t seed = 7; ///< device visit order shuffling
+};
+
+class Ccsga final : public Scheduler {
+ public:
+  explicit Ccsga(CcsgaOptions options = {}) noexcept : options_(options) {}
+
+  [[nodiscard]] std::string name() const override {
+    switch (options_.mode) {
+      case CcsgaMode::kConsent:
+        return "ccsga";
+      case CcsgaMode::kSelfish:
+        return "ccsga-selfish";
+      case CcsgaMode::kGuarded:
+        return "ccsga-guarded";
+    }
+    return "ccsga";
+  }
+  [[nodiscard]] SchedulerResult run(const Instance& instance) const override;
+
+  [[nodiscard]] const CcsgaOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  CcsgaOptions options_;
+};
+
+/// True iff no device has an admissible beneficial switch (improvement
+/// above `epsilon`) under the given deviation rule. Joins are evaluated
+/// at the target coalition's existing charger; opening a singleton at
+/// the device's best charger is always an admissible deviation.
+[[nodiscard]] bool is_switch_stable(const Instance& instance,
+                                    const Schedule& schedule,
+                                    SharingScheme scheme,
+                                    StabilityRule rule,
+                                    double epsilon = 1e-9);
+
+}  // namespace cc::core

@@ -1,0 +1,119 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.h"
+
+namespace cc::core {
+
+CostModel::CostModel(const Instance& instance) : inst_(&instance) {
+  for (ChargerId j = 0; j < instance.num_chargers(); ++j) {
+    const int cap = session_cap(j);
+    max_feasible_group_ =
+        std::max(max_feasible_group_,
+                 cap == 0 ? instance.num_devices() : cap);
+  }
+  standalone_cache_.reserve(
+      static_cast<std::size_t>(instance.num_devices()));
+  for (DeviceId i = 0; i < instance.num_devices(); ++i) {
+    const DeviceId members[] = {i};
+    standalone_cache_.push_back(best_charger(members));
+  }
+}
+
+int CostModel::session_cap(ChargerId j) const {
+  const int global = inst_->params().max_group_size;
+  const int local = inst_->charger(j).max_group_size;
+  if (global > 0 && local > 0) {
+    return std::min(global, local);
+  }
+  return global > 0 ? global : local;
+}
+
+double CostModel::session_time(ChargerId j,
+                               std::span<const DeviceId> members) const {
+  if (members.empty()) {
+    return 0.0;
+  }
+  const Charger& charger = inst_->charger(j);
+  double max_demand = 0.0;
+  for (DeviceId i : members) {
+    max_demand = std::max(max_demand, inst_->device(i).demand_j);
+  }
+  return max_demand / charger.power_w;
+}
+
+double CostModel::session_fee(ChargerId j,
+                              std::span<const DeviceId> members) const {
+  return inst_->params().fee_weight * inst_->charger(j).price_per_s *
+         session_time(j, members);
+}
+
+double CostModel::move_cost(DeviceId i, ChargerId j) const {
+  const double trip_factor = inst_->params().round_trip ? 2.0 : 1.0;
+  return inst_->params().move_weight * inst_->device(i).motion.unit_cost *
+         inst_->distance(i, j) * trip_factor;
+}
+
+double CostModel::group_cost(ChargerId j,
+                             std::span<const DeviceId> members) const {
+  double total = session_fee(j, members);
+  for (DeviceId i : members) {
+    total += move_cost(i, j);
+  }
+  return total;
+}
+
+std::pair<ChargerId, double> CostModel::standalone(DeviceId i) const {
+  CC_EXPECTS(i >= 0 && i < inst_->num_devices(), "device id out of range");
+  return standalone_cache_[static_cast<std::size_t>(i)];
+}
+
+std::pair<ChargerId, double> CostModel::best_charger(
+    std::span<const DeviceId> members) const {
+  CC_EXPECTS(!members.empty(), "best_charger needs a nonempty group");
+  ChargerId best_j = -1;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (ChargerId j = 0; j < inst_->num_chargers(); ++j) {
+    const int cap = session_cap(j);
+    if (cap > 0 && static_cast<int>(members.size()) > cap) {
+      continue;  // this pad cannot host the group
+    }
+    const double cost = group_cost(j, members);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_j = j;
+    }
+  }
+  CC_ENSURES(best_j >= 0, "no charger can host a group of this size");
+  return {best_j, best_cost};
+}
+
+sub::MaxModularFunction CostModel::group_cost_function(
+    ChargerId j, std::span<const DeviceId> universe) const {
+  const Charger& charger = inst_->charger(j);
+  const double a =
+      inst_->params().fee_weight * charger.price_per_s / charger.power_w;
+  std::vector<double> w;
+  std::vector<double> b;
+  w.reserve(universe.size());
+  b.reserve(universe.size());
+  for (DeviceId i : universe) {
+    w.push_back(inst_->device(i).demand_j);
+    b.push_back(move_cost(i, j));
+  }
+  return sub::MaxModularFunction(a, std::move(w), std::move(b));
+}
+
+double CostModel::total_cost(
+    std::span<const std::pair<ChargerId, std::vector<DeviceId>>> groups)
+    const {
+  double total = 0.0;
+  for (const auto& [charger, members] : groups) {
+    total += group_cost(charger, members);
+  }
+  return total;
+}
+
+}  // namespace cc::core

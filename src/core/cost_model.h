@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file cost_model.h
+/// The comprehensive-cost model of the CCS problem.
+///
+/// A coalition S served by charger j costs
+///
+///   C_j(S) = fee_weight · π_j · (max_{i∈S} E_i) / P_j          (session fee)
+///          + move_weight · Σ_{i∈S} c_i · d_ij · trip_factor    (moving cost)
+///
+/// — the charger runs until the neediest member is full while everyone
+/// charges concurrently (multicast WPT), so the fee is one `max` term
+/// shared by the group, and the moving cost is modular. For each fixed
+/// charger this is exactly a `MaxModularFunction`, the fact CCSA's
+/// submodular minimization step relies on.
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/instance.h"
+#include "submodular/max_modular.h"
+
+namespace cc::core {
+
+class CostModel {
+ public:
+  /// Binds to `instance`, which must outlive the model (it is a view).
+  /// Precomputes every device's best standalone option (O(n·m)) — the
+  /// game dynamics (CCSGA, online) query `standalone` constantly.
+  explicit CostModel(const Instance& instance);
+
+  [[nodiscard]] const Instance& instance() const noexcept { return *inst_; }
+
+  /// Session duration (s) for members charged concurrently at charger j:
+  /// max demand over the group divided by the charger's service power.
+  /// Zero for an empty group.
+  [[nodiscard]] double session_time(ChargerId j,
+                                    std::span<const DeviceId> members) const;
+
+  /// The (single, shared) session fee π_j · session_time, weighted.
+  [[nodiscard]] double session_fee(ChargerId j,
+                                   std::span<const DeviceId> members) const;
+
+  /// Weighted moving cost for device i to reach charger j.
+  [[nodiscard]] double move_cost(DeviceId i, ChargerId j) const;
+
+  /// Total comprehensive cost C_j(S) = fee + Σ moving costs.
+  [[nodiscard]] double group_cost(ChargerId j,
+                                  std::span<const DeviceId> members) const;
+
+  /// Cost a device pays when charging alone at its best charger.
+  /// Returns (best charger, cost).
+  [[nodiscard]] std::pair<ChargerId, double> standalone(DeviceId i) const;
+
+  /// Effective session capacity of charger j: the tighter of the global
+  /// `CostParams::max_group_size` and the charger's own pad limit
+  /// (0 = unbounded).
+  [[nodiscard]] int session_cap(ChargerId j) const;
+
+  /// Largest group any charger can serve (num_devices() when some
+  /// charger is unbounded). Used by baselines to size their chunks.
+  [[nodiscard]] int max_feasible_group() const noexcept {
+    return max_feasible_group_;
+  }
+
+  /// True iff some charger can host a group of `size`.
+  [[nodiscard]] bool has_feasible_charger(int size) const noexcept {
+    return size <= max_feasible_group_;
+  }
+
+  /// The best *feasible* charger for a fixed group (chargers whose
+  /// session capacity cannot host the group are skipped) and the
+  /// resulting group cost. Requires a nonempty group that some charger
+  /// can host.
+  [[nodiscard]] std::pair<ChargerId, double> best_charger(
+      std::span<const DeviceId> members) const;
+
+  /// The group-cost set function of charger j restricted to `universe`:
+  /// element k of the returned function is device universe[k].
+  /// This is the submodular objective CCSA minimizes.
+  [[nodiscard]] sub::MaxModularFunction group_cost_function(
+      ChargerId j, std::span<const DeviceId> universe) const;
+
+  /// Social cost of a full assignment given as (charger, members) pairs.
+  [[nodiscard]] double total_cost(
+      std::span<const std::pair<ChargerId, std::vector<DeviceId>>> groups)
+      const;
+
+ private:
+  const Instance* inst_;
+  std::vector<std::pair<ChargerId, double>> standalone_cache_;
+  int max_feasible_group_ = 0;
+};
+
+}  // namespace cc::core

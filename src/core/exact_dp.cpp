@@ -1,0 +1,95 @@
+#include "core/exact_dp.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+#include "util/assert.h"
+#include "util/stopwatch.h"
+
+namespace cc::core {
+
+SchedulerResult ExactDp::run(const Instance& instance) const {
+  const util::Stopwatch watch;
+  const int n = instance.num_devices();
+  const int m = instance.num_chargers();
+  CC_EXPECTS(n <= kMaxDevices, "ExactDp is limited to 16 devices");
+
+  const CostModel cost(instance);
+  const auto size = static_cast<std::uint32_t>(1U << n);
+
+  // best[T] and its argmin charger, built incrementally per charger.
+  std::vector<double> best(size, std::numeric_limits<double>::infinity());
+  std::vector<std::uint8_t> best_charger(size, 0);
+  std::vector<double> max_demand(size, 0.0);
+  std::vector<double> sum_move(size, 0.0);
+  for (ChargerId j = 0; j < m; ++j) {
+    const int cap = cost.session_cap(j);
+    const Charger& charger = instance.charger(j);
+    const double a = instance.params().fee_weight * charger.price_per_s /
+                     charger.power_w;
+    max_demand[0] = 0.0;
+    sum_move[0] = 0.0;
+    for (std::uint32_t t = 1; t < size; ++t) {
+      const int low = std::countr_zero(t);
+      const std::uint32_t rest = t & (t - 1);
+      max_demand[t] =
+          std::max(max_demand[rest], instance.device(low).demand_j);
+      sum_move[t] = sum_move[rest] + cost.move_cost(low, j);
+      if (cap > 0 && std::popcount(t) > cap) {
+        continue;  // infeasible coalition under the session capacity
+      }
+      const double c = a * max_demand[t] + sum_move[t];
+      if (c < best[t]) {
+        best[t] = c;
+        best_charger[t] = static_cast<std::uint8_t>(j);
+      }
+    }
+  }
+
+  // Set-partition DP.
+  std::vector<double> opt(size, std::numeric_limits<double>::infinity());
+  std::vector<std::uint32_t> choice(size, 0);
+  opt[0] = 0.0;
+  for (std::uint32_t mask = 1; mask < size; ++mask) {
+    const std::uint32_t low_bit = mask & (~mask + 1);
+    // Enumerate submasks of mask containing the lowest set bit: take any
+    // submask of mask ∖ low_bit and add low_bit.
+    const std::uint32_t rest = mask ^ low_bit;
+    std::uint32_t sub = rest;
+    while (true) {
+      const std::uint32_t part = sub | low_bit;
+      const double candidate = best[part] + opt[mask ^ part];
+      if (candidate < opt[mask]) {
+        opt[mask] = candidate;
+        choice[mask] = part;
+      }
+      if (sub == 0) {
+        break;
+      }
+      sub = (sub - 1) & rest;
+    }
+  }
+
+  // Reconstruct the optimal partition.
+  SchedulerResult result;
+  std::uint32_t mask = size - 1;
+  while (mask != 0) {
+    const std::uint32_t part = choice[mask];
+    Coalition coalition;
+    coalition.charger = static_cast<ChargerId>(best_charger[part]);
+    for (int i = 0; i < n; ++i) {
+      if ((part >> i) & 1U) {
+        coalition.members.push_back(i);
+      }
+    }
+    result.schedule.add(std::move(coalition));
+    mask ^= part;
+  }
+  result.stats.iterations = static_cast<long>(size);
+  result.stats.elapsed_ms = watch.elapsed_ms();
+  return result;
+}
+
+}  // namespace cc::core

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file exact_dp.h
+/// Exact CCS solver by set-partition dynamic programming.
+///
+/// Precomputes best[T] = min_j C_j(T) for every subset T (O(2^n·m) via
+/// low-bit recurrences), then solves
+///   opt[M] = min_{T ⊆ M, lsb(M) ∈ T} best[T] + opt[M∖T]
+/// by submask enumeration (O(3^n)). Guarded to n ≤ 16 — the paper, too,
+/// compares against the optimum only on small instances (its +7.3% gap
+/// claim for CCSA).
+
+#include "core/scheduler.h"
+
+namespace cc::core {
+
+class ExactDp final : public Scheduler {
+ public:
+  /// Maximum instance size this solver accepts.
+  static constexpr int kMaxDevices = 16;
+
+  [[nodiscard]] std::string name() const override { return "optimal"; }
+
+  /// Throws `AssertionError` if the instance exceeds kMaxDevices.
+  [[nodiscard]] SchedulerResult run(const Instance& instance) const override;
+};
+
+}  // namespace cc::core

@@ -1,0 +1,60 @@
+#include "core/game_analysis.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace cc::core {
+
+CoreCheck coalition_core_check(const CostModel& cost,
+                               std::span<const DeviceId> members,
+                               std::span<const double> payments) {
+  CC_EXPECTS(members.size() == payments.size(),
+             "one payment per member required");
+  CC_EXPECTS(!members.empty(), "core check of an empty coalition");
+  CC_EXPECTS(members.size() <= 20,
+             "exhaustive core check is limited to 20 members");
+
+  CoreCheck check;
+  const std::uint32_t limit = 1U << members.size();
+  for (std::uint32_t mask = 1; mask < limit; ++mask) {
+    std::vector<DeviceId> subset;
+    double paid = 0.0;
+    for (std::size_t idx = 0; idx < members.size(); ++idx) {
+      if ((mask >> idx) & 1U) {
+        subset.push_back(members[idx]);
+        paid += payments[idx];
+      }
+    }
+    const double secession_cost = cost.best_charger(subset).second;
+    const double gain = paid - secession_cost;
+    if (gain > check.worst_violation + 1e-12) {
+      check.worst_violation = gain;
+      check.blocking_set = subset;
+    }
+  }
+  check.in_core = check.worst_violation <= 1e-9;
+  if (check.in_core) {
+    check.worst_violation = 0.0;
+    check.blocking_set.clear();
+  }
+  return check;
+}
+
+double schedule_core_violation(const CostModel& cost,
+                               const Schedule& schedule,
+                               SharingScheme scheme) {
+  double worst = 0.0;
+  for (const Coalition& c : schedule.coalitions()) {
+    if (c.members.size() > 20) {
+      continue;
+    }
+    const std::vector<double> pays =
+        payments(scheme, cost, c.charger, c.members);
+    const CoreCheck check = coalition_core_check(cost, c.members, pays);
+    worst = std::max(worst, check.worst_violation);
+  }
+  return worst;
+}
+
+}  // namespace cc::core

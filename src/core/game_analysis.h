@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file game_analysis.h
+/// Cooperative-game diagnostics for cost-sharing schemes.
+///
+/// A coalition's bill is *core-stable* if no sub-coalition T could do
+/// better seceding and buying its own best session:
+///     Σ_{i∈T} payment_i ≤ min_j C_j(T)      for every ∅ ≠ T ⊆ S.
+/// When T would keep the coalition's charger, this reduces to the fee
+/// game — an airport game, whose core contains the Shapley value but
+/// *not* every egalitarian split. Seceding subsets may also relocate to
+/// a closer charger, so the full comprehensive check here is strictly
+/// stronger. These diagnostics quantify, per sharing scheme, how far
+/// real CCSA/CCSGA coalitions sit from core stability.
+
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/schedule.h"
+#include "core/sharing.h"
+
+namespace cc::core {
+
+struct CoreCheck {
+  bool in_core = true;
+  /// Largest secession gain max_T (Σ_{i∈T} pay_i − c(T)); ≤ 0 in core.
+  double worst_violation = 0.0;
+  /// A maximizing blocking sub-coalition (member ids), empty if in core.
+  std::vector<DeviceId> blocking_set;
+};
+
+/// Exhaustive core check of one coalition's payment vector
+/// (`payments[idx]` pays `members[idx]`). Guarded to |S| ≤ 20.
+[[nodiscard]] CoreCheck coalition_core_check(
+    const CostModel& cost, std::span<const DeviceId> members,
+    std::span<const double> payments);
+
+/// Worst core violation across a schedule under a sharing scheme
+/// (0 when every coalition's bill is core-stable). Coalitions larger
+/// than 20 members are skipped (exhaustive check would not terminate).
+[[nodiscard]] double schedule_core_violation(const CostModel& cost,
+                                             const Schedule& schedule,
+                                             SharingScheme scheme);
+
+}  // namespace cc::core

@@ -1,0 +1,82 @@
+#include "core/generator.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace cc::core {
+
+Instance generate(const GeneratorConfig& config) {
+  util::Rng rng(config.seed);
+  return generate(config, rng);
+}
+
+Instance generate(const GeneratorConfig& config, util::Rng& rng) {
+  CC_EXPECTS(config.num_devices > 0, "need at least one device");
+  CC_EXPECTS(config.num_chargers > 0, "need at least one charger");
+  CC_EXPECTS(config.field_size_m > 0.0, "field size must be positive");
+  CC_EXPECTS(config.demand_min_j >= 0.0 &&
+                 config.demand_max_j >= config.demand_min_j,
+             "demand range must be nonnegative and ordered");
+  CC_EXPECTS(config.battery_headroom >= 1.0,
+             "battery headroom must be at least 1");
+  CC_EXPECTS(config.power_w > 0.0 && config.power_jitter >= 0.0 &&
+                 config.power_jitter < 1.0,
+             "power and jitter out of range");
+  CC_EXPECTS(config.price_per_s >= 0.0 && config.price_jitter >= 0.0 &&
+                 config.price_jitter < 1.0,
+             "price and jitter out of range");
+  CC_EXPECTS(config.clusters >= 0, "cluster count must be nonnegative");
+
+  const geom::Rect field{{0.0, 0.0},
+                         {config.field_size_m, config.field_size_m}};
+
+  std::vector<Charger> chargers;
+  chargers.reserve(static_cast<std::size_t>(config.num_chargers));
+  for (int j = 0; j < config.num_chargers; ++j) {
+    Charger c;
+    c.position = {rng.uniform(field.lo.x, field.hi.x),
+                  rng.uniform(field.lo.y, field.hi.y)};
+    c.power_w = config.power_w *
+                (1.0 + rng.uniform(-config.power_jitter, config.power_jitter));
+    c.price_per_s =
+        config.price_per_s *
+        (1.0 + rng.uniform(-config.price_jitter, config.price_jitter));
+    c.pad_radius_m = config.pad_radius_m;
+    chargers.push_back(c);
+  }
+
+  // Cluster centers, if clustered deployment is requested.
+  std::vector<geom::Vec2> centers;
+  for (int k = 0; k < config.clusters; ++k) {
+    centers.push_back({rng.uniform(field.lo.x, field.hi.x),
+                       rng.uniform(field.lo.y, field.hi.y)});
+  }
+
+  std::vector<Device> devices;
+  devices.reserve(static_cast<std::size_t>(config.num_devices));
+  for (int i = 0; i < config.num_devices; ++i) {
+    Device d;
+    if (centers.empty()) {
+      d.position = {rng.uniform(field.lo.x, field.hi.x),
+                    rng.uniform(field.lo.y, field.hi.y)};
+    } else {
+      const geom::Vec2 center = centers[rng.index(centers.size())];
+      const geom::Vec2 raw{
+          rng.normal(center.x, config.cluster_sigma_m),
+          rng.normal(center.y, config.cluster_sigma_m)};
+      d.position = field.clamp(raw);
+    }
+    d.demand_j = rng.uniform(config.demand_min_j, config.demand_max_j);
+    d.battery_capacity_j =
+        std::max(d.demand_j * config.battery_headroom, 1e-9);
+    d.motion.unit_cost = config.unit_move_cost;
+    d.motion.speed_m_per_s = config.speed_m_per_s;
+    devices.push_back(d);
+  }
+
+  return Instance(std::move(devices), std::move(chargers),
+                  config.cost_params);
+}
+
+}  // namespace cc::core

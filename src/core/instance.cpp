@@ -1,0 +1,60 @@
+#include "core/instance.h"
+
+#include "util/assert.h"
+
+namespace cc::core {
+
+Instance::Instance(std::vector<Device> devices, std::vector<Charger> chargers,
+                   CostParams params)
+    : devices_(std::move(devices)),
+      chargers_(std::move(chargers)),
+      params_(params) {
+  CC_EXPECTS(!devices_.empty(), "an instance needs at least one device");
+  CC_EXPECTS(!chargers_.empty(), "an instance needs at least one charger");
+  CC_EXPECTS(params_.fee_weight >= 0.0 && params_.move_weight >= 0.0,
+             "cost weights must be nonnegative");
+  CC_EXPECTS(params_.max_group_size >= 0,
+             "max group size must be nonnegative (0 = unbounded)");
+  for (const Device& d : devices_) {
+    CC_EXPECTS(d.demand_j >= 0.0, "device demand must be nonnegative");
+    CC_EXPECTS(d.battery_capacity_j >= d.demand_j,
+               "battery capacity must cover the demand");
+    CC_EXPECTS(d.motion.speed_m_per_s > 0.0, "device speed must be positive");
+    CC_EXPECTS(d.motion.unit_cost >= 0.0,
+               "unit moving cost must be nonnegative");
+  }
+  for (const Charger& c : chargers_) {
+    CC_EXPECTS(c.power_w > 0.0, "charger power must be positive");
+    CC_EXPECTS(c.price_per_s >= 0.0, "charger price must be nonnegative");
+    CC_EXPECTS(c.pad_radius_m > 0.0, "pad radius must be positive");
+    CC_EXPECTS(c.max_group_size >= 0,
+               "per-charger capacity must be nonnegative (0 = unlimited)");
+  }
+  distances_.resize(devices_.size() * chargers_.size());
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    for (std::size_t j = 0; j < chargers_.size(); ++j) {
+      distances_[i * chargers_.size() + j] =
+          geom::distance(devices_[i].position, chargers_[j].position);
+    }
+  }
+}
+
+const Device& Instance::device(DeviceId i) const {
+  CC_EXPECTS(i >= 0 && i < num_devices(), "device id out of range");
+  return devices_[static_cast<std::size_t>(i)];
+}
+
+const Charger& Instance::charger(ChargerId j) const {
+  CC_EXPECTS(j >= 0 && j < num_chargers(), "charger id out of range");
+  return chargers_[static_cast<std::size_t>(j)];
+}
+
+double Instance::distance(DeviceId i, ChargerId j) const {
+  CC_EXPECTS(i >= 0 && i < num_devices(), "device id out of range");
+  CC_EXPECTS(j >= 0 && j < num_chargers(), "charger id out of range");
+  return distances_[static_cast<std::size_t>(i) *
+                        static_cast<std::size_t>(num_chargers()) +
+                    static_cast<std::size_t>(j)];
+}
+
+}  // namespace cc::core

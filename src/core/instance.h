@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file instance.h
+/// A CCS problem instance: rechargeable devices, service chargers, and
+/// the weights of the comprehensive-cost objective.
+
+#include <span>
+#include <vector>
+
+#include "energy/motion.h"
+#include "geom/vec2.h"
+#include "core/types.h"
+
+namespace cc::core {
+
+/// A mobile rechargeable device (sensor node).
+struct Device {
+  geom::Vec2 position;
+  double demand_j = 0.0;            ///< energy needed to reach full charge
+  double battery_capacity_j = 0.0;  ///< ≥ demand_j; used by the simulator
+  energy::MotionParams motion;      ///< speed and unit moving cost
+};
+
+/// A stationary wireless charging service point.
+struct Charger {
+  geom::Vec2 position;
+  double power_w = 1.0;      ///< per-device received power at the pad
+  double price_per_s = 1.0;  ///< service price π_j ($ per second of session)
+  double pad_radius_m = 1.0; ///< service pad radius (simulator detail)
+  /// Per-pad session capacity (0 = unlimited). Combines with the global
+  /// `CostParams::max_group_size` via min; see CostModel::session_cap.
+  int max_group_size = 0;
+};
+
+/// Weights of the comprehensive-cost objective
+/// C_j(S) = fee_weight · π_j · max E / P_j + move_weight · Σ c_i · d_ij.
+/// `round_trip` doubles travel distances (device returns to its post).
+/// `max_group_size` caps a session's membership (0 = unbounded): real
+/// multicast WPT pads serve a bounded number of devices at once. All
+/// schedulers honour the cap; `Schedule::validate` enforces it.
+struct CostParams {
+  double fee_weight = 1.0;
+  double move_weight = 1.0;
+  bool round_trip = false;
+  int max_group_size = 0;
+};
+
+/// Immutable problem instance. Construction validates all parameters and
+/// precomputes the device–charger distance matrix.
+class Instance {
+ public:
+  /// Throws `cc::util::AssertionError` on invalid parameters
+  /// (nonpositive power/price/speed, negative demand, empty sets).
+  Instance(std::vector<Device> devices, std::vector<Charger> chargers,
+           CostParams params = {});
+
+  [[nodiscard]] int num_devices() const noexcept {
+    return static_cast<int>(devices_.size());
+  }
+  [[nodiscard]] int num_chargers() const noexcept {
+    return static_cast<int>(chargers_.size());
+  }
+
+  [[nodiscard]] const Device& device(DeviceId i) const;
+  [[nodiscard]] const Charger& charger(ChargerId j) const;
+  [[nodiscard]] std::span<const Device> devices() const noexcept {
+    return devices_;
+  }
+  [[nodiscard]] std::span<const Charger> chargers() const noexcept {
+    return chargers_;
+  }
+  [[nodiscard]] const CostParams& params() const noexcept { return params_; }
+
+  /// Euclidean device→charger distance (precomputed).
+  [[nodiscard]] double distance(DeviceId i, ChargerId j) const;
+
+ private:
+  std::vector<Device> devices_;
+  std::vector<Charger> chargers_;
+  CostParams params_;
+  std::vector<double> distances_;  // row-major [device][charger]
+};
+
+}  // namespace cc::core

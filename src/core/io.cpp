@@ -1,0 +1,233 @@
+#include "core/io.h"
+
+#include <fstream>
+
+#include "util/assert.h"
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace cc::core {
+
+namespace {
+
+constexpr const char* kInstanceMagic = "coopcharge-instance";
+constexpr const char* kScheduleMagic = "coopcharge-schedule";
+constexpr const char* kVersion = "v1";
+
+/// Line-oriented reader tracking position for error messages.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& in) : in_(in) {}
+
+  /// Next nonempty, non-comment line. Throws IoError at EOF.
+  std::string next(const char* expectation) {
+    std::string line;
+    while (std::getline(in_, line)) {
+      ++line_number_;
+      const auto first = line.find_first_not_of(" \t\r");
+      if (first == std::string::npos || line[first] == '#') {
+        continue;
+      }
+      return line;
+    }
+    throw IoError(std::string("unexpected end of input, expected ") +
+                  expectation);
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    std::ostringstream out;
+    out << "parse error at line " << line_number_ << ": " << message;
+    throw IoError(out.str());
+  }
+
+ private:
+  std::istream& in_;
+  int line_number_ = 0;
+};
+
+void expect_header(LineReader& reader, const char* magic) {
+  const std::string line = reader.next("header");
+  std::istringstream tokens(line);
+  std::string found_magic;
+  std::string version;
+  tokens >> found_magic >> version;
+  if (found_magic != magic) {
+    reader.fail("expected header '" + std::string(magic) + "', found '" +
+                found_magic + "'");
+  }
+  if (version != kVersion) {
+    reader.fail("unsupported format version '" + version + "'");
+  }
+}
+
+long read_count(LineReader& reader, const char* keyword) {
+  const std::string line = reader.next(keyword);
+  std::istringstream tokens(line);
+  std::string found;
+  long count = -1;
+  tokens >> found >> count;
+  if (found != keyword || count < 0 || tokens.fail()) {
+    reader.fail(std::string("expected '") + keyword + " <count>'");
+  }
+  return count;
+}
+
+}  // namespace
+
+void write_instance(std::ostream& out, const Instance& instance) {
+  out << kInstanceMagic << ' ' << kVersion << '\n';
+  out << std::setprecision(17);
+  const CostParams& params = instance.params();
+  out << "params " << params.fee_weight << ' ' << params.move_weight << ' '
+      << (params.round_trip ? 1 : 0) << ' ' << params.max_group_size
+      << '\n';
+  out << "devices " << instance.num_devices() << '\n';
+  for (const Device& d : instance.devices()) {
+    out << d.position.x << ' ' << d.position.y << ' ' << d.demand_j << ' '
+        << d.battery_capacity_j << ' ' << d.motion.speed_m_per_s << ' '
+        << d.motion.unit_cost << ' ' << d.motion.joules_per_m << '\n';
+  }
+  out << "chargers " << instance.num_chargers() << '\n';
+  for (const Charger& c : instance.chargers()) {
+    out << c.position.x << ' ' << c.position.y << ' ' << c.power_w << ' '
+        << c.price_per_s << ' ' << c.pad_radius_m << ' '
+        << c.max_group_size << '\n';
+  }
+}
+
+Instance read_instance(std::istream& in) {
+  LineReader reader(in);
+  expect_header(reader, kInstanceMagic);
+
+  CostParams params;
+  {
+    const std::string line = reader.next("params");
+    std::istringstream tokens(line);
+    std::string keyword;
+    int round_trip = 0;
+    tokens >> keyword >> params.fee_weight >> params.move_weight >>
+        round_trip >> params.max_group_size;
+    if (keyword != "params" || tokens.fail()) {
+      reader.fail("expected 'params <fee> <move> <round_trip> <cap>'");
+    }
+    params.round_trip = round_trip != 0;
+  }
+
+  const long num_devices = read_count(reader, "devices");
+  std::vector<Device> devices;
+  devices.reserve(static_cast<std::size_t>(num_devices));
+  for (long i = 0; i < num_devices; ++i) {
+    const std::string line = reader.next("a device row");
+    std::istringstream tokens(line);
+    Device d;
+    tokens >> d.position.x >> d.position.y >> d.demand_j >>
+        d.battery_capacity_j >> d.motion.speed_m_per_s >>
+        d.motion.unit_cost >> d.motion.joules_per_m;
+    if (tokens.fail()) {
+      reader.fail("malformed device row");
+    }
+    devices.push_back(d);
+  }
+
+  const long num_chargers = read_count(reader, "chargers");
+  std::vector<Charger> chargers;
+  chargers.reserve(static_cast<std::size_t>(num_chargers));
+  for (long j = 0; j < num_chargers; ++j) {
+    const std::string line = reader.next("a charger row");
+    std::istringstream tokens(line);
+    Charger c;
+    tokens >> c.position.x >> c.position.y >> c.power_w >> c.price_per_s >>
+        c.pad_radius_m;
+    if (tokens.fail()) {
+      reader.fail("malformed charger row");
+    }
+    // Optional trailing per-charger session capacity (files written
+    // before the field existed omit it).
+    int cap = 0;
+    if (tokens >> cap) {
+      c.max_group_size = cap;
+    }
+    chargers.push_back(c);
+  }
+
+  try {
+    return Instance(std::move(devices), std::move(chargers), params);
+  } catch (const util::AssertionError& e) {
+    throw IoError(std::string("instance validation failed: ") + e.what());
+  }
+}
+
+void write_schedule(std::ostream& out, const Schedule& schedule) {
+  out << kScheduleMagic << ' ' << kVersion << '\n';
+  out << "coalitions " << schedule.num_coalitions() << '\n';
+  for (const Coalition& c : schedule.coalitions()) {
+    out << c.charger << ' ' << c.members.size();
+    for (DeviceId i : c.members) {
+      out << ' ' << i;
+    }
+    out << '\n';
+  }
+}
+
+Schedule read_schedule(std::istream& in) {
+  LineReader reader(in);
+  expect_header(reader, kScheduleMagic);
+  const long count = read_count(reader, "coalitions");
+  Schedule schedule;
+  for (long k = 0; k < count; ++k) {
+    const std::string line = reader.next("a coalition row");
+    std::istringstream tokens(line);
+    Coalition coalition;
+    std::size_t size = 0;
+    tokens >> coalition.charger >> size;
+    if (tokens.fail()) {
+      reader.fail("malformed coalition row");
+    }
+    coalition.members.reserve(size);
+    for (std::size_t idx = 0; idx < size; ++idx) {
+      DeviceId i = -1;
+      tokens >> i;
+      if (tokens.fail()) {
+        reader.fail("coalition row shorter than its declared size");
+      }
+      coalition.members.push_back(i);
+    }
+    schedule.add(std::move(coalition));
+  }
+  return schedule;
+}
+
+void save_instance(const std::string& path, const Instance& instance) {
+  std::ofstream out(path);
+  if (!out) {
+    throw IoError("cannot open for writing: " + path);
+  }
+  write_instance(out, instance);
+}
+
+Instance load_instance(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw IoError("cannot open for reading: " + path);
+  }
+  return read_instance(in);
+}
+
+void save_schedule(const std::string& path, const Schedule& schedule) {
+  std::ofstream out(path);
+  if (!out) {
+    throw IoError("cannot open for writing: " + path);
+  }
+  write_schedule(out, schedule);
+}
+
+Schedule load_schedule(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw IoError("cannot open for reading: " + path);
+  }
+  return read_schedule(in);
+}
+
+}  // namespace cc::core

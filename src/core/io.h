@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file io.h
+/// Plain-text serialization of instances and schedules.
+///
+/// A deliberately simple line-oriented format so experiment inputs and
+/// outputs can be versioned, diffed, and regenerated:
+///
+/// ```
+/// coopcharge-instance v1
+/// params <fee_weight> <move_weight> <round_trip> <max_group_size>
+/// devices <n>
+/// <x> <y> <demand_j> <capacity_j> <speed> <unit_cost> <joules_per_m>
+/// ...
+/// chargers <m>
+/// <x> <y> <power_w> <price_per_s> <pad_radius_m> [max_group_size]
+/// ...
+/// ```
+///
+/// The trailing per-charger capacity is optional on read (files written
+/// before the field existed omit it; 0 = unlimited).
+///
+/// ```
+/// coopcharge-schedule v1
+/// coalitions <k>
+/// <charger> <size> <member ids...>
+/// ...
+/// ```
+///
+/// Parse errors throw `IoError` with a line number.
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "core/instance.h"
+#include "core/schedule.h"
+
+namespace cc::core {
+
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+void write_instance(std::ostream& out, const Instance& instance);
+[[nodiscard]] Instance read_instance(std::istream& in);
+
+void write_schedule(std::ostream& out, const Schedule& schedule);
+[[nodiscard]] Schedule read_schedule(std::istream& in);
+
+/// File-path conveniences. Throw `IoError` if the file cannot be
+/// opened or parsed.
+void save_instance(const std::string& path, const Instance& instance);
+[[nodiscard]] Instance load_instance(const std::string& path);
+void save_schedule(const std::string& path, const Schedule& schedule);
+[[nodiscard]] Schedule load_schedule(const std::string& path);
+
+}  // namespace cc::core

@@ -1,0 +1,105 @@
+#include "core/kmeans_baseline.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace cc::core {
+
+SchedulerResult KMeansBaseline::run(const Instance& instance) const {
+  const util::Stopwatch watch;
+  CC_EXPECTS(options_.target_group_size > 0,
+             "target group size must be positive");
+  const CostModel cost(instance);
+  const int n = instance.num_devices();
+  const int k = std::max(
+      1, (n + options_.target_group_size - 1) / options_.target_group_size);
+  util::Rng rng(options_.seed);
+
+  // Forgy initialization from distinct devices.
+  std::vector<DeviceId> ids(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    ids[static_cast<std::size_t>(i)] = i;
+  }
+  rng.shuffle(ids);
+  std::vector<geom::Vec2> centers;
+  centers.reserve(static_cast<std::size_t>(k));
+  for (int c = 0; c < k; ++c) {
+    centers.push_back(
+        instance.device(ids[static_cast<std::size_t>(c)]).position);
+  }
+
+  std::vector<int> assignment(static_cast<std::size_t>(n), 0);
+  SchedulerResult result;
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    ++result.stats.iterations;
+    bool changed = false;
+    for (int i = 0; i < n; ++i) {
+      const geom::Vec2 p = instance.device(i).position;
+      int best_c = 0;
+      double best_d2 = std::numeric_limits<double>::infinity();
+      for (int c = 0; c < k; ++c) {
+        const double d2 =
+            geom::distance_sq(p, centers[static_cast<std::size_t>(c)]);
+        if (d2 < best_d2) {
+          best_d2 = d2;
+          best_c = c;
+        }
+      }
+      if (assignment[static_cast<std::size_t>(i)] != best_c) {
+        assignment[static_cast<std::size_t>(i)] = best_c;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) {
+      break;
+    }
+    // Recompute centroids (empty clusters keep their center).
+    std::vector<geom::Vec2> sums(static_cast<std::size_t>(k));
+    std::vector<int> counts(static_cast<std::size_t>(k), 0);
+    for (int i = 0; i < n; ++i) {
+      const auto c = static_cast<std::size_t>(assignment[static_cast<std::size_t>(i)]);
+      sums[c] += instance.device(i).position;
+      ++counts[c];
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[static_cast<std::size_t>(c)] > 0) {
+        centers[static_cast<std::size_t>(c)] =
+            sums[static_cast<std::size_t>(c)] *
+            (1.0 / counts[static_cast<std::size_t>(c)]);
+      }
+    }
+  }
+
+  const int max_feasible = cost.max_feasible_group();
+  for (int c = 0; c < k; ++c) {
+    std::vector<DeviceId> cluster;
+    for (int i = 0; i < n; ++i) {
+      if (assignment[static_cast<std::size_t>(i)] == c) {
+        cluster.push_back(i);
+      }
+    }
+    if (cluster.empty()) {
+      continue;
+    }
+    // Chunk oversized clusters to honour the pads' session capacities.
+    const std::size_t chunk = std::min(
+        cluster.size(), static_cast<std::size_t>(max_feasible));
+    for (std::size_t start = 0; start < cluster.size(); start += chunk) {
+      Coalition coalition;
+      const std::size_t end = std::min(cluster.size(), start + chunk);
+      coalition.members.assign(
+          cluster.begin() + static_cast<std::ptrdiff_t>(start),
+          cluster.begin() + static_cast<std::ptrdiff_t>(end));
+      coalition.charger = cost.best_charger(coalition.members).first;
+      result.schedule.add(std::move(coalition));
+    }
+  }
+  result.stats.elapsed_ms = watch.elapsed_ms();
+  return result;
+}
+
+}  // namespace cc::core

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file kmeans_baseline.h
+/// Clustering heuristic baseline: group devices by spatial k-means, then
+/// send each cluster to its best charger. Represents the "cooperate with
+/// your neighbours" strawman that ignores the demand structure of the
+/// fee — the gap to CCSA isolates the value of submodular grouping.
+
+#include <cstdint>
+
+#include "core/scheduler.h"
+
+namespace cc::core {
+
+struct KMeansOptions {
+  /// Target mean cluster size; k = ceil(n / target_group_size).
+  int target_group_size = 4;
+  int max_iterations = 50;
+  std::uint64_t seed = 13;
+};
+
+class KMeansBaseline final : public Scheduler {
+ public:
+  explicit KMeansBaseline(KMeansOptions options = {}) noexcept
+      : options_(options) {}
+
+  [[nodiscard]] std::string name() const override { return "kmeans"; }
+  [[nodiscard]] SchedulerResult run(const Instance& instance) const override;
+
+ private:
+  KMeansOptions options_;
+};
+
+}  // namespace cc::core

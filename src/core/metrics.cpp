@@ -1,0 +1,54 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+
+#include "util/stats.h"
+
+namespace cc::core {
+
+ScheduleMetrics compute_metrics(const CostModel& cost,
+                                const Schedule& schedule,
+                                SharingScheme scheme) {
+  schedule.validate(cost.instance());
+  ScheduleMetrics metrics;
+
+  for (const Coalition& c : schedule.coalitions()) {
+    metrics.total_fees += cost.session_fee(c.charger, c.members);
+    for (DeviceId i : c.members) {
+      metrics.total_moving += cost.move_cost(i, c.charger);
+    }
+    ++metrics.coalitions;
+    metrics.max_size = std::max(metrics.max_size, c.members.size());
+    if (c.members.size() == 1) {
+      ++metrics.singletons;
+    }
+  }
+  metrics.total_cost = metrics.total_fees + metrics.total_moving;
+  const int n = cost.instance().num_devices();
+  metrics.mean_size = metrics.coalitions == 0
+                          ? 0.0
+                          : static_cast<double>(n) /
+                                static_cast<double>(metrics.coalitions);
+
+  const std::vector<double> pays =
+      schedule.device_payments(cost, scheme);
+  metrics.payment_jain_index = util::jain_index(pays);
+  double pay_sum = 0.0;
+  double saving_sum = 0.0;
+  for (DeviceId i = 0; i < n; ++i) {
+    const double pay = pays[static_cast<std::size_t>(i)];
+    const double standalone = cost.standalone(i).second;
+    pay_sum += pay;
+    if (standalone > 0.0) {
+      saving_sum += (standalone - pay) / standalone * 100.0;
+    }
+    if (pay > standalone + 1e-9) {
+      ++metrics.ir_violations;
+    }
+  }
+  metrics.mean_payment = pay_sum / static_cast<double>(n);
+  metrics.mean_saving_percent = saving_sum / static_cast<double>(n);
+  return metrics;
+}
+
+}  // namespace cc::core

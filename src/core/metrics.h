@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file metrics.h
+/// Schedule analytics shared by benches, examples, and downstream users:
+/// cost decomposition, payment fairness, and coalition-structure
+/// summaries — the quantities every CCS evaluation wants, computed once.
+
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/schedule.h"
+#include "core/sharing.h"
+
+namespace cc::core {
+
+struct ScheduleMetrics {
+  // Cost decomposition.
+  double total_cost = 0.0;
+  double total_fees = 0.0;
+  double total_moving = 0.0;
+
+  // Coalition structure.
+  std::size_t coalitions = 0;
+  double mean_size = 0.0;
+  std::size_t max_size = 0;
+  std::size_t singletons = 0;
+
+  // Payment-side statistics (under the scheme passed in).
+  double mean_payment = 0.0;
+  double payment_jain_index = 1.0;  ///< 1 = perfectly even payments
+  double mean_saving_percent = 0.0; ///< vs each device's standalone cost
+  int ir_violations = 0;            ///< devices paying above standalone
+};
+
+/// Computes all metrics in one pass. The schedule must validate.
+[[nodiscard]] ScheduleMetrics compute_metrics(const CostModel& cost,
+                                              const Schedule& schedule,
+                                              SharingScheme scheme);
+
+}  // namespace cc::core

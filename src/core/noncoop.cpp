@@ -1,0 +1,21 @@
+#include "core/noncoop.h"
+
+#include "util/stopwatch.h"
+
+namespace cc::core {
+
+SchedulerResult NonCooperation::run(const Instance& instance) const {
+  const util::Stopwatch watch;
+  const CostModel cost(instance);
+  SchedulerResult result;
+  for (DeviceId i = 0; i < instance.num_devices(); ++i) {
+    const auto [best_j, best_cost] = cost.standalone(i);
+    (void)best_cost;
+    result.schedule.add(Coalition{best_j, {i}});
+  }
+  result.stats.elapsed_ms = watch.elapsed_ms();
+  result.stats.iterations = instance.num_devices();
+  return result;
+}
+
+}  // namespace cc::core

@@ -1,0 +1,19 @@
+#pragma once
+
+/// \file noncoop.h
+/// Non-cooperation baseline: every device charges alone at the charger
+/// minimizing its private comprehensive cost. This is the comparison
+/// point for the paper's headline numbers (−27.3% simulation, −42.9%
+/// field) and also the starting partition of CCSGA.
+
+#include "core/scheduler.h"
+
+namespace cc::core {
+
+class NonCooperation final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "noncoop"; }
+  [[nodiscard]] SchedulerResult run(const Instance& instance) const override;
+};
+
+}  // namespace cc::core

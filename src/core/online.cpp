@@ -1,0 +1,123 @@
+#include "core/online.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/assert.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace cc::core {
+
+SchedulerResult run_online(const Instance& instance,
+                           std::span<const DeviceId> arrivals,
+                           const OnlineOptions& options) {
+  const util::Stopwatch watch;
+  CC_EXPECTS(static_cast<int>(arrivals.size()) == instance.num_devices(),
+             "arrival order must cover every device");
+  {
+    std::vector<char> seen(static_cast<std::size_t>(instance.num_devices()),
+                           0);
+    for (DeviceId i : arrivals) {
+      CC_EXPECTS(i >= 0 && i < instance.num_devices(),
+                 "arrival order names an unknown device");
+      CC_EXPECTS(!seen[static_cast<std::size_t>(i)],
+                 "arrival order repeats a device");
+      seen[static_cast<std::size_t>(i)] = 1;
+    }
+  }
+
+  const CostModel cost(instance);
+  std::vector<Coalition> sessions;
+
+  SchedulerResult result;
+  for (DeviceId i : arrivals) {
+    ++result.stats.iterations;
+    // Option A: open a singleton at the private best charger.
+    const auto [own_j, own_cost] = cost.standalone(i);
+    double best_pay = own_cost;
+    int best_session = -1;
+
+    // Option B: join an open session.
+    for (std::size_t k = 0; k < sessions.size(); ++k) {
+      const Coalition& session = sessions[k];
+      const int cap = cost.session_cap(session.charger);
+      if (cap > 0 && static_cast<int>(session.members.size()) >= cap) {
+        continue;
+      }
+      std::vector<DeviceId> enlarged = session.members;
+      enlarged.push_back(i);
+      const double pay =
+          payment_of(options.scheme, cost, session.charger, enlarged, i);
+      if (pay >= best_pay) {
+        continue;
+      }
+      if (options.require_consent) {
+        const std::vector<double> before = payments(
+            options.scheme, cost, session.charger, session.members);
+        const std::vector<double> after =
+            payments(options.scheme, cost, session.charger, enlarged);
+        bool accepted = true;
+        for (std::size_t idx = 0; idx < session.members.size(); ++idx) {
+          if (after[idx] > before[idx] + 1e-9) {
+            accepted = false;
+            break;
+          }
+        }
+        if (!accepted) {
+          continue;
+        }
+      }
+      best_pay = pay;
+      best_session = static_cast<int>(k);
+    }
+
+    if (best_session >= 0) {
+      sessions[static_cast<std::size_t>(best_session)].members.push_back(i);
+      ++result.stats.switches;  // count of join decisions
+    } else {
+      sessions.push_back(Coalition{own_j, {i}});
+    }
+  }
+
+  for (Coalition& session : sessions) {
+    std::sort(session.members.begin(), session.members.end());
+    result.schedule.add(std::move(session));
+  }
+  result.schedule.validate(instance);
+  result.stats.elapsed_ms = watch.elapsed_ms();
+  return result;
+}
+
+SchedulerResult OnlineGreedy::run(const Instance& instance) const {
+  std::vector<DeviceId> arrivals(
+      static_cast<std::size_t>(instance.num_devices()));
+  std::iota(arrivals.begin(), arrivals.end(), 0);
+  switch (options_.order) {
+    case ArrivalOrder::kById:
+      break;
+    case ArrivalOrder::kShuffled: {
+      util::Rng rng(options_.seed);
+      rng.shuffle(arrivals);
+      break;
+    }
+    case ArrivalOrder::kDemandAscending:
+    case ArrivalOrder::kDemandDescending: {
+      const bool ascending = options_.order == ArrivalOrder::kDemandAscending;
+      std::sort(arrivals.begin(), arrivals.end(),
+                [&](DeviceId lhs, DeviceId rhs) {
+                  const double dl = instance.device(lhs).demand_j;
+                  const double dr = instance.device(rhs).demand_j;
+                  if (dl != dr) {
+                    return ascending ? dl < dr : dl > dr;
+                  }
+                  return lhs < rhs;
+                });
+      break;
+    }
+  }
+  return run_online(instance, arrivals, options_);
+}
+
+}  // namespace cc::core

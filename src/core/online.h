@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file online.h
+/// Online cooperative charging — extension of the CCS service model.
+///
+/// A commercial charging service does not see all customers up front:
+/// devices *arrive* over time and must be admitted irrevocably. The
+/// online policy mirrors one CCSGA switch evaluated at arrival time:
+/// the newcomer joins the open session (anchored at its charger) that
+/// minimizes its payment — subject to incumbent consent and session
+/// capacity — or opens a fresh singleton session at its best charger.
+///
+/// The bench `bench_ext_online` measures the empirical competitive
+/// ratio against offline CCSA, including adversarial arrival orders
+/// (demand-ascending/descending).
+
+#include <cstdint>
+#include <span>
+
+#include "core/scheduler.h"
+
+namespace cc::core {
+
+enum class ArrivalOrder {
+  kById,            ///< devices arrive in id order
+  kShuffled,        ///< random order from `seed`
+  kDemandAscending, ///< adversarial: light demands first
+  kDemandDescending ///< heavy demands first (anchors form early)
+};
+
+struct OnlineOptions {
+  SharingScheme scheme = SharingScheme::kEgalitarian;
+  bool require_consent = true;
+  ArrivalOrder order = ArrivalOrder::kShuffled;
+  std::uint64_t seed = 5;
+};
+
+/// Runs the online admission policy over an explicit arrival order
+/// (a permutation of all device ids). Returns a valid schedule.
+[[nodiscard]] SchedulerResult run_online(const Instance& instance,
+                                         std::span<const DeviceId> arrivals,
+                                         const OnlineOptions& options = {});
+
+/// Scheduler adapter: materializes the arrival order from the options.
+class OnlineGreedy final : public Scheduler {
+ public:
+  explicit OnlineGreedy(OnlineOptions options = {}) noexcept
+      : options_(options) {}
+
+  [[nodiscard]] std::string name() const override { return "online"; }
+  [[nodiscard]] SchedulerResult run(const Instance& instance) const override;
+
+  [[nodiscard]] const OnlineOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  OnlineOptions options_;
+};
+
+}  // namespace cc::core

@@ -1,0 +1,40 @@
+#include "core/random_baseline.h"
+
+#include "util/assert.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace cc::core {
+
+SchedulerResult RandomGrouping::run(const Instance& instance) const {
+  const util::Stopwatch watch;
+  CC_EXPECTS(options_.group_size > 0, "group size must be positive");
+  const CostModel cost(instance);
+  util::Rng rng(options_.seed);
+  const int group_size =
+      std::min(options_.group_size, cost.max_feasible_group());
+
+  std::vector<DeviceId> ids(
+      static_cast<std::size_t>(instance.num_devices()));
+  for (int i = 0; i < instance.num_devices(); ++i) {
+    ids[static_cast<std::size_t>(i)] = i;
+  }
+  rng.shuffle(ids);
+
+  SchedulerResult result;
+  for (std::size_t start = 0; start < ids.size();
+       start += static_cast<std::size_t>(group_size)) {
+    Coalition coalition;
+    const std::size_t end =
+        std::min(ids.size(), start + static_cast<std::size_t>(group_size));
+    coalition.members.assign(ids.begin() + static_cast<std::ptrdiff_t>(start),
+                             ids.begin() + static_cast<std::ptrdiff_t>(end));
+    coalition.charger = cost.best_charger(coalition.members).first;
+    result.schedule.add(std::move(coalition));
+    ++result.stats.iterations;
+  }
+  result.stats.elapsed_ms = watch.elapsed_ms();
+  return result;
+}
+
+}  // namespace cc::core

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file random_baseline.h
+/// Control baseline: random partition into groups of a target size, each
+/// sent to its best charger. Lower-bounds how much of the cooperative
+/// gain comes from *any* grouping versus informed grouping.
+
+#include <cstdint>
+
+#include "core/scheduler.h"
+
+namespace cc::core {
+
+struct RandomGroupingOptions {
+  int group_size = 4;
+  std::uint64_t seed = 29;
+};
+
+class RandomGrouping final : public Scheduler {
+ public:
+  explicit RandomGrouping(RandomGroupingOptions options = {}) noexcept
+      : options_(options) {}
+
+  [[nodiscard]] std::string name() const override { return "random"; }
+  [[nodiscard]] SchedulerResult run(const Instance& instance) const override;
+
+ private:
+  RandomGroupingOptions options_;
+};
+
+}  // namespace cc::core

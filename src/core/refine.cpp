@@ -1,0 +1,165 @@
+#include "core/refine.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.h"
+
+namespace cc::core {
+
+namespace {
+
+constexpr double kImprovementEps = 1e-9;
+
+struct WorkingSet {
+  std::vector<Coalition> groups;  // empties are tombstones
+
+  [[nodiscard]] double group_cost(const CostModel& cost,
+                                  std::size_t k) const {
+    const Coalition& c = groups[k];
+    return c.members.empty() ? 0.0 : cost.group_cost(c.charger, c.members);
+  }
+};
+
+}  // namespace
+
+RefineStats refine_schedule(const Instance& instance, Schedule& schedule,
+                            int max_rounds) {
+  const CostModel cost(instance);
+  WorkingSet ws;
+  ws.groups.assign(schedule.coalitions().begin(),
+                   schedule.coalitions().end());
+
+  RefineStats stats;
+  bool improved = true;
+  for (int round = 0; round < max_rounds && improved; ++round) {
+    ++stats.rounds;
+    improved = false;
+
+    // Relocate moves.
+    for (std::size_t src = 0; src < ws.groups.size(); ++src) {
+      if (ws.groups[src].members.empty()) {
+        continue;
+      }
+      for (std::size_t mi = 0; mi < ws.groups[src].members.size();) {
+        const DeviceId dev = ws.groups[src].members[mi];
+        const double src_before = ws.group_cost(cost, src);
+        std::vector<DeviceId> src_without = ws.groups[src].members;
+        src_without.erase(
+            std::find(src_without.begin(), src_without.end(), dev));
+        double src_after = 0.0;
+        ChargerId src_after_charger = ws.groups[src].charger;
+        if (!src_without.empty()) {
+          const auto [j, c] = cost.best_charger(src_without);
+          src_after = c;
+          src_after_charger = j;
+        }
+
+        double best_delta = -kImprovementEps;
+        int best_target = -2;  // -2: none, -1: singleton, >=0: coalition
+        ChargerId best_target_charger = 0;
+        double target_after_cost = 0.0;
+
+        // Singleton destination (only if src has company).
+        if (ws.groups[src].members.size() > 1) {
+          const auto [j, single_cost] = cost.standalone(dev);
+          const double delta =
+              (src_after + single_cost) - src_before;
+          if (delta < best_delta) {
+            best_delta = delta;
+            best_target = -1;
+            best_target_charger = j;
+            target_after_cost = single_cost;
+          }
+        }
+        // Other coalitions.
+        for (std::size_t dst = 0; dst < ws.groups.size(); ++dst) {
+          if (dst == src || ws.groups[dst].members.empty()) {
+            continue;
+          }
+          if (!cost.has_feasible_charger(
+                  static_cast<int>(ws.groups[dst].members.size()) + 1)) {
+            continue;  // no pad can host the enlarged session
+          }
+          std::vector<DeviceId> enlarged = ws.groups[dst].members;
+          enlarged.push_back(dev);
+          const auto [j, dst_after] = cost.best_charger(enlarged);
+          const double delta = (src_after + dst_after) -
+                               (src_before + ws.group_cost(cost, dst));
+          if (delta < best_delta) {
+            best_delta = delta;
+            best_target = static_cast<int>(dst);
+            best_target_charger = j;
+            target_after_cost = dst_after;
+          }
+        }
+
+        if (best_target == -2) {
+          ++mi;
+          continue;
+        }
+        (void)target_after_cost;
+        // Execute.
+        ws.groups[src].members.erase(ws.groups[src].members.begin() +
+                                     static_cast<std::ptrdiff_t>(mi));
+        if (!ws.groups[src].members.empty()) {
+          ws.groups[src].charger = src_after_charger;
+        }
+        if (best_target == -1) {
+          Coalition fresh;
+          fresh.charger = best_target_charger;
+          fresh.members = {dev};
+          ws.groups.push_back(std::move(fresh));
+        } else {
+          auto& dst = ws.groups[static_cast<std::size_t>(best_target)];
+          dst.members.push_back(dev);
+          dst.charger = best_target_charger;
+        }
+        ++stats.relocations;
+        improved = true;
+        // Do not advance mi: the member list shifted.
+      }
+    }
+
+    // Merge moves.
+    for (std::size_t a = 0; a < ws.groups.size(); ++a) {
+      if (ws.groups[a].members.empty()) {
+        continue;
+      }
+      for (std::size_t b = a + 1; b < ws.groups.size(); ++b) {
+        if (ws.groups[b].members.empty()) {
+          continue;
+        }
+        std::vector<DeviceId> merged = ws.groups[a].members;
+        merged.insert(merged.end(), ws.groups[b].members.begin(),
+                      ws.groups[b].members.end());
+        if (!cost.has_feasible_charger(static_cast<int>(merged.size()))) {
+          continue;  // merge would exceed every pad's capacity
+        }
+        const auto [j, merged_cost] = cost.best_charger(merged);
+        const double before =
+            ws.group_cost(cost, a) + ws.group_cost(cost, b);
+        if (merged_cost < before - kImprovementEps) {
+          ws.groups[a].members = std::move(merged);
+          ws.groups[a].charger = j;
+          ws.groups[b].members.clear();
+          ++stats.merges;
+          improved = true;
+        }
+      }
+    }
+  }
+
+  Schedule refined;
+  for (Coalition& c : ws.groups) {
+    if (!c.members.empty()) {
+      std::sort(c.members.begin(), c.members.end());
+      refined.add(std::move(c));
+    }
+  }
+  refined.validate(instance);
+  schedule = std::move(refined);
+  return stats;
+}
+
+}  // namespace cc::core

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file refine.h
+/// Local-search refinement of a schedule: social-cost-decreasing moves.
+///
+/// Two move families, applied to a strict local optimum:
+///  * relocate — move one device to another coalition (or a singleton),
+///    re-optimizing the chargers of both affected coalitions;
+///  * merge    — fuse two coalitions at the best common charger.
+///
+/// Every accepted move strictly decreases the social cost, so the search
+/// terminates. CCSA runs this after its greedy cover phase (the paper's
+/// +7.3%-of-optimal quality needs more than the raw H_n greedy); the
+/// ablation bench quantifies the phase's contribution.
+
+#include "core/schedule.h"
+
+namespace cc::core {
+
+struct RefineStats {
+  long relocations = 0;
+  long merges = 0;
+  long rounds = 0;
+};
+
+/// Refines `schedule` in place until no improving move exists (or
+/// `max_rounds` passes). Returns move statistics.
+RefineStats refine_schedule(const Instance& instance, Schedule& schedule,
+                            int max_rounds = 100);
+
+}  // namespace cc::core

@@ -1,0 +1,72 @@
+#include "core/scheduler.h"
+
+#include "core/anneal.h"
+#include "core/ccsa.h"
+#include "core/ccsga.h"
+#include "core/exact_dp.h"
+#include "core/kmeans_baseline.h"
+#include "core/noncoop.h"
+#include "core/random_baseline.h"
+#include "core/simple_baselines.h"
+#include "util/assert.h"
+
+namespace cc::core {
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name) {
+  if (name == "noncoop") {
+    return std::make_unique<NonCooperation>();
+  }
+  if (name == "ccsa") {
+    return std::make_unique<Ccsa>(CcsaBackend::kStructured);
+  }
+  if (name == "ccsa-wolfe") {
+    return std::make_unique<Ccsa>(CcsaBackend::kWolfe);
+  }
+  if (name == "ccsa-raw") {
+    CcsaOptions options;
+    options.refine = false;
+    return std::make_unique<Ccsa>(options);
+  }
+  if (name == "ccsga") {
+    return std::make_unique<Ccsga>();
+  }
+  if (name == "ccsga-selfish") {
+    CcsgaOptions options;
+    options.mode = CcsgaMode::kSelfish;
+    return std::make_unique<Ccsga>(options);
+  }
+  if (name == "ccsga-guarded") {
+    CcsgaOptions options;
+    options.mode = CcsgaMode::kGuarded;
+    return std::make_unique<Ccsga>(options);
+  }
+  if (name == "optimal") {
+    return std::make_unique<ExactDp>();
+  }
+  if (name == "kmeans") {
+    return std::make_unique<KMeansBaseline>();
+  }
+  if (name == "random") {
+    return std::make_unique<RandomGrouping>();
+  }
+  if (name == "anneal") {
+    return std::make_unique<Anneal>();
+  }
+  if (name == "ncg") {
+    return std::make_unique<NearestChargerGrouping>();
+  }
+  if (name == "dsg") {
+    return std::make_unique<DemandSimilarityGrouping>();
+  }
+  CC_ASSERT(false, "unknown scheduler: " + name);
+  return nullptr;
+}
+
+std::vector<std::string> scheduler_names() {
+  return {"noncoop",       "ccsa",          "ccsa-wolfe", "ccsa-raw",
+          "ccsga",         "ccsga-selfish", "ccsga-guarded",
+          "optimal",       "kmeans",        "random",     "anneal",
+          "ncg",           "dsg"};
+}
+
+}  // namespace cc::core

@@ -1,0 +1,109 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/assert.h"
+
+namespace cc::core {
+
+Schedule::Schedule(std::vector<Coalition> coalitions)
+    : coalitions_(std::move(coalitions)) {}
+
+void Schedule::add(Coalition coalition) {
+  coalitions_.push_back(std::move(coalition));
+}
+
+void Schedule::validate(const Instance& instance) const {
+  std::vector<int> seen(static_cast<std::size_t>(instance.num_devices()), 0);
+  const int global_cap = instance.params().max_group_size;
+  for (const Coalition& c : coalitions_) {
+    CC_ASSERT(c.charger >= 0 && c.charger < instance.num_chargers(),
+              "schedule refers to an unknown charger");
+    CC_ASSERT(!c.members.empty(), "schedule contains an empty coalition");
+    const int local_cap = instance.charger(c.charger).max_group_size;
+    const int cap = global_cap > 0 && local_cap > 0
+                        ? std::min(global_cap, local_cap)
+                        : (global_cap > 0 ? global_cap : local_cap);
+    CC_ASSERT(cap == 0 || static_cast<int>(c.members.size()) <= cap,
+              "coalition exceeds its charger's session capacity");
+    for (DeviceId i : c.members) {
+      CC_ASSERT(i >= 0 && i < instance.num_devices(),
+                "schedule refers to an unknown device");
+      CC_ASSERT(seen[static_cast<std::size_t>(i)] == 0,
+                "device appears in two coalitions");
+      seen[static_cast<std::size_t>(i)] = 1;
+    }
+  }
+  for (int i = 0; i < instance.num_devices(); ++i) {
+    CC_ASSERT(seen[static_cast<std::size_t>(i)] == 1,
+              "device is not covered by the schedule");
+  }
+}
+
+double Schedule::total_cost(const CostModel& cost) const {
+  double total = 0.0;
+  for (const Coalition& c : coalitions_) {
+    total += cost.group_cost(c.charger, c.members);
+  }
+  return total;
+}
+
+std::vector<double> Schedule::device_payments(const CostModel& cost,
+                                              SharingScheme scheme) const {
+  std::vector<double> pays(
+      static_cast<std::size_t>(cost.instance().num_devices()), 0.0);
+  for (const Coalition& c : coalitions_) {
+    const std::vector<double> coalition_pays =
+        payments(scheme, cost, c.charger, c.members);
+    for (std::size_t idx = 0; idx < c.members.size(); ++idx) {
+      pays[static_cast<std::size_t>(c.members[idx])] = coalition_pays[idx];
+    }
+  }
+  return pays;
+}
+
+int Schedule::coalition_of(DeviceId i, const Instance& instance) const {
+  CC_EXPECTS(i >= 0 && i < instance.num_devices(), "device id out of range");
+  for (std::size_t k = 0; k < coalitions_.size(); ++k) {
+    for (DeviceId member : coalitions_[k].members) {
+      if (member == i) {
+        return static_cast<int>(k);
+      }
+    }
+  }
+  return -1;
+}
+
+double Schedule::mean_coalition_size() const noexcept {
+  if (coalitions_.empty()) {
+    return 0.0;
+  }
+  std::size_t devices = 0;
+  for (const Coalition& c : coalitions_) {
+    devices += c.members.size();
+  }
+  return static_cast<double>(devices) /
+         static_cast<double>(coalitions_.size());
+}
+
+std::ostream& operator<<(std::ostream& out, const Schedule& schedule) {
+  out << "Schedule{";
+  for (std::size_t k = 0; k < schedule.coalitions().size(); ++k) {
+    const Coalition& c = schedule.coalitions()[k];
+    if (k != 0) {
+      out << ", ";
+    }
+    out << 'c' << c.charger << ":[";
+    for (std::size_t idx = 0; idx < c.members.size(); ++idx) {
+      if (idx != 0) {
+        out << ' ';
+      }
+      out << c.members[idx];
+    }
+    out << ']';
+  }
+  return out << '}';
+}
+
+}  // namespace cc::core

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file schedule.h
+/// The output of a CCS scheduler: a partition of the devices into
+/// coalitions, each assigned a charger.
+
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/sharing.h"
+
+namespace cc::core {
+
+/// One charging group: a charger and the devices gathering at it.
+struct Coalition {
+  ChargerId charger = 0;
+  std::vector<DeviceId> members;
+};
+
+/// A complete cooperative charging schedule.
+///
+/// Invariant (checked by `validate`): the coalitions' member lists
+/// partition the instance's device set, all ids in range, no empties.
+class Schedule {
+ public:
+  Schedule() = default;
+  explicit Schedule(std::vector<Coalition> coalitions);
+
+  void add(Coalition coalition);
+
+  [[nodiscard]] std::span<const Coalition> coalitions() const noexcept {
+    return coalitions_;
+  }
+  [[nodiscard]] std::size_t num_coalitions() const noexcept {
+    return coalitions_.size();
+  }
+
+  /// Throws `AssertionError` unless the schedule is a valid partition of
+  /// `instance`'s devices with in-range charger ids.
+  void validate(const Instance& instance) const;
+
+  /// Social (comprehensive) cost under the given model.
+  [[nodiscard]] double total_cost(const CostModel& cost) const;
+
+  /// Per-device payment vector (indexed by DeviceId) under a scheme.
+  /// Budget balance: payments sum to total_cost.
+  [[nodiscard]] std::vector<double> device_payments(
+      const CostModel& cost, SharingScheme scheme) const;
+
+  /// Index into `coalitions()` of the coalition containing `i`;
+  /// −1 if the device is unassigned.
+  [[nodiscard]] int coalition_of(DeviceId i, const Instance& instance) const;
+
+  /// Mean coalition size.
+  [[nodiscard]] double mean_coalition_size() const noexcept;
+
+ private:
+  std::vector<Coalition> coalitions_;
+};
+
+std::ostream& operator<<(std::ostream& out, const Schedule& schedule);
+
+}  // namespace cc::core

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file scheduler.h
+/// Common interface of all CCS scheduling algorithms.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/schedule.h"
+
+namespace cc::core {
+
+/// Algorithm-reported run statistics (benches print these).
+struct SchedulerStats {
+  double elapsed_ms = 0.0;
+  long iterations = 0;   ///< algorithm-specific outer iterations
+  long switches = 0;     ///< CCSGA: accepted switch operations
+  bool converged = true; ///< CCSGA: false iff the round cap was hit
+};
+
+struct SchedulerResult {
+  Schedule schedule;
+  SchedulerStats stats;
+};
+
+/// Strategy interface for schedulers. Implementations are stateless with
+/// respect to the instance: `run` may be called repeatedly.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Computes a schedule. The returned schedule validates against
+  /// `instance` (checked by implementations in debug paths and by the
+  /// test suite for all of them).
+  [[nodiscard]] virtual SchedulerResult run(const Instance& instance) const = 0;
+};
+
+/// Factory: "noncoop" | "ccsa" | "ccsa-wolfe" | "ccsga" | "ccsga-guarded" |
+/// "optimal" | "kmeans" | "random". Throws on unknown names.
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(
+    const std::string& name);
+
+/// All registry names, in presentation order.
+[[nodiscard]] std::vector<std::string> scheduler_names();
+
+}  // namespace cc::core

@@ -1,0 +1,63 @@
+#include "core/shapley.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.h"
+
+namespace cc::core {
+
+std::vector<double> airport_shapley(double a, std::span<const double> weights) {
+  CC_EXPECTS(a >= 0.0, "cost coefficient must be nonnegative");
+  CC_EXPECTS(!weights.empty(), "Shapley value of an empty coalition");
+  const std::size_t k = weights.size();
+  for (double w : weights) {
+    CC_EXPECTS(w >= 0.0, "weights must be nonnegative");
+  }
+  std::vector<std::size_t> order(k);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t lhs, std::size_t rhs) {
+    return weights[lhs] != weights[rhs] ? weights[lhs] < weights[rhs]
+                                        : lhs < rhs;
+  });
+  std::vector<double> shares(k, 0.0);
+  double prev_w = 0.0;
+  double accumulated = 0.0;  // share owed by everyone from position l up
+  for (std::size_t pos = 0; pos < k; ++pos) {
+    const double w = weights[order[pos]];
+    // The increment w − prev_w is needed by the k − pos members at
+    // positions pos..k−1; each pays an equal slice of it.
+    accumulated += a * (w - prev_w) / static_cast<double>(k - pos);
+    shares[order[pos]] = accumulated;
+    prev_w = w;
+  }
+  return shares;
+}
+
+std::vector<double> airport_shapley_bruteforce(double a,
+                                               std::span<const double> weights) {
+  CC_EXPECTS(a >= 0.0, "cost coefficient must be nonnegative");
+  CC_EXPECTS(!weights.empty() && weights.size() <= 9,
+             "bruteforce Shapley is limited to k <= 9");
+  const std::size_t k = weights.size();
+  std::vector<std::size_t> perm(k);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  std::vector<double> shares(k, 0.0);
+  std::size_t permutations = 0;
+  do {
+    ++permutations;
+    double running_max = 0.0;
+    for (std::size_t pos = 0; pos < k; ++pos) {
+      const double w = weights[perm[pos]];
+      const double new_max = std::max(running_max, w);
+      shares[perm[pos]] += a * (new_max - running_max);
+      running_max = new_max;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  for (double& s : shares) {
+    s /= static_cast<double>(permutations);
+  }
+  return shares;
+}
+
+}  // namespace cc::core

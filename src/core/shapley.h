@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file shapley.h
+/// Shapley value of the "airport game" induced by a shared max-cost.
+///
+/// The session fee of a coalition is a·max_{i∈S} w_i — structurally the
+/// classic airport (runway) game, whose Shapley value has a closed form:
+/// sort the members' weights ascending, split each increment
+/// w_(l) − w_(l−1) equally among the members that need at least w_(l)
+/// (the k − l + 1 members from sorted position l upward).
+///
+/// Runs in O(k log k); cross-validated in tests against the O(k!·2^k)
+/// permutation definition on small coalitions.
+
+#include <span>
+#include <vector>
+
+namespace cc::core {
+
+/// Shapley shares of cost a·max(w) for the given weights (any order);
+/// result aligned with `weights`. Requires a ≥ 0, weights nonnegative,
+/// nonempty. Shares sum to a·max(w).
+[[nodiscard]] std::vector<double> airport_shapley(
+    double a, std::span<const double> weights);
+
+/// Reference implementation by full permutation enumeration — O(k!·k),
+/// guarded to k ≤ 9. Test oracle.
+[[nodiscard]] std::vector<double> airport_shapley_bruteforce(
+    double a, std::span<const double> weights);
+
+}  // namespace cc::core

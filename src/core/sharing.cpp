@@ -1,0 +1,117 @@
+#include "core/sharing.h"
+
+#include <numeric>
+
+#include "core/shapley.h"
+#include "util/assert.h"
+
+namespace cc::core {
+
+std::string to_string(SharingScheme scheme) {
+  switch (scheme) {
+    case SharingScheme::kEgalitarian:
+      return "egalitarian";
+    case SharingScheme::kProportional:
+      return "proportional";
+    case SharingScheme::kShapley:
+      return "shapley";
+  }
+  return "?";
+}
+
+SharingScheme sharing_scheme_from_string(const std::string& s) {
+  if (s == "egalitarian") {
+    return SharingScheme::kEgalitarian;
+  }
+  if (s == "proportional") {
+    return SharingScheme::kProportional;
+  }
+  if (s == "shapley") {
+    return SharingScheme::kShapley;
+  }
+  CC_ASSERT(false, "unknown sharing scheme: " + s);
+  return SharingScheme::kEgalitarian;
+}
+
+std::vector<double> fee_shares(SharingScheme scheme, const CostModel& cost,
+                               ChargerId j,
+                               std::span<const DeviceId> members) {
+  CC_EXPECTS(!members.empty(), "fee_shares needs a nonempty coalition");
+  const double fee = cost.session_fee(j, members);
+  const std::size_t k = members.size();
+  switch (scheme) {
+    case SharingScheme::kEgalitarian:
+      return std::vector<double>(k, fee / static_cast<double>(k));
+    case SharingScheme::kProportional: {
+      double total_demand = 0.0;
+      for (DeviceId i : members) {
+        total_demand += cost.instance().device(i).demand_j;
+      }
+      std::vector<double> shares(k, 0.0);
+      if (total_demand <= 0.0) {
+        // Degenerate: all demands zero — fee is zero too; split equally.
+        for (double& s : shares) {
+          s = fee / static_cast<double>(k);
+        }
+        return shares;
+      }
+      for (std::size_t idx = 0; idx < k; ++idx) {
+        shares[idx] =
+            fee * cost.instance().device(members[idx]).demand_j / total_demand;
+      }
+      return shares;
+    }
+    case SharingScheme::kShapley: {
+      // The fee equals a·max(demands) with a = fee_weight·π_j/P_j, which
+      // is an airport game over the demands.
+      const Charger& charger = cost.instance().charger(j);
+      const double a = cost.instance().params().fee_weight *
+                       charger.price_per_s / charger.power_w;
+      std::vector<double> demands;
+      demands.reserve(k);
+      for (DeviceId i : members) {
+        demands.push_back(cost.instance().device(i).demand_j);
+      }
+      return airport_shapley(a, demands);
+    }
+  }
+  CC_ASSERT(false, "unhandled sharing scheme");
+  return {};
+}
+
+std::vector<double> payments(SharingScheme scheme, const CostModel& cost,
+                             ChargerId j, std::span<const DeviceId> members) {
+  std::vector<double> pays = fee_shares(scheme, cost, j, members);
+  for (std::size_t idx = 0; idx < members.size(); ++idx) {
+    pays[idx] += cost.move_cost(members[idx], j);
+  }
+  return pays;
+}
+
+double payment_of(SharingScheme scheme, const CostModel& cost, ChargerId j,
+                  std::span<const DeviceId> members, DeviceId member) {
+  const std::vector<double> pays = payments(scheme, cost, j, members);
+  for (std::size_t idx = 0; idx < members.size(); ++idx) {
+    if (members[idx] == member) {
+      return pays[idx];
+    }
+  }
+  CC_ASSERT(false, "payment_of: device is not a coalition member");
+  return 0.0;
+}
+
+bool is_individually_rational(SharingScheme scheme, const CostModel& cost,
+                              ChargerId j, std::span<const DeviceId> members,
+                              double tolerance) {
+  const std::vector<double> pays = payments(scheme, cost, j, members);
+  for (std::size_t idx = 0; idx < members.size(); ++idx) {
+    const auto [best_j, standalone_cost] = cost.standalone(members[idx]);
+    (void)best_j;
+    if (pays[idx] > standalone_cost + tolerance) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace cc::core

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file sharing.h
+/// Intragroup cost-sharing schemes.
+///
+/// A coalition's moving costs are private (each member pays its own trip);
+/// what gets *shared* is the single session fee. The paper proposes two
+/// schemes that sustain cooperation; we implement both plus the Shapley
+/// value of the fee game as a documented extension:
+///
+///  * `kEgalitarian`  — fee split equally among members.
+///  * `kProportional` — fee split in proportion to energy demand.
+///  * `kShapley`      — Shapley value of the induced "airport game"
+///                      (the fee is a scaled max of demands, so the
+///                      classic runway formula applies). Extension.
+///
+/// All three are budget-balanced by construction. Individual rationality
+/// (no member pays more than its best standalone cost) is a property of
+/// the *schedules* the algorithms produce; `is_individually_rational`
+/// checks it and the test suite sweeps it.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/cost_model.h"
+
+namespace cc::core {
+
+enum class SharingScheme { kEgalitarian, kProportional, kShapley };
+
+[[nodiscard]] std::string to_string(SharingScheme scheme);
+[[nodiscard]] SharingScheme sharing_scheme_from_string(const std::string& s);
+
+/// Per-member shares of the session fee of coalition `members` at
+/// charger `j`, in the order of `members`. Sums to the session fee
+/// (budget balance). Requires a nonempty coalition.
+[[nodiscard]] std::vector<double> fee_shares(
+    SharingScheme scheme, const CostModel& cost, ChargerId j,
+    std::span<const DeviceId> members);
+
+/// Comprehensive payment of each member: fee share + own moving cost.
+[[nodiscard]] std::vector<double> payments(
+    SharingScheme scheme, const CostModel& cost, ChargerId j,
+    std::span<const DeviceId> members);
+
+/// Payment of one specific member (convenience; O(|S|)).
+[[nodiscard]] double payment_of(SharingScheme scheme, const CostModel& cost,
+                                ChargerId j,
+                                std::span<const DeviceId> members,
+                                DeviceId member);
+
+/// True iff every member's payment is at most its best standalone cost
+/// (up to `tolerance`).
+[[nodiscard]] bool is_individually_rational(
+    SharingScheme scheme, const CostModel& cost, ChargerId j,
+    std::span<const DeviceId> members, double tolerance = 1e-9);
+
+}  // namespace cc::core

@@ -1,0 +1,82 @@
+#include "core/simple_baselines.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.h"
+#include "util/stopwatch.h"
+
+namespace cc::core {
+
+SchedulerResult NearestChargerGrouping::run(const Instance& instance) const {
+  const util::Stopwatch watch;
+  const CostModel cost(instance);
+
+  std::vector<std::vector<DeviceId>> at_charger(
+      static_cast<std::size_t>(instance.num_chargers()));
+  for (DeviceId i = 0; i < instance.num_devices(); ++i) {
+    at_charger[static_cast<std::size_t>(cost.standalone(i).first)]
+        .push_back(i);
+  }
+
+  SchedulerResult result;
+  for (ChargerId j = 0; j < instance.num_chargers(); ++j) {
+    const auto& mine = at_charger[static_cast<std::size_t>(j)];
+    if (mine.empty()) {
+      continue;
+    }
+    ++result.stats.iterations;
+    const int cap = cost.session_cap(j);
+    const std::size_t chunk =
+        cap > 0 ? static_cast<std::size_t>(cap) : mine.size();
+    for (std::size_t start = 0; start < mine.size(); start += chunk) {
+      Coalition coalition;
+      coalition.charger = j;
+      const std::size_t end = std::min(mine.size(), start + chunk);
+      coalition.members.assign(
+          mine.begin() + static_cast<std::ptrdiff_t>(start),
+          mine.begin() + static_cast<std::ptrdiff_t>(end));
+      result.schedule.add(std::move(coalition));
+    }
+  }
+  result.stats.elapsed_ms = watch.elapsed_ms();
+  return result;
+}
+
+SchedulerResult DemandSimilarityGrouping::run(
+    const Instance& instance) const {
+  const util::Stopwatch watch;
+  CC_EXPECTS(options_.group_size > 0, "group size must be positive");
+  const CostModel cost(instance);
+  const int group_size =
+      std::min(options_.group_size, cost.max_feasible_group());
+
+  std::vector<DeviceId> by_demand(
+      static_cast<std::size_t>(instance.num_devices()));
+  std::iota(by_demand.begin(), by_demand.end(), 0);
+  std::sort(by_demand.begin(), by_demand.end(),
+            [&](DeviceId lhs, DeviceId rhs) {
+              const double dl = instance.device(lhs).demand_j;
+              const double dr = instance.device(rhs).demand_j;
+              return dl != dr ? dl < dr : lhs < rhs;
+            });
+
+  SchedulerResult result;
+  for (std::size_t start = 0; start < by_demand.size();
+       start += static_cast<std::size_t>(group_size)) {
+    Coalition coalition;
+    const std::size_t end = std::min(
+        by_demand.size(), start + static_cast<std::size_t>(group_size));
+    coalition.members.assign(
+        by_demand.begin() + static_cast<std::ptrdiff_t>(start),
+        by_demand.begin() + static_cast<std::ptrdiff_t>(end));
+    std::sort(coalition.members.begin(), coalition.members.end());
+    coalition.charger = cost.best_charger(coalition.members).first;
+    result.schedule.add(std::move(coalition));
+    ++result.stats.iterations;
+  }
+  result.stats.elapsed_ms = watch.elapsed_ms();
+  return result;
+}
+
+}  // namespace cc::core

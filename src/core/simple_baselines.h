@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file simple_baselines.h
+/// Two more natural grouping baselines from the WRSN literature:
+///
+/// * `NearestChargerGrouping` ("NCG") — every device walks to the
+///   charger with the cheapest standalone service and all devices at a
+///   charger share one session. The "no coordination beyond proximity"
+///   strategy: zero extra movement vs non-cooperation, all sharing gains
+///   come for free — the gap to CCSA isolates the value of *moving* to
+///   cooperate.
+/// * `DemandSimilarityGrouping` ("DSG") — sort by demand, chunk into
+///   groups of a target size, send each chunk to its best charger.
+///   Optimizes the fee structure (similar demands waste no session
+///   time) while ignoring geometry — the mirror image of `kmeans`.
+
+#include "core/scheduler.h"
+
+namespace cc::core {
+
+class NearestChargerGrouping final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "ncg"; }
+  [[nodiscard]] SchedulerResult run(const Instance& instance) const override;
+};
+
+struct DemandSimilarityOptions {
+  int group_size = 4;
+};
+
+class DemandSimilarityGrouping final : public Scheduler {
+ public:
+  explicit DemandSimilarityGrouping(
+      DemandSimilarityOptions options = {}) noexcept
+      : options_(options) {}
+
+  [[nodiscard]] std::string name() const override { return "dsg"; }
+  [[nodiscard]] SchedulerResult run(const Instance& instance) const override;
+
+ private:
+  DemandSimilarityOptions options_;
+};
+
+}  // namespace cc::core

@@ -1,0 +1,14 @@
+#pragma once
+
+/// \file types.h
+/// Shared identifiers for the CCS core.
+
+namespace cc::core {
+
+/// Index of a device within an `Instance` (0-based, dense).
+using DeviceId = int;
+
+/// Index of a charger within an `Instance` (0-based, dense).
+using ChargerId = int;
+
+}  // namespace cc::core

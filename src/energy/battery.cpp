@@ -1,0 +1,51 @@
+#include "energy/battery.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/assert.h"
+
+namespace cc::energy {
+
+namespace {
+constexpr double kFullnessTolerance = 1e-9;
+}
+
+Battery::Battery(double capacity_j, double level_j)
+    : capacity_j_(capacity_j), level_j_(level_j) {
+  CC_EXPECTS(capacity_j > 0.0, "battery capacity must be positive");
+  CC_EXPECTS(level_j >= 0.0 && level_j <= capacity_j,
+             "battery level must lie in [0, capacity]");
+}
+
+Battery Battery::full(double capacity_j) {
+  return Battery(capacity_j, capacity_j);
+}
+
+bool Battery::is_full() const noexcept {
+  return deficit() <= kFullnessTolerance * capacity_j_;
+}
+
+bool Battery::is_empty() const noexcept {
+  return level_j_ <= kFullnessTolerance * capacity_j_;
+}
+
+double Battery::charge(double joules) {
+  CC_EXPECTS(joules >= 0.0, "cannot charge a negative amount");
+  const double stored = std::min(joules, deficit());
+  level_j_ += stored;
+  return stored;
+}
+
+double Battery::discharge(double joules) {
+  CC_EXPECTS(joules >= 0.0, "cannot discharge a negative amount");
+  const double drawn = std::min(joules, level_j_);
+  level_j_ -= drawn;
+  return drawn;
+}
+
+std::ostream& operator<<(std::ostream& out, const Battery& b) {
+  return out << "Battery(" << b.level() << '/' << b.capacity() << " J)";
+}
+
+}  // namespace cc::energy

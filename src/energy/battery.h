@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file battery.h
+/// Battery model for rechargeable sensor devices.
+
+#include <iosfwd>
+
+namespace cc::energy {
+
+/// A battery with a fixed capacity and a current level, both in joules.
+/// Invariant: 0 <= level <= capacity, capacity > 0.
+class Battery {
+ public:
+  /// Creates a battery with `capacity_j` joules capacity at `level_j`
+  /// joules of charge. Throws on invariant violation.
+  Battery(double capacity_j, double level_j);
+
+  /// A battery starting full.
+  [[nodiscard]] static Battery full(double capacity_j);
+
+  [[nodiscard]] double capacity() const noexcept { return capacity_j_; }
+  [[nodiscard]] double level() const noexcept { return level_j_; }
+
+  /// Joules missing to full charge. This is a device's *charging demand*.
+  [[nodiscard]] double deficit() const noexcept {
+    return capacity_j_ - level_j_;
+  }
+
+  /// Fraction of capacity currently stored, in [0, 1].
+  [[nodiscard]] double state_of_charge() const noexcept {
+    return level_j_ / capacity_j_;
+  }
+
+  [[nodiscard]] bool is_full() const noexcept;
+  [[nodiscard]] bool is_empty() const noexcept;
+
+  /// Adds up to `joules` of energy; returns the amount actually stored
+  /// (clamped at capacity). Requires joules >= 0.
+  double charge(double joules);
+
+  /// Removes up to `joules`; returns the amount actually drawn
+  /// (clamped at zero). Requires joules >= 0.
+  double discharge(double joules);
+
+ private:
+  double capacity_j_;
+  double level_j_;
+};
+
+std::ostream& operator<<(std::ostream& out, const Battery& b);
+
+}  // namespace cc::energy

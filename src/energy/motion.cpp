@@ -1,0 +1,26 @@
+#include "energy/motion.h"
+
+#include "util/assert.h"
+
+namespace cc::energy {
+
+double travel_time_s(double distance_m, const MotionParams& params) {
+  CC_EXPECTS(distance_m >= 0.0, "distance must be nonnegative");
+  CC_EXPECTS(params.speed_m_per_s > 0.0, "speed must be positive");
+  return distance_m / params.speed_m_per_s;
+}
+
+double move_cost(double distance_m, const MotionParams& params) {
+  CC_EXPECTS(distance_m >= 0.0, "distance must be nonnegative");
+  CC_EXPECTS(params.unit_cost >= 0.0, "unit moving cost must be nonnegative");
+  return distance_m * params.unit_cost;
+}
+
+double move_energy_j(double distance_m, const MotionParams& params) {
+  CC_EXPECTS(distance_m >= 0.0, "distance must be nonnegative");
+  CC_EXPECTS(params.joules_per_m >= 0.0,
+             "locomotion energy rate must be nonnegative");
+  return distance_m * params.joules_per_m;
+}
+
+}  // namespace cc::energy

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file motion.h
+/// Motion model for mobile rechargeable devices: travel time, monetary
+/// moving cost, and locomotion energy.
+
+namespace cc::energy {
+
+/// Per-device motion parameters.
+/// `unit_cost` is the paper's moving-cost coefficient ($/m); the optional
+/// locomotion energy (`joules_per_m`) lets the simulator inflate the
+/// charging demand of devices that travel far — an extension knob that
+/// defaults to zero to match the analytic scheduling model.
+struct MotionParams {
+  double speed_m_per_s = 1.0;
+  double unit_cost = 1.0;       ///< $ per meter traveled
+  double joules_per_m = 0.0;    ///< locomotion energy drain
+};
+
+/// Travel time in seconds for `distance_m` meters. Requires speed > 0.
+[[nodiscard]] double travel_time_s(double distance_m,
+                                   const MotionParams& params);
+
+/// Monetary moving cost for `distance_m` meters.
+[[nodiscard]] double move_cost(double distance_m, const MotionParams& params);
+
+/// Locomotion energy (J) spent traveling `distance_m` meters.
+[[nodiscard]] double move_energy_j(double distance_m,
+                                   const MotionParams& params);
+
+}  // namespace cc::energy

@@ -1,0 +1,80 @@
+#include "energy/wpt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace cc::energy {
+
+PadWptModel::PadWptModel(double power_w, double radius_m)
+    : power_w_(power_w), radius_m_(radius_m) {
+  CC_EXPECTS(power_w > 0.0, "pad power must be positive");
+  CC_EXPECTS(radius_m > 0.0, "pad radius must be positive");
+}
+
+double PadWptModel::received_power(double distance_m) const {
+  CC_EXPECTS(distance_m >= 0.0, "distance must be nonnegative");
+  return distance_m <= radius_m_ ? power_w_ : 0.0;
+}
+
+FriisWptModel::FriisWptModel(double alpha, double beta, double cutoff_m)
+    : alpha_(alpha), beta_(beta), cutoff_m_(cutoff_m) {
+  CC_EXPECTS(alpha > 0.0, "Friis alpha must be positive");
+  CC_EXPECTS(beta > 0.0, "Friis beta must be positive");
+  CC_EXPECTS(cutoff_m > 0.0, "Friis cutoff must be positive");
+}
+
+double FriisWptModel::received_power(double distance_m) const {
+  CC_EXPECTS(distance_m >= 0.0, "distance must be nonnegative");
+  if (distance_m > cutoff_m_) {
+    return 0.0;
+  }
+  const double denom = distance_m + beta_;
+  return alpha_ / (denom * denom);
+}
+
+double charging_time_s(double demand_j, double power_w) {
+  CC_EXPECTS(power_w > 0.0, "charging requires positive power");
+  CC_EXPECTS(demand_j >= 0.0, "demand must be nonnegative");
+  return demand_j / power_w;
+}
+
+double cc_cv_charge_time_s(double level_j, double capacity_j,
+                           double power_w, const CcCvProfile& profile) {
+  CC_EXPECTS(capacity_j > 0.0, "capacity must be positive");
+  CC_EXPECTS(level_j >= 0.0 && level_j <= capacity_j,
+             "level must lie in [0, capacity]");
+  CC_EXPECTS(power_w > 0.0, "charging requires positive power");
+  CC_EXPECTS(profile.knee_soc > 0.0 && profile.knee_soc <= 1.0,
+             "knee soc must lie in (0, 1]");
+  CC_EXPECTS(profile.target_soc > 0.0 &&
+                 (profile.target_soc < 1.0 ||
+                  profile.target_soc <= profile.knee_soc),
+             "target soc must be < 1 unless within the CC phase");
+
+  const double soc = level_j / capacity_j;
+  if (soc >= profile.target_soc) {
+    return 0.0;
+  }
+  double time_s = 0.0;
+  // CC phase: full power until the knee (or the target, if earlier).
+  const double cc_end = std::min(profile.knee_soc, profile.target_soc);
+  double at = soc;
+  if (at < cc_end) {
+    time_s += (cc_end - at) * capacity_j / power_w;
+    at = cc_end;
+  }
+  // CV phase: P(soc) = P·(1−soc)/(1−knee) ⇒ 1−soc decays exponentially
+  // with rate λ = P / ((1−knee)·capacity).
+  if (profile.target_soc > at) {
+    const double remaining_fraction = 1.0 - profile.knee_soc;
+    CC_ASSERT(remaining_fraction > 0.0,
+              "CV phase requires knee_soc < 1 when target exceeds knee");
+    const double lambda = power_w / (remaining_fraction * capacity_j);
+    time_s += std::log((1.0 - at) / (1.0 - profile.target_soc)) / lambda;
+  }
+  return time_s;
+}
+
+}  // namespace cc::energy

@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file wpt.h
+/// Wireless power transmission (WPT) models.
+///
+/// The scheduling model assumes devices gather *at* the charger and all
+/// receive its nominal service power concurrently (multicast charging).
+/// The simulator and testbed emulator refine this with distance falloff
+/// and per-trial hardware noise.
+
+#include <memory>
+
+namespace cc::energy {
+
+/// Abstract received-power model: watts delivered to a device at a given
+/// distance from the charger's coil/antenna.
+class WptModel {
+ public:
+  virtual ~WptModel() = default;
+
+  /// Received power (W) at `distance_m` meters. Nonnegative;
+  /// zero beyond the model's effective range.
+  [[nodiscard]] virtual double received_power(double distance_m) const = 0;
+
+  /// Maximum distance at which power is delivered.
+  [[nodiscard]] virtual double effective_range() const noexcept = 0;
+};
+
+/// Constant power inside a service pad of fixed radius, zero outside —
+/// the idealization used by the scheduling cost model.
+class PadWptModel final : public WptModel {
+ public:
+  /// `power_w` delivered uniformly within `radius_m`. Throws on
+  /// nonpositive parameters.
+  PadWptModel(double power_w, double radius_m);
+
+  [[nodiscard]] double received_power(double distance_m) const override;
+  [[nodiscard]] double effective_range() const noexcept override {
+    return radius_m_;
+  }
+
+ private:
+  double power_w_;
+  double radius_m_;
+};
+
+/// Friis-style falloff — the empirical WPT model of Dai et al. and He et
+/// al.: P(d) = alpha / (d + beta)^2, truncated at a far-field cutoff.
+/// Used by the testbed emulator where nodes sit at small but nonzero
+/// distances from the charger.
+class FriisWptModel final : public WptModel {
+ public:
+  /// Throws unless alpha > 0, beta > 0, cutoff > 0.
+  FriisWptModel(double alpha, double beta, double cutoff_m);
+
+  [[nodiscard]] double received_power(double distance_m) const override;
+  [[nodiscard]] double effective_range() const noexcept override {
+    return cutoff_m_;
+  }
+
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+  [[nodiscard]] double beta() const noexcept { return beta_; }
+
+ private:
+  double alpha_;
+  double beta_;
+  double cutoff_m_;
+};
+
+/// Charging time (s) for a demand of `demand_j` joules at constant
+/// received power `power_w`. Requires power_w > 0 and demand_j >= 0.
+[[nodiscard]] double charging_time_s(double demand_j, double power_w);
+
+/// CC-CV battery charging profile.
+///
+/// Real lithium cells take constant current (full received power) up to
+/// a state-of-charge knee, then taper: we model the CV phase with the
+/// standard linear-taper approximation P(soc) = P·(1−soc)/(1−knee) for
+/// soc > knee, which yields an exponential approach to full — so a
+/// completion target < 1 defines "charged". `knee_soc ≥ target_soc`
+/// degenerates to the plain linear (CC-only) model.
+struct CcCvProfile {
+  double knee_soc = 0.8;    ///< CC→CV transition state of charge
+  double target_soc = 0.99; ///< charging counts as complete here
+};
+
+/// Time (s) to charge a battery from `level_j` to `target_soc·capacity_j`
+/// at nominal received power `power_w` under the CC-CV profile.
+/// Zero if the battery already meets the target. Requires
+/// capacity_j > 0, 0 ≤ level_j ≤ capacity_j, power_w > 0,
+/// 0 < knee_soc ≤ 1, 0 < target_soc < 1 or target ≤ knee.
+[[nodiscard]] double cc_cv_charge_time_s(double level_j, double capacity_j,
+                                         double power_w,
+                                         const CcCvProfile& profile);
+
+}  // namespace cc::energy

@@ -1,0 +1,126 @@
+#include "geom/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/assert.h"
+
+namespace cc::geom {
+
+GridIndex::GridIndex(std::span<const Vec2> points)
+    : points_(points.begin(), points.end()) {
+  if (points_.empty()) {
+    cell_start_.assign(2, 0);
+    return;
+  }
+  bounds_.lo = bounds_.hi = points_.front();
+  for (const Vec2 p : points_) {
+    bounds_.lo.x = std::min(bounds_.lo.x, p.x);
+    bounds_.lo.y = std::min(bounds_.lo.y, p.y);
+    bounds_.hi.x = std::max(bounds_.hi.x, p.x);
+    bounds_.hi.y = std::max(bounds_.hi.y, p.y);
+  }
+  // Aim for ~1 point per cell; degenerate extents get a single cell.
+  const double span_x = std::max(bounds_.width(), 1e-9);
+  const double span_y = std::max(bounds_.height(), 1e-9);
+  const double target_cells =
+      std::max(1.0, std::sqrt(static_cast<double>(points_.size())));
+  cell_size_ = std::max(span_x, span_y) / target_cells;
+  cols_ = static_cast<std::size_t>(span_x / cell_size_) + 1;
+  grid_rows_ = static_cast<std::size_t>(span_y / cell_size_) + 1;
+
+  const std::size_t num_cells = cols_ * grid_rows_;
+  std::vector<std::size_t> counts(num_cells, 0);
+  for (const Vec2 p : points_) {
+    ++counts[cell_of(p)];
+  }
+  cell_start_.assign(num_cells + 1, 0);
+  for (std::size_t c = 0; c < num_cells; ++c) {
+    cell_start_[c + 1] = cell_start_[c] + counts[c];
+  }
+  cell_items_.resize(points_.size());
+  std::vector<std::size_t> cursor(cell_start_.begin(), cell_start_.end() - 1);
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    cell_items_[cursor[cell_of(points_[i])]++] = i;
+  }
+}
+
+std::size_t GridIndex::cell_of(Vec2 p) const noexcept {
+  const auto col = static_cast<std::size_t>(
+      std::clamp((p.x - bounds_.lo.x) / cell_size_, 0.0,
+                 static_cast<double>(cols_ - 1)));
+  const auto row = static_cast<std::size_t>(
+      std::clamp((p.y - bounds_.lo.y) / cell_size_, 0.0,
+                 static_cast<double>(grid_rows_ - 1)));
+  return row * cols_ + col;
+}
+
+std::size_t GridIndex::nearest(Vec2 query) const {
+  CC_EXPECTS(!points_.empty(), "nearest() on empty index");
+  // Expanding ring search around the query's cell; falls back to full
+  // scan when the ring covers the grid (small inputs hit this fast).
+  std::size_t best = 0;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  const Vec2 clamped = bounds_.clamp(query);
+  const auto center_col = static_cast<long>(
+      std::clamp((clamped.x - bounds_.lo.x) / cell_size_, 0.0,
+                 static_cast<double>(cols_ - 1)));
+  const auto center_row = static_cast<long>(
+      std::clamp((clamped.y - bounds_.lo.y) / cell_size_, 0.0,
+                 static_cast<double>(grid_rows_ - 1)));
+  const long max_ring =
+      static_cast<long>(std::max(cols_, grid_rows_));
+  for (long ring = 0; ring <= max_ring; ++ring) {
+    // Once we hold a candidate, a ring whose closest edge is already
+    // farther than the candidate cannot improve it.
+    if (best_d2 < std::numeric_limits<double>::infinity()) {
+      const double ring_min_dist =
+          (static_cast<double>(ring) - 1.0) * cell_size_;
+      if (ring_min_dist > 0.0 && ring_min_dist * ring_min_dist > best_d2) {
+        break;
+      }
+    }
+    for (long dr = -ring; dr <= ring; ++dr) {
+      for (long dc = -ring; dc <= ring; ++dc) {
+        if (std::max(std::labs(dr), std::labs(dc)) != ring) {
+          continue;  // only the ring boundary; interior seen earlier
+        }
+        const long row = center_row + dr;
+        const long col = center_col + dc;
+        if (row < 0 || col < 0 || row >= static_cast<long>(grid_rows_) ||
+            col >= static_cast<long>(cols_)) {
+          continue;
+        }
+        const std::size_t c =
+            static_cast<std::size_t>(row) * cols_ + static_cast<std::size_t>(col);
+        for (std::size_t k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
+          const std::size_t i = cell_items_[k];
+          const double d2 = distance_sq(points_[i], query);
+          if (d2 < best_d2) {
+            best_d2 = d2;
+            best = i;
+          }
+        }
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<std::size_t> GridIndex::within(Vec2 query, double radius) const {
+  std::vector<std::size_t> hits;
+  if (points_.empty()) {
+    return hits;
+  }
+  CC_EXPECTS(radius >= 0.0, "within() needs a nonnegative radius");
+  const double r2 = radius * radius;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (distance_sq(points_[i], query) <= r2) {
+      hits.push_back(i);
+    }
+  }
+  return hits;
+}
+
+}  // namespace cc::geom

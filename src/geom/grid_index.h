@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file grid_index.h
+/// Uniform spatial hash grid over a point set. Used for nearest-charger
+/// queries so large-instance algorithms (CCSGA) avoid O(n·m) rescans.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geom/vec2.h"
+
+namespace cc::geom {
+
+/// Immutable spatial index over a fixed point set.
+///
+/// Cell size is chosen from the point density at build time. Queries fall
+/// back to exhaustive scan transparently when the grid would not help
+/// (tiny point sets), so callers never special-case.
+class GridIndex {
+ public:
+  /// Builds an index over `points`. Indices returned by queries refer to
+  /// positions in this span. The span's contents are copied.
+  explicit GridIndex(std::span<const Vec2> points);
+
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+
+  /// Index of the point nearest to `query`. Requires a nonempty index.
+  [[nodiscard]] std::size_t nearest(Vec2 query) const;
+
+  /// Indices of all points within `radius` of `query` (inclusive),
+  /// in ascending index order.
+  [[nodiscard]] std::vector<std::size_t> within(Vec2 query,
+                                                double radius) const;
+
+ private:
+  [[nodiscard]] std::size_t cell_of(Vec2 p) const noexcept;
+
+  std::vector<Vec2> points_;
+  Rect bounds_{};
+  double cell_size_ = 1.0;
+  std::size_t cols_ = 1;
+  std::size_t grid_rows_ = 1;
+  // CSR layout: cell_start_[c]..cell_start_[c+1] indexes into cell_items_.
+  std::vector<std::size_t> cell_start_;
+  std::vector<std::size_t> cell_items_;
+};
+
+}  // namespace cc::geom

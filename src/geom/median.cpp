@@ -1,0 +1,90 @@
+#include "geom/median.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace cc::geom {
+
+double weber_cost(Vec2 x, std::span<const Vec2> points,
+                  std::span<const double> weights) {
+  CC_EXPECTS(points.size() == weights.size(),
+             "one weight per point required");
+  double total = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    total += weights[i] * distance(x, points[i]);
+  }
+  return total;
+}
+
+Vec2 weighted_geometric_median(std::span<const Vec2> points,
+                               std::span<const double> weights,
+                               const MedianOptions& options) {
+  CC_EXPECTS(!points.empty(), "median of an empty point set");
+  CC_EXPECTS(points.size() == weights.size(),
+             "one weight per point required");
+  for (double w : weights) {
+    CC_EXPECTS(w > 0.0, "median weights must be positive");
+  }
+  if (points.size() == 1) {
+    return points.front();
+  }
+
+  // Start from the weighted centroid.
+  Vec2 x{0.0, 0.0};
+  double weight_sum = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    x += points[i] * weights[i];
+    weight_sum += weights[i];
+  }
+  x *= 1.0 / weight_sum;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    Vec2 numerator{0.0, 0.0};
+    double denominator = 0.0;
+    bool at_anchor = false;
+    std::size_t anchor = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const double d = distance(x, points[i]);
+      if (d < 1e-12) {
+        at_anchor = true;
+        anchor = i;
+        continue;
+      }
+      const double factor = weights[i] / d;
+      numerator += points[i] * factor;
+      denominator += factor;
+    }
+    if (denominator == 0.0) {
+      return x;  // all points coincide with x
+    }
+    Vec2 next = numerator * (1.0 / denominator);
+    if (at_anchor) {
+      // Vardi–Zhang correction: the anchor is optimal iff the pull of
+      // the other points does not exceed its weight.
+      const Vec2 pull = numerator - x * denominator;
+      const double pull_norm = pull.norm();
+      const double anchor_weight = weights[anchor];
+      if (pull_norm <= anchor_weight) {
+        return x;
+      }
+      const double step = 1.0 - anchor_weight / pull_norm;
+      next = x + (next - x) * step;
+    }
+    const double moved = distance(next, x);
+    x = next;
+    if (moved < options.tolerance) {
+      break;
+    }
+  }
+  return x;
+}
+
+Vec2 geometric_median(std::span<const Vec2> points,
+                      const MedianOptions& options) {
+  const std::vector<double> ones(points.size(), 1.0);
+  return weighted_geometric_median(points, ones, options);
+}
+
+}  // namespace cc::geom

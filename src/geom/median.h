@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file median.h
+/// Weighted geometric median (Fermat–Weber point) via Weiszfeld's
+/// algorithm — the optimal gathering point of a coalition when devices
+/// pay per meter traveled. Used by the mobile-charger service planner.
+
+#include <span>
+
+#include "geom/vec2.h"
+
+namespace cc::geom {
+
+struct MedianOptions {
+  int max_iterations = 200;
+  double tolerance = 1e-9;  ///< movement per step that counts as converged
+};
+
+/// The point minimizing Σ w_i · ‖x − p_i‖. Weights must be positive and
+/// match `points` in size; requires at least one point. Weiszfeld
+/// iteration with the standard singularity guard (an iterate landing on
+/// an anchor point is perturbed by the anchor's subgradient condition).
+[[nodiscard]] Vec2 weighted_geometric_median(std::span<const Vec2> points,
+                                             std::span<const double> weights,
+                                             const MedianOptions& options = {});
+
+/// Unweighted convenience overload.
+[[nodiscard]] Vec2 geometric_median(std::span<const Vec2> points,
+                                    const MedianOptions& options = {});
+
+/// Objective value Σ w_i · ‖x − p_i‖ at a candidate point.
+[[nodiscard]] double weber_cost(Vec2 x, std::span<const Vec2> points,
+                                std::span<const double> weights);
+
+}  // namespace cc::geom

@@ -1,0 +1,11 @@
+#include "geom/vec2.h"
+
+#include <ostream>
+
+namespace cc::geom {
+
+std::ostream& operator<<(std::ostream& out, Vec2 v) {
+  return out << '(' << v.x << ", " << v.y << ')';
+}
+
+}  // namespace cc::geom

@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file vec2.h
+/// 2-D geometry primitives used for device/charger positions.
+
+#include <cmath>
+#include <iosfwd>
+
+namespace cc::geom {
+
+/// A point or displacement in the plane. Plain value type (C.1).
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2& operator+=(Vec2 rhs) noexcept {
+    x += rhs.x;
+    y += rhs.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(Vec2 rhs) noexcept {
+    x -= rhs.x;
+    y -= rhs.y;
+    return *this;
+  }
+  constexpr Vec2& operator*=(double s) noexcept {
+    x *= s;
+    y *= s;
+    return *this;
+  }
+
+  [[nodiscard]] double norm() const noexcept { return std::hypot(x, y); }
+  [[nodiscard]] constexpr double norm_sq() const noexcept {
+    return x * x + y * y;
+  }
+
+  friend constexpr bool operator==(Vec2 a, Vec2 b) noexcept {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+[[nodiscard]] constexpr Vec2 operator+(Vec2 a, Vec2 b) noexcept {
+  return {a.x + b.x, a.y + b.y};
+}
+[[nodiscard]] constexpr Vec2 operator-(Vec2 a, Vec2 b) noexcept {
+  return {a.x - b.x, a.y - b.y};
+}
+[[nodiscard]] constexpr Vec2 operator*(Vec2 a, double s) noexcept {
+  return {a.x * s, a.y * s};
+}
+[[nodiscard]] constexpr Vec2 operator*(double s, Vec2 a) noexcept {
+  return a * s;
+}
+[[nodiscard]] constexpr double dot(Vec2 a, Vec2 b) noexcept {
+  return a.x * b.x + a.y * b.y;
+}
+
+/// Euclidean distance.
+[[nodiscard]] inline double distance(Vec2 a, Vec2 b) noexcept {
+  return (a - b).norm();
+}
+
+[[nodiscard]] constexpr double distance_sq(Vec2 a, Vec2 b) noexcept {
+  return (a - b).norm_sq();
+}
+
+/// Point on the segment a→b at parameter t in [0, 1].
+[[nodiscard]] constexpr Vec2 lerp(Vec2 a, Vec2 b, double t) noexcept {
+  return {a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t};
+}
+
+std::ostream& operator<<(std::ostream& out, Vec2 v);
+
+/// Axis-aligned rectangle, used as the deployment field.
+struct Rect {
+  Vec2 lo;
+  Vec2 hi;
+
+  [[nodiscard]] constexpr double width() const noexcept { return hi.x - lo.x; }
+  [[nodiscard]] constexpr double height() const noexcept {
+    return hi.y - lo.y;
+  }
+  [[nodiscard]] constexpr bool contains(Vec2 p) const noexcept {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+  /// Closest point of the rectangle to `p` (p itself if inside).
+  [[nodiscard]] constexpr Vec2 clamp(Vec2 p) const noexcept {
+    const double cx = p.x < lo.x ? lo.x : (p.x > hi.x ? hi.x : p.x);
+    const double cy = p.y < lo.y ? lo.y : (p.y > hi.y ? hi.y : p.y);
+    return {cx, cy};
+  }
+};
+
+}  // namespace cc::geom

@@ -1,0 +1,103 @@
+#include "lifetime/lifetime.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace cc::lifetime {
+
+double LifetimeReport::mean_outage_rate(int num_devices) const noexcept {
+  if (epochs.empty() || num_devices <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(total_outage_device_epochs) /
+         (static_cast<double>(epochs.size()) *
+          static_cast<double>(num_devices));
+}
+
+LifetimeReport run_lifetime(const core::Instance& instance,
+                            const core::Scheduler& scheduler,
+                            const LifetimeConfig& config) {
+  CC_EXPECTS(config.epochs > 0, "lifetime needs at least one epoch");
+  CC_EXPECTS(config.epoch_seconds > 0.0, "epoch length must be positive");
+  CC_EXPECTS(config.request_threshold > 0.0 &&
+                 config.request_threshold <= 1.0,
+             "request threshold must lie in (0, 1]");
+  CC_EXPECTS(config.mean_draw_w > 0.0, "mean draw must be positive");
+
+  const int n = instance.num_devices();
+  util::Rng rng(config.seed);
+  std::vector<double> draw_w(static_cast<std::size_t>(n));
+  for (double& r : draw_w) {
+    r = config.mean_draw_w * rng.uniform(0.5, 1.5);
+  }
+  std::vector<double> level(static_cast<std::size_t>(n));
+  std::vector<double> capacity(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    capacity[static_cast<std::size_t>(i)] =
+        instance.device(i).battery_capacity_j;
+    level[static_cast<std::size_t>(i)] =
+        capacity[static_cast<std::size_t>(i)];
+  }
+
+  LifetimeReport report;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    EpochStats stats;
+
+    // 1) Gather recharge requests.
+    std::vector<core::DeviceId> requesters;
+    for (int i = 0; i < n; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      if (level[idx] / capacity[idx] <= config.request_threshold) {
+        requesters.push_back(i);
+      }
+    }
+    stats.requesters = static_cast<int>(requesters.size());
+    report.total_requests += stats.requesters;
+
+    // 2) Schedule and serve them (charged to full).
+    if (!requesters.empty()) {
+      std::vector<core::Device> devices;
+      devices.reserve(requesters.size());
+      for (core::DeviceId i : requesters) {
+        core::Device d = instance.device(i);
+        const auto idx = static_cast<std::size_t>(i);
+        d.demand_j = capacity[idx] - level[idx];
+        devices.push_back(d);
+      }
+      std::vector<core::Charger> chargers(instance.chargers().begin(),
+                                          instance.chargers().end());
+      const core::Instance epoch_instance(std::move(devices),
+                                          std::move(chargers),
+                                          instance.params());
+      const core::CostModel cost(epoch_instance);
+      const auto result = scheduler.run(epoch_instance);
+      result.schedule.validate(epoch_instance);
+      stats.scheduled_cost = result.schedule.total_cost(cost);
+      for (std::size_t local = 0; local < requesters.size(); ++local) {
+        const auto idx = static_cast<std::size_t>(requesters[local]);
+        stats.energy_delivered_j += capacity[idx] - level[idx];
+        level[idx] = capacity[idx];
+      }
+    }
+
+    // 3) The epoch's sensing drain; empty batteries are outages.
+    for (int i = 0; i < n; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      level[idx] -= draw_w[idx] * config.epoch_seconds;
+      if (level[idx] <= 0.0) {
+        level[idx] = 0.0;
+        ++stats.outage_devices;
+      }
+    }
+
+    report.total_cost += stats.scheduled_cost;
+    report.total_energy_j += stats.energy_delivered_j;
+    report.total_outage_device_epochs += stats.outage_devices;
+    report.epochs.push_back(stats);
+  }
+  return report;
+}
+
+}  // namespace cc::lifetime

@@ -1,0 +1,112 @@
+#include "mobile/planner.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace cc::mobile {
+
+double MobilePlan::makespan_s() const noexcept {
+  double makespan = 0.0;
+  for (const Route& route : routes) {
+    makespan = std::max(makespan, route.completion_time_s);
+  }
+  return makespan;
+}
+
+MobilePlan plan_mobile_service(const core::Instance& instance,
+                               const core::Schedule& schedule,
+                               const MobileParams& params) {
+  CC_EXPECTS(params.charger_unit_cost >= 0.0,
+             "charger travel cost must be nonnegative");
+  CC_EXPECTS(params.charger_speed_m_per_s > 0.0,
+             "charger speed must be positive");
+  schedule.validate(instance);
+  const core::CostModel cost(instance);
+
+  // Group the schedule's coalitions by their assigned charger.
+  std::vector<std::vector<std::size_t>> by_charger(
+      static_cast<std::size_t>(instance.num_chargers()));
+  const auto coalitions = schedule.coalitions();
+  for (std::size_t k = 0; k < coalitions.size(); ++k) {
+    by_charger[static_cast<std::size_t>(coalitions[k].charger)].push_back(k);
+  }
+
+  MobilePlan plan;
+  for (core::ChargerId j = 0; j < instance.num_chargers(); ++j) {
+    const auto& mine = by_charger[static_cast<std::size_t>(j)];
+    if (mine.empty()) {
+      continue;
+    }
+    Route route;
+    route.charger = j;
+
+    // Rendezvous per coalition: weighted geometric median of members.
+    std::vector<geom::Vec2> stops;
+    stops.reserve(mine.size());
+    for (std::size_t k : mine) {
+      const core::Coalition& coalition = coalitions[k];
+      std::vector<geom::Vec2> positions;
+      std::vector<double> weights;
+      positions.reserve(coalition.members.size());
+      weights.reserve(coalition.members.size());
+      for (core::DeviceId i : coalition.members) {
+        positions.push_back(instance.device(i).position);
+        weights.push_back(
+            std::max(instance.device(i).motion.unit_cost, 1e-9));
+      }
+      stops.push_back(
+          geom::weighted_geometric_median(positions, weights));
+    }
+
+    const Tour tour = plan_tour(instance.charger(j).position, stops,
+                                params.return_home);
+    route.travel_length_m = tour.length;
+    route.travel_cost = params.charger_unit_cost * tour.length;
+
+    // Assemble visits in tour order; accumulate the timeline.
+    double clock = 0.0;
+    geom::Vec2 at = instance.charger(j).position;
+    const double trip_factor = instance.params().round_trip ? 2.0 : 1.0;
+    for (std::size_t idx : tour.order) {
+      const std::size_t k = mine[idx];
+      const core::Coalition& coalition = coalitions[k];
+      Visit visit;
+      visit.coalition_index = k;
+      visit.rendezvous = stops[idx];
+      visit.session_time_s = cost.session_time(j, coalition.members);
+      visit.session_fee = cost.session_fee(j, coalition.members);
+      for (core::DeviceId i : coalition.members) {
+        visit.device_move_cost +=
+            instance.params().move_weight *
+            instance.device(i).motion.unit_cost *
+            geom::distance(instance.device(i).position, visit.rendezvous) *
+            trip_factor;
+      }
+      clock += geom::distance(at, visit.rendezvous) /
+               params.charger_speed_m_per_s;
+      at = visit.rendezvous;
+      clock += visit.session_time_s;
+
+      plan.total_fee += visit.session_fee;
+      plan.total_device_move += visit.device_move_cost;
+      route.visits.push_back(std::move(visit));
+    }
+    if (params.return_home) {
+      clock += geom::distance(at, instance.charger(j).position) /
+               params.charger_speed_m_per_s;
+    }
+    route.completion_time_s = clock;
+    plan.total_charger_travel += route.travel_cost;
+    plan.routes.push_back(std::move(route));
+  }
+  return plan;
+}
+
+double static_service_cost(const core::Instance& instance,
+                           const core::Schedule& schedule) {
+  const core::CostModel cost(instance);
+  return schedule.total_cost(cost);
+}
+
+}  // namespace cc::mobile

@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file planner.h
+/// Mobile-charger service planning — an extension of the CCS model for
+/// *mobile* WRSNs (the deployment mode the paper's title points at).
+///
+/// In static service, coalition members all travel to the charger's pad.
+/// In mobile service, the charger travels instead: each coalition meets
+/// at a *rendezvous point* (the weighted geometric median of its members'
+/// positions — optimal under per-meter device moving costs), and the
+/// charger tours its coalitions' rendezvous points (nearest-neighbour +
+/// 2-opt), charging each coalition in visiting order.
+///
+/// The comprehensive cost gains a charger-travel term:
+///   total = Σ session fees                    (unchanged formula)
+///         + Σ device moves to rendezvous      (shrinks vs static)
+///         + charger_unit_cost · tour lengths  (new)
+/// Whether mobile service wins depends on the charger/device moving-cost
+/// ratio — the crossover is what `bench_ext_mobile` maps.
+
+#include <vector>
+
+#include "core/schedule.h"
+#include "geom/median.h"
+#include "mobile/tsp.h"
+
+namespace cc::mobile {
+
+struct MobileParams {
+  double charger_unit_cost = 0.5;  ///< $ per meter of charger travel
+  double charger_speed_m_per_s = 5.0;
+  bool return_home = true;  ///< tour ends back at the charger's pad
+};
+
+/// One serviced stop on a charger's route.
+struct Visit {
+  std::size_t coalition_index;  ///< index into the source schedule
+  geom::Vec2 rendezvous;
+  double session_time_s = 0.0;
+  double session_fee = 0.0;
+  double device_move_cost = 0.0;  ///< members' travel to the rendezvous
+};
+
+/// A charger's route: ordered visits plus travel accounting.
+struct Route {
+  core::ChargerId charger = 0;
+  std::vector<Visit> visits;
+  double travel_length_m = 0.0;
+  double travel_cost = 0.0;
+  /// Time the charger finishes its last session (travel at
+  /// charger_speed + session durations, sequential).
+  double completion_time_s = 0.0;
+};
+
+struct MobilePlan {
+  std::vector<Route> routes;  ///< one per charger that serves anyone
+  double total_fee = 0.0;
+  double total_device_move = 0.0;
+  double total_charger_travel = 0.0;
+
+  [[nodiscard]] double total_cost() const noexcept {
+    return total_fee + total_device_move + total_charger_travel;
+  }
+  [[nodiscard]] double makespan_s() const noexcept;
+};
+
+/// Plans mobile service for an existing cooperative `schedule` (any
+/// scheduler's output — the partition and charger assignment are kept,
+/// the service points move). The schedule must validate.
+[[nodiscard]] MobilePlan plan_mobile_service(const core::Instance& instance,
+                                             const core::Schedule& schedule,
+                                             const MobileParams& params = {});
+
+/// Static-service cost of the same schedule, for comparison.
+[[nodiscard]] double static_service_cost(const core::Instance& instance,
+                                         const core::Schedule& schedule);
+
+}  // namespace cc::mobile

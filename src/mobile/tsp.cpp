@@ -1,0 +1,88 @@
+#include "mobile/tsp.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/assert.h"
+
+namespace cc::mobile {
+
+double tour_length(geom::Vec2 depot, std::span<const geom::Vec2> stops,
+                   std::span<const std::size_t> order,
+                   bool return_to_depot) {
+  CC_EXPECTS(order.size() == stops.size(),
+             "order must cover every stop exactly once");
+  if (stops.empty()) {
+    return 0.0;
+  }
+  double length = 0.0;
+  geom::Vec2 at = depot;
+  for (std::size_t idx : order) {
+    CC_EXPECTS(idx < stops.size(), "tour order index out of range");
+    length += geom::distance(at, stops[idx]);
+    at = stops[idx];
+  }
+  if (return_to_depot) {
+    length += geom::distance(at, depot);
+  }
+  return length;
+}
+
+Tour plan_tour(geom::Vec2 depot, std::span<const geom::Vec2> stops,
+               bool return_to_depot) {
+  Tour tour;
+  if (stops.empty()) {
+    return tour;
+  }
+
+  // Nearest-neighbour construction.
+  std::vector<char> visited(stops.size(), 0);
+  geom::Vec2 at = depot;
+  for (std::size_t step = 0; step < stops.size(); ++step) {
+    std::size_t best = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < stops.size(); ++i) {
+      if (visited[i]) {
+        continue;
+      }
+      const double d = geom::distance(at, stops[i]);
+      if (d < best_d) {
+        best_d = d;
+        best = i;
+      }
+    }
+    visited[best] = 1;
+    tour.order.push_back(best);
+    at = stops[best];
+  }
+
+  // 2-opt: reverse segments while it shortens the tour.
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    const double current = tour_length(depot, stops, tour.order,
+                                       return_to_depot);
+    for (std::size_t i = 0; i < tour.order.size() && !improved; ++i) {
+      for (std::size_t k = i + 1; k < tour.order.size() && !improved;
+           ++k) {
+        std::reverse(tour.order.begin() + static_cast<std::ptrdiff_t>(i),
+                     tour.order.begin() + static_cast<std::ptrdiff_t>(k) +
+                         1);
+        const double candidate =
+            tour_length(depot, stops, tour.order, return_to_depot);
+        if (candidate + 1e-12 < current) {
+          improved = true;  // keep the reversal
+        } else {
+          std::reverse(
+              tour.order.begin() + static_cast<std::ptrdiff_t>(i),
+              tour.order.begin() + static_cast<std::ptrdiff_t>(k) + 1);
+        }
+      }
+    }
+  }
+  tour.length = tour_length(depot, stops, tour.order, return_to_depot);
+  return tour;
+}
+
+}  // namespace cc::mobile

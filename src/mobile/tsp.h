@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file tsp.h
+/// Route construction for mobile chargers: nearest-neighbour tours from
+/// a depot, improved by 2-opt. Open tours (end at the last stop) and
+/// closed tours (return to the depot) are both supported.
+
+#include <span>
+#include <vector>
+
+#include "geom/vec2.h"
+
+namespace cc::mobile {
+
+struct Tour {
+  std::vector<std::size_t> order;  ///< visiting order, indices into stops
+  double length = 0.0;             ///< total travel distance
+};
+
+/// Length of visiting `stops` in the given order starting from `depot`,
+/// optionally returning there.
+[[nodiscard]] double tour_length(geom::Vec2 depot,
+                                 std::span<const geom::Vec2> stops,
+                                 std::span<const std::size_t> order,
+                                 bool return_to_depot);
+
+/// Nearest-neighbour construction followed by 2-opt improvement until no
+/// exchange shortens the tour. Handles the empty and singleton cases.
+[[nodiscard]] Tour plan_tour(geom::Vec2 depot,
+                             std::span<const geom::Vec2> stops,
+                             bool return_to_depot);
+
+}  // namespace cc::mobile

@@ -1,0 +1,214 @@
+#include "placement/placement.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace cc::placement {
+
+namespace {
+
+std::vector<geom::Vec2> candidate_grid(const core::Instance& devices,
+                                       int grid_side) {
+  geom::Vec2 lo = devices.device(0).position;
+  geom::Vec2 hi = lo;
+  for (const auto& d : devices.devices()) {
+    lo.x = std::min(lo.x, d.position.x);
+    lo.y = std::min(lo.y, d.position.y);
+    hi.x = std::max(hi.x, d.position.x);
+    hi.y = std::max(hi.y, d.position.y);
+  }
+  std::vector<geom::Vec2> sites;
+  sites.reserve(static_cast<std::size_t>(grid_side) *
+                static_cast<std::size_t>(grid_side));
+  for (int r = 0; r < grid_side; ++r) {
+    for (int c = 0; c < grid_side; ++c) {
+      const double fx = grid_side == 1
+                            ? 0.5
+                            : static_cast<double>(c) / (grid_side - 1);
+      const double fy = grid_side == 1
+                            ? 0.5
+                            : static_cast<double>(r) / (grid_side - 1);
+      sites.push_back(geom::lerp(lo, {hi.x, lo.y}, fx) +
+                      geom::Vec2{0.0, (hi.y - lo.y) * fy});
+    }
+  }
+  return sites;
+}
+
+void validate_config(const PlacementConfig& config) {
+  CC_EXPECTS(config.num_chargers > 0, "need at least one charger");
+  CC_EXPECTS(config.grid_side > 0, "grid side must be positive");
+  CC_EXPECTS(config.grid_side * config.grid_side >= config.num_chargers,
+             "candidate grid smaller than the requested charger count");
+  CC_EXPECTS(config.power_w > 0.0 && config.price_per_s >= 0.0,
+             "invalid charger prototype");
+  CC_EXPECTS(config.swap_passes >= 0, "swap passes must be nonnegative");
+}
+
+class Oracle {
+ public:
+  Oracle(const core::Instance& devices, const PlacementConfig& config)
+      : devices_(devices),
+        config_(config),
+        scheduler_(core::make_scheduler(config.evaluator)) {}
+
+  [[nodiscard]] double cost(std::span<const geom::Vec2> sites) {
+    ++evaluations_;
+    const core::Instance instance =
+        instance_with_sites(devices_, sites, config_);
+    const core::CostModel model(instance);
+    return scheduler_->run(instance).schedule.total_cost(model);
+  }
+
+  [[nodiscard]] long evaluations() const noexcept { return evaluations_; }
+
+ private:
+  const core::Instance& devices_;
+  const PlacementConfig& config_;
+  std::unique_ptr<core::Scheduler> scheduler_;
+  long evaluations_ = 0;
+};
+
+}  // namespace
+
+core::Instance instance_with_sites(const core::Instance& devices_template,
+                                   std::span<const geom::Vec2> sites,
+                                   const PlacementConfig& config) {
+  CC_EXPECTS(!sites.empty(), "need at least one site");
+  std::vector<core::Device> devices(devices_template.devices().begin(),
+                                    devices_template.devices().end());
+  std::vector<core::Charger> chargers;
+  chargers.reserve(sites.size());
+  for (const geom::Vec2 site : sites) {
+    core::Charger c;
+    c.position = site;
+    c.power_w = config.power_w;
+    c.price_per_s = config.price_per_s;
+    chargers.push_back(c);
+  }
+  return core::Instance(std::move(devices), std::move(chargers),
+                        devices_template.params());
+}
+
+PlacementResult choose_placement(const core::Instance& devices_template,
+                                 const PlacementConfig& config) {
+  validate_config(config);
+  const std::vector<geom::Vec2> candidates =
+      candidate_grid(devices_template, config.grid_side);
+  Oracle oracle(devices_template, config);
+
+  // Greedy addition.
+  std::vector<geom::Vec2> chosen;
+  std::vector<char> used(candidates.size(), 0);
+  for (int step = 0; step < config.num_chargers; ++step) {
+    double best_cost = std::numeric_limits<double>::infinity();
+    std::size_t best_site = 0;
+    for (std::size_t s = 0; s < candidates.size(); ++s) {
+      if (used[s]) {
+        continue;
+      }
+      chosen.push_back(candidates[s]);
+      const double c = oracle.cost(chosen);
+      chosen.pop_back();
+      if (c < best_cost) {
+        best_cost = c;
+        best_site = s;
+      }
+    }
+    used[best_site] = 1;
+    chosen.push_back(candidates[best_site]);
+  }
+
+  // Swap-based local search.
+  double current = oracle.cost(chosen);
+  for (int pass = 0; pass < config.swap_passes; ++pass) {
+    bool improved = false;
+    for (std::size_t out = 0; out < chosen.size(); ++out) {
+      for (std::size_t in = 0; in < candidates.size(); ++in) {
+        if (used[in]) {
+          continue;
+        }
+        const geom::Vec2 removed = chosen[out];
+        chosen[out] = candidates[in];
+        const double c = oracle.cost(chosen);
+        if (c + 1e-9 < current) {
+          current = c;
+          improved = true;
+          // Mark bookkeeping: find removed in candidates to free it.
+          for (std::size_t s = 0; s < candidates.size(); ++s) {
+            if (candidates[s] == removed) {
+              used[s] = 0;
+              break;
+            }
+          }
+          used[in] = 1;
+        } else {
+          chosen[out] = removed;
+        }
+      }
+    }
+    if (!improved) {
+      break;
+    }
+  }
+
+  PlacementResult result;
+  result.sites = std::move(chosen);
+  result.scheduled_cost = current;
+  result.evaluations = oracle.evaluations();
+  return result;
+}
+
+PlacementResult random_placement(const core::Instance& devices_template,
+                                 const PlacementConfig& config,
+                                 std::uint64_t seed) {
+  validate_config(config);
+  const std::vector<geom::Vec2> candidates =
+      candidate_grid(devices_template, config.grid_side);
+  util::Rng rng(seed);
+  std::vector<std::size_t> order(candidates.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  rng.shuffle(order);
+  PlacementResult result;
+  for (int k = 0; k < config.num_chargers; ++k) {
+    result.sites.push_back(candidates[order[static_cast<std::size_t>(k)]]);
+  }
+  Oracle oracle(devices_template, config);
+  result.scheduled_cost = oracle.cost(result.sites);
+  result.evaluations = oracle.evaluations();
+  return result;
+}
+
+PlacementResult lattice_placement(const core::Instance& devices_template,
+                                  const PlacementConfig& config) {
+  validate_config(config);
+  const std::vector<geom::Vec2> candidates =
+      candidate_grid(devices_template, config.grid_side);
+  // Spread the k sites evenly through the lattice ordering.
+  PlacementResult result;
+  const std::size_t stride =
+      std::max<std::size_t>(1, candidates.size() /
+                                   static_cast<std::size_t>(
+                                       config.num_chargers));
+  for (std::size_t s = 0;
+       s < candidates.size() &&
+       result.sites.size() < static_cast<std::size_t>(config.num_chargers);
+       s += stride) {
+    result.sites.push_back(candidates[s]);
+  }
+  while (result.sites.size() <
+         static_cast<std::size_t>(config.num_chargers)) {
+    result.sites.push_back(candidates.back());
+  }
+  Oracle oracle(devices_template, config);
+  result.scheduled_cost = oracle.cost(result.sites);
+  result.evaluations = oracle.evaluations();
+  return result;
+}
+
+}  // namespace cc::placement

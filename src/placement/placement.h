@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file placement.h
+/// Charger placement — the service provider's planning problem.
+///
+/// Before any scheduling happens, somebody decided where the chargers
+/// stand. This module optimizes that decision for a known device
+/// population: pick k sites from a candidate grid so that the resulting
+/// *scheduled* comprehensive cost (under a chosen scheduler, CCSA by
+/// default) is minimal. Greedy site addition — the classic k-median
+/// recipe — followed by swap-based local search, with random and uniform
+/// -grid placements as baselines. The evaluation oracle runs the actual
+/// scheduler, so placement directly optimizes what customers will pay
+/// under cooperative service, not a geometric proxy.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/generator.h"
+#include "core/scheduler.h"
+#include "geom/vec2.h"
+
+namespace cc::placement {
+
+struct PlacementConfig {
+  int num_chargers = 6;
+  /// Candidate sites form a grid_side × grid_side lattice over the
+  /// devices' bounding box.
+  int grid_side = 6;
+  /// Prototype hardware installed at every chosen site.
+  double power_w = 5.0;
+  double price_per_s = 0.5;
+  /// Scheduler used as the evaluation oracle.
+  std::string evaluator = "ccsa";
+  /// Swap-improvement passes after the greedy phase.
+  int swap_passes = 2;
+};
+
+struct PlacementResult {
+  std::vector<geom::Vec2> sites;
+  double scheduled_cost = 0.0;  ///< oracle cost of the final placement
+  long evaluations = 0;         ///< oracle invocations spent
+};
+
+/// Builds the instance "devices + chargers at `sites`" (prototype
+/// hardware, params copied from the template instance).
+[[nodiscard]] core::Instance instance_with_sites(
+    const core::Instance& devices_template,
+    std::span<const geom::Vec2> sites, const PlacementConfig& config);
+
+/// Greedy + swap placement. `devices_template` provides the device
+/// population and cost params (its chargers are ignored).
+[[nodiscard]] PlacementResult choose_placement(
+    const core::Instance& devices_template, const PlacementConfig& config);
+
+/// Baselines for the bench: k random candidates / the first k of a
+/// uniform lattice ordering (deterministic).
+[[nodiscard]] PlacementResult random_placement(
+    const core::Instance& devices_template, const PlacementConfig& config,
+    std::uint64_t seed);
+[[nodiscard]] PlacementResult lattice_placement(
+    const core::Instance& devices_template, const PlacementConfig& config);
+
+}  // namespace cc::placement

@@ -1,0 +1,280 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "energy/battery.h"
+#include "energy/motion.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace cc::sim {
+
+namespace {
+
+struct CoalitionState {
+  int arrivals_pending = 0;
+  bool started = false;
+  bool finished = false;
+};
+
+struct ChargerState {
+  bool busy = false;
+  std::deque<int> waiting;  // coalition indices, FIFO by readiness
+};
+
+}  // namespace
+
+SimReport simulate(const core::Instance& instance,
+                   const core::Schedule& schedule,
+                   core::SharingScheme scheme, const SimOptions& options) {
+  schedule.validate(instance);
+  const core::CostModel cost(instance);
+
+  std::vector<double> power_factor = options.charger_power_factor;
+  if (power_factor.empty()) {
+    power_factor.assign(static_cast<std::size_t>(instance.num_chargers()),
+                        1.0);
+  }
+  CC_EXPECTS(static_cast<int>(power_factor.size()) ==
+                 instance.num_chargers(),
+             "one power factor per charger required");
+  for (double f : power_factor) {
+    CC_EXPECTS(f > 0.0, "power factors must be positive");
+  }
+
+  const auto coalitions = schedule.coalitions();
+  SimReport report;
+  report.devices.resize(static_cast<std::size_t>(instance.num_devices()));
+  report.coalitions.resize(coalitions.size());
+
+  std::vector<CoalitionState> cstate(coalitions.size());
+  std::vector<ChargerState> charger_state(
+      static_cast<std::size_t>(instance.num_chargers()));
+  std::vector<energy::Battery> batteries;
+  batteries.reserve(static_cast<std::size_t>(instance.num_devices()));
+  for (int i = 0; i < instance.num_devices(); ++i) {
+    const core::Device& d = instance.device(i);
+    batteries.emplace_back(d.battery_capacity_j,
+                           d.battery_capacity_j - d.demand_j);
+  }
+
+  // Failure injection: crashes decided up front, deterministically.
+  CC_EXPECTS(options.device_failure_prob >= 0.0 &&
+                 options.device_failure_prob <= 1.0,
+             "failure probability must lie in [0, 1]");
+  std::vector<char> failed(static_cast<std::size_t>(instance.num_devices()),
+                           0);
+  if (options.device_failure_prob > 0.0) {
+    util::Rng failure_rng(options.failure_seed);
+    for (int i = 0; i < instance.num_devices(); ++i) {
+      if (failure_rng.bernoulli(options.device_failure_prob)) {
+        failed[static_cast<std::size_t>(i)] = 1;
+        report.devices[static_cast<std::size_t>(i)].failed = true;
+      }
+    }
+  }
+  std::vector<std::vector<core::DeviceId>> survivors(coalitions.size());
+  for (std::size_t k = 0; k < coalitions.size(); ++k) {
+    for (core::DeviceId i : coalitions[k].members) {
+      if (!failed[static_cast<std::size_t>(i)]) {
+        survivors[k].push_back(i);
+      }
+    }
+  }
+
+  EventQueue queue;
+  for (std::size_t k = 0; k < coalitions.size(); ++k) {
+    cstate[k].arrivals_pending = static_cast<int>(survivors[k].size());
+    if (survivors[k].empty()) {
+      cstate[k].finished = true;  // nobody left to serve
+      continue;
+    }
+    for (core::DeviceId i : survivors[k]) {
+      queue.push(0.0, EventKind::kDeparture, static_cast<int>(k), i);
+    }
+  }
+
+  const auto realized_power = [&](core::ChargerId j) {
+    return instance.charger(j).power_w *
+           power_factor[static_cast<std::size_t>(j)];
+  };
+
+  // Expected session duration of a waiting coalition — the key its
+  // charger's queue discipline sorts by. Deficits are final once all
+  // members arrived (any travel drain has been applied).
+  const auto expected_duration = [&](std::size_t k) {
+    const core::ChargerId j = coalitions[k].charger;
+    double duration = 0.0;
+    for (core::DeviceId i : survivors[k]) {
+      const auto& battery = batteries[static_cast<std::size_t>(i)];
+      const double t =
+          options.cc_cv.has_value()
+              ? energy::cc_cv_charge_time_s(battery.level(),
+                                            battery.capacity(),
+                                            realized_power(j),
+                                            *options.cc_cv)
+              : battery.deficit() / realized_power(j);
+      duration = std::max(duration, t);
+    }
+    return duration;
+  };
+
+  const auto try_start_session = [&](core::ChargerId j, double now) {
+    auto& cs = charger_state[static_cast<std::size_t>(j)];
+    if (cs.busy || cs.waiting.empty()) {
+      return;
+    }
+    std::size_t pick = 0;
+    if (options.queue_policy != QueuePolicy::kFifo &&
+        cs.waiting.size() > 1) {
+      const bool shortest =
+          options.queue_policy == QueuePolicy::kShortestSessionFirst;
+      double best = expected_duration(
+          static_cast<std::size_t>(cs.waiting.front()));
+      for (std::size_t idx = 1; idx < cs.waiting.size(); ++idx) {
+        const double d = expected_duration(
+            static_cast<std::size_t>(cs.waiting[idx]));
+        if (shortest ? d < best : d > best) {
+          best = d;
+          pick = idx;
+        }
+      }
+    }
+    const int k = cs.waiting[pick];
+    cs.waiting.erase(cs.waiting.begin() +
+                     static_cast<std::ptrdiff_t>(pick));
+    cs.busy = true;
+    queue.push(now, EventKind::kSessionStart, k);
+  };
+
+  double now = 0.0;
+  while (!queue.empty()) {
+    const Event e = queue.pop();
+    CC_ASSERT(e.time >= now - 1e-12, "event times must be nondecreasing");
+    now = e.time;
+    ++report.events_processed;
+    if (options.record_trace) {
+      report.trace.push_back(
+          {now, static_cast<int>(e.kind), e.coalition, e.device});
+    }
+    const auto k = static_cast<std::size_t>(e.coalition);
+    const core::Coalition& coalition = coalitions[k];
+    const core::ChargerId j = coalition.charger;
+
+    switch (e.kind) {
+      case EventKind::kDeparture: {
+        const core::Device& d = instance.device(e.device);
+        const double dist = instance.distance(e.device, j);
+        const double travel = energy::travel_time_s(dist, d.motion);
+        auto& outcome =
+            report.devices[static_cast<std::size_t>(e.device)];
+        outcome.travel_time_s = travel;
+        outcome.move_cost = cost.move_cost(e.device, j);
+        queue.push(now + travel, EventKind::kArrival,
+                   e.coalition, e.device);
+        break;
+      }
+      case EventKind::kArrival: {
+        if (options.travel_drains_battery) {
+          const core::Device& d = instance.device(e.device);
+          const double drained = energy::move_energy_j(
+              instance.distance(e.device, j), d.motion);
+          (void)batteries[static_cast<std::size_t>(e.device)].discharge(
+              drained);
+        }
+        auto& cs = cstate[k];
+        --cs.arrivals_pending;
+        if (cs.arrivals_pending == 0) {
+          report.coalitions[k].ready_time_s = now;
+          charger_state[static_cast<std::size_t>(j)].waiting.push_back(
+              e.coalition);
+          try_start_session(j, now);
+        }
+        break;
+      }
+      case EventKind::kSessionStart: {
+        auto& cs = cstate[k];
+        CC_ASSERT(!cs.started, "coalition session started twice");
+        cs.started = true;
+        report.coalitions[k].start_time_s = now;
+        // The session runs until the neediest member completes. Without
+        // travel drain or CC-CV taper this is max deficit / power —
+        // exactly the analytic model.
+        double duration = 0.0;
+        for (core::DeviceId i : survivors[k]) {
+          const auto& battery = batteries[static_cast<std::size_t>(i)];
+          const double member_time =
+              options.cc_cv.has_value()
+                  ? energy::cc_cv_charge_time_s(
+                        battery.level(), battery.capacity(),
+                        realized_power(j), *options.cc_cv)
+                  : battery.deficit() / realized_power(j);
+          duration = std::max(duration, member_time);
+          report.devices[static_cast<std::size_t>(i)].wait_time_s =
+              now - (report.devices[static_cast<std::size_t>(i)]
+                         .travel_time_s);
+        }
+        queue.push(now + duration, EventKind::kSessionEnd, e.coalition);
+        break;
+      }
+      case EventKind::kSessionEnd: {
+        auto& cs = cstate[k];
+        cs.finished = true;
+        auto& coutcome = report.coalitions[k];
+        coutcome.end_time_s = now;
+        const double duration = now - coutcome.start_time_s;
+        coutcome.session_fee = instance.params().fee_weight *
+                               instance.charger(j).price_per_s * duration;
+        // Everyone charged concurrently until session end. Linear mode:
+        // duration·power clamped by the deficit. CC-CV mode: every
+        // member had at least its own completion time, so all reach the
+        // profile's target state of charge.
+        for (core::DeviceId i : survivors[k]) {
+          auto& outcome = report.devices[static_cast<std::size_t>(i)];
+          auto& battery = batteries[static_cast<std::size_t>(i)];
+          outcome.charge_time_s = duration;
+          if (options.cc_cv.has_value()) {
+            const double target_level =
+                options.cc_cv->target_soc * battery.capacity();
+            const double missing =
+                std::max(0.0, target_level - battery.level());
+            outcome.energy_received_j = battery.charge(missing);
+            outcome.fully_charged =
+                battery.level() >= target_level - 1e-9;
+          } else {
+            const double delivered = duration * realized_power(j);
+            outcome.energy_received_j = battery.charge(delivered);
+            outcome.fully_charged = battery.is_full();
+          }
+        }
+        // Split the realized fee by the active sharing scheme, scaled
+        // from the scheduled shares (which are proportional to the
+        // scheduled fee) to the realized fee.
+        const double scheduled_fee = cost.session_fee(j, survivors[k]);
+        const std::vector<double> scheduled_shares =
+            core::fee_shares(scheme, cost, j, survivors[k]);
+        for (std::size_t idx = 0; idx < survivors[k].size(); ++idx) {
+          const double weight =
+              scheduled_fee > 0.0
+                  ? scheduled_shares[idx] / scheduled_fee
+                  : 1.0 / static_cast<double>(survivors[k].size());
+          report.devices[static_cast<std::size_t>(survivors[k][idx])]
+              .fee_share = coutcome.session_fee * weight;
+        }
+        auto& chs = charger_state[static_cast<std::size_t>(j)];
+        chs.busy = false;
+        try_start_session(j, now);
+        break;
+      }
+    }
+    report.makespan_s = std::max(report.makespan_s, now);
+  }
+
+  for (const CoalitionState& cs : cstate) {
+    CC_ASSERT(cs.finished, "simulation ended with an unserved coalition");
+  }
+  return report;
+}
+
+}  // namespace cc::sim

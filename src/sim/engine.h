@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file engine.h
+/// Discrete-event execution of a cooperative charging schedule.
+///
+/// The simulator replays a `Schedule` physically: every device departs at
+/// t = 0 and travels to its coalition's charger; a coalition becomes
+/// ready when its last member arrives; each charger serves its ready
+/// coalitions one session at a time (FIFO by readiness); a session lasts
+/// until the neediest member is full at the charger's *realized* power.
+/// Fees are charged on realized session durations, which is how the
+/// testbed emulator turns hardware noise into measured costs.
+///
+/// With unit power factors and no charger contention, the realized
+/// comprehensive cost equals the analytic `Schedule::total_cost` — a
+/// fidelity property the test suite checks exactly.
+
+#include <optional>
+#include <vector>
+
+#include "core/schedule.h"
+#include "energy/wpt.h"
+#include "sim/event_queue.h"
+#include "sim/report.h"
+
+namespace cc::sim {
+
+/// Order in which a busy charger picks its next waiting coalition.
+/// Fees are unaffected (session durations do not depend on the order);
+/// waiting times are — shortest-session-first minimizes mean wait, the
+/// classic single-server scheduling result, quantified by
+/// `bench_ext_queue_policy`.
+enum class QueuePolicy {
+  kFifo,                  ///< by readiness time (default)
+  kShortestSessionFirst,  ///< SJF on expected session duration
+  kLongestSessionFirst,   ///< LJF — the adversarial comparison point
+};
+
+struct SimOptions {
+  QueuePolicy queue_policy = QueuePolicy::kFifo;
+  /// Multiplier on each charger's nominal power for this run (hardware
+  /// noise hook). Empty ⇒ all 1.0. Size must equal the charger count
+  /// otherwise.
+  std::vector<double> charger_power_factor;
+  bool record_trace = false;
+  /// When set, traveling to the charger drains each device's battery at
+  /// its `MotionParams::joules_per_m` rate, so sessions run longer than
+  /// the analytic model assumed (realized fees grow accordingly). The
+  /// analytic model ignores this (its demands are measured at the post),
+  /// which is exactly the gap this knob lets experiments quantify.
+  bool travel_drains_battery = false;
+  /// Optional CC-CV charging realism: batteries taper above the knee
+  /// and "complete" at target_soc < 1, so sessions take longer than the
+  /// linear model. Disabled (linear charging) when unset.
+  std::optional<energy::CcCvProfile> cc_cv;
+  /// Failure injection: each device independently crashes before
+  /// departure with this probability (drawn deterministically from
+  /// `failure_seed`). Crashed devices never travel or charge; their
+  /// coalition's session proceeds with the survivors, who share the
+  /// (survivor-only) fee. A coalition whose members all crash is
+  /// skipped at zero cost.
+  double device_failure_prob = 0.0;
+  std::uint64_t failure_seed = 1234;
+};
+
+/// Runs the schedule to completion and reports realized quantities.
+/// `scheme` controls how each coalition's realized fee is split into
+/// per-device `fee_share`s. The schedule must validate against the
+/// instance.
+[[nodiscard]] SimReport simulate(const core::Instance& instance,
+                                 const core::Schedule& schedule,
+                                 core::SharingScheme scheme,
+                                 const SimOptions& options = {});
+
+}  // namespace cc::sim

@@ -1,0 +1,30 @@
+#include "sim/event_queue.h"
+
+#include "util/assert.h"
+
+namespace cc::sim {
+
+void EventQueue::push(double time, EventKind kind, int coalition, int device) {
+  CC_EXPECTS(time >= 0.0, "event time must be nonnegative");
+  Event e;
+  e.time = time;
+  e.seq = next_seq_++;
+  e.kind = kind;
+  e.coalition = coalition;
+  e.device = device;
+  heap_.push(e);
+}
+
+Event EventQueue::pop() {
+  CC_EXPECTS(!heap_.empty(), "pop from an empty event queue");
+  Event e = heap_.top();
+  heap_.pop();
+  return e;
+}
+
+double EventQueue::peek_time() const {
+  CC_EXPECTS(!heap_.empty(), "peek into an empty event queue");
+  return heap_.top().time;
+}
+
+}  // namespace cc::sim

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file event_queue.h
+/// Discrete-event core: a time-ordered queue with deterministic
+/// tie-breaking (insertion sequence), the kernel of the WRSN simulator.
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace cc::sim {
+
+enum class EventKind {
+  kDeparture,     ///< device leaves its post toward the charger
+  kArrival,       ///< device reaches the charger pad
+  kSessionStart,  ///< charger begins serving a coalition
+  kSessionEnd,    ///< coalition fully charged, charger freed
+};
+
+struct Event {
+  double time = 0.0;
+  std::uint64_t seq = 0;  ///< deterministic FIFO tie-break
+  EventKind kind = EventKind::kDeparture;
+  int coalition = -1;     ///< index into the schedule's coalitions
+  int device = -1;        ///< device id (departure/arrival only)
+};
+
+/// Min-heap on (time, seq).
+class EventQueue {
+ public:
+  void push(double time, EventKind kind, int coalition, int device = -1);
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Removes and returns the earliest event. Requires a nonempty queue.
+  [[nodiscard]] Event pop();
+
+  /// Earliest pending time. Requires a nonempty queue.
+  [[nodiscard]] double peek_time() const;
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace cc::sim

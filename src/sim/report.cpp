@@ -1,0 +1,27 @@
+#include "sim/report.h"
+
+namespace cc::sim {
+
+double SimReport::realized_total_cost() const {
+  double total = 0.0;
+  for (const CoalitionOutcome& c : coalitions) {
+    total += c.session_fee;
+  }
+  for (const DeviceOutcome& d : devices) {
+    total += d.move_cost;
+  }
+  return total;
+}
+
+double SimReport::mean_wait_s() const {
+  if (devices.empty()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (const DeviceOutcome& d : devices) {
+    total += d.wait_time_s;
+  }
+  return total / static_cast<double>(devices.size());
+}
+
+}  // namespace cc::sim

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file report.h
+/// Results of executing a schedule on the discrete-event simulator.
+
+#include <vector>
+
+#include "core/schedule.h"
+
+namespace cc::sim {
+
+/// Per-device realized quantities.
+struct DeviceOutcome {
+  double travel_time_s = 0.0;
+  double wait_time_s = 0.0;    ///< pad arrival → session start
+  double charge_time_s = 0.0;
+  double move_cost = 0.0;      ///< weighted, as in the analytic model
+  double fee_share = 0.0;      ///< realized fee split by the active scheme
+  double energy_received_j = 0.0;
+  bool fully_charged = false;
+  bool failed = false;  ///< crashed before departure (failure injection)
+};
+
+/// Per-coalition realized quantities.
+struct CoalitionOutcome {
+  double ready_time_s = 0.0;   ///< last member arrival
+  double start_time_s = 0.0;
+  double end_time_s = 0.0;
+  double session_fee = 0.0;    ///< realized π_j · duration (weighted)
+};
+
+/// One trace line per processed event (optional, for tests/examples).
+struct TraceEntry {
+  double time = 0.0;
+  int kind = 0;       ///< static_cast of EventKind
+  int coalition = -1;
+  int device = -1;
+};
+
+struct SimReport {
+  std::vector<DeviceOutcome> devices;      // indexed by DeviceId
+  std::vector<CoalitionOutcome> coalitions;
+  std::vector<TraceEntry> trace;           // empty unless tracing enabled
+  double makespan_s = 0.0;
+  long events_processed = 0;
+
+  /// Realized comprehensive cost = Σ fees + Σ moving costs.
+  [[nodiscard]] double realized_total_cost() const;
+
+  /// Mean waiting time across devices.
+  [[nodiscard]] double mean_wait_s() const;
+};
+
+}  // namespace cc::sim

@@ -1,0 +1,89 @@
+#include "submodular/brute_force.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/assert.h"
+
+namespace cc::sub {
+
+std::vector<int> mask_to_set(std::uint32_t mask, int n) {
+  std::vector<int> set;
+  for (int i = 0; i < n; ++i) {
+    if ((mask >> i) & 1U) {
+      set.push_back(i);
+    }
+  }
+  return set;
+}
+
+BruteForceResult brute_force_minimize(const SetFunction& f) {
+  const int n = f.n();
+  CC_EXPECTS(n >= 0 && n <= 24, "brute force is limited to n <= 24");
+  BruteForceResult result;
+  result.best_value = std::numeric_limits<double>::infinity();
+  result.best_nonempty_value = std::numeric_limits<double>::infinity();
+  const std::uint32_t limit = 1U << n;
+  for (std::uint32_t mask = 0; mask < limit; ++mask) {
+    const std::vector<int> set = mask_to_set(mask, n);
+    const double v = f.value(set);
+    if (v < result.best_value) {
+      result.best_value = v;
+      result.best_set = set;
+    }
+    if (mask != 0 && v < result.best_nonempty_value) {
+      result.best_nonempty_value = v;
+      result.best_nonempty_set = set;
+    }
+  }
+  return result;
+}
+
+bool is_submodular(const SetFunction& f, double tolerance) {
+  const int n = f.n();
+  CC_EXPECTS(n <= 14, "exhaustive submodularity check is limited to n <= 14");
+  const std::uint32_t limit = 1U << n;
+  for (std::uint32_t mask = 0; mask < limit; ++mask) {
+    const double f_s = f.value(mask_to_set(mask, n));
+    for (int i = 0; i < n; ++i) {
+      if ((mask >> i) & 1U) {
+        continue;
+      }
+      const double f_si = f.value(mask_to_set(mask | (1U << i), n));
+      for (int j = i + 1; j < n; ++j) {
+        if ((mask >> j) & 1U) {
+          continue;
+        }
+        const double f_sj = f.value(mask_to_set(mask | (1U << j), n));
+        const double f_sij =
+            f.value(mask_to_set(mask | (1U << i) | (1U << j), n));
+        if (f_si + f_sj + tolerance < f_sij + f_s) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool is_monotone(const SetFunction& f, double tolerance) {
+  const int n = f.n();
+  CC_EXPECTS(n <= 14, "exhaustive monotonicity check is limited to n <= 14");
+  const std::uint32_t limit = 1U << n;
+  // Monotone iff every single-element addition does not decrease value.
+  for (std::uint32_t mask = 0; mask < limit; ++mask) {
+    const double f_s = f.value(mask_to_set(mask, n));
+    for (int i = 0; i < n; ++i) {
+      if ((mask >> i) & 1U) {
+        continue;
+      }
+      const double f_si = f.value(mask_to_set(mask | (1U << i), n));
+      if (f_si + tolerance < f_s) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace cc::sub

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file brute_force.h
+/// Exhaustive subset enumeration: the oracle the fast solvers are tested
+/// against, plus exhaustive property checks (submodularity, monotonicity).
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "submodular/set_function.h"
+
+namespace cc::sub {
+
+/// Result of an exhaustive minimization.
+struct BruteForceResult {
+  std::vector<int> best_set;           ///< overall minimizer (ids ascending)
+  double best_value = 0.0;
+  std::vector<int> best_nonempty_set;  ///< best among nonempty subsets
+  double best_nonempty_value = 0.0;
+};
+
+/// Minimizes f over all 2^n subsets. Guarded to n ≤ 24.
+[[nodiscard]] BruteForceResult brute_force_minimize(const SetFunction& f);
+
+/// Exhaustively checks f(S∪{i}) + f(S∪{j}) ≥ f(S∪{i,j}) + f(S) for all
+/// S and i ≠ j ∉ S, up to `tolerance`. Guarded to n ≤ 14.
+[[nodiscard]] bool is_submodular(const SetFunction& f,
+                                 double tolerance = 1e-9);
+
+/// Exhaustively checks f(S) ≤ f(T) for all S ⊆ T. Guarded to n ≤ 14.
+[[nodiscard]] bool is_monotone(const SetFunction& f, double tolerance = 1e-9);
+
+/// Converts a bitmask over {0..n−1} to an ascending id list.
+[[nodiscard]] std::vector<int> mask_to_set(std::uint32_t mask, int n);
+
+}  // namespace cc::sub

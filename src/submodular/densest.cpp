@@ -1,0 +1,129 @@
+#include "submodular/densest.h"
+
+#include <limits>
+
+#include "util/assert.h"
+
+namespace cc::sub {
+
+namespace {
+constexpr double kRatioTolerance = 1e-12;
+constexpr int kMaxDinkelbachIterations = 200;
+}  // namespace
+
+DensestResult min_average_cost(const SetFunction& f, const SfmSolver& solver) {
+  const int n = f.n();
+  CC_EXPECTS(n > 0, "min_average_cost needs a nonempty ground set");
+
+  // Seed θ with the best singleton ratio.
+  DensestResult result;
+  double theta = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < n; ++i) {
+    const int single[] = {i};
+    const double v = f.value(single) - f.empty_value();
+    if (v < theta) {
+      theta = v;
+      result.set = {i};
+      result.average_cost = v;
+    }
+  }
+
+  for (int iter = 0; iter < kMaxDinkelbachIterations; ++iter) {
+    ++result.iterations;
+    const ShiftedByCardinality shifted(f, theta);
+    const SfmResult sfm = solver.minimize(shifted);
+    if (sfm.nonempty_set.empty() ||
+        sfm.nonempty_value >= -kRatioTolerance * std::max(1.0, theta)) {
+      break;  // no set beats the incumbent ratio
+    }
+    const double cost = f.value(sfm.nonempty_set) - f.empty_value();
+    const double ratio = cost / static_cast<double>(sfm.nonempty_set.size());
+    CC_ASSERT(ratio < theta + kRatioTolerance,
+              "Dinkelbach ratio must strictly improve");
+    theta = ratio;
+    result.set = sfm.nonempty_set;
+    result.average_cost = ratio;
+  }
+  return result;
+}
+
+DensestResult min_average_cost_capped(const MaxModularFunction& f,
+                                      int max_size) {
+  const int n = f.n();
+  CC_EXPECTS(n > 0, "min_average_cost needs a nonempty ground set");
+  CC_EXPECTS(max_size >= 1, "capped variant needs max_size >= 1");
+
+  DensestResult result;
+  double theta = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < n; ++i) {
+    const int single[] = {i};
+    const double v = f.value(single);
+    if (v < theta) {
+      theta = v;
+      result.set = {i};
+      result.average_cost = v;
+    }
+  }
+
+  for (int iter = 0; iter < kMaxDinkelbachIterations; ++iter) {
+    ++result.iterations;
+    std::vector<double> shifted_b = f.b();
+    for (double& bi : shifted_b) {
+      bi -= theta;
+    }
+    const MaxModularFunction shifted(f.a(), f.w(), std::move(shifted_b));
+    auto [set, value] = shifted.minimize_exact_nonempty_capped(max_size);
+    if (value >= -kRatioTolerance * std::max(1.0, theta)) {
+      break;
+    }
+    const double cost = f.value(set);
+    const double ratio = cost / static_cast<double>(set.size());
+    CC_ASSERT(ratio < theta + kRatioTolerance,
+              "Dinkelbach ratio must strictly improve");
+    theta = ratio;
+    result.set = std::move(set);
+    result.average_cost = ratio;
+  }
+  return result;
+}
+
+DensestResult min_average_cost(const MaxModularFunction& f) {
+  const int n = f.n();
+  CC_EXPECTS(n > 0, "min_average_cost needs a nonempty ground set");
+
+  DensestResult result;
+  double theta = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < n; ++i) {
+    const int single[] = {i};
+    const double v = f.value(single);
+    if (v < theta) {
+      theta = v;
+      result.set = {i};
+      result.average_cost = v;
+    }
+  }
+
+  for (int iter = 0; iter < kMaxDinkelbachIterations; ++iter) {
+    ++result.iterations;
+    // Fold −θ into the modular part: f(S) − θ|S| stays max+modular.
+    std::vector<double> shifted_b = f.b();
+    for (double& bi : shifted_b) {
+      bi -= theta;
+    }
+    const MaxModularFunction shifted(f.a(), f.w(), std::move(shifted_b));
+    auto [set, value] = shifted.minimize_exact_nonempty();
+    if (value >= -kRatioTolerance * std::max(1.0, theta)) {
+      break;
+    }
+    const double cost = f.value(set);
+    const double ratio = cost / static_cast<double>(set.size());
+    CC_ASSERT(ratio < theta + kRatioTolerance,
+              "Dinkelbach ratio must strictly improve");
+    theta = ratio;
+    result.set = std::move(set);
+    result.average_cost = ratio;
+  }
+  return result;
+}
+
+}  // namespace cc::sub

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file densest.h
+/// Minimum-average-cost subset via Dinkelbach's algorithm — the inner
+/// step of CCSA's greedy: for a charger's group-cost function f
+/// (normalized, positive on nonempty sets), find
+///
+///     S* = argmin_{∅ ≠ S ⊆ V} f(S) / |S|.
+///
+/// Dinkelbach iterates: given the incumbent ratio θ, minimize the
+/// submodular function f(S) − θ|S|; a strictly negative minimum yields a
+/// better ratio, otherwise θ is optimal. Converges in finitely many
+/// iterations because each accepted θ strictly decreases and ratios come
+/// from a finite set.
+
+#include <vector>
+
+#include "submodular/max_modular.h"
+#include "submodular/sfm.h"
+
+namespace cc::sub {
+
+struct DensestResult {
+  std::vector<int> set;       ///< argmin of f(S)/|S| (ids ascending)
+  double average_cost = 0.0;  ///< f(set)/|set|
+  int iterations = 0;         ///< Dinkelbach outer iterations
+};
+
+/// Generic version: any normalized submodular f with f(S) ≥ 0, using any
+/// SFM solver that can handle `ShiftedByCardinality` wrappers
+/// (WolfeSfm or BruteForceSfm).
+[[nodiscard]] DensestResult min_average_cost(const SetFunction& f,
+                                             const SfmSolver& solver);
+
+/// Structured fast path: folds −θ into the modular part and uses the
+/// exact O(n log n) minimizer at every Dinkelbach step.
+[[nodiscard]] DensestResult min_average_cost(const MaxModularFunction& f);
+
+/// Cardinality-constrained structured variant: argmin f(S)/|S| over
+/// nonempty S with |S| ≤ max_size. Dinkelbach's correctness only needs
+/// exact minimization of f − θ|S| over the same family, which the
+/// capped structured minimizer provides.
+[[nodiscard]] DensestResult min_average_cost_capped(
+    const MaxModularFunction& f, int max_size);
+
+}  // namespace cc::sub

@@ -1,0 +1,28 @@
+#include "submodular/greedy_base.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.h"
+
+namespace cc::sub {
+
+std::vector<int> ascending_permutation(std::span<const double> key) {
+  std::vector<int> perm(key.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  std::sort(perm.begin(), perm.end(), [&key](int lhs, int rhs) {
+    const double kl = key[static_cast<std::size_t>(lhs)];
+    const double kr = key[static_cast<std::size_t>(rhs)];
+    return kl != kr ? kl < kr : lhs < rhs;
+  });
+  return perm;
+}
+
+std::vector<double> linear_minimizer(const SetFunction& f,
+                                     std::span<const double> x) {
+  CC_EXPECTS(static_cast<int>(x.size()) == f.n(),
+             "cost vector size must match the ground set");
+  return f.base_vertex(ascending_permutation(x));
+}
+
+}  // namespace cc::sub

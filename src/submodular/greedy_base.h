@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file greedy_base.h
+/// Linear optimization over the base polytope via Edmonds' greedy
+/// algorithm — the LO oracle of the Fujishige–Wolfe solver.
+
+#include <span>
+#include <vector>
+
+#include "submodular/set_function.h"
+
+namespace cc::sub {
+
+/// Indices 0..n−1 sorted by `key` ascending, ties broken by index.
+[[nodiscard]] std::vector<int> ascending_permutation(
+    std::span<const double> key);
+
+/// The base-polytope vertex q minimizing ⟨x, q⟩: Edmonds' greedy along
+/// the permutation that sorts elements by x ascending.
+[[nodiscard]] std::vector<double> linear_minimizer(const SetFunction& f,
+                                                   std::span<const double> x);
+
+}  // namespace cc::sub

@@ -1,0 +1,39 @@
+#include "submodular/lovasz.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace cc::sub {
+
+double lovasz_extension(const SetFunction& f, std::span<const double> z) {
+  const int n = f.n();
+  CC_EXPECTS(static_cast<int>(z.size()) == n,
+             "Lovász extension point must match the ground set");
+  // f̂(z) = Σ_k z[σ(k)] · (f(S_k) − f(S_{k−1})) with σ sorting z
+  // descending and S_k the top-k prefix — equivalently ⟨z, q⟩ for the
+  // greedy vertex q of that permutation.
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&z](int lhs, int rhs) {
+    const double zl = z[static_cast<std::size_t>(lhs)];
+    const double zr = z[static_cast<std::size_t>(rhs)];
+    return zl != zr ? zl > zr : lhs < rhs;
+  });
+  const double f_empty = f.empty_value();
+  double prev = f_empty;
+  double total = 0.0;
+  std::vector<int> prefix;
+  prefix.reserve(order.size());
+  for (int e : order) {
+    prefix.push_back(e);
+    const double cur = f.value(prefix);
+    total += z[static_cast<std::size_t>(e)] * (cur - prev);
+    prev = cur;
+  }
+  return total;
+}
+
+}  // namespace cc::sub

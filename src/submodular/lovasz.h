@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file lovasz.h
+/// Lovász extension of a set function — the continuous, convex-iff-
+/// submodular extension used by the test suite to validate the greedy
+/// base-vertex computation (the extension value at z equals ⟨z, q⟩ for
+/// the greedy vertex q of the descending permutation of z).
+
+#include <span>
+
+#include "submodular/set_function.h"
+
+namespace cc::sub {
+
+/// Evaluates the Lovász extension f̂(z) of the *normalized* function
+/// f − f(∅) at z ∈ R^n (any real vector; the standard definition via
+/// the descending-threshold expansion).
+[[nodiscard]] double lovasz_extension(const SetFunction& f,
+                                      std::span<const double> z);
+
+}  // namespace cc::sub

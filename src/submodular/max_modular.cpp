@@ -1,0 +1,151 @@
+#include "submodular/max_modular.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+#include "util/assert.h"
+
+namespace cc::sub {
+
+MaxModularFunction::MaxModularFunction(double a, std::vector<double> w,
+                                       std::vector<double> b)
+    : a_(a), w_(std::move(w)), b_(std::move(b)) {
+  CC_EXPECTS(a_ >= 0.0, "max coefficient must be nonnegative");
+  CC_EXPECTS(w_.size() == b_.size(), "w and b must have equal length");
+  for (double wi : w_) {
+    CC_EXPECTS(wi >= 0.0, "max weights must be nonnegative");
+  }
+  order_.resize(w_.size());
+  std::iota(order_.begin(), order_.end(), 0);
+  std::sort(order_.begin(), order_.end(), [this](int lhs, int rhs) {
+    const double wl = w_[static_cast<std::size_t>(lhs)];
+    const double wr = w_[static_cast<std::size_t>(rhs)];
+    return wl != wr ? wl < wr : lhs < rhs;
+  });
+}
+
+double MaxModularFunction::value(std::span<const int> set) const {
+  if (set.empty()) {
+    return 0.0;
+  }
+  double max_w = 0.0;
+  double sum_b = 0.0;
+  for (int e : set) {
+    const auto idx = static_cast<std::size_t>(e);
+    max_w = std::max(max_w, w_[idx]);
+    sum_b += b_[idx];
+  }
+  return a_ * max_w + sum_b;
+}
+
+std::vector<double> MaxModularFunction::base_vertex(
+    std::span<const int> perm) const {
+  CC_EXPECTS(static_cast<int>(perm.size()) == n(),
+             "base_vertex needs a full permutation");
+  std::vector<double> x(w_.size(), 0.0);
+  double running_max = 0.0;
+  for (int e : perm) {
+    const auto idx = static_cast<std::size_t>(e);
+    const double new_max = std::max(running_max, w_[idx]);
+    x[idx] = a_ * (new_max - running_max) + b_[idx];
+    running_max = new_max;
+  }
+  return x;
+}
+
+std::pair<std::vector<int>, double>
+MaxModularFunction::minimize_exact_nonempty() const {
+  CC_EXPECTS(!w_.empty(), "cannot minimize over an empty ground set");
+  double best_value = std::numeric_limits<double>::infinity();
+  std::size_t best_pos = 0;
+  // Walking the w-ascending order, `neg_prefix` accumulates the negative
+  // modular weights among strictly earlier positions — exactly the free
+  // riders worth adding under the element at position k.
+  double neg_prefix = 0.0;
+  for (std::size_t pos = 0; pos < order_.size(); ++pos) {
+    const auto idx = static_cast<std::size_t>(order_[pos]);
+    const double candidate = a_ * w_[idx] + b_[idx] + neg_prefix;
+    if (candidate < best_value) {
+      best_value = candidate;
+      best_pos = pos;
+    }
+    if (b_[idx] < 0.0) {
+      neg_prefix += b_[idx];
+    }
+  }
+  std::vector<int> set;
+  set.push_back(order_[best_pos]);
+  for (std::size_t pos = 0; pos < best_pos; ++pos) {
+    if (b_[static_cast<std::size_t>(order_[pos])] < 0.0) {
+      set.push_back(order_[pos]);
+    }
+  }
+  std::sort(set.begin(), set.end());
+  return {std::move(set), best_value};
+}
+
+std::pair<std::vector<int>, double>
+MaxModularFunction::minimize_exact_nonempty_capped(int max_size) const {
+  CC_EXPECTS(!w_.empty(), "cannot minimize over an empty ground set");
+  CC_EXPECTS(max_size >= 1, "capped minimizer needs max_size >= 1");
+  const std::size_t companions =
+      static_cast<std::size_t>(max_size) - 1;
+
+  double best_value = std::numeric_limits<double>::infinity();
+  std::size_t best_pos = 0;
+  // Walking the w-ascending order: a max-heap (by b value) keeps the up
+  // to `companions` most negative earlier modular weights; the heap's
+  // running sum is the best companion contribution for the current max
+  // candidate. The winning position's companion set is re-derived after
+  // the scan.
+  std::priority_queue<double> heap;  // most positive (least negative) on top
+  double heap_sum = 0.0;
+  for (std::size_t pos = 0; pos < order_.size(); ++pos) {
+    const auto idx = static_cast<std::size_t>(order_[pos]);
+    const double candidate = a_ * w_[idx] + b_[idx] + heap_sum;
+    if (candidate < best_value) {
+      best_value = candidate;
+      best_pos = pos;
+    }
+    if (b_[idx] < 0.0 && companions > 0) {
+      if (heap.size() < companions) {
+        heap.push(b_[idx]);
+        heap_sum += b_[idx];
+      } else if (!heap.empty() && b_[idx] < heap.top()) {
+        heap_sum += b_[idx] - heap.top();
+        heap.pop();
+        heap.push(b_[idx]);
+      }
+    }
+  }
+
+  // Reconstruct the companion set for best_pos: the `companions` most
+  // negative b among earlier positions (ties broken toward earlier ids
+  // — any tie choice attains the same value).
+  std::vector<int> earlier_negative;
+  for (std::size_t pos = 0; pos < best_pos; ++pos) {
+    if (b_[static_cast<std::size_t>(order_[pos])] < 0.0) {
+      earlier_negative.push_back(order_[pos]);
+    }
+  }
+  std::sort(earlier_negative.begin(), earlier_negative.end(),
+            [this](int lhs, int rhs) {
+              const double bl = b_[static_cast<std::size_t>(lhs)];
+              const double br = b_[static_cast<std::size_t>(rhs)];
+              return bl != br ? bl < br : lhs < rhs;
+            });
+  if (earlier_negative.size() > companions) {
+    earlier_negative.resize(companions);
+  }
+  std::vector<int> set;
+  set.push_back(order_[best_pos]);
+  set.insert(set.end(), earlier_negative.begin(), earlier_negative.end());
+  std::sort(set.begin(), set.end());
+  CC_ENSURES(static_cast<int>(set.size()) <= max_size,
+             "capped minimizer exceeded the cardinality bound");
+  return {std::move(set), best_value};
+}
+
+}  // namespace cc::sub

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file max_modular.h
+/// The structured submodular family at the core of the CCS cost model:
+///
+///   f(S) = a · max_{i∈S} w_i + Σ_{i∈S} b_i,   f(∅) = 0,
+///
+/// with a ≥ 0 and w_i ≥ 0. The session fee of a coalition is the scaled
+/// maximum demand (the charger runs until the neediest member is full),
+/// the moving costs are modular — so every "group cost at charger j"
+/// is exactly one of these. The family admits an exact O(n log n)
+/// minimizer (see `minimize_exact`), which CCSA uses by default; the
+/// generic Fujishige–Wolfe solver handles it too and the tests
+/// cross-validate the two.
+
+#include <span>
+#include <vector>
+
+#include "submodular/set_function.h"
+
+namespace cc::sub {
+
+class MaxModularFunction final : public SetFunction {
+ public:
+  /// Throws unless a ≥ 0, all w_i ≥ 0, and |w| == |b|.
+  MaxModularFunction(double a, std::vector<double> w, std::vector<double> b);
+
+  [[nodiscard]] int n() const noexcept override {
+    return static_cast<int>(w_.size());
+  }
+  [[nodiscard]] double value(std::span<const int> set) const override;
+
+  /// Incremental O(n) greedy base vertex (overrides the O(n²) default).
+  [[nodiscard]] std::vector<double> base_vertex(
+      std::span<const int> perm) const override;
+
+  [[nodiscard]] double a() const noexcept { return a_; }
+  [[nodiscard]] const std::vector<double>& w() const noexcept { return w_; }
+  [[nodiscard]] const std::vector<double>& b() const noexcept { return b_; }
+
+  /// Exact minimizer over *nonempty* subsets in O(n log n):
+  /// condition on which element attains the max; with the elements
+  /// sorted by w ascending, the best subset whose max sits at sorted
+  /// position k is {k} ∪ {j < k : b_j < 0}.
+  /// Returns the best nonempty set (ids ascending) and its value.
+  [[nodiscard]] std::pair<std::vector<int>, double> minimize_exact_nonempty()
+      const;
+
+  /// Cardinality-constrained variant: best nonempty subset with
+  /// |S| ≤ max_size (max_size ≥ 1). Conditioning on the max element,
+  /// the companions are the up-to-(max_size−1) most negative modular
+  /// weights among earlier sorted positions — maintained with a heap,
+  /// O(n log n) overall. Exact; cross-validated against brute force.
+  [[nodiscard]] std::pair<std::vector<int>, double>
+  minimize_exact_nonempty_capped(int max_size) const;
+
+ private:
+  double a_;
+  std::vector<double> w_;
+  std::vector<double> b_;
+  std::vector<int> order_;  // element ids sorted by w ascending
+};
+
+}  // namespace cc::sub

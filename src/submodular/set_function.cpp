@@ -1,0 +1,144 @@
+#include "submodular/set_function.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace cc::sub {
+
+std::vector<double> SetFunction::base_vertex(std::span<const int> perm) const {
+  CC_EXPECTS(static_cast<int>(perm.size()) == n(),
+             "base_vertex needs a full permutation");
+  std::vector<double> x(static_cast<std::size_t>(n()), 0.0);
+  std::vector<int> prefix;
+  prefix.reserve(perm.size());
+  double prev = empty_value();
+  for (int e : perm) {
+    prefix.push_back(e);
+    const double cur = value(prefix);
+    x[static_cast<std::size_t>(e)] = cur - prev;
+    prev = cur;
+  }
+  return x;
+}
+
+ModularFunction::ModularFunction(std::vector<double> weights)
+    : weights_(std::move(weights)) {}
+
+double ModularFunction::value(std::span<const int> set) const {
+  double sum = 0.0;
+  for (int e : set) {
+    sum += weights_[static_cast<std::size_t>(e)];
+  }
+  return sum;
+}
+
+std::vector<double> ModularFunction::base_vertex(
+    std::span<const int> perm) const {
+  CC_EXPECTS(static_cast<int>(perm.size()) == n(),
+             "base_vertex needs a full permutation");
+  return weights_;
+}
+
+ConcaveCardinalityFunction::ConcaveCardinalityFunction(
+    std::vector<double> increments, std::vector<double> modular)
+    : modular_(std::move(modular)) {
+  CC_EXPECTS(increments.size() >= modular_.size(),
+             "need an increment of g for every possible cardinality");
+  for (std::size_t k = 1; k < increments.size(); ++k) {
+    CC_EXPECTS(increments[k] <= increments[k - 1] + 1e-12,
+               "g increments must be nonincreasing (g concave)");
+  }
+  prefix_g_.assign(increments.size() + 1, 0.0);
+  for (std::size_t k = 0; k < increments.size(); ++k) {
+    prefix_g_[k + 1] = prefix_g_[k] + increments[k];
+  }
+}
+
+double ConcaveCardinalityFunction::value(std::span<const int> set) const {
+  double sum = prefix_g_[set.size()];
+  for (int e : set) {
+    sum += modular_[static_cast<std::size_t>(e)];
+  }
+  return sum;
+}
+
+WeightedCoverageFunction::WeightedCoverageFunction(
+    std::vector<std::vector<int>> covers, std::vector<double> item_weights)
+    : covers_(std::move(covers)), item_weights_(std::move(item_weights)) {
+  for (const auto& cover : covers_) {
+    for (int item : cover) {
+      CC_EXPECTS(item >= 0 &&
+                     item < static_cast<int>(item_weights_.size()),
+                 "coverage refers to an unknown item");
+    }
+  }
+  for (double w : item_weights_) {
+    CC_EXPECTS(w >= 0.0, "item weights must be nonnegative");
+  }
+}
+
+double WeightedCoverageFunction::value(std::span<const int> set) const {
+  std::vector<char> covered(item_weights_.size(), 0);
+  double total = 0.0;
+  for (int e : set) {
+    for (int item : covers_[static_cast<std::size_t>(e)]) {
+      if (!covered[static_cast<std::size_t>(item)]) {
+        covered[static_cast<std::size_t>(item)] = 1;
+        total += item_weights_[static_cast<std::size_t>(item)];
+      }
+    }
+  }
+  return total;
+}
+
+GraphCutFunction::GraphCutFunction(int num_vertices, std::vector<Edge> edges)
+    : num_vertices_(num_vertices), edges_(std::move(edges)) {
+  CC_EXPECTS(num_vertices > 0, "graph needs at least one vertex");
+  for (const Edge& e : edges_) {
+    CC_EXPECTS(e.u >= 0 && e.u < num_vertices && e.v >= 0 &&
+                   e.v < num_vertices,
+               "edge endpoint out of range");
+    CC_EXPECTS(e.weight >= 0.0, "cut edge weights must be nonnegative");
+  }
+}
+
+double GraphCutFunction::value(std::span<const int> set) const {
+  std::vector<char> in_set(static_cast<std::size_t>(num_vertices_), 0);
+  for (int v : set) {
+    in_set[static_cast<std::size_t>(v)] = 1;
+  }
+  double cut = 0.0;
+  for (const Edge& e : edges_) {
+    if (in_set[static_cast<std::size_t>(e.u)] !=
+        in_set[static_cast<std::size_t>(e.v)]) {
+      cut += e.weight;
+    }
+  }
+  return cut;
+}
+
+RestrictedFunction::RestrictedFunction(const SetFunction& inner,
+                                       std::vector<int> universe)
+    : inner_(inner), universe_(std::move(universe)) {
+  for (int e : universe_) {
+    CC_EXPECTS(e >= 0 && e < inner_.n(),
+               "restricted universe element out of range");
+  }
+}
+
+double RestrictedFunction::value(std::span<const int> set) const {
+  return inner_.value(to_inner(set));
+}
+
+std::vector<int> RestrictedFunction::to_inner(std::span<const int> set) const {
+  std::vector<int> mapped;
+  mapped.reserve(set.size());
+  for (int e : set) {
+    CC_EXPECTS(e >= 0 && e < n(), "restricted element id out of range");
+    mapped.push_back(universe_[static_cast<std::size_t>(e)]);
+  }
+  return mapped;
+}
+
+}  // namespace cc::sub

@@ -1,0 +1,191 @@
+#pragma once
+
+/// \file set_function.h
+/// Set-function abstraction over a ground set {0, …, n−1}, plus a small
+/// library of classic submodular families used by tests and ablations.
+///
+/// Subsets are passed as spans of *distinct* element ids in any order.
+/// `base_vertex` (Edmonds' greedy) has a generic O(n) -value-call default
+/// that structured subclasses override with incremental evaluation.
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace cc::sub {
+
+/// A real-valued set function f : 2^V → R with |V| = n.
+class SetFunction {
+ public:
+  virtual ~SetFunction() = default;
+
+  /// Ground-set size n.
+  [[nodiscard]] virtual int n() const noexcept = 0;
+
+  /// f(S) for S given as distinct element ids (order irrelevant).
+  [[nodiscard]] virtual double value(std::span<const int> set) const = 0;
+
+  /// f(∅); defaults to evaluating value({}).
+  [[nodiscard]] double empty_value() const { return value({}); }
+
+  /// Edmonds' greedy: the base-polytope vertex induced by `perm`
+  /// (a permutation of 0..n−1): x[perm[k]] = f(P_k ∪ {perm[k]}) − f(P_k)
+  /// where P_k is the first k elements of perm. Generic implementation
+  /// makes n+1 value() calls; override when marginals are incremental.
+  ///
+  /// For the normalized case this vertex satisfies
+  /// x(V) = f(V) − f(∅) and x(P_k) = f(P_k) − f(∅) for every prefix.
+  [[nodiscard]] virtual std::vector<double> base_vertex(
+      std::span<const int> perm) const;
+};
+
+/// Counts oracle calls — used by the SFM ablation bench.
+class CountingSetFunction final : public SetFunction {
+ public:
+  explicit CountingSetFunction(const SetFunction& inner) : inner_(inner) {}
+
+  [[nodiscard]] int n() const noexcept override { return inner_.n(); }
+  [[nodiscard]] double value(std::span<const int> set) const override {
+    ++calls_;
+    return inner_.value(set);
+  }
+  [[nodiscard]] std::vector<double> base_vertex(
+      std::span<const int> perm) const override {
+    calls_ += static_cast<std::int64_t>(perm.size()) + 1;
+    return inner_.base_vertex(perm);
+  }
+
+  [[nodiscard]] std::int64_t calls() const noexcept { return calls_; }
+  void reset() const noexcept { calls_ = 0; }
+
+ private:
+  const SetFunction& inner_;
+  mutable std::int64_t calls_ = 0;
+};
+
+/// Modular (additive) function f(S) = Σ_{i∈S} w_i.
+class ModularFunction final : public SetFunction {
+ public:
+  explicit ModularFunction(std::vector<double> weights);
+
+  [[nodiscard]] int n() const noexcept override {
+    return static_cast<int>(weights_.size());
+  }
+  [[nodiscard]] double value(std::span<const int> set) const override;
+  [[nodiscard]] std::vector<double> base_vertex(
+      std::span<const int> perm) const override;
+
+  [[nodiscard]] const std::vector<double>& weights() const noexcept {
+    return weights_;
+  }
+
+ private:
+  std::vector<double> weights_;
+};
+
+/// f(S) = g(|S|) + Σ_{i∈S} b_i with g concave, g(0) = 0 — submodular.
+/// `g` is given by its increments g(k) − g(k−1), which must be
+/// nonincreasing.
+class ConcaveCardinalityFunction final : public SetFunction {
+ public:
+  /// `increments[k]` = g(k+1) − g(k). Throws if increments increase.
+  ConcaveCardinalityFunction(std::vector<double> increments,
+                             std::vector<double> modular);
+
+  [[nodiscard]] int n() const noexcept override {
+    return static_cast<int>(modular_.size());
+  }
+  [[nodiscard]] double value(std::span<const int> set) const override;
+
+ private:
+  std::vector<double> prefix_g_;  // prefix_g_[k] = g(k)
+  std::vector<double> modular_;
+};
+
+/// Weighted coverage: element i covers a set of items; f(S) equals the
+/// total weight of items covered by S. Monotone submodular.
+class WeightedCoverageFunction final : public SetFunction {
+ public:
+  /// `covers[i]` lists item ids covered by ground element i;
+  /// `item_weights[t]` is the weight of item t (nonnegative).
+  WeightedCoverageFunction(std::vector<std::vector<int>> covers,
+                           std::vector<double> item_weights);
+
+  [[nodiscard]] int n() const noexcept override {
+    return static_cast<int>(covers_.size());
+  }
+  [[nodiscard]] double value(std::span<const int> set) const override;
+
+ private:
+  std::vector<std::vector<int>> covers_;
+  std::vector<double> item_weights_;
+};
+
+/// Undirected graph cut f(S) = Σ weight of edges crossing (S, V∖S).
+/// Submodular but *not* monotone — exercises the general SFM path.
+class GraphCutFunction final : public SetFunction {
+ public:
+  struct Edge {
+    int u;
+    int v;
+    double weight;
+  };
+
+  GraphCutFunction(int num_vertices, std::vector<Edge> edges);
+
+  [[nodiscard]] int n() const noexcept override { return num_vertices_; }
+  [[nodiscard]] double value(std::span<const int> set) const override;
+
+ private:
+  int num_vertices_;
+  std::vector<Edge> edges_;
+};
+
+/// f'(S) = f(S) − θ·|S|. Keeps submodularity; used by Dinkelbach.
+class ShiftedByCardinality final : public SetFunction {
+ public:
+  ShiftedByCardinality(const SetFunction& inner, double theta) noexcept
+      : inner_(inner), theta_(theta) {}
+
+  [[nodiscard]] int n() const noexcept override { return inner_.n(); }
+  [[nodiscard]] double value(std::span<const int> set) const override {
+    return inner_.value(set) - theta_ * static_cast<double>(set.size());
+  }
+  [[nodiscard]] std::vector<double> base_vertex(
+      std::span<const int> perm) const override {
+    std::vector<double> x = inner_.base_vertex(perm);
+    for (double& xi : x) {
+      xi -= theta_;
+    }
+    return x;
+  }
+
+  [[nodiscard]] double theta() const noexcept { return theta_; }
+
+ private:
+  const SetFunction& inner_;
+  double theta_;
+};
+
+/// Restriction of `inner` to a sub-ground-set: element k of the restricted
+/// function is `universe[k]` of the inner one. Used by CCSA to minimize
+/// over the still-uncovered devices only.
+class RestrictedFunction final : public SetFunction {
+ public:
+  RestrictedFunction(const SetFunction& inner, std::vector<int> universe);
+
+  [[nodiscard]] int n() const noexcept override {
+    return static_cast<int>(universe_.size());
+  }
+  [[nodiscard]] double value(std::span<const int> set) const override;
+
+  /// Maps restricted ids back to inner ids.
+  [[nodiscard]] std::vector<int> to_inner(std::span<const int> set) const;
+
+ private:
+  const SetFunction& inner_;
+  std::vector<int> universe_;
+};
+
+}  // namespace cc::sub

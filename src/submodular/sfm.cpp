@@ -1,0 +1,87 @@
+#include "submodular/sfm.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "submodular/brute_force.h"
+#include "submodular/greedy_base.h"
+#include "submodular/max_modular.h"
+#include "util/assert.h"
+
+namespace cc::sub {
+
+SfmResult BruteForceSfm::minimize(const SetFunction& f) const {
+  const double f_empty = f.empty_value();
+  const BruteForceResult raw = brute_force_minimize(f);
+  SfmResult result;
+  result.set = raw.best_set;
+  result.value = raw.best_value - f_empty;
+  result.nonempty_set = raw.best_nonempty_set;
+  result.nonempty_value = raw.best_nonempty_value - f_empty;
+  return result;
+}
+
+SfmResult WolfeSfm::minimize(const SetFunction& f) const {
+  const double f_empty = f.empty_value();
+  const MinNormPoint mnp = min_norm_point(f, options_);
+
+  // Level-set rounding: minimizers of f are level sets of the min-norm
+  // point, so scanning the n+1 prefixes in ascending coordinate order
+  // finds them; evaluating f on each makes the rounding robust.
+  const std::vector<int> order = ascending_permutation(mnp.point);
+  SfmResult result;
+  result.value = 0.0;  // empty set
+  result.nonempty_value = std::numeric_limits<double>::infinity();
+  std::vector<int> prefix;
+  prefix.reserve(order.size());
+  for (int e : order) {
+    prefix.push_back(e);
+    const double v = f.value(prefix) - f_empty;
+    if (v < result.value) {
+      result.value = v;
+      result.set = prefix;
+    }
+    if (v < result.nonempty_value) {
+      result.nonempty_value = v;
+      result.nonempty_set = prefix;
+    }
+  }
+  std::sort(result.set.begin(), result.set.end());
+  std::sort(result.nonempty_set.begin(), result.nonempty_set.end());
+  return result;
+}
+
+SfmResult StructuredSfm::minimize(const SetFunction& f) const {
+  // Exact combinatorial minimization is available for the max+modular
+  // family only. Cardinality shifts (Dinkelbach) must be folded into the
+  // modular part by the caller — see densest.cpp.
+  const auto* mm = dynamic_cast<const MaxModularFunction*>(&f);
+  CC_EXPECTS(mm != nullptr,
+             "StructuredSfm handles MaxModularFunction only; fold any "
+             "cardinality shift into the modular part");
+  auto [set, value] = mm->minimize_exact_nonempty();
+  SfmResult result;
+  result.nonempty_set = std::move(set);
+  result.nonempty_value = value;
+  if (value < 0.0) {
+    result.set = result.nonempty_set;
+    result.value = value;
+  }
+  return result;
+}
+
+std::unique_ptr<SfmSolver> make_sfm_solver(const std::string& name) {
+  if (name == "bruteforce") {
+    return std::make_unique<BruteForceSfm>();
+  }
+  if (name == "wolfe") {
+    return std::make_unique<WolfeSfm>();
+  }
+  if (name == "structured") {
+    return std::make_unique<StructuredSfm>();
+  }
+  CC_ASSERT(false, "unknown SFM solver name: " + name);
+  return nullptr;
+}
+
+}  // namespace cc::sub

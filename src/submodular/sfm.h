@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file sfm.h
+/// Submodular function minimization behind a common interface.
+///
+/// Three interchangeable solvers:
+///  * `BruteForceSfm`  — exhaustive; oracle for tests (n ≤ 24).
+///  * `WolfeSfm`       — Fujishige–Wolfe min-norm point; any submodular f.
+///  * `StructuredSfm`  — exact O(n log n) for `MaxModularFunction`
+///                       (optionally shifted by −θ·|S|); CCSA's default.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "submodular/set_function.h"
+#include "submodular/wolfe.h"
+
+namespace cc::sub {
+
+/// Minimization result. Values are of the *normalized* function
+/// f − f(∅), so `value` ≤ 0 always (the empty set gives 0).
+struct SfmResult {
+  std::vector<int> set;           ///< a minimizer, ids ascending
+  double value = 0.0;             ///< f(set) − f(∅)
+  std::vector<int> nonempty_set;  ///< best *nonempty* set found
+  double nonempty_value = 0.0;    ///< f(nonempty_set) − f(∅)
+};
+
+/// Strategy interface (C.121: abstract base with virtual destructor).
+class SfmSolver {
+ public:
+  virtual ~SfmSolver() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Minimizes f over all subsets; also reports the best nonempty set.
+  [[nodiscard]] virtual SfmResult minimize(const SetFunction& f) const = 0;
+};
+
+/// Exhaustive enumeration (n ≤ 24).
+class BruteForceSfm final : public SfmSolver {
+ public:
+  [[nodiscard]] std::string name() const override { return "bruteforce"; }
+  [[nodiscard]] SfmResult minimize(const SetFunction& f) const override;
+};
+
+/// Fujishige–Wolfe minimum-norm point, then level-set rounding: all n+1
+/// prefixes of the coordinates sorted ascending are evaluated and the
+/// best (and best nonempty) kept — robust to floating-point ties.
+class WolfeSfm final : public SfmSolver {
+ public:
+  explicit WolfeSfm(WolfeOptions options = {}) : options_(options) {}
+
+  [[nodiscard]] std::string name() const override { return "wolfe"; }
+  [[nodiscard]] SfmResult minimize(const SetFunction& f) const override;
+
+ private:
+  WolfeOptions options_;
+};
+
+/// Exact combinatorial solver for MaxModularFunction and for
+/// ShiftedByCardinality wrappers around one. Throws `AssertionError`
+/// for any other function type — callers choose it knowingly.
+class StructuredSfm final : public SfmSolver {
+ public:
+  [[nodiscard]] std::string name() const override { return "structured"; }
+  [[nodiscard]] SfmResult minimize(const SetFunction& f) const override;
+};
+
+/// Factory by name ("bruteforce" | "wolfe" | "structured").
+[[nodiscard]] std::unique_ptr<SfmSolver> make_sfm_solver(
+    const std::string& name);
+
+}  // namespace cc::sub

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file wolfe.h
+/// Fujishige–Wolfe minimum-norm point algorithm.
+///
+/// Finds the point of minimum Euclidean norm in the base polytope B(f) of
+/// a submodular function f (normalized internally by subtracting f(∅)).
+/// By Fujishige's theorem the level sets of that point yield the
+/// minimizers of f; `WolfeSolver` in sfm.h wraps this into the common
+/// SFM interface.
+///
+/// Implementation follows Wolfe (1976) / Fujishige (1980) with the usual
+/// major/minor-cycle structure: the corral of base vertices is kept
+/// affinely independent via the affine-minimizer least-squares step, and
+/// the LO oracle is Edmonds' greedy (greedy_base.h).
+
+#include <cstdint>
+#include <vector>
+
+#include "submodular/set_function.h"
+
+namespace cc::sub {
+
+/// Tuning knobs; the defaults suit the CCS workloads.
+struct WolfeOptions {
+  double tolerance = 1e-9;     ///< duality-gap tolerance on ⟨x,x⟩ − ⟨x,q⟩
+  int max_major_cycles = 1000;
+  int max_minor_cycles = 1000;
+};
+
+/// Outcome of the min-norm-point computation.
+struct MinNormPoint {
+  std::vector<double> point;  ///< x* ∈ B(f − f(∅))
+  int major_cycles = 0;
+  int minor_cycles = 0;
+  bool converged = false;  ///< false iff a cycle limit was hit
+};
+
+/// Computes the minimum-norm point of B(f − f(∅)).
+[[nodiscard]] MinNormPoint min_norm_point(const SetFunction& f,
+                                          const WolfeOptions& options = {});
+
+}  // namespace cc::sub

@@ -1,0 +1,106 @@
+#include "testbed/testbed.h"
+
+#include <cmath>
+
+#include "sim/engine.h"
+#include "util/assert.h"
+
+namespace cc::testbed {
+
+namespace {
+
+// Nominal lab geometry (meters) — 12 × 8 room.
+constexpr double kChargerX[kNumChargers] = {1.0, 11.0, 1.0, 11.0, 6.0};
+constexpr double kChargerY[kNumChargers] = {1.0, 1.0, 7.0, 7.0, 4.0};
+constexpr double kNodeX[kNumNodes] = {2.5, 4.0, 5.5, 7.5, 9.0, 3.0, 8.5, 6.0};
+constexpr double kNodeY[kNumNodes] = {2.0, 6.5, 1.5, 6.0, 2.5, 4.5, 4.0, 6.8};
+
+// Sensor-class nominal demands (J) — heterogeneous on purpose: the fee
+// is a max, so demand spread is what separates the sharing schemes.
+constexpr double kNodeDemand[kNumNodes] = {45.0, 62.0, 38.0, 71.0,
+                                           55.0, 80.0, 49.0, 66.0};
+
+// Commodity charger: ~2 W received at the pad.
+constexpr double kPowerW = 2.0;
+
+}  // namespace
+
+core::Instance make_trial_instance(util::Rng& rng, double demand_jitter,
+                                   double unit_move_cost,
+                                   double price_per_s) {
+  CC_EXPECTS(demand_jitter >= 0.0 && demand_jitter < 1.0,
+             "demand jitter must lie in [0, 1)");
+  std::vector<core::Charger> chargers;
+  chargers.reserve(kNumChargers);
+  for (int j = 0; j < kNumChargers; ++j) {
+    core::Charger c;
+    c.position = {kChargerX[j], kChargerY[j]};
+    c.power_w = kPowerW;
+    c.price_per_s = price_per_s;
+    c.pad_radius_m = 0.5;
+    chargers.push_back(c);
+  }
+  std::vector<core::Device> devices;
+  devices.reserve(kNumNodes);
+  for (int i = 0; i < kNumNodes; ++i) {
+    core::Device d;
+    d.position = {kNodeX[i], kNodeY[i]};
+    d.demand_j = kNodeDemand[i] *
+                 (1.0 + rng.uniform(-demand_jitter, demand_jitter));
+    d.battery_capacity_j = d.demand_j * 1.25;
+    d.motion.unit_cost = unit_move_cost;
+    d.motion.speed_m_per_s = 0.5;  // crawling sensor platforms
+    devices.push_back(d);
+  }
+  return core::Instance(std::move(devices), std::move(chargers));
+}
+
+FieldResult run_field_trials(const core::Scheduler& scheduler,
+                             const TestbedConfig& config) {
+  CC_EXPECTS(config.num_trials > 0, "need at least one trial");
+  CC_EXPECTS(config.power_sigma >= 0.0, "power sigma must be nonnegative");
+
+  FieldResult result;
+  result.algorithm = scheduler.name();
+  result.trials.reserve(static_cast<std::size_t>(config.num_trials));
+
+  util::Rng master(config.seed);
+  std::vector<double> realized_costs;
+  std::vector<double> scheduled_costs;
+  for (int trial = 0; trial < config.num_trials; ++trial) {
+    // One fork per trial: all algorithms run against identical noise.
+    util::Rng trial_rng = master.fork();
+    const core::Instance instance =
+        make_trial_instance(trial_rng, config.demand_jitter,
+                            config.unit_move_cost, config.price_per_s);
+
+    sim::SimOptions sim_options;
+    sim_options.charger_power_factor.reserve(kNumChargers);
+    for (int j = 0; j < kNumChargers; ++j) {
+      // E[lognormal(−σ²/2, σ)] = 1: noise, not bias.
+      sim_options.charger_power_factor.push_back(trial_rng.lognormal(
+          -0.5 * config.power_sigma * config.power_sigma,
+          config.power_sigma));
+    }
+
+    const core::SchedulerResult scheduled = scheduler.run(instance);
+    const core::CostModel cost(instance);
+    const sim::SimReport report =
+        sim::simulate(instance, scheduled.schedule, config.scheme,
+                      sim_options);
+
+    TrialOutcome outcome;
+    outcome.scheduled_cost = scheduled.schedule.total_cost(cost);
+    outcome.realized_cost = report.realized_total_cost();
+    outcome.makespan_s = report.makespan_s;
+    outcome.mean_wait_s = report.mean_wait_s();
+    realized_costs.push_back(outcome.realized_cost);
+    scheduled_costs.push_back(outcome.scheduled_cost);
+    result.trials.push_back(outcome);
+  }
+  result.realized = util::summarize(realized_costs);
+  result.scheduled = util::summarize(scheduled_costs);
+  return result;
+}
+
+}  // namespace cc::testbed

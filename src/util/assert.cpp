@@ -1,0 +1,17 @@
+#include "util/assert.h"
+
+#include <sstream>
+
+namespace cc::util::detail {
+
+void assert_fail(const char* kind, const char* expr, const char* file,
+                 int line, const std::string& msg) {
+  std::ostringstream out;
+  out << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) {
+    out << " — " << msg;
+  }
+  throw AssertionError(out.str());
+}
+
+}  // namespace cc::util::detail

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file assert.h
+/// Checked assertions for library invariants.
+///
+/// Following the C++ Core Guidelines (I.6/I.8), preconditions and invariants
+/// are expressed as named checks. Violations throw `cc::util::AssertionError`
+/// (a `std::logic_error`) so that misuse is testable and never silently
+/// corrupts a computation. These checks stay enabled in release builds: the
+/// library's hot loops avoid them by checking at API boundaries only.
+
+#include <stdexcept>
+#include <string>
+
+namespace cc::util {
+
+/// Thrown when a `CC_ASSERT`/`CC_EXPECTS`/`CC_ENSURES` check fails.
+class AssertionError : public std::logic_error {
+ public:
+  explicit AssertionError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* kind, const char* expr,
+                              const char* file, int line,
+                              const std::string& msg);
+}  // namespace detail
+
+}  // namespace cc::util
+
+/// Invariant check (anywhere in a function body).
+#define CC_ASSERT(cond, msg)                                               \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::cc::util::detail::assert_fail("assertion", #cond, __FILE__,        \
+                                      __LINE__, (msg));                    \
+    }                                                                      \
+  } while (false)
+
+/// Precondition check (top of a function).
+#define CC_EXPECTS(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::cc::util::detail::assert_fail("precondition", #cond, __FILE__,     \
+                                      __LINE__, (msg));                    \
+    }                                                                      \
+  } while (false)
+
+/// Postcondition check (before returning).
+#define CC_ENSURES(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::cc::util::detail::assert_fail("postcondition", #cond, __FILE__,    \
+                                      __LINE__, (msg));                    \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,50 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace cc::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (!arg.starts_with("--")) {
+      continue;
+    }
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      flags_[std::string(arg)] = "true";
+    } else {
+      flags_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const { return flags_.contains(key); }
+
+std::string Cli::get(const std::string& key,
+                     const std::string& fallback) const {
+  const auto it = flags_.find(key);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+int Cli::get_int(const std::string& key, int fallback) const {
+  const auto it = flags_.find(key);
+  return it == flags_.end() ? fallback : std::atoi(it->second.c_str());
+}
+
+double Cli::get_double(const std::string& key, double fallback) const {
+  const auto it = flags_.find(key);
+  return it == flags_.end() ? fallback : std::atof(it->second.c_str());
+}
+
+bool Cli::get_bool(const std::string& key, bool fallback) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) {
+    return fallback;
+  }
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace cc::util

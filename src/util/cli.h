@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file cli.h
+/// Tiny `--key=value` flag parser for examples and benches.
+
+#include <map>
+#include <string>
+
+namespace cc::util {
+
+/// Parses `--key=value` and bare `--flag` arguments.
+/// Unknown positional arguments are ignored (reported via `positional()`).
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] int get_int(const std::string& key, int fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+};
+
+}  // namespace cc::util

@@ -1,0 +1,45 @@
+#include "util/csv.h"
+
+#include <stdexcept>
+
+namespace cc::util {
+
+std::string csv_escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) {
+    return cell;
+  }
+  std::string quoted = "\"";
+  for (char ch : cell) {
+    if (ch == '"') {
+      quoted += "\"\"";
+    } else {
+      quoted += ch;
+    }
+  }
+  quoted += '"';
+  return quoted;
+}
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) {
+      out_ << ',';
+    }
+    out_ << csv_escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_header(const std::vector<std::string>& names) {
+  write_row(names);
+}
+
+}  // namespace cc::util

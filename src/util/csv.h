@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file csv.h
+/// Minimal CSV writer. Every bench emits its series as CSV so plots can
+/// be regenerated offline.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace cc::util {
+
+/// Writes rows of cells with RFC-4180-style quoting. Flushes on close.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws `std::runtime_error` on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes one row; cells containing commas/quotes/newlines are quoted.
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience: header row.
+  void write_header(const std::vector<std::string>& names);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+};
+
+/// Quotes a single CSV cell if needed.
+[[nodiscard]] std::string csv_escape(const std::string& cell);
+
+}  // namespace cc::util

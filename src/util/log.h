@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file log.h
+/// Leveled logging to stderr. Off by default above `warn` so that tests and
+/// benches stay quiet; examples turn on `info` for narration.
+
+#include <sstream>
+#include <string>
+
+namespace cc::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level that is emitted.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emits one line `[LEVEL] message` to stderr if `level` is enabled.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(const Args&... args) {
+  std::ostringstream out;
+  (out << ... << args);
+  return out.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const Args&... args) {
+  if (log_level() <= LogLevel::kDebug) {
+    log_line(LogLevel::kDebug, detail::concat(args...));
+  }
+}
+
+template <typename... Args>
+void log_info(const Args&... args) {
+  if (log_level() <= LogLevel::kInfo) {
+    log_line(LogLevel::kInfo, detail::concat(args...));
+  }
+}
+
+template <typename... Args>
+void log_warn(const Args&... args) {
+  if (log_level() <= LogLevel::kWarn) {
+    log_line(LogLevel::kWarn, detail::concat(args...));
+  }
+}
+
+template <typename... Args>
+void log_error(const Args&... args) {
+  log_line(LogLevel::kError, detail::concat(args...));
+}
+
+}  // namespace cc::util

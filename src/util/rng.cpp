@@ -1,0 +1,98 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace cc::util {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+/// SplitMix64 step — used only for seeding.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) {
+    word = splitmix64(sm);
+  }
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  // 53 random mantissa bits -> double in [0, 1).
+  const double u =
+      static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  return lo + u * (hi - lo);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  CC_EXPECTS(lo <= hi, "uniform_int requires lo <= hi");
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>((*this)());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = Rng::max() - Rng::max() % range;
+  std::uint64_t draw = 0;
+  do {
+    draw = (*this)();
+  } while (draw >= limit);
+  return lo + static_cast<std::int64_t>(draw % range);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  has_cached_normal_ = true;
+  return mean + stddev * u * factor;
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept {
+  return std::exp(normal(mu, sigma));
+}
+
+bool Rng::bernoulli(double p) noexcept { return uniform(0.0, 1.0) < p; }
+
+std::size_t Rng::index(std::size_t n) {
+  CC_EXPECTS(n > 0, "index requires a nonempty range");
+  return static_cast<std::size_t>(
+      uniform_int(0, static_cast<std::int64_t>(n) - 1));
+}
+
+Rng Rng::fork() noexcept { return Rng((*this)()); }
+
+}  // namespace cc::util

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file rng.h
+/// Deterministic pseudo-random number generation.
+///
+/// All stochastic behaviour in the library flows through `Rng`, a
+/// xoshiro256** engine seeded via SplitMix64. Library code never touches
+/// `std::random_device`: every experiment is reproducible from its seed,
+/// which the benches print alongside their results.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace cc::util {
+
+/// xoshiro256** 1.0 — fast, high-quality 64-bit PRNG.
+/// Satisfies `std::uniform_random_bit_generator`.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words through SplitMix64 so that nearby seeds
+  /// yield uncorrelated streams.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept;
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Marsaglia polar method, scaled to N(mean, stddev²).
+  [[nodiscard]] double normal(double mean, double stddev) noexcept;
+
+  /// Log-normal: exp(N(mu, sigma²)). Handy for hardware noise factors.
+  [[nodiscard]] double lognormal(double mu, double sigma) noexcept;
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+  /// Picks a uniformly random index in [0, n). Requires n > 0.
+  [[nodiscard]] std::size_t index(std::size_t n);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  /// Derives an independent child stream (for per-trial generators).
+  [[nodiscard]] Rng fork() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  // Cached second value from the polar method.
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace cc::util

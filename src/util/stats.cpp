@@ -1,0 +1,115 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace cc::util {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const noexcept { return mean_; }
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::min() const noexcept { return min_; }
+
+double RunningStats::max() const noexcept { return max_; }
+
+double RunningStats::ci95_halfwidth() const noexcept {
+  if (n_ < 2) {
+    return 0.0;
+  }
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  CC_EXPECTS(!sorted.empty(), "quantile of empty sample");
+  CC_EXPECTS(q >= 0.0 && q <= 1.0, "quantile q must lie in [0, 1]");
+  if (sorted.size() == 1) {
+    return sorted.front();
+  }
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  if (xs.empty()) {
+    return s;
+  }
+  RunningStats rs;
+  for (double x : xs) {
+    rs.add(x);
+  }
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.count = rs.count();
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = rs.min();
+  s.max = rs.max();
+  s.median = quantile_sorted(sorted, 0.5);
+  s.p95 = quantile_sorted(sorted, 0.95);
+  s.ci95 = rs.ci95_halfwidth();
+  return s;
+}
+
+double mean_of(std::span<const double> xs) noexcept {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double x : xs) {
+    sum += x;
+  }
+  return sum / static_cast<double>(xs.size());
+}
+
+double percent_change(double a, double b) noexcept {
+  if (a == 0.0) {
+    return 0.0;
+  }
+  return (b - a) / a * 100.0;
+}
+
+double jain_index(std::span<const double> xs) noexcept {
+  if (xs.empty()) {
+    return 1.0;
+  }
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) {
+    return 1.0;
+  }
+  return sum * sum / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+}  // namespace cc::util

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file stats.h
+/// Descriptive statistics for experiment reporting.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cc::util {
+
+/// Welford-style running accumulator: numerically stable mean/variance.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  /// Half-width of the 95% confidence interval on the mean
+  /// (normal approximation; 0 for fewer than two samples).
+  [[nodiscard]] double ci95_halfwidth() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// One-shot summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p95 = 0.0;
+  double ci95 = 0.0;  ///< half-width of the 95% CI on the mean
+};
+
+/// Summarizes a sample (copies and sorts internally for quantiles).
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Linear-interpolation quantile of a *sorted* sample, q in [0, 1].
+[[nodiscard]] double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Arithmetic mean; 0 for an empty span.
+[[nodiscard]] double mean_of(std::span<const double> xs) noexcept;
+
+/// Relative change (b - a) / a expressed as a percentage, e.g. -27.3.
+[[nodiscard]] double percent_change(double a, double b) noexcept;
+
+/// Jain's fairness index (Σx)² / (n·Σx²) ∈ (0, 1]; 1 = perfectly even.
+/// Returns 1 for empty or all-zero samples.
+[[nodiscard]] double jain_index(std::span<const double> xs) noexcept;
+
+}  // namespace cc::util

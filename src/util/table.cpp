@@ -1,0 +1,85 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace cc::util {
+
+std::string format_double(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  CC_EXPECTS(!headers_.empty(), "a table needs at least one column");
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(std::string text) {
+  CC_EXPECTS(!rows_.empty(), "call row() before cell()");
+  CC_EXPECTS(rows_.back().size() < headers_.size(),
+             "more cells than table columns");
+  rows_.back().push_back(std::move(text));
+  return *this;
+}
+
+Table& Table::cell(const char* text) { return cell(std::string(text)); }
+
+Table& Table::cell(double value, int precision) {
+  return cell(format_double(value, precision));
+}
+
+Table& Table::cell(std::size_t value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(int value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(long value) { return cell(std::to_string(value)); }
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& text = c < cells.size() ? cells[c] : std::string();
+      out << std::left << std::setw(static_cast<int>(widths[c])) << text;
+      if (c + 1 < headers_.size()) {
+        out << "  ";
+      }
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(widths[c], '-');
+    if (c + 1 < headers_.size()) {
+      out << "  ";
+    }
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+std::string Table::to_string() const {
+  std::ostringstream out;
+  print(out);
+  return out.str();
+}
+
+}  // namespace cc::util

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file table.h
+/// Aligned console tables — used by the benches to print the paper-style
+/// rows for every reproduced table and figure.
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cc::util {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format
+/// with a fixed precision. Rendering pads every column to its widest cell.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row. Subsequent `cell()` calls fill it left to right.
+  Table& row();
+
+  Table& cell(std::string text);
+  Table& cell(const char* text);
+  Table& cell(double value, int precision = 2);
+  Table& cell(std::size_t value);
+  Table& cell(int value);
+  Table& cell(long value);
+
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders with a header rule, e.g.
+  ///   n    CCSA    NonCoop
+  ///   ---  ------  -------
+  ///   20   81.20   112.43
+  void print(std::ostream& out) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared with CSV output).
+[[nodiscard]] std::string format_double(double value, int precision);
+
+}  // namespace cc::util

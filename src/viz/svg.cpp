@@ -1,0 +1,247 @@
+#include "viz/svg.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/assert.h"
+
+namespace cc::viz {
+
+namespace {
+
+/// Qualitative palette (ColorBrewer Set2 + extras), cycled per coalition.
+constexpr const char* kPalette[] = {
+    "#66c2a5", "#fc8d62", "#8da0cb", "#e78ac3", "#a6d854", "#ffd92f",
+    "#e5c494", "#b3b3b3", "#1b9e77", "#d95f02", "#7570b3", "#e7298a"};
+constexpr std::size_t kPaletteSize = sizeof(kPalette) / sizeof(kPalette[0]);
+
+/// World → canvas mapping over the bounding box of all entities.
+class Projection {
+ public:
+  Projection(const core::Instance& instance, const SvgOptions& options)
+      : options_(options) {
+    lo_ = hi_ = instance.device(0).position;
+    const auto extend = [this](geom::Vec2 p) {
+      lo_.x = std::min(lo_.x, p.x);
+      lo_.y = std::min(lo_.y, p.y);
+      hi_.x = std::max(hi_.x, p.x);
+      hi_.y = std::max(hi_.y, p.y);
+    };
+    for (const auto& d : instance.devices()) {
+      extend(d.position);
+    }
+    for (const auto& c : instance.chargers()) {
+      extend(c.position);
+    }
+    const double span =
+        std::max({hi_.x - lo_.x, hi_.y - lo_.y, 1e-9});
+    scale_ = (options.canvas_px - 2.0 * options.margin_px) / span;
+  }
+
+  [[nodiscard]] double x(double wx) const {
+    return options_.margin_px + (wx - lo_.x) * scale_;
+  }
+  /// SVG y grows downward; flip so north stays up.
+  [[nodiscard]] double y(double wy) const {
+    return options_.canvas_px - options_.margin_px - (wy - lo_.y) * scale_;
+  }
+
+ private:
+  SvgOptions options_;
+  geom::Vec2 lo_;
+  geom::Vec2 hi_;
+  double scale_ = 1.0;
+};
+
+class SvgBuilder {
+ public:
+  explicit SvgBuilder(double size) {
+    out_ << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << size
+         << "\" height=\"" << size << "\" viewBox=\"0 0 " << size << ' '
+         << size << "\">\n";
+    out_ << "<rect width=\"100%\" height=\"100%\" fill=\"#fafafa\"/>\n";
+  }
+
+  void line(double x1, double y1, double x2, double y2, const char* color,
+            double width, const char* dash = nullptr) {
+    out_ << "<line x1=\"" << x1 << "\" y1=\"" << y1 << "\" x2=\"" << x2
+         << "\" y2=\"" << y2 << "\" stroke=\"" << color
+         << "\" stroke-width=\"" << width << '"';
+    if (dash != nullptr) {
+      out_ << " stroke-dasharray=\"" << dash << '"';
+    }
+    out_ << "/>\n";
+  }
+
+  void circle(double cx, double cy, double r, const std::string& fill,
+              const char* stroke = "#333333") {
+    out_ << "<circle cx=\"" << cx << "\" cy=\"" << cy << "\" r=\"" << r
+         << "\" fill=\"" << fill << "\" stroke=\"" << stroke
+         << "\" stroke-width=\"0.8\"/>\n";
+  }
+
+  void square(double cx, double cy, double half, const char* fill) {
+    out_ << "<rect x=\"" << cx - half << "\" y=\"" << cy - half
+         << "\" width=\"" << 2 * half << "\" height=\"" << 2 * half
+         << "\" fill=\"" << fill
+         << "\" stroke=\"#222222\" stroke-width=\"1\"/>\n";
+  }
+
+  void diamond(double cx, double cy, double half, const std::string& fill) {
+    out_ << "<polygon points=\"" << cx << ',' << cy - half << ' '
+         << cx + half << ',' << cy << ' ' << cx << ',' << cy + half << ' '
+         << cx - half << ',' << cy << "\" fill=\"" << fill
+         << "\" stroke=\"#222222\" stroke-width=\"0.8\"/>\n";
+  }
+
+  void text(double x, double y, const std::string& content,
+            double size = 11.0) {
+    out_ << "<text x=\"" << x << "\" y=\"" << y << "\" font-size=\""
+         << size << "\" font-family=\"sans-serif\" fill=\"#333333\">"
+         << content << "</text>\n";
+  }
+
+  [[nodiscard]] std::string finish() {
+    out_ << "</svg>\n";
+    return out_.str();
+  }
+
+ private:
+  std::ostringstream out_;
+};
+
+void draw_chargers(SvgBuilder& svg, const Projection& proj,
+                   const core::Instance& instance) {
+  for (core::ChargerId j = 0; j < instance.num_chargers(); ++j) {
+    const auto p = instance.charger(j).position;
+    svg.square(proj.x(p.x), proj.y(p.y), 6.0, "#37474f");
+    svg.text(proj.x(p.x) + 8.0, proj.y(p.y) - 6.0,
+             "c" + std::to_string(j), 10.0);
+  }
+}
+
+double device_radius(const core::Instance& instance, core::DeviceId i) {
+  double max_demand = 1e-9;
+  for (const auto& d : instance.devices()) {
+    max_demand = std::max(max_demand, d.demand_j);
+  }
+  const double frac = instance.device(i).demand_j / max_demand;
+  return 3.0 + 4.0 * frac;
+}
+
+void draw_legend(SvgBuilder& svg, const SvgOptions& options,
+                 const std::string& title) {
+  if (!options.draw_legend) {
+    return;
+  }
+  svg.text(options.margin_px, 16.0, title, 13.0);
+}
+
+}  // namespace
+
+std::string render_instance(const core::Instance& instance,
+                            const SvgOptions& options) {
+  const Projection proj(instance, options);
+  SvgBuilder svg(options.canvas_px);
+  draw_chargers(svg, proj, instance);
+  for (core::DeviceId i = 0; i < instance.num_devices(); ++i) {
+    const auto p = instance.device(i).position;
+    svg.circle(proj.x(p.x), proj.y(p.y), device_radius(instance, i),
+               "#90a4ae");
+  }
+  draw_legend(svg, options,
+              "deployment: " + std::to_string(instance.num_devices()) +
+                  " devices, " + std::to_string(instance.num_chargers()) +
+                  " chargers");
+  return svg.finish();
+}
+
+std::string render_schedule(const core::Instance& instance,
+                            const core::Schedule& schedule,
+                            const SvgOptions& options) {
+  schedule.validate(instance);
+  const Projection proj(instance, options);
+  SvgBuilder svg(options.canvas_px);
+
+  const auto coalitions = schedule.coalitions();
+  // Links below markers.
+  if (options.draw_links) {
+    for (std::size_t k = 0; k < coalitions.size(); ++k) {
+      const auto charger_pos =
+          instance.charger(coalitions[k].charger).position;
+      for (core::DeviceId i : coalitions[k].members) {
+        const auto p = instance.device(i).position;
+        svg.line(proj.x(p.x), proj.y(p.y), proj.x(charger_pos.x),
+                 proj.y(charger_pos.y), kPalette[k % kPaletteSize], 0.7);
+      }
+    }
+  }
+  draw_chargers(svg, proj, instance);
+  for (std::size_t k = 0; k < coalitions.size(); ++k) {
+    for (core::DeviceId i : coalitions[k].members) {
+      const auto p = instance.device(i).position;
+      svg.circle(proj.x(p.x), proj.y(p.y), device_radius(instance, i),
+                 kPalette[k % kPaletteSize]);
+    }
+  }
+  draw_legend(svg, options,
+              "schedule: " + std::to_string(coalitions.size()) +
+                  " coalitions");
+  return svg.finish();
+}
+
+std::string render_mobile_plan(const core::Instance& instance,
+                               const core::Schedule& schedule,
+                               const mobile::MobilePlan& plan,
+                               const SvgOptions& options) {
+  schedule.validate(instance);
+  const Projection proj(instance, options);
+  SvgBuilder svg(options.canvas_px);
+
+  // Device → rendezvous links and coalition coloring.
+  const auto coalitions = schedule.coalitions();
+  for (const auto& route : plan.routes) {
+    // Charger tour (dashed), starting at the charger.
+    auto prev = instance.charger(route.charger).position;
+    for (const auto& visit : route.visits) {
+      svg.line(proj.x(prev.x), proj.y(prev.y), proj.x(visit.rendezvous.x),
+               proj.y(visit.rendezvous.y), "#455a64", 1.4, "6,4");
+      prev = visit.rendezvous;
+    }
+    for (const auto& visit : route.visits) {
+      const std::size_t k = visit.coalition_index;
+      if (options.draw_links) {
+        for (core::DeviceId i : coalitions[k].members) {
+          const auto p = instance.device(i).position;
+          svg.line(proj.x(p.x), proj.y(p.y), proj.x(visit.rendezvous.x),
+                   proj.y(visit.rendezvous.y),
+                   kPalette[k % kPaletteSize], 0.7);
+        }
+      }
+      svg.diamond(proj.x(visit.rendezvous.x), proj.y(visit.rendezvous.y),
+                  5.0, kPalette[k % kPaletteSize]);
+    }
+  }
+  draw_chargers(svg, proj, instance);
+  for (std::size_t k = 0; k < coalitions.size(); ++k) {
+    for (core::DeviceId i : coalitions[k].members) {
+      const auto p = instance.device(i).position;
+      svg.circle(proj.x(p.x), proj.y(p.y), device_radius(instance, i),
+                 kPalette[k % kPaletteSize]);
+    }
+  }
+  draw_legend(svg, options, "mobile service plan");
+  return svg.finish();
+}
+
+void save_svg(const std::string& path, const std::string& svg) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open for writing: " + path);
+  }
+  out << svg;
+}
+
+}  // namespace cc::viz

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file svg.h
+/// SVG rendering of deployments, schedules, and mobile routes — the
+/// "show me the plan" layer. Produces self-contained SVG documents:
+/// chargers as squares, devices as demand-scaled circles colored by
+/// coalition, assignment links, and (for mobile plans) charger tours
+/// through rendezvous points.
+
+#include <string>
+
+#include "core/schedule.h"
+#include "mobile/planner.h"
+
+namespace cc::viz {
+
+struct SvgOptions {
+  double canvas_px = 640.0;  ///< square canvas side
+  double margin_px = 24.0;
+  bool draw_links = true;    ///< device → service-point lines
+  bool draw_legend = true;
+};
+
+/// The deployment alone (no schedule): devices and chargers.
+[[nodiscard]] std::string render_instance(const core::Instance& instance,
+                                          const SvgOptions& options = {});
+
+/// A schedule: devices colored per coalition with links to the charger.
+/// The schedule must validate against the instance.
+[[nodiscard]] std::string render_schedule(const core::Instance& instance,
+                                          const core::Schedule& schedule,
+                                          const SvgOptions& options = {});
+
+/// A mobile plan: coalition rendezvous points and charger tours.
+[[nodiscard]] std::string render_mobile_plan(
+    const core::Instance& instance, const core::Schedule& schedule,
+    const mobile::MobilePlan& plan, const SvgOptions& options = {});
+
+/// Writes any of the above to a file; throws std::runtime_error on
+/// failure.
+void save_svg(const std::string& path, const std::string& svg);
+
+}  // namespace cc::viz

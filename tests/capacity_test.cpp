@@ -1,0 +1,341 @@
+// Session-capacity constraint (CostParams::max_group_size): every
+// scheduler honours the cap, the capped exact minimizer matches brute
+// force, and costs degrade gracefully as the cap tightens.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+#include "core/exact_dp.h"
+#include "core/generator.h"
+#include "core/io.h"
+#include "core/scheduler.h"
+#include "submodular/brute_force.h"
+#include "submodular/densest.h"
+#include "submodular/max_modular.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace {
+
+using cc::core::GeneratorConfig;
+using cc::core::Instance;
+using cc::sub::MaxModularFunction;
+
+Instance capped_instance(std::uint64_t seed, int cap, int n = 20, int m = 5) {
+  GeneratorConfig config;
+  config.num_devices = n;
+  config.num_chargers = m;
+  config.seed = seed;
+  config.cost_params.max_group_size = cap;
+  return cc::core::generate(config);
+}
+
+// --------------------------------------------- capped exact minimizer
+
+MaxModularFunction random_function(cc::util::Rng& rng, int n) {
+  std::vector<double> w(static_cast<std::size_t>(n));
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    w[static_cast<std::size_t>(i)] = rng.uniform(0.0, 10.0);
+    b[static_cast<std::size_t>(i)] = rng.uniform(-6.0, 6.0);
+  }
+  return MaxModularFunction(rng.uniform(0.0, 2.0), std::move(w),
+                            std::move(b));
+}
+
+double brute_capped_min(const MaxModularFunction& f, int cap) {
+  double best = std::numeric_limits<double>::infinity();
+  const std::uint32_t limit = 1U << f.n();
+  for (std::uint32_t mask = 1; mask < limit; ++mask) {
+    if (static_cast<int>(std::popcount(mask)) > cap) {
+      continue;
+    }
+    best = std::min(best, f.value(cc::sub::mask_to_set(mask, f.n())));
+  }
+  return best;
+}
+
+double brute_capped_ratio(const MaxModularFunction& f, int cap) {
+  double best = std::numeric_limits<double>::infinity();
+  const std::uint32_t limit = 1U << f.n();
+  for (std::uint32_t mask = 1; mask < limit; ++mask) {
+    if (static_cast<int>(std::popcount(mask)) > cap) {
+      continue;
+    }
+    const auto set = cc::sub::mask_to_set(mask, f.n());
+    best = std::min(best,
+                    f.value(set) / static_cast<double>(set.size()));
+  }
+  return best;
+}
+
+class CappedMinimizer
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CappedMinimizer, MatchesBruteForce) {
+  const auto [seed, cap] = GetParam();
+  cc::util::Rng rng(static_cast<std::uint64_t>(seed));
+  const int n = 2 + static_cast<int>(rng.index(8));
+  const auto f = random_function(rng, n);
+  const auto [set, value] = f.minimize_exact_nonempty_capped(cap);
+  EXPECT_LE(static_cast<int>(set.size()), cap);
+  EXPECT_NEAR(value, brute_capped_min(f, cap), 1e-12);
+  EXPECT_NEAR(f.value(set), value, 1e-12);
+}
+
+TEST_P(CappedMinimizer, DensestCappedMatchesBruteForce) {
+  const auto [seed, cap] = GetParam();
+  cc::util::Rng rng(static_cast<std::uint64_t>(seed) + 777);
+  const int n = 2 + static_cast<int>(rng.index(8));
+  // Cost-like instance: nonnegative values.
+  std::vector<double> w(static_cast<std::size_t>(n));
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    w[static_cast<std::size_t>(i)] = rng.uniform(1.0, 10.0);
+    b[static_cast<std::size_t>(i)] = rng.uniform(0.0, 5.0);
+  }
+  const MaxModularFunction f(rng.uniform(0.1, 2.0), w, b);
+  const auto result = cc::sub::min_average_cost_capped(f, cap);
+  EXPECT_LE(static_cast<int>(result.set.size()), cap);
+  EXPECT_NEAR(result.average_cost, brute_capped_ratio(f, cap), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CappedMinimizer,
+                         ::testing::Combine(::testing::Range(1, 11),
+                                            ::testing::Values(1, 2, 3, 5)));
+
+TEST(CappedMinimizerTest, CapOneIsBestSingleton) {
+  cc::util::Rng rng(5);
+  const auto f = random_function(rng, 8);
+  const auto [set, value] = f.minimize_exact_nonempty_capped(1);
+  EXPECT_EQ(set.size(), 1u);
+  double best_single = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < 8; ++i) {
+    const int s[] = {i};
+    best_single = std::min(best_single, f.value(s));
+  }
+  EXPECT_NEAR(value, best_single, 1e-12);
+}
+
+TEST(CappedMinimizerTest, LargeCapEqualsUnconstrained) {
+  cc::util::Rng rng(6);
+  const auto f = random_function(rng, 9);
+  const auto capped = f.minimize_exact_nonempty_capped(9);
+  const auto free = f.minimize_exact_nonempty();
+  EXPECT_NEAR(capped.second, free.second, 1e-12);
+}
+
+TEST(CappedMinimizerTest, RejectsBadCap) {
+  cc::util::Rng rng(7);
+  const auto f = random_function(rng, 4);
+  EXPECT_THROW((void)f.minimize_exact_nonempty_capped(0),
+               cc::util::AssertionError);
+}
+
+// -------------------------------------------------- scheduler behaviour
+
+class CappedSchedulers
+    : public ::testing::TestWithParam<std::tuple<const char*, int>> {};
+
+TEST_P(CappedSchedulers, RespectTheCap) {
+  const auto [name, cap] = GetParam();
+  const bool is_optimal = std::string(name) == "optimal";
+  const Instance inst = capped_instance(11, cap, is_optimal ? 10 : 20);
+  const auto result = cc::core::make_scheduler(name)->run(inst);
+  EXPECT_NO_THROW(result.schedule.validate(inst));
+  for (const auto& c : result.schedule.coalitions()) {
+    EXPECT_LE(static_cast<int>(c.members.size()), cap);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CappedSchedulers,
+    ::testing::Combine(::testing::Values("noncoop", "ccsa", "ccsga",
+                                         "ccsga-guarded", "optimal",
+                                         "kmeans", "random"),
+                       ::testing::Values(1, 2, 4)));
+
+TEST(CapacityCostTest, TighterCapNeverHelps) {
+  // Optimal cost is monotone nonincreasing in the cap.
+  double prev = std::numeric_limits<double>::infinity();
+  for (int cap : {1, 2, 3, 5, 8, 10}) {
+    const Instance inst = capped_instance(13, cap, 10, 4);
+    const cc::core::CostModel cost(inst);
+    const double opt =
+        cc::core::ExactDp().run(inst).schedule.total_cost(cost);
+    EXPECT_LE(opt, prev + 1e-9) << "cap " << cap;
+    prev = opt;
+  }
+}
+
+TEST(CapacityCostTest, CapOneEqualsNonCooperation) {
+  const Instance inst = capped_instance(17, 1, 12, 4);
+  const cc::core::CostModel cost(inst);
+  const double opt = cc::core::ExactDp().run(inst).schedule.total_cost(cost);
+  const double noncoop = cc::core::make_scheduler("noncoop")
+                             ->run(inst)
+                             .schedule.total_cost(cost);
+  EXPECT_NEAR(opt, noncoop, 1e-9);
+}
+
+TEST(CapacityCostTest, CcsaTracksOptimalUnderCaps) {
+  for (int cap : {2, 3, 4}) {
+    const Instance inst = capped_instance(19, cap, 12, 4);
+    const cc::core::CostModel cost(inst);
+    const double opt =
+        cc::core::ExactDp().run(inst).schedule.total_cost(cost);
+    const double ccsa = cc::core::make_scheduler("ccsa")
+                            ->run(inst)
+                            .schedule.total_cost(cost);
+    EXPECT_GE(ccsa + 1e-9, opt);
+    EXPECT_LE(ccsa, 1.25 * opt);
+  }
+}
+
+TEST(CapacityValidationTest, ScheduleValidateEnforcesCap) {
+  const Instance inst = capped_instance(23, 2, 6, 3);
+  cc::core::Schedule schedule;
+  schedule.add({0, {0, 1, 2}});  // size 3 > cap 2
+  schedule.add({1, {3, 4}});
+  schedule.add({2, {5}});
+  EXPECT_THROW(schedule.validate(inst), cc::util::AssertionError);
+}
+
+TEST(CapacityValidationTest, WolfeBackendRejectsCaps) {
+  const Instance inst = capped_instance(29, 2, 8, 3);
+  EXPECT_THROW((void)cc::core::make_scheduler("ccsa-wolfe")->run(inst),
+               cc::util::AssertionError);
+}
+
+
+// --------------------------------------------- per-charger capacities
+
+Instance heterogeneous_instance(std::uint64_t seed, int n = 18) {
+  GeneratorConfig config;
+  config.num_devices = n;
+  config.num_chargers = 4;
+  config.seed = seed;
+  Instance base = cc::core::generate(config);
+  std::vector<cc::core::Device> devices(base.devices().begin(),
+                                        base.devices().end());
+  std::vector<cc::core::Charger> chargers(base.chargers().begin(),
+                                          base.chargers().end());
+  // Pads with very different capacities: 1, 2, 4, unlimited.
+  chargers[0].max_group_size = 1;
+  chargers[1].max_group_size = 2;
+  chargers[2].max_group_size = 4;
+  chargers[3].max_group_size = 0;
+  return Instance(std::move(devices), std::move(chargers), base.params());
+}
+
+TEST(PerChargerCapTest, SessionCapCombinesGlobalAndLocal) {
+  GeneratorConfig config;
+  config.num_devices = 4;
+  config.num_chargers = 2;
+  config.seed = 5;
+  config.cost_params.max_group_size = 3;
+  Instance base = cc::core::generate(config);
+  std::vector<cc::core::Device> devices(base.devices().begin(),
+                                        base.devices().end());
+  std::vector<cc::core::Charger> chargers(base.chargers().begin(),
+                                          base.chargers().end());
+  chargers[0].max_group_size = 2;  // tighter than global
+  chargers[1].max_group_size = 5;  // looser than global
+  const Instance inst(std::move(devices), std::move(chargers),
+                      base.params());
+  const cc::core::CostModel cost(inst);
+  EXPECT_EQ(cost.session_cap(0), 2);
+  EXPECT_EQ(cost.session_cap(1), 3);
+  EXPECT_EQ(cost.max_feasible_group(), 3);
+}
+
+TEST(PerChargerCapTest, BestChargerSkipsUndersizedPads) {
+  const Instance inst = heterogeneous_instance(31);
+  const cc::core::CostModel cost(inst);
+  // A group of 3 cannot use pads 0 (cap 1) or 1 (cap 2).
+  const std::vector<cc::core::DeviceId> trio{0, 1, 2};
+  const auto [j, c] = cost.best_charger(trio);
+  (void)c;
+  EXPECT_GE(j, 2);
+}
+
+class PerChargerCapSchedulers
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PerChargerCapSchedulers, RespectEveryPadsCapacity) {
+  const Instance inst = heterogeneous_instance(
+      37, std::string(GetParam()) == "optimal" ? 10 : 18);
+  const auto result = cc::core::make_scheduler(GetParam())->run(inst);
+  EXPECT_NO_THROW(result.schedule.validate(inst));
+  const cc::core::CostModel cost(inst);
+  for (const auto& c : result.schedule.coalitions()) {
+    const int cap = cost.session_cap(c.charger);
+    if (cap > 0) {
+      EXPECT_LE(static_cast<int>(c.members.size()), cap);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PerChargerCapSchedulers,
+                         ::testing::Values("noncoop", "ccsa", "ccsga",
+                                           "optimal", "kmeans", "random",
+                                           "anneal", "ncg", "dsg"));
+
+TEST(PerChargerCapTest, OptimalNeverWorseThanUniformTighterCap) {
+  // Giving one pad more capacity can only help the optimum.
+  GeneratorConfig config;
+  config.num_devices = 10;
+  config.num_chargers = 3;
+  config.seed = 41;
+  config.cost_params.max_group_size = 2;
+  const Instance uniform = cc::core::generate(config);
+  std::vector<cc::core::Device> devices(uniform.devices().begin(),
+                                        uniform.devices().end());
+  std::vector<cc::core::Charger> chargers(uniform.chargers().begin(),
+                                          uniform.chargers().end());
+  cc::core::CostParams params = uniform.params();
+  params.max_group_size = 0;  // move the cap onto the pads instead
+  for (auto& c : chargers) {
+    c.max_group_size = 2;
+  }
+  chargers[0].max_group_size = 6;  // one big pad
+  const Instance relaxed(std::move(devices), std::move(chargers), params);
+  const cc::core::CostModel cost_u(uniform);
+  const cc::core::CostModel cost_r(relaxed);
+  const double opt_uniform =
+      cc::core::ExactDp().run(uniform).schedule.total_cost(cost_u);
+  const double opt_relaxed =
+      cc::core::ExactDp().run(relaxed).schedule.total_cost(cost_r);
+  EXPECT_LE(opt_relaxed, opt_uniform + 1e-9);
+}
+
+TEST(PerChargerCapTest, IoRoundTripsChargerCapacity) {
+  const Instance inst = heterogeneous_instance(43, 6);
+  std::stringstream buffer;
+  cc::core::write_instance(buffer, inst);
+  const Instance loaded = cc::core::read_instance(buffer);
+  for (int j = 0; j < inst.num_chargers(); ++j) {
+    EXPECT_EQ(loaded.charger(j).max_group_size,
+              inst.charger(j).max_group_size);
+  }
+}
+
+TEST(PerChargerCapTest, IoAcceptsLegacyFiveFieldChargerRows) {
+  std::stringstream buffer;
+  buffer << "coopcharge-instance v1\nparams 1 1 0 0\ndevices 1\n"
+         << "0 0 10 20 1 0.5 0\nchargers 1\n5 5 2 0.8 1\n";
+  const Instance loaded = cc::core::read_instance(buffer);
+  EXPECT_EQ(loaded.charger(0).max_group_size, 0);
+}
+
+TEST(PerChargerCapTest, ValidateRejectsOverfullPad) {
+  const Instance inst = heterogeneous_instance(47, 6);
+  cc::core::Schedule bad;
+  bad.add({0, {0, 1}});  // pad 0 has capacity 1
+  bad.add({3, {2, 3, 4, 5}});
+  EXPECT_THROW(bad.validate(inst), cc::util::AssertionError);
+}
+
+}  // namespace

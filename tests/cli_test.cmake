@@ -1,0 +1,62 @@
+# End-to-end exercise of the ccs_cli binary: generate → solve →
+# re-evaluate → simulate, checking exit codes and key output markers.
+# Invoked by ctest with -DCLI=<path-to-binary>.
+
+set(WORK "${CMAKE_CURRENT_BINARY_DIR}/cli_test_work")
+file(REMOVE_RECURSE "${WORK}")
+file(MAKE_DIRECTORY "${WORK}")
+
+function(run_cli expect_rc out_var)
+  execute_process(
+    COMMAND ${CLI} ${ARGN}
+    WORKING_DIRECTORY "${WORK}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL ${expect_rc})
+    message(FATAL_ERROR
+            "ccs_cli ${ARGN} exited ${rc} (expected ${expect_rc}): ${err}")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+# Help text.
+run_cli(0 out --help)
+if(NOT out MATCHES "ccs_cli")
+  message(FATAL_ERROR "--help did not print usage")
+endif()
+
+# Generate an instance file.
+run_cli(0 out --generate --devices=15 --chargers=4 --seed=3
+        --out=instance.txt)
+if(NOT EXISTS "${WORK}/instance.txt")
+  message(FATAL_ERROR "instance.txt was not written")
+endif()
+
+# Solve it and save the schedule + SVG.
+run_cli(0 out --instance=instance.txt --algo=ccsa
+        --schedule-out=sched.txt --svg=plan.svg)
+if(NOT out MATCHES "comprehensive cost")
+  message(FATAL_ERROR "solve output missing the cost line")
+endif()
+if(NOT EXISTS "${WORK}/sched.txt" OR NOT EXISTS "${WORK}/plan.svg")
+  message(FATAL_ERROR "schedule or SVG output missing")
+endif()
+
+# Evaluate the saved schedule with payments and simulation.
+run_cli(0 out --instance=instance.txt --schedule=sched.txt
+        --scheme=shapley --payments --simulate)
+if(NOT out MATCHES "realized cost")
+  message(FATAL_ERROR "simulation output missing")
+endif()
+if(NOT out MATCHES "standalone")
+  message(FATAL_ERROR "payments table missing")
+endif()
+
+# Usage error: neither --generate nor --instance.
+run_cli(1 out --algo=ccsa)
+
+# I/O error: missing file.
+run_cli(2 out --instance=missing.txt)
+
+message(STATUS "ccs_cli end-to-end OK")

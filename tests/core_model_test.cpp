@@ -1,0 +1,306 @@
+// Tests for the CCS core model: Instance, CostModel, generators.
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+#include "core/generator.h"
+#include "core/instance.h"
+#include "submodular/brute_force.h"
+#include "util/assert.h"
+
+namespace {
+
+using cc::core::Charger;
+using cc::core::CostModel;
+using cc::core::CostParams;
+using cc::core::Device;
+using cc::core::GeneratorConfig;
+using cc::core::Instance;
+using cc::util::AssertionError;
+
+Device make_device(double x, double y, double demand, double move_cost) {
+  Device d;
+  d.position = {x, y};
+  d.demand_j = demand;
+  d.battery_capacity_j = demand * 1.5;
+  d.motion.unit_cost = move_cost;
+  return d;
+}
+
+Charger make_charger(double x, double y, double power, double price) {
+  Charger c;
+  c.position = {x, y};
+  c.power_w = power;
+  c.price_per_s = price;
+  return c;
+}
+
+Instance tiny_instance() {
+  // Two devices on the x-axis, two chargers.
+  std::vector<Device> devices{make_device(0.0, 0.0, 50.0, 1.0),
+                              make_device(10.0, 0.0, 100.0, 1.0)};
+  std::vector<Charger> chargers{make_charger(0.0, 0.0, 5.0, 0.5),
+                                make_charger(10.0, 0.0, 5.0, 0.5)};
+  return Instance(std::move(devices), std::move(chargers));
+}
+
+// -------------------------------------------------------------- instance
+
+TEST(InstanceTest, ValidatesParameters) {
+  EXPECT_THROW(Instance({}, {make_charger(0, 0, 1, 1)}), AssertionError);
+  EXPECT_THROW(Instance({make_device(0, 0, 1, 1)}, {}), AssertionError);
+
+  Device bad_demand = make_device(0, 0, -1.0, 1.0);
+  bad_demand.battery_capacity_j = 1.0;
+  EXPECT_THROW(Instance({bad_demand}, {make_charger(0, 0, 1, 1)}),
+               AssertionError);
+
+  Device small_battery = make_device(0, 0, 10.0, 1.0);
+  small_battery.battery_capacity_j = 5.0;
+  EXPECT_THROW(Instance({small_battery}, {make_charger(0, 0, 1, 1)}),
+               AssertionError);
+
+  EXPECT_THROW(Instance({make_device(0, 0, 1, 1)},
+                        {make_charger(0, 0, 0.0, 1)}),
+               AssertionError);
+}
+
+TEST(InstanceTest, DistanceMatrix) {
+  const Instance inst = tiny_instance();
+  EXPECT_DOUBLE_EQ(inst.distance(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(inst.distance(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(inst.distance(1, 0), 10.0);
+  EXPECT_DOUBLE_EQ(inst.distance(1, 1), 0.0);
+  EXPECT_THROW((void)inst.distance(2, 0), AssertionError);
+  EXPECT_THROW((void)inst.distance(0, 2), AssertionError);
+}
+
+TEST(InstanceTest, Accessors) {
+  const Instance inst = tiny_instance();
+  EXPECT_EQ(inst.num_devices(), 2);
+  EXPECT_EQ(inst.num_chargers(), 2);
+  EXPECT_DOUBLE_EQ(inst.device(1).demand_j, 100.0);
+  EXPECT_DOUBLE_EQ(inst.charger(0).price_per_s, 0.5);
+  EXPECT_THROW((void)inst.device(-1), AssertionError);
+  EXPECT_THROW((void)inst.charger(5), AssertionError);
+}
+
+// ------------------------------------------------------------ cost model
+
+TEST(CostModelTest, SessionTimeIsMaxDemandOverPower) {
+  const Instance inst = tiny_instance();
+  const CostModel cost(inst);
+  const cc::core::DeviceId both[] = {0, 1};
+  EXPECT_DOUBLE_EQ(cost.session_time(0, both), 100.0 / 5.0);
+  const cc::core::DeviceId only0[] = {0};
+  EXPECT_DOUBLE_EQ(cost.session_time(0, only0), 10.0);
+  EXPECT_DOUBLE_EQ(cost.session_time(0, {}), 0.0);
+}
+
+TEST(CostModelTest, SessionFeeScalesWithPriceAndWeight) {
+  std::vector<Device> devices{make_device(0, 0, 50, 1)};
+  std::vector<Charger> chargers{make_charger(0, 0, 5, 0.5)};
+  CostParams params;
+  params.fee_weight = 2.0;
+  const Instance inst(std::move(devices), std::move(chargers), params);
+  const CostModel cost(inst);
+  const cc::core::DeviceId members[] = {0};
+  EXPECT_DOUBLE_EQ(cost.session_fee(0, members), 2.0 * 0.5 * 10.0);
+}
+
+TEST(CostModelTest, MoveCostUsesDistanceAndUnitCost) {
+  const Instance inst = tiny_instance();
+  const CostModel cost(inst);
+  EXPECT_DOUBLE_EQ(cost.move_cost(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(cost.move_cost(0, 0), 0.0);
+}
+
+TEST(CostModelTest, RoundTripDoublesMoveCost) {
+  std::vector<Device> devices{make_device(0, 0, 50, 1)};
+  std::vector<Charger> chargers{make_charger(3, 4, 5, 0.5)};
+  CostParams params;
+  params.round_trip = true;
+  const Instance inst(std::move(devices), std::move(chargers), params);
+  const CostModel cost(inst);
+  EXPECT_DOUBLE_EQ(cost.move_cost(0, 0), 10.0);
+}
+
+TEST(CostModelTest, GroupCostDecomposes) {
+  const Instance inst = tiny_instance();
+  const CostModel cost(inst);
+  const cc::core::DeviceId both[] = {0, 1};
+  EXPECT_DOUBLE_EQ(cost.group_cost(0, both),
+                   cost.session_fee(0, both) + cost.move_cost(0, 0) +
+                       cost.move_cost(1, 0));
+}
+
+TEST(CostModelTest, StandalonePicksCheapestCharger) {
+  const Instance inst = tiny_instance();
+  const CostModel cost(inst);
+  // Device 0 at charger 0: fee 0.5*10=5, move 0. At charger 1: 5 + 10.
+  const auto [j0, c0] = cost.standalone(0);
+  EXPECT_EQ(j0, 0);
+  EXPECT_DOUBLE_EQ(c0, 5.0);
+  const auto [j1, c1] = cost.standalone(1);
+  EXPECT_EQ(j1, 1);
+  EXPECT_DOUBLE_EQ(c1, 10.0);
+}
+
+TEST(CostModelTest, BestChargerForGroup) {
+  const Instance inst = tiny_instance();
+  const CostModel cost(inst);
+  const std::vector<cc::core::DeviceId> both{0, 1};
+  const auto [j, c] = cost.best_charger(both);
+  // Fee is 10 either way; moving cost 10 either way. Tie -> charger 0.
+  EXPECT_EQ(j, 0);
+  EXPECT_DOUBLE_EQ(c, 20.0);
+  EXPECT_THROW((void)cost.best_charger({}), AssertionError);
+}
+
+TEST(CostModelTest, GroupCostFunctionMatchesGroupCost) {
+  const Instance inst = tiny_instance();
+  const CostModel cost(inst);
+  const std::vector<cc::core::DeviceId> universe{1, 0};  // scrambled order
+  const auto f = cost.group_cost_function(0, universe);
+  EXPECT_EQ(f.n(), 2);
+  // Restricted element k corresponds to universe[k].
+  const int s0[] = {0};  // device 1
+  const cc::core::DeviceId dev1[] = {1};
+  EXPECT_DOUBLE_EQ(f.value(s0), cost.group_cost(0, dev1));
+  const int both_local[] = {0, 1};
+  const cc::core::DeviceId both[] = {0, 1};
+  EXPECT_DOUBLE_EQ(f.value(both_local), cost.group_cost(0, both));
+}
+
+TEST(CostModelTest, GroupCostFunctionIsSubmodularAndMonotone) {
+  const GeneratorConfig config;
+  cc::util::Rng rng(3);
+  GeneratorConfig small = config;
+  small.num_devices = 8;
+  small.num_chargers = 3;
+  small.seed = 77;
+  const Instance inst = cc::core::generate(small);
+  const CostModel cost(inst);
+  std::vector<cc::core::DeviceId> universe{0, 1, 2, 3, 4, 5, 6, 7};
+  for (cc::core::ChargerId j = 0; j < inst.num_chargers(); ++j) {
+    const auto f = cost.group_cost_function(j, universe);
+    EXPECT_TRUE(cc::sub::is_submodular(f)) << "charger " << j;
+    EXPECT_TRUE(cc::sub::is_monotone(f)) << "charger " << j;
+  }
+}
+
+// -------------------------------------------------------------- generator
+
+TEST(GeneratorTest, DeterministicInSeed) {
+  GeneratorConfig config;
+  config.num_devices = 20;
+  config.num_chargers = 5;
+  config.seed = 42;
+  const Instance a = cc::core::generate(config);
+  const Instance b = cc::core::generate(config);
+  ASSERT_EQ(a.num_devices(), b.num_devices());
+  for (int i = 0; i < a.num_devices(); ++i) {
+    EXPECT_EQ(a.device(i).position, b.device(i).position);
+    EXPECT_DOUBLE_EQ(a.device(i).demand_j, b.device(i).demand_j);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  GeneratorConfig config;
+  config.seed = 1;
+  const Instance a = cc::core::generate(config);
+  config.seed = 2;
+  const Instance b = cc::core::generate(config);
+  EXPECT_NE(a.device(0).position, b.device(0).position);
+}
+
+TEST(GeneratorTest, RespectsCounts) {
+  GeneratorConfig config;
+  config.num_devices = 33;
+  config.num_chargers = 7;
+  const Instance inst = cc::core::generate(config);
+  EXPECT_EQ(inst.num_devices(), 33);
+  EXPECT_EQ(inst.num_chargers(), 7);
+}
+
+TEST(GeneratorTest, DemandsWithinRange) {
+  GeneratorConfig config;
+  config.demand_min_j = 10.0;
+  config.demand_max_j = 20.0;
+  config.num_devices = 100;
+  const Instance inst = cc::core::generate(config);
+  for (int i = 0; i < inst.num_devices(); ++i) {
+    EXPECT_GE(inst.device(i).demand_j, 10.0);
+    EXPECT_LE(inst.device(i).demand_j, 20.0);
+    EXPECT_GE(inst.device(i).battery_capacity_j, inst.device(i).demand_j);
+  }
+}
+
+TEST(GeneratorTest, PositionsInsideField) {
+  GeneratorConfig config;
+  config.field_size_m = 50.0;
+  config.num_devices = 200;
+  config.clusters = 3;  // clustered positions are clamped to the field
+  const Instance inst = cc::core::generate(config);
+  for (int i = 0; i < inst.num_devices(); ++i) {
+    const auto p = inst.device(i).position;
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 50.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 50.0);
+  }
+}
+
+TEST(GeneratorTest, ClusteredDeploymentIsTighter) {
+  GeneratorConfig uniform;
+  uniform.num_devices = 150;
+  uniform.seed = 5;
+  GeneratorConfig clustered = uniform;
+  clustered.clusters = 3;
+  clustered.cluster_sigma_m = 4.0;
+  const Instance u = cc::core::generate(uniform);
+  const Instance c = cc::core::generate(clustered);
+  // Mean pairwise distance should be clearly smaller when clustered.
+  const auto mean_pairwise = [](const Instance& inst) {
+    double total = 0.0;
+    long pairs = 0;
+    for (int i = 0; i < inst.num_devices(); ++i) {
+      for (int j = i + 1; j < inst.num_devices(); ++j) {
+        total += cc::geom::distance(inst.device(i).position,
+                                    inst.device(j).position);
+        ++pairs;
+      }
+    }
+    return total / static_cast<double>(pairs);
+  };
+  EXPECT_LT(mean_pairwise(c), mean_pairwise(u));
+}
+
+TEST(GeneratorTest, JitterStaysWithinBounds) {
+  GeneratorConfig config;
+  config.power_jitter = 0.2;
+  config.price_jitter = 0.1;
+  config.num_chargers = 50;
+  const Instance inst = cc::core::generate(config);
+  for (int j = 0; j < inst.num_chargers(); ++j) {
+    EXPECT_GE(inst.charger(j).power_w, config.power_w * 0.8 - 1e-9);
+    EXPECT_LE(inst.charger(j).power_w, config.power_w * 1.2 + 1e-9);
+    EXPECT_GE(inst.charger(j).price_per_s, config.price_per_s * 0.9 - 1e-9);
+    EXPECT_LE(inst.charger(j).price_per_s, config.price_per_s * 1.1 + 1e-9);
+  }
+}
+
+TEST(GeneratorTest, RejectsBadConfig) {
+  GeneratorConfig config;
+  config.num_devices = 0;
+  EXPECT_THROW((void)cc::core::generate(config), AssertionError);
+  config = GeneratorConfig{};
+  config.demand_min_j = 10.0;
+  config.demand_max_j = 5.0;
+  EXPECT_THROW((void)cc::core::generate(config), AssertionError);
+  config = GeneratorConfig{};
+  config.battery_headroom = 0.5;
+  EXPECT_THROW((void)cc::core::generate(config), AssertionError);
+}
+
+}  // namespace

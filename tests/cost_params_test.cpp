@@ -1,0 +1,123 @@
+// Property tests for the objective weights: scaling laws, round-trip,
+// weight extremes — the algebra every experiment knob relies on.
+
+#include <gtest/gtest.h>
+
+#include "core/ccsa.h"
+#include "core/exact_dp.h"
+#include "core/generator.h"
+#include "core/noncoop.h"
+
+namespace {
+
+using cc::core::CostModel;
+using cc::core::CostParams;
+using cc::core::GeneratorConfig;
+using cc::core::Instance;
+
+Instance with_params(const CostParams& params, std::uint64_t seed = 81,
+                     int n = 12, int m = 4) {
+  GeneratorConfig config;
+  config.num_devices = n;
+  config.num_chargers = m;
+  config.seed = seed;
+  config.cost_params = params;
+  return cc::core::generate(config);
+}
+
+TEST(CostParamsTest, JointScalingScalesEveryGroupCost) {
+  // Doubling both weights doubles any group's cost, hence any
+  // schedule's cost, and leaves optimal structure unchanged.
+  CostParams unit;
+  CostParams doubled;
+  doubled.fee_weight = 2.0;
+  doubled.move_weight = 2.0;
+  const Instance a = with_params(unit);
+  const Instance b = with_params(doubled);
+  const CostModel cost_a(a);
+  const CostModel cost_b(b);
+  const auto opt_a = cc::core::ExactDp().run(a);
+  const auto opt_b = cc::core::ExactDp().run(b);
+  EXPECT_NEAR(opt_b.schedule.total_cost(cost_b),
+              2.0 * opt_a.schedule.total_cost(cost_a), 1e-9);
+  EXPECT_EQ(opt_a.schedule.num_coalitions(),
+            opt_b.schedule.num_coalitions());
+}
+
+TEST(CostParamsTest, ZeroFeeWeightMakesNonCoopOptimal) {
+  CostParams params;
+  params.fee_weight = 0.0;
+  const Instance inst = with_params(params);
+  const CostModel cost(inst);
+  const double opt = cc::core::ExactDp().run(inst).schedule.total_cost(cost);
+  const double noncoop =
+      cc::core::NonCooperation().run(inst).schedule.total_cost(cost);
+  EXPECT_NEAR(opt, noncoop, 1e-9);
+}
+
+TEST(CostParamsTest, ZeroMoveWeightMakesOneCoalitionOptimal) {
+  // Free moving: a single session at the cheapest-rate charger serves
+  // everyone for one fee.
+  CostParams params;
+  params.move_weight = 0.0;
+  const Instance inst = with_params(params);
+  const auto opt = cc::core::ExactDp().run(inst);
+  EXPECT_EQ(opt.schedule.num_coalitions(), 1u);
+}
+
+TEST(CostParamsTest, RoundTripDoublesTheMovingPart) {
+  CostParams one_way;
+  CostParams round;
+  round.round_trip = true;
+  const Instance a = with_params(one_way);
+  const Instance b = with_params(round);
+  const CostModel cost_a(a);
+  const CostModel cost_b(b);
+  // Same fixed schedule on both: fee part identical, moving doubled.
+  const auto schedule = cc::core::Ccsa().run(a).schedule;
+  double fees = 0.0;
+  double moving_a = 0.0;
+  double moving_b = 0.0;
+  for (const auto& c : schedule.coalitions()) {
+    fees += cost_a.session_fee(c.charger, c.members);
+    for (cc::core::DeviceId i : c.members) {
+      moving_a += cost_a.move_cost(i, c.charger);
+      moving_b += cost_b.move_cost(i, c.charger);
+    }
+  }
+  EXPECT_NEAR(moving_b, 2.0 * moving_a, 1e-9);
+  EXPECT_NEAR(schedule.total_cost(cost_b), fees + 2.0 * moving_a, 1e-9);
+}
+
+TEST(CostParamsTest, RaisingMoveWeightShrinksCoalitions) {
+  CostParams cheap;
+  cheap.move_weight = 0.25;
+  CostParams expensive;
+  expensive.move_weight = 4.0;
+  const Instance a = with_params(cheap, 82, 30, 8);
+  const Instance b = with_params(expensive, 82, 30, 8);
+  const auto sched_a = cc::core::Ccsa().run(a).schedule;
+  const auto sched_b = cc::core::Ccsa().run(b).schedule;
+  EXPECT_GE(sched_a.mean_coalition_size(),
+            sched_b.mean_coalition_size());
+}
+
+TEST(CostParamsTest, FeeWeightActsLikePriceScaling) {
+  // fee_weight = 2 with price π is the same objective as fee_weight = 1
+  // with price 2π.
+  GeneratorConfig via_weight;
+  via_weight.seed = 83;
+  via_weight.cost_params.fee_weight = 2.0;
+  GeneratorConfig via_price;
+  via_price.seed = 83;
+  via_price.price_per_s *= 2.0;
+  const Instance a = cc::core::generate(via_weight);
+  const Instance b = cc::core::generate(via_price);
+  const CostModel cost_a(a);
+  const CostModel cost_b(b);
+  const double ccsa_a = cc::core::Ccsa().run(a).schedule.total_cost(cost_a);
+  const double ccsa_b = cc::core::Ccsa().run(b).schedule.total_cost(cost_b);
+  EXPECT_NEAR(ccsa_a, ccsa_b, 1e-9);
+}
+
+}  // namespace

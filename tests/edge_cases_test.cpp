@@ -1,0 +1,213 @@
+// Edge cases and degenerate inputs across the whole stack.
+
+#include <gtest/gtest.h>
+
+#include "coopcharge/coopcharge.h"
+#include "core/online.h"
+#include "core/refine.h"
+#include "util/assert.h"
+
+namespace {
+
+using cc::core::Charger;
+using cc::core::CostModel;
+using cc::core::Device;
+using cc::core::Instance;
+using cc::core::SharingScheme;
+
+Device device_at(double x, double y, double demand) {
+  Device d;
+  d.position = {x, y};
+  d.demand_j = demand;
+  d.battery_capacity_j = std::max(demand * 1.5, 1.0);
+  d.motion.unit_cost = 1.0;
+  return d;
+}
+
+Charger charger_at(double x, double y) {
+  Charger c;
+  c.position = {x, y};
+  c.power_w = 5.0;
+  c.price_per_s = 0.5;
+  return c;
+}
+
+TEST(EdgeCaseTest, SingleDeviceSingleCharger) {
+  const Instance inst({device_at(0, 0, 50)}, {charger_at(3, 4)});
+  const CostModel cost(inst);
+  for (const char* name : {"noncoop", "ccsa", "ccsga", "optimal",
+                           "kmeans", "random"}) {
+    const auto result = cc::core::make_scheduler(name)->run(inst);
+    EXPECT_EQ(result.schedule.num_coalitions(), 1u) << name;
+    // fee 0.5*10 + move 5
+    EXPECT_NEAR(result.schedule.total_cost(cost), 10.0, 1e-9) << name;
+  }
+}
+
+TEST(EdgeCaseTest, ZeroDemandDevice) {
+  // A device that needs nothing still participates (its session is
+  // instantaneous and free when alone).
+  const Instance inst({device_at(0, 0, 0.0), device_at(1, 0, 50)},
+                      {charger_at(0, 0)});
+  const CostModel cost(inst);
+  const auto result = cc::core::Ccsa().run(inst);
+  result.schedule.validate(inst);
+  EXPECT_NEAR(cost.standalone(0).second, 0.0, 1e-12);
+  const auto report = cc::sim::simulate(inst, result.schedule,
+                                        SharingScheme::kEgalitarian);
+  for (const auto& d : report.devices) {
+    EXPECT_TRUE(d.fully_charged);
+  }
+}
+
+TEST(EdgeCaseTest, AllDemandsZero) {
+  const Instance inst({device_at(0, 0, 0.0), device_at(5, 0, 0.0)},
+                      {charger_at(2, 0)});
+  const CostModel cost(inst);
+  for (const char* name : {"ccsa", "ccsga", "optimal"}) {
+    const auto result = cc::core::make_scheduler(name)->run(inst);
+    result.schedule.validate(inst);
+    // Only moving costs can appear, and nobody needs to move: with
+    // zero fees there is no reason to gather, so total cost is 0 under
+    // the optimal partition (everyone charges where they stand — the
+    // zero-duration session costs nothing anywhere only if move is 0;
+    // standalone at nearest charger costs the trip). Cooperative
+    // algorithms must not do worse than noncoop.
+    const double noncoop =
+        cc::core::NonCooperation().run(inst).schedule.total_cost(cost);
+    EXPECT_LE(result.schedule.total_cost(cost), noncoop + 1e-9) << name;
+  }
+}
+
+TEST(EdgeCaseTest, FreeMovingCollapsesToOneSessionPerMaxGroup) {
+  // Zero moving cost and identical demands: one big session is optimal.
+  std::vector<Device> devices;
+  for (int i = 0; i < 8; ++i) {
+    Device d = device_at(i * 10.0, 0.0, 60.0);
+    d.motion.unit_cost = 0.0;
+    devices.push_back(d);
+  }
+  const Instance inst(std::move(devices), {charger_at(0, 0),
+                                           charger_at(70, 0)});
+  const CostModel cost(inst);
+  const auto opt = cc::core::ExactDp().run(inst);
+  EXPECT_EQ(opt.schedule.num_coalitions(), 1u);
+  const auto ccsa = cc::core::Ccsa().run(inst);
+  EXPECT_NEAR(ccsa.schedule.total_cost(cost),
+              opt.schedule.total_cost(cost), 1e-9);
+}
+
+TEST(EdgeCaseTest, FreePriceMeansNobodyMoves) {
+  // Zero price: fees vanish, so gathering has no benefit — noncoop is
+  // optimal and all algorithms find a zero-fee schedule of equal cost.
+  std::vector<Device> devices{device_at(0, 0, 50), device_at(20, 0, 80),
+                              device_at(40, 0, 30)};
+  std::vector<Charger> chargers;
+  for (double x : {0.0, 20.0, 40.0}) {
+    Charger c = charger_at(x, 0);
+    c.price_per_s = 0.0;
+    chargers.push_back(c);
+  }
+  const Instance inst(std::move(devices), std::move(chargers));
+  const CostModel cost(inst);
+  for (const char* name : {"noncoop", "ccsa", "ccsga", "optimal"}) {
+    const double c =
+        cc::core::make_scheduler(name)->run(inst).schedule.total_cost(cost);
+    EXPECT_NEAR(c, 0.0, 1e-9) << name;
+  }
+}
+
+TEST(EdgeCaseTest, CoincidentDevicesAndCharger) {
+  // Everything at the origin: pure fee world, one session optimal.
+  std::vector<Device> devices;
+  for (int i = 0; i < 5; ++i) {
+    devices.push_back(device_at(0, 0, 40.0 + i));
+  }
+  const Instance inst(std::move(devices), {charger_at(0, 0)});
+  const CostModel cost(inst);
+  const auto result = cc::core::Ccsga().run(inst);
+  EXPECT_EQ(result.schedule.num_coalitions(), 1u);
+  EXPECT_NEAR(result.schedule.total_cost(cost), 0.5 * 44.0 / 5.0, 1e-9);
+}
+
+TEST(EdgeCaseTest, TwoDevicesEqualDistanceTieBreaksDeterministically) {
+  const Instance inst({device_at(5, 0, 50)},
+                      {charger_at(0, 0), charger_at(10, 0)});
+  const CostModel cost(inst);
+  // Equal cost at both chargers: the model must pick the first.
+  EXPECT_EQ(cost.standalone(0).first, 0);
+}
+
+TEST(EdgeCaseTest, ManyChargersFewDevices) {
+  cc::core::GeneratorConfig config;
+  config.num_devices = 3;
+  config.num_chargers = 50;
+  config.seed = 5;
+  const Instance inst = cc::core::generate(config);
+  for (const char* name : {"ccsa", "ccsga", "optimal"}) {
+    const auto result = cc::core::make_scheduler(name)->run(inst);
+    EXPECT_NO_THROW(result.schedule.validate(inst)) << name;
+  }
+}
+
+TEST(EdgeCaseTest, LargeInstanceSmoke) {
+  cc::core::GeneratorConfig config;
+  config.num_devices = 800;
+  config.num_chargers = 30;
+  config.seed = 6;
+  const Instance inst = cc::core::generate(config);
+  const CostModel cost(inst);
+  const auto ccsga = cc::core::Ccsga().run(inst);
+  EXPECT_NO_THROW(ccsga.schedule.validate(inst));
+  EXPECT_TRUE(ccsga.stats.converged);
+  const double noncoop =
+      cc::core::NonCooperation().run(inst).schedule.total_cost(cost);
+  EXPECT_LT(ccsga.schedule.total_cost(cost), noncoop);
+}
+
+TEST(EdgeCaseTest, RefineOnSingletonScheduleIsNoOpWhenOptimal) {
+  const Instance inst({device_at(0, 0, 50)}, {charger_at(0, 0)});
+  auto result = cc::core::NonCooperation().run(inst);
+  const auto stats = cc::core::refine_schedule(inst, result.schedule);
+  EXPECT_EQ(stats.relocations, 0);
+  EXPECT_EQ(stats.merges, 0);
+}
+
+TEST(EdgeCaseTest, OnlineSingleArrival) {
+  const Instance inst({device_at(0, 0, 50)}, {charger_at(3, 4)});
+  const CostModel cost(inst);
+  const auto result = cc::core::OnlineGreedy().run(inst);
+  EXPECT_EQ(result.schedule.num_coalitions(), 1u);
+  EXPECT_NEAR(result.schedule.total_cost(cost), 10.0, 1e-9);
+}
+
+TEST(EdgeCaseTest, SimulatorHandlesZeroDistanceTravel) {
+  // Devices already at the charger: departure and arrival coincide.
+  std::vector<Device> devices{device_at(0, 0, 30), device_at(0, 0, 60)};
+  const Instance inst(std::move(devices), {charger_at(0, 0)});
+  cc::core::Schedule schedule;
+  schedule.add({0, {0, 1}});
+  const auto report =
+      cc::sim::simulate(inst, schedule, SharingScheme::kEgalitarian);
+  EXPECT_NEAR(report.makespan_s, 60.0 / 5.0, 1e-9);
+  for (const auto& d : report.devices) {
+    EXPECT_DOUBLE_EQ(d.travel_time_s, 0.0);
+    EXPECT_DOUBLE_EQ(d.wait_time_s, 0.0);
+  }
+}
+
+TEST(EdgeCaseTest, HeterogeneousChargersPickCheapNotNear) {
+  // The nearest charger is slow and pricey; the model must prefer the
+  // farther fast one when fees dominate.
+  Charger near = charger_at(1, 0);
+  near.power_w = 1.0;
+  near.price_per_s = 1.0;  // standalone fee = 50
+  Charger far = charger_at(10, 0);
+  far.power_w = 10.0;
+  far.price_per_s = 0.5;  // standalone fee = 2.5
+  const Instance inst({device_at(0, 0, 50)}, {near, far});
+  const CostModel cost(inst);
+  EXPECT_EQ(cost.standalone(0).first, 1);
+}
+
+}  // namespace

@@ -1,0 +1,188 @@
+// Tests for src/energy: battery invariants, WPT models, motion model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "energy/battery.h"
+#include "energy/motion.h"
+#include "energy/wpt.h"
+#include "util/assert.h"
+
+namespace {
+
+using cc::energy::Battery;
+using cc::energy::FriisWptModel;
+using cc::energy::MotionParams;
+using cc::energy::PadWptModel;
+using cc::util::AssertionError;
+
+// --------------------------------------------------------------- battery
+
+TEST(BatteryTest, ConstructionValidatesInvariant) {
+  EXPECT_NO_THROW(Battery(100.0, 50.0));
+  EXPECT_THROW(Battery(0.0, 0.0), AssertionError);
+  EXPECT_THROW(Battery(100.0, -1.0), AssertionError);
+  EXPECT_THROW(Battery(100.0, 101.0), AssertionError);
+}
+
+TEST(BatteryTest, FullFactory) {
+  const Battery b = Battery::full(80.0);
+  EXPECT_TRUE(b.is_full());
+  EXPECT_DOUBLE_EQ(b.deficit(), 0.0);
+  EXPECT_DOUBLE_EQ(b.state_of_charge(), 1.0);
+}
+
+TEST(BatteryTest, ChargeClampsAtCapacity) {
+  Battery b(100.0, 90.0);
+  EXPECT_DOUBLE_EQ(b.charge(25.0), 10.0);
+  EXPECT_TRUE(b.is_full());
+  EXPECT_DOUBLE_EQ(b.charge(5.0), 0.0);
+}
+
+TEST(BatteryTest, DischargeClampsAtZero) {
+  Battery b(100.0, 15.0);
+  EXPECT_DOUBLE_EQ(b.discharge(20.0), 15.0);
+  EXPECT_TRUE(b.is_empty());
+  EXPECT_DOUBLE_EQ(b.discharge(1.0), 0.0);
+}
+
+TEST(BatteryTest, ChargeDischargeRoundTrip) {
+  Battery b(100.0, 50.0);
+  EXPECT_DOUBLE_EQ(b.charge(30.0), 30.0);
+  EXPECT_DOUBLE_EQ(b.level(), 80.0);
+  EXPECT_DOUBLE_EQ(b.discharge(30.0), 30.0);
+  EXPECT_DOUBLE_EQ(b.level(), 50.0);
+}
+
+TEST(BatteryTest, NegativeAmountsRejected) {
+  Battery b(100.0, 50.0);
+  EXPECT_THROW((void)b.charge(-1.0), AssertionError);
+  EXPECT_THROW((void)b.discharge(-1.0), AssertionError);
+}
+
+TEST(BatteryTest, DeficitIsChargingDemand) {
+  const Battery b(120.0, 45.0);
+  EXPECT_DOUBLE_EQ(b.deficit(), 75.0);
+  EXPECT_DOUBLE_EQ(b.state_of_charge(), 0.375);
+}
+
+// ------------------------------------------------------------------- wpt
+
+TEST(PadWptTest, ConstantInsideZeroOutside) {
+  const PadWptModel pad(5.0, 2.0);
+  EXPECT_DOUBLE_EQ(pad.received_power(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(pad.received_power(2.0), 5.0);
+  EXPECT_DOUBLE_EQ(pad.received_power(2.01), 0.0);
+  EXPECT_DOUBLE_EQ(pad.effective_range(), 2.0);
+}
+
+TEST(PadWptTest, RejectsBadParameters) {
+  EXPECT_THROW(PadWptModel(0.0, 1.0), AssertionError);
+  EXPECT_THROW(PadWptModel(1.0, 0.0), AssertionError);
+  const PadWptModel pad(1.0, 1.0);
+  EXPECT_THROW((void)pad.received_power(-1.0), AssertionError);
+}
+
+TEST(FriisWptTest, MonotoneDecreasingWithCutoff) {
+  const FriisWptModel friis(36.0, 3.0, 10.0);
+  EXPECT_DOUBLE_EQ(friis.received_power(0.0), 4.0);  // 36/9
+  EXPECT_DOUBLE_EQ(friis.received_power(3.0), 1.0);  // 36/36
+  EXPECT_GT(friis.received_power(1.0), friis.received_power(2.0));
+  EXPECT_DOUBLE_EQ(friis.received_power(10.01), 0.0);
+}
+
+TEST(FriisWptTest, RejectsBadParameters) {
+  EXPECT_THROW(FriisWptModel(0.0, 1.0, 1.0), AssertionError);
+  EXPECT_THROW(FriisWptModel(1.0, 0.0, 1.0), AssertionError);
+  EXPECT_THROW(FriisWptModel(1.0, 1.0, 0.0), AssertionError);
+}
+
+TEST(ChargingTimeTest, LinearInDemand) {
+  EXPECT_DOUBLE_EQ(cc::energy::charging_time_s(100.0, 5.0), 20.0);
+  EXPECT_DOUBLE_EQ(cc::energy::charging_time_s(0.0, 5.0), 0.0);
+  EXPECT_THROW((void)cc::energy::charging_time_s(10.0, 0.0), AssertionError);
+  EXPECT_THROW((void)cc::energy::charging_time_s(-1.0, 1.0), AssertionError);
+}
+
+// ---------------------------------------------------------------- motion
+
+TEST(MotionTest, TravelTime) {
+  MotionParams p;
+  p.speed_m_per_s = 2.0;
+  EXPECT_DOUBLE_EQ(cc::energy::travel_time_s(10.0, p), 5.0);
+  EXPECT_DOUBLE_EQ(cc::energy::travel_time_s(0.0, p), 0.0);
+}
+
+TEST(MotionTest, MoveCostAndEnergy) {
+  MotionParams p;
+  p.unit_cost = 0.5;
+  p.joules_per_m = 2.0;
+  EXPECT_DOUBLE_EQ(cc::energy::move_cost(8.0, p), 4.0);
+  EXPECT_DOUBLE_EQ(cc::energy::move_energy_j(8.0, p), 16.0);
+}
+
+TEST(MotionTest, RejectsNegativeDistance) {
+  const MotionParams p;
+  EXPECT_THROW((void)cc::energy::travel_time_s(-1.0, p), AssertionError);
+  EXPECT_THROW((void)cc::energy::move_cost(-1.0, p), AssertionError);
+  EXPECT_THROW((void)cc::energy::move_energy_j(-1.0, p), AssertionError);
+}
+
+
+// ----------------------------------------------------------------- cc-cv
+
+TEST(CcCvTest, DegeneratesToLinearWithinCcPhase) {
+  cc::energy::CcCvProfile profile;
+  profile.knee_soc = 0.9;
+  profile.target_soc = 0.8;  // target inside the CC phase
+  // From empty to 80% of a 100 J battery at 5 W: 80/5 = 16 s.
+  EXPECT_DOUBLE_EQ(
+      cc::energy::cc_cv_charge_time_s(0.0, 100.0, 5.0, profile), 16.0);
+}
+
+TEST(CcCvTest, AlreadyChargedIsZero) {
+  cc::energy::CcCvProfile profile;
+  EXPECT_DOUBLE_EQ(
+      cc::energy::cc_cv_charge_time_s(99.5, 100.0, 5.0, profile), 0.0);
+}
+
+TEST(CcCvTest, TaperSlowsTheTail) {
+  cc::energy::CcCvProfile profile;
+  profile.knee_soc = 0.8;
+  profile.target_soc = 0.99;
+  const double with_taper =
+      cc::energy::cc_cv_charge_time_s(0.0, 100.0, 5.0, profile);
+  const double linear = 99.0 / 5.0;  // to the same target, CC only
+  EXPECT_GT(with_taper, linear);
+  // Closed form: CC to 80% = 16 s; CV: lambda = 5/(0.2*100) = 0.25,
+  // t = ln(0.2/0.01)/0.25 = 4*ln(20).
+  EXPECT_NEAR(with_taper, 16.0 + 4.0 * std::log(20.0), 1e-9);
+}
+
+TEST(CcCvTest, MonotoneInStartLevel) {
+  cc::energy::CcCvProfile profile;
+  double prev = 1e300;
+  for (double level : {0.0, 20.0, 50.0, 80.0, 95.0}) {
+    const double t =
+        cc::energy::cc_cv_charge_time_s(level, 100.0, 5.0, profile);
+    EXPECT_LT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(CcCvTest, RejectsBadInput) {
+  cc::energy::CcCvProfile profile;
+  EXPECT_THROW((void)cc::energy::cc_cv_charge_time_s(-1.0, 100.0, 5.0,
+                                                     profile),
+               AssertionError);
+  EXPECT_THROW((void)cc::energy::cc_cv_charge_time_s(0.0, 0.0, 5.0,
+                                                     profile),
+               AssertionError);
+  cc::energy::CcCvProfile bad;
+  bad.target_soc = 1.0;  // unreachable under an exponential taper
+  EXPECT_THROW((void)cc::energy::cc_cv_charge_time_s(0.0, 100.0, 5.0, bad),
+               AssertionError);
+}
+
+}  // namespace

@@ -1,0 +1,154 @@
+// Randomized cross-cutting properties ("fuzz" sweeps): determinism of
+// every scheduler, validation catches random corruption, invariants hold
+// on randomly-shaped instances (extreme aspect ratios, price/power
+// outliers, heavy-tailed demands).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "coopcharge/coopcharge.h"
+#include "core/io.h"
+#include "util/rng.h"
+
+namespace {
+
+using cc::core::Charger;
+using cc::core::CostModel;
+using cc::core::Device;
+using cc::core::Instance;
+using cc::core::Schedule;
+using cc::core::SharingScheme;
+
+/// Random instance with deliberately wild parameter ranges.
+Instance wild_instance(cc::util::Rng& rng) {
+  const int n = 2 + static_cast<int>(rng.index(18));
+  const int m = 1 + static_cast<int>(rng.index(8));
+  const double width = rng.uniform(1.0, 500.0);
+  const double height = rng.uniform(1.0, 500.0);
+  std::vector<Device> devices;
+  for (int i = 0; i < n; ++i) {
+    Device d;
+    d.position = {rng.uniform(0.0, width), rng.uniform(0.0, height)};
+    // Heavy-tailed demands.
+    d.demand_j = rng.uniform(1.0, 10.0) *
+                 (rng.bernoulli(0.2) ? 50.0 : 1.0);
+    d.battery_capacity_j = d.demand_j * rng.uniform(1.0, 3.0);
+    d.motion.unit_cost = rng.uniform(0.01, 5.0);
+    d.motion.speed_m_per_s = rng.uniform(0.1, 10.0);
+    devices.push_back(d);
+  }
+  std::vector<Charger> chargers;
+  for (int j = 0; j < m; ++j) {
+    Charger c;
+    c.position = {rng.uniform(0.0, width), rng.uniform(0.0, height)};
+    c.power_w = rng.uniform(0.5, 20.0);
+    c.price_per_s = rng.uniform(0.0, 3.0);
+    chargers.push_back(c);
+  }
+  return Instance(std::move(devices), std::move(chargers));
+}
+
+class FuzzSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzSweep, EverySchedulerIsValidAndDeterministic) {
+  cc::util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 1009);
+  const Instance inst = wild_instance(rng);
+  const CostModel cost(inst);
+  for (const std::string& name : cc::core::scheduler_names()) {
+    if (name == "optimal" && inst.num_devices() > 16) {
+      continue;
+    }
+    const auto scheduler = cc::core::make_scheduler(name);
+    const auto a = scheduler->run(inst);
+    const auto b = scheduler->run(inst);
+    EXPECT_NO_THROW(a.schedule.validate(inst)) << name;
+    EXPECT_DOUBLE_EQ(a.schedule.total_cost(cost),
+                     b.schedule.total_cost(cost))
+        << name << " is nondeterministic";
+  }
+}
+
+TEST_P(FuzzSweep, CooperativeAlgorithmsNeverLose) {
+  cc::util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 2027);
+  const Instance inst = wild_instance(rng);
+  const CostModel cost(inst);
+  const double noncoop =
+      cc::core::NonCooperation().run(inst).schedule.total_cost(cost);
+  EXPECT_LE(cc::core::Ccsa().run(inst).schedule.total_cost(cost),
+            noncoop + 1e-6);
+  EXPECT_LE(cc::core::Ccsga().run(inst).schedule.total_cost(cost),
+            noncoop + 1e-6);
+}
+
+TEST_P(FuzzSweep, PaymentsAlwaysBudgetBalanced) {
+  cc::util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 3049);
+  const Instance inst = wild_instance(rng);
+  const CostModel cost(inst);
+  const auto schedule = cc::core::Ccsga().run(inst).schedule;
+  for (auto scheme : {SharingScheme::kEgalitarian,
+                      SharingScheme::kProportional,
+                      SharingScheme::kShapley}) {
+    const auto pays = schedule.device_payments(cost, scheme);
+    double sum = 0.0;
+    for (double p : pays) {
+      sum += p;
+    }
+    EXPECT_NEAR(sum, schedule.total_cost(cost),
+                1e-9 * std::max(1.0, schedule.total_cost(cost)));
+  }
+}
+
+TEST_P(FuzzSweep, SimulationReconcilesWithModel) {
+  cc::util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 4051);
+  const Instance inst = wild_instance(rng);
+  const CostModel cost(inst);
+  const auto schedule = cc::core::Ccsa().run(inst).schedule;
+  const auto report =
+      cc::sim::simulate(inst, schedule, SharingScheme::kEgalitarian);
+  EXPECT_NEAR(report.realized_total_cost(), schedule.total_cost(cost),
+              1e-6 * std::max(1.0, schedule.total_cost(cost)));
+}
+
+TEST_P(FuzzSweep, IoRoundTripIsLossless) {
+  cc::util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 5077);
+  const Instance inst = wild_instance(rng);
+  std::stringstream buffer;
+  write_instance(buffer, inst);
+  const Instance loaded = cc::core::read_instance(buffer);
+  const CostModel ca(inst);
+  const CostModel cb(loaded);
+  for (cc::core::DeviceId i = 0; i < inst.num_devices(); ++i) {
+    EXPECT_DOUBLE_EQ(ca.standalone(i).second, cb.standalone(i).second);
+  }
+}
+
+TEST_P(FuzzSweep, CorruptedSchedulesAreRejected) {
+  cc::util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 6089);
+  const Instance inst = wild_instance(rng);
+  Schedule schedule = cc::core::Ccsa().run(inst).schedule;
+  // Corrupt: duplicate a random device into another coalition.
+  std::vector<cc::core::Coalition> groups(schedule.coalitions().begin(),
+                                          schedule.coalitions().end());
+  if (groups.size() >= 2) {
+    groups[0].members.push_back(groups[1].members.front());
+    const Schedule corrupted(std::move(groups));
+    EXPECT_THROW(corrupted.validate(inst), cc::util::AssertionError);
+  }
+  // Corrupt: drop a device entirely.
+  std::vector<cc::core::Coalition> dropped(schedule.coalitions().begin(),
+                                           schedule.coalitions().end());
+  dropped.back().members.pop_back();
+  bool was_singleton = dropped.back().members.empty();
+  if (was_singleton) {
+    dropped.pop_back();
+  }
+  if (!dropped.empty()) {
+    const Schedule missing(std::move(dropped));
+    EXPECT_THROW(missing.validate(inst), cc::util::AssertionError);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep, ::testing::Range(1, 26));
+
+}  // namespace

@@ -1,0 +1,193 @@
+// Tests for the cooperative-game core diagnostics and the annealing
+// scheduler (the two cross-checking additions).
+
+#include <gtest/gtest.h>
+
+#include "core/anneal.h"
+#include "core/ccsa.h"
+#include "core/ccsga.h"
+#include "core/exact_dp.h"
+#include "core/game_analysis.h"
+#include "core/generator.h"
+#include "core/noncoop.h"
+#include "util/assert.h"
+
+namespace {
+
+using cc::core::Anneal;
+using cc::core::AnnealOptions;
+using cc::core::Charger;
+using cc::core::CoreCheck;
+using cc::core::CostModel;
+using cc::core::Device;
+using cc::core::DeviceId;
+using cc::core::Instance;
+using cc::core::SharingScheme;
+
+Instance sample_instance(std::uint64_t seed, int n = 14, int m = 4) {
+  cc::core::GeneratorConfig config;
+  config.num_devices = n;
+  config.num_chargers = m;
+  config.seed = seed;
+  return cc::core::generate(config);
+}
+
+// ----------------------------------------------------------- core check
+
+TEST(CoreCheckTest, SingletonAtBestChargerIsInCore) {
+  const Instance inst = sample_instance(1);
+  const CostModel cost(inst);
+  for (DeviceId i = 0; i < inst.num_devices(); ++i) {
+    const DeviceId members[] = {i};
+    const double pays[] = {cost.standalone(i).second};
+    const CoreCheck check = coalition_core_check(cost, members, pays);
+    EXPECT_TRUE(check.in_core);
+    EXPECT_DOUBLE_EQ(check.worst_violation, 0.0);
+  }
+}
+
+TEST(CoreCheckTest, OverchargedMemberIsABlockingSingleton) {
+  const Instance inst = sample_instance(2);
+  const CostModel cost(inst);
+  // Any two devices; charge one of them more than its standalone cost.
+  const std::vector<DeviceId> members{0, 1};
+  const auto [j, group_cost] = cost.best_charger(members);
+  const double standalone0 = cost.standalone(0).second;
+  const std::vector<double> pays{standalone0 + 1.0,
+                                 group_cost - standalone0 - 1.0};
+  // Guard: only a meaningful test if the second payment is nonnegative.
+  ASSERT_GE(pays[1], 0.0);
+  (void)j;
+  const CoreCheck check = coalition_core_check(cost, members, pays);
+  EXPECT_FALSE(check.in_core);
+  // Device 0 alone gains at least 1.0 by seceding, so the *worst*
+  // violation is at least that (another subset may be even better).
+  EXPECT_GE(check.worst_violation, 1.0 - 1e-9);
+  EXPECT_FALSE(check.blocking_set.empty());
+}
+
+TEST(CoreCheckTest, GrandCoalitionPayingItsOwnCostHasNoGrandBlock) {
+  // If total payments equal the coalition's own best cost, the grand
+  // sub-coalition (T = S) can never strictly gain.
+  const Instance inst = sample_instance(3);
+  const CostModel cost(inst);
+  const std::vector<DeviceId> members{0, 1, 2};
+  const auto [j, c] = cost.best_charger(members);
+  (void)j;
+  const std::vector<double> pays{c / 3.0, c / 3.0, c / 3.0};
+  const CoreCheck check = coalition_core_check(cost, members, pays);
+  // The violation, if any, must come from a strict subset.
+  if (!check.in_core) {
+    EXPECT_LT(check.blocking_set.size(), members.size());
+  }
+}
+
+TEST(CoreCheckTest, ShapleyBillsOfCcsgaCoalitionsAreNearCore) {
+  // CCSGA coalitions formed under consent + Shapley fee splits are
+  // empirically core-stable or very nearly so.
+  for (int seed = 1; seed <= 6; ++seed) {
+    const Instance inst =
+        sample_instance(static_cast<std::uint64_t>(seed) + 10, 18, 5);
+    const CostModel cost(inst);
+    cc::core::CcsgaOptions options;
+    options.scheme = SharingScheme::kShapley;
+    const auto schedule = cc::core::Ccsga(options).run(inst).schedule;
+    const double violation = schedule_core_violation(
+        cost, schedule, SharingScheme::kShapley);
+    EXPECT_LT(violation, 0.5) << "seed " << seed;
+  }
+}
+
+TEST(CoreCheckTest, ValidatesInput) {
+  const Instance inst = sample_instance(4);
+  const CostModel cost(inst);
+  const std::vector<DeviceId> members{0, 1};
+  const std::vector<double> wrong_size{1.0};
+  EXPECT_THROW((void)coalition_core_check(cost, members, wrong_size),
+               cc::util::AssertionError);
+  EXPECT_THROW((void)coalition_core_check(cost, {}, {}),
+               cc::util::AssertionError);
+}
+
+TEST(CoreCheckTest, ScheduleViolationZeroForNonCoop) {
+  const Instance inst = sample_instance(5);
+  const CostModel cost(inst);
+  const auto schedule = cc::core::NonCooperation().run(inst).schedule;
+  EXPECT_DOUBLE_EQ(schedule_core_violation(cost, schedule,
+                                           SharingScheme::kEgalitarian),
+                   0.0);
+}
+
+// -------------------------------------------------------------- anneal
+
+TEST(AnnealTest, ValidAndNeverWorseThanStart) {
+  for (int seed = 1; seed <= 5; ++seed) {
+    const Instance inst =
+        sample_instance(static_cast<std::uint64_t>(seed) + 20, 20, 5);
+    const CostModel cost(inst);
+    const double noncoop =
+        cc::core::NonCooperation().run(inst).schedule.total_cost(cost);
+    const auto result = Anneal().run(inst);
+    EXPECT_NO_THROW(result.schedule.validate(inst));
+    EXPECT_LE(result.schedule.total_cost(cost), noncoop + 1e-9);
+  }
+}
+
+TEST(AnnealTest, ApproachesOptimalOnSmallInstances) {
+  const Instance inst = sample_instance(31, 10, 4);
+  const CostModel cost(inst);
+  const double opt = cc::core::ExactDp().run(inst).schedule.total_cost(cost);
+  AnnealOptions options;
+  options.iterations = 30000;
+  const double annealed =
+      Anneal(options).run(inst).schedule.total_cost(cost);
+  EXPECT_LE(annealed, 1.10 * opt);
+}
+
+TEST(AnnealTest, DeterministicForFixedSeed) {
+  const Instance inst = sample_instance(32, 15, 4);
+  const CostModel cost(inst);
+  const double a = Anneal().run(inst).schedule.total_cost(cost);
+  const double b = Anneal().run(inst).schedule.total_cost(cost);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(AnnealTest, HonoursCapacity) {
+  cc::core::GeneratorConfig config;
+  config.num_devices = 16;
+  config.num_chargers = 4;
+  config.seed = 33;
+  config.cost_params.max_group_size = 3;
+  const Instance inst = cc::core::generate(config);
+  const auto result = Anneal().run(inst);
+  result.schedule.validate(inst);
+  for (const auto& c : result.schedule.coalitions()) {
+    EXPECT_LE(c.members.size(), 3u);
+  }
+}
+
+TEST(AnnealTest, RejectsBadOptions) {
+  const Instance inst = sample_instance(34, 5, 2);
+  AnnealOptions bad;
+  bad.iterations = 0;
+  EXPECT_THROW((void)Anneal(bad).run(inst), cc::util::AssertionError);
+  bad = AnnealOptions{};
+  bad.cooling = 1.5;
+  EXPECT_THROW((void)Anneal(bad).run(inst), cc::util::AssertionError);
+}
+
+TEST(AnnealTest, CrossChecksCcsaQuality) {
+  // The headline sanity check: a long annealing run should not beat
+  // CCSA by more than a few percent on a midsize instance.
+  const Instance inst = sample_instance(35, 40, 8);
+  const CostModel cost(inst);
+  const double ccsa = cc::core::Ccsa().run(inst).schedule.total_cost(cost);
+  AnnealOptions options;
+  options.iterations = 60000;
+  const double annealed =
+      Anneal(options).run(inst).schedule.total_cost(cost);
+  EXPECT_GE(annealed, 0.95 * ccsa)
+      << "annealing found a much better schedule — CCSA is stuck";
+}
+
+}  // namespace

@@ -1,0 +1,156 @@
+// Tests for src/geom: Vec2 algebra, Rect, and the spatial grid index.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "geom/grid_index.h"
+#include "geom/vec2.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace {
+
+using cc::geom::GridIndex;
+using cc::geom::Rect;
+using cc::geom::Vec2;
+
+TEST(Vec2Test, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, Vec2(4.0, 1.0));
+  EXPECT_EQ(a - b, Vec2(-2.0, 3.0));
+  EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+  EXPECT_EQ(2.0 * a, Vec2(2.0, 4.0));
+  EXPECT_DOUBLE_EQ(dot(a, b), 1.0);
+}
+
+TEST(Vec2Test, CompoundAssignment) {
+  Vec2 v{1.0, 1.0};
+  v += {2.0, 3.0};
+  EXPECT_EQ(v, Vec2(3.0, 4.0));
+  v -= {1.0, 1.0};
+  EXPECT_EQ(v, Vec2(2.0, 3.0));
+  v *= 2.0;
+  EXPECT_EQ(v, Vec2(4.0, 6.0));
+}
+
+TEST(Vec2Test, NormAndDistance) {
+  EXPECT_DOUBLE_EQ(Vec2(3.0, 4.0).norm(), 5.0);
+  EXPECT_DOUBLE_EQ(Vec2(3.0, 4.0).norm_sq(), 25.0);
+  EXPECT_DOUBLE_EQ(cc::geom::distance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(cc::geom::distance_sq({1.0, 1.0}, {2.0, 2.0}), 2.0);
+}
+
+TEST(Vec2Test, Lerp) {
+  EXPECT_EQ(cc::geom::lerp({0.0, 0.0}, {10.0, 20.0}, 0.5), Vec2(5.0, 10.0));
+  EXPECT_EQ(cc::geom::lerp({0.0, 0.0}, {10.0, 20.0}, 0.0), Vec2(0.0, 0.0));
+  EXPECT_EQ(cc::geom::lerp({0.0, 0.0}, {10.0, 20.0}, 1.0), Vec2(10.0, 20.0));
+}
+
+TEST(Vec2Test, StreamOutput) {
+  std::ostringstream out;
+  out << Vec2{1.5, -2.0};
+  EXPECT_EQ(out.str(), "(1.5, -2)");
+}
+
+TEST(RectTest, ContainsAndClamp) {
+  const Rect r{{0.0, 0.0}, {10.0, 5.0}};
+  EXPECT_DOUBLE_EQ(r.width(), 10.0);
+  EXPECT_DOUBLE_EQ(r.height(), 5.0);
+  EXPECT_TRUE(r.contains({5.0, 2.5}));
+  EXPECT_TRUE(r.contains({0.0, 0.0}));  // boundary
+  EXPECT_FALSE(r.contains({-0.1, 2.0}));
+  EXPECT_EQ(r.clamp({-3.0, 6.0}), Vec2(0.0, 5.0));
+  EXPECT_EQ(r.clamp({4.0, 2.0}), Vec2(4.0, 2.0));
+}
+
+TEST(GridIndexTest, NearestMatchesExhaustive) {
+  cc::util::Rng rng(99);
+  std::vector<Vec2> points;
+  for (int i = 0; i < 200; ++i) {
+    points.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+  }
+  const GridIndex index(points);
+  for (int q = 0; q < 200; ++q) {
+    const Vec2 query{rng.uniform(-10.0, 110.0), rng.uniform(-10.0, 110.0)};
+    std::size_t expected = 0;
+    double best = 1e300;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const double d2 = distance_sq(points[i], query);
+      if (d2 < best) {
+        best = d2;
+        expected = i;
+      }
+    }
+    const std::size_t got = index.nearest(query);
+    EXPECT_DOUBLE_EQ(distance_sq(points[got], query), best)
+        << "query " << q << " expected point " << expected;
+  }
+}
+
+TEST(GridIndexTest, NearestOnSinglePoint) {
+  const std::vector<Vec2> one{{3.0, 3.0}};
+  const GridIndex index(one);
+  EXPECT_EQ(index.nearest({100.0, -50.0}), 0u);
+}
+
+TEST(GridIndexTest, NearestOnEmptyThrows) {
+  const GridIndex index(std::vector<Vec2>{});
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_THROW((void)index.nearest({0.0, 0.0}), cc::util::AssertionError);
+}
+
+TEST(GridIndexTest, WithinRadius) {
+  const std::vector<Vec2> points{{0.0, 0.0}, {1.0, 0.0}, {5.0, 0.0}};
+  const GridIndex index(points);
+  const auto hits = index.within({0.0, 0.0}, 1.5);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], 0u);
+  EXPECT_EQ(hits[1], 1u);
+  EXPECT_TRUE(index.within({100.0, 100.0}, 1.0).empty());
+}
+
+TEST(GridIndexTest, WithinRadiusInclusiveBoundary) {
+  const std::vector<Vec2> points{{0.0, 0.0}, {2.0, 0.0}};
+  const GridIndex index(points);
+  EXPECT_EQ(index.within({0.0, 0.0}, 2.0).size(), 2u);
+}
+
+TEST(GridIndexTest, DegenerateCoincidentPoints) {
+  const std::vector<Vec2> points{{1.0, 1.0}, {1.0, 1.0}, {1.0, 1.0}};
+  const GridIndex index(points);
+  EXPECT_NO_THROW((void)index.nearest({0.0, 0.0}));
+  EXPECT_EQ(index.within({1.0, 1.0}, 0.0).size(), 3u);
+}
+
+
+TEST(GridIndexTest, WithinMatchesBruteForceOnRandomSets) {
+  cc::util::Rng rng(131);
+  std::vector<Vec2> points;
+  for (int i = 0; i < 300; ++i) {
+    points.push_back({rng.uniform(0.0, 50.0), rng.uniform(0.0, 50.0)});
+  }
+  const GridIndex index(points);
+  for (int q = 0; q < 30; ++q) {
+    const Vec2 query{rng.uniform(0.0, 50.0), rng.uniform(0.0, 50.0)};
+    const double radius = rng.uniform(1.0, 15.0);
+    const auto hits = index.within(query, radius);
+    std::vector<std::size_t> expected;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (cc::geom::distance(points[i], query) <= radius) {
+        expected.push_back(i);
+      }
+    }
+    EXPECT_EQ(hits, expected) << "query " << q;
+  }
+}
+
+TEST(GridIndexTest, NegativeRadiusRejected) {
+  const std::vector<Vec2> points{{0.0, 0.0}};
+  const GridIndex index(points);
+  EXPECT_THROW((void)index.within({0.0, 0.0}, -1.0),
+               cc::util::AssertionError);
+}
+
+}  // namespace

@@ -1,0 +1,199 @@
+// End-to-end integration tests: full pipelines across modules —
+// generate → schedule → share → simulate → serialize → reload → replan.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <sstream>
+
+#include "coopcharge/coopcharge.h"
+#include "core/io.h"
+#include "core/online.h"
+#include "core/refine.h"
+#include "mobile/planner.h"
+
+namespace {
+
+using cc::core::CostModel;
+using cc::core::Instance;
+using cc::core::Schedule;
+using cc::core::SharingScheme;
+
+TEST(IntegrationTest, FullPipelineGenerateScheduleSimulate) {
+  // The README's quickstart flow, asserted step by step.
+  cc::core::GeneratorConfig config;
+  config.num_devices = 40;
+  config.num_chargers = 8;
+  config.seed = 99;
+  const Instance instance = cc::core::generate(config);
+  const CostModel cost(instance);
+
+  const auto noncoop = cc::core::make_scheduler("noncoop")->run(instance);
+  const auto ccsa = cc::core::make_scheduler("ccsa")->run(instance);
+  const auto ccsga = cc::core::make_scheduler("ccsga")->run(instance);
+
+  const double nc_cost = noncoop.schedule.total_cost(cost);
+  const double a_cost = ccsa.schedule.total_cost(cost);
+  const double g_cost = ccsga.schedule.total_cost(cost);
+  EXPECT_LT(a_cost, nc_cost);
+  EXPECT_LT(g_cost, nc_cost);
+
+  // Payments are budget balanced and (near) individually rational.
+  const auto pays =
+      ccsa.schedule.device_payments(cost, SharingScheme::kEgalitarian);
+  EXPECT_NEAR(std::accumulate(pays.begin(), pays.end(), 0.0), a_cost,
+              1e-9);
+
+  // Executing the schedule physically reproduces the analytic cost.
+  const auto report = cc::sim::simulate(instance, ccsa.schedule,
+                                        SharingScheme::kEgalitarian);
+  EXPECT_NEAR(report.realized_total_cost(), a_cost, 1e-6);
+  for (const auto& d : report.devices) {
+    EXPECT_TRUE(d.fully_charged);
+  }
+}
+
+TEST(IntegrationTest, SerializeScheduleReloadAndReevaluate) {
+  cc::core::GeneratorConfig config;
+  config.num_devices = 18;
+  config.num_chargers = 5;
+  config.seed = 7;
+  const Instance instance = cc::core::generate(config);
+  const CostModel cost(instance);
+  const Schedule schedule = cc::core::Ccsa().run(instance).schedule;
+
+  // Instance and schedule survive a text round-trip together.
+  std::stringstream ibuf;
+  std::stringstream sbuf;
+  write_instance(ibuf, instance);
+  write_schedule(sbuf, schedule);
+  const Instance instance2 = cc::core::read_instance(ibuf);
+  const Schedule schedule2 = cc::core::read_schedule(sbuf);
+  const CostModel cost2(instance2);
+  EXPECT_NO_THROW(schedule2.validate(instance2));
+  EXPECT_DOUBLE_EQ(schedule2.total_cost(cost2), schedule.total_cost(cost));
+
+  // The reloaded pair simulates identically.
+  const double a = cc::sim::simulate(instance, schedule,
+                                     SharingScheme::kProportional)
+                       .realized_total_cost();
+  const double b = cc::sim::simulate(instance2, schedule2,
+                                     SharingScheme::kProportional)
+                       .realized_total_cost();
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(IntegrationTest, RefineAnySchedulersOutput) {
+  // refine_schedule is a generic post-pass: applying it to every
+  // scheduler's output never hurts and keeps schedules valid.
+  cc::core::GeneratorConfig config;
+  config.num_devices = 22;
+  config.num_chargers = 6;
+  config.seed = 15;
+  const Instance instance = cc::core::generate(config);
+  const CostModel cost(instance);
+  for (const char* name : {"noncoop", "kmeans", "random", "ccsga"}) {
+    auto result = cc::core::make_scheduler(name)->run(instance);
+    const double before = result.schedule.total_cost(cost);
+    (void)cc::core::refine_schedule(instance, result.schedule);
+    const double after = result.schedule.total_cost(cost);
+    EXPECT_LE(after, before + 1e-9) << name;
+    EXPECT_NO_THROW(result.schedule.validate(instance)) << name;
+  }
+}
+
+TEST(IntegrationTest, MobilePlanFromEverySchedulerOutput) {
+  cc::core::GeneratorConfig config;
+  config.num_devices = 20;
+  config.num_chargers = 5;
+  config.seed = 23;
+  const Instance instance = cc::core::generate(config);
+  for (const char* name : {"noncoop", "ccsa", "ccsga", "online"}) {
+    const Schedule schedule =
+        std::string(name) == "online"
+            ? cc::core::OnlineGreedy().run(instance).schedule
+            : cc::core::make_scheduler(name)->run(instance).schedule;
+    const auto plan = cc::mobile::plan_mobile_service(instance, schedule);
+    std::size_t visits = 0;
+    for (const auto& route : plan.routes) {
+      visits += route.visits.size();
+    }
+    EXPECT_EQ(visits, schedule.num_coalitions()) << name;
+    EXPECT_GT(plan.total_cost(), 0.0) << name;
+  }
+}
+
+TEST(IntegrationTest, CapacityConstraintFlowsThroughWholeStack) {
+  cc::core::GeneratorConfig config;
+  config.num_devices = 16;
+  config.num_chargers = 4;
+  config.seed = 27;
+  config.cost_params.max_group_size = 3;
+  const Instance instance = cc::core::generate(config);
+  const Schedule schedule = cc::core::Ccsa().run(instance).schedule;
+  // Capacity respected end to end: schedule, serialization, simulation.
+  schedule.validate(instance);
+  std::stringstream buffer;
+  write_schedule(buffer, schedule);
+  const Schedule reloaded = cc::core::read_schedule(buffer);
+  reloaded.validate(instance);
+  const auto report = cc::sim::simulate(instance, reloaded,
+                                        SharingScheme::kEgalitarian);
+  for (const auto& d : report.devices) {
+    EXPECT_TRUE(d.fully_charged);
+  }
+}
+
+TEST(IntegrationTest, TestbedTrialEndToEnd) {
+  // One field trial, manually: build the lab instance, schedule, add
+  // noise, execute, and reconcile the realized fee accounting.
+  cc::util::Rng rng(2021);
+  const Instance instance = cc::testbed::make_trial_instance(rng, 0.2);
+  const auto result = cc::core::Ccsa().run(instance);
+  cc::sim::SimOptions options;
+  options.charger_power_factor.assign(
+      static_cast<std::size_t>(instance.num_chargers()), 0.8);
+  const auto report = cc::sim::simulate(
+      instance, result.schedule, SharingScheme::kEgalitarian, options);
+  // 20% slower hardware ⇒ exactly 25% longer sessions ⇒ 25% higher fees.
+  const CostModel cost(instance);
+  double scheduled_fees = 0.0;
+  for (const auto& c : result.schedule.coalitions()) {
+    scheduled_fees += cost.session_fee(c.charger, c.members);
+  }
+  double realized_fees = 0.0;
+  for (const auto& c : report.coalitions) {
+    realized_fees += c.session_fee;
+  }
+  EXPECT_NEAR(realized_fees, scheduled_fees / 0.8, 1e-6);
+}
+
+TEST(IntegrationTest, SchedulersAgreeOnDegenerateSingleChargerWorld) {
+  // One charger, devices on top of it: every algorithm must find the
+  // same obvious answer — one session for everyone (fee shared), zero
+  // moving cost.
+  std::vector<cc::core::Device> devices;
+  for (int i = 0; i < 6; ++i) {
+    cc::core::Device d;
+    d.position = {0.0, 0.0};
+    d.demand_j = 50.0 + i;
+    d.battery_capacity_j = 100.0;
+    d.motion.unit_cost = 1.0;
+    devices.push_back(d);
+  }
+  cc::core::Charger charger;
+  charger.position = {0.0, 0.0};
+  charger.power_w = 5.0;
+  charger.price_per_s = 0.5;
+  const Instance instance(std::move(devices), {charger});
+  const CostModel cost(instance);
+  const double expected_fee = 0.5 * 55.0 / 5.0;  // max demand = 55
+  for (const char* name : {"ccsa", "ccsga", "optimal"}) {
+    const auto result = cc::core::make_scheduler(name)->run(instance);
+    EXPECT_EQ(result.schedule.num_coalitions(), 1u) << name;
+    EXPECT_NEAR(result.schedule.total_cost(cost), expected_fee, 1e-9)
+        << name;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,157 @@
+// Tests for the plain-text instance/schedule serialization.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/ccsa.h"
+#include "core/generator.h"
+#include "core/io.h"
+
+namespace {
+
+using cc::core::Instance;
+using cc::core::IoError;
+using cc::core::Schedule;
+
+Instance sample_instance(std::uint64_t seed = 21) {
+  cc::core::GeneratorConfig config;
+  config.num_devices = 15;
+  config.num_chargers = 4;
+  config.cost_params.round_trip = true;
+  config.cost_params.max_group_size = 6;
+  config.seed = seed;
+  return cc::core::generate(config);
+}
+
+TEST(InstanceIoTest, RoundTripsExactly) {
+  const Instance original = sample_instance();
+  std::stringstream buffer;
+  write_instance(buffer, original);
+  const Instance loaded = cc::core::read_instance(buffer);
+
+  ASSERT_EQ(loaded.num_devices(), original.num_devices());
+  ASSERT_EQ(loaded.num_chargers(), original.num_chargers());
+  EXPECT_EQ(loaded.params().round_trip, original.params().round_trip);
+  EXPECT_EQ(loaded.params().max_group_size,
+            original.params().max_group_size);
+  EXPECT_DOUBLE_EQ(loaded.params().fee_weight,
+                   original.params().fee_weight);
+  for (int i = 0; i < original.num_devices(); ++i) {
+    EXPECT_EQ(loaded.device(i).position, original.device(i).position);
+    EXPECT_DOUBLE_EQ(loaded.device(i).demand_j, original.device(i).demand_j);
+    EXPECT_DOUBLE_EQ(loaded.device(i).battery_capacity_j,
+                     original.device(i).battery_capacity_j);
+    EXPECT_DOUBLE_EQ(loaded.device(i).motion.unit_cost,
+                     original.device(i).motion.unit_cost);
+  }
+  for (int j = 0; j < original.num_chargers(); ++j) {
+    EXPECT_EQ(loaded.charger(j).position, original.charger(j).position);
+    EXPECT_DOUBLE_EQ(loaded.charger(j).power_w, original.charger(j).power_w);
+    EXPECT_DOUBLE_EQ(loaded.charger(j).price_per_s,
+                     original.charger(j).price_per_s);
+  }
+}
+
+TEST(InstanceIoTest, RoundTripPreservesSchedulingOutcome) {
+  const Instance original = sample_instance(33);
+  std::stringstream buffer;
+  write_instance(buffer, original);
+  const Instance loaded = cc::core::read_instance(buffer);
+  const cc::core::CostModel cost_a(original);
+  const cc::core::CostModel cost_b(loaded);
+  const double a = cc::core::Ccsa().run(original).schedule.total_cost(cost_a);
+  const double b = cc::core::Ccsa().run(loaded).schedule.total_cost(cost_b);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(ScheduleIoTest, RoundTripsExactly) {
+  const Instance instance = sample_instance();
+  const Schedule original = cc::core::Ccsa().run(instance).schedule;
+  std::stringstream buffer;
+  write_schedule(buffer, original);
+  const Schedule loaded = cc::core::read_schedule(buffer);
+  ASSERT_EQ(loaded.num_coalitions(), original.num_coalitions());
+  for (std::size_t k = 0; k < original.num_coalitions(); ++k) {
+    EXPECT_EQ(loaded.coalitions()[k].charger,
+              original.coalitions()[k].charger);
+    EXPECT_EQ(loaded.coalitions()[k].members,
+              original.coalitions()[k].members);
+  }
+  EXPECT_NO_THROW(loaded.validate(instance));
+}
+
+TEST(IoTest, FileRoundTrip) {
+  const Instance instance = sample_instance(44);
+  const std::string path = "io_test_instance.tmp";
+  cc::core::save_instance(path, instance);
+  const Instance loaded = cc::core::load_instance(path);
+  EXPECT_EQ(loaded.num_devices(), instance.num_devices());
+  std::remove(path.c_str());
+
+  const Schedule schedule = cc::core::Ccsa().run(instance).schedule;
+  const std::string spath = "io_test_schedule.tmp";
+  cc::core::save_schedule(spath, schedule);
+  const Schedule sloaded = cc::core::load_schedule(spath);
+  EXPECT_EQ(sloaded.num_coalitions(), schedule.num_coalitions());
+  std::remove(spath.c_str());
+}
+
+TEST(IoTest, MissingFileThrows) {
+  EXPECT_THROW((void)cc::core::load_instance("/nonexistent/nope.txt"),
+               IoError);
+  EXPECT_THROW((void)cc::core::load_schedule("/nonexistent/nope.txt"),
+               IoError);
+}
+
+TEST(IoTest, CommentsAndBlankLinesAreSkipped) {
+  std::stringstream buffer;
+  buffer << "# a comment\n\ncoopcharge-instance v1\n"
+         << "# params next\nparams 1 1 0 0\n"
+         << "devices 1\n0 0 10 20 1 0.5 0\n"
+         << "chargers 1\n5 5 2 0.8 1\n";
+  const Instance loaded = cc::core::read_instance(buffer);
+  EXPECT_EQ(loaded.num_devices(), 1);
+  EXPECT_DOUBLE_EQ(loaded.device(0).demand_j, 10.0);
+}
+
+TEST(IoTest, BadHeaderThrows) {
+  std::stringstream buffer("not-an-instance v1\n");
+  EXPECT_THROW((void)cc::core::read_instance(buffer), IoError);
+}
+
+TEST(IoTest, WrongVersionThrows) {
+  std::stringstream buffer("coopcharge-instance v9\n");
+  EXPECT_THROW((void)cc::core::read_instance(buffer), IoError);
+}
+
+TEST(IoTest, TruncatedDeviceListThrows) {
+  std::stringstream buffer;
+  buffer << "coopcharge-instance v1\nparams 1 1 0 0\ndevices 2\n"
+         << "0 0 10 20 1 0.5 0\n";  // second device missing
+  EXPECT_THROW((void)cc::core::read_instance(buffer), IoError);
+}
+
+TEST(IoTest, MalformedDeviceRowThrows) {
+  std::stringstream buffer;
+  buffer << "coopcharge-instance v1\nparams 1 1 0 0\ndevices 1\n"
+         << "0 0 ten 20 1 0.5 0\nchargers 1\n5 5 2 0.8 1\n";
+  EXPECT_THROW((void)cc::core::read_instance(buffer), IoError);
+}
+
+TEST(IoTest, InvalidInstanceValuesSurfaceAsIoError) {
+  std::stringstream buffer;
+  buffer << "coopcharge-instance v1\nparams 1 1 0 0\ndevices 1\n"
+         << "0 0 10 5 1 0.5 0\n"  // capacity < demand
+         << "chargers 1\n5 5 2 0.8 1\n";
+  EXPECT_THROW((void)cc::core::read_instance(buffer), IoError);
+}
+
+TEST(IoTest, ScheduleRowShorterThanDeclaredThrows) {
+  std::stringstream buffer;
+  buffer << "coopcharge-schedule v1\ncoalitions 1\n0 3 1 2\n";
+  EXPECT_THROW((void)cc::core::read_schedule(buffer), IoError);
+}
+
+}  // namespace

@@ -1,0 +1,140 @@
+// Tests for the long-run operation module.
+
+#include <gtest/gtest.h>
+
+#include "core/ccsa.h"
+#include "core/generator.h"
+#include "core/noncoop.h"
+#include "lifetime/lifetime.h"
+#include "util/assert.h"
+
+namespace {
+
+using cc::core::Instance;
+using cc::lifetime::LifetimeConfig;
+using cc::lifetime::LifetimeReport;
+using cc::lifetime::run_lifetime;
+
+Instance sample_instance(std::uint64_t seed = 51, int n = 20, int m = 6) {
+  cc::core::GeneratorConfig config;
+  config.num_devices = n;
+  config.num_chargers = m;
+  config.battery_headroom = 2.0;
+  config.seed = seed;
+  return cc::core::generate(config);
+}
+
+TEST(LifetimeTest, ReportShapeAndAccounting) {
+  const Instance inst = sample_instance();
+  LifetimeConfig config;
+  config.epochs = 20;
+  const LifetimeReport report =
+      run_lifetime(inst, cc::core::Ccsa(), config);
+  ASSERT_EQ(report.epochs.size(), 20u);
+  double cost = 0.0;
+  double energy = 0.0;
+  long outages = 0;
+  long requests = 0;
+  for (const auto& epoch : report.epochs) {
+    cost += epoch.scheduled_cost;
+    energy += epoch.energy_delivered_j;
+    outages += epoch.outage_devices;
+    requests += epoch.requesters;
+  }
+  EXPECT_DOUBLE_EQ(report.total_cost, cost);
+  EXPECT_DOUBLE_EQ(report.total_energy_j, energy);
+  EXPECT_EQ(report.total_outage_device_epochs, outages);
+  EXPECT_EQ(report.total_requests, requests);
+}
+
+TEST(LifetimeTest, LightLoadHasNoOutages) {
+  const Instance inst = sample_instance();
+  LifetimeConfig config;
+  config.epochs = 30;
+  config.mean_draw_w = 0.005;  // trickle drain, frequent recharge
+  config.request_threshold = 0.8;
+  const LifetimeReport report =
+      run_lifetime(inst, cc::core::Ccsa(), config);
+  EXPECT_EQ(report.total_outage_device_epochs, 0);
+  EXPECT_DOUBLE_EQ(report.mean_outage_rate(inst.num_devices()), 0.0);
+}
+
+TEST(LifetimeTest, HeavyLoadCausesOutages) {
+  const Instance inst = sample_instance();
+  LifetimeConfig config;
+  config.epochs = 10;
+  // Drain far exceeding one epoch's recharge opportunity window: a full
+  // battery empties within one epoch even right after charging.
+  config.mean_draw_w = 10.0;
+  const LifetimeReport report =
+      run_lifetime(inst, cc::core::Ccsa(), config);
+  EXPECT_GT(report.total_outage_device_epochs, 0);
+}
+
+TEST(LifetimeTest, EnergyConservation) {
+  // Total delivered energy can never exceed total drained energy plus
+  // initial charge (batteries clamp at capacity and at zero).
+  const Instance inst = sample_instance();
+  LifetimeConfig config;
+  config.epochs = 40;
+  const LifetimeReport report =
+      run_lifetime(inst, cc::core::NonCooperation(), config);
+  double max_drain = 0.0;
+  for (int i = 0; i < inst.num_devices(); ++i) {
+    // Upper bound: every device drains at most 1.5× mean the whole time.
+    max_drain += 1.5 * config.mean_draw_w * config.epoch_seconds *
+                 config.epochs;
+  }
+  EXPECT_LE(report.total_energy_j, max_drain + 1e-6);
+}
+
+TEST(LifetimeTest, CooperationIsCheaperLongRun) {
+  const Instance inst = sample_instance(77, 30, 8);
+  LifetimeConfig config;
+  config.epochs = 25;
+  const LifetimeReport coop = run_lifetime(inst, cc::core::Ccsa(), config);
+  const LifetimeReport solo =
+      run_lifetime(inst, cc::core::NonCooperation(), config);
+  // Same drain sequence (same seed) ⇒ same requests/energy; the money
+  // differs.
+  EXPECT_EQ(coop.total_requests, solo.total_requests);
+  EXPECT_NEAR(coop.total_energy_j, solo.total_energy_j, 1e-6);
+  EXPECT_LT(coop.total_cost, solo.total_cost);
+}
+
+TEST(LifetimeTest, DeterministicForFixedSeed) {
+  const Instance inst = sample_instance();
+  const LifetimeReport a = run_lifetime(inst, cc::core::Ccsa());
+  const LifetimeReport b = run_lifetime(inst, cc::core::Ccsa());
+  EXPECT_DOUBLE_EQ(a.total_cost, b.total_cost);
+  EXPECT_EQ(a.total_outage_device_epochs, b.total_outage_device_epochs);
+}
+
+TEST(LifetimeTest, ThresholdControlsRequestRate) {
+  const Instance inst = sample_instance();
+  LifetimeConfig eager;
+  eager.request_threshold = 0.9;
+  LifetimeConfig lazy = eager;
+  lazy.request_threshold = 0.2;
+  const auto eager_report = run_lifetime(inst, cc::core::Ccsa(), eager);
+  const auto lazy_report = run_lifetime(inst, cc::core::Ccsa(), lazy);
+  EXPECT_GT(eager_report.total_requests, lazy_report.total_requests);
+}
+
+TEST(LifetimeTest, RejectsBadConfig) {
+  const Instance inst = sample_instance();
+  LifetimeConfig bad;
+  bad.epochs = 0;
+  EXPECT_THROW((void)run_lifetime(inst, cc::core::Ccsa(), bad),
+               cc::util::AssertionError);
+  bad = LifetimeConfig{};
+  bad.request_threshold = 0.0;
+  EXPECT_THROW((void)run_lifetime(inst, cc::core::Ccsa(), bad),
+               cc::util::AssertionError);
+  bad = LifetimeConfig{};
+  bad.mean_draw_w = -1.0;
+  EXPECT_THROW((void)run_lifetime(inst, cc::core::Ccsa(), bad),
+               cc::util::AssertionError);
+}
+
+}  // namespace

@@ -1,0 +1,59 @@
+// Tests for the leveled logger.
+
+#include <gtest/gtest.h>
+
+#include "util/log.h"
+
+namespace {
+
+using cc::util::LogLevel;
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(cc::util::log_level()) {}
+  ~LogLevelGuard() { cc::util::set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LogTest, LevelRoundTrips) {
+  const LogLevelGuard guard;
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                         LogLevel::kError}) {
+    cc::util::set_log_level(level);
+    EXPECT_EQ(cc::util::log_level(), level);
+  }
+}
+
+TEST(LogTest, SuppressedLevelsEmitNothing) {
+  const LogLevelGuard guard;
+  cc::util::set_log_level(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  cc::util::log_debug("hidden ", 1);
+  cc::util::log_info("hidden ", 2);
+  cc::util::log_warn("hidden ", 3);
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(LogTest, EnabledLevelsEmitTaggedLines) {
+  const LogLevelGuard guard;
+  cc::util::set_log_level(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  cc::util::log_debug("d=", 42);
+  cc::util::log_warn("w");
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[DEBUG] d=42"), std::string::npos);
+  EXPECT_NE(out.find("[WARN] w"), std::string::npos);
+}
+
+TEST(LogTest, ErrorAlwaysEmits) {
+  const LogLevelGuard guard;
+  cc::util::set_log_level(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  cc::util::log_error("boom ", 1.5);
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[ERROR] boom 1.5"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,87 @@
+// Tests for the schedule-metrics module.
+
+#include <gtest/gtest.h>
+
+#include "core/ccsa.h"
+#include "core/generator.h"
+#include "core/metrics.h"
+#include "core/noncoop.h"
+#include "util/assert.h"
+
+namespace {
+
+using cc::core::compute_metrics;
+using cc::core::CostModel;
+using cc::core::Instance;
+using cc::core::ScheduleMetrics;
+using cc::core::SharingScheme;
+
+Instance sample_instance(std::uint64_t seed = 71, int n = 16, int m = 4) {
+  cc::core::GeneratorConfig config;
+  config.num_devices = n;
+  config.num_chargers = m;
+  config.seed = seed;
+  return cc::core::generate(config);
+}
+
+TEST(MetricsTest, DecompositionSumsToTotal) {
+  const Instance inst = sample_instance();
+  const CostModel cost(inst);
+  const auto schedule = cc::core::Ccsa().run(inst).schedule;
+  const ScheduleMetrics m =
+      compute_metrics(cost, schedule, SharingScheme::kEgalitarian);
+  EXPECT_NEAR(m.total_cost, m.total_fees + m.total_moving, 1e-9);
+  EXPECT_NEAR(m.total_cost, schedule.total_cost(cost), 1e-9);
+}
+
+TEST(MetricsTest, NonCoopStructure) {
+  const Instance inst = sample_instance();
+  const CostModel cost(inst);
+  const auto schedule = cc::core::NonCooperation().run(inst).schedule;
+  const ScheduleMetrics m =
+      compute_metrics(cost, schedule, SharingScheme::kEgalitarian);
+  EXPECT_EQ(m.coalitions, 16u);
+  EXPECT_EQ(m.singletons, 16u);
+  EXPECT_EQ(m.max_size, 1u);
+  EXPECT_DOUBLE_EQ(m.mean_size, 1.0);
+  // Singleton payments equal standalone costs: zero saving, no
+  // violations.
+  EXPECT_NEAR(m.mean_saving_percent, 0.0, 1e-9);
+  EXPECT_EQ(m.ir_violations, 0);
+}
+
+TEST(MetricsTest, CooperationShowsSavings) {
+  const Instance inst = sample_instance(72, 24, 6);
+  const CostModel cost(inst);
+  const auto schedule = cc::core::Ccsa().run(inst).schedule;
+  const ScheduleMetrics m =
+      compute_metrics(cost, schedule, SharingScheme::kEgalitarian);
+  EXPECT_GT(m.mean_saving_percent, 0.0);
+  EXPECT_GT(m.max_size, 1u);
+  EXPECT_GT(m.payment_jain_index, 0.0);
+  EXPECT_LE(m.payment_jain_index, 1.0);
+}
+
+TEST(MetricsTest, MeanPaymentIsBudgetBalancedAverage) {
+  const Instance inst = sample_instance(73);
+  const CostModel cost(inst);
+  const auto schedule = cc::core::Ccsa().run(inst).schedule;
+  for (auto scheme : {SharingScheme::kEgalitarian,
+                      SharingScheme::kProportional,
+                      SharingScheme::kShapley}) {
+    const ScheduleMetrics m = compute_metrics(cost, schedule, scheme);
+    EXPECT_NEAR(m.mean_payment * inst.num_devices(), m.total_cost, 1e-9);
+  }
+}
+
+TEST(MetricsTest, RejectsInvalidSchedule) {
+  const Instance inst = sample_instance();
+  const CostModel cost(inst);
+  cc::core::Schedule bad;
+  bad.add({0, {0, 1}});
+  EXPECT_THROW(
+      (void)compute_metrics(cost, bad, SharingScheme::kEgalitarian),
+      cc::util::AssertionError);
+}
+
+}  // namespace

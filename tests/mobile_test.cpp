@@ -1,0 +1,293 @@
+// Tests for the mobile-charger service extension: geometric median,
+// tour planning, and the mobile service planner.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/ccsa.h"
+#include "core/generator.h"
+#include "geom/median.h"
+#include "mobile/planner.h"
+#include "mobile/tsp.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace {
+
+using cc::geom::Vec2;
+using cc::mobile::MobileParams;
+using cc::mobile::plan_tour;
+using cc::mobile::plan_mobile_service;
+using cc::mobile::tour_length;
+
+// --------------------------------------------------------------- median
+
+TEST(MedianTest, SinglePointIsItsOwnMedian) {
+  const std::vector<Vec2> points{{3.0, 4.0}};
+  EXPECT_EQ(cc::geom::geometric_median(points), Vec2(3.0, 4.0));
+}
+
+TEST(MedianTest, SymmetricSquareCenter) {
+  const std::vector<Vec2> points{{0.0, 0.0}, {2.0, 0.0}, {0.0, 2.0},
+                                 {2.0, 2.0}};
+  const Vec2 median = cc::geom::geometric_median(points);
+  EXPECT_NEAR(median.x, 1.0, 1e-6);
+  EXPECT_NEAR(median.y, 1.0, 1e-6);
+}
+
+TEST(MedianTest, CollinearTripleIsTheMiddlePoint) {
+  const std::vector<Vec2> points{{0.0, 0.0}, {1.0, 0.0}, {5.0, 0.0}};
+  const Vec2 median = cc::geom::geometric_median(points);
+  EXPECT_NEAR(median.x, 1.0, 1e-5);
+  EXPECT_NEAR(median.y, 0.0, 1e-9);
+}
+
+TEST(MedianTest, HeavyWeightDominates) {
+  // One point with overwhelming weight pins the median: its weight
+  // exceeds the total pull of the others (Vardi–Zhang condition).
+  const std::vector<Vec2> points{{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+  const std::vector<double> weights{100.0, 1.0, 1.0};
+  const Vec2 median = cc::geom::weighted_geometric_median(points, weights);
+  EXPECT_NEAR(median.x, 0.0, 1e-6);
+  EXPECT_NEAR(median.y, 0.0, 1e-6);
+}
+
+TEST(MedianTest, BeatsGridSearchCost) {
+  cc::util::Rng rng(71);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Vec2> points;
+    std::vector<double> weights;
+    const int k = 3 + static_cast<int>(rng.index(6));
+    for (int i = 0; i < k; ++i) {
+      points.push_back({rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)});
+      weights.push_back(rng.uniform(0.5, 3.0));
+    }
+    const Vec2 median =
+        cc::geom::weighted_geometric_median(points, weights);
+    const double median_cost =
+        cc::geom::weber_cost(median, points, weights);
+    // Coarse grid search must not find anything meaningfully better.
+    double best_grid = median_cost;
+    for (double x = 0.0; x <= 10.0; x += 0.1) {
+      for (double y = 0.0; y <= 10.0; y += 0.1) {
+        best_grid = std::min(
+            best_grid, cc::geom::weber_cost({x, y}, points, weights));
+      }
+    }
+    EXPECT_LE(median_cost, best_grid + 0.05) << "trial " << trial;
+  }
+}
+
+TEST(MedianTest, CoincidentPoints) {
+  const std::vector<Vec2> points{{1.0, 1.0}, {1.0, 1.0}, {1.0, 1.0}};
+  const Vec2 median = cc::geom::geometric_median(points);
+  EXPECT_NEAR(median.x, 1.0, 1e-9);
+  EXPECT_NEAR(median.y, 1.0, 1e-9);
+}
+
+TEST(MedianTest, RejectsBadInput) {
+  EXPECT_THROW((void)cc::geom::geometric_median({}),
+               cc::util::AssertionError);
+  const std::vector<Vec2> points{{0.0, 0.0}};
+  const std::vector<double> bad_weights{-1.0};
+  EXPECT_THROW(
+      (void)cc::geom::weighted_geometric_median(points, bad_weights),
+      cc::util::AssertionError);
+}
+
+// ------------------------------------------------------------------ tsp
+
+TEST(TourTest, EmptyAndSingleton) {
+  const Vec2 depot{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(plan_tour(depot, {}, true).length, 0.0);
+  const std::vector<Vec2> one{{3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(plan_tour(depot, one, false).length, 5.0);
+  EXPECT_DOUBLE_EQ(plan_tour(depot, one, true).length, 10.0);
+}
+
+TEST(TourTest, VisitsEveryStopExactlyOnce) {
+  cc::util::Rng rng(73);
+  std::vector<Vec2> stops;
+  for (int i = 0; i < 12; ++i) {
+    stops.push_back({rng.uniform(0.0, 50.0), rng.uniform(0.0, 50.0)});
+  }
+  const auto tour = plan_tour({25.0, 25.0}, stops, true);
+  std::vector<std::size_t> sorted = tour.order;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    EXPECT_EQ(sorted[i], i);
+  }
+}
+
+TEST(TourTest, MatchesBruteForceOnSmallInstances) {
+  cc::util::Rng rng(79);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int k = 3 + static_cast<int>(rng.index(4));  // up to 6 stops
+    std::vector<Vec2> stops;
+    for (int i = 0; i < k; ++i) {
+      stops.push_back({rng.uniform(0.0, 20.0), rng.uniform(0.0, 20.0)});
+    }
+    const Vec2 depot{10.0, 10.0};
+    const auto tour = plan_tour(depot, stops, true);
+    // Brute force over all permutations.
+    std::vector<std::size_t> perm(static_cast<std::size_t>(k));
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    double best = 1e300;
+    do {
+      best = std::min(best, tour_length(depot, stops, perm, true));
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    // NN + 2-opt is a heuristic; on closed tours this small it is
+    // near-optimal. Allow 5%.
+    EXPECT_LE(tour.length, best * 1.05 + 1e-9) << "trial " << trial;
+    EXPECT_GE(tour.length + 1e-9, best);
+  }
+}
+
+TEST(TourTest, TwoOptRemovesObviousCrossing) {
+  // Stops laid out so plain NN from the depot produces a crossing.
+  const std::vector<Vec2> stops{{0.0, 1.0}, {10.0, 0.9}, {0.1, 0.0},
+                                {10.0, 0.0}};
+  const auto tour = plan_tour({0.0, 0.0}, stops, true);
+  // Optimal closed tour ~ perimeter of the near-rectangle.
+  EXPECT_LE(tour.length, 23.0);
+}
+
+TEST(TourTest, LengthValidation) {
+  const std::vector<Vec2> stops{{1.0, 0.0}};
+  const std::vector<std::size_t> bad_order{0, 0};
+  EXPECT_THROW(
+      (void)tour_length({0.0, 0.0}, stops, bad_order, false),
+      cc::util::AssertionError);
+}
+
+// -------------------------------------------------------------- planner
+
+cc::core::Instance sample_instance(std::uint64_t seed, int n = 24,
+                                   int m = 5) {
+  cc::core::GeneratorConfig config;
+  config.num_devices = n;
+  config.num_chargers = m;
+  config.seed = seed;
+  return cc::core::generate(config);
+}
+
+TEST(MobilePlannerTest, PlanCoversEveryCoalitionOnce) {
+  const auto instance = sample_instance(1);
+  const auto schedule = cc::core::Ccsa().run(instance).schedule;
+  const auto plan = plan_mobile_service(instance, schedule);
+  std::vector<int> seen(schedule.num_coalitions(), 0);
+  for (const auto& route : plan.routes) {
+    for (const auto& visit : route.visits) {
+      ASSERT_LT(visit.coalition_index, schedule.num_coalitions());
+      ++seen[visit.coalition_index];
+      EXPECT_EQ(schedule.coalitions()[visit.coalition_index].charger,
+                route.charger);
+    }
+  }
+  for (int count : seen) {
+    EXPECT_EQ(count, 1);
+  }
+}
+
+TEST(MobilePlannerTest, FeesMatchStaticModel) {
+  // The session fee formula is unchanged by where the session happens.
+  const auto instance = sample_instance(2);
+  const cc::core::CostModel cost(instance);
+  const auto schedule = cc::core::Ccsa().run(instance).schedule;
+  const auto plan = plan_mobile_service(instance, schedule);
+  double static_fees = 0.0;
+  for (const auto& c : schedule.coalitions()) {
+    static_fees += cost.session_fee(c.charger, c.members);
+  }
+  EXPECT_NEAR(plan.total_fee, static_fees, 1e-9);
+}
+
+TEST(MobilePlannerTest, RendezvousShrinksDeviceMoving) {
+  // The geometric median minimizes the weighted device travel, so the
+  // device-move component can only shrink vs meeting at the pad.
+  const auto instance = sample_instance(3);
+  const cc::core::CostModel cost(instance);
+  const auto schedule = cc::core::Ccsa().run(instance).schedule;
+  const auto plan = plan_mobile_service(instance, schedule);
+  double static_moving = 0.0;
+  for (const auto& c : schedule.coalitions()) {
+    for (cc::core::DeviceId i : c.members) {
+      static_moving += cost.move_cost(i, c.charger);
+    }
+  }
+  EXPECT_LE(plan.total_device_move, static_moving + 1e-9);
+}
+
+TEST(MobilePlannerTest, FreeChargerTravelAlwaysWins) {
+  const auto instance = sample_instance(4);
+  const auto schedule = cc::core::Ccsa().run(instance).schedule;
+  MobileParams params;
+  params.charger_unit_cost = 0.0;
+  const auto plan = plan_mobile_service(instance, schedule, params);
+  EXPECT_LE(plan.total_cost(),
+            cc::mobile::static_service_cost(instance, schedule) + 1e-9);
+}
+
+TEST(MobilePlannerTest, ExpensiveChargerTravelLoses) {
+  const auto instance = sample_instance(5);
+  const auto schedule = cc::core::Ccsa().run(instance).schedule;
+  MobileParams params;
+  params.charger_unit_cost = 1000.0;
+  const auto plan = plan_mobile_service(instance, schedule, params);
+  EXPECT_GT(plan.total_cost(),
+            cc::mobile::static_service_cost(instance, schedule));
+}
+
+TEST(MobilePlannerTest, TimelineIsConsistent) {
+  const auto instance = sample_instance(6);
+  const auto schedule = cc::core::Ccsa().run(instance).schedule;
+  MobileParams params;
+  const auto plan = plan_mobile_service(instance, schedule, params);
+  for (const auto& route : plan.routes) {
+    double session_time = 0.0;
+    for (const auto& visit : route.visits) {
+      session_time += visit.session_time_s;
+    }
+    const double travel_time =
+        route.travel_length_m / params.charger_speed_m_per_s;
+    EXPECT_NEAR(route.completion_time_s, session_time + travel_time, 1e-9);
+  }
+  EXPECT_GE(plan.makespan_s(), 0.0);
+}
+
+TEST(MobilePlannerTest, CostDecomposes) {
+  const auto instance = sample_instance(7);
+  const auto schedule = cc::core::Ccsa().run(instance).schedule;
+  const auto plan = plan_mobile_service(instance, schedule);
+  double fee = 0.0;
+  double device_move = 0.0;
+  double travel = 0.0;
+  for (const auto& route : plan.routes) {
+    travel += route.travel_cost;
+    for (const auto& visit : route.visits) {
+      fee += visit.session_fee;
+      device_move += visit.device_move_cost;
+    }
+  }
+  EXPECT_NEAR(plan.total_fee, fee, 1e-9);
+  EXPECT_NEAR(plan.total_device_move, device_move, 1e-9);
+  EXPECT_NEAR(plan.total_charger_travel, travel, 1e-9);
+  EXPECT_NEAR(plan.total_cost(), fee + device_move + travel, 1e-9);
+}
+
+TEST(MobilePlannerTest, RejectsBadParams) {
+  const auto instance = sample_instance(8);
+  const auto schedule = cc::core::Ccsa().run(instance).schedule;
+  MobileParams bad;
+  bad.charger_unit_cost = -1.0;
+  EXPECT_THROW((void)plan_mobile_service(instance, schedule, bad),
+               cc::util::AssertionError);
+  bad = MobileParams{};
+  bad.charger_speed_m_per_s = 0.0;
+  EXPECT_THROW((void)plan_mobile_service(instance, schedule, bad),
+               cc::util::AssertionError);
+}
+
+}  // namespace

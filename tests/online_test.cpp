@@ -1,0 +1,142 @@
+// Tests for the online cooperative-charging extension.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/ccsa.h"
+#include "core/generator.h"
+#include "core/noncoop.h"
+#include "core/online.h"
+#include "util/assert.h"
+
+namespace {
+
+using cc::core::ArrivalOrder;
+using cc::core::CostModel;
+using cc::core::Instance;
+using cc::core::OnlineGreedy;
+using cc::core::OnlineOptions;
+
+Instance sample_instance(std::uint64_t seed, int n = 24, int m = 6) {
+  cc::core::GeneratorConfig config;
+  config.num_devices = n;
+  config.num_chargers = m;
+  config.seed = seed;
+  return cc::core::generate(config);
+}
+
+class OnlineSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(OnlineSweep, ProducesValidSchedules) {
+  const Instance inst =
+      sample_instance(static_cast<std::uint64_t>(GetParam()));
+  const auto result = OnlineGreedy().run(inst);
+  EXPECT_NO_THROW(result.schedule.validate(inst));
+}
+
+TEST_P(OnlineSweep, NeverWorseThanNonCooperation) {
+  // Every arrival's fallback is exactly its non-cooperative choice, and
+  // under consent nobody's payment deteriorates later — so the final
+  // social cost is at most the non-cooperative cost.
+  const Instance inst =
+      sample_instance(static_cast<std::uint64_t>(GetParam()) + 40);
+  const CostModel cost(inst);
+  const double noncoop = cc::core::NonCooperation()
+                             .run(inst)
+                             .schedule.total_cost(cost);
+  const double online = OnlineGreedy().run(inst).schedule.total_cost(cost);
+  EXPECT_LE(online, noncoop + 1e-9);
+}
+
+TEST_P(OnlineSweep, OfflineCcsaLowerBoundsOnline) {
+  const Instance inst =
+      sample_instance(static_cast<std::uint64_t>(GetParam()) + 80);
+  const CostModel cost(inst);
+  const double offline = cc::core::Ccsa().run(inst).schedule.total_cost(cost);
+  const double online = OnlineGreedy().run(inst).schedule.total_cost(cost);
+  // Online sees each device once; it cannot beat the offline schedule
+  // it mirrors, and empirically stays within a modest factor.
+  EXPECT_GE(online + 1e-9, offline);
+  EXPECT_LE(online, 2.0 * offline);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OnlineSweep, ::testing::Range(1, 11));
+
+TEST(OnlineTest, AllArrivalOrdersAreValid) {
+  const Instance inst = sample_instance(3);
+  for (ArrivalOrder order :
+       {ArrivalOrder::kById, ArrivalOrder::kShuffled,
+        ArrivalOrder::kDemandAscending, ArrivalOrder::kDemandDescending}) {
+    OnlineOptions options;
+    options.order = order;
+    const auto result = OnlineGreedy(options).run(inst);
+    EXPECT_NO_THROW(result.schedule.validate(inst));
+  }
+}
+
+TEST(OnlineTest, ExplicitArrivalOrderValidation) {
+  const Instance inst = sample_instance(4, 5, 3);
+  std::vector<cc::core::DeviceId> partial{0, 1, 2};
+  EXPECT_THROW((void)run_online(inst, partial), cc::util::AssertionError);
+  std::vector<cc::core::DeviceId> repeated{0, 1, 2, 3, 3};
+  EXPECT_THROW((void)run_online(inst, repeated), cc::util::AssertionError);
+  std::vector<cc::core::DeviceId> unknown{0, 1, 2, 3, 9};
+  EXPECT_THROW((void)run_online(inst, unknown), cc::util::AssertionError);
+}
+
+TEST(OnlineTest, DeterministicForFixedSeed) {
+  const Instance inst = sample_instance(5);
+  const CostModel cost(inst);
+  const double a = OnlineGreedy().run(inst).schedule.total_cost(cost);
+  const double b = OnlineGreedy().run(inst).schedule.total_cost(cost);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(OnlineTest, HonoursSessionCapacity) {
+  cc::core::GeneratorConfig config;
+  config.num_devices = 20;
+  config.num_chargers = 4;
+  config.seed = 6;
+  config.cost_params.max_group_size = 2;
+  const Instance inst = cc::core::generate(config);
+  const auto result = OnlineGreedy().run(inst);
+  result.schedule.validate(inst);
+  for (const auto& c : result.schedule.coalitions()) {
+    EXPECT_LE(c.members.size(), 2u);
+  }
+}
+
+TEST(OnlineTest, FirstArrivalOpensItsBestSingleton) {
+  const Instance inst = sample_instance(7, 6, 3);
+  const CostModel cost(inst);
+  std::vector<cc::core::DeviceId> arrivals{2, 0, 1, 3, 4, 5};
+  const auto result = run_online(inst, arrivals);
+  // Device 2 arrived first; whatever happened later, it sits in a
+  // coalition anchored at its own best charger.
+  const int k = result.schedule.coalition_of(2, inst);
+  ASSERT_GE(k, 0);
+  EXPECT_EQ(result.schedule.coalitions()[static_cast<std::size_t>(k)].charger,
+            cost.standalone(2).first);
+}
+
+TEST(OnlineTest, WithoutConsentJoinsMoreAggressively) {
+  // Dropping consent can only widen the set of admissible joins.
+  const Instance inst = sample_instance(8, 30, 6);
+  OnlineOptions consent;
+  OnlineOptions anarchic;
+  anarchic.require_consent = false;
+  const auto with_consent = OnlineGreedy(consent).run(inst);
+  const auto without = OnlineGreedy(anarchic).run(inst);
+  EXPECT_GE(with_consent.schedule.num_coalitions(),
+            without.schedule.num_coalitions());
+}
+
+TEST(OnlineTest, JoinCountReported) {
+  const Instance inst = sample_instance(9, 40, 6);
+  const auto result = OnlineGreedy().run(inst);
+  EXPECT_GT(result.stats.switches, 0);  // some arrivals joined sessions
+  EXPECT_EQ(result.stats.iterations, 40);
+}
+
+}  // namespace

@@ -1,0 +1,129 @@
+// Tests for the charger-placement module.
+
+#include <gtest/gtest.h>
+
+#include "core/generator.h"
+#include "placement/placement.h"
+#include "util/assert.h"
+
+namespace {
+
+using cc::core::Instance;
+using cc::placement::PlacementConfig;
+using cc::placement::PlacementResult;
+
+Instance device_population(std::uint64_t seed = 61, int n = 24) {
+  cc::core::GeneratorConfig config;
+  config.num_devices = n;
+  config.num_chargers = 1;  // ignored by placement, required by Instance
+  config.seed = seed;
+  return cc::core::generate(config);
+}
+
+TEST(PlacementTest, ChoosesRequestedNumberOfSites) {
+  const Instance devices = device_population();
+  PlacementConfig config;
+  config.num_chargers = 4;
+  config.grid_side = 4;
+  const PlacementResult result = choose_placement(devices, config);
+  EXPECT_EQ(result.sites.size(), 4u);
+  EXPECT_GT(result.scheduled_cost, 0.0);
+  EXPECT_GT(result.evaluations, 0);
+}
+
+TEST(PlacementTest, GreedyBeatsRandomAndLattice) {
+  const Instance devices = device_population(62, 30);
+  PlacementConfig config;
+  config.num_chargers = 4;
+  config.grid_side = 5;
+  const PlacementResult greedy = choose_placement(devices, config);
+  const PlacementResult lattice = lattice_placement(devices, config);
+  EXPECT_LE(greedy.scheduled_cost, lattice.scheduled_cost + 1e-9);
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const PlacementResult random =
+        random_placement(devices, config, seed);
+    EXPECT_LE(greedy.scheduled_cost, random.scheduled_cost + 1e-9)
+        << "random seed " << seed;
+  }
+}
+
+TEST(PlacementTest, SingleSiteOnClusteredPopulationIsCentral) {
+  // Devices in one tight cluster: the chosen site must be close to it.
+  cc::core::GeneratorConfig gen;
+  gen.num_devices = 20;
+  gen.num_chargers = 1;
+  gen.clusters = 1;
+  gen.cluster_sigma_m = 3.0;
+  gen.seed = 63;
+  const Instance devices = cc::core::generate(gen);
+  cc::geom::Vec2 centroid{0.0, 0.0};
+  for (const auto& d : devices.devices()) {
+    centroid += d.position;
+  }
+  centroid *= 1.0 / devices.num_devices();
+
+  PlacementConfig config;
+  config.num_chargers = 1;
+  config.grid_side = 6;
+  const PlacementResult result = choose_placement(devices, config);
+  ASSERT_EQ(result.sites.size(), 1u);
+  // The devices fit in a few sigma; the chosen site sits within the
+  // cluster's extent of the centroid.
+  EXPECT_LT(cc::geom::distance(result.sites.front(), centroid), 15.0);
+}
+
+TEST(PlacementTest, MoreChargersNeverHurt) {
+  const Instance devices = device_population(64, 25);
+  double prev = 1e300;
+  for (int k : {1, 2, 4, 6}) {
+    PlacementConfig config;
+    config.num_chargers = k;
+    config.grid_side = 4;
+    const PlacementResult result = choose_placement(devices, config);
+    EXPECT_LE(result.scheduled_cost, prev + 1e-6) << "k=" << k;
+    prev = result.scheduled_cost;
+  }
+}
+
+TEST(PlacementTest, InstanceWithSitesCopiesParams) {
+  cc::core::GeneratorConfig gen;
+  gen.num_devices = 6;
+  gen.num_chargers = 1;
+  gen.cost_params.max_group_size = 2;
+  gen.seed = 65;
+  const Instance devices = cc::core::generate(gen);
+  PlacementConfig config;
+  const std::vector<cc::geom::Vec2> sites{{1.0, 1.0}, {2.0, 2.0}};
+  const Instance built =
+      cc::placement::instance_with_sites(devices, sites, config);
+  EXPECT_EQ(built.num_chargers(), 2);
+  EXPECT_EQ(built.num_devices(), 6);
+  EXPECT_EQ(built.params().max_group_size, 2);
+  EXPECT_DOUBLE_EQ(built.charger(0).power_w, config.power_w);
+}
+
+TEST(PlacementTest, RejectsBadConfig) {
+  const Instance devices = device_population();
+  PlacementConfig bad;
+  bad.num_chargers = 0;
+  EXPECT_THROW((void)choose_placement(devices, bad),
+               cc::util::AssertionError);
+  bad = PlacementConfig{};
+  bad.num_chargers = 10;
+  bad.grid_side = 2;  // only 4 candidates
+  EXPECT_THROW((void)choose_placement(devices, bad),
+               cc::util::AssertionError);
+}
+
+TEST(PlacementTest, Deterministic) {
+  const Instance devices = device_population(66);
+  PlacementConfig config;
+  config.num_chargers = 3;
+  config.grid_side = 4;
+  const PlacementResult a = choose_placement(devices, config);
+  const PlacementResult b = choose_placement(devices, config);
+  EXPECT_DOUBLE_EQ(a.scheduled_cost, b.scheduled_cost);
+  EXPECT_EQ(a.sites.size(), b.sites.size());
+}
+
+}  // namespace

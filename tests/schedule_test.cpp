@@ -1,0 +1,128 @@
+// Tests for Schedule: partition validation, costs, payments.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <sstream>
+
+#include "core/generator.h"
+#include "core/schedule.h"
+#include "util/assert.h"
+
+namespace {
+
+using cc::core::Coalition;
+using cc::core::CostModel;
+using cc::core::Instance;
+using cc::core::Schedule;
+using cc::core::SharingScheme;
+using cc::util::AssertionError;
+
+Instance sample_instance(std::uint64_t seed = 1, int n = 6, int m = 3) {
+  cc::core::GeneratorConfig config;
+  config.num_devices = n;
+  config.num_chargers = m;
+  config.seed = seed;
+  return cc::core::generate(config);
+}
+
+Schedule valid_schedule() {
+  Schedule s;
+  s.add({0, {0, 1, 2}});
+  s.add({1, {3}});
+  s.add({2, {4, 5}});
+  return s;
+}
+
+TEST(ScheduleTest, ValidPartitionPasses) {
+  const Instance inst = sample_instance();
+  EXPECT_NO_THROW(valid_schedule().validate(inst));
+}
+
+TEST(ScheduleTest, MissingDeviceFails) {
+  const Instance inst = sample_instance();
+  Schedule s;
+  s.add({0, {0, 1, 2, 3, 4}});  // device 5 missing
+  EXPECT_THROW(s.validate(inst), AssertionError);
+}
+
+TEST(ScheduleTest, DuplicateDeviceFails) {
+  const Instance inst = sample_instance();
+  Schedule s;
+  s.add({0, {0, 1, 2}});
+  s.add({1, {2, 3, 4, 5}});
+  EXPECT_THROW(s.validate(inst), AssertionError);
+}
+
+TEST(ScheduleTest, UnknownChargerFails) {
+  const Instance inst = sample_instance();
+  Schedule s;
+  s.add({9, {0, 1, 2, 3, 4, 5}});
+  EXPECT_THROW(s.validate(inst), AssertionError);
+}
+
+TEST(ScheduleTest, EmptyCoalitionFails) {
+  const Instance inst = sample_instance();
+  Schedule s = valid_schedule();
+  s.add({0, {}});
+  EXPECT_THROW(s.validate(inst), AssertionError);
+}
+
+TEST(ScheduleTest, UnknownDeviceFails) {
+  const Instance inst = sample_instance();
+  Schedule s;
+  s.add({0, {0, 1, 2, 3, 4, 7}});
+  EXPECT_THROW(s.validate(inst), AssertionError);
+}
+
+TEST(ScheduleTest, TotalCostSumsGroupCosts) {
+  const Instance inst = sample_instance();
+  const CostModel cost(inst);
+  const Schedule s = valid_schedule();
+  double expected = 0.0;
+  for (const Coalition& c : s.coalitions()) {
+    expected += cost.group_cost(c.charger, c.members);
+  }
+  EXPECT_DOUBLE_EQ(s.total_cost(cost), expected);
+}
+
+TEST(ScheduleTest, DevicePaymentsAreBudgetBalanced) {
+  const Instance inst = sample_instance();
+  const CostModel cost(inst);
+  const Schedule s = valid_schedule();
+  for (auto scheme : {SharingScheme::kEgalitarian,
+                      SharingScheme::kProportional, SharingScheme::kShapley}) {
+    const auto pays = s.device_payments(cost, scheme);
+    ASSERT_EQ(pays.size(), 6u);
+    const double sum = std::accumulate(pays.begin(), pays.end(), 0.0);
+    EXPECT_NEAR(sum, s.total_cost(cost), 1e-9);
+  }
+}
+
+TEST(ScheduleTest, CoalitionOf) {
+  const Instance inst = sample_instance();
+  const Schedule s = valid_schedule();
+  EXPECT_EQ(s.coalition_of(0, inst), 0);
+  EXPECT_EQ(s.coalition_of(3, inst), 1);
+  EXPECT_EQ(s.coalition_of(5, inst), 2);
+  Schedule partial;
+  partial.add({0, {0}});
+  EXPECT_EQ(partial.coalition_of(3, inst), -1);
+  EXPECT_THROW((void)s.coalition_of(99, inst), AssertionError);
+}
+
+TEST(ScheduleTest, MeanCoalitionSize) {
+  const Schedule s = valid_schedule();
+  EXPECT_DOUBLE_EQ(s.mean_coalition_size(), 2.0);
+  EXPECT_DOUBLE_EQ(Schedule{}.mean_coalition_size(), 0.0);
+}
+
+TEST(ScheduleTest, StreamOutput) {
+  Schedule s;
+  s.add({1, {0, 2}});
+  std::ostringstream out;
+  out << s;
+  EXPECT_EQ(out.str(), "Schedule{c1:[0 2]}");
+}
+
+}  // namespace

@@ -1,0 +1,287 @@
+// Tests for the intragroup cost-sharing schemes and the Shapley value.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/generator.h"
+#include "core/shapley.h"
+#include "core/sharing.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace {
+
+using cc::core::CostModel;
+using cc::core::DeviceId;
+using cc::core::Instance;
+using cc::core::SharingScheme;
+
+Instance sample_instance(std::uint64_t seed, int n = 10, int m = 4) {
+  cc::core::GeneratorConfig config;
+  config.num_devices = n;
+  config.num_chargers = m;
+  config.seed = seed;
+  return cc::core::generate(config);
+}
+
+// ---------------------------------------------------------- scheme names
+
+TEST(SchemeNameTest, RoundTrips) {
+  using cc::core::sharing_scheme_from_string;
+  using cc::core::to_string;
+  for (auto scheme : {SharingScheme::kEgalitarian,
+                      SharingScheme::kProportional, SharingScheme::kShapley}) {
+    EXPECT_EQ(sharing_scheme_from_string(to_string(scheme)), scheme);
+  }
+  EXPECT_THROW((void)sharing_scheme_from_string("bogus"),
+               cc::util::AssertionError);
+}
+
+// --------------------------------------------------------- basic splits
+
+TEST(FeeShareTest, EgalitarianSplitsEqually) {
+  const Instance inst = sample_instance(1);
+  const CostModel cost(inst);
+  const std::vector<DeviceId> members{0, 3, 5};
+  const auto shares =
+      fee_shares(SharingScheme::kEgalitarian, cost, 0, members);
+  const double fee = cost.session_fee(0, members);
+  for (double s : shares) {
+    EXPECT_NEAR(s, fee / 3.0, 1e-12);
+  }
+}
+
+TEST(FeeShareTest, ProportionalFollowsDemand) {
+  const Instance inst = sample_instance(2);
+  const CostModel cost(inst);
+  const std::vector<DeviceId> members{1, 4};
+  const auto shares =
+      fee_shares(SharingScheme::kProportional, cost, 1, members);
+  const double e1 = inst.device(1).demand_j;
+  const double e4 = inst.device(4).demand_j;
+  EXPECT_NEAR(shares[0] / shares[1], e1 / e4, 1e-9);
+}
+
+TEST(FeeShareTest, SingletonPaysFullFee) {
+  const Instance inst = sample_instance(3);
+  const CostModel cost(inst);
+  const std::vector<DeviceId> members{2};
+  for (auto scheme : {SharingScheme::kEgalitarian,
+                      SharingScheme::kProportional, SharingScheme::kShapley}) {
+    const auto shares = fee_shares(scheme, cost, 0, members);
+    ASSERT_EQ(shares.size(), 1u);
+    EXPECT_NEAR(shares[0], cost.session_fee(0, members), 1e-12);
+  }
+}
+
+TEST(FeeShareTest, RejectsEmptyCoalition) {
+  const Instance inst = sample_instance(4);
+  const CostModel cost(inst);
+  EXPECT_THROW(
+      (void)fee_shares(SharingScheme::kEgalitarian, cost, 0, {}),
+      cc::util::AssertionError);
+}
+
+// ------------------------------------------------- budget balance (all)
+
+class SharingSchemeProperty
+    : public ::testing::TestWithParam<std::tuple<int, SharingScheme>> {};
+
+TEST_P(SharingSchemeProperty, BudgetBalance) {
+  const auto [seed, scheme] = GetParam();
+  const Instance inst = sample_instance(static_cast<std::uint64_t>(seed));
+  const CostModel cost(inst);
+  cc::util::Rng rng(static_cast<std::uint64_t>(seed) * 31 + 7);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Random nonempty coalition + random charger.
+    std::vector<DeviceId> members;
+    for (DeviceId i = 0; i < inst.num_devices(); ++i) {
+      if (rng.bernoulli(0.4)) {
+        members.push_back(i);
+      }
+    }
+    if (members.empty()) {
+      members.push_back(static_cast<DeviceId>(rng.index(
+          static_cast<std::size_t>(inst.num_devices()))));
+    }
+    const auto j = static_cast<cc::core::ChargerId>(
+        rng.index(static_cast<std::size_t>(inst.num_chargers())));
+    const auto shares = fee_shares(scheme, cost, j, members);
+    const double sum = std::accumulate(shares.begin(), shares.end(), 0.0);
+    EXPECT_NEAR(sum, cost.session_fee(j, members), 1e-9);
+    // Payments = shares + own move costs, summing to the group cost.
+    const auto pays = payments(scheme, cost, j, members);
+    const double pay_sum = std::accumulate(pays.begin(), pays.end(), 0.0);
+    EXPECT_NEAR(pay_sum, cost.group_cost(j, members), 1e-9);
+  }
+}
+
+TEST_P(SharingSchemeProperty, SharesAreNonnegative) {
+  const auto [seed, scheme] = GetParam();
+  const Instance inst = sample_instance(static_cast<std::uint64_t>(seed));
+  const CostModel cost(inst);
+  std::vector<DeviceId> members;
+  for (DeviceId i = 0; i < inst.num_devices(); ++i) {
+    members.push_back(i);
+  }
+  const auto shares = fee_shares(scheme, cost, 0, members);
+  for (double s : shares) {
+    EXPECT_GE(s, -1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SharingSchemeProperty,
+    ::testing::Combine(::testing::Range(1, 8),
+                       ::testing::Values(SharingScheme::kEgalitarian,
+                                         SharingScheme::kProportional,
+                                         SharingScheme::kShapley)));
+
+// ------------------------------------------------------------- payments
+
+TEST(PaymentTest, PaymentOfMatchesVector) {
+  const Instance inst = sample_instance(9);
+  const CostModel cost(inst);
+  const std::vector<DeviceId> members{0, 2, 7};
+  const auto pays =
+      payments(SharingScheme::kProportional, cost, 1, members);
+  for (std::size_t idx = 0; idx < members.size(); ++idx) {
+    EXPECT_DOUBLE_EQ(payment_of(SharingScheme::kProportional, cost, 1,
+                                members, members[idx]),
+                     pays[idx]);
+  }
+  EXPECT_THROW((void)payment_of(SharingScheme::kProportional, cost, 1,
+                                members, 5),
+               cc::util::AssertionError);
+}
+
+// --------------------------------------------------------------- shapley
+
+TEST(ShapleyTest, ClosedFormMatchesPermutationDefinition) {
+  cc::util::Rng rng(101);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t k = 1 + rng.index(6);
+    std::vector<double> w(k);
+    for (double& x : w) {
+      x = rng.uniform(0.0, 10.0);
+    }
+    const double a = rng.uniform(0.1, 3.0);
+    const auto fast = cc::core::airport_shapley(a, w);
+    const auto slow = cc::core::airport_shapley_bruteforce(a, w);
+    ASSERT_EQ(fast.size(), slow.size());
+    for (std::size_t i = 0; i < k; ++i) {
+      EXPECT_NEAR(fast[i], slow[i], 1e-9) << "trial " << trial;
+    }
+  }
+}
+
+TEST(ShapleyTest, EfficiencySumsToCost) {
+  const std::vector<double> w{3.0, 7.0, 7.0, 1.0};
+  const auto shares = cc::core::airport_shapley(2.0, w);
+  EXPECT_NEAR(std::accumulate(shares.begin(), shares.end(), 0.0),
+              2.0 * 7.0, 1e-12);
+}
+
+TEST(ShapleyTest, MonotoneInWeight) {
+  // A member with a larger demand never pays less.
+  const std::vector<double> w{2.0, 5.0, 9.0};
+  const auto shares = cc::core::airport_shapley(1.0, w);
+  EXPECT_LE(shares[0], shares[1] + 1e-12);
+  EXPECT_LE(shares[1], shares[2] + 1e-12);
+}
+
+TEST(ShapleyTest, SymmetricMembersPayEqually) {
+  const std::vector<double> w{4.0, 4.0, 4.0};
+  const auto shares = cc::core::airport_shapley(1.5, w);
+  EXPECT_NEAR(shares[0], shares[1], 1e-12);
+  EXPECT_NEAR(shares[1], shares[2], 1e-12);
+  EXPECT_NEAR(shares[0], 1.5 * 4.0 / 3.0, 1e-12);
+}
+
+TEST(ShapleyTest, InCoreOfAirportGame) {
+  // Core condition for concave (here: subadditive max) cost games:
+  // no sub-coalition pays more than its standalone cost a·max(w over T).
+  cc::util::Rng rng(103);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t k = 2 + rng.index(5);
+    std::vector<double> w(k);
+    for (double& x : w) {
+      x = rng.uniform(0.5, 10.0);
+    }
+    const double a = 1.0;
+    const auto shares = cc::core::airport_shapley(a, w);
+    const std::uint32_t limit = 1U << k;
+    for (std::uint32_t mask = 1; mask < limit; ++mask) {
+      double share_sum = 0.0;
+      double max_w = 0.0;
+      for (std::size_t i = 0; i < k; ++i) {
+        if ((mask >> i) & 1U) {
+          share_sum += shares[i];
+          max_w = std::max(max_w, w[i]);
+        }
+      }
+      EXPECT_LE(share_sum, a * max_w + 1e-9) << "trial " << trial;
+    }
+  }
+}
+
+TEST(ShapleyTest, RejectsBadInput) {
+  EXPECT_THROW((void)cc::core::airport_shapley(-1.0, {{1.0}}),
+               cc::util::AssertionError);
+  EXPECT_THROW((void)cc::core::airport_shapley(1.0, {}),
+               cc::util::AssertionError);
+  const std::vector<double> w{1.0, -2.0};
+  EXPECT_THROW((void)cc::core::airport_shapley(1.0, w),
+               cc::util::AssertionError);
+  const std::vector<double> big(10, 1.0);
+  EXPECT_THROW((void)cc::core::airport_shapley_bruteforce(1.0, big),
+               cc::util::AssertionError);
+}
+
+// -------------------------------------------------- individual rationality
+
+TEST(IndividualRationalityTest, SingletonIsAlwaysIrAtBestCharger) {
+  const Instance inst = sample_instance(11);
+  const CostModel cost(inst);
+  for (DeviceId i = 0; i < inst.num_devices(); ++i) {
+    const auto [j, ignored] = cost.standalone(i);
+    (void)ignored;
+    const std::vector<DeviceId> members{i};
+    EXPECT_TRUE(is_individually_rational(SharingScheme::kEgalitarian, cost,
+                                         j, members));
+  }
+}
+
+TEST(IndividualRationalityTest, DetectsViolation) {
+  // Force a coalition where a tiny-demand device is dragged across the
+  // field: its payment exceeds its standalone cost.
+  using cc::core::Charger;
+  using cc::core::Device;
+  Device cheap;
+  cheap.position = {0.0, 0.0};
+  cheap.demand_j = 1.0;
+  cheap.battery_capacity_j = 2.0;
+  cheap.motion.unit_cost = 10.0;
+  Device heavy;
+  heavy.position = {100.0, 0.0};
+  heavy.demand_j = 100.0;
+  heavy.battery_capacity_j = 150.0;
+  heavy.motion.unit_cost = 10.0;
+  Charger near_cheap;
+  near_cheap.position = {0.0, 0.0};
+  near_cheap.power_w = 5.0;
+  near_cheap.price_per_s = 0.5;
+  Charger near_heavy;
+  near_heavy.position = {100.0, 0.0};
+  near_heavy.power_w = 5.0;
+  near_heavy.price_per_s = 0.5;
+  const Instance inst({cheap, heavy}, {near_cheap, near_heavy});
+  const CostModel cost(inst);
+  const std::vector<DeviceId> coalition{0, 1};
+  // Charging together at charger 1 forces device 0 to cross the field.
+  EXPECT_FALSE(is_individually_rational(SharingScheme::kEgalitarian, cost,
+                                        1, coalition));
+}
+
+}  // namespace

@@ -1,0 +1,494 @@
+// Tests for the discrete-event simulator: fidelity to the analytic cost
+// model, queueing behaviour, noise handling, event ordering.
+
+#include <gtest/gtest.h>
+
+#include "core/ccsa.h"
+#include "core/generator.h"
+#include "core/noncoop.h"
+#include "sim/engine.h"
+#include "sim/event_queue.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace {
+
+using cc::core::Coalition;
+using cc::core::CostModel;
+using cc::core::Instance;
+using cc::core::Schedule;
+using cc::core::SharingScheme;
+using cc::sim::EventKind;
+using cc::sim::EventQueue;
+using cc::sim::SimOptions;
+using cc::sim::SimReport;
+
+Instance sample_instance(std::uint64_t seed, int n = 12, int m = 4) {
+  cc::core::GeneratorConfig config;
+  config.num_devices = n;
+  config.num_chargers = m;
+  config.seed = seed;
+  return cc::core::generate(config);
+}
+
+// ------------------------------------------------------------ event queue
+
+TEST(EventQueueTest, OrdersByTime) {
+  EventQueue q;
+  q.push(3.0, EventKind::kArrival, 0);
+  q.push(1.0, EventKind::kDeparture, 1);
+  q.push(2.0, EventKind::kSessionStart, 2);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_DOUBLE_EQ(q.peek_time(), 1.0);
+  EXPECT_EQ(q.pop().coalition, 1);
+  EXPECT_EQ(q.pop().coalition, 2);
+  EXPECT_EQ(q.pop().coalition, 0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, TieBreaksFifo) {
+  EventQueue q;
+  q.push(1.0, EventKind::kArrival, 10);
+  q.push(1.0, EventKind::kArrival, 20);
+  q.push(1.0, EventKind::kArrival, 30);
+  EXPECT_EQ(q.pop().coalition, 10);
+  EXPECT_EQ(q.pop().coalition, 20);
+  EXPECT_EQ(q.pop().coalition, 30);
+}
+
+TEST(EventQueueTest, GuardsMisuse) {
+  EventQueue q;
+  EXPECT_THROW((void)q.pop(), cc::util::AssertionError);
+  EXPECT_THROW((void)q.peek_time(), cc::util::AssertionError);
+  EXPECT_THROW(q.push(-1.0, EventKind::kArrival, 0),
+               cc::util::AssertionError);
+}
+
+// ---------------------------------------------------------------- engine
+
+TEST(SimFidelityTest, RealizedEqualsScheduledWithoutNoiseOrContention) {
+  // Non-cooperative schedule: singletons, so no charger queueing unless
+  // two singletons pick the same charger — then contention delays but
+  // does not change the fee (duration depends only on demand).
+  for (int seed = 1; seed <= 8; ++seed) {
+    const Instance inst =
+        sample_instance(static_cast<std::uint64_t>(seed));
+    const CostModel cost(inst);
+    const auto nc = cc::core::NonCooperation().run(inst);
+    const SimReport report =
+        cc::sim::simulate(inst, nc.schedule, SharingScheme::kEgalitarian);
+    EXPECT_NEAR(report.realized_total_cost(),
+                nc.schedule.total_cost(cost), 1e-6)
+        << "seed " << seed;
+  }
+}
+
+TEST(SimFidelityTest, CcsaScheduleAlsoMatches) {
+  const Instance inst = sample_instance(3, 20, 6);
+  const CostModel cost(inst);
+  const auto result = cc::core::Ccsa().run(inst);
+  const SimReport report =
+      cc::sim::simulate(inst, result.schedule, SharingScheme::kEgalitarian);
+  EXPECT_NEAR(report.realized_total_cost(),
+              result.schedule.total_cost(cost), 1e-6);
+}
+
+TEST(SimTest, AllDevicesFullyCharged) {
+  const Instance inst = sample_instance(4, 15, 5);
+  const auto result = cc::core::Ccsa().run(inst);
+  const SimReport report =
+      cc::sim::simulate(inst, result.schedule, SharingScheme::kEgalitarian);
+  for (const auto& d : report.devices) {
+    EXPECT_TRUE(d.fully_charged);
+    EXPECT_GT(d.energy_received_j, 0.0);
+  }
+}
+
+TEST(SimTest, FeeSharesSumToSessionFees) {
+  const Instance inst = sample_instance(5, 15, 5);
+  const auto result = cc::core::Ccsa().run(inst);
+  const SimReport report =
+      cc::sim::simulate(inst, result.schedule, SharingScheme::kProportional);
+  double share_sum = 0.0;
+  for (const auto& d : report.devices) {
+    share_sum += d.fee_share;
+  }
+  double fee_sum = 0.0;
+  for (const auto& c : report.coalitions) {
+    fee_sum += c.session_fee;
+  }
+  EXPECT_NEAR(share_sum, fee_sum, 1e-9);
+}
+
+TEST(SimTest, SlowerPowerRaisesRealizedCost) {
+  const Instance inst = sample_instance(6, 12, 4);
+  const auto result = cc::core::Ccsa().run(inst);
+  SimOptions degraded;
+  degraded.charger_power_factor.assign(
+      static_cast<std::size_t>(inst.num_chargers()), 0.5);
+  const double nominal =
+      cc::sim::simulate(inst, result.schedule, SharingScheme::kEgalitarian)
+          .realized_total_cost();
+  const double slow =
+      cc::sim::simulate(inst, result.schedule, SharingScheme::kEgalitarian, degraded)
+          .realized_total_cost();
+  EXPECT_GT(slow, nominal);
+}
+
+TEST(SimTest, PowerFactorValidation) {
+  const Instance inst = sample_instance(7, 5, 3);
+  const auto result = cc::core::NonCooperation().run(inst);
+  SimOptions bad_count;
+  bad_count.charger_power_factor = {1.0};
+  EXPECT_THROW((void)cc::sim::simulate(inst, result.schedule,
+                              SharingScheme::kEgalitarian, bad_count),
+               cc::util::AssertionError);
+  SimOptions nonpositive;
+  nonpositive.charger_power_factor.assign(
+      static_cast<std::size_t>(inst.num_chargers()), 0.0);
+  EXPECT_THROW((void)cc::sim::simulate(inst, result.schedule,
+                              SharingScheme::kEgalitarian, nonpositive),
+               cc::util::AssertionError);
+}
+
+TEST(SimTest, QueueingSerializesSessionsOnOneCharger) {
+  // Two coalitions forced onto one charger: the second session starts
+  // only after the first ends.
+  using cc::core::Charger;
+  using cc::core::Device;
+  std::vector<Device> devices;
+  for (int i = 0; i < 4; ++i) {
+    Device d;
+    d.position = {static_cast<double>(i), 0.0};
+    d.demand_j = 50.0;
+    d.battery_capacity_j = 60.0;
+    d.motion.unit_cost = 0.1;
+    d.motion.speed_m_per_s = 1.0;
+    devices.push_back(d);
+  }
+  Charger c;
+  c.position = {0.0, 0.0};
+  c.power_w = 5.0;
+  c.price_per_s = 0.5;
+  const Instance inst(std::move(devices), {c});
+  Schedule schedule;
+  schedule.add({0, {0, 1}});
+  schedule.add({0, {2, 3}});
+  const SimReport report =
+      cc::sim::simulate(inst, schedule, SharingScheme::kEgalitarian);
+  const auto& first = report.coalitions[0];
+  const auto& second = report.coalitions[1];
+  const double early_start = std::min(first.start_time_s,
+                                      second.start_time_s);
+  const double late_start = std::max(first.start_time_s,
+                                     second.start_time_s);
+  const double early_end = std::min(first.end_time_s, second.end_time_s);
+  EXPECT_GE(late_start + 1e-12, early_end);
+  EXPECT_GE(report.makespan_s, early_start + 2 * 10.0);  // two sessions
+}
+
+TEST(SimTest, WaitTimeZeroWithoutContention) {
+  // One coalition per charger: nobody waits beyond coalition gathering.
+  const Instance inst = sample_instance(8, 4, 4);
+  const auto nc = cc::core::NonCooperation().run(inst);
+  // Force distinct chargers to guarantee no contention.
+  bool distinct = true;
+  std::vector<bool> used(static_cast<std::size_t>(inst.num_chargers()),
+                         false);
+  for (const Coalition& c : nc.schedule.coalitions()) {
+    if (used[static_cast<std::size_t>(c.charger)]) {
+      distinct = false;
+    }
+    used[static_cast<std::size_t>(c.charger)] = true;
+  }
+  if (!distinct) {
+    GTEST_SKIP() << "seed produced charger contention";
+  }
+  const SimReport report =
+      cc::sim::simulate(inst, nc.schedule, SharingScheme::kEgalitarian);
+  for (const auto& d : report.devices) {
+    EXPECT_NEAR(d.wait_time_s, 0.0, 1e-9);
+  }
+}
+
+TEST(SimTest, TraceRecordsAllEvents) {
+  const Instance inst = sample_instance(9, 6, 3);
+  const auto nc = cc::core::NonCooperation().run(inst);
+  SimOptions options;
+  options.record_trace = true;
+  const SimReport report =
+      cc::sim::simulate(inst, nc.schedule, SharingScheme::kEgalitarian, options);
+  EXPECT_EQ(static_cast<long>(report.trace.size()),
+            report.events_processed);
+  // 6 departures + 6 arrivals + 6 starts + 6 ends.
+  EXPECT_EQ(report.events_processed, 24);
+  // Trace must be time-ordered.
+  for (std::size_t i = 1; i < report.trace.size(); ++i) {
+    EXPECT_GE(report.trace[i].time + 1e-12, report.trace[i - 1].time);
+  }
+}
+
+TEST(SimTest, MakespanCoversTravelAndCharge) {
+  const Instance inst = sample_instance(10, 10, 5);
+  const auto result = cc::core::Ccsa().run(inst);
+  const SimReport report =
+      cc::sim::simulate(inst, result.schedule, SharingScheme::kEgalitarian);
+  for (const auto& d : report.devices) {
+    EXPECT_LE(d.travel_time_s + d.wait_time_s + d.charge_time_s,
+              report.makespan_s + 1e-9);
+  }
+}
+
+TEST(SimTest, RejectsInvalidSchedule) {
+  const Instance inst = sample_instance(11, 5, 2);
+  Schedule bad;
+  bad.add({0, {0, 1}});  // devices 2..4 missing
+  EXPECT_THROW(
+      (void)cc::sim::simulate(inst, bad, SharingScheme::kEgalitarian),
+      cc::util::AssertionError);
+}
+
+
+TEST(SimTravelDrainTest, DrainInflatesRealizedCost) {
+  cc::core::GeneratorConfig config;
+  config.num_devices = 12;
+  config.num_chargers = 4;
+  config.seed = 31;
+  auto inst_cfg = config;
+  // Give every device a locomotion energy rate and battery headroom.
+  cc::util::Rng rng(1);
+  const Instance base = cc::core::generate(inst_cfg);
+  std::vector<cc::core::Device> devices(base.devices().begin(),
+                                        base.devices().end());
+  for (auto& d : devices) {
+    d.motion.joules_per_m = 0.4;
+    d.battery_capacity_j = d.demand_j * 3.0;  // headroom for the drain
+  }
+  std::vector<cc::core::Charger> chargers(base.chargers().begin(),
+                                          base.chargers().end());
+  const Instance inst(std::move(devices), std::move(chargers),
+                      base.params());
+  const CostModel cost(inst);
+  const auto result = cc::core::Ccsa().run(inst);
+
+  SimOptions plain;
+  SimOptions draining;
+  draining.travel_drains_battery = true;
+  const double nominal =
+      cc::sim::simulate(inst, result.schedule, SharingScheme::kEgalitarian,
+                        plain)
+          .realized_total_cost();
+  const auto drained = cc::sim::simulate(
+      inst, result.schedule, SharingScheme::kEgalitarian, draining);
+  EXPECT_NEAR(nominal, result.schedule.total_cost(cost), 1e-6);
+  EXPECT_GT(drained.realized_total_cost(), nominal);
+  for (const auto& d : drained.devices) {
+    EXPECT_TRUE(d.fully_charged);  // sessions run until full despite drain
+  }
+}
+
+TEST(SimTravelDrainTest, ZeroRateDrainIsIdentity) {
+  const Instance inst = sample_instance(32, 10, 4);
+  const auto result = cc::core::Ccsa().run(inst);
+  SimOptions draining;
+  draining.travel_drains_battery = true;  // but joules_per_m defaults to 0
+  const double with_flag =
+      cc::sim::simulate(inst, result.schedule, SharingScheme::kEgalitarian,
+                        draining)
+          .realized_total_cost();
+  const double without =
+      cc::sim::simulate(inst, result.schedule, SharingScheme::kEgalitarian)
+          .realized_total_cost();
+  EXPECT_DOUBLE_EQ(with_flag, without);
+}
+
+
+TEST(SimCcCvTest, TaperLengthensSessionsAndRaisesFees) {
+  const Instance inst = sample_instance(41, 12, 4);
+  const CostModel cost(inst);
+  const auto result = cc::core::Ccsa().run(inst);
+  SimOptions tapered;
+  tapered.cc_cv = cc::energy::CcCvProfile{};  // knee 0.8, target 0.99
+  const auto linear_report =
+      cc::sim::simulate(inst, result.schedule, SharingScheme::kEgalitarian);
+  const auto taper_report = cc::sim::simulate(
+      inst, result.schedule, SharingScheme::kEgalitarian, tapered);
+  EXPECT_GT(taper_report.realized_total_cost(),
+            linear_report.realized_total_cost() * 0.9);
+  EXPECT_GT(taper_report.makespan_s, 0.0);
+  for (const auto& d : taper_report.devices) {
+    EXPECT_TRUE(d.fully_charged);  // reached the profile's target
+  }
+}
+
+TEST(SimCcCvTest, CcOnlyProfileUnderestimatesDemandButCompletes) {
+  // A target below every device's start-of-charge: zero-length sessions.
+  const Instance inst = sample_instance(42, 6, 3);
+  const auto result = cc::core::Ccsa().run(inst);
+  SimOptions options;
+  cc::energy::CcCvProfile profile;
+  profile.knee_soc = 0.9;
+  profile.target_soc = 0.05;  // below initial SoC of every battery
+  options.cc_cv = profile;
+  const auto report = cc::sim::simulate(
+      inst, result.schedule, SharingScheme::kEgalitarian, options);
+  for (const auto& c : report.coalitions) {
+    EXPECT_NEAR(c.end_time_s - c.start_time_s, 0.0, 1e-9);
+  }
+}
+
+
+TEST(SimFailureTest, ZeroProbabilityIsIdentity) {
+  const Instance inst = sample_instance(51, 10, 4);
+  const auto result = cc::core::Ccsa().run(inst);
+  SimOptions options;
+  options.device_failure_prob = 0.0;
+  const double a =
+      cc::sim::simulate(inst, result.schedule, SharingScheme::kEgalitarian)
+          .realized_total_cost();
+  const double b = cc::sim::simulate(inst, result.schedule,
+                                     SharingScheme::kEgalitarian, options)
+                       .realized_total_cost();
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(SimFailureTest, TotalFailureServesNobody) {
+  const Instance inst = sample_instance(52, 8, 3);
+  const auto result = cc::core::Ccsa().run(inst);
+  SimOptions options;
+  options.device_failure_prob = 1.0;
+  const auto report = cc::sim::simulate(
+      inst, result.schedule, SharingScheme::kEgalitarian, options);
+  EXPECT_DOUBLE_EQ(report.realized_total_cost(), 0.0);
+  EXPECT_EQ(report.events_processed, 0);
+  for (const auto& d : report.devices) {
+    EXPECT_TRUE(d.failed);
+    EXPECT_FALSE(d.fully_charged);
+    EXPECT_DOUBLE_EQ(d.energy_received_j, 0.0);
+  }
+}
+
+TEST(SimFailureTest, SurvivorsShareTheFeeConsistently) {
+  const Instance inst = sample_instance(53, 20, 5);
+  const auto result = cc::core::Ccsa().run(inst);
+  SimOptions options;
+  options.device_failure_prob = 0.3;
+  const auto report = cc::sim::simulate(
+      inst, result.schedule, SharingScheme::kProportional, options);
+  double share_sum = 0.0;
+  int failed_count = 0;
+  for (const auto& d : report.devices) {
+    share_sum += d.fee_share;
+    failed_count += d.failed ? 1 : 0;
+    if (d.failed) {
+      EXPECT_DOUBLE_EQ(d.fee_share, 0.0);
+      EXPECT_DOUBLE_EQ(d.move_cost, 0.0);
+    } else {
+      EXPECT_TRUE(d.fully_charged);
+    }
+  }
+  double fee_sum = 0.0;
+  for (const auto& c : report.coalitions) {
+    fee_sum += c.session_fee;
+  }
+  EXPECT_NEAR(share_sum, fee_sum, 1e-9);
+  EXPECT_GT(failed_count, 0);
+  EXPECT_LT(failed_count, inst.num_devices());
+}
+
+TEST(SimFailureTest, DeterministicInFailureSeed) {
+  const Instance inst = sample_instance(54, 15, 4);
+  const auto result = cc::core::Ccsa().run(inst);
+  SimOptions options;
+  options.device_failure_prob = 0.4;
+  const double a = cc::sim::simulate(inst, result.schedule,
+                                     SharingScheme::kEgalitarian, options)
+                       .realized_total_cost();
+  const double b = cc::sim::simulate(inst, result.schedule,
+                                     SharingScheme::kEgalitarian, options)
+                       .realized_total_cost();
+  EXPECT_DOUBLE_EQ(a, b);
+  options.failure_seed = 999;
+  const double c = cc::sim::simulate(inst, result.schedule,
+                                     SharingScheme::kEgalitarian, options)
+                       .realized_total_cost();
+  EXPECT_NE(a, c);  // a different crash pattern
+}
+
+TEST(SimFailureTest, RejectsBadProbability) {
+  const Instance inst = sample_instance(55, 5, 2);
+  const auto result = cc::core::NonCooperation().run(inst);
+  SimOptions options;
+  options.device_failure_prob = 1.5;
+  EXPECT_THROW((void)cc::sim::simulate(inst, result.schedule,
+                                       SharingScheme::kEgalitarian,
+                                       options),
+               cc::util::AssertionError);
+}
+
+
+TEST(QueuePolicyTest, FeesAreInvariantAcrossPolicies) {
+  // The discipline reorders waiting, never session durations, so the
+  // realized comprehensive cost must be bit-identical.
+  const Instance inst = sample_instance(61, 30, 3);  // heavy contention
+  const auto result = cc::core::Ccsa().run(inst);
+  double fifo = 0.0;
+  for (auto policy : {cc::sim::QueuePolicy::kFifo,
+                      cc::sim::QueuePolicy::kShortestSessionFirst,
+                      cc::sim::QueuePolicy::kLongestSessionFirst}) {
+    SimOptions options;
+    options.queue_policy = policy;
+    const double cost = cc::sim::simulate(inst, result.schedule,
+                                          SharingScheme::kEgalitarian,
+                                          options)
+                            .realized_total_cost();
+    if (policy == cc::sim::QueuePolicy::kFifo) {
+      fifo = cost;
+    } else {
+      EXPECT_DOUBLE_EQ(cost, fifo);
+    }
+  }
+}
+
+TEST(QueuePolicyTest, ShortestFirstMinimizesMeanWait) {
+  // Classic single-server result, checked on contended noncoop
+  // schedules (many singleton sessions per charger).
+  double sjf_total = 0.0;
+  double fifo_total = 0.0;
+  double ljf_total = 0.0;
+  for (int seed = 1; seed <= 6; ++seed) {
+    const Instance inst =
+        sample_instance(static_cast<std::uint64_t>(seed) + 70, 24, 2);
+    const auto nc = cc::core::NonCooperation().run(inst);
+    const auto wait_under = [&](cc::sim::QueuePolicy policy) {
+      SimOptions options;
+      options.queue_policy = policy;
+      return cc::sim::simulate(inst, nc.schedule,
+                               SharingScheme::kEgalitarian, options)
+          .mean_wait_s();
+    };
+    sjf_total += wait_under(cc::sim::QueuePolicy::kShortestSessionFirst);
+    fifo_total += wait_under(cc::sim::QueuePolicy::kFifo);
+    ljf_total += wait_under(cc::sim::QueuePolicy::kLongestSessionFirst);
+  }
+  EXPECT_LE(sjf_total, fifo_total + 1e-9);
+  EXPECT_LE(fifo_total, ljf_total + 1e-9);
+}
+
+TEST(QueuePolicyTest, AllPoliciesServeEveryone) {
+  const Instance inst = sample_instance(62, 20, 2);
+  const auto result = cc::core::Ccsa().run(inst);
+  for (auto policy : {cc::sim::QueuePolicy::kFifo,
+                      cc::sim::QueuePolicy::kShortestSessionFirst,
+                      cc::sim::QueuePolicy::kLongestSessionFirst}) {
+    SimOptions options;
+    options.queue_policy = policy;
+    const auto report = cc::sim::simulate(
+        inst, result.schedule, SharingScheme::kEgalitarian, options);
+    for (const auto& d : report.devices) {
+      EXPECT_TRUE(d.fully_charged);
+    }
+  }
+}
+
+}  // namespace

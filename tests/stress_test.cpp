@@ -1,0 +1,94 @@
+// Heavier scale/agreement checks — each still bounded to a few seconds
+// on one core, but exercising sizes the unit suites avoid.
+
+#include <gtest/gtest.h>
+
+#include "core/ccsga.h"
+#include "core/generator.h"
+#include "core/noncoop.h"
+#include "sim/engine.h"
+#include "submodular/densest.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using cc::core::CostModel;
+using cc::core::Instance;
+
+TEST(StressTest, CcsgaOnAThousandDevices) {
+  cc::core::GeneratorConfig config;
+  config.num_devices = 1000;
+  config.num_chargers = 25;
+  config.field_size_m = 300.0;
+  config.seed = 8;
+  const Instance inst = cc::core::generate(config);
+  const CostModel cost(inst);
+  const cc::util::Stopwatch watch;
+  const auto result = cc::core::Ccsga().run(inst);
+  EXPECT_LT(watch.elapsed_seconds(), 30.0);
+  EXPECT_TRUE(result.stats.converged);
+  result.schedule.validate(inst);
+  const double noncoop =
+      cc::core::NonCooperation().run(inst).schedule.total_cost(cost);
+  EXPECT_LT(result.schedule.total_cost(cost), noncoop);
+}
+
+TEST(StressTest, WolfeAgreesWithStructuredAtScale) {
+  // The generic SFM path must match the exact structured minimizer on
+  // realistic group-cost functions far beyond brute-force reach.
+  cc::core::GeneratorConfig config;
+  config.num_devices = 120;
+  config.num_chargers = 3;
+  config.seed = 9;
+  const Instance inst = cc::core::generate(config);
+  const CostModel cost(inst);
+  std::vector<cc::core::DeviceId> universe;
+  for (int i = 0; i < inst.num_devices(); ++i) {
+    universe.push_back(i);
+  }
+  for (cc::core::ChargerId j = 0; j < inst.num_chargers(); ++j) {
+    const auto f = cost.group_cost_function(j, universe);
+    const auto structured = cc::sub::min_average_cost(f);
+    const cc::sub::WolfeSfm solver;
+    const auto wolfe = cc::sub::min_average_cost(f, solver);
+    EXPECT_NEAR(structured.average_cost, wolfe.average_cost,
+                1e-6 * structured.average_cost)
+        << "charger " << j;
+  }
+}
+
+TEST(StressTest, SimulatorOnTwoThousandDevices) {
+  cc::core::GeneratorConfig config;
+  config.num_devices = 2000;
+  config.num_chargers = 40;
+  config.field_size_m = 400.0;
+  config.seed = 10;
+  const Instance inst = cc::core::generate(config);
+  const CostModel cost(inst);
+  const auto noncoop = cc::core::NonCooperation().run(inst);
+  const cc::util::Stopwatch watch;
+  const auto report = cc::sim::simulate(
+      inst, noncoop.schedule, cc::core::SharingScheme::kEgalitarian);
+  EXPECT_LT(watch.elapsed_seconds(), 10.0);
+  EXPECT_NEAR(report.realized_total_cost(),
+              noncoop.schedule.total_cost(cost),
+              1e-6 * report.realized_total_cost());
+  EXPECT_EQ(report.events_processed, 4 * 2000L);
+}
+
+TEST(StressTest, DeepDinkelbachStaysBounded) {
+  // Pathological near-tie ratios: many elements with almost identical
+  // demands and moving costs — Dinkelbach must still terminate fast.
+  std::vector<double> w;
+  std::vector<double> b;
+  for (int i = 0; i < 400; ++i) {
+    w.push_back(100.0 + 1e-7 * i);
+    b.push_back(5.0 + 1e-9 * i);
+  }
+  const cc::sub::MaxModularFunction f(0.1, std::move(w), std::move(b));
+  const auto result = cc::sub::min_average_cost(f);
+  EXPECT_LE(result.iterations, 50);
+  EXPECT_FALSE(result.set.empty());
+}
+
+}  // namespace

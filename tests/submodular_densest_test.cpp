@@ -1,0 +1,117 @@
+// Dinkelbach minimum-average-cost subset: structured and generic paths
+// against exhaustive ratio enumeration.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "submodular/brute_force.h"
+#include "submodular/densest.h"
+#include "util/rng.h"
+
+namespace {
+
+using cc::sub::DensestResult;
+using cc::sub::MaxModularFunction;
+
+/// Nonnegative-cost max+modular instance (a CCS group-cost function).
+MaxModularFunction random_cost_function(cc::util::Rng& rng, int n) {
+  std::vector<double> w(static_cast<std::size_t>(n));
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    w[static_cast<std::size_t>(i)] = rng.uniform(1.0, 10.0);
+    b[static_cast<std::size_t>(i)] = rng.uniform(0.0, 5.0);
+  }
+  return MaxModularFunction(rng.uniform(0.1, 2.0), std::move(w),
+                            std::move(b));
+}
+
+double brute_force_best_ratio(const MaxModularFunction& f) {
+  double best = std::numeric_limits<double>::infinity();
+  const std::uint32_t limit = 1U << f.n();
+  for (std::uint32_t mask = 1; mask < limit; ++mask) {
+    const auto set = cc::sub::mask_to_set(mask, f.n());
+    best = std::min(best,
+                    f.value(set) / static_cast<double>(set.size()));
+  }
+  return best;
+}
+
+class DensestParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(DensestParam, StructuredMatchesExhaustive) {
+  cc::util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int n = 1 + static_cast<int>(rng.index(10));
+  const auto f = random_cost_function(rng, n);
+  const DensestResult result = cc::sub::min_average_cost(f);
+  EXPECT_NEAR(result.average_cost, brute_force_best_ratio(f), 1e-9);
+  ASSERT_FALSE(result.set.empty());
+  EXPECT_NEAR(f.value(result.set) /
+                  static_cast<double>(result.set.size()),
+              result.average_cost, 1e-12);
+}
+
+TEST_P(DensestParam, GenericWolfePathMatchesExhaustive) {
+  cc::util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 500);
+  const int n = 2 + static_cast<int>(rng.index(6));
+  const auto f = random_cost_function(rng, n);
+  const cc::sub::WolfeSfm solver;
+  const DensestResult result = cc::sub::min_average_cost(f, solver);
+  EXPECT_NEAR(result.average_cost, brute_force_best_ratio(f), 1e-6);
+}
+
+TEST_P(DensestParam, GenericBruteForcePathMatchesExhaustive) {
+  cc::util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 900);
+  const int n = 1 + static_cast<int>(rng.index(8));
+  const auto f = random_cost_function(rng, n);
+  const cc::sub::BruteForceSfm solver;
+  const DensestResult result = cc::sub::min_average_cost(f, solver);
+  EXPECT_NEAR(result.average_cost, brute_force_best_ratio(f), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DensestParam, ::testing::Range(1, 31));
+
+TEST(DensestTest, SingletonGroundSet) {
+  const MaxModularFunction f(1.0, {4.0}, {2.0});
+  const auto result = cc::sub::min_average_cost(f);
+  EXPECT_EQ(result.set, std::vector<int>{0});
+  EXPECT_DOUBLE_EQ(result.average_cost, 6.0);
+}
+
+TEST(DensestTest, SimilarDemandsShareOneSession) {
+  // Near-equal demands with zero move cost: sharing one session beats
+  // any split, so the best-average set is everyone.
+  const MaxModularFunction f(1.0, {10.0, 9.0, 9.0, 9.0},
+                             {0.0, 0.0, 0.0, 0.0});
+  const auto result = cc::sub::min_average_cost(f);
+  EXPECT_EQ(result.set.size(), 4u);
+  EXPECT_DOUBLE_EQ(result.average_cost, 2.5);
+}
+
+TEST(DensestTest, LightDemandsFormTheirOwnCheapSession) {
+  // A heavy element with light free riders: the riders' own session
+  // (max 1, three members) has the better average than joining.
+  const MaxModularFunction f(1.0, {10.0, 1.0, 1.0, 1.0},
+                             {0.0, 0.0, 0.0, 0.0});
+  const auto result = cc::sub::min_average_cost(f);
+  EXPECT_EQ(result.set, (std::vector<int>{1, 2, 3}));
+  EXPECT_NEAR(result.average_cost, 1.0 / 3.0, 1e-12);
+}
+
+TEST(DensestTest, ExpensiveMoversStayOut) {
+  // Element 1's move cost exceeds any sharing gain.
+  const MaxModularFunction f(1.0, {4.0, 4.0}, {0.0, 100.0});
+  const auto result = cc::sub::min_average_cost(f);
+  EXPECT_EQ(result.set, std::vector<int>{0});
+  EXPECT_DOUBLE_EQ(result.average_cost, 4.0);
+}
+
+TEST(DensestTest, IterationCountIsFinite) {
+  cc::util::Rng rng(1234);
+  const auto f = random_cost_function(rng, 12);
+  const auto result = cc::sub::min_average_cost(f);
+  EXPECT_GE(result.iterations, 1);
+  EXPECT_LE(result.iterations, 50);
+}
+
+}  // namespace

@@ -1,0 +1,261 @@
+// Tests for the set-function families and their structural properties.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "submodular/brute_force.h"
+#include "submodular/max_modular.h"
+#include "submodular/set_function.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace {
+
+using cc::sub::ConcaveCardinalityFunction;
+using cc::sub::CountingSetFunction;
+using cc::sub::GraphCutFunction;
+using cc::sub::MaxModularFunction;
+using cc::sub::ModularFunction;
+using cc::sub::RestrictedFunction;
+using cc::sub::ShiftedByCardinality;
+using cc::sub::WeightedCoverageFunction;
+
+// ---------------------------------------------------------------- values
+
+TEST(ModularTest, SumsWeights) {
+  const ModularFunction f({1.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(f.value({}), 0.0);
+  const int s01[] = {0, 1};
+  EXPECT_DOUBLE_EQ(f.value(s01), 3.0);
+  const int all[] = {0, 1, 2};
+  EXPECT_DOUBLE_EQ(f.value(all), 7.0);
+}
+
+TEST(MaxModularTest, Value) {
+  const MaxModularFunction f(2.0, {3.0, 1.0, 5.0}, {0.5, -1.0, 2.0});
+  EXPECT_DOUBLE_EQ(f.value({}), 0.0);
+  const int s0[] = {0};
+  EXPECT_DOUBLE_EQ(f.value(s0), 2.0 * 3.0 + 0.5);
+  const int s01[] = {0, 1};
+  EXPECT_DOUBLE_EQ(f.value(s01), 2.0 * 3.0 + 0.5 - 1.0);
+  const int all[] = {0, 1, 2};
+  EXPECT_DOUBLE_EQ(f.value(all), 2.0 * 5.0 + 1.5);
+}
+
+TEST(MaxModularTest, RejectsBadParameters) {
+  EXPECT_THROW(MaxModularFunction(-1.0, {1.0}, {0.0}),
+               cc::util::AssertionError);
+  EXPECT_THROW(MaxModularFunction(1.0, {-1.0}, {0.0}),
+               cc::util::AssertionError);
+  EXPECT_THROW(MaxModularFunction(1.0, {1.0, 2.0}, {0.0}),
+               cc::util::AssertionError);
+}
+
+TEST(ConcaveCardinalityTest, Value) {
+  // g increments 3,2,1 -> g(1)=3, g(2)=5, g(3)=6.
+  const ConcaveCardinalityFunction f({3.0, 2.0, 1.0}, {0.0, 1.0, -0.5});
+  const int s1[] = {1};
+  EXPECT_DOUBLE_EQ(f.value(s1), 3.0 + 1.0);
+  const int s12[] = {1, 2};
+  EXPECT_DOUBLE_EQ(f.value(s12), 5.0 + 0.5);
+}
+
+TEST(ConcaveCardinalityTest, RejectsConvexIncrements) {
+  EXPECT_THROW(ConcaveCardinalityFunction({1.0, 2.0}, {0.0, 0.0}),
+               cc::util::AssertionError);
+}
+
+TEST(CoverageTest, CountsCoveredWeightOnce) {
+  const WeightedCoverageFunction f({{0, 1}, {1, 2}, {3}},
+                                   {1.0, 2.0, 4.0, 8.0});
+  const int s01[] = {0, 1};
+  EXPECT_DOUBLE_EQ(f.value(s01), 1.0 + 2.0 + 4.0);  // item 1 counted once
+  const int all[] = {0, 1, 2};
+  EXPECT_DOUBLE_EQ(f.value(all), 15.0);
+}
+
+TEST(GraphCutTest, CutValue) {
+  // Triangle with weights 1, 2, 3.
+  const GraphCutFunction f(3, {{0, 1, 1.0}, {1, 2, 2.0}, {0, 2, 3.0}});
+  EXPECT_DOUBLE_EQ(f.value({}), 0.0);
+  const int s0[] = {0};
+  EXPECT_DOUBLE_EQ(f.value(s0), 4.0);
+  const int all[] = {0, 1, 2};
+  EXPECT_DOUBLE_EQ(f.value(all), 0.0);
+}
+
+TEST(ShiftedTest, SubtractsThetaTimesCardinality) {
+  const ModularFunction inner({1.0, 2.0, 3.0});
+  const ShiftedByCardinality f(inner, 0.5);
+  const int s02[] = {0, 2};
+  EXPECT_DOUBLE_EQ(f.value(s02), 4.0 - 1.0);
+  EXPECT_DOUBLE_EQ(f.theta(), 0.5);
+}
+
+TEST(RestrictedTest, MapsThroughUniverse) {
+  const ModularFunction inner({1.0, 2.0, 4.0, 8.0});
+  const RestrictedFunction f(inner, {3, 1});
+  EXPECT_EQ(f.n(), 2);
+  const int s0[] = {0};  // -> inner element 3
+  EXPECT_DOUBLE_EQ(f.value(s0), 8.0);
+  const int s01[] = {0, 1};
+  EXPECT_DOUBLE_EQ(f.value(s01), 10.0);
+  EXPECT_EQ(f.to_inner(s01), (std::vector<int>{3, 1}));
+}
+
+TEST(CountingTest, CountsOracleCalls) {
+  const ModularFunction inner({1.0, 2.0});
+  const CountingSetFunction f(inner);
+  EXPECT_EQ(f.calls(), 0);
+  (void)f.value({});
+  (void)f.value({});
+  EXPECT_EQ(f.calls(), 2);
+  f.reset();
+  EXPECT_EQ(f.calls(), 0);
+}
+
+// ----------------------------------------------------- structural checks
+
+TEST(PropertyTest, ModularIsSubmodularAndMonotoneForPositiveWeights) {
+  const ModularFunction f({1.0, 0.5, 2.0, 0.25});
+  EXPECT_TRUE(cc::sub::is_submodular(f));
+  EXPECT_TRUE(cc::sub::is_monotone(f));
+}
+
+TEST(PropertyTest, MaxModularIsSubmodular) {
+  cc::util::Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> w(6);
+    std::vector<double> b(6);
+    for (int i = 0; i < 6; ++i) {
+      w[static_cast<std::size_t>(i)] = rng.uniform(0.0, 10.0);
+      b[static_cast<std::size_t>(i)] = rng.uniform(-5.0, 5.0);
+    }
+    const MaxModularFunction f(rng.uniform(0.0, 3.0), w, b);
+    EXPECT_TRUE(cc::sub::is_submodular(f)) << "trial " << trial;
+  }
+}
+
+TEST(PropertyTest, MaxModularWithNonnegativeModularIsMonotone) {
+  const MaxModularFunction f(1.5, {1.0, 4.0, 2.0}, {0.0, 0.5, 1.0});
+  EXPECT_TRUE(cc::sub::is_monotone(f));
+}
+
+TEST(PropertyTest, CoverageIsSubmodularAndMonotone) {
+  cc::util::Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::vector<int>> covers(5);
+    for (auto& cover : covers) {
+      for (int item = 0; item < 8; ++item) {
+        if (rng.bernoulli(0.4)) {
+          cover.push_back(item);
+        }
+      }
+    }
+    std::vector<double> weights(8);
+    for (double& x : weights) {
+      x = rng.uniform(0.0, 3.0);
+    }
+    const WeightedCoverageFunction f(covers, weights);
+    EXPECT_TRUE(cc::sub::is_submodular(f)) << "trial " << trial;
+    EXPECT_TRUE(cc::sub::is_monotone(f)) << "trial " << trial;
+  }
+}
+
+TEST(PropertyTest, GraphCutIsSubmodularNotMonotone) {
+  const GraphCutFunction f(4, {{0, 1, 1.0}, {1, 2, 1.5}, {2, 3, 2.0},
+                               {0, 3, 0.5}});
+  EXPECT_TRUE(cc::sub::is_submodular(f));
+  EXPECT_FALSE(cc::sub::is_monotone(f));
+}
+
+TEST(PropertyTest, ConcaveCardinalityIsSubmodular) {
+  const ConcaveCardinalityFunction f({4.0, 2.5, 1.0, 0.5, 0.25},
+                                     {0.1, -0.3, 0.2, 0.0, 0.5});
+  EXPECT_TRUE(cc::sub::is_submodular(f));
+}
+
+// -------------------------------------------------------- greedy vertex
+
+TEST(BaseVertexTest, TelescopesToFullValue) {
+  const MaxModularFunction f(2.0, {3.0, 1.0, 5.0, 2.0},
+                             {0.5, -1.0, 2.0, 0.0});
+  std::vector<int> perm{2, 0, 3, 1};
+  const auto x = f.base_vertex(perm);
+  const double sum = std::accumulate(x.begin(), x.end(), 0.0);
+  const int all[] = {0, 1, 2, 3};
+  EXPECT_NEAR(sum, f.value(all), 1e-12);
+}
+
+TEST(BaseVertexTest, PrefixSumsMatchPrefixValues) {
+  const MaxModularFunction f(1.0, {2.0, 4.0, 1.0}, {0.3, -0.2, 0.7});
+  const std::vector<int> perm{1, 2, 0};
+  const auto x = f.base_vertex(perm);
+  std::vector<int> prefix;
+  double sum = 0.0;
+  for (int e : perm) {
+    prefix.push_back(e);
+    sum += x[static_cast<std::size_t>(e)];
+    EXPECT_NEAR(sum, f.value(prefix), 1e-12);
+  }
+}
+
+TEST(BaseVertexTest, StructuredOverrideMatchesGenericDefault) {
+  cc::util::Rng rng(23);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 7;
+    std::vector<double> w(n);
+    std::vector<double> b(n);
+    for (int i = 0; i < n; ++i) {
+      w[static_cast<std::size_t>(i)] = rng.uniform(0.0, 10.0);
+      b[static_cast<std::size_t>(i)] = rng.uniform(-4.0, 4.0);
+    }
+    const MaxModularFunction f(rng.uniform(0.0, 2.0), w, b);
+    std::vector<int> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    rng.shuffle(perm);
+    const auto fast = f.base_vertex(perm);
+    const auto slow = f.SetFunction::base_vertex(perm);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_NEAR(fast[static_cast<std::size_t>(i)],
+                  slow[static_cast<std::size_t>(i)], 1e-12);
+    }
+  }
+}
+
+TEST(BaseVertexTest, RejectsPartialPermutation) {
+  const ModularFunction f({1.0, 2.0, 3.0});
+  const int partial[] = {0, 1};
+  EXPECT_THROW((void)f.base_vertex(partial), cc::util::AssertionError);
+}
+
+// ------------------------------------------------- exact max+modular min
+
+TEST(MaxModularExactMinTest, MatchesBruteForce) {
+  cc::util::Rng rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = 1 + static_cast<int>(rng.index(9));
+    std::vector<double> w(static_cast<std::size_t>(n));
+    std::vector<double> b(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      w[static_cast<std::size_t>(i)] = rng.uniform(0.0, 10.0);
+      b[static_cast<std::size_t>(i)] = rng.uniform(-6.0, 6.0);
+    }
+    const MaxModularFunction f(rng.uniform(0.0, 2.0), w, b);
+    const auto [set, value] = f.minimize_exact_nonempty();
+    const auto brute = cc::sub::brute_force_minimize(f);
+    EXPECT_NEAR(value, brute.best_nonempty_value, 1e-12) << "trial " << trial;
+    EXPECT_NEAR(f.value(set), value, 1e-12);
+    EXPECT_FALSE(set.empty());
+  }
+}
+
+TEST(MaxModularExactMinTest, HandlesTiedWeights) {
+  const MaxModularFunction f(1.0, {2.0, 2.0, 2.0}, {-1.0, 0.5, -0.3});
+  const auto [set, value] = f.minimize_exact_nonempty();
+  const auto brute = cc::sub::brute_force_minimize(f);
+  EXPECT_NEAR(value, brute.best_nonempty_value, 1e-12);
+}
+
+}  // namespace

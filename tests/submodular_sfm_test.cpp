@@ -1,0 +1,320 @@
+// Cross-validation of the SFM solvers: Fujishige–Wolfe and the exact
+// structured minimizer against brute force, plus min-norm-point and
+// Lovász-extension properties.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "submodular/brute_force.h"
+#include "submodular/greedy_base.h"
+#include "submodular/lovasz.h"
+#include "submodular/max_modular.h"
+#include "submodular/sfm.h"
+#include "submodular/wolfe.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace {
+
+using cc::sub::BruteForceSfm;
+using cc::sub::GraphCutFunction;
+using cc::sub::MaxModularFunction;
+using cc::sub::SfmResult;
+using cc::sub::StructuredSfm;
+using cc::sub::WolfeSfm;
+
+MaxModularFunction random_max_modular(cc::util::Rng& rng, int n) {
+  std::vector<double> w(static_cast<std::size_t>(n));
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    w[static_cast<std::size_t>(i)] = rng.uniform(0.0, 10.0);
+    b[static_cast<std::size_t>(i)] = rng.uniform(-5.0, 5.0);
+  }
+  return MaxModularFunction(rng.uniform(0.0, 2.0), std::move(w),
+                            std::move(b));
+}
+
+GraphCutFunction random_cut(cc::util::Rng& rng, int n) {
+  std::vector<GraphCutFunction::Edge> edges;
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(0.5)) {
+        edges.push_back({u, v, rng.uniform(0.1, 3.0)});
+      }
+    }
+  }
+  return GraphCutFunction(n, std::move(edges));
+}
+
+// ---------------------------------------------------------- min-norm pt
+
+TEST(MinNormPointTest, ConvergesOnModular) {
+  // For a modular function the base polytope is a single point: x = w.
+  const cc::sub::ModularFunction f({1.0, -2.0, 0.5});
+  const auto mnp = cc::sub::min_norm_point(f);
+  EXPECT_TRUE(mnp.converged);
+  EXPECT_NEAR(mnp.point[0], 1.0, 1e-9);
+  EXPECT_NEAR(mnp.point[1], -2.0, 1e-9);
+  EXPECT_NEAR(mnp.point[2], 0.5, 1e-9);
+}
+
+TEST(MinNormPointTest, NormLowerBoundsAllBaseVertices) {
+  cc::util::Rng rng(41);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto f = random_max_modular(rng, 6);
+    const auto mnp = cc::sub::min_norm_point(f);
+    ASSERT_TRUE(mnp.converged);
+    double x_norm = 0.0;
+    for (double v : mnp.point) {
+      x_norm += v * v;
+    }
+    // Any greedy vertex has norm >= ||x*||.
+    std::vector<int> perm(6);
+    std::iota(perm.begin(), perm.end(), 0);
+    for (int p = 0; p < 20; ++p) {
+      rng.shuffle(perm);
+      const auto q = f.base_vertex(perm);
+      double q_norm = 0.0;
+      for (double v : q) {
+        q_norm += v * v;
+      }
+      EXPECT_GE(q_norm + 1e-7, x_norm);
+    }
+  }
+}
+
+TEST(MinNormPointTest, PointLiesInBasePolytope) {
+  // x*(V) = f(V) and x*(S) <= f(S) for all S (normalized f).
+  cc::util::Rng rng(43);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto f = random_max_modular(rng, 6);
+    const auto mnp = cc::sub::min_norm_point(f);
+    ASSERT_TRUE(mnp.converged);
+    const int all[] = {0, 1, 2, 3, 4, 5};
+    const double total = std::accumulate(mnp.point.begin(), mnp.point.end(),
+                                         0.0);
+    EXPECT_NEAR(total, f.value(all), 1e-6);
+    for (std::uint32_t mask = 1; mask < 64; ++mask) {
+      const auto set = cc::sub::mask_to_set(mask, 6);
+      double x_s = 0.0;
+      for (int e : set) {
+        x_s += mnp.point[static_cast<std::size_t>(e)];
+      }
+      EXPECT_LE(x_s, f.value(set) + 1e-6);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- lovasz
+
+TEST(LovaszTest, ExtensionAtIndicatorEqualsSetValue) {
+  cc::util::Rng rng(47);
+  const auto f = random_max_modular(rng, 7);
+  for (std::uint32_t mask = 0; mask < 128; ++mask) {
+    const auto set = cc::sub::mask_to_set(mask, 7);
+    std::vector<double> z(7, 0.0);
+    for (int e : set) {
+      z[static_cast<std::size_t>(e)] = 1.0;
+    }
+    EXPECT_NEAR(cc::sub::lovasz_extension(f, z), f.value(set), 1e-10);
+  }
+}
+
+TEST(LovaszTest, PositivelyHomogeneous) {
+  cc::util::Rng rng(53);
+  const auto f = random_max_modular(rng, 5);
+  std::vector<double> z(5);
+  for (double& v : z) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  const double base = cc::sub::lovasz_extension(f, z);
+  std::vector<double> z2 = z;
+  for (double& v : z2) {
+    v *= 3.0;
+  }
+  EXPECT_NEAR(cc::sub::lovasz_extension(f, z2), 3.0 * base, 1e-9);
+}
+
+TEST(LovaszTest, ConvexCombinationInequality) {
+  // Convexity (submodular f): f̂((z1+z2)/2) <= (f̂(z1)+f̂(z2))/2.
+  cc::util::Rng rng(59);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto f = random_max_modular(rng, 6);
+    std::vector<double> z1(6);
+    std::vector<double> z2(6);
+    std::vector<double> mid(6);
+    for (int i = 0; i < 6; ++i) {
+      z1[static_cast<std::size_t>(i)] = rng.uniform(-2.0, 2.0);
+      z2[static_cast<std::size_t>(i)] = rng.uniform(-2.0, 2.0);
+      mid[static_cast<std::size_t>(i)] =
+          0.5 * (z1[static_cast<std::size_t>(i)] +
+                 z2[static_cast<std::size_t>(i)]);
+    }
+    EXPECT_LE(cc::sub::lovasz_extension(f, mid),
+              0.5 * (cc::sub::lovasz_extension(f, z1) +
+                     cc::sub::lovasz_extension(f, z2)) +
+                  1e-9);
+  }
+}
+
+TEST(LovaszTest, GreedyVertexAttainsExtensionValue) {
+  // f̂(z) = <z, q> for the greedy vertex of z's descending permutation.
+  cc::util::Rng rng(61);
+  const auto f = random_max_modular(rng, 6);
+  std::vector<double> z(6);
+  for (double& v : z) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  // Descending permutation == ascending of -z.
+  std::vector<double> neg(z.size());
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    neg[i] = -z[i];
+  }
+  const auto perm = cc::sub::ascending_permutation(neg);
+  const auto q = f.base_vertex(perm);
+  double ip = 0.0;
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    ip += z[i] * q[i];
+  }
+  EXPECT_NEAR(cc::sub::lovasz_extension(f, z), ip, 1e-9);
+}
+
+// --------------------------------------------------------------- solvers
+
+class SfmCrossValidation : public ::testing::TestWithParam<int> {};
+
+TEST_P(SfmCrossValidation, WolfeMatchesBruteForceOnMaxModular) {
+  cc::util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int n = 2 + static_cast<int>(rng.index(8));
+  const auto f = random_max_modular(rng, n);
+  const SfmResult wolfe = WolfeSfm().minimize(f);
+  const SfmResult brute = BruteForceSfm().minimize(f);
+  EXPECT_NEAR(wolfe.value, brute.value, 1e-7);
+  EXPECT_NEAR(f.value(wolfe.set), wolfe.value, 1e-9);
+}
+
+TEST_P(SfmCrossValidation, WolfeMatchesBruteForceOnGraphCut) {
+  cc::util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  const int n = 3 + static_cast<int>(rng.index(6));
+  const auto f = random_cut(rng, n);
+  const SfmResult wolfe = WolfeSfm().minimize(f);
+  const SfmResult brute = BruteForceSfm().minimize(f);
+  // Graph cuts have many ties (min is 0 at ∅ and V); compare values only.
+  EXPECT_NEAR(wolfe.value, brute.value, 1e-7);
+}
+
+TEST_P(SfmCrossValidation, StructuredMatchesBruteForce) {
+  cc::util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 2000);
+  const int n = 1 + static_cast<int>(rng.index(10));
+  const auto f = random_max_modular(rng, n);
+  const SfmResult structured = StructuredSfm().minimize(f);
+  const SfmResult brute = BruteForceSfm().minimize(f);
+  EXPECT_NEAR(structured.value, brute.value, 1e-12);
+  EXPECT_NEAR(structured.nonempty_value, brute.nonempty_value, 1e-12);
+}
+
+TEST_P(SfmCrossValidation, WolfeNonemptyTracksBruteForce) {
+  cc::util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 3000);
+  const int n = 2 + static_cast<int>(rng.index(6));
+  const auto f = random_max_modular(rng, n);
+  const SfmResult wolfe = WolfeSfm().minimize(f);
+  const SfmResult brute = BruteForceSfm().minimize(f);
+  // Wolfe's level-set rounding is only guaranteed for the overall
+  // minimizer, but on this family the nonempty candidate must be at
+  // least as good as some nonempty level set — and never better than
+  // the brute-force optimum.
+  EXPECT_GE(wolfe.nonempty_value + 1e-9, brute.nonempty_value);
+  EXPECT_FALSE(wolfe.nonempty_set.empty());
+}
+
+
+TEST_P(SfmCrossValidation, WolfeMatchesBruteForceOnConcaveCardinality) {
+  cc::util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 4000);
+  const int n = 3 + static_cast<int>(rng.index(6));
+  std::vector<double> increments;
+  double step = rng.uniform(2.0, 4.0);
+  for (int k = 0; k < n; ++k) {
+    increments.push_back(step);
+    step *= rng.uniform(0.5, 1.0);  // nonincreasing -> concave
+  }
+  std::vector<double> modular(static_cast<std::size_t>(n));
+  for (double& b : modular) {
+    b = rng.uniform(-3.0, 1.0);
+  }
+  const cc::sub::ConcaveCardinalityFunction f(increments, modular);
+  const SfmResult wolfe = WolfeSfm().minimize(f);
+  const SfmResult brute = BruteForceSfm().minimize(f);
+  EXPECT_NEAR(wolfe.value, brute.value, 1e-7);
+}
+
+TEST_P(SfmCrossValidation, WolfeMatchesBruteForceOnCoverage) {
+  cc::util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 5000);
+  const int n = 3 + static_cast<int>(rng.index(5));
+  const int items = 6;
+  std::vector<std::vector<int>> covers(static_cast<std::size_t>(n));
+  for (auto& cover : covers) {
+    for (int t = 0; t < items; ++t) {
+      if (rng.bernoulli(0.4)) {
+        cover.push_back(t);
+      }
+    }
+  }
+  std::vector<double> weights(items);
+  for (double& w : weights) {
+    w = rng.uniform(0.0, 2.0);
+  }
+  // Coverage minus a modular "price" per element makes the minimum
+  // nontrivial (pure coverage is monotone: minimizer would be empty).
+  const cc::sub::WeightedCoverageFunction coverage(covers, weights);
+  class PricedCoverage final : public cc::sub::SetFunction {
+   public:
+    PricedCoverage(const cc::sub::WeightedCoverageFunction& cover,
+                   std::vector<double> prices)
+        : cover_(cover), prices_(std::move(prices)) {}
+    [[nodiscard]] int n() const noexcept override { return cover_.n(); }
+    [[nodiscard]] double value(std::span<const int> set) const override {
+      double priced = cover_.value(set);
+      for (int e : set) {
+        priced -= prices_[static_cast<std::size_t>(e)];
+      }
+      return priced;
+    }
+
+   private:
+    const cc::sub::WeightedCoverageFunction& cover_;
+    std::vector<double> prices_;
+  };
+  std::vector<double> prices(static_cast<std::size_t>(n));
+  for (double& p : prices) {
+    p = rng.uniform(0.0, 1.5);
+  }
+  const PricedCoverage f(coverage, prices);
+  const SfmResult wolfe = WolfeSfm().minimize(f);
+  const SfmResult brute = BruteForceSfm().minimize(f);
+  EXPECT_NEAR(wolfe.value, brute.value, 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SfmCrossValidation, ::testing::Range(1, 41));
+
+TEST(SfmFactoryTest, MakesAllSolvers) {
+  EXPECT_EQ(cc::sub::make_sfm_solver("bruteforce")->name(), "bruteforce");
+  EXPECT_EQ(cc::sub::make_sfm_solver("wolfe")->name(), "wolfe");
+  EXPECT_EQ(cc::sub::make_sfm_solver("structured")->name(), "structured");
+  EXPECT_THROW((void)cc::sub::make_sfm_solver("nope"),
+               cc::util::AssertionError);
+}
+
+TEST(StructuredSfmTest, RejectsNonStructuredFunctions) {
+  const cc::sub::ModularFunction f({1.0, 2.0});
+  EXPECT_THROW((void)StructuredSfm().minimize(f), cc::util::AssertionError);
+}
+
+TEST(BruteForceGuardTest, RejectsLargeGroundSets) {
+  const cc::sub::ModularFunction f(std::vector<double>(25, 1.0));
+  EXPECT_THROW((void)cc::sub::brute_force_minimize(f),
+               cc::util::AssertionError);
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+// Tests for the field-experiment emulator (5 chargers, 8 nodes).
+
+#include <gtest/gtest.h>
+
+#include "core/ccsa.h"
+#include "core/noncoop.h"
+#include "testbed/testbed.h"
+#include "util/assert.h"
+
+namespace {
+
+using cc::testbed::FieldResult;
+using cc::testbed::TestbedConfig;
+
+TEST(TestbedTest, TrialInstanceHasPaperTopology) {
+  cc::util::Rng rng(1);
+  const auto inst = cc::testbed::make_trial_instance(rng, 0.2);
+  EXPECT_EQ(inst.num_chargers(), cc::testbed::kNumChargers);
+  EXPECT_EQ(inst.num_devices(), cc::testbed::kNumNodes);
+}
+
+TEST(TestbedTest, ZeroJitterGivesNominalDemands) {
+  cc::util::Rng a(1);
+  cc::util::Rng b(999);
+  const auto inst_a = cc::testbed::make_trial_instance(a, 0.0);
+  const auto inst_b = cc::testbed::make_trial_instance(b, 0.0);
+  for (int i = 0; i < inst_a.num_devices(); ++i) {
+    EXPECT_DOUBLE_EQ(inst_a.device(i).demand_j, inst_b.device(i).demand_j);
+  }
+}
+
+TEST(TestbedTest, JitterBoundsDemands) {
+  cc::util::Rng rng(7);
+  const auto nominal = cc::testbed::make_trial_instance(rng, 0.0);
+  cc::util::Rng rng2(7);
+  const auto jittered = cc::testbed::make_trial_instance(rng2, 0.2);
+  for (int i = 0; i < nominal.num_devices(); ++i) {
+    const double nom = nominal.device(i).demand_j;
+    EXPECT_GE(jittered.device(i).demand_j, nom * 0.8 - 1e-9);
+    EXPECT_LE(jittered.device(i).demand_j, nom * 1.2 + 1e-9);
+  }
+}
+
+TEST(TestbedTest, RejectsBadJitter) {
+  cc::util::Rng rng(1);
+  EXPECT_THROW((void)cc::testbed::make_trial_instance(rng, 1.5),
+               cc::util::AssertionError);
+}
+
+TEST(TestbedTest, FieldTrialsAreDeterministicInSeed) {
+  TestbedConfig config;
+  config.num_trials = 5;
+  const FieldResult a =
+      run_field_trials(cc::core::NonCooperation(), config);
+  const FieldResult b =
+      run_field_trials(cc::core::NonCooperation(), config);
+  ASSERT_EQ(a.trials.size(), b.trials.size());
+  for (std::size_t t = 0; t < a.trials.size(); ++t) {
+    EXPECT_DOUBLE_EQ(a.trials[t].realized_cost, b.trials[t].realized_cost);
+  }
+}
+
+TEST(TestbedTest, PairedNoiseAcrossAlgorithms) {
+  // The same seed must present the same instances to both algorithms:
+  // scheduled costs of noncoop must dominate CCSA trial by trial.
+  TestbedConfig config;
+  config.num_trials = 10;
+  const FieldResult nc =
+      run_field_trials(cc::core::NonCooperation(), config);
+  const FieldResult ccsa = run_field_trials(cc::core::Ccsa(), config);
+  ASSERT_EQ(nc.trials.size(), ccsa.trials.size());
+  for (std::size_t t = 0; t < nc.trials.size(); ++t) {
+    EXPECT_LE(ccsa.trials[t].scheduled_cost,
+              nc.trials[t].scheduled_cost + 1e-9)
+        << "trial " << t;
+  }
+}
+
+TEST(TestbedTest, HeadlineGapIsNearPaper) {
+  // The calibrated configuration reproduces the abstract's field claim:
+  // CCSA beats non-cooperation by roughly 42.9% in comprehensive cost.
+  TestbedConfig config;
+  const FieldResult nc =
+      run_field_trials(cc::core::NonCooperation(), config);
+  const FieldResult ccsa = run_field_trials(cc::core::Ccsa(), config);
+  const double gain =
+      (ccsa.realized.mean - nc.realized.mean) / nc.realized.mean;
+  EXPECT_LT(gain, -0.35);
+  EXPECT_GT(gain, -0.52);
+}
+
+TEST(TestbedTest, NoiseInflatesVariance) {
+  TestbedConfig noisy;
+  noisy.num_trials = 30;
+  noisy.power_sigma = 0.3;
+  TestbedConfig quiet = noisy;
+  quiet.power_sigma = 0.0;
+  quiet.demand_jitter = 0.0;
+  const FieldResult loud =
+      run_field_trials(cc::core::NonCooperation(), noisy);
+  const FieldResult calm =
+      run_field_trials(cc::core::NonCooperation(), quiet);
+  EXPECT_GT(loud.realized.stddev, calm.realized.stddev);
+  EXPECT_NEAR(calm.realized.stddev, 0.0, 1e-9);
+}
+
+TEST(TestbedTest, RealizedTracksScheduledWithoutNoise) {
+  TestbedConfig quiet;
+  quiet.num_trials = 5;
+  quiet.power_sigma = 0.0;
+  const FieldResult r = run_field_trials(cc::core::Ccsa(), quiet);
+  for (const auto& trial : r.trials) {
+    EXPECT_NEAR(trial.realized_cost, trial.scheduled_cost, 1e-6);
+  }
+}
+
+TEST(TestbedTest, RejectsBadConfig) {
+  TestbedConfig config;
+  config.num_trials = 0;
+  EXPECT_THROW((void)run_field_trials(cc::core::Ccsa(), config),
+               cc::util::AssertionError);
+}
+
+}  // namespace

@@ -1,0 +1,307 @@
+// Tests for src/util: assertions, RNG, statistics, table, CSV, CLI.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.h"
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace {
+
+using cc::util::AssertionError;
+using cc::util::Rng;
+
+// ---------------------------------------------------------------- assert
+
+TEST(AssertTest, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(CC_ASSERT(1 + 1 == 2, "math"));
+}
+
+TEST(AssertTest, FailingCheckThrowsWithContext) {
+  try {
+    CC_EXPECTS(false, "my context");
+    FAIL() << "expected AssertionError";
+  } catch (const AssertionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("my context"), std::string::npos);
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+  }
+}
+
+TEST(AssertTest, EnsuresReportsPostcondition) {
+  EXPECT_THROW(CC_ENSURES(false, ""), AssertionError);
+}
+
+// ------------------------------------------------------------------- rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(-2.5, 3.5);
+    EXPECT_GE(x, -2.5);
+    EXPECT_LT(x, 3.5);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(0, 9);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 9);
+    saw_lo |= v == 0;
+    saw_hi |= v == 9;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformIntRejectsInvertedRange) {
+  Rng rng(7);
+  EXPECT_THROW((void)rng.uniform_int(3, 2), AssertionError);
+}
+
+TEST(RngTest, NormalHasRequestedMoments) {
+  Rng rng(11);
+  cc::util::RunningStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    stats.add(rng.normal(5.0, 2.0));
+  }
+  EXPECT_NEAR(stats.mean(), 5.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, LognormalIsPositive) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.lognormal(0.0, 0.5), 0.0);
+  }
+}
+
+TEST(RngTest, LognormalMeanCorrectionCentersAtOne) {
+  Rng rng(17);
+  const double sigma = 0.15;
+  cc::util::RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.add(rng.lognormal(-0.5 * sigma * sigma, sigma));
+  }
+  EXPECT_NEAR(stats.mean(), 1.0, 0.01);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    hits += rng.bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(31);
+  Rng child = a.fork();
+  // The child must not replay the parent's stream.
+  Rng parent_copy(31);
+  (void)parent_copy();  // same draw the fork consumed
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child() == parent_copy()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, IndexRequiresNonemptyRange) {
+  Rng rng(37);
+  EXPECT_THROW((void)rng.index(0), AssertionError);
+}
+
+// ----------------------------------------------------------------- stats
+
+TEST(StatsTest, RunningStatsMatchesClosedForm) {
+  cc::util::RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.add(x);
+  }
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.stddev(), 2.13809, 1e-4);  // sample stddev
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(StatsTest, VarianceOfSingletonIsZero) {
+  cc::util::RunningStats stats;
+  stats.add(3.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.ci95_halfwidth(), 0.0);
+}
+
+TEST(StatsTest, SummarizeQuantiles) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) {
+    xs.push_back(static_cast<double>(i));
+  }
+  const auto s = cc::util::summarize(xs);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.median, 50.5);
+  EXPECT_NEAR(s.p95, 95.05, 1e-9);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+}
+
+TEST(StatsTest, SummarizeEmptyIsZeroed) {
+  const auto s = cc::util::summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  const std::vector<double> sorted{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(cc::util::quantile_sorted(sorted, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(cc::util::quantile_sorted(sorted, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(cc::util::quantile_sorted(sorted, 0.0), 0.0);
+}
+
+TEST(StatsTest, QuantileRejectsBadInput) {
+  EXPECT_THROW((void)cc::util::quantile_sorted({}, 0.5), AssertionError);
+  const std::vector<double> one{1.0};
+  EXPECT_THROW((void)cc::util::quantile_sorted(one, 1.5), AssertionError);
+}
+
+TEST(StatsTest, PercentChange) {
+  EXPECT_DOUBLE_EQ(cc::util::percent_change(100.0, 73.0), -27.0);
+  EXPECT_DOUBLE_EQ(cc::util::percent_change(50.0, 55.0), 10.0);
+  EXPECT_DOUBLE_EQ(cc::util::percent_change(0.0, 55.0), 0.0);
+}
+
+
+TEST(StatsTest, JainIndex) {
+  const std::vector<double> even{2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(cc::util::jain_index(even), 1.0);
+  const std::vector<double> skewed{4.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(cc::util::jain_index(skewed), 0.25);
+  EXPECT_DOUBLE_EQ(cc::util::jain_index({}), 1.0);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(cc::util::jain_index(zeros), 1.0);
+  const std::vector<double> mixed{1.0, 3.0};
+  EXPECT_NEAR(cc::util::jain_index(mixed), 16.0 / 20.0, 1e-12);
+}
+
+// ----------------------------------------------------------------- table
+
+TEST(TableTest, AlignsColumns) {
+  cc::util::Table t({"n", "cost"});
+  t.row().cell(10).cell(123.456, 1);
+  t.row().cell(5).cell(2.0, 1);
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("n   cost"), std::string::npos);
+  EXPECT_NE(out.find("123.5"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TableTest, RejectsCellBeforeRow) {
+  cc::util::Table t({"a"});
+  EXPECT_THROW(t.cell("x"), AssertionError);
+}
+
+TEST(TableTest, RejectsTooManyCells) {
+  cc::util::Table t({"a"});
+  t.row().cell("x");
+  EXPECT_THROW(t.cell("y"), AssertionError);
+}
+
+TEST(TableTest, RejectsEmptyHeaderList) {
+  EXPECT_THROW(cc::util::Table t({}), AssertionError);
+}
+
+// ------------------------------------------------------------------- csv
+
+TEST(CsvTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(cc::util::csv_escape("plain"), "plain");
+  EXPECT_EQ(cc::util::csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(cc::util::csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvTest, WritesRows) {
+  const std::string path = "csv_test_tmp.csv";
+  {
+    cc::util::CsvWriter w(path);
+    w.write_header({"x", "y"});
+    w.write_row({"1", "2,3"});
+  }
+  std::ifstream in(path);
+  std::string line1;
+  std::string line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "x,y");
+  EXPECT_EQ(line2, "1,\"2,3\"");
+  in.close();
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------------- cli
+
+TEST(CliTest, ParsesKeyValueAndFlags) {
+  const char* argv[] = {"prog", "--n=25", "--rate=1.5", "--verbose",
+                        "positional"};
+  cc::util::Cli cli(5, argv);
+  EXPECT_EQ(cli.get_int("n", 0), 25);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate", 0.0), 1.5);
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  EXPECT_FALSE(cli.has("positional"));
+  EXPECT_EQ(cli.get("missing", "dflt"), "dflt");
+}
+
+// -------------------------------------------------------------- stopwatch
+
+TEST(StopwatchTest, MeasuresNonnegativeTime) {
+  const cc::util::Stopwatch w;
+  EXPECT_GE(w.elapsed_seconds(), 0.0);
+  EXPECT_GE(w.elapsed_ms(), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+// Tests for the SVG renderer: well-formedness, element counts, file
+// output.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/ccsa.h"
+#include "core/generator.h"
+#include "mobile/planner.h"
+#include "viz/svg.h"
+
+namespace {
+
+using cc::core::Instance;
+
+Instance sample_instance(std::uint64_t seed = 41, int n = 12, int m = 3) {
+  cc::core::GeneratorConfig config;
+  config.num_devices = n;
+  config.num_chargers = m;
+  config.seed = seed;
+  return cc::core::generate(config);
+}
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while ((pos = haystack.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+TEST(SvgTest, InstanceRenderIsWellFormed) {
+  const Instance inst = sample_instance();
+  const std::string svg = cc::viz::render_instance(inst);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // One circle per device, one rect per charger (+ background rect).
+  EXPECT_EQ(count_occurrences(svg, "<circle"), 12u);
+  EXPECT_EQ(count_occurrences(svg, "<rect"), 3u + 1u);
+}
+
+TEST(SvgTest, ScheduleRenderColorsAndLinks) {
+  const Instance inst = sample_instance();
+  const auto schedule = cc::core::Ccsa().run(inst).schedule;
+  const std::string svg = cc::viz::render_schedule(inst, schedule);
+  EXPECT_EQ(count_occurrences(svg, "<circle"), 12u);
+  // One link per device.
+  EXPECT_EQ(count_occurrences(svg, "<line"), 12u);
+}
+
+TEST(SvgTest, LinksCanBeDisabled) {
+  const Instance inst = sample_instance();
+  const auto schedule = cc::core::Ccsa().run(inst).schedule;
+  cc::viz::SvgOptions options;
+  options.draw_links = false;
+  const std::string svg =
+      cc::viz::render_schedule(inst, schedule, options);
+  EXPECT_EQ(count_occurrences(svg, "<line"), 0u);
+}
+
+TEST(SvgTest, MobilePlanDrawsToursAndRendezvous) {
+  const Instance inst = sample_instance();
+  const auto schedule = cc::core::Ccsa().run(inst).schedule;
+  const auto plan = cc::mobile::plan_mobile_service(inst, schedule);
+  const std::string svg =
+      cc::viz::render_mobile_plan(inst, schedule, plan);
+  // One diamond per coalition.
+  EXPECT_EQ(count_occurrences(svg, "<polygon"),
+            schedule.num_coalitions());
+  // Tour segments: one per visit (charger → … → last stop, no return
+  // drawn) plus one link per device.
+  EXPECT_EQ(count_occurrences(svg, "<line"),
+            schedule.num_coalitions() +
+                static_cast<std::size_t>(inst.num_devices()));
+}
+
+TEST(SvgTest, RejectsInvalidSchedule) {
+  const Instance inst = sample_instance();
+  cc::core::Schedule bad;
+  bad.add({0, {0}});
+  EXPECT_THROW((void)cc::viz::render_schedule(inst, bad),
+               cc::util::AssertionError);
+}
+
+TEST(SvgTest, SaveWritesFile) {
+  const Instance inst = sample_instance();
+  const std::string path = "viz_test.svg";
+  cc::viz::save_svg(path, cc::viz::render_instance(inst));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_EQ(first_line.rfind("<svg", 0), 0u);
+  in.close();
+  std::remove(path.c_str());
+}
+
+TEST(SvgTest, SaveToBadPathThrows) {
+  EXPECT_THROW(cc::viz::save_svg("/nonexistent/dir/x.svg", "<svg/>"),
+               std::runtime_error);
+}
+
+TEST(SvgTest, DegenerateGeometryDoesNotCrash) {
+  // All entities at one point: the projection must handle zero extent.
+  std::vector<cc::core::Device> devices;
+  for (int i = 0; i < 3; ++i) {
+    cc::core::Device d;
+    d.position = {5.0, 5.0};
+    d.demand_j = 10.0;
+    d.battery_capacity_j = 20.0;
+    devices.push_back(d);
+  }
+  cc::core::Charger charger;
+  charger.position = {5.0, 5.0};
+  charger.power_w = 1.0;
+  charger.price_per_s = 1.0;
+  const Instance inst(std::move(devices), {charger});
+  EXPECT_NO_THROW((void)cc::viz::render_instance(inst));
+}
+
+
+TEST(SvgTest, CanvasSizeIsRespected) {
+  const Instance inst = sample_instance();
+  cc::viz::SvgOptions options;
+  options.canvas_px = 320.0;
+  const std::string svg = cc::viz::render_instance(inst, options);
+  EXPECT_NE(svg.find("width=\"320\""), std::string::npos);
+  EXPECT_NE(svg.find("height=\"320\""), std::string::npos);
+}
+
+TEST(SvgTest, LegendCanBeDisabled) {
+  const Instance inst = sample_instance();
+  cc::viz::SvgOptions options;
+  options.draw_legend = false;
+  const std::string svg = cc::viz::render_instance(inst, options);
+  // Charger labels remain; the title line is gone.
+  EXPECT_NE(svg.find("c0"), std::string::npos);
+  EXPECT_EQ(svg.find("deployment:"), std::string::npos);
+}
+
+}  // namespace

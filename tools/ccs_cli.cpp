@@ -1,0 +1,161 @@
+// ccs_cli — command-line front end to the coopcharge library.
+//
+// Subcommand-free flag interface (see --help):
+//
+//   # generate an instance file
+//   ccs_cli --generate --devices=60 --chargers=10 --seed=1
+//           --out=instance.txt
+//
+//   # solve it (any registry algorithm) and save/print the schedule
+//   ccs_cli --instance=instance.txt --algo=ccsa --schedule-out=sched.txt
+//
+//   # evaluate an existing schedule, with payments and simulation
+//   ccs_cli --instance=instance.txt --schedule=sched.txt
+//           --scheme=proportional --simulate
+//
+// Exit codes: 0 success, 1 usage error, 2 I/O or validation error.
+
+#include <iostream>
+
+#include "coopcharge/coopcharge.h"
+#include "core/io.h"
+#include "util/cli.h"
+#include "util/table.h"
+#include "viz/svg.h"
+
+namespace {
+
+void print_help() {
+  std::cout <<
+      R"(ccs_cli — cooperative charging scheduling
+Flags:
+  --help                     this text
+  --generate                 generate a synthetic instance
+    --devices=N --chargers=M --seed=S --field=METERS
+    --clusters=K             clustered deployment (0 = uniform)
+    --cap=C                  session capacity (0 = unbounded)
+    --out=PATH               write the instance (default: stdout)
+  --instance=PATH            load an instance
+  --algo=NAME                schedule it (noncoop|ccsa|ccsa-wolfe|ccsa-raw|
+                             ccsga|ccsga-selfish|ccsga-guarded|optimal|
+                             kmeans|random)
+    --schedule-out=PATH      write the schedule (default: stdout summary)
+  --schedule=PATH            load + evaluate an existing schedule
+  --scheme=NAME              sharing scheme for payments/simulation
+                             (egalitarian|proportional|shapley)
+  --simulate                 execute on the discrete-event simulator
+  --payments                 print the per-device bill
+  --svg=PATH                 render the schedule as SVG
+)";
+}
+
+int evaluate(const cc::core::Instance& instance,
+             const cc::core::Schedule& schedule,
+             const cc::util::Cli& cli) {
+  const cc::core::CostModel cost(instance);
+  schedule.validate(instance);
+  const auto scheme = cc::core::sharing_scheme_from_string(
+      cli.get("scheme", "egalitarian"));
+
+  std::cout << "coalitions        : " << schedule.num_coalitions() << '\n'
+            << "mean size         : " << schedule.mean_coalition_size()
+            << '\n'
+            << "comprehensive cost: " << schedule.total_cost(cost) << '\n';
+
+  if (cli.get_bool("payments", false)) {
+    const auto pays = schedule.device_payments(cost, scheme);
+    cc::util::Table table({"device", "payment", "standalone", "saving %"});
+    for (cc::core::DeviceId i = 0; i < instance.num_devices(); ++i) {
+      const double standalone = cost.standalone(i).second;
+      const double pay = pays[static_cast<std::size_t>(i)];
+      table.row()
+          .cell(i)
+          .cell(pay, 3)
+          .cell(standalone, 3)
+          .cell(100.0 * (standalone - pay) / standalone, 1);
+    }
+    table.print(std::cout);
+  }
+
+  const std::string svg_path = cli.get("svg", "");
+  if (!svg_path.empty()) {
+    cc::viz::save_svg(svg_path,
+                      cc::viz::render_schedule(instance, schedule));
+    std::cout << "wrote " << svg_path << '\n';
+  }
+
+  if (cli.get_bool("simulate", false)) {
+    const auto report = cc::sim::simulate(instance, schedule, scheme);
+    std::cout << "realized cost     : " << report.realized_total_cost()
+              << '\n'
+              << "makespan          : " << report.makespan_s << " s\n"
+              << "mean wait         : " << report.mean_wait_s() << " s\n"
+              << "events processed  : " << report.events_processed << '\n';
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cc::util::Cli cli(argc, argv);
+  if (cli.get_bool("help", false) || argc == 1) {
+    print_help();
+    return 0;
+  }
+
+  try {
+    if (cli.get_bool("generate", false)) {
+      cc::core::GeneratorConfig config;
+      config.num_devices = cli.get_int("devices", 60);
+      config.num_chargers = cli.get_int("chargers", 10);
+      config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+      config.field_size_m = cli.get_double("field", config.field_size_m);
+      config.clusters = cli.get_int("clusters", 0);
+      config.cost_params.max_group_size = cli.get_int("cap", 0);
+      const auto instance = cc::core::generate(config);
+      const std::string out = cli.get("out", "");
+      if (out.empty()) {
+        cc::core::write_instance(std::cout, instance);
+      } else {
+        cc::core::save_instance(out, instance);
+        std::cout << "wrote " << out << '\n';
+      }
+      return 0;
+    }
+
+    const std::string instance_path = cli.get("instance", "");
+    if (instance_path.empty()) {
+      std::cerr << "error: need --generate or --instance=PATH "
+                   "(--help for usage)\n";
+      return 1;
+    }
+    const cc::core::Instance instance =
+        cc::core::load_instance(instance_path);
+
+    if (cli.has("schedule")) {
+      const cc::core::Schedule schedule =
+          cc::core::load_schedule(cli.get("schedule", ""));
+      return evaluate(instance, schedule, cli);
+    }
+
+    const std::string algo = cli.get("algo", "ccsa");
+    const auto scheduler = cc::core::make_scheduler(algo);
+    const auto result = scheduler->run(instance);
+    std::cout << "algorithm         : " << algo << '\n'
+              << "elapsed           : " << result.stats.elapsed_ms
+              << " ms\n";
+    const std::string schedule_out = cli.get("schedule-out", "");
+    if (!schedule_out.empty()) {
+      cc::core::save_schedule(schedule_out, result.schedule);
+      std::cout << "wrote " << schedule_out << '\n';
+    }
+    return evaluate(instance, result.schedule, cli);
+  } catch (const cc::core::IoError& e) {
+    std::cerr << "i/o error: " << e.what() << '\n';
+    return 2;
+  } catch (const cc::util::AssertionError& e) {
+    std::cerr << "invalid input: " << e.what() << '\n';
+    return 2;
+  }
+}
