@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sfm.dir/bench_ablation_sfm.cpp.o"
+  "CMakeFiles/bench_ablation_sfm.dir/bench_ablation_sfm.cpp.o.d"
+  "bench_ablation_sfm"
+  "bench_ablation_sfm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sfm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_ccsga_schemes.dir/bench_ext_ccsga_schemes.cpp.o"
+  "CMakeFiles/bench_ext_ccsga_schemes.dir/bench_ext_ccsga_schemes.cpp.o.d"
+  "bench_ext_ccsga_schemes"
+  "bench_ext_ccsga_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_ccsga_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_economics.dir/bench_ext_economics.cpp.o"
+  "CMakeFiles/bench_ext_economics.dir/bench_ext_economics.cpp.o.d"
+  "bench_ext_economics"
+  "bench_ext_economics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_economics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_mobile.dir/bench_ext_mobile.cpp.o"
+  "CMakeFiles/bench_ext_mobile.dir/bench_ext_mobile.cpp.o.d"
+  "bench_ext_mobile"
+  "bench_ext_mobile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_mobile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_queue_policy.dir/bench_ext_queue_policy.cpp.o"
+  "CMakeFiles/bench_ext_queue_policy.dir/bench_ext_queue_policy.cpp.o.d"
+  "bench_ext_queue_policy"
+  "bench_ext_queue_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_queue_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_stackelberg.dir/bench_ext_stackelberg.cpp.o"
+  "CMakeFiles/bench_ext_stackelberg.dir/bench_ext_stackelberg.cpp.o.d"
+  "bench_ext_stackelberg"
+  "bench_ext_stackelberg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_stackelberg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_cost_vs_devices.dir/bench_fig3_cost_vs_devices.cpp.o"
+  "CMakeFiles/bench_fig3_cost_vs_devices.dir/bench_fig3_cost_vs_devices.cpp.o.d"
+  "bench_fig3_cost_vs_devices"
+  "bench_fig3_cost_vs_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_cost_vs_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

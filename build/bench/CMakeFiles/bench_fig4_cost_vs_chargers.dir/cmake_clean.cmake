@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_cost_vs_chargers.dir/bench_fig4_cost_vs_chargers.cpp.o"
+  "CMakeFiles/bench_fig4_cost_vs_chargers.dir/bench_fig4_cost_vs_chargers.cpp.o.d"
+  "bench_fig4_cost_vs_chargers"
+  "bench_fig4_cost_vs_chargers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_cost_vs_chargers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

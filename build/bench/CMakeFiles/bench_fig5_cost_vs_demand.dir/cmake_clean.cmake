@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_cost_vs_demand.dir/bench_fig5_cost_vs_demand.cpp.o"
+  "CMakeFiles/bench_fig5_cost_vs_demand.dir/bench_fig5_cost_vs_demand.cpp.o.d"
+  "bench_fig5_cost_vs_demand"
+  "bench_fig5_cost_vs_demand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_cost_vs_demand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

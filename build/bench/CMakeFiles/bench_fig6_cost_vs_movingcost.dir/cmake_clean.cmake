@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_cost_vs_movingcost.dir/bench_fig6_cost_vs_movingcost.cpp.o"
+  "CMakeFiles/bench_fig6_cost_vs_movingcost.dir/bench_fig6_cost_vs_movingcost.cpp.o.d"
+  "bench_fig6_cost_vs_movingcost"
+  "bench_fig6_cost_vs_movingcost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_cost_vs_movingcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

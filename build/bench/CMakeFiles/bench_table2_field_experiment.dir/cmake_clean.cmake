@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_field_experiment.dir/bench_table2_field_experiment.cpp.o"
+  "CMakeFiles/bench_table2_field_experiment.dir/bench_table2_field_experiment.cpp.o.d"
+  "bench_table2_field_experiment"
+  "bench_table2_field_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_field_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

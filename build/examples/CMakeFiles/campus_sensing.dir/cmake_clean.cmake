@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_sensing.dir/campus_sensing.cpp.o"
+  "CMakeFiles/campus_sensing.dir/campus_sensing.cpp.o.d"
+  "campus_sensing"
+  "campus_sensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/field_experiment_replay.dir/field_experiment_replay.cpp.o"
+  "CMakeFiles/field_experiment_replay.dir/field_experiment_replay.cpp.o.d"
+  "field_experiment_replay"
+  "field_experiment_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/field_experiment_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_depot.dir/fleet_depot.cpp.o"
+  "CMakeFiles/fleet_depot.dir/fleet_depot.cpp.o.d"
+  "fleet_depot"
+  "fleet_depot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_depot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_service.dir/mobile_service.cpp.o"
+  "CMakeFiles/mobile_service.dir/mobile_service.cpp.o.d"
+  "mobile_service"
+  "mobile_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/anneal.cpp" "src/CMakeFiles/coopcharge.dir/core/anneal.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/core/anneal.cpp.o.d"
+  "/root/repo/src/core/ccsa.cpp" "src/CMakeFiles/coopcharge.dir/core/ccsa.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/core/ccsa.cpp.o.d"
+  "/root/repo/src/core/ccsga.cpp" "src/CMakeFiles/coopcharge.dir/core/ccsga.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/core/ccsga.cpp.o.d"
+  "/root/repo/src/core/cost_model.cpp" "src/CMakeFiles/coopcharge.dir/core/cost_model.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/core/cost_model.cpp.o.d"
+  "/root/repo/src/core/exact_dp.cpp" "src/CMakeFiles/coopcharge.dir/core/exact_dp.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/core/exact_dp.cpp.o.d"
+  "/root/repo/src/core/game_analysis.cpp" "src/CMakeFiles/coopcharge.dir/core/game_analysis.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/core/game_analysis.cpp.o.d"
+  "/root/repo/src/core/generator.cpp" "src/CMakeFiles/coopcharge.dir/core/generator.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/core/generator.cpp.o.d"
+  "/root/repo/src/core/instance.cpp" "src/CMakeFiles/coopcharge.dir/core/instance.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/core/instance.cpp.o.d"
+  "/root/repo/src/core/io.cpp" "src/CMakeFiles/coopcharge.dir/core/io.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/core/io.cpp.o.d"
+  "/root/repo/src/core/kmeans_baseline.cpp" "src/CMakeFiles/coopcharge.dir/core/kmeans_baseline.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/core/kmeans_baseline.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/coopcharge.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/noncoop.cpp" "src/CMakeFiles/coopcharge.dir/core/noncoop.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/core/noncoop.cpp.o.d"
+  "/root/repo/src/core/online.cpp" "src/CMakeFiles/coopcharge.dir/core/online.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/core/online.cpp.o.d"
+  "/root/repo/src/core/random_baseline.cpp" "src/CMakeFiles/coopcharge.dir/core/random_baseline.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/core/random_baseline.cpp.o.d"
+  "/root/repo/src/core/refine.cpp" "src/CMakeFiles/coopcharge.dir/core/refine.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/core/refine.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/CMakeFiles/coopcharge.dir/core/registry.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/core/registry.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/CMakeFiles/coopcharge.dir/core/schedule.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/core/schedule.cpp.o.d"
+  "/root/repo/src/core/shapley.cpp" "src/CMakeFiles/coopcharge.dir/core/shapley.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/core/shapley.cpp.o.d"
+  "/root/repo/src/core/sharing.cpp" "src/CMakeFiles/coopcharge.dir/core/sharing.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/core/sharing.cpp.o.d"
+  "/root/repo/src/core/simple_baselines.cpp" "src/CMakeFiles/coopcharge.dir/core/simple_baselines.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/core/simple_baselines.cpp.o.d"
+  "/root/repo/src/energy/battery.cpp" "src/CMakeFiles/coopcharge.dir/energy/battery.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/energy/battery.cpp.o.d"
+  "/root/repo/src/energy/motion.cpp" "src/CMakeFiles/coopcharge.dir/energy/motion.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/energy/motion.cpp.o.d"
+  "/root/repo/src/energy/wpt.cpp" "src/CMakeFiles/coopcharge.dir/energy/wpt.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/energy/wpt.cpp.o.d"
+  "/root/repo/src/geom/grid_index.cpp" "src/CMakeFiles/coopcharge.dir/geom/grid_index.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/geom/grid_index.cpp.o.d"
+  "/root/repo/src/geom/median.cpp" "src/CMakeFiles/coopcharge.dir/geom/median.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/geom/median.cpp.o.d"
+  "/root/repo/src/geom/vec2.cpp" "src/CMakeFiles/coopcharge.dir/geom/vec2.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/geom/vec2.cpp.o.d"
+  "/root/repo/src/lifetime/lifetime.cpp" "src/CMakeFiles/coopcharge.dir/lifetime/lifetime.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/lifetime/lifetime.cpp.o.d"
+  "/root/repo/src/mobile/planner.cpp" "src/CMakeFiles/coopcharge.dir/mobile/planner.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/mobile/planner.cpp.o.d"
+  "/root/repo/src/mobile/tsp.cpp" "src/CMakeFiles/coopcharge.dir/mobile/tsp.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/mobile/tsp.cpp.o.d"
+  "/root/repo/src/placement/placement.cpp" "src/CMakeFiles/coopcharge.dir/placement/placement.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/placement/placement.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/coopcharge.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/coopcharge.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "src/CMakeFiles/coopcharge.dir/sim/report.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/sim/report.cpp.o.d"
+  "/root/repo/src/submodular/brute_force.cpp" "src/CMakeFiles/coopcharge.dir/submodular/brute_force.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/submodular/brute_force.cpp.o.d"
+  "/root/repo/src/submodular/densest.cpp" "src/CMakeFiles/coopcharge.dir/submodular/densest.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/submodular/densest.cpp.o.d"
+  "/root/repo/src/submodular/greedy_base.cpp" "src/CMakeFiles/coopcharge.dir/submodular/greedy_base.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/submodular/greedy_base.cpp.o.d"
+  "/root/repo/src/submodular/lovasz.cpp" "src/CMakeFiles/coopcharge.dir/submodular/lovasz.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/submodular/lovasz.cpp.o.d"
+  "/root/repo/src/submodular/max_modular.cpp" "src/CMakeFiles/coopcharge.dir/submodular/max_modular.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/submodular/max_modular.cpp.o.d"
+  "/root/repo/src/submodular/set_function.cpp" "src/CMakeFiles/coopcharge.dir/submodular/set_function.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/submodular/set_function.cpp.o.d"
+  "/root/repo/src/submodular/sfm.cpp" "src/CMakeFiles/coopcharge.dir/submodular/sfm.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/submodular/sfm.cpp.o.d"
+  "/root/repo/src/submodular/wolfe.cpp" "src/CMakeFiles/coopcharge.dir/submodular/wolfe.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/submodular/wolfe.cpp.o.d"
+  "/root/repo/src/testbed/testbed.cpp" "src/CMakeFiles/coopcharge.dir/testbed/testbed.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/testbed/testbed.cpp.o.d"
+  "/root/repo/src/util/assert.cpp" "src/CMakeFiles/coopcharge.dir/util/assert.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/util/assert.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/coopcharge.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/coopcharge.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/coopcharge.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/coopcharge.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/coopcharge.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/coopcharge.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/util/table.cpp.o.d"
+  "/root/repo/src/viz/svg.cpp" "src/CMakeFiles/coopcharge.dir/viz/svg.cpp.o" "gcc" "src/CMakeFiles/coopcharge.dir/viz/svg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/game_analysis_test.dir/game_analysis_test.cpp.o"
+  "CMakeFiles/game_analysis_test.dir/game_analysis_test.cpp.o.d"
+  "game_analysis_test"
+  "game_analysis_test.pdb"
+  "game_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/game_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/submodular_densest_test.dir/submodular_densest_test.cpp.o"
+  "CMakeFiles/submodular_densest_test.dir/submodular_densest_test.cpp.o.d"
+  "submodular_densest_test"
+  "submodular_densest_test.pdb"
+  "submodular_densest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/submodular_densest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/submodular_setfn_test.dir/submodular_setfn_test.cpp.o"
+  "CMakeFiles/submodular_setfn_test.dir/submodular_setfn_test.cpp.o.d"
+  "submodular_setfn_test"
+  "submodular_setfn_test.pdb"
+  "submodular_setfn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/submodular_setfn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/submodular_sfm_test.dir/submodular_sfm_test.cpp.o"
+  "CMakeFiles/submodular_sfm_test.dir/submodular_sfm_test.cpp.o.d"
+  "submodular_sfm_test"
+  "submodular_sfm_test.pdb"
+  "submodular_sfm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/submodular_sfm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

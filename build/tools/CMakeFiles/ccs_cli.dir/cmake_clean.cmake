@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccs_cli.dir/ccs_cli.cpp.o"
+  "CMakeFiles/ccs_cli.dir/ccs_cli.cpp.o.d"
+  "ccs_cli"
+  "ccs_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccs_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
