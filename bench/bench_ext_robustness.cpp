@@ -1,24 +1,98 @@
-// Extension bench — robustness to device failures.
-// Field-experiment setting with crash injection: devices fail before
-// departure with probability p; coalitions proceed with survivors who
-// share the (shorter or equal) session fee. Reports served fraction and
-// per-served-device cost for CCSA vs non-cooperation across p.
-// Expected shape: cooperative service degrades gracefully — survivors
-// keep sharing, so the per-served-device advantage persists (and even
-// grows slightly: sessions shrink toward the cheap end as heavy
-// outliers drop out with everyone else).
+// Extension bench — robustness of the charging service.
+//
+// Two sweeps on the field-experiment setting:
+//
+// 1. Fault-timeline sweep (headline, bench_ext_robustness.csv): charger
+//    outages/brown-outs/deaths sampled from a per-charger MTBF, crossed
+//    with the recovery policy (none vs online re-admission) and the
+//    scheduler (CCSA vs non-cooperation). Reports graceful-degradation
+//    metrics: completion ratio, stranded demand, aborted sessions,
+//    recovery work and latency, and cost per served node.
+//    Expected shape: completion falls as faults densify; re-admission
+//    buys completion back at the price of re-travel and retries.
+//
+// 2. Legacy crash sweep (bench_ext_robustness_crash.csv): devices fail
+//    before departure with probability p; coalitions proceed with
+//    survivors who share the (shorter or equal) session fee. Cooperative
+//    advantage degrades gracefully. Includes the p = 1 corner: nobody is
+//    served and the per-served cost is NaN, not a silent zero.
+
+#include <cmath>
+#include <limits>
 
 #include "bench_common.h"
 
 namespace {
 
-struct RobustnessPoint {
-  double served_fraction = 0.0;
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+double safe_div(double num, double den) { return den > 0.0 ? num / den : kNaN; }
+
+// --- Sweep 1: scripted fault timelines through the testbed ------------
+
+struct FaultPoint {
+  double completion_ratio = 0.0;
+  double stranded_demand_j = 0.0;
+  double sessions_aborted = 0.0;
+  double coalitions_stranded = 0.0;
+  double recovery_attempts = 0.0;
+  double recovery_successes = 0.0;
+  double mean_recovery_latency_s = 0.0;
+  double realized_cost = 0.0;
   double cost_per_served = 0.0;
 };
 
-RobustnessPoint evaluate(const std::string& algo, double failure_prob,
-                         int seeds) {
+FaultPoint evaluate_faults(const std::string& algo, double mtbf_s,
+                           cc::fault::RecoveryPolicy policy, int trials) {
+  cc::testbed::TestbedConfig config;
+  config.num_trials = trials;
+  config.seed = 2021;  // fixed: every cell sees the same fault plans
+  config.fault_model.charger_mtbf_s = mtbf_s;
+  config.fault_model.charger_mttr_s = 20.0;
+  config.fault_model.death_prob = 0.25;
+  config.fault_model.brownout_prob = 0.3;
+  config.fault_model.dropout_hazard_per_s = 2e-4;
+  config.fault_model.horizon_s = 240.0;
+  config.recovery.policy = policy;
+
+  const auto result = cc::testbed::run_field_trials(
+      *cc::core::make_scheduler(algo), config);
+
+  FaultPoint point;
+  double served = 0.0;
+  for (const auto& t : result.trials) {
+    point.completion_ratio += t.completion_ratio;
+    point.stranded_demand_j += t.stranded_demand_j;
+    point.sessions_aborted += t.sessions_aborted;
+    point.coalitions_stranded += t.coalitions_stranded;
+    point.recovery_attempts += t.recovery_attempts;
+    point.recovery_successes += t.recovery_successes;
+    point.mean_recovery_latency_s += t.mean_recovery_latency_s;
+    point.realized_cost += t.realized_cost;
+    served += t.completion_ratio * cc::testbed::kNumNodes;
+  }
+  const auto n = static_cast<double>(trials);
+  point.completion_ratio /= n;
+  point.stranded_demand_j /= n;
+  point.sessions_aborted /= n;
+  point.coalitions_stranded /= n;
+  point.recovery_attempts /= n;
+  point.recovery_successes /= n;
+  point.mean_recovery_latency_s /= n;
+  point.realized_cost /= n;
+  point.cost_per_served = safe_div(point.realized_cost * n, served);
+  return point;
+}
+
+// --- Sweep 2: legacy pre-departure crash injection --------------------
+
+struct RobustnessPoint {
+  double served_fraction = 0.0;
+  double cost_per_served = 0.0;  ///< NaN when nobody was served
+};
+
+RobustnessPoint evaluate_crashes(const std::string& algo, double failure_prob,
+                                 int seeds) {
   RobustnessPoint point;
   long served = 0;
   long total = 0;
@@ -43,44 +117,100 @@ RobustnessPoint evaluate(const std::string& algo, double failure_prob,
   }
   point.served_fraction = static_cast<double>(served) /
                           static_cast<double>(total);
-  point.cost_per_served =
-      served > 0 ? cost / static_cast<double>(served) : 0.0;
+  point.cost_per_served = safe_div(cost, static_cast<double>(served));
   return point;
+}
+
+const char* policy_name(cc::fault::RecoveryPolicy policy) {
+  return policy == cc::fault::RecoveryPolicy::kOnlineReadmit ? "readmit"
+                                                             : "none";
 }
 
 }  // namespace
 
 int main() {
-  cc::bench::banner("Extension — robustness to device failures (testbed)",
-                    "cooperative advantage degrades gracefully");
+  cc::bench::banner("Extension — robustness of the charging service",
+                    "graceful degradation under faults; recovery buys "
+                    "completion back");
 
-  constexpr int kSeeds = 40;
-  cc::util::Table table({"failure p", "served % (both)",
-                         "noncoop $/served", "ccsa $/served",
-                         "ccsa advantage (%)"});
+  // Sweep 1: fault timelines × recovery policy × scheduler.
+  constexpr int kTrials = 20;
+  cc::util::Table fault_table({"mtbf (s)", "policy", "algo", "completion %",
+                               "stranded (J)", "aborted", "recov att",
+                               "recov ok", "latency (s)", "$/served"});
   cc::util::CsvWriter csv("bench_ext_robustness.csv");
-  csv.write_header({"failure_prob", "served_fraction",
-                    "noncoop_cost_per_served", "ccsa_cost_per_served",
-                    "advantage_percent"});
+  csv.write_header({"charger_mtbf_s", "recovery_policy", "algo",
+                    "completion_ratio", "stranded_demand_j",
+                    "sessions_aborted", "coalitions_stranded",
+                    "recovery_attempts", "recovery_successes",
+                    "mean_recovery_latency_s", "realized_cost",
+                    "cost_per_served"});
+  for (double mtbf : {0.0, 240.0, 120.0, 60.0}) {
+    for (cc::fault::RecoveryPolicy policy :
+         {cc::fault::RecoveryPolicy::kNone,
+          cc::fault::RecoveryPolicy::kOnlineReadmit}) {
+      for (const char* algo : {"noncoop", "ccsa"}) {
+        const FaultPoint p = evaluate_faults(algo, mtbf, policy, kTrials);
+        fault_table.row()
+            .cell(mtbf, 0)
+            .cell(policy_name(policy))
+            .cell(algo)
+            .cell(100.0 * p.completion_ratio, 1)
+            .cell(p.stranded_demand_j, 1)
+            .cell(p.sessions_aborted, 2)
+            .cell(p.recovery_attempts, 2)
+            .cell(p.recovery_successes, 2)
+            .cell(p.mean_recovery_latency_s, 1)
+            .cell(p.cost_per_served, 2);
+        csv.write_row({cc::util::format_double(mtbf, 0), policy_name(policy),
+                       algo, cc::util::format_double(p.completion_ratio, 4),
+                       cc::util::format_double(p.stranded_demand_j, 3),
+                       cc::util::format_double(p.sessions_aborted, 3),
+                       cc::util::format_double(p.coalitions_stranded, 3),
+                       cc::util::format_double(p.recovery_attempts, 3),
+                       cc::util::format_double(p.recovery_successes, 3),
+                       cc::util::format_double(p.mean_recovery_latency_s, 3),
+                       cc::util::format_double(p.realized_cost, 3),
+                       cc::util::format_double(p.cost_per_served, 4)});
+      }
+    }
+  }
+  fault_table.print(std::cout);
+  std::cout << "\ncsv: bench_ext_robustness.csv\n\n";
 
-  for (double p : {0.0, 0.1, 0.2, 0.3, 0.5}) {
-    const RobustnessPoint noncoop = evaluate("noncoop", p, kSeeds);
-    const RobustnessPoint ccsa = evaluate("ccsa", p, kSeeds);
-    const double advantage = cc::util::percent_change(
-        noncoop.cost_per_served, ccsa.cost_per_served);
-    table.row()
+  // Sweep 2: legacy crash injection, now NaN-safe up to p = 1.
+  constexpr int kSeeds = 40;
+  cc::util::Table crash_table({"failure p", "served % (both)",
+                               "noncoop $/served", "ccsa $/served",
+                               "ccsa advantage (%)"});
+  cc::util::CsvWriter crash_csv("bench_ext_robustness_crash.csv");
+  crash_csv.write_header({"failure_prob", "served_fraction",
+                          "noncoop_cost_per_served", "ccsa_cost_per_served",
+                          "advantage_percent"});
+  for (double p : {0.0, 0.1, 0.2, 0.3, 0.5, 1.0}) {
+    const RobustnessPoint noncoop = evaluate_crashes("noncoop", p, kSeeds);
+    const RobustnessPoint ccsa = evaluate_crashes("ccsa", p, kSeeds);
+    // percent_change() maps a zero baseline to 0%; an undefined per-served
+    // cost must surface as NaN, not a fake parity.
+    const double advantage =
+        std::isfinite(noncoop.cost_per_served) &&
+                std::isfinite(ccsa.cost_per_served)
+            ? cc::util::percent_change(noncoop.cost_per_served,
+                                       ccsa.cost_per_served)
+            : kNaN;
+    crash_table.row()
         .cell(p, 2)
         .cell(100.0 * ccsa.served_fraction, 1)
         .cell(noncoop.cost_per_served, 2)
         .cell(ccsa.cost_per_served, 2)
         .cell(advantage, 1);
-    csv.write_row({cc::util::format_double(p, 2),
-                   cc::util::format_double(ccsa.served_fraction, 4),
-                   cc::util::format_double(noncoop.cost_per_served, 4),
-                   cc::util::format_double(ccsa.cost_per_served, 4),
-                   cc::util::format_double(advantage, 2)});
+    crash_csv.write_row({cc::util::format_double(p, 2),
+                         cc::util::format_double(ccsa.served_fraction, 4),
+                         cc::util::format_double(noncoop.cost_per_served, 4),
+                         cc::util::format_double(ccsa.cost_per_served, 4),
+                         cc::util::format_double(advantage, 2)});
   }
-  table.print(std::cout);
-  std::cout << "\ncsv: bench_ext_robustness.csv\n";
+  crash_table.print(std::cout);
+  std::cout << "\ncsv: bench_ext_robustness_crash.csv\n";
   return 0;
 }

@@ -30,6 +30,8 @@
 #include "core/schedule.h"      // IWYU pragma: export
 #include "core/scheduler.h"     // IWYU pragma: export
 #include "core/sharing.h"       // IWYU pragma: export
+#include "fault/fault_plan.h"   // IWYU pragma: export
+#include "fault/recovery.h"     // IWYU pragma: export
 #include "lifetime/lifetime.h"  // IWYU pragma: export
 #include "mobile/planner.h"     // IWYU pragma: export
 #include "placement/placement.h"  // IWYU pragma: export

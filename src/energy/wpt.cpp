@@ -77,4 +77,42 @@ double cc_cv_charge_time_s(double level_j, double capacity_j,
   return time_s;
 }
 
+double cc_cv_level_after_s(double level_j, double capacity_j, double power_w,
+                           double elapsed_s, const CcCvProfile& profile) {
+  CC_EXPECTS(capacity_j > 0.0, "capacity must be positive");
+  CC_EXPECTS(level_j >= 0.0 && level_j <= capacity_j,
+             "level must lie in [0, capacity]");
+  CC_EXPECTS(power_w > 0.0, "charging requires positive power");
+  CC_EXPECTS(elapsed_s >= 0.0, "elapsed time must be nonnegative");
+
+  const double target_j = profile.target_soc * capacity_j;
+  double at = level_j;
+  double left_s = elapsed_s;
+  if (at >= target_j) {
+    return at;
+  }
+  // CC phase: full power until the knee (or the target, if earlier).
+  const double cc_end_j =
+      std::min(profile.knee_soc, profile.target_soc) * capacity_j;
+  if (at < cc_end_j) {
+    const double cc_time = (cc_end_j - at) / power_w;
+    if (left_s <= cc_time) {
+      return at + left_s * power_w;
+    }
+    at = cc_end_j;
+    left_s -= cc_time;
+  }
+  // CV phase: 1−soc decays exponentially with λ = P / ((1−knee)·capacity).
+  if (target_j > at) {
+    const double remaining_fraction = 1.0 - profile.knee_soc;
+    CC_ASSERT(remaining_fraction > 0.0,
+              "CV phase requires knee_soc < 1 when target exceeds knee");
+    const double lambda = power_w / (remaining_fraction * capacity_j);
+    const double soc = at / capacity_j;
+    const double decayed = 1.0 - (1.0 - soc) * std::exp(-lambda * left_s);
+    at = decayed * capacity_j;
+  }
+  return std::min(at, target_j);
+}
+
 }  // namespace cc::energy

@@ -93,4 +93,14 @@ struct CcCvProfile {
                                          double power_w,
                                          const CcCvProfile& profile);
 
+/// Battery level (J) after charging for `elapsed_s` seconds from
+/// `level_j` at nominal power `power_w` under the CC-CV profile —
+/// the inverse view of `cc_cv_charge_time_s`, used to prorate energy
+/// when a session is cut short. The result is clamped at the profile's
+/// target level (charging stops there). Same preconditions as
+/// `cc_cv_charge_time_s`, plus elapsed_s >= 0.
+[[nodiscard]] double cc_cv_level_after_s(double level_j, double capacity_j,
+                                         double power_w, double elapsed_s,
+                                         const CcCvProfile& profile);
+
 }  // namespace cc::energy

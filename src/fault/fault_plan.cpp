@@ -1,0 +1,142 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace cc::fault {
+
+FaultPlan::FaultPlan(std::vector<FaultEvent> events)
+    : events_(std::move(events)) {}
+
+void FaultPlan::add(const FaultEvent& event) { events_.push_back(event); }
+
+void FaultPlan::validate(const core::Instance& instance) const {
+  // Per-charger windows, gathered to check overlap and post-death faults.
+  std::vector<std::vector<const FaultEvent*>> per_charger(
+      static_cast<std::size_t>(instance.num_chargers()));
+  for (const FaultEvent& e : events_) {
+    CC_EXPECTS(e.start_s >= 0.0, "fault start time must be nonnegative");
+    switch (e.kind) {
+      case FaultKind::kChargerOutage:
+        CC_EXPECTS(e.charger >= 0 && e.charger < instance.num_chargers(),
+                   "outage names an unknown charger");
+        CC_EXPECTS(e.end_s > e.start_s,
+                   "outage window must have positive length");
+        CC_EXPECTS(e.power_factor >= 0.0 && e.power_factor < 1.0,
+                   "outage power factor must lie in [0, 1)");
+        per_charger[static_cast<std::size_t>(e.charger)].push_back(&e);
+        break;
+      case FaultKind::kChargerDeath:
+        CC_EXPECTS(e.charger >= 0 && e.charger < instance.num_chargers(),
+                   "death names an unknown charger");
+        per_charger[static_cast<std::size_t>(e.charger)].push_back(&e);
+        break;
+      case FaultKind::kDeviceDropout:
+        CC_EXPECTS(e.device >= 0 && e.device < instance.num_devices(),
+                   "dropout names an unknown device");
+        break;
+    }
+  }
+  for (auto& faults : per_charger) {
+    std::sort(faults.begin(), faults.end(),
+              [](const FaultEvent* a, const FaultEvent* b) {
+                return a->start_s < b->start_s;
+              });
+    double prev_end = 0.0;
+    bool dead = false;
+    for (const FaultEvent* e : faults) {
+      CC_EXPECTS(!dead, "charger fault scheduled after the charger's death");
+      CC_EXPECTS(e->start_s >= prev_end,
+                 "per-charger fault windows must not overlap");
+      if (e->kind == FaultKind::kChargerDeath) {
+        dead = true;
+      } else {
+        prev_end = e->end_s;
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Exp(mean) via inversion; rng.uniform is [0, 1) so the log argument
+/// stays in (0, 1].
+double exponential(util::Rng& rng, double mean) {
+  return -mean * std::log(1.0 - rng.uniform(0.0, 1.0));
+}
+
+}  // namespace
+
+FaultPlan sample_fault_plan(const core::Instance& instance,
+                            const FaultModel& model, std::uint64_t seed) {
+  CC_EXPECTS(model.charger_mtbf_s >= 0.0 && model.charger_mttr_s > 0.0,
+             "MTBF must be nonnegative and MTTR positive");
+  CC_EXPECTS(model.death_prob >= 0.0 && model.death_prob <= 1.0,
+             "death probability must lie in [0, 1]");
+  CC_EXPECTS(model.brownout_prob >= 0.0 && model.brownout_prob <= 1.0,
+             "brown-out probability must lie in [0, 1]");
+  CC_EXPECTS(model.brownout_factor_min >= 0.0 &&
+                 model.brownout_factor_max < 1.0 &&
+                 model.brownout_factor_min <= model.brownout_factor_max,
+             "brown-out factors must satisfy 0 <= min <= max < 1");
+  CC_EXPECTS(model.dropout_hazard_per_s >= 0.0,
+             "dropout hazard must be nonnegative");
+  CC_EXPECTS(model.horizon_s > 0.0, "fault horizon must be positive");
+
+  util::Rng rng(seed);
+  std::vector<FaultEvent> events;
+  if (model.charger_mtbf_s > 0.0) {
+    for (int j = 0; j < instance.num_chargers(); ++j) {
+      double t = 0.0;
+      while (true) {
+        t += exponential(rng, model.charger_mtbf_s);
+        if (t >= model.horizon_s) {
+          break;
+        }
+        FaultEvent e;
+        e.charger = j;
+        e.start_s = t;
+        if (rng.bernoulli(model.death_prob)) {
+          e.kind = FaultKind::kChargerDeath;
+          events.push_back(e);
+          break;  // a dead charger's timeline ends here
+        }
+        e.kind = FaultKind::kChargerOutage;
+        const double repair = exponential(rng, model.charger_mttr_s);
+        e.end_s = t + std::max(repair, 1e-9);
+        e.power_factor =
+            rng.bernoulli(model.brownout_prob)
+                ? rng.uniform(model.brownout_factor_min,
+                              model.brownout_factor_max)
+                : 0.0;
+        events.push_back(e);
+        t = e.end_s;
+      }
+    }
+  }
+  if (model.dropout_hazard_per_s > 0.0) {
+    for (int i = 0; i < instance.num_devices(); ++i) {
+      const double t =
+          exponential(rng, 1.0 / model.dropout_hazard_per_s);
+      if (t < model.horizon_s) {
+        FaultEvent e;
+        e.kind = FaultKind::kDeviceDropout;
+        e.device = i;
+        e.start_s = t;
+        events.push_back(e);
+      }
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.start_s < b.start_s;
+                   });
+  FaultPlan plan(std::move(events));
+  plan.validate(instance);
+  return plan;
+}
+
+}  // namespace cc::fault

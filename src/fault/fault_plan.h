@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file fault_plan.h
+/// Deterministic fault timelines for the charging service.
+///
+/// A `FaultPlan` scripts everything that can go wrong while a schedule
+/// executes: chargers brown out or go fully offline for a window, die
+/// permanently, and devices drop out mid-run (battery pull, radio loss,
+/// operator recall). The simulator consumes the plan as extra events;
+/// because the plan is data — not a random process inside the engine —
+/// the same plan replays bit-identically, and paired experiments can
+/// present the *same* faults to every algorithm.
+///
+/// `sample_fault_plan` draws a plan from rate parameters (per-charger
+/// MTBF/MTTR, death probability, dropout hazard) deterministically in a
+/// seed, which is how the testbed and benches generate fault regimes.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/instance.h"
+
+namespace cc::fault {
+
+enum class FaultKind {
+  kChargerOutage,  ///< charger degraded/offline during [start_s, end_s)
+  kChargerDeath,   ///< charger permanently offline from start_s
+  kDeviceDropout,  ///< device leaves the system at start_s
+};
+
+/// One scripted fault. Charger faults use `charger`; dropouts use
+/// `device`. For outages, `power_factor` scales the charger's service
+/// power during the window: 0 is a full outage (no service at all),
+/// values in (0, 1) are brown-outs (sessions continue, slower).
+struct FaultEvent {
+  FaultKind kind = FaultKind::kChargerOutage;
+  double start_s = 0.0;
+  double end_s = 0.0;  ///< outage windows only; unused otherwise
+  int charger = -1;
+  int device = -1;
+  double power_factor = 0.0;
+};
+
+/// An immutable, validated timeline of fault events.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(std::vector<FaultEvent> events);
+
+  void add(const FaultEvent& event);
+
+  [[nodiscard]] std::span<const FaultEvent> events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+
+  /// Throws `AssertionError` unless every event is well-formed against
+  /// `instance`: ids in range, nonnegative times, outage windows with
+  /// positive length and factor in [0, 1), per-charger windows
+  /// non-overlapping, and no charger fault scheduled after that
+  /// charger's death.
+  void validate(const core::Instance& instance) const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// Rate parameters for the fault sampler. Zero rates disable the
+/// corresponding fault class, so the default model is fault-free.
+struct FaultModel {
+  /// Mean time between charger failures (s); 0 ⇒ chargers never fail.
+  double charger_mtbf_s = 0.0;
+  /// Mean time to repair a non-fatal outage (s).
+  double charger_mttr_s = 30.0;
+  /// Probability that a charger failure is permanent (death).
+  double death_prob = 0.0;
+  /// Probability that a non-fatal failure is a brown-out rather than a
+  /// full outage; brown-out factors are uniform in [factor_min, factor_max].
+  double brownout_prob = 0.0;
+  double brownout_factor_min = 0.2;
+  double brownout_factor_max = 0.7;
+  /// Per-device exponential dropout hazard (1/s); 0 ⇒ no dropouts.
+  double dropout_hazard_per_s = 0.0;
+  /// Faults are sampled on [0, horizon_s); repairs may complete later.
+  double horizon_s = 1000.0;
+
+  /// True iff some fault class is enabled.
+  [[nodiscard]] bool active() const noexcept {
+    return charger_mtbf_s > 0.0 || dropout_hazard_per_s > 0.0;
+  }
+};
+
+/// Draws a fault plan for `instance` from `model`, deterministically in
+/// `seed`: per charger, alternating up-time ~ Exp(mtbf) and repair
+/// ~ Exp(mttr) renewals until the horizon, each failure fatal with
+/// `death_prob` (ending that charger's timeline); per device, a dropout
+/// at Exp(hazard) if it lands inside the horizon. The result validates
+/// against `instance`.
+[[nodiscard]] FaultPlan sample_fault_plan(const core::Instance& instance,
+                                          const FaultModel& model,
+                                          std::uint64_t seed);
+
+}  // namespace cc::fault

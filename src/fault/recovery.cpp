@@ -1,0 +1,45 @@
+#include "fault/recovery.h"
+
+#include <limits>
+
+#include "util/assert.h"
+
+namespace cc::fault {
+
+int pick_recovery_charger(const core::CostModel& cost,
+                          std::span<const core::DeviceId> members,
+                          geom::Vec2 from, double max_deficit_j,
+                          std::span<const char> dead) {
+  const core::Instance& instance = cost.instance();
+  CC_EXPECTS(!members.empty(), "recovery needs a nonempty group");
+  CC_EXPECTS(static_cast<int>(dead.size()) == instance.num_chargers(),
+             "one liveness flag per charger required");
+  const double trip_factor = instance.params().round_trip ? 2.0 : 1.0;
+
+  int best = -1;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (core::ChargerId j = 0; j < instance.num_chargers(); ++j) {
+    if (dead[static_cast<std::size_t>(j)]) {
+      continue;
+    }
+    const int cap = cost.session_cap(j);
+    if (cap > 0 && static_cast<int>(members.size()) > cap) {
+      continue;
+    }
+    const core::Charger& charger = instance.charger(j);
+    const double dist = (charger.position - from).norm();
+    double candidate = instance.params().fee_weight * charger.price_per_s *
+                       max_deficit_j / charger.power_w;
+    for (core::DeviceId i : members) {
+      candidate += instance.params().move_weight *
+                   instance.device(i).motion.unit_cost * dist * trip_factor;
+    }
+    if (candidate < best_cost) {
+      best_cost = candidate;
+      best = j;
+    }
+  }
+  return best;
+}
+
+}  // namespace cc::fault

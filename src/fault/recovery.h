@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file recovery.h
+/// Reactive recovery for coalitions stranded by charger death.
+///
+/// When a charger dies permanently, its active session is aborted
+/// (partial fee prorated to the energy actually delivered) and every
+/// coalition parked at the pad — waiting, aborted, or still gathering —
+/// must go somewhere. The recovery layer decides where:
+///
+/// * `kNone` strands them: the demand is accounted as lost (the
+///   graceful-degradation baseline the benches compare against);
+/// * `kOnlineReadmit` re-admits each coalition onto the best surviving
+///   charger by the same myopic rule the online admission policy uses
+///   (`core::run_online`): minimize re-travel moving cost plus the fee
+///   on the group's *remaining* deficit, subject to session capacity.
+///   Retries are bounded — a coalition whose replacement charger also
+///   dies relocates again until `max_retries` is exhausted, then
+///   strands.
+
+#include <span>
+
+#include "core/cost_model.h"
+#include "geom/vec2.h"
+
+namespace cc::fault {
+
+enum class RecoveryPolicy {
+  kNone,           ///< strand coalitions orphaned by charger death
+  kOnlineReadmit,  ///< re-admit them onto surviving chargers
+};
+
+struct RecoveryOptions {
+  RecoveryPolicy policy = RecoveryPolicy::kNone;
+  /// Relocations allowed per coalition before it strands.
+  int max_retries = 3;
+};
+
+/// Picks the surviving charger that minimizes the re-admission cost of a
+/// group currently gathered at `from`: re-travel moving cost (same
+/// weighting as `CostModel::move_cost`, distance measured from `from`)
+/// plus the session fee on `max_deficit_j` at nominal power. Chargers
+/// with `dead[j] != 0` or too small a session capacity are skipped.
+/// Returns −1 when no surviving charger can host the group.
+[[nodiscard]] int pick_recovery_charger(const core::CostModel& cost,
+                                        std::span<const core::DeviceId> members,
+                                        geom::Vec2 from, double max_deficit_j,
+                                        std::span<const char> dead);
+
+}  // namespace cc::fault

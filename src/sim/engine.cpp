@@ -14,13 +14,27 @@ namespace {
 
 struct CoalitionState {
   int arrivals_pending = 0;
-  bool started = false;
+  bool started = false;       // an active charging segment is running
+  bool ever_started = false;  // saw its first session start
+  bool queued = false;        // sitting in some charger's waiting deque
+  bool recovering = false;    // next session start is a recovery restart
+  bool recovered = false;     // was re-admitted at least once
   bool finished = false;
+  /// Bumped whenever in-flight kSessionStart/kSessionEnd/kRelocation
+  /// events for this coalition become stale (abort, re-plan, recovery).
+  int epoch = 0;
+  int retries = 0;
+  double segment_start = 0.0;
+  double fault_time = 0.0;    // when the last stranding fault hit
 };
 
 struct ChargerState {
   bool busy = false;
-  std::deque<int> waiting;  // coalition indices, FIFO by readiness
+  int active = -1;            // coalition in (or about to be in) session
+  bool dead = false;          // permanently offline
+  bool out = false;           // inside a full-outage window
+  double fault_factor = 1.0;  // brown-out multiplier (1 when healthy)
+  std::deque<int> waiting;    // coalition indices, FIFO by readiness
 };
 
 }  // namespace
@@ -42,6 +56,11 @@ SimReport simulate(const core::Instance& instance,
   for (double f : power_factor) {
     CC_EXPECTS(f > 0.0, "power factors must be positive");
   }
+  if (options.fault_plan.has_value()) {
+    options.fault_plan->validate(instance);
+  }
+  CC_EXPECTS(options.recovery.max_retries >= 0,
+             "recovery retry budget must be nonnegative");
 
   const auto coalitions = schedule.coalitions();
   SimReport report;
@@ -51,6 +70,13 @@ SimReport simulate(const core::Instance& instance,
   std::vector<CoalitionState> cstate(coalitions.size());
   std::vector<ChargerState> charger_state(
       static_cast<std::size_t>(instance.num_chargers()));
+  // Recovery relocates coalitions, so the serving charger is sim state,
+  // not the schedule's (immutable) assignment.
+  std::vector<core::ChargerId> serving(coalitions.size());
+  for (std::size_t k = 0; k < coalitions.size(); ++k) {
+    serving[k] = coalitions[k].charger;
+    report.coalitions[k].final_charger = coalitions[k].charger;
+  }
   std::vector<energy::Battery> batteries;
   batteries.reserve(static_cast<std::size_t>(instance.num_devices()));
   for (int i = 0; i < instance.num_devices(); ++i) {
@@ -75,13 +101,20 @@ SimReport simulate(const core::Instance& instance,
     }
   }
   std::vector<std::vector<core::DeviceId>> survivors(coalitions.size());
+  std::vector<int> coalition_index(
+      static_cast<std::size_t>(instance.num_devices()), -1);
   for (std::size_t k = 0; k < coalitions.size(); ++k) {
     for (core::DeviceId i : coalitions[k].members) {
+      coalition_index[static_cast<std::size_t>(i)] = static_cast<int>(k);
       if (!failed[static_cast<std::size_t>(i)]) {
         survivors[k].push_back(i);
       }
     }
   }
+  std::vector<char> dropped(static_cast<std::size_t>(instance.num_devices()),
+                            0);
+  std::vector<char> arrived(static_cast<std::size_t>(instance.num_devices()),
+                            0);
 
   EventQueue queue;
   for (std::size_t k = 0; k < coalitions.size(); ++k) {
@@ -94,17 +127,29 @@ SimReport simulate(const core::Instance& instance,
       queue.push(0.0, EventKind::kDeparture, static_cast<int>(k), i);
     }
   }
+  if (options.fault_plan.has_value()) {
+    const auto fault_events = options.fault_plan->events();
+    for (std::size_t f = 0; f < fault_events.size(); ++f) {
+      queue.push(fault_events[f].start_s, EventKind::kFaultStart, -1, -1,
+                 static_cast<int>(f));
+      if (fault_events[f].kind == fault::FaultKind::kChargerOutage) {
+        queue.push(fault_events[f].end_s, EventKind::kFaultClear, -1, -1,
+                   static_cast<int>(f));
+      }
+    }
+  }
 
   const auto realized_power = [&](core::ChargerId j) {
     return instance.charger(j).power_w *
-           power_factor[static_cast<std::size_t>(j)];
+           power_factor[static_cast<std::size_t>(j)] *
+           charger_state[static_cast<std::size_t>(j)].fault_factor;
   };
 
   // Expected session duration of a waiting coalition — the key its
-  // charger's queue discipline sorts by. Deficits are final once all
-  // members arrived (any travel drain has been applied).
+  // charger's queue discipline sorts by. Deficits reflect everything
+  // that happened so far (travel drain, aborted partial charge).
   const auto expected_duration = [&](std::size_t k) {
-    const core::ChargerId j = coalitions[k].charger;
+    const core::ChargerId j = serving[k];
     double duration = 0.0;
     for (core::DeviceId i : survivors[k]) {
       const auto& battery = batteries[static_cast<std::size_t>(i)];
@@ -122,7 +167,7 @@ SimReport simulate(const core::Instance& instance,
 
   const auto try_start_session = [&](core::ChargerId j, double now) {
     auto& cs = charger_state[static_cast<std::size_t>(j)];
-    if (cs.busy || cs.waiting.empty()) {
+    if (cs.busy || cs.dead || cs.out || cs.waiting.empty()) {
       return;
     }
     std::size_t pick = 0;
@@ -144,14 +189,321 @@ SimReport simulate(const core::Instance& instance,
     const int k = cs.waiting[pick];
     cs.waiting.erase(cs.waiting.begin() +
                      static_cast<std::ptrdiff_t>(pick));
+    cstate[static_cast<std::size_t>(k)].queued = false;
     cs.busy = true;
-    queue.push(now, EventKind::kSessionStart, k);
+    cs.active = k;
+    queue.push(now, EventKind::kSessionStart, k, -1,
+               cstate[static_cast<std::size_t>(k)].epoch);
+  };
+
+  // Remaining deficit of one device: what a session still owes it.
+  const auto remaining_deficit = [&](core::DeviceId i) {
+    const auto& battery = batteries[static_cast<std::size_t>(i)];
+    if (options.cc_cv.has_value()) {
+      return std::max(0.0, options.cc_cv->target_soc * battery.capacity() -
+                               battery.level());
+    }
+    return battery.deficit();
+  };
+
+  // Closes the active charging segment of coalition k at time `end`:
+  // the fee accrues on the segment length, members keep the energy
+  // actually delivered, and the segment fee is split by the scaled
+  // scheduled shares of the members present. `complete` marks a natural
+  // session end (members charge to full/target); otherwise the segment
+  // was interrupted and energy is prorated to the elapsed time at the
+  // power that prevailed during it (callers checkpoint *before*
+  // touching the charger's fault factor).
+  const auto finalize_segment = [&](std::size_t k, double end,
+                                    bool complete) {
+    auto& cs = cstate[k];
+    CC_ASSERT(cs.started, "finalizing a segment that never started");
+    cs.started = false;
+    ++cs.epoch;
+    const core::ChargerId j = serving[k];
+    const double elapsed = end - cs.segment_start;
+    auto& coutcome = report.coalitions[k];
+    ++coutcome.segments;
+    const double fee_segment = instance.params().fee_weight *
+                               instance.charger(j).price_per_s * elapsed;
+    coutcome.session_fee += fee_segment;
+    for (core::DeviceId i : survivors[k]) {
+      auto& outcome = report.devices[static_cast<std::size_t>(i)];
+      auto& battery = batteries[static_cast<std::size_t>(i)];
+      outcome.charge_time_s += elapsed;
+      if (options.cc_cv.has_value()) {
+        const double target_level =
+            options.cc_cv->target_soc * battery.capacity();
+        double missing;
+        if (complete) {
+          missing = std::max(0.0, target_level - battery.level());
+        } else {
+          const double after = energy::cc_cv_level_after_s(
+              battery.level(), battery.capacity(), realized_power(j),
+              elapsed, *options.cc_cv);
+          missing = std::max(0.0, after - battery.level());
+        }
+        outcome.energy_received_j += battery.charge(missing);
+        outcome.fully_charged = battery.level() >= target_level - 1e-9;
+      } else {
+        const double delivered = elapsed * realized_power(j);
+        outcome.energy_received_j += battery.charge(delivered);
+        outcome.fully_charged = battery.is_full();
+      }
+    }
+    // Split the segment fee by the active sharing scheme, scaled from
+    // the scheduled shares (proportional to the scheduled fee) to the
+    // realized segment fee.
+    const double scheduled_fee = cost.session_fee(j, survivors[k]);
+    const std::vector<double> scheduled_shares =
+        core::fee_shares(scheme, cost, j, survivors[k]);
+    for (std::size_t idx = 0; idx < survivors[k].size(); ++idx) {
+      const double weight =
+          scheduled_fee > 0.0
+              ? scheduled_shares[idx] / scheduled_fee
+              : 1.0 / static_cast<double>(survivors[k].size());
+      report.devices[static_cast<std::size_t>(survivors[k][idx])]
+          .fee_share += fee_segment * weight;
+    }
+  };
+
+  // Restarts coalition k's session in place (brown-out boundary,
+  // mid-session dropout): a fresh segment from the current deficits at
+  // the current realized power, without re-entering the queue.
+  const auto replan_segment = [&](std::size_t k, double now) {
+    auto& cs = cstate[k];
+    cs.started = true;
+    cs.segment_start = now;
+    queue.push(now + expected_duration(k), EventKind::kSessionEnd,
+               static_cast<int>(k), -1, cs.epoch);
+  };
+
+  const auto strand = [&](std::size_t k) {
+    auto& cs = cstate[k];
+    cs.finished = true;
+    report.coalitions[k].stranded = true;
+    ++report.faults.coalitions_stranded;
+    for (core::DeviceId i : survivors[k]) {
+      report.devices[static_cast<std::size_t>(i)].stranded = true;
+      report.faults.stranded_demand_j += remaining_deficit(i);
+    }
+  };
+
+  // Coalition k's charger died while k was parked at its pad (waiting,
+  // aborted, or just gathered). Re-admit it onto the best surviving
+  // charger — bounded retries — or strand it.
+  const auto recover_or_strand = [&](std::size_t k, double now) {
+    auto& cs = cstate[k];
+    if (survivors[k].empty()) {
+      cs.finished = true;
+      return;
+    }
+    const core::ChargerId dead_j = serving[k];
+    cs.fault_time = now;
+    if (options.recovery.policy == fault::RecoveryPolicy::kOnlineReadmit &&
+        cs.retries < options.recovery.max_retries) {
+      double max_deficit = 0.0;
+      for (core::DeviceId i : survivors[k]) {
+        max_deficit = std::max(max_deficit, remaining_deficit(i));
+      }
+      std::vector<char> dead_flags(
+          static_cast<std::size_t>(instance.num_chargers()), 0);
+      for (int j = 0; j < instance.num_chargers(); ++j) {
+        dead_flags[static_cast<std::size_t>(j)] =
+            charger_state[static_cast<std::size_t>(j)].dead ? 1 : 0;
+      }
+      const int new_j = fault::pick_recovery_charger(
+          cost, survivors[k], instance.charger(dead_j).position, max_deficit,
+          dead_flags);
+      if (new_j >= 0) {
+        ++cs.retries;
+        report.coalitions[k].retries = cs.retries;
+        ++report.faults.recovery_attempts;
+        cs.recovering = true;
+        cs.recovered = true;
+        ++cs.epoch;
+        serving[k] = new_j;
+        report.coalitions[k].final_charger = new_j;
+        const double dist = (instance.charger(new_j).position -
+                             instance.charger(dead_j).position)
+                                .norm();
+        const double trip_factor =
+            instance.params().round_trip ? 2.0 : 1.0;
+        double gather = 0.0;
+        for (core::DeviceId i : survivors[k]) {
+          const auto& motion = instance.device(i).motion;
+          const double t = energy::travel_time_s(dist, motion);
+          gather = std::max(gather, t);
+          auto& outcome = report.devices[static_cast<std::size_t>(i)];
+          outcome.travel_time_s += t;
+          outcome.move_cost += instance.params().move_weight *
+                               motion.unit_cost * dist * trip_factor;
+          if (options.travel_drains_battery) {
+            (void)batteries[static_cast<std::size_t>(i)].discharge(
+                energy::move_energy_j(dist, motion));
+          }
+        }
+        queue.push(now + gather, EventKind::kRelocation,
+                   static_cast<int>(k), -1, cs.epoch);
+        return;
+      }
+    }
+    strand(k);
+  };
+
+  // A coalition gathered its last member (initial arrival or dropout of
+  // a straggler): queue it — or recover if the pad is already dead.
+  const auto on_ready = [&](std::size_t k, double now) {
+    report.coalitions[k].ready_time_s = now;
+    const core::ChargerId j = serving[k];
+    if (charger_state[static_cast<std::size_t>(j)].dead) {
+      recover_or_strand(k, now);
+      return;
+    }
+    charger_state[static_cast<std::size_t>(j)].waiting.push_back(
+        static_cast<int>(k));
+    cstate[k].queued = true;
+    try_start_session(j, now);
+  };
+
+  const auto on_charger_fault = [&](const fault::FaultEvent& fe,
+                                    double now) {
+    const core::ChargerId j = fe.charger;
+    auto& chs = charger_state[static_cast<std::size_t>(j)];
+    if (chs.dead) {
+      return;
+    }
+    const bool death = fe.kind == fault::FaultKind::kChargerDeath;
+    if (death) {
+      ++report.faults.charger_deaths;
+    } else {
+      ++report.faults.charger_outages;
+    }
+    if (death || fe.power_factor <= 0.0) {
+      // Full outage or death: the active session aborts (partial fee and
+      // charge already banked by the checkpoint) and rejoins the head of
+      // the line.
+      const int a = chs.active;
+      if (a >= 0) {
+        auto& acs = cstate[static_cast<std::size_t>(a)];
+        if (acs.started) {
+          finalize_segment(static_cast<std::size_t>(a), now, false);
+          ++report.faults.sessions_aborted;
+        } else {
+          ++acs.epoch;  // cancel the pending session start
+        }
+        chs.waiting.push_front(a);
+        acs.queued = true;
+        chs.busy = false;
+        chs.active = -1;
+      }
+      if (death) {
+        chs.dead = true;
+        std::deque<int> orphans;
+        orphans.swap(chs.waiting);
+        for (int w : orphans) {
+          cstate[static_cast<std::size_t>(w)].queued = false;
+          recover_or_strand(static_cast<std::size_t>(w), now);
+        }
+      } else {
+        chs.out = true;
+      }
+    } else {
+      // Brown-out: the session continues at reduced power. Checkpoint at
+      // the old power, then re-plan the remainder at the new one.
+      const int a = chs.active;
+      if (a >= 0 && cstate[static_cast<std::size_t>(a)].started) {
+        finalize_segment(static_cast<std::size_t>(a), now, false);
+        chs.fault_factor = fe.power_factor;
+        replan_segment(static_cast<std::size_t>(a), now);
+      } else {
+        chs.fault_factor = fe.power_factor;
+      }
+    }
+  };
+
+  const auto on_device_dropout = [&](const fault::FaultEvent& fe,
+                                     double now) {
+    const core::DeviceId i = fe.device;
+    if (failed[static_cast<std::size_t>(i)] ||
+        dropped[static_cast<std::size_t>(i)]) {
+      return;  // never departed / already gone
+    }
+    const int ki = coalition_index[static_cast<std::size_t>(i)];
+    CC_ASSERT(ki >= 0, "dropout device missing from the schedule");
+    const auto k = static_cast<std::size_t>(ki);
+    auto& cs = cstate[k];
+    if (cs.finished) {
+      return;  // already served or stranded
+    }
+    auto it = std::find(survivors[k].begin(), survivors[k].end(), i);
+    if (it == survivors[k].end()) {
+      return;
+    }
+    dropped[static_cast<std::size_t>(i)] = 1;
+    report.devices[static_cast<std::size_t>(i)].dropped = true;
+    ++report.faults.device_dropouts;
+    const core::ChargerId j = serving[k];
+    auto& chs = charger_state[static_cast<std::size_t>(j)];
+    if (cs.started) {
+      // Mid-session: the dropout pays for the segment it consumed, then
+      // the survivors continue from their current charge.
+      finalize_segment(k, now, false);
+      survivors[k].erase(it);
+      if (survivors[k].empty()) {
+        cs.finished = true;
+        chs.busy = false;
+        chs.active = -1;
+        try_start_session(j, now);
+      } else {
+        replan_segment(k, now);
+      }
+      return;
+    }
+    survivors[k].erase(it);
+    if (!arrived[static_cast<std::size_t>(i)] && cs.arrivals_pending > 0) {
+      // Dropped in transit: its pending arrival is void.
+      --cs.arrivals_pending;
+      if (cs.arrivals_pending == 0) {
+        if (survivors[k].empty()) {
+          cs.finished = true;
+        } else {
+          on_ready(k, now);  // the straggler was the dropout
+        }
+      }
+      return;
+    }
+    if (survivors[k].empty()) {
+      cs.finished = true;
+      ++cs.epoch;  // cancel any pending start/relocation
+      if (chs.active == ki) {
+        chs.busy = false;
+        chs.active = -1;
+        try_start_session(j, now);
+      }
+      if (cs.queued) {
+        auto& waiting = chs.waiting;
+        waiting.erase(std::remove(waiting.begin(), waiting.end(), ki),
+                      waiting.end());
+        cs.queued = false;
+      }
+    }
   };
 
   double now = 0.0;
   while (!queue.empty()) {
     const Event e = queue.pop();
     CC_ASSERT(e.time >= now - 1e-12, "event times must be nondecreasing");
+    // Session and relocation events carry the coalition epoch they were
+    // scheduled under; a fault that re-planned the coalition since then
+    // voids them entirely (no trace, no makespan, no event count).
+    if ((e.kind == EventKind::kSessionStart ||
+         e.kind == EventKind::kSessionEnd ||
+         e.kind == EventKind::kRelocation) &&
+        (e.aux != cstate[static_cast<std::size_t>(e.coalition)].epoch ||
+         cstate[static_cast<std::size_t>(e.coalition)].finished)) {
+      continue;
+    }
     now = e.time;
     ++report.events_processed;
     if (options.record_trace) {
@@ -159,11 +511,10 @@ SimReport simulate(const core::Instance& instance,
           {now, static_cast<int>(e.kind), e.coalition, e.device});
     }
     const auto k = static_cast<std::size_t>(e.coalition);
-    const core::Coalition& coalition = coalitions[k];
-    const core::ChargerId j = coalition.charger;
 
     switch (e.kind) {
       case EventKind::kDeparture: {
+        const core::ChargerId j = serving[k];
         const core::Device& d = instance.device(e.device);
         const double dist = instance.distance(e.device, j);
         const double travel = energy::travel_time_s(dist, d.motion);
@@ -176,20 +527,21 @@ SimReport simulate(const core::Instance& instance,
         break;
       }
       case EventKind::kArrival: {
+        if (dropped[static_cast<std::size_t>(e.device)]) {
+          break;  // dropped out while traveling; already unregistered
+        }
+        arrived[static_cast<std::size_t>(e.device)] = 1;
         if (options.travel_drains_battery) {
           const core::Device& d = instance.device(e.device);
           const double drained = energy::move_energy_j(
-              instance.distance(e.device, j), d.motion);
+              instance.distance(e.device, serving[k]), d.motion);
           (void)batteries[static_cast<std::size_t>(e.device)].discharge(
               drained);
         }
         auto& cs = cstate[k];
         --cs.arrivals_pending;
         if (cs.arrivals_pending == 0) {
-          report.coalitions[k].ready_time_s = now;
-          charger_state[static_cast<std::size_t>(j)].waiting.push_back(
-              e.coalition);
-          try_start_session(j, now);
+          on_ready(k, now);
         }
         break;
       }
@@ -197,8 +549,19 @@ SimReport simulate(const core::Instance& instance,
         auto& cs = cstate[k];
         CC_ASSERT(!cs.started, "coalition session started twice");
         cs.started = true;
-        report.coalitions[k].start_time_s = now;
-        // The session runs until the neediest member completes. Without
+        cs.segment_start = now;
+        auto& coutcome = report.coalitions[k];
+        if (!cs.ever_started) {
+          cs.ever_started = true;
+          coutcome.start_time_s = now;
+        }
+        if (cs.recovering) {
+          cs.recovering = false;
+          ++report.faults.recovery_restarts;
+          report.faults.total_recovery_latency_s += now - cs.fault_time;
+        }
+        const core::ChargerId j = serving[k];
+        // The segment runs until the neediest member completes. Without
         // travel drain or CC-CV taper this is max deficit / power —
         // exactly the analytic model.
         double duration = 0.0;
@@ -215,64 +578,87 @@ SimReport simulate(const core::Instance& instance,
               now - (report.devices[static_cast<std::size_t>(i)]
                          .travel_time_s);
         }
-        queue.push(now + duration, EventKind::kSessionEnd, e.coalition);
+        queue.push(now + duration, EventKind::kSessionEnd, e.coalition,
+                   -1, cs.epoch);
         break;
       }
       case EventKind::kSessionEnd: {
         auto& cs = cstate[k];
+        const core::ChargerId j = serving[k];
+        finalize_segment(k, now, true);
         cs.finished = true;
         auto& coutcome = report.coalitions[k];
         coutcome.end_time_s = now;
-        const double duration = now - coutcome.start_time_s;
-        coutcome.session_fee = instance.params().fee_weight *
-                               instance.charger(j).price_per_s * duration;
-        // Everyone charged concurrently until session end. Linear mode:
-        // duration·power clamped by the deficit. CC-CV mode: every
-        // member had at least its own completion time, so all reach the
-        // profile's target state of charge.
-        for (core::DeviceId i : survivors[k]) {
-          auto& outcome = report.devices[static_cast<std::size_t>(i)];
-          auto& battery = batteries[static_cast<std::size_t>(i)];
-          outcome.charge_time_s = duration;
-          if (options.cc_cv.has_value()) {
-            const double target_level =
-                options.cc_cv->target_soc * battery.capacity();
-            const double missing =
-                std::max(0.0, target_level - battery.level());
-            outcome.energy_received_j = battery.charge(missing);
-            outcome.fully_charged =
-                battery.level() >= target_level - 1e-9;
-          } else {
-            const double delivered = duration * realized_power(j);
-            outcome.energy_received_j = battery.charge(delivered);
-            outcome.fully_charged = battery.is_full();
-          }
-        }
-        // Split the realized fee by the active sharing scheme, scaled
-        // from the scheduled shares (which are proportional to the
-        // scheduled fee) to the realized fee.
-        const double scheduled_fee = cost.session_fee(j, survivors[k]);
-        const std::vector<double> scheduled_shares =
-            core::fee_shares(scheme, cost, j, survivors[k]);
-        for (std::size_t idx = 0; idx < survivors[k].size(); ++idx) {
-          const double weight =
-              scheduled_fee > 0.0
-                  ? scheduled_shares[idx] / scheduled_fee
-                  : 1.0 / static_cast<double>(survivors[k].size());
-          report.devices[static_cast<std::size_t>(survivors[k][idx])]
-              .fee_share = coutcome.session_fee * weight;
+        coutcome.served = true;
+        if (cs.recovered) {
+          ++report.faults.recovery_successes;
         }
         auto& chs = charger_state[static_cast<std::size_t>(j)];
         chs.busy = false;
+        chs.active = -1;
+        try_start_session(j, now);
+        break;
+      }
+      case EventKind::kFaultStart: {
+        const fault::FaultEvent& fe =
+            options.fault_plan->events()[static_cast<std::size_t>(e.aux)];
+        if (fe.kind == fault::FaultKind::kDeviceDropout) {
+          on_device_dropout(fe, now);
+        } else {
+          on_charger_fault(fe, now);
+        }
+        break;
+      }
+      case EventKind::kFaultClear: {
+        const fault::FaultEvent& fe =
+            options.fault_plan->events()[static_cast<std::size_t>(e.aux)];
+        const core::ChargerId j = fe.charger;
+        auto& chs = charger_state[static_cast<std::size_t>(j)];
+        if (chs.dead) {
+          break;
+        }
+        if (fe.power_factor > 0.0) {
+          // Brown-out ends: checkpoint at the reduced power, resume full.
+          const int a = chs.active;
+          if (a >= 0 && cstate[static_cast<std::size_t>(a)].started) {
+            finalize_segment(static_cast<std::size_t>(a), now, false);
+            chs.fault_factor = 1.0;
+            replan_segment(static_cast<std::size_t>(a), now);
+          } else {
+            chs.fault_factor = 1.0;
+          }
+        } else {
+          chs.out = false;
+          try_start_session(j, now);
+        }
+        break;
+      }
+      case EventKind::kRelocation: {
+        auto& cs = cstate[k];
+        const core::ChargerId j = serving[k];
+        if (charger_state[static_cast<std::size_t>(j)].dead) {
+          // The replacement died while the coalition was traveling.
+          recover_or_strand(k, now);
+          break;
+        }
+        charger_state[static_cast<std::size_t>(j)].waiting.push_back(
+            e.coalition);
+        cs.queued = true;
         try_start_session(j, now);
         break;
       }
     }
-    report.makespan_s = std::max(report.makespan_s, now);
+    // Fault bookkeeping is not service: an outage clearing on an idle
+    // charger hours after the last session must not stretch the makespan.
+    if (e.kind != EventKind::kFaultStart &&
+        e.kind != EventKind::kFaultClear) {
+      report.makespan_s = std::max(report.makespan_s, now);
+    }
   }
 
   for (const CoalitionState& cs : cstate) {
-    CC_ASSERT(cs.finished, "simulation ended with an unserved coalition");
+    CC_ASSERT(cs.finished,
+              "simulation ended with an unaccounted coalition");
   }
   return report;
 }

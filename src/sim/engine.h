@@ -14,12 +14,20 @@
 /// With unit power factors and no charger contention, the realized
 /// comprehensive cost equals the analytic `Schedule::total_cost` — a
 /// fidelity property the test suite checks exactly.
+///
+/// A `fault::FaultPlan` injects infrastructure failures into the replay:
+/// sessions run in *segments* separated by outages, brown-outs, and
+/// dropouts (fee prorated per segment, partial charge kept), and charger
+/// death routes orphaned coalitions through the recovery layer. See
+/// docs/model.md §7.
 
 #include <optional>
 #include <vector>
 
 #include "core/schedule.h"
 #include "energy/wpt.h"
+#include "fault/fault_plan.h"
+#include "fault/recovery.h"
 #include "sim/event_queue.h"
 #include "sim/report.h"
 
@@ -61,6 +69,15 @@ struct SimOptions {
   /// skipped at zero cost.
   double device_failure_prob = 0.0;
   std::uint64_t failure_seed = 1234;
+  /// Scripted fault timeline: charger outage windows and brown-outs
+  /// pause or slow the affected sessions (fees prorated to the active
+  /// segments, partial charge kept); permanent charger death hands the
+  /// orphaned coalitions to the recovery layer; device dropouts remove
+  /// members mid-run. Absent or empty ⇒ the fault-free engine, whose
+  /// output is bit-identical to a run without this option.
+  std::optional<fault::FaultPlan> fault_plan;
+  /// What happens to coalitions orphaned by charger death.
+  fault::RecoveryOptions recovery;
 };
 
 /// Runs the schedule to completion and reports realized quantities.

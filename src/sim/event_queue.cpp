@@ -4,7 +4,8 @@
 
 namespace cc::sim {
 
-void EventQueue::push(double time, EventKind kind, int coalition, int device) {
+void EventQueue::push(double time, EventKind kind, int coalition, int device,
+                      int aux) {
   CC_EXPECTS(time >= 0.0, "event time must be nonnegative");
   Event e;
   e.time = time;
@@ -12,6 +13,7 @@ void EventQueue::push(double time, EventKind kind, int coalition, int device) {
   e.kind = kind;
   e.coalition = coalition;
   e.device = device;
+  e.aux = aux;
   heap_.push(e);
 }
 

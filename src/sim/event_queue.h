@@ -15,6 +15,9 @@ enum class EventKind {
   kArrival,       ///< device reaches the charger pad
   kSessionStart,  ///< charger begins serving a coalition
   kSessionEnd,    ///< coalition fully charged, charger freed
+  kFaultStart,    ///< a scripted fault begins (aux = fault-plan index)
+  kFaultClear,    ///< an outage window ends (aux = fault-plan index)
+  kRelocation,    ///< a recovering coalition reaches its new charger
 };
 
 struct Event {
@@ -23,12 +26,17 @@ struct Event {
   EventKind kind = EventKind::kDeparture;
   int coalition = -1;     ///< index into the schedule's coalitions
   int device = -1;        ///< device id (departure/arrival only)
+  /// Kind-specific payload: fault-plan index for kFaultStart/kFaultClear,
+  /// coalition session epoch for kSessionStart/kSessionEnd/kRelocation
+  /// (stale events — epoch moved on — are ignored by the engine).
+  int aux = -1;
 };
 
 /// Min-heap on (time, seq).
 class EventQueue {
  public:
-  void push(double time, EventKind kind, int coalition, int device = -1);
+  void push(double time, EventKind kind, int coalition, int device = -1,
+            int aux = -1);
 
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }

@@ -14,14 +14,34 @@ double SimReport::realized_total_cost() const {
 }
 
 double SimReport::mean_wait_s() const {
+  double total = 0.0;
+  long counted = 0;
+  for (const DeviceOutcome& d : devices) {
+    if (d.failed) {
+      continue;  // never departed: a zero wait would deflate the mean
+    }
+    total += d.wait_time_s;
+    ++counted;
+  }
+  return counted > 0 ? total / static_cast<double>(counted) : 0.0;
+}
+
+double SimReport::completion_ratio() const {
   if (devices.empty()) {
     return 0.0;
   }
-  double total = 0.0;
+  long charged = 0;
   for (const DeviceOutcome& d : devices) {
-    total += d.wait_time_s;
+    charged += d.fully_charged ? 1 : 0;
   }
-  return total / static_cast<double>(devices.size());
+  return static_cast<double>(charged) / static_cast<double>(devices.size());
+}
+
+double SimReport::mean_recovery_latency_s() const {
+  return faults.recovery_restarts > 0
+             ? faults.total_recovery_latency_s /
+                   static_cast<double>(faults.recovery_restarts)
+             : 0.0;
 }
 
 }  // namespace cc::sim

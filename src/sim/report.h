@@ -11,22 +11,29 @@ namespace cc::sim {
 
 /// Per-device realized quantities.
 struct DeviceOutcome {
-  double travel_time_s = 0.0;
+  double travel_time_s = 0.0;  ///< total, including recovery re-travel
   double wait_time_s = 0.0;    ///< pad arrival → session start
-  double charge_time_s = 0.0;
+  double charge_time_s = 0.0;  ///< total time spent in active sessions
   double move_cost = 0.0;      ///< weighted, as in the analytic model
   double fee_share = 0.0;      ///< realized fee split by the active scheme
   double energy_received_j = 0.0;
   bool fully_charged = false;
-  bool failed = false;  ///< crashed before departure (failure injection)
+  bool failed = false;    ///< crashed before departure (failure injection)
+  bool dropped = false;   ///< dropped out mid-run (fault plan)
+  bool stranded = false;  ///< orphaned by charger death, never re-served
 };
 
 /// Per-coalition realized quantities.
 struct CoalitionOutcome {
   double ready_time_s = 0.0;   ///< last member arrival
-  double start_time_s = 0.0;
+  double start_time_s = 0.0;   ///< first session segment start
   double end_time_s = 0.0;
-  double session_fee = 0.0;    ///< realized π_j · duration (weighted)
+  double session_fee = 0.0;    ///< realized π_j · active time, all segments
+  int segments = 0;            ///< charging segments accrued (1 = fault-free)
+  int retries = 0;             ///< recovery relocations attempted
+  int final_charger = -1;      ///< charger that last held the coalition
+  bool served = false;         ///< reached a completed session end
+  bool stranded = false;       ///< orphaned by charger death, not re-served
 };
 
 /// One trace line per processed event (optional, for tests/examples).
@@ -37,18 +44,44 @@ struct TraceEntry {
   int device = -1;
 };
 
+/// Fault-timeline accounting: what went wrong and what recovery did
+/// about it. All zeros on a fault-free run.
+struct FaultStats {
+  int charger_outages = 0;    ///< temporary outage/brown-out windows begun
+  int charger_deaths = 0;
+  int device_dropouts = 0;    ///< dropouts that removed an active device
+  int sessions_aborted = 0;   ///< active sessions cut by outage or death
+  int coalitions_stranded = 0;
+  int recovery_attempts = 0;  ///< re-admissions issued (includes retries)
+  int recovery_restarts = 0;  ///< re-admitted coalitions back in service
+  int recovery_successes = 0; ///< re-admitted coalitions fully served
+  double stranded_demand_j = 0.0;  ///< unmet deficit of stranded survivors
+  double total_recovery_latency_s = 0.0;  ///< fault → service restart
+};
+
 struct SimReport {
   std::vector<DeviceOutcome> devices;      // indexed by DeviceId
   std::vector<CoalitionOutcome> coalitions;
   std::vector<TraceEntry> trace;           // empty unless tracing enabled
+  FaultStats faults;
   double makespan_s = 0.0;
   long events_processed = 0;
 
   /// Realized comprehensive cost = Σ fees + Σ moving costs.
   [[nodiscard]] double realized_total_cost() const;
 
-  /// Mean waiting time across devices.
+  /// Mean waiting time across devices that actually took part (devices
+  /// crashed before departure never waited and are excluded, so the
+  /// mean does not deflate as the failure probability rises).
   [[nodiscard]] double mean_wait_s() const;
+
+  /// Fraction of all devices that ended fully charged — the headline
+  /// graceful-degradation metric (1.0 on a fault-free run).
+  [[nodiscard]] double completion_ratio() const;
+
+  /// Mean fault → service-restart latency over re-admitted coalitions
+  /// that got back into service; 0 when none did.
+  [[nodiscard]] double mean_recovery_latency_s() const;
 };
 
 }  // namespace cc::sim

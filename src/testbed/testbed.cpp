@@ -67,6 +67,7 @@ FieldResult run_field_trials(const core::Scheduler& scheduler,
   util::Rng master(config.seed);
   std::vector<double> realized_costs;
   std::vector<double> scheduled_costs;
+  std::vector<double> completion_ratios;
   for (int trial = 0; trial < config.num_trials; ++trial) {
     // One fork per trial: all algorithms run against identical noise.
     util::Rng trial_rng = master.fork();
@@ -83,6 +84,18 @@ FieldResult run_field_trials(const core::Scheduler& scheduler,
           config.power_sigma));
     }
 
+    if (config.fault_model.active()) {
+      // Seed from (config seed, trial index) only: the plan must not
+      // depend on the algorithm, and sampling it must not perturb the
+      // noise stream of fault-free runs.
+      const std::uint64_t plan_seed =
+          config.seed ^
+          (0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(trial) + 1));
+      sim_options.fault_plan =
+          fault::sample_fault_plan(instance, config.fault_model, plan_seed);
+      sim_options.recovery = config.recovery;
+    }
+
     const core::SchedulerResult scheduled = scheduler.run(instance);
     const core::CostModel cost(instance);
     const sim::SimReport report =
@@ -94,12 +107,21 @@ FieldResult run_field_trials(const core::Scheduler& scheduler,
     outcome.realized_cost = report.realized_total_cost();
     outcome.makespan_s = report.makespan_s;
     outcome.mean_wait_s = report.mean_wait_s();
+    outcome.completion_ratio = report.completion_ratio();
+    outcome.stranded_demand_j = report.faults.stranded_demand_j;
+    outcome.mean_recovery_latency_s = report.mean_recovery_latency_s();
+    outcome.sessions_aborted = report.faults.sessions_aborted;
+    outcome.coalitions_stranded = report.faults.coalitions_stranded;
+    outcome.recovery_attempts = report.faults.recovery_attempts;
+    outcome.recovery_successes = report.faults.recovery_successes;
     realized_costs.push_back(outcome.realized_cost);
     scheduled_costs.push_back(outcome.scheduled_cost);
+    completion_ratios.push_back(outcome.completion_ratio);
     result.trials.push_back(outcome);
   }
   result.realized = util::summarize(realized_costs);
   result.scheduled = util::summarize(scheduled_costs);
+  result.completion = util::summarize(completion_ratios);
   return result;
 }
 

@@ -20,6 +20,8 @@
 
 #include "core/generator.h"
 #include "core/scheduler.h"
+#include "fault/fault_plan.h"
+#include "fault/recovery.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -40,6 +42,12 @@ struct TestbedConfig {
   double unit_move_cost = 6.1;  ///< $/m (calibrated)
   double price_per_s = 0.8;     ///< π ($/s), all chargers
   std::uint64_t seed = 2021;
+  /// Fault timeline sampled per trial from these rates. The plan seed is
+  /// derived from `seed` and the trial index only, so every algorithm
+  /// faces the *same* faults (paired comparison). Inactive by default.
+  fault::FaultModel fault_model;
+  /// Recovery discipline for coalitions orphaned by charger death.
+  fault::RecoveryOptions recovery;
 };
 
 /// Builds the lab deployment for one trial: fixed positions (a 12 m × 8 m
@@ -57,14 +65,23 @@ struct TrialOutcome {
   double realized_cost = 0.0;   ///< measured on the simulator, noisy power
   double makespan_s = 0.0;
   double mean_wait_s = 0.0;
+  /// Graceful-degradation metrics (trivial on a fault-free trial).
+  double completion_ratio = 1.0;   ///< fraction of nodes fully charged
+  double stranded_demand_j = 0.0;  ///< unmet deficit of stranded nodes
+  double mean_recovery_latency_s = 0.0;
+  int sessions_aborted = 0;
+  int coalitions_stranded = 0;
+  int recovery_attempts = 0;
+  int recovery_successes = 0;
 };
 
 /// Aggregate over all trials for one algorithm.
 struct FieldResult {
   std::string algorithm;
   std::vector<TrialOutcome> trials;
-  util::Summary realized;   ///< summary of realized costs
-  util::Summary scheduled;  ///< summary of scheduled costs
+  util::Summary realized;    ///< summary of realized costs
+  util::Summary scheduled;   ///< summary of scheduled costs
+  util::Summary completion;  ///< summary of completion ratios
 };
 
 /// Runs `config.num_trials` field trials of one scheduler. Trials are

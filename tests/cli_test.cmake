@@ -53,6 +53,22 @@ if(NOT out MATCHES "standalone")
   message(FATAL_ERROR "payments table missing")
 endif()
 
+# Simulate under a fault timeline with recovery; fault stats must print.
+run_cli(0 out --instance=instance.txt --schedule=sched.txt --simulate
+        --mtbf=40 --mttr=10 --death-prob=0.3 --brownout-prob=0.3
+        --dropout-hazard=0.002 --fault-seed=11 --recovery=readmit
+        --retries=2)
+if(NOT out MATCHES "completion ratio")
+  message(FATAL_ERROR "fault stats missing from simulation output")
+endif()
+if(NOT out MATCHES "recovery")
+  message(FATAL_ERROR "recovery stats missing from simulation output")
+endif()
+
+# Usage error: unknown recovery policy.
+run_cli(1 out --instance=instance.txt --schedule=sched.txt --simulate
+        --recovery=bogus)
+
 # Usage error: neither --generate nor --instance.
 run_cli(1 out --algo=ccsa)
 

@@ -1,0 +1,471 @@
+// Tests for the fault-timeline subsystem: plan validation, the seeded
+// sampler, segmented session accounting under outages/brown-outs,
+// charger death with and without recovery, device dropouts, and the
+// bit-for-bit fidelity of the zero-fault path.
+
+#include <gtest/gtest.h>
+
+#include "core/ccsa.h"
+#include "core/generator.h"
+#include "fault/fault_plan.h"
+#include "fault/recovery.h"
+#include "sim/engine.h"
+#include "util/assert.h"
+
+namespace {
+
+using cc::core::Charger;
+using cc::core::Coalition;
+using cc::core::Device;
+using cc::core::Instance;
+using cc::core::Schedule;
+using cc::core::SharingScheme;
+using cc::fault::FaultEvent;
+using cc::fault::FaultKind;
+using cc::fault::FaultModel;
+using cc::fault::FaultPlan;
+using cc::fault::RecoveryPolicy;
+using cc::sim::SimOptions;
+using cc::sim::SimReport;
+
+// Two chargers 10 m apart; device 0 sits on charger 0's pad (zero
+// travel), device 1 is 1 m away. 2 W pads, $1/s, unit weights: a 40 J
+// demand is a 20 s session costing $20 in fees.
+Instance lab_instance() {
+  std::vector<Device> devices(2);
+  devices[0].position = {0.0, 0.0};
+  devices[0].demand_j = 40.0;
+  devices[0].battery_capacity_j = 50.0;
+  devices[0].motion.unit_cost = 1.0;
+  devices[0].motion.speed_m_per_s = 1.0;
+  devices[1] = devices[0];
+  devices[1].position = {0.0, 1.0};
+  devices[1].demand_j = 30.0;
+  devices[1].battery_capacity_j = 40.0;
+  std::vector<Charger> chargers(2);
+  chargers[0].position = {0.0, 0.0};
+  chargers[0].power_w = 2.0;
+  chargers[0].price_per_s = 1.0;
+  chargers[1].position = {10.0, 0.0};
+  chargers[1].power_w = 2.0;
+  chargers[1].price_per_s = 1.0;
+  return Instance(std::move(devices), std::move(chargers));
+}
+
+Schedule pair_on_charger0() {
+  Coalition c;
+  c.charger = 0;
+  c.members = {0, 1};
+  return Schedule({c});
+}
+
+FaultEvent outage(int charger, double start, double end,
+                  double factor = 0.0) {
+  FaultEvent e;
+  e.kind = FaultKind::kChargerOutage;
+  e.charger = charger;
+  e.start_s = start;
+  e.end_s = end;
+  e.power_factor = factor;
+  return e;
+}
+
+FaultEvent death(int charger, double start) {
+  FaultEvent e;
+  e.kind = FaultKind::kChargerDeath;
+  e.charger = charger;
+  e.start_s = start;
+  return e;
+}
+
+FaultEvent dropout(int device, double start) {
+  FaultEvent e;
+  e.kind = FaultKind::kDeviceDropout;
+  e.device = device;
+  e.start_s = start;
+  return e;
+}
+
+void expect_reports_identical(const SimReport& a, const SimReport& b) {
+  ASSERT_EQ(a.devices.size(), b.devices.size());
+  for (std::size_t i = 0; i < a.devices.size(); ++i) {
+    EXPECT_EQ(a.devices[i].travel_time_s, b.devices[i].travel_time_s);
+    EXPECT_EQ(a.devices[i].wait_time_s, b.devices[i].wait_time_s);
+    EXPECT_EQ(a.devices[i].charge_time_s, b.devices[i].charge_time_s);
+    EXPECT_EQ(a.devices[i].move_cost, b.devices[i].move_cost);
+    EXPECT_EQ(a.devices[i].fee_share, b.devices[i].fee_share);
+    EXPECT_EQ(a.devices[i].energy_received_j,
+              b.devices[i].energy_received_j);
+    EXPECT_EQ(a.devices[i].fully_charged, b.devices[i].fully_charged);
+    EXPECT_EQ(a.devices[i].failed, b.devices[i].failed);
+    EXPECT_EQ(a.devices[i].dropped, b.devices[i].dropped);
+    EXPECT_EQ(a.devices[i].stranded, b.devices[i].stranded);
+  }
+  ASSERT_EQ(a.coalitions.size(), b.coalitions.size());
+  for (std::size_t k = 0; k < a.coalitions.size(); ++k) {
+    EXPECT_EQ(a.coalitions[k].ready_time_s, b.coalitions[k].ready_time_s);
+    EXPECT_EQ(a.coalitions[k].start_time_s, b.coalitions[k].start_time_s);
+    EXPECT_EQ(a.coalitions[k].end_time_s, b.coalitions[k].end_time_s);
+    EXPECT_EQ(a.coalitions[k].session_fee, b.coalitions[k].session_fee);
+    EXPECT_EQ(a.coalitions[k].segments, b.coalitions[k].segments);
+    EXPECT_EQ(a.coalitions[k].retries, b.coalitions[k].retries);
+    EXPECT_EQ(a.coalitions[k].final_charger,
+              b.coalitions[k].final_charger);
+    EXPECT_EQ(a.coalitions[k].served, b.coalitions[k].served);
+    EXPECT_EQ(a.coalitions[k].stranded, b.coalitions[k].stranded);
+  }
+  EXPECT_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.faults.charger_outages, b.faults.charger_outages);
+  EXPECT_EQ(a.faults.charger_deaths, b.faults.charger_deaths);
+  EXPECT_EQ(a.faults.device_dropouts, b.faults.device_dropouts);
+  EXPECT_EQ(a.faults.sessions_aborted, b.faults.sessions_aborted);
+  EXPECT_EQ(a.faults.coalitions_stranded, b.faults.coalitions_stranded);
+  EXPECT_EQ(a.faults.recovery_attempts, b.faults.recovery_attempts);
+  EXPECT_EQ(a.faults.recovery_restarts, b.faults.recovery_restarts);
+  EXPECT_EQ(a.faults.recovery_successes, b.faults.recovery_successes);
+  EXPECT_EQ(a.faults.stranded_demand_j, b.faults.stranded_demand_j);
+  EXPECT_EQ(a.faults.total_recovery_latency_s,
+            b.faults.total_recovery_latency_s);
+}
+
+// ----------------------------------------------------------- validation
+
+TEST(FaultPlanTest, AcceptsWellFormedPlan) {
+  const Instance inst = lab_instance();
+  FaultPlan plan({outage(0, 2.0, 5.0), outage(0, 6.0, 7.0, 0.5),
+                  death(1, 3.0), dropout(1, 4.0)});
+  EXPECT_NO_THROW(plan.validate(inst));
+}
+
+TEST(FaultPlanTest, RejectsMalformedEvents) {
+  const Instance inst = lab_instance();
+  EXPECT_THROW(FaultPlan({outage(7, 1.0, 2.0)}).validate(inst),
+               cc::util::AssertionError);  // unknown charger
+  EXPECT_THROW(FaultPlan({dropout(9, 1.0)}).validate(inst),
+               cc::util::AssertionError);  // unknown device
+  EXPECT_THROW(FaultPlan({outage(0, -1.0, 2.0)}).validate(inst),
+               cc::util::AssertionError);  // negative start
+  EXPECT_THROW(FaultPlan({outage(0, 3.0, 3.0)}).validate(inst),
+               cc::util::AssertionError);  // empty window
+  FaultEvent full = outage(0, 1.0, 2.0, 1.0);
+  EXPECT_THROW(FaultPlan({full}).validate(inst),
+               cc::util::AssertionError);  // factor must be < 1
+  EXPECT_THROW(
+      FaultPlan({outage(0, 1.0, 4.0), outage(0, 3.0, 5.0)}).validate(inst),
+      cc::util::AssertionError);  // overlapping windows
+  EXPECT_THROW(
+      FaultPlan({death(0, 1.0), outage(0, 2.0, 3.0)}).validate(inst),
+      cc::util::AssertionError);  // fault after death
+}
+
+// -------------------------------------------------------------- sampler
+
+TEST(FaultSamplerTest, DeterministicInSeedAndDistinctAcrossSeeds) {
+  const Instance inst = lab_instance();
+  FaultModel model;
+  model.charger_mtbf_s = 20.0;
+  model.charger_mttr_s = 5.0;
+  model.death_prob = 0.2;
+  model.brownout_prob = 0.4;
+  model.dropout_hazard_per_s = 0.01;
+  model.horizon_s = 200.0;
+  const FaultPlan a = cc::fault::sample_fault_plan(inst, model, 42);
+  const FaultPlan b = cc::fault::sample_fault_plan(inst, model, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t f = 0; f < a.size(); ++f) {
+    EXPECT_EQ(a.events()[f].kind, b.events()[f].kind);
+    EXPECT_EQ(a.events()[f].start_s, b.events()[f].start_s);
+    EXPECT_EQ(a.events()[f].end_s, b.events()[f].end_s);
+    EXPECT_EQ(a.events()[f].charger, b.events()[f].charger);
+    EXPECT_EQ(a.events()[f].device, b.events()[f].device);
+    EXPECT_EQ(a.events()[f].power_factor, b.events()[f].power_factor);
+  }
+  const FaultPlan c = cc::fault::sample_fault_plan(inst, model, 43);
+  bool differs = a.size() != c.size();
+  for (std::size_t f = 0; !differs && f < a.size(); ++f) {
+    differs = a.events()[f].start_s != c.events()[f].start_s;
+  }
+  EXPECT_TRUE(differs) << "different seeds produced the same plan";
+}
+
+TEST(FaultSamplerTest, InactiveModelSamplesNothing) {
+  const Instance inst = lab_instance();
+  const FaultModel model;  // all rates zero
+  EXPECT_FALSE(model.active());
+  EXPECT_TRUE(cc::fault::sample_fault_plan(inst, model, 1).empty());
+}
+
+// ---------------------------------------------------- outage / brownout
+
+TEST(FaultEngineTest, OutageAbortsAndResumesWithProratedFee) {
+  const Instance inst = lab_instance();
+  const Schedule schedule = pair_on_charger0();
+  const SimReport clean =
+      cc::sim::simulate(inst, schedule, SharingScheme::kEgalitarian);
+
+  SimOptions options;
+  options.fault_plan = FaultPlan({outage(0, 6.0, 11.0)});
+  const SimReport faulted = cc::sim::simulate(
+      inst, schedule, SharingScheme::kEgalitarian, options);
+
+  // Session: ready t=1, runs 5 s, pauses 5 s, resumes for the remaining
+  // 15 s. Everyone completes; the fee covers active time only, so it
+  // matches the fault-free fee while the makespan stretches by the gap.
+  EXPECT_DOUBLE_EQ(faulted.completion_ratio(), 1.0);
+  EXPECT_TRUE(faulted.coalitions[0].served);
+  EXPECT_EQ(faulted.coalitions[0].segments, 2);
+  EXPECT_EQ(faulted.faults.charger_outages, 1);
+  EXPECT_EQ(faulted.faults.sessions_aborted, 1);
+  EXPECT_NEAR(faulted.coalitions[0].session_fee,
+              clean.coalitions[0].session_fee, 1e-9);
+  EXPECT_NEAR(faulted.makespan_s, clean.makespan_s + 5.0, 1e-9);
+  for (const auto& d : faulted.devices) {
+    EXPECT_TRUE(d.fully_charged);
+  }
+}
+
+TEST(FaultEngineTest, BrownoutSlowsSessionAndRaisesFee) {
+  const Instance inst = lab_instance();
+  const Schedule schedule = pair_on_charger0();
+  const SimReport clean =
+      cc::sim::simulate(inst, schedule, SharingScheme::kEgalitarian);
+
+  SimOptions options;
+  options.fault_plan = FaultPlan({outage(0, 6.0, 16.0, 0.5)});
+  const SimReport faulted = cc::sim::simulate(
+      inst, schedule, SharingScheme::kEgalitarian, options);
+
+  // 5 s at 2 W, 10 s at 1 W, then 10 s at 2 W: service never pauses but
+  // the session runs 25 s of billed time instead of 20.
+  EXPECT_DOUBLE_EQ(faulted.completion_ratio(), 1.0);
+  EXPECT_EQ(faulted.coalitions[0].segments, 3);
+  EXPECT_EQ(faulted.faults.sessions_aborted, 0);
+  EXPECT_NEAR(faulted.coalitions[0].session_fee,
+              clean.coalitions[0].session_fee + 5.0, 1e-9);
+  EXPECT_NEAR(faulted.makespan_s, clean.makespan_s + 5.0, 1e-9);
+  EXPECT_NEAR(faulted.devices[0].energy_received_j, 40.0, 1e-9);
+}
+
+// -------------------------------------------------- death and recovery
+
+TEST(FaultEngineTest, DeathWithoutRecoveryStrandsTheCoalition) {
+  const Instance inst = lab_instance();
+  const Schedule schedule = pair_on_charger0();
+  SimOptions options;
+  options.fault_plan = FaultPlan({death(0, 6.0)});
+  const SimReport report = cc::sim::simulate(
+      inst, schedule, SharingScheme::kEgalitarian, options);
+
+  // 5 s of service delivered 10 J to each member before the pad died;
+  // with no recovery the remaining 30 + 20 J demand is stranded.
+  EXPECT_DOUBLE_EQ(report.completion_ratio(), 0.0);
+  EXPECT_TRUE(report.coalitions[0].stranded);
+  EXPECT_FALSE(report.coalitions[0].served);
+  EXPECT_EQ(report.faults.charger_deaths, 1);
+  EXPECT_EQ(report.faults.coalitions_stranded, 1);
+  EXPECT_NEAR(report.faults.stranded_demand_j, 50.0, 1e-9);
+  EXPECT_NEAR(report.devices[0].energy_received_j, 10.0, 1e-9);
+  EXPECT_NEAR(report.devices[1].energy_received_j, 10.0, 1e-9);
+  // The aborted segment is still billed: 5 s at $1/s, split evenly.
+  EXPECT_NEAR(report.coalitions[0].session_fee, 5.0, 1e-9);
+  for (const auto& d : report.devices) {
+    EXPECT_TRUE(d.stranded);
+    EXPECT_NEAR(d.fee_share, 2.5, 1e-9);
+  }
+}
+
+TEST(FaultEngineTest, ReadmissionBeatsStrandingOnTheSamePlan) {
+  const Instance inst = lab_instance();
+  const Schedule schedule = pair_on_charger0();
+  const FaultPlan plan({death(0, 6.0)});
+
+  SimOptions none;
+  none.fault_plan = plan;
+  const SimReport stranded = cc::sim::simulate(
+      inst, schedule, SharingScheme::kEgalitarian, none);
+
+  SimOptions readmit;
+  readmit.fault_plan = plan;
+  readmit.recovery.policy = RecoveryPolicy::kOnlineReadmit;
+  const SimReport recovered = cc::sim::simulate(
+      inst, schedule, SharingScheme::kEgalitarian, readmit);
+
+  // The acceptance property: on the same fault plan, re-admission gives
+  // strictly higher completion and strictly lower stranded demand.
+  EXPECT_GT(recovered.completion_ratio(), stranded.completion_ratio());
+  EXPECT_LT(recovered.faults.stranded_demand_j,
+            stranded.faults.stranded_demand_j);
+
+  // Mechanics: 10 m re-travel to charger 1 at 1 m/s, restart at t=16,
+  // 15 s to clear the remaining max deficit (30 J at 2 W).
+  EXPECT_DOUBLE_EQ(recovered.completion_ratio(), 1.0);
+  EXPECT_EQ(recovered.coalitions[0].final_charger, 1);
+  EXPECT_EQ(recovered.coalitions[0].retries, 1);
+  EXPECT_EQ(recovered.faults.recovery_attempts, 1);
+  EXPECT_EQ(recovered.faults.recovery_restarts, 1);
+  EXPECT_EQ(recovered.faults.recovery_successes, 1);
+  EXPECT_NEAR(recovered.mean_recovery_latency_s(), 10.0, 1e-9);
+  EXPECT_NEAR(recovered.makespan_s, 31.0, 1e-9);
+  // Re-travel is paid for: 10 m at unit cost 1 added to each member.
+  EXPECT_NEAR(recovered.devices[0].move_cost, 10.0, 1e-9);
+  EXPECT_NEAR(recovered.devices[1].move_cost, 11.0, 1e-9);
+}
+
+TEST(FaultEngineTest, ExhaustedRetriesStrand) {
+  const Instance inst = lab_instance();
+  const Schedule schedule = pair_on_charger0();
+  SimOptions options;
+  options.fault_plan = FaultPlan({death(0, 6.0)});
+  options.recovery.policy = RecoveryPolicy::kOnlineReadmit;
+  options.recovery.max_retries = 0;
+  const SimReport report = cc::sim::simulate(
+      inst, schedule, SharingScheme::kEgalitarian, options);
+  EXPECT_EQ(report.faults.recovery_attempts, 0);
+  EXPECT_TRUE(report.coalitions[0].stranded);
+}
+
+TEST(FaultEngineTest, AllChargersDeadStrandsEvenWithRecovery) {
+  const Instance inst = lab_instance();
+  const Schedule schedule = pair_on_charger0();
+  SimOptions options;
+  options.fault_plan = FaultPlan({death(1, 1.0), death(0, 6.0)});
+  options.recovery.policy = RecoveryPolicy::kOnlineReadmit;
+  const SimReport report = cc::sim::simulate(
+      inst, schedule, SharingScheme::kEgalitarian, options);
+  EXPECT_TRUE(report.coalitions[0].stranded);
+  EXPECT_EQ(report.faults.recovery_attempts, 0);
+  EXPECT_EQ(report.faults.charger_deaths, 2);
+}
+
+// -------------------------------------------------------------- dropout
+
+TEST(FaultEngineTest, MidSessionDropoutPaysForItsSegment) {
+  const Instance inst = lab_instance();
+  const Schedule schedule = pair_on_charger0();
+  SimOptions options;
+  options.fault_plan = FaultPlan({dropout(0, 6.0)});
+  const SimReport report = cc::sim::simulate(
+      inst, schedule, SharingScheme::kEgalitarian, options);
+
+  // Device 0 (the 40 J outlier) leaves 5 s into the session: it pays
+  // half of the $5 segment and keeps its 10 J; device 1 carries on
+  // alone and finishes its remaining 20 J in 10 s.
+  EXPECT_EQ(report.faults.device_dropouts, 1);
+  EXPECT_TRUE(report.devices[0].dropped);
+  EXPECT_FALSE(report.devices[0].fully_charged);
+  EXPECT_TRUE(report.devices[1].fully_charged);
+  EXPECT_NEAR(report.devices[0].energy_received_j, 10.0, 1e-9);
+  EXPECT_NEAR(report.devices[0].fee_share, 2.5, 1e-9);
+  EXPECT_NEAR(report.devices[1].fee_share, 2.5 + 10.0, 1e-9);
+  EXPECT_NEAR(report.makespan_s, 16.0, 1e-9);
+  EXPECT_TRUE(report.coalitions[0].served);
+  EXPECT_EQ(report.coalitions[0].segments, 2);
+}
+
+TEST(FaultEngineTest, DropoutInTransitShrinksTheGather) {
+  const Instance inst = lab_instance();
+  const Schedule schedule = pair_on_charger0();
+  SimOptions options;
+  options.fault_plan = FaultPlan({dropout(1, 0.5)});
+  const SimReport report = cc::sim::simulate(
+      inst, schedule, SharingScheme::kEgalitarian, options);
+
+  // Device 1 drops while walking: device 0 no longer waits for it and
+  // starts at t=0.5 with a 20 s session.
+  EXPECT_TRUE(report.devices[0].fully_charged);
+  EXPECT_FALSE(report.devices[1].fully_charged);
+  EXPECT_NEAR(report.coalitions[0].start_time_s, 0.5, 1e-9);
+  EXPECT_NEAR(report.makespan_s, 20.5, 1e-9);
+  EXPECT_NEAR(report.devices[1].fee_share, 0.0, 1e-9);
+}
+
+TEST(FaultEngineTest, WholeCoalitionDroppingOutFreesTheCharger) {
+  const Instance inst = lab_instance();
+  const Schedule schedule = pair_on_charger0();
+  SimOptions options;
+  options.fault_plan = FaultPlan({dropout(0, 6.0), dropout(1, 7.0)});
+  const SimReport report = cc::sim::simulate(
+      inst, schedule, SharingScheme::kEgalitarian, options);
+  EXPECT_EQ(report.faults.device_dropouts, 2);
+  EXPECT_FALSE(report.coalitions[0].served);
+  EXPECT_FALSE(report.coalitions[0].stranded);
+  EXPECT_DOUBLE_EQ(report.completion_ratio(), 0.0);
+  // Both paid for the segments they sat through.
+  EXPECT_GT(report.devices[0].fee_share, 0.0);
+  EXPECT_GT(report.devices[1].fee_share, 0.0);
+}
+
+// ------------------------------------------------- fidelity, determinism
+
+TEST(FaultFidelityTest, EmptyPlanIsBitIdenticalToNoPlan) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    cc::core::GeneratorConfig config;
+    config.num_devices = 14;
+    config.num_chargers = 4;
+    config.seed = seed;
+    const Instance inst = cc::core::generate(config);
+    const auto result = cc::core::Ccsa().run(inst);
+
+    SimOptions plain;
+    plain.travel_drains_battery = true;
+    const SimReport a = cc::sim::simulate(
+        inst, result.schedule, SharingScheme::kProportional, plain);
+
+    SimOptions with_plan = plain;
+    with_plan.fault_plan = FaultPlan{};  // present but empty
+    with_plan.recovery.policy = RecoveryPolicy::kOnlineReadmit;
+    const SimReport b = cc::sim::simulate(
+        inst, result.schedule, SharingScheme::kProportional, with_plan);
+
+    expect_reports_identical(a, b);
+  }
+}
+
+TEST(FaultFidelityTest, SameSeedSamePlanSameReport) {
+  cc::core::GeneratorConfig config;
+  config.num_devices = 16;
+  config.num_chargers = 4;
+  config.seed = 9;
+  const Instance inst = cc::core::generate(config);
+  const auto result = cc::core::Ccsa().run(inst);
+
+  FaultModel model;
+  model.charger_mtbf_s = 30.0;
+  model.charger_mttr_s = 10.0;
+  model.death_prob = 0.3;
+  model.brownout_prob = 0.3;
+  model.dropout_hazard_per_s = 0.005;
+  model.horizon_s = 150.0;
+
+  const auto run = [&](std::uint64_t fault_seed) {
+    SimOptions options;
+    options.fault_plan =
+        cc::fault::sample_fault_plan(inst, model, fault_seed);
+    options.recovery.policy = RecoveryPolicy::kOnlineReadmit;
+    return cc::sim::simulate(inst, result.schedule,
+                             SharingScheme::kEgalitarian, options);
+  };
+
+  const SimReport a = run(7);
+  const SimReport b = run(7);
+  expect_reports_identical(a, b);
+
+  const SimReport c = run(8);
+  const bool differs = a.makespan_s != c.makespan_s ||
+                       a.events_processed != c.events_processed ||
+                       a.realized_total_cost() != c.realized_total_cost();
+  EXPECT_TRUE(differs) << "different fault seeds replayed identically";
+}
+
+TEST(FaultEngineTest, RejectsNegativeRetryBudget) {
+  const Instance inst = lab_instance();
+  const Schedule schedule = pair_on_charger0();
+  SimOptions options;
+  options.recovery.max_retries = -1;
+  EXPECT_THROW(cc::sim::simulate(inst, schedule,
+                                 SharingScheme::kEgalitarian, options),
+               cc::util::AssertionError);
+}
+
+}  // namespace

@@ -149,6 +149,76 @@ TEST_P(FuzzSweep, CorruptedSchedulesAreRejected) {
   }
 }
 
+TEST_P(FuzzSweep, FaultPlansPreserveAccountingInvariants) {
+  // Randomized fault timelines (outages, brown-outs, deaths, dropouts)
+  // over wild instances, with and without recovery: fees stay
+  // nonnegative and budget-balanced, nobody receives more than their
+  // demand, and every coalition is accounted for — served, stranded, or
+  // emptied by failures/dropouts — never silently lost.
+  cc::util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7103);
+  const Instance inst = wild_instance(rng);
+  const auto schedule = cc::core::Ccsa().run(inst).schedule;
+
+  cc::fault::FaultModel model;
+  model.charger_mtbf_s = rng.uniform(20.0, 200.0);
+  model.charger_mttr_s = rng.uniform(1.0, 50.0);
+  model.death_prob = rng.uniform(0.0, 0.6);
+  model.brownout_prob = rng.uniform(0.0, 0.8);
+  model.dropout_hazard_per_s = rng.bernoulli(0.5) ? 0.002 : 0.0;
+  model.horizon_s = rng.uniform(50.0, 500.0);
+
+  for (const auto policy : {cc::fault::RecoveryPolicy::kNone,
+                            cc::fault::RecoveryPolicy::kOnlineReadmit}) {
+    cc::sim::SimOptions options;
+    options.fault_plan = cc::fault::sample_fault_plan(
+        inst, model, static_cast<std::uint64_t>(GetParam()) * 31 + 1);
+    options.recovery.policy = policy;
+    options.device_failure_prob = rng.bernoulli(0.3) ? 0.2 : 0.0;
+    const auto report = cc::sim::simulate(
+        inst, schedule, SharingScheme::kProportional, options);
+
+    double share_sum = 0.0;
+    double fee_sum = 0.0;
+    for (const auto& d : report.devices) {
+      EXPECT_GE(d.fee_share, -1e-9);
+      EXPECT_GE(d.energy_received_j, -1e-9);
+      EXPECT_GE(d.move_cost, -1e-9);
+      share_sum += d.fee_share;
+    }
+    for (const auto& c : report.coalitions) {
+      EXPECT_GE(c.session_fee, -1e-9);
+      fee_sum += c.session_fee;
+    }
+    EXPECT_NEAR(share_sum, fee_sum,
+                1e-6 * std::max(1.0, fee_sum));
+    for (cc::core::DeviceId i = 0; i < inst.num_devices(); ++i) {
+      EXPECT_LE(report.devices[static_cast<std::size_t>(i)]
+                    .energy_received_j,
+                inst.device(i).demand_j + 1e-6)
+          << "device " << i << " overcharged";
+    }
+    const auto groups = schedule.coalitions();
+    for (std::size_t k = 0; k < groups.size(); ++k) {
+      const auto& c = report.coalitions[k];
+      bool all_gone = true;
+      for (cc::core::DeviceId i : groups[k].members) {
+        const auto& d = report.devices[static_cast<std::size_t>(i)];
+        all_gone = all_gone && (d.failed || d.dropped);
+      }
+      EXPECT_TRUE(c.served || c.stranded || all_gone)
+          << "coalition " << k << " silently lost";
+      EXPECT_FALSE(c.served && c.stranded)
+          << "coalition " << k << " both served and stranded";
+    }
+    int served_count = 0;
+    for (const auto& c : report.coalitions) {
+      served_count += c.served ? 1 : 0;
+    }
+    EXPECT_LE(report.faults.coalitions_stranded + served_count,
+              static_cast<int>(report.coalitions.size()));
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep, ::testing::Range(1, 26));
 
 }  // namespace

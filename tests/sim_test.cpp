@@ -415,6 +415,39 @@ TEST(SimFailureTest, DeterministicInFailureSeed) {
   EXPECT_NE(a, c);  // a different crash pattern
 }
 
+TEST(SimFailureTest, MeanWaitExcludesCrashedDevices) {
+  // Crashed devices never depart, so their zero waits must not deflate
+  // the mean: it has to equal the mean over the survivors only.
+  const Instance inst = sample_instance(56, 18, 3);
+  const auto result = cc::core::Ccsa().run(inst);
+  SimOptions options;
+  options.device_failure_prob = 0.4;
+  const SimReport report = cc::sim::simulate(
+      inst, result.schedule, SharingScheme::kEgalitarian, options);
+  double survivor_sum = 0.0;
+  long survivors = 0;
+  long crashed = 0;
+  for (const auto& d : report.devices) {
+    if (d.failed) {
+      ++crashed;
+      EXPECT_DOUBLE_EQ(d.wait_time_s, 0.0);
+    } else {
+      survivor_sum += d.wait_time_s;
+      ++survivors;
+    }
+  }
+  ASSERT_GT(crashed, 0);
+  ASSERT_GT(survivors, 0);
+  EXPECT_DOUBLE_EQ(report.mean_wait_s(),
+                   survivor_sum / static_cast<double>(survivors));
+  // Diluting over all devices would give a strictly smaller number
+  // whenever any survivor waited at all.
+  if (survivor_sum > 0.0) {
+    EXPECT_GT(report.mean_wait_s(),
+              survivor_sum / static_cast<double>(report.devices.size()));
+  }
+}
+
 TEST(SimFailureTest, RejectsBadProbability) {
   const Instance inst = sample_instance(55, 5, 2);
   const auto result = cc::core::NonCooperation().run(inst);

@@ -44,6 +44,15 @@ Flags:
   --scheme=NAME              sharing scheme for payments/simulation
                              (egalitarian|proportional|shapley)
   --simulate                 execute on the discrete-event simulator
+    --mtbf=S                 mean time between charger faults (0 = off)
+    --mttr=S                 mean outage repair time (default 30)
+    --death-prob=P           chance a charger fault is permanent
+    --brownout-prob=P        chance an outage is a brown-out instead
+    --dropout-hazard=H       per-second device dropout hazard
+    --fault-horizon=S        fault sampling horizon (default 1000)
+    --fault-seed=S           fault plan seed (default 7)
+    --recovery=NAME          none|readmit (orphans after charger death)
+    --retries=N              recovery retry budget (default 3)
   --payments                 print the per-device bill
   --svg=PATH                 render the schedule as SVG
 )";
@@ -85,12 +94,53 @@ int evaluate(const cc::core::Instance& instance,
   }
 
   if (cli.get_bool("simulate", false)) {
-    const auto report = cc::sim::simulate(instance, schedule, scheme);
+    cc::sim::SimOptions options;
+    cc::fault::FaultModel model;
+    model.charger_mtbf_s = cli.get_double("mtbf", 0.0);
+    model.charger_mttr_s = cli.get_double("mttr", model.charger_mttr_s);
+    model.death_prob = cli.get_double("death-prob", model.death_prob);
+    model.brownout_prob =
+        cli.get_double("brownout-prob", model.brownout_prob);
+    model.dropout_hazard_per_s =
+        cli.get_double("dropout-hazard", model.dropout_hazard_per_s);
+    model.horizon_s = cli.get_double("fault-horizon", model.horizon_s);
+    const std::string recovery = cli.get("recovery", "none");
+    if (recovery == "readmit") {
+      options.recovery.policy = cc::fault::RecoveryPolicy::kOnlineReadmit;
+    } else if (recovery != "none") {
+      std::cerr << "error: unknown --recovery=" << recovery
+                << " (none|readmit)\n";
+      return 1;
+    }
+    options.recovery.max_retries =
+        cli.get_int("retries", options.recovery.max_retries);
+    if (model.active()) {
+      options.fault_plan = cc::fault::sample_fault_plan(
+          instance, model,
+          static_cast<std::uint64_t>(cli.get_int("fault-seed", 7)));
+    }
+    const auto report = cc::sim::simulate(instance, schedule, scheme,
+                                          options);
     std::cout << "realized cost     : " << report.realized_total_cost()
               << '\n'
               << "makespan          : " << report.makespan_s << " s\n"
               << "mean wait         : " << report.mean_wait_s() << " s\n"
               << "events processed  : " << report.events_processed << '\n';
+    if (options.fault_plan.has_value()) {
+      const auto& f = report.faults;
+      std::cout << "fault events      : " << options.fault_plan->size()
+                << '\n'
+                << "completion ratio  : " << report.completion_ratio()
+                << '\n'
+                << "sessions aborted  : " << f.sessions_aborted << '\n'
+                << "stranded          : " << f.coalitions_stranded
+                << " coalitions, " << f.stranded_demand_j
+                << " J unmet\n"
+                << "recovery          : " << f.recovery_attempts
+                << " attempts, " << f.recovery_successes
+                << " served, mean latency "
+                << report.mean_recovery_latency_s() << " s\n";
+    }
   }
   return 0;
 }
