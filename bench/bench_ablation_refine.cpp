@@ -8,7 +8,8 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  cc::bench::init(argc, argv);
   cc::bench::banner("Ablation C — CCSA phase contributions",
                     "greedy-only vs greedy+adjust vs optimal");
 

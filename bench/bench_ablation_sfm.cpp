@@ -27,7 +27,8 @@ cc::sub::MaxModularFunction group_function_of(int n, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cc::bench::init(argc, argv);
   cc::bench::banner(
       "Ablation A — SFM solver for the min-average-cost inner step",
       "same minima; structured fastest; Wolfe general-purpose");

@@ -6,7 +6,8 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  cc::bench::init(argc, argv);
   cc::bench::banner(
       "Ablation B — discrete-event simulator fidelity & queueing",
       "realized == scheduled cost; waiting grows as chargers shrink");

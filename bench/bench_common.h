@@ -4,18 +4,35 @@
 /// Shared helpers for the reproduction benches. Every bench prints the
 /// paper-style rows to stdout and writes the same series as CSV next to
 /// the binary ("<bench>.csv").
+///
+/// All multi-seed sweeps run through the parallel experiment engine
+/// (util/thread_pool.h). Seeds are assigned per *index*, so the numbers
+/// a bench reports are identical for any `--jobs` value — parallelism
+/// only changes the wall clock.
 
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "coopcharge/coopcharge.h"
+#include "util/cli.h"
 #include "util/csv.h"
 #include "util/stats.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace cc::bench {
+
+/// Standard bench entry hook: parses `--jobs=N` (0 = one per hardware
+/// thread; `CC_JOBS` is the fallback) before any sweep touches the
+/// process-wide pool. Call first in every bench main.
+inline void init(int argc, const char* const* argv) {
+  const util::Cli cli(argc, argv);
+  if (cli.has("jobs")) {
+    util::set_default_jobs(cli.get_int("jobs", 1));
+  }
+}
 
 /// Mean comprehensive cost of `algorithm` over `seeds` instances drawn
 /// from `config` (seed field overridden per draw).
@@ -23,28 +40,47 @@ struct AlgoSweepResult {
   double mean_cost = 0.0;
   double mean_elapsed_ms = 0.0;
   util::Summary cost_summary;
+  /// Per-trial scheduler wall times — median/p95 expose the tail that a
+  /// mean hides (one slow Dinkelbach chain among fast seeds).
+  util::Summary elapsed_summary;
 };
 
 inline AlgoSweepResult sweep_algorithm(const std::string& algorithm,
                                        core::GeneratorConfig config,
                                        int seeds,
                                        std::uint64_t seed_base = 1) {
+  // Hoisted per-config state: one scheduler serves every trial
+  // (Scheduler::run is stateless — see scheduler.h).
   const auto scheduler = core::make_scheduler(algorithm);
+  struct Trial {
+    double cost = 0.0;
+    double elapsed_ms = 0.0;
+  };
+  const std::vector<Trial> trials = util::parallel_map(
+      static_cast<std::size_t>(seeds),
+      [&scheduler, &config, seed_base](std::size_t s) {
+        core::GeneratorConfig trial_config = config;
+        trial_config.seed = seed_base + static_cast<std::uint64_t>(s);
+        const core::Instance instance = core::generate(trial_config);
+        const core::CostModel cost(instance);
+        const auto result = scheduler->run(instance);
+        result.schedule.validate(instance);
+        return Trial{result.schedule.total_cost(cost),
+                     result.stats.elapsed_ms};
+      });
   std::vector<double> costs;
-  double elapsed = 0.0;
-  for (int s = 0; s < seeds; ++s) {
-    config.seed = seed_base + static_cast<std::uint64_t>(s);
-    const core::Instance instance = core::generate(config);
-    const core::CostModel cost(instance);
-    const auto result = scheduler->run(instance);
-    result.schedule.validate(instance);
-    costs.push_back(result.schedule.total_cost(cost));
-    elapsed += result.stats.elapsed_ms;
+  std::vector<double> elapsed;
+  costs.reserve(trials.size());
+  elapsed.reserve(trials.size());
+  for (const Trial& t : trials) {
+    costs.push_back(t.cost);
+    elapsed.push_back(t.elapsed_ms);
   }
   AlgoSweepResult out;
   out.cost_summary = util::summarize(costs);
   out.mean_cost = out.cost_summary.mean;
-  out.mean_elapsed_ms = elapsed / static_cast<double>(seeds);
+  out.elapsed_summary = util::summarize(elapsed);
+  out.mean_elapsed_ms = out.elapsed_summary.mean;
   return out;
 }
 

@@ -10,7 +10,8 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  cc::bench::init(argc, argv);
   cc::bench::banner("Extension — CCSGA equilibria per sharing scheme",
                     "schemes shape the equilibrium, not only the split");
 

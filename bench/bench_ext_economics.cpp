@@ -48,7 +48,8 @@ MarketPoint evaluate(const std::string& algo, double price, int seeds) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cc::bench::init(argc, argv);
   cc::bench::banner("Extension — service-model economics (price sweep)",
                     "cooperation caps provider revenue; surplus widens");
 

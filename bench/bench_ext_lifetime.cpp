@@ -9,7 +9,8 @@
 #include "bench_common.h"
 #include "lifetime/lifetime.h"
 
-int main() {
+int main(int argc, char** argv) {
+  cc::bench::init(argc, argv);
   cc::bench::banner("Extension — long-run operation (50 epochs)",
                     "cooperation compounds the one-shot saving");
 

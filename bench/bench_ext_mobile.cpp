@@ -7,7 +7,8 @@
 #include "bench_common.h"
 #include "mobile/planner.h"
 
-int main() {
+int main(int argc, char** argv) {
+  cc::bench::init(argc, argv);
   cc::bench::banner("Extension — mobile-charger service crossover",
                     "mobile wins while charger travel is cheap");
 

@@ -31,7 +31,8 @@ double mean_online_cost(cc::core::ArrivalOrder order, int n, int seeds) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cc::bench::init(argc, argv);
   cc::bench::banner("Extension — online admission vs offline CCSA",
                     "competitive ratio modest; adversarial orders worst");
 

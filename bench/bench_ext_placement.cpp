@@ -9,7 +9,8 @@
 #include "bench_common.h"
 #include "placement/placement.h"
 
-int main() {
+int main(int argc, char** argv) {
+  cc::bench::init(argc, argv);
   cc::bench::banner("Extension — charger placement (provider planning)",
                     "optimized siting beats random/lattice, most at low k");
 

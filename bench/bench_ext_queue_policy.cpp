@@ -43,7 +43,8 @@ WaitPoint evaluate(const std::string& algo, int chargers,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cc::bench::init(argc, argv);
   cc::bench::banner("Extension — charger queue disciplines",
                     "SJF <= FIFO <= LJF; cooperation shrinks queueing");
 

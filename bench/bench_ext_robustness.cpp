@@ -93,27 +93,46 @@ struct RobustnessPoint {
 
 RobustnessPoint evaluate_crashes(const std::string& algo, double failure_prob,
                                  int seeds) {
+  // Each seed is an independent trial keyed by its index (the two seed
+  // streams below derive from `s` alone), so the crash sweep fans out
+  // through the parallel engine and reduces in index order.
+  struct CrashTrial {
+    long served = 0;
+    long total = 0;
+    double cost = 0.0;
+  };
+  const auto scheduler = cc::core::make_scheduler(algo);
+  const std::vector<CrashTrial> trials = cc::util::parallel_map(
+      static_cast<std::size_t>(seeds),
+      [&scheduler, failure_prob](std::size_t s) {
+        cc::util::Rng trial_rng(static_cast<std::uint64_t>(s) * 13 + 5);
+        const auto instance =
+            cc::testbed::make_trial_instance(trial_rng, 0.2);
+        const auto result = scheduler->run(instance);
+        cc::sim::SimOptions options;
+        options.device_failure_prob = failure_prob;
+        options.failure_seed = static_cast<std::uint64_t>(s) * 31 + 7;
+        const auto report = cc::sim::simulate(
+            instance, result.schedule,
+            cc::core::SharingScheme::kEgalitarian, options);
+        CrashTrial trial;
+        for (const auto& d : report.devices) {
+          ++trial.total;
+          if (!d.failed && d.fully_charged) {
+            ++trial.served;
+          }
+        }
+        trial.cost = report.realized_total_cost();
+        return trial;
+      });
   RobustnessPoint point;
   long served = 0;
   long total = 0;
   double cost = 0.0;
-  for (int s = 0; s < seeds; ++s) {
-    cc::util::Rng trial_rng(static_cast<std::uint64_t>(s) * 13 + 5);
-    const auto instance = cc::testbed::make_trial_instance(trial_rng, 0.2);
-    const auto result = cc::core::make_scheduler(algo)->run(instance);
-    cc::sim::SimOptions options;
-    options.device_failure_prob = failure_prob;
-    options.failure_seed = static_cast<std::uint64_t>(s) * 31 + 7;
-    const auto report = cc::sim::simulate(
-        instance, result.schedule, cc::core::SharingScheme::kEgalitarian,
-        options);
-    for (const auto& d : report.devices) {
-      ++total;
-      if (!d.failed && d.fully_charged) {
-        ++served;
-      }
-    }
-    cost += report.realized_total_cost();
+  for (const CrashTrial& trial : trials) {
+    served += trial.served;
+    total += trial.total;
+    cost += trial.cost;
   }
   point.served_fraction = static_cast<double>(served) /
                           static_cast<double>(total);
@@ -128,7 +147,8 @@ const char* policy_name(cc::fault::RecoveryPolicy policy) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cc::bench::init(argc, argv);
   cc::bench::banner("Extension — robustness of the charging service",
                     "graceful degradation under faults; recovery buys "
                     "completion back");

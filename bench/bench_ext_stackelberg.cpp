@@ -73,7 +73,8 @@ PriceSearch golden_section(const std::string& algo, double lo, double hi,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cc::bench::init(argc, argv);
   cc::bench::banner("Extension — Stackelberg pricing",
                     "cooperation disciplines the provider's price");
 

@@ -4,7 +4,8 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  cc::bench::init(argc, argv);
   cc::bench::banner("Fig. 3 — comprehensive cost vs number of devices",
                     "CCSA < CCSGA < KMeans < NonCoop at every n");
 

@@ -5,7 +5,8 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  cc::bench::init(argc, argv);
   cc::bench::banner("Fig. 4 — comprehensive cost vs number of chargers",
                     "costs fall with m; cooperative advantage persists");
 

@@ -5,7 +5,8 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  cc::bench::init(argc, argv);
   cc::bench::banner("Fig. 5 — comprehensive cost vs demand scale",
                     "cooperative advantage widens as demand grows");
 

@@ -5,7 +5,8 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  cc::bench::init(argc, argv);
   cc::bench::banner("Fig. 6 — effect of the unit moving cost",
                     "cooperation gain shrinks as moving gets expensive");
 

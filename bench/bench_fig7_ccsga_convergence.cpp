@@ -6,7 +6,8 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  cc::bench::init(argc, argv);
   cc::bench::banner("Fig. 7 — CCSGA convergence to a stable partition",
                     "switch count ~ linear in n; rounds flat; always "
                     "converges");

@@ -72,7 +72,8 @@ SchemeStats evaluate(cc::core::SharingScheme scheme, int seeds) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cc::bench::init(argc, argv);
   cc::bench::banner(
       "Fig. 9 — intragroup cost-sharing schemes on CCSA schedules",
       "both schemes budget-balanced & (near) individually rational");

@@ -7,7 +7,8 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  cc::bench::init(argc, argv);
   cc::bench::banner("Table I — headline comprehensive-cost comparison",
                     "CCSA -27.3% vs noncoop; CCSA +7.3% vs optimal");
 

@@ -5,7 +5,8 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  cc::bench::init(argc, argv);
   cc::bench::banner("Table II — field experiment (5 chargers, 8 nodes)",
                     "CCSA -42.9% vs noncoop in realized comprehensive "
                     "cost");

@@ -39,9 +39,10 @@ SchedulerResult Ccsa::run(const Instance& instance) const {
       const sub::MaxModularFunction group_fn =
           cost.group_cost_function(j, uncovered);
       const sub::DensestResult densest =
-          cap > 0 ? sub::min_average_cost_capped(group_fn, cap)
+          cap > 0 ? sub::min_average_cost_capped(group_fn, cap,
+                                                 options_.incremental_oracle)
           : options_.backend == CcsaBackend::kStructured
-              ? sub::min_average_cost(group_fn)
+              ? sub::min_average_cost(group_fn, options_.incremental_oracle)
               : sub::min_average_cost(group_fn, wolfe_solver);
       if (densest.average_cost < best_average) {
         best_average = densest.average_cost;

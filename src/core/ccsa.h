@@ -30,6 +30,11 @@ struct CcsaOptions {
   CcsaBackend backend = CcsaBackend::kStructured;
   bool refine = true;      ///< run the local-search adjust phase
   int refine_rounds = 100; ///< cap on refinement passes
+  /// Reuse the cached w-order across Dinkelbach iterations instead of
+  /// rebuilding a shifted copy per step (structured backend only).
+  /// Bit-identical results; `false` keeps the legacy reference path for
+  /// the before/after runtime harness.
+  bool incremental_oracle = true;
 };
 
 class Ccsa final : public Scheduler {

@@ -4,6 +4,7 @@
 #include <limits>
 #include <numeric>
 
+#include "core/incremental_cost.h"
 #include "util/assert.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -14,15 +15,50 @@ namespace {
 
 /// Mutable partition state. Coalitions are anchored at the charger they
 /// were opened at (see ccsga.h); empty slots are tombstones for reuse.
+///
+/// With `incremental` set, every coalition slot is shadowed by an
+/// `IncrementalGroupCost` whose multiset/sums stay in lockstep with the
+/// membership — the payment peeks and consent checks then read cached
+/// aggregates instead of rebuilding enlarged coalitions and re-scanning
+/// them. Egalitarian shares reproduce the full path bit-for-bit (the
+/// fee is a max-based term and the per-member comparisons use the same
+/// expressions); proportional shares use the cached demand sum, which
+/// accumulates in move order and may drift in the last bits; Shapley
+/// stays on the full path (its shares need the whole sorted profile).
 struct GameState {
   const CostModel* cost;
   SharingScheme scheme;
   double epsilon;
+  bool incremental = true;
   std::vector<Coalition> coalitions;
+  std::vector<IncrementalGroupCost> caches;  // parallel to `coalitions`
   std::vector<int> coalition_of_device;  // device -> coalition index
+
+  [[nodiscard]] bool fast_scheme() const noexcept {
+    return incremental && scheme != SharingScheme::kShapley;
+  }
+
+  /// Fee share of a member with demand `demand` in a coalition of size
+  /// `k` whose cached evaluator reports `fee` / `demand_total`. Mirrors
+  /// `fee_shares` (sharing.cpp) expression-for-expression.
+  [[nodiscard]] double fast_share(double fee, double demand,
+                                  double demand_total, std::size_t k) const {
+    if (scheme == SharingScheme::kEgalitarian || demand_total <= 0.0) {
+      return fee / static_cast<double>(k);
+    }
+    return fee * demand / demand_total;
+  }
 
   [[nodiscard]] double member_payment(int coalition_idx, DeviceId i) const {
     const Coalition& c = coalitions[static_cast<std::size_t>(coalition_idx)];
+    if (fast_scheme()) {
+      const IncrementalGroupCost& g =
+          caches[static_cast<std::size_t>(coalition_idx)];
+      return fast_share(g.session_fee(),
+                        cost->instance().device(i).demand_j, g.demand_sum(),
+                        c.members.size()) +
+             cost->move_cost(i, c.charger);
+    }
     return payment_of(scheme, *cost, c.charger, c.members, i);
   }
 
@@ -30,6 +66,13 @@ struct GameState {
   /// target's anchored charger.
   [[nodiscard]] double payment_if_joining(int target, DeviceId i) const {
     const Coalition& c = coalitions[static_cast<std::size_t>(target)];
+    if (fast_scheme()) {
+      const IncrementalGroupCost& g = caches[static_cast<std::size_t>(target)];
+      const double di = cost->instance().device(i).demand_j;
+      return fast_share(g.fee_with(i), di, g.demand_sum() + di,
+                        c.members.size() + 1) +
+             cost->move_cost(i, c.charger);
+    }
     std::vector<DeviceId> enlarged = c.members;
     enlarged.push_back(i);
     return payment_of(scheme, *cost, c.charger, enlarged, i);
@@ -38,6 +81,27 @@ struct GameState {
   /// Consent: would any incumbent of `target` pay more after i joins?
   [[nodiscard]] bool incumbents_accept(int target, DeviceId i) const {
     const Coalition& c = coalitions[static_cast<std::size_t>(target)];
+    if (fast_scheme()) {
+      const IncrementalGroupCost& g = caches[static_cast<std::size_t>(target)];
+      const double fee_before = g.session_fee();
+      const double fee_after = g.fee_with(i);
+      const double total_before = g.demand_sum();
+      const double total_after =
+          total_before + cost->instance().device(i).demand_j;
+      const std::size_t k = c.members.size();
+      for (DeviceId m : c.members) {
+        const double dm = cost->instance().device(m).demand_j;
+        const double mv = cost->move_cost(m, c.charger);
+        const double before =
+            fast_share(fee_before, dm, total_before, k) + mv;
+        const double after =
+            fast_share(fee_after, dm, total_after, k + 1) + mv;
+        if (after > before + epsilon) {
+          return false;
+        }
+      }
+      return true;
+    }
     std::vector<DeviceId> enlarged = c.members;
     enlarged.push_back(i);
     const std::vector<double> before =
@@ -57,12 +121,18 @@ struct GameState {
     Coalition& c = coalitions[static_cast<std::size_t>(idx)];
     c.members.erase(std::find(c.members.begin(), c.members.end(), i));
     coalition_of_device[static_cast<std::size_t>(i)] = -1;
+    if (incremental) {
+      caches[static_cast<std::size_t>(idx)].remove(i);
+    }
   }
 
   void add_to_coalition(int target, DeviceId i) {
     Coalition& c = coalitions[static_cast<std::size_t>(target)];
     c.members.push_back(i);
     coalition_of_device[static_cast<std::size_t>(i)] = target;
+    if (incremental) {
+      caches[static_cast<std::size_t>(target)].add(i);
+    }
   }
 
   int open_singleton(DeviceId i) {
@@ -70,11 +140,17 @@ struct GameState {
     for (std::size_t k = 0; k < coalitions.size(); ++k) {
       if (coalitions[k].members.empty()) {
         coalitions[k].charger = best_j;
+        if (incremental) {
+          caches[k].rebind(best_j);
+        }
         add_to_coalition(static_cast<int>(k), i);
         return static_cast<int>(k);
       }
     }
     coalitions.push_back(Coalition{best_j, {}});
+    if (incremental) {
+      caches.emplace_back(*cost, best_j);
+    }
     const int idx = static_cast<int>(coalitions.size()) - 1;
     add_to_coalition(idx, i);
     return idx;
@@ -92,6 +168,7 @@ SchedulerResult Ccsga::run(const Instance& instance) const {
   state.cost = &cost;
   state.scheme = options_.scheme;
   state.epsilon = options_.epsilon;
+  state.incremental = options_.incremental;
   state.coalition_of_device.assign(
       static_cast<std::size_t>(instance.num_devices()), -1);
   // Non-cooperative start: singletons at the private best charger.
@@ -102,6 +179,10 @@ SchedulerResult Ccsga::run(const Instance& instance) const {
     state.coalitions.push_back(std::move(c));
     state.coalition_of_device[static_cast<std::size_t>(i)] =
         static_cast<int>(state.coalitions.size()) - 1;
+    if (state.incremental) {
+      state.caches.emplace_back(cost, state.coalitions.back().charger);
+      state.caches.back().add(i);
+    }
   }
 
   SchedulerResult result;
@@ -160,24 +241,42 @@ SchedulerResult Ccsga::run(const Instance& instance) const {
 
       if (options_.mode == CcsgaMode::kGuarded) {
         // Social-cost delta of the tentative switch.
-        const Coalition& cur =
-            state.coalitions[static_cast<std::size_t>(cur_idx)];
-        std::vector<DeviceId> cur_without = cur.members;
-        cur_without.erase(
-            std::find(cur_without.begin(), cur_without.end(), i));
-        double delta = -cost.group_cost(cur.charger, cur.members);
-        if (!cur_without.empty()) {
-          delta += cost.group_cost(cur.charger, cur_without);
-        }
-        if (best_target >= 0) {
-          const Coalition& tgt =
-              state.coalitions[static_cast<std::size_t>(best_target)];
-          std::vector<DeviceId> enlarged = tgt.members;
-          enlarged.push_back(i);
-          delta -= cost.group_cost(tgt.charger, tgt.members);
-          delta += cost.group_cost(tgt.charger, enlarged);
+        double delta = 0.0;
+        if (state.incremental) {
+          const IncrementalGroupCost& cur_g =
+              state.caches[static_cast<std::size_t>(cur_idx)];
+          delta = -cur_g.cost();
+          if (cur_g.size() > 1) {
+            delta += cur_g.cost_without(i);
+          }
+          if (best_target >= 0) {
+            const IncrementalGroupCost& tgt_g =
+                state.caches[static_cast<std::size_t>(best_target)];
+            delta -= tgt_g.cost();
+            delta += tgt_g.cost_with(i);
+          } else {
+            delta += cost.standalone(i).second;
+          }
         } else {
-          delta += cost.standalone(i).second;
+          const Coalition& cur =
+              state.coalitions[static_cast<std::size_t>(cur_idx)];
+          std::vector<DeviceId> cur_without = cur.members;
+          cur_without.erase(
+              std::find(cur_without.begin(), cur_without.end(), i));
+          delta = -cost.group_cost(cur.charger, cur.members);
+          if (!cur_without.empty()) {
+            delta += cost.group_cost(cur.charger, cur_without);
+          }
+          if (best_target >= 0) {
+            const Coalition& tgt =
+                state.coalitions[static_cast<std::size_t>(best_target)];
+            std::vector<DeviceId> enlarged = tgt.members;
+            enlarged.push_back(i);
+            delta -= cost.group_cost(tgt.charger, tgt.members);
+            delta += cost.group_cost(tgt.charger, enlarged);
+          } else {
+            delta += cost.standalone(i).second;
+          }
         }
         if (delta >= -options_.epsilon) {
           continue;

@@ -48,6 +48,14 @@ struct CcsgaOptions {
   double epsilon = 1e-9;  ///< minimum strict improvement for a switch
   int max_rounds = 1000;  ///< safety cap on full passes over the devices
   std::uint64_t seed = 7; ///< device visit order shuffling
+  /// Back each live coalition with an `IncrementalGroupCost` so the
+  /// switch probes (payment peeks, consent checks, guarded deltas) cost
+  /// O(log|S|) instead of rebuilding coalitions and re-summing. Fee
+  /// terms match the full evaluation bit-for-bit; summed terms
+  /// (proportional demand totals, guarded move sums) may drift in the
+  /// last bits. Shapley payments always take the full path. `false`
+  /// keeps the legacy evaluation for the before/after runtime harness.
+  bool incremental = true;
 };
 
 class Ccsga final : public Scheduler {

@@ -14,6 +14,22 @@ CostModel::CostModel(const Instance& instance) : inst_(&instance) {
         std::max(max_feasible_group_,
                  cap == 0 ? instance.num_devices() : cap);
   }
+  // Same expression as the on-the-fly formula, evaluated once per pair:
+  // lookups are bit-identical to the former per-call computation.
+  const double trip_factor = instance.params().round_trip ? 2.0 : 1.0;
+  move_cost_cache_.resize(static_cast<std::size_t>(instance.num_devices()) *
+                          static_cast<std::size_t>(instance.num_chargers()));
+  for (DeviceId i = 0; i < instance.num_devices(); ++i) {
+    for (ChargerId j = 0; j < instance.num_chargers(); ++j) {
+      move_cost_cache_[static_cast<std::size_t>(i) *
+                           static_cast<std::size_t>(
+                               instance.num_chargers()) +
+                       static_cast<std::size_t>(j)] =
+          instance.params().move_weight *
+          instance.device(i).motion.unit_cost * instance.distance(i, j) *
+          trip_factor;
+    }
+  }
   standalone_cache_.reserve(
       static_cast<std::size_t>(instance.num_devices()));
   for (DeviceId i = 0; i < instance.num_devices(); ++i) {
@@ -48,12 +64,6 @@ double CostModel::session_fee(ChargerId j,
                               std::span<const DeviceId> members) const {
   return inst_->params().fee_weight * inst_->charger(j).price_per_s *
          session_time(j, members);
-}
-
-double CostModel::move_cost(DeviceId i, ChargerId j) const {
-  const double trip_factor = inst_->params().round_trip ? 2.0 : 1.0;
-  return inst_->params().move_weight * inst_->device(i).motion.unit_cost *
-         inst_->distance(i, j) * trip_factor;
 }
 
 double CostModel::group_cost(ChargerId j,

@@ -26,8 +26,11 @@ namespace cc::core {
 class CostModel {
  public:
   /// Binds to `instance`, which must outlive the model (it is a view).
-  /// Precomputes every device's best standalone option (O(n·m)) — the
-  /// game dynamics (CCSGA, online) query `standalone` constantly.
+  /// Precomputes the full (device, charger) moving-cost matrix on top of
+  /// the instance's distance matrix — `move_cost` is a lookup, which the
+  /// submodular oracles and the CCSGA move loop hammer — and every
+  /// device's best standalone option (O(n·m)); the game dynamics (CCSGA,
+  /// online) query `standalone` constantly.
   explicit CostModel(const Instance& instance);
 
   [[nodiscard]] const Instance& instance() const noexcept { return *inst_; }
@@ -42,8 +45,13 @@ class CostModel {
   [[nodiscard]] double session_fee(ChargerId j,
                                    std::span<const DeviceId> members) const;
 
-  /// Weighted moving cost for device i to reach charger j.
-  [[nodiscard]] double move_cost(DeviceId i, ChargerId j) const;
+  /// Weighted moving cost for device i to reach charger j (precomputed).
+  [[nodiscard]] double move_cost(DeviceId i, ChargerId j) const {
+    return move_cost_cache_[static_cast<std::size_t>(i) *
+                                static_cast<std::size_t>(
+                                    inst_->num_chargers()) +
+                            static_cast<std::size_t>(j)];
+  }
 
   /// Total comprehensive cost C_j(S) = fee + Σ moving costs.
   [[nodiscard]] double group_cost(ChargerId j,
@@ -89,6 +97,7 @@ class CostModel {
 
  private:
   const Instance* inst_;
+  std::vector<double> move_cost_cache_;  // row-major [device][charger]
   std::vector<std::pair<ChargerId, double>> standalone_cache_;
   int max_feasible_group_ = 0;
 };

@@ -1,0 +1,103 @@
+#include "core/incremental_cost.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace cc::core {
+
+IncrementalGroupCost::IncrementalGroupCost(const CostModel& cost, ChargerId j)
+    : cost_(&cost) {
+  rebind(j);
+}
+
+void IncrementalGroupCost::rebind(ChargerId j) {
+  CC_EXPECTS(cost_ != nullptr, "rebind on an unbound evaluator");
+  CC_EXPECTS(j >= 0 && j < cost_->instance().num_chargers(),
+             "charger id out of range");
+  charger_ = j;
+  demands_.clear();
+  demand_sum_ = 0.0;
+  move_sum_ = 0.0;
+}
+
+void IncrementalGroupCost::add(DeviceId i) {
+  const double demand = cost_->instance().device(i).demand_j;
+  demands_.insert(demand);
+  demand_sum_ += demand;
+  move_sum_ += cost_->move_cost(i, charger_);
+}
+
+void IncrementalGroupCost::remove(DeviceId i) {
+  const double demand = cost_->instance().device(i).demand_j;
+  const auto it = demands_.find(demand);
+  CC_EXPECTS(it != demands_.end(),
+             "removing a device that is not a member");
+  demands_.erase(it);
+  demand_sum_ -= demand;
+  move_sum_ -= cost_->move_cost(i, charger_);
+  if (demands_.empty()) {
+    // Snap the running sums: emptying through a different order than
+    // filling can leave a ±1 ulp residue, and an empty coalition (e.g.
+    // a tombstoned CCSGA slot) must be *exactly* free.
+    demand_sum_ = 0.0;
+    move_sum_ = 0.0;
+  }
+}
+
+double IncrementalGroupCost::max_demand() const noexcept {
+  return demands_.empty() ? 0.0 : *demands_.rbegin();
+}
+
+double IncrementalGroupCost::fee_of_max(double max_demand) const {
+  // Mirrors CostModel::session_fee/session_time op-for-op so that fee
+  // queries are bit-identical to a fresh evaluation.
+  const Instance& inst = cost_->instance();
+  const Charger& charger = inst.charger(charger_);
+  const double session_time = max_demand / charger.power_w;
+  return inst.params().fee_weight * charger.price_per_s * session_time;
+}
+
+double IncrementalGroupCost::session_fee() const {
+  if (demands_.empty()) {
+    return 0.0;
+  }
+  return fee_of_max(max_demand());
+}
+
+double IncrementalGroupCost::fee_with(DeviceId i) const {
+  const double demand = cost_->instance().device(i).demand_j;
+  return fee_of_max(std::max(max_demand(), demand));
+}
+
+double IncrementalGroupCost::cost_with(DeviceId i) const {
+  return fee_with(i) + (move_sum_ + cost_->move_cost(i, charger_));
+}
+
+double IncrementalGroupCost::max_without(DeviceId i) const {
+  const double demand = cost_->instance().device(i).demand_j;
+  CC_EXPECTS(!demands_.empty(), "peek on an empty coalition");
+  const auto last = std::prev(demands_.end());
+  if (demand < *last) {
+    return *last;  // some other member still attains the max
+  }
+  // i attains the max; the survivor max is the next value down (which
+  // may equal it, when the max is tied).
+  return demands_.size() >= 2 ? *std::prev(last) : 0.0;
+}
+
+double IncrementalGroupCost::fee_without(DeviceId i) const {
+  if (demands_.size() <= 1) {
+    return 0.0;  // empty after removal
+  }
+  return fee_of_max(max_without(i));
+}
+
+double IncrementalGroupCost::cost_without(DeviceId i) const {
+  if (demands_.size() <= 1) {
+    return 0.0;
+  }
+  return fee_without(i) + (move_sum_ - cost_->move_cost(i, charger_));
+}
+
+}  // namespace cc::core

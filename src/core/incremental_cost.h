@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file incremental_cost.h
+/// Amortized group-cost evaluation for coalition-move loops.
+///
+/// `CostModel::group_cost` is O(|S|) per query: the session fee needs
+/// the max demand over the group and the moving costs are a sum. The
+/// CCSGA switch dynamics probe thousands of single-device perturbations
+/// of otherwise-unchanged coalitions, so this class keeps one mutable
+/// coalition's aggregates live instead:
+///
+///  * demands in a sorted multiset — the `max` term updates in
+///    O(log|S|) on add/remove, and the "what if device i left/joined"
+///    peeks are O(log|S|) with no allocation;
+///  * moving-cost and demand sums as running totals (move costs come
+///    from the matrix precomputed by `CostModel`).
+///
+/// Exactness: the session fee is computed with the same expression as
+/// `CostModel::session_fee` and a max is order-independent, so fee
+/// queries are bit-identical to a fresh evaluation. The running sums
+/// accumulate in add/remove order rather than member order, so summed
+/// quantities can differ from a fresh evaluation in the last bits —
+/// within 1e-9 relative, which the incremental-vs-full harness in
+/// bench_fig8_runtime and incremental_cost_test enforce.
+
+#include <set>
+
+#include "core/cost_model.h"
+
+namespace cc::core {
+
+class IncrementalGroupCost {
+ public:
+  IncrementalGroupCost() = default;
+
+  /// Binds to `cost` (which must outlive this object) and charger `j`,
+  /// starting from the empty coalition.
+  IncrementalGroupCost(const CostModel& cost, ChargerId j);
+
+  /// Re-anchors at a (possibly different) charger and empties the
+  /// coalition — used when a tombstoned coalition slot is reopened.
+  void rebind(ChargerId j);
+
+  void add(DeviceId i);
+  /// Removes one member previously added. Undefined if `i` was not.
+  void remove(DeviceId i);
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(demands_.size());
+  }
+  [[nodiscard]] ChargerId charger() const noexcept { return charger_; }
+  /// Max demand over members; 0 for an empty coalition.
+  [[nodiscard]] double max_demand() const noexcept;
+  [[nodiscard]] double demand_sum() const noexcept { return demand_sum_; }
+  [[nodiscard]] double move_sum() const noexcept { return move_sum_; }
+
+  /// Session fee of the current coalition (0 when empty).
+  [[nodiscard]] double session_fee() const;
+  /// Comprehensive cost: session fee + moving-cost sum.
+  [[nodiscard]] double cost() const { return session_fee() + move_sum_; }
+
+  // Single-device perturbation peeks; none mutates the coalition.
+  [[nodiscard]] double fee_with(DeviceId i) const;
+  [[nodiscard]] double cost_with(DeviceId i) const;
+  [[nodiscard]] double fee_without(DeviceId i) const;
+  [[nodiscard]] double cost_without(DeviceId i) const;
+
+ private:
+  [[nodiscard]] double fee_of_max(double max_demand) const;
+  /// Max demand after removing one instance of member i's demand.
+  [[nodiscard]] double max_without(DeviceId i) const;
+
+  const CostModel* cost_ = nullptr;
+  ChargerId charger_ = -1;
+  std::multiset<double> demands_;
+  double demand_sum_ = 0.0;
+  double move_sum_ = 0.0;
+};
+
+}  // namespace cc::core

@@ -11,12 +11,27 @@
 
 namespace cc::core {
 
+/// Wall-clock breakdown of one end-to-end evaluation pipeline. Filled
+/// by the *driver* (ccs_cli, harnesses) around the phases it runs —
+/// `Scheduler::run` itself only reports `elapsed_ms`.
+struct PhaseTimings {
+  double generate_ms = 0.0;  ///< instance generation or file load
+  double schedule_ms = 0.0;  ///< Scheduler::run
+  double validate_ms = 0.0;  ///< Schedule::validate
+  double score_ms = 0.0;     ///< cost-model build + total_cost
+
+  [[nodiscard]] double total_ms() const noexcept {
+    return generate_ms + schedule_ms + validate_ms + score_ms;
+  }
+};
+
 /// Algorithm-reported run statistics (benches print these).
 struct SchedulerStats {
   double elapsed_ms = 0.0;
   long iterations = 0;   ///< algorithm-specific outer iterations
   long switches = 0;     ///< CCSGA: accepted switch operations
   bool converged = true; ///< CCSGA: false iff the round cap was hit
+  PhaseTimings phases;   ///< per-phase breakdown (driver-filled)
 };
 
 struct SchedulerResult {

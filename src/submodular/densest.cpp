@@ -48,7 +48,7 @@ DensestResult min_average_cost(const SetFunction& f, const SfmSolver& solver) {
 }
 
 DensestResult min_average_cost_capped(const MaxModularFunction& f,
-                                      int max_size) {
+                                      int max_size, bool incremental) {
   const int n = f.n();
   CC_EXPECTS(n > 0, "min_average_cost needs a nonempty ground set");
   CC_EXPECTS(max_size >= 1, "capped variant needs max_size >= 1");
@@ -67,12 +67,19 @@ DensestResult min_average_cost_capped(const MaxModularFunction& f,
 
   for (int iter = 0; iter < kMaxDinkelbachIterations; ++iter) {
     ++result.iterations;
-    std::vector<double> shifted_b = f.b();
-    for (double& bi : shifted_b) {
-      bi -= theta;
+    std::pair<std::vector<int>, double> step;
+    if (incremental) {
+      // Reuse the cached w-order, applying −θ on the fly.
+      step = f.minimize_exact_nonempty_capped_shifted(max_size, theta);
+    } else {
+      std::vector<double> shifted_b = f.b();
+      for (double& bi : shifted_b) {
+        bi -= theta;
+      }
+      const MaxModularFunction shifted(f.a(), f.w(), std::move(shifted_b));
+      step = shifted.minimize_exact_nonempty_capped(max_size);
     }
-    const MaxModularFunction shifted(f.a(), f.w(), std::move(shifted_b));
-    auto [set, value] = shifted.minimize_exact_nonempty_capped(max_size);
+    auto& [set, value] = step;
     if (value >= -kRatioTolerance * std::max(1.0, theta)) {
       break;
     }
@@ -87,7 +94,7 @@ DensestResult min_average_cost_capped(const MaxModularFunction& f,
   return result;
 }
 
-DensestResult min_average_cost(const MaxModularFunction& f) {
+DensestResult min_average_cost(const MaxModularFunction& f, bool incremental) {
   const int n = f.n();
   CC_EXPECTS(n > 0, "min_average_cost needs a nonempty ground set");
 
@@ -106,12 +113,19 @@ DensestResult min_average_cost(const MaxModularFunction& f) {
   for (int iter = 0; iter < kMaxDinkelbachIterations; ++iter) {
     ++result.iterations;
     // Fold −θ into the modular part: f(S) − θ|S| stays max+modular.
-    std::vector<double> shifted_b = f.b();
-    for (double& bi : shifted_b) {
-      bi -= theta;
+    std::pair<std::vector<int>, double> step;
+    if (incremental) {
+      // Reuse the cached w-order, applying −θ on the fly.
+      step = f.minimize_exact_nonempty_shifted(theta);
+    } else {
+      std::vector<double> shifted_b = f.b();
+      for (double& bi : shifted_b) {
+        bi -= theta;
+      }
+      const MaxModularFunction shifted(f.a(), f.w(), std::move(shifted_b));
+      step = shifted.minimize_exact_nonempty();
     }
-    const MaxModularFunction shifted(f.a(), f.w(), std::move(shifted_b));
-    auto [set, value] = shifted.minimize_exact_nonempty();
+    auto& [set, value] = step;
     if (value >= -kRatioTolerance * std::max(1.0, theta)) {
       break;
     }

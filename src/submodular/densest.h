@@ -33,14 +33,19 @@ struct DensestResult {
                                              const SfmSolver& solver);
 
 /// Structured fast path: folds −θ into the modular part and uses the
-/// exact O(n log n) minimizer at every Dinkelbach step.
-[[nodiscard]] DensestResult min_average_cost(const MaxModularFunction& f);
+/// exact O(n log n) minimizer at every Dinkelbach step. With
+/// `incremental` (default) each step reuses the cached w-order and
+/// applies the shift on the fly — O(n) per iteration after the one-time
+/// sort, bit-identical to the legacy path that rebuilds a shifted copy
+/// (set `incremental = false` to get that reference behavior).
+[[nodiscard]] DensestResult min_average_cost(const MaxModularFunction& f,
+                                             bool incremental = true);
 
 /// Cardinality-constrained structured variant: argmin f(S)/|S| over
 /// nonempty S with |S| ≤ max_size. Dinkelbach's correctness only needs
 /// exact minimization of f − θ|S| over the same family, which the
-/// capped structured minimizer provides.
+/// capped structured minimizer provides. `incremental` as above.
 [[nodiscard]] DensestResult min_average_cost_capped(
-    const MaxModularFunction& f, int max_size);
+    const MaxModularFunction& f, int max_size, bool incremental = true);
 
 }  // namespace cc::sub

@@ -23,14 +23,12 @@ double lovasz_extension(const SetFunction& f, std::span<const double> z) {
     return zl != zr ? zl > zr : lhs < rhs;
   });
   const double f_empty = f.empty_value();
+  const std::vector<double> prefix_vals = f.prefix_values(order);
   double prev = f_empty;
   double total = 0.0;
-  std::vector<int> prefix;
-  prefix.reserve(order.size());
-  for (int e : order) {
-    prefix.push_back(e);
-    const double cur = f.value(prefix);
-    total += z[static_cast<std::size_t>(e)] * (cur - prev);
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const double cur = prefix_vals[k];
+    total += z[static_cast<std::size_t>(order[k])] * (cur - prev);
     prev = cur;
   }
   return total;

@@ -40,6 +40,23 @@ double MaxModularFunction::value(std::span<const int> set) const {
   return a_ * max_w + sum_b;
 }
 
+std::vector<double> MaxModularFunction::prefix_values(
+    std::span<const int> order) const {
+  // Running max + running sum in order: the same operation sequence as
+  // evaluating value() on each prefix, collapsed to one O(n) scan.
+  std::vector<double> out;
+  out.reserve(order.size());
+  double max_w = 0.0;
+  double sum_b = 0.0;
+  for (int e : order) {
+    const auto idx = static_cast<std::size_t>(e);
+    max_w = std::max(max_w, w_[idx]);
+    sum_b += b_[idx];
+    out.push_back(a_ * max_w + sum_b);
+  }
+  return out;
+}
+
 std::vector<double> MaxModularFunction::base_vertex(
     std::span<const int> perm) const {
   CC_EXPECTS(static_cast<int>(perm.size()) == n(),
@@ -57,28 +74,34 @@ std::vector<double> MaxModularFunction::base_vertex(
 
 std::pair<std::vector<int>, double>
 MaxModularFunction::minimize_exact_nonempty() const {
+  return minimize_exact_nonempty_shifted(0.0);
+}
+
+std::pair<std::vector<int>, double>
+MaxModularFunction::minimize_exact_nonempty_shifted(double theta) const {
   CC_EXPECTS(!w_.empty(), "cannot minimize over an empty ground set");
   double best_value = std::numeric_limits<double>::infinity();
   std::size_t best_pos = 0;
   // Walking the w-ascending order, `neg_prefix` accumulates the negative
-  // modular weights among strictly earlier positions — exactly the free
-  // riders worth adding under the element at position k.
+  // shifted modular weights (b − θ) among strictly earlier positions —
+  // exactly the free riders worth adding under the element at position k.
   double neg_prefix = 0.0;
   for (std::size_t pos = 0; pos < order_.size(); ++pos) {
     const auto idx = static_cast<std::size_t>(order_[pos]);
-    const double candidate = a_ * w_[idx] + b_[idx] + neg_prefix;
+    const double bi = b_[idx] - theta;
+    const double candidate = a_ * w_[idx] + bi + neg_prefix;
     if (candidate < best_value) {
       best_value = candidate;
       best_pos = pos;
     }
-    if (b_[idx] < 0.0) {
-      neg_prefix += b_[idx];
+    if (bi < 0.0) {
+      neg_prefix += bi;
     }
   }
   std::vector<int> set;
   set.push_back(order_[best_pos]);
   for (std::size_t pos = 0; pos < best_pos; ++pos) {
-    if (b_[static_cast<std::size_t>(order_[pos])] < 0.0) {
+    if (b_[static_cast<std::size_t>(order_[pos])] - theta < 0.0) {
       set.push_back(order_[pos]);
     }
   }
@@ -88,6 +111,12 @@ MaxModularFunction::minimize_exact_nonempty() const {
 
 std::pair<std::vector<int>, double>
 MaxModularFunction::minimize_exact_nonempty_capped(int max_size) const {
+  return minimize_exact_nonempty_capped_shifted(max_size, 0.0);
+}
+
+std::pair<std::vector<int>, double>
+MaxModularFunction::minimize_exact_nonempty_capped_shifted(
+    int max_size, double theta) const {
   CC_EXPECTS(!w_.empty(), "cannot minimize over an empty ground set");
   CC_EXPECTS(max_size >= 1, "capped minimizer needs max_size >= 1");
   const std::size_t companions =
@@ -104,36 +133,37 @@ MaxModularFunction::minimize_exact_nonempty_capped(int max_size) const {
   double heap_sum = 0.0;
   for (std::size_t pos = 0; pos < order_.size(); ++pos) {
     const auto idx = static_cast<std::size_t>(order_[pos]);
-    const double candidate = a_ * w_[idx] + b_[idx] + heap_sum;
+    const double bi = b_[idx] - theta;
+    const double candidate = a_ * w_[idx] + bi + heap_sum;
     if (candidate < best_value) {
       best_value = candidate;
       best_pos = pos;
     }
-    if (b_[idx] < 0.0 && companions > 0) {
+    if (bi < 0.0 && companions > 0) {
       if (heap.size() < companions) {
-        heap.push(b_[idx]);
-        heap_sum += b_[idx];
-      } else if (!heap.empty() && b_[idx] < heap.top()) {
-        heap_sum += b_[idx] - heap.top();
+        heap.push(bi);
+        heap_sum += bi;
+      } else if (!heap.empty() && bi < heap.top()) {
+        heap_sum += bi - heap.top();
         heap.pop();
-        heap.push(b_[idx]);
+        heap.push(bi);
       }
     }
   }
 
   // Reconstruct the companion set for best_pos: the `companions` most
-  // negative b among earlier positions (ties broken toward earlier ids
-  // — any tie choice attains the same value).
+  // negative shifted b among earlier positions (ties broken toward
+  // earlier ids — any tie choice attains the same value).
   std::vector<int> earlier_negative;
   for (std::size_t pos = 0; pos < best_pos; ++pos) {
-    if (b_[static_cast<std::size_t>(order_[pos])] < 0.0) {
+    if (b_[static_cast<std::size_t>(order_[pos])] - theta < 0.0) {
       earlier_negative.push_back(order_[pos]);
     }
   }
   std::sort(earlier_negative.begin(), earlier_negative.end(),
-            [this](int lhs, int rhs) {
-              const double bl = b_[static_cast<std::size_t>(lhs)];
-              const double br = b_[static_cast<std::size_t>(rhs)];
+            [this, theta](int lhs, int rhs) {
+              const double bl = b_[static_cast<std::size_t>(lhs)] - theta;
+              const double br = b_[static_cast<std::size_t>(rhs)] - theta;
               return bl != br ? bl < br : lhs < rhs;
             });
   if (earlier_negative.size() > companions) {

@@ -34,6 +34,10 @@ class MaxModularFunction final : public SetFunction {
   [[nodiscard]] std::vector<double> base_vertex(
       std::span<const int> perm) const override;
 
+  /// Incremental O(|order|) prefix scan (overrides the O(n²) default).
+  [[nodiscard]] std::vector<double> prefix_values(
+      std::span<const int> order) const override;
+
   [[nodiscard]] double a() const noexcept { return a_; }
   [[nodiscard]] const std::vector<double>& w() const noexcept { return w_; }
   [[nodiscard]] const std::vector<double>& b() const noexcept { return b_; }
@@ -53,6 +57,18 @@ class MaxModularFunction final : public SetFunction {
   /// O(n log n) overall. Exact; cross-validated against brute force.
   [[nodiscard]] std::pair<std::vector<int>, double>
   minimize_exact_nonempty_capped(int max_size) const;
+
+  /// Dinkelbach hot path: minimize f(S) − θ·|S| by evaluating the
+  /// modular part as b_i − θ on the fly. Bit-identical to constructing
+  /// `MaxModularFunction(a, w, b − θ)` and minimizing it, but reuses
+  /// this function's cached w-order — no O(n) copy, no O(n log n)
+  /// re-sort per Dinkelbach iteration.
+  [[nodiscard]] std::pair<std::vector<int>, double>
+  minimize_exact_nonempty_shifted(double theta) const;
+
+  /// Cardinality-capped shifted variant (same contract).
+  [[nodiscard]] std::pair<std::vector<int>, double>
+  minimize_exact_nonempty_capped_shifted(int max_size, double theta) const;
 
  private:
   double a_;

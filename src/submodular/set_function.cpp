@@ -22,6 +22,19 @@ std::vector<double> SetFunction::base_vertex(std::span<const int> perm) const {
   return x;
 }
 
+std::vector<double> SetFunction::prefix_values(
+    std::span<const int> order) const {
+  std::vector<double> out;
+  out.reserve(order.size());
+  std::vector<int> prefix;
+  prefix.reserve(order.size());
+  for (int e : order) {
+    prefix.push_back(e);
+    out.push_back(value(prefix));
+  }
+  return out;
+}
+
 ModularFunction::ModularFunction(std::vector<double> weights)
     : weights_(std::move(weights)) {}
 

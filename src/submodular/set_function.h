@@ -38,6 +38,14 @@ class SetFunction {
   /// x(V) = f(V) − f(∅) and x(P_k) = f(P_k) − f(∅) for every prefix.
   [[nodiscard]] virtual std::vector<double> base_vertex(
       std::span<const int> perm) const;
+
+  /// Values of every prefix of `order` (distinct ids): out[k] =
+  /// f(order[0..k]). Generic implementation makes |order| value() calls
+  /// — O(n²) arithmetic for most families; structured subclasses
+  /// override with an incremental O(n) scan. Level-set rounding and the
+  /// Lovász extension are built on this.
+  [[nodiscard]] virtual std::vector<double> prefix_values(
+      std::span<const int> order) const;
 };
 
 /// Counts oracle calls — used by the SFM ablation bench.
@@ -54,6 +62,13 @@ class CountingSetFunction final : public SetFunction {
       std::span<const int> perm) const override {
     calls_ += static_cast<std::int64_t>(perm.size()) + 1;
     return inner_.base_vertex(perm);
+  }
+  /// Each prefix counts as one oracle call (the incremental scan saves
+  /// arithmetic, not information requests).
+  [[nodiscard]] std::vector<double> prefix_values(
+      std::span<const int> order) const override {
+    calls_ += static_cast<std::int64_t>(order.size());
+    return inner_.prefix_values(order);
   }
 
   [[nodiscard]] std::int64_t calls() const noexcept { return calls_; }
@@ -160,6 +175,14 @@ class ShiftedByCardinality final : public SetFunction {
     }
     return x;
   }
+  [[nodiscard]] std::vector<double> prefix_values(
+      std::span<const int> order) const override {
+    std::vector<double> out = inner_.prefix_values(order);
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      out[k] -= theta_ * static_cast<double>(k + 1);
+    }
+    return out;
+  }
 
   [[nodiscard]] double theta() const noexcept { return theta_; }
 
@@ -179,6 +202,10 @@ class RestrictedFunction final : public SetFunction {
     return static_cast<int>(universe_.size());
   }
   [[nodiscard]] double value(std::span<const int> set) const override;
+  [[nodiscard]] std::vector<double> prefix_values(
+      std::span<const int> order) const override {
+    return inner_.prefix_values(to_inner(order));
+  }
 
   /// Maps restricted ids back to inner ids.
   [[nodiscard]] std::vector<int> to_inner(std::span<const int> set) const;

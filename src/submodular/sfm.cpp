@@ -27,16 +27,19 @@ SfmResult WolfeSfm::minimize(const SetFunction& f) const {
 
   // Level-set rounding: minimizers of f are level sets of the min-norm
   // point, so scanning the n+1 prefixes in ascending coordinate order
-  // finds them; evaluating f on each makes the rounding robust.
+  // finds them; evaluating f on each makes the rounding robust. The
+  // prefix values come from one incremental scan (O(n) for structured
+  // families instead of n full evaluations).
   const std::vector<int> order = ascending_permutation(mnp.point);
+  const std::vector<double> prefix_vals = f.prefix_values(order);
   SfmResult result;
   result.value = 0.0;  // empty set
   result.nonempty_value = std::numeric_limits<double>::infinity();
   std::vector<int> prefix;
   prefix.reserve(order.size());
-  for (int e : order) {
-    prefix.push_back(e);
-    const double v = f.value(prefix) - f_empty;
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    prefix.push_back(order[k]);
+    const double v = prefix_vals[k] - f_empty;
     if (v < result.value) {
       result.value = v;
       result.set = prefix;

@@ -4,6 +4,7 @@
 
 #include "sim/engine.h"
 #include "util/assert.h"
+#include "util/thread_pool.h"
 
 namespace cc::testbed {
 
@@ -62,62 +63,79 @@ FieldResult run_field_trials(const core::Scheduler& scheduler,
 
   FieldResult result;
   result.algorithm = scheduler.name();
-  result.trials.reserve(static_cast<std::size_t>(config.num_trials));
 
+  // One fork per trial, drawn serially from the master so the stream
+  // each trial sees is independent of the job count (and identical
+  // across algorithms). The trial bodies then fan out through the
+  // parallel engine; each writes slot `trial`, so results, summaries,
+  // and CSVs are byte-identical for any `--jobs` value.
   util::Rng master(config.seed);
+  std::vector<util::Rng> trial_rngs;
+  trial_rngs.reserve(static_cast<std::size_t>(config.num_trials));
+  for (int trial = 0; trial < config.num_trials; ++trial) {
+    trial_rngs.push_back(master.fork());
+  }
+
+  result.trials = util::parallel_map(
+      static_cast<std::size_t>(config.num_trials),
+      [&scheduler, &config, &trial_rngs](std::size_t trial) {
+        util::Rng& trial_rng = trial_rngs[trial];
+        const core::Instance instance =
+            make_trial_instance(trial_rng, config.demand_jitter,
+                                config.unit_move_cost, config.price_per_s);
+
+        sim::SimOptions sim_options;
+        sim_options.charger_power_factor.reserve(kNumChargers);
+        for (int j = 0; j < kNumChargers; ++j) {
+          // E[lognormal(−σ²/2, σ)] = 1: noise, not bias.
+          sim_options.charger_power_factor.push_back(trial_rng.lognormal(
+              -0.5 * config.power_sigma * config.power_sigma,
+              config.power_sigma));
+        }
+
+        if (config.fault_model.active()) {
+          // Seed from (config seed, trial index) only: the plan must not
+          // depend on the algorithm, and sampling it must not perturb
+          // the noise stream of fault-free runs.
+          const std::uint64_t plan_seed =
+              config.seed ^
+              (0x9E3779B97F4A7C15ULL *
+               (static_cast<std::uint64_t>(trial) + 1));
+          sim_options.fault_plan = fault::sample_fault_plan(
+              instance, config.fault_model, plan_seed);
+          sim_options.recovery = config.recovery;
+        }
+
+        const core::SchedulerResult scheduled = scheduler.run(instance);
+        const core::CostModel cost(instance);
+        const sim::SimReport report = sim::simulate(
+            instance, scheduled.schedule, config.scheme, sim_options);
+
+        TrialOutcome outcome;
+        outcome.scheduled_cost = scheduled.schedule.total_cost(cost);
+        outcome.realized_cost = report.realized_total_cost();
+        outcome.makespan_s = report.makespan_s;
+        outcome.mean_wait_s = report.mean_wait_s();
+        outcome.completion_ratio = report.completion_ratio();
+        outcome.stranded_demand_j = report.faults.stranded_demand_j;
+        outcome.mean_recovery_latency_s = report.mean_recovery_latency_s();
+        outcome.sessions_aborted = report.faults.sessions_aborted;
+        outcome.coalitions_stranded = report.faults.coalitions_stranded;
+        outcome.recovery_attempts = report.faults.recovery_attempts;
+        outcome.recovery_successes = report.faults.recovery_successes;
+        return outcome;
+      });
+
   std::vector<double> realized_costs;
   std::vector<double> scheduled_costs;
   std::vector<double> completion_ratios;
-  for (int trial = 0; trial < config.num_trials; ++trial) {
-    // One fork per trial: all algorithms run against identical noise.
-    util::Rng trial_rng = master.fork();
-    const core::Instance instance =
-        make_trial_instance(trial_rng, config.demand_jitter,
-                            config.unit_move_cost, config.price_per_s);
-
-    sim::SimOptions sim_options;
-    sim_options.charger_power_factor.reserve(kNumChargers);
-    for (int j = 0; j < kNumChargers; ++j) {
-      // E[lognormal(−σ²/2, σ)] = 1: noise, not bias.
-      sim_options.charger_power_factor.push_back(trial_rng.lognormal(
-          -0.5 * config.power_sigma * config.power_sigma,
-          config.power_sigma));
-    }
-
-    if (config.fault_model.active()) {
-      // Seed from (config seed, trial index) only: the plan must not
-      // depend on the algorithm, and sampling it must not perturb the
-      // noise stream of fault-free runs.
-      const std::uint64_t plan_seed =
-          config.seed ^
-          (0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(trial) + 1));
-      sim_options.fault_plan =
-          fault::sample_fault_plan(instance, config.fault_model, plan_seed);
-      sim_options.recovery = config.recovery;
-    }
-
-    const core::SchedulerResult scheduled = scheduler.run(instance);
-    const core::CostModel cost(instance);
-    const sim::SimReport report =
-        sim::simulate(instance, scheduled.schedule, config.scheme,
-                      sim_options);
-
-    TrialOutcome outcome;
-    outcome.scheduled_cost = scheduled.schedule.total_cost(cost);
-    outcome.realized_cost = report.realized_total_cost();
-    outcome.makespan_s = report.makespan_s;
-    outcome.mean_wait_s = report.mean_wait_s();
-    outcome.completion_ratio = report.completion_ratio();
-    outcome.stranded_demand_j = report.faults.stranded_demand_j;
-    outcome.mean_recovery_latency_s = report.mean_recovery_latency_s();
-    outcome.sessions_aborted = report.faults.sessions_aborted;
-    outcome.coalitions_stranded = report.faults.coalitions_stranded;
-    outcome.recovery_attempts = report.faults.recovery_attempts;
-    outcome.recovery_successes = report.faults.recovery_successes;
+  realized_costs.reserve(result.trials.size());
+  scheduled_costs.reserve(result.trials.size());
+  completion_ratios.reserve(result.trials.size());
+  for (const TrialOutcome& outcome : result.trials) {
     realized_costs.push_back(outcome.realized_cost);
     scheduled_costs.push_back(outcome.scheduled_cost);
     completion_ratios.push_back(outcome.completion_ratio);
-    result.trials.push_back(outcome);
   }
   result.realized = util::summarize(realized_costs);
   result.scheduled = util::summarize(scheduled_costs);

@@ -1,0 +1,177 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <queue>
+#include <thread>
+
+#include "util/assert.h"
+
+namespace cc::util {
+
+namespace {
+
+thread_local bool tls_on_worker = false;
+
+int hardware_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int resolve_jobs(int jobs) { return jobs == 0 ? hardware_jobs() : jobs; }
+
+int jobs_from_env() {
+  const char* env = std::getenv("CC_JOBS");
+  if (env == nullptr || *env == '\0') {
+    return 1;
+  }
+  return resolve_jobs(std::max(0, std::atoi(env)));
+}
+
+int& default_jobs_ref() {
+  static int jobs = jobs_from_env();
+  return jobs;
+}
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::vector<std::thread> workers;
+  std::queue<std::packaged_task<void()>> queue;
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool stop = false;
+
+  void worker_loop() {
+    tls_on_worker = true;
+    for (;;) {
+      std::packaged_task<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [this] { return stop || !queue.empty(); });
+        if (stop && queue.empty()) {
+          return;
+        }
+        task = std::move(queue.front());
+        queue.pop();
+      }
+      task();  // packaged_task routes exceptions into the future
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int threads) : impl_(new Impl) {
+  const int count = std::max(1, threads);
+  // A pool of size 1 runs everything inline; spawning a lone worker
+  // would only add handoff latency.
+  impl_->workers.reserve(static_cast<std::size_t>(count - 1));
+  for (int t = 0; t < count - 1; ++t) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->cv.notify_all();
+  for (std::thread& worker : impl_->workers) {
+    worker.join();
+  }
+  delete impl_;
+}
+
+int ThreadPool::size() const noexcept {
+  return static_cast<int>(impl_->workers.size()) + 1;
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  if (impl_->workers.empty()) {
+    packaged();  // size-1 pool: run inline
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    CC_EXPECTS(!impl_->stop, "submit on a stopped ThreadPool");
+    impl_->queue.push(std::move(packaged));
+  }
+  impl_->cv.notify_one();
+  return future;
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) {
+    return;
+  }
+  if (size() <= 1 || n == 1 || on_worker_thread()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      body(i);
+    }
+    return;
+  }
+
+  struct Shared {
+    std::atomic<std::size_t> next{0};
+    std::mutex mutex;
+    std::size_t error_index = std::numeric_limits<std::size_t>::max();
+    std::exception_ptr error;
+  } shared;
+
+  const auto drain = [&shared, &body, n] {
+    for (;;) {
+      const std::size_t i = shared.next.fetch_add(1);
+      if (i >= n) {
+        return;
+      }
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(shared.mutex);
+        if (i < shared.error_index) {
+          shared.error_index = i;
+          shared.error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  const std::size_t helpers =
+      std::min(static_cast<std::size_t>(size()), n) - 1;
+  std::vector<std::future<void>> futures;
+  futures.reserve(helpers);
+  for (std::size_t t = 0; t < helpers; ++t) {
+    futures.push_back(submit(drain));
+  }
+  drain();  // the caller participates
+  for (std::future<void>& future : futures) {
+    future.get();  // drain swallows body exceptions; this never throws
+  }
+  if (shared.error) {
+    std::rethrow_exception(shared.error);
+  }
+}
+
+bool ThreadPool::on_worker_thread() noexcept { return tls_on_worker; }
+
+int default_jobs() { return default_jobs_ref(); }
+
+void set_default_jobs(int jobs) {
+  CC_EXPECTS(jobs >= 0, "job count must be nonnegative (0 = hardware)");
+  default_jobs_ref() = resolve_jobs(jobs);
+}
+
+ThreadPool& default_pool() {
+  static ThreadPool pool(default_jobs());
+  return pool;
+}
+
+}  // namespace cc::util

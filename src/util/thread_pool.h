@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file thread_pool.h
+/// Fixed-size worker pool powering the parallel experiment engine.
+///
+/// Every multi-seed sweep in the repo (bench_common's `sweep_algorithm`,
+/// the testbed trial runner, the robustness crash sweep) fans its trials
+/// out through `parallel_map`. Determinism contract: work is keyed by
+/// *index*, never by arrival order — trial i derives its seed from i and
+/// writes its result into slot i — so the output of a sweep is identical
+/// for any job count, including 1 (which runs inline with no pool at
+/// all). Timing is the only thing parallelism may change.
+///
+/// The process-wide job count comes from, in priority order:
+/// `set_default_jobs()` (the `--jobs` flag of ccs_cli and every bench),
+/// the `CC_JOBS` environment variable, then 1 (serial). A value of 0
+/// means "one job per hardware thread".
+
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace cc::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (minimum 1). A pool of size 1 spawns no
+  /// threads: all work runs inline on the caller.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int size() const noexcept;
+
+  /// Enqueues one task; the future carries its exception, if any.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Runs `body(i)` for every i in [0, n), blocking until all complete.
+  /// The caller thread participates, so a pool is never idle while its
+  /// owner spins. Rethrows the exception of the *lowest failing index*
+  /// (deterministic error reporting); later indices still run.
+  ///
+  /// Nested-submit deadlock guard: a `parallel_for` issued from inside a
+  /// pool worker runs inline and serially — a worker blocking on tasks
+  /// that only other (possibly occupied) workers could pick up would
+  /// deadlock a fixed-size pool.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
+
+  /// True when the calling thread is a worker of any ThreadPool.
+  [[nodiscard]] static bool on_worker_thread() noexcept;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Process-wide job count (see file comment for the resolution order).
+[[nodiscard]] int default_jobs();
+
+/// Overrides the job count. Must be called before the first use of
+/// `default_pool()` to take effect there; 0 = hardware concurrency.
+void set_default_jobs(int jobs);
+
+/// Lazily constructed process-wide pool sized to `default_jobs()`.
+[[nodiscard]] ThreadPool& default_pool();
+
+/// Deterministic parallel map over an explicit pool: out[i] = fn(i).
+/// Results land in index order regardless of execution interleaving.
+template <typename Fn>
+auto parallel_map(ThreadPool& pool, std::size_t n, Fn&& fn) {
+  using T = std::decay_t<decltype(fn(std::size_t{0}))>;
+  static_assert(std::is_default_constructible_v<T>,
+                "parallel_map results must be default-constructible");
+  std::vector<T> out(n);
+  pool.parallel_for(n, [&out, &fn](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+/// Deterministic parallel map over the default pool.
+template <typename Fn>
+auto parallel_map(std::size_t n, Fn&& fn) {
+  return parallel_map(default_pool(), n, std::forward<Fn>(fn));
+}
+
+}  // namespace cc::util

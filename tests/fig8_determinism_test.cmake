@@ -1,0 +1,34 @@
+# Byte-determinism of the parallel experiment engine: the per-seed cost
+# CSV written by bench_fig8_runtime must be identical for any --jobs
+# value — parallelism may only change timings, never results.
+# Invoked by ctest with -DBENCH=<path-to-bench_fig8_runtime>.
+
+set(WORK "${CMAKE_CURRENT_BINARY_DIR}/fig8_determinism_work")
+file(REMOVE_RECURSE "${WORK}")
+file(MAKE_DIRECTORY "${WORK}/j1")
+file(MAKE_DIRECTORY "${WORK}/j4")
+
+function(run_bench dir jobs)
+  execute_process(
+    COMMAND ${BENCH} --jobs=${jobs} --speedup-seeds=4 --speedup-devices=40
+            --oracle-seeds=2
+    WORKING_DIRECTORY "${dir}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "bench_fig8_runtime --jobs=${jobs} exited ${rc}: ${out}${err}")
+  endif()
+endfunction()
+
+run_bench("${WORK}/j1" 1)
+run_bench("${WORK}/j4" 4)
+
+file(READ "${WORK}/j1/bench_fig8_costs.csv" serial_csv)
+file(READ "${WORK}/j4/bench_fig8_costs.csv" parallel_csv)
+if(NOT serial_csv STREQUAL parallel_csv)
+  message(FATAL_ERROR
+          "bench_fig8_costs.csv differs between --jobs=1 and --jobs=4 — "
+          "the parallel engine broke the determinism contract")
+endif()

@@ -1,0 +1,186 @@
+// Tests for IncrementalGroupCost: the cached coalition aggregates must
+// track CostModel::group_cost through arbitrary add/remove histories.
+// Fee terms (max-based) are exact; summed terms are allowed the 1e-9
+// relative drift documented in incremental_cost.h.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/generator.h"
+#include "core/incremental_cost.h"
+#include "util/rng.h"
+
+namespace {
+
+using cc::core::CostModel;
+using cc::core::DeviceId;
+using cc::core::IncrementalGroupCost;
+
+constexpr double kTol = 1e-9;
+
+cc::core::Instance make_instance(std::uint64_t seed, int devices = 14,
+                                 int chargers = 4) {
+  cc::core::GeneratorConfig config;
+  config.num_devices = devices;
+  config.num_chargers = chargers;
+  config.seed = seed;
+  return cc::core::generate(config);
+}
+
+double rel_err(double a, double b) {
+  return std::abs(a - b) / std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+TEST(IncrementalGroupCost, EmptyCoalitionIsFree) {
+  const auto instance = make_instance(1);
+  const CostModel cost(instance);
+  IncrementalGroupCost group(cost, 0);
+  EXPECT_EQ(group.size(), 0);
+  EXPECT_EQ(group.max_demand(), 0.0);
+  EXPECT_EQ(group.session_fee(), 0.0);
+  EXPECT_EQ(group.cost(), 0.0);
+}
+
+TEST(IncrementalGroupCost, SingletonMatchesGroupCost) {
+  const auto instance = make_instance(2);
+  const CostModel cost(instance);
+  for (cc::core::ChargerId j = 0; j < instance.num_chargers(); ++j) {
+    IncrementalGroupCost group(cost, j);
+    for (DeviceId i = 0; i < instance.num_devices(); ++i) {
+      group.add(i);
+      const DeviceId members[] = {i};
+      EXPECT_EQ(group.session_fee(), cost.session_fee(j, members));
+      EXPECT_NEAR(group.cost(), cost.group_cost(j, members), kTol);
+      group.remove(i);
+      EXPECT_EQ(group.size(), 0);
+    }
+  }
+}
+
+TEST(IncrementalGroupCost, RandomizedAddRemoveTracksFreshEvaluation) {
+  const auto instance = make_instance(3, 20, 5);
+  const CostModel cost(instance);
+  cc::util::Rng rng(77);
+  for (cc::core::ChargerId j = 0; j < instance.num_chargers(); ++j) {
+    IncrementalGroupCost group(cost, j);
+    std::vector<DeviceId> members;
+    for (int step = 0; step < 300; ++step) {
+      const bool can_remove = !members.empty();
+      const bool remove =
+          can_remove && (members.size() == 20 || rng.uniform(0.0, 1.0) < 0.45);
+      if (remove) {
+        const auto pos = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(members.size()) - 1));
+        group.remove(members[pos]);
+        members.erase(members.begin() + static_cast<std::ptrdiff_t>(pos));
+      } else {
+        DeviceId i = 0;
+        do {
+          i = static_cast<DeviceId>(
+              rng.uniform_int(0, instance.num_devices() - 1));
+        } while (std::find(members.begin(), members.end(), i) !=
+                 members.end());
+        group.add(i);
+        members.push_back(i);
+      }
+      ASSERT_EQ(group.size(), static_cast<int>(members.size()));
+      if (members.empty()) {
+        EXPECT_EQ(group.cost(), 0.0);
+        continue;
+      }
+      // The fee is max-based: exact. The total carries the running
+      // move-cost sum: 1e-9 relative.
+      EXPECT_EQ(group.session_fee(), cost.session_fee(j, members));
+      EXPECT_LE(rel_err(group.cost(), cost.group_cost(j, members)), kTol);
+    }
+  }
+}
+
+TEST(IncrementalGroupCost, PerturbationPeeksMatchFreshEvaluation) {
+  const auto instance = make_instance(4, 16, 4);
+  const CostModel cost(instance);
+  cc::util::Rng rng(5);
+  const cc::core::ChargerId j = 1;
+  IncrementalGroupCost group(cost, j);
+  std::vector<DeviceId> members;
+  for (DeviceId i = 0; i < instance.num_devices(); i += 2) {
+    group.add(i);
+    members.push_back(i);
+  }
+  (void)rng;
+  for (DeviceId outside = 1; outside < instance.num_devices(); outside += 2) {
+    std::vector<DeviceId> enlarged = members;
+    enlarged.push_back(outside);
+    EXPECT_EQ(group.fee_with(outside), cost.session_fee(j, enlarged));
+    EXPECT_LE(rel_err(group.cost_with(outside), cost.group_cost(j, enlarged)),
+              kTol);
+  }
+  for (DeviceId inside : members) {
+    std::vector<DeviceId> shrunk = members;
+    shrunk.erase(std::find(shrunk.begin(), shrunk.end(), inside));
+    EXPECT_EQ(group.fee_without(inside), cost.session_fee(j, shrunk));
+    EXPECT_LE(rel_err(group.cost_without(inside), cost.group_cost(j, shrunk)),
+              kTol);
+  }
+  // Peeks must not mutate the coalition.
+  EXPECT_EQ(group.size(), static_cast<int>(members.size()));
+  EXPECT_EQ(group.session_fee(), cost.session_fee(j, members));
+}
+
+TEST(IncrementalGroupCost, TiedDemandsSurviveRemovalOfOneCopy) {
+  // Two devices with identical demands: removing one must leave the max
+  // intact (multiset semantics), removing both must drop it.
+  std::vector<cc::core::Device> devices;
+  for (int k = 0; k < 3; ++k) {
+    cc::core::Device d;
+    d.position = {static_cast<double>(k), 0.0};
+    d.demand_j = k == 2 ? 10.0 : 50.0;  // devices 0 and 1 tie at the max
+    d.battery_capacity_j = 100.0;
+    d.motion.unit_cost = 1.0;
+    devices.push_back(d);
+  }
+  std::vector<cc::core::Charger> chargers;
+  cc::core::Charger c;
+  c.position = {0.0, 1.0};
+  c.power_w = 5.0;
+  c.price_per_s = 0.3;
+  chargers.push_back(c);
+  const cc::core::Instance instance(std::move(devices), std::move(chargers));
+  const CostModel cost(instance);
+
+  IncrementalGroupCost group(cost, 0);
+  group.add(0);
+  group.add(1);
+  group.add(2);
+  EXPECT_EQ(group.max_demand(), 50.0);
+  EXPECT_EQ(group.fee_without(0), group.session_fee());  // twin remains
+  group.remove(0);
+  EXPECT_EQ(group.max_demand(), 50.0);
+  group.remove(1);
+  EXPECT_EQ(group.max_demand(), 10.0);
+  const DeviceId remaining[] = {2};
+  EXPECT_EQ(group.session_fee(), cost.session_fee(0, remaining));
+}
+
+TEST(IncrementalGroupCost, RebindResetsToAnEmptyCoalitionAtTheNewCharger) {
+  const auto instance = make_instance(6);
+  const CostModel cost(instance);
+  IncrementalGroupCost group(cost, 0);
+  group.add(0);
+  group.add(3);
+  ASSERT_GT(group.cost(), 0.0);
+  group.rebind(2);
+  EXPECT_EQ(group.charger(), 2);
+  EXPECT_EQ(group.size(), 0);
+  EXPECT_EQ(group.cost(), 0.0);
+  group.add(5);
+  const DeviceId members[] = {5};
+  EXPECT_EQ(group.session_fee(), cost.session_fee(2, members));
+  EXPECT_NEAR(group.cost(), cost.group_cost(2, members), kTol);
+}
+
+}  // namespace

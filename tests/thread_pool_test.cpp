@@ -1,0 +1,157 @@
+// Tests for the parallel experiment engine (util/thread_pool.h):
+// result ordering, exception propagation, the nested-submit deadlock
+// guard, and the determinism contract — an index-keyed workload must be
+// bitwise identical for any pool size.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "testbed/testbed.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using cc::util::ThreadPool;
+using cc::util::parallel_map;
+
+TEST(ThreadPool, SizeIsAtLeastOne) {
+  ThreadPool zero(0);
+  EXPECT_EQ(zero.size(), 1);
+  ThreadPool negative(-4);
+  EXPECT_EQ(negative.size(), 1);
+  ThreadPool four(4);
+  EXPECT_EQ(four.size(), 4);
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(257);
+  pool.parallel_for(counts.size(), [&counts](std::size_t i) {
+    counts[i].fetch_add(1);
+  });
+  for (const auto& c : counts) {
+    EXPECT_EQ(c.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ParallelMapLandsResultsInIndexOrder) {
+  ThreadPool pool(8);
+  const std::vector<std::size_t> out =
+      parallel_map(pool, std::size_t{301}, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 301u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], i * i);
+  }
+}
+
+TEST(ThreadPool, SubmitFutureCarriesTheTaskException) {
+  ThreadPool pool(3);
+  std::future<void> future =
+      pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForRethrowsTheLowestFailingIndex) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visited(64);
+  try {
+    pool.parallel_for(visited.size(), [&visited](std::size_t i) {
+      visited[i].fetch_add(1);
+      if (i % 7 == 3) {
+        throw std::runtime_error("boom " + std::to_string(i));
+      }
+    });
+    FAIL() << "parallel_for must rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 3");
+  }
+  // Later indices still ran: a failure poisons the report, not the sweep.
+  for (const auto& c : visited) {
+    EXPECT_EQ(c.load(), 1);
+  }
+}
+
+TEST(ThreadPool, NestedParallelForCompletesWithoutDeadlock) {
+  // A parallel_for issued from inside a pool body must not wait on
+  // workers that may all be occupied by outer bodies — the guard runs
+  // nested loops inline on worker threads, and the caller participates
+  // in loops it issues itself. Either way the sums come out right.
+  ThreadPool pool(2);
+  std::vector<long> sums(16, 0);
+  pool.parallel_for(sums.size(), [&pool, &sums](std::size_t i) {
+    std::vector<long> inner(32, 0);
+    pool.parallel_for(inner.size(), [&inner](std::size_t k) {
+      inner[k] = static_cast<long>(k);
+    });
+    long total = 0;
+    for (long v : inner) {
+      total += v;
+    }
+    sums[i] = total;
+  });
+  for (long s : sums) {
+    EXPECT_EQ(s, 31L * 32L / 2L);
+  }
+}
+
+/// Index-keyed float workload: every trial derives its stream from the
+/// index alone, like every sweep in the repo.
+double trial_value(std::size_t i) {
+  cc::util::Rng rng(static_cast<std::uint64_t>(i) * 2654435761ULL + 17);
+  double acc = 0.0;
+  for (int k = 0; k < 100; ++k) {
+    acc += std::sin(rng.uniform(0.0, 6.283185307179586)) * rng.uniform(0.5, 2.0);
+  }
+  return acc;
+}
+
+TEST(ThreadPool, IndexKeyedWorkloadIsBitwiseIdenticalAcrossPoolSizes) {
+  ThreadPool serial(1);
+  ThreadPool wide(8);
+  const std::vector<double> a =
+      parallel_map(serial, std::size_t{200}, trial_value);
+  const std::vector<double> b =
+      parallel_map(wide, std::size_t{200}, trial_value);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Exact double equality on purpose: the determinism contract is
+    // bitwise, not approximate.
+    EXPECT_EQ(a[i], b[i]) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, FieldTrialsAreIdenticalAcrossRepeatedRuns) {
+  // run_field_trials pre-forks all per-trial RNGs serially and fans the
+  // bodies out through the default pool; the outcome stream must be a
+  // pure function of the config regardless of scheduling interleaving.
+  cc::testbed::TestbedConfig config;
+  config.num_trials = 12;
+  config.seed = 99;
+  const auto scheduler = cc::core::make_scheduler("ccsa");
+  const auto first = cc::testbed::run_field_trials(*scheduler, config);
+  const auto second = cc::testbed::run_field_trials(*scheduler, config);
+  ASSERT_EQ(first.trials.size(), second.trials.size());
+  for (std::size_t t = 0; t < first.trials.size(); ++t) {
+    EXPECT_EQ(first.trials[t].realized_cost, second.trials[t].realized_cost);
+    EXPECT_EQ(first.trials[t].scheduled_cost, second.trials[t].scheduled_cost);
+    EXPECT_EQ(first.trials[t].makespan_s, second.trials[t].makespan_s);
+  }
+}
+
+TEST(ThreadPool, DefaultJobsResolvesZeroToHardware) {
+  const int before = cc::util::default_jobs();
+  cc::util::set_default_jobs(3);
+  EXPECT_EQ(cc::util::default_jobs(), 3);
+  cc::util::set_default_jobs(0);
+  EXPECT_GE(cc::util::default_jobs(), 1);
+  cc::util::set_default_jobs(before);
+}
+
+}  // namespace

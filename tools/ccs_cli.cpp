@@ -20,7 +20,9 @@
 #include "coopcharge/coopcharge.h"
 #include "core/io.h"
 #include "util/cli.h"
+#include "util/stopwatch.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 #include "viz/svg.h"
 
 namespace {
@@ -55,21 +57,45 @@ Flags:
     --retries=N              recovery retry budget (default 3)
   --payments                 print the per-device bill
   --svg=PATH                 render the schedule as SVG
+  --jobs=N                   worker threads for parallel sweeps
+                             (0 = one per hardware thread; default from
+                             the CC_JOBS environment variable, else 1)
+  --verbose-timing           print the generate/schedule/validate/score
+                             wall-clock breakdown
 )";
 }
 
+void print_phase_timings(const cc::core::PhaseTimings& phases) {
+  cc::util::Table table({"phase", "ms"});
+  table.row().cell("generate").cell(phases.generate_ms, 3);
+  table.row().cell("schedule").cell(phases.schedule_ms, 3);
+  table.row().cell("validate").cell(phases.validate_ms, 3);
+  table.row().cell("score").cell(phases.score_ms, 3);
+  table.row().cell("total").cell(phases.total_ms(), 3);
+  std::cout << "timing breakdown:\n";
+  table.print(std::cout);
+}
+
 int evaluate(const cc::core::Instance& instance,
-             const cc::core::Schedule& schedule,
-             const cc::util::Cli& cli) {
-  const cc::core::CostModel cost(instance);
+             const cc::core::Schedule& schedule, const cc::util::Cli& cli,
+             cc::core::PhaseTimings phases) {
+  cc::util::Stopwatch watch;
   schedule.validate(instance);
+  phases.validate_ms = watch.elapsed_ms();
+  watch.restart();
+  const cc::core::CostModel cost(instance);
+  const double total_cost = schedule.total_cost(cost);
+  phases.score_ms = watch.elapsed_ms();
   const auto scheme = cc::core::sharing_scheme_from_string(
       cli.get("scheme", "egalitarian"));
 
   std::cout << "coalitions        : " << schedule.num_coalitions() << '\n'
             << "mean size         : " << schedule.mean_coalition_size()
             << '\n'
-            << "comprehensive cost: " << schedule.total_cost(cost) << '\n';
+            << "comprehensive cost: " << total_cost << '\n';
+  if (cli.get_bool("verbose-timing", false)) {
+    print_phase_timings(phases);
+  }
 
   if (cli.get_bool("payments", false)) {
     const auto pays = schedule.device_payments(cost, scheme);
@@ -154,6 +180,10 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (cli.has("jobs")) {
+    cc::util::set_default_jobs(cli.get_int("jobs", 1));
+  }
+
   try {
     if (cli.get_bool("generate", false)) {
       cc::core::GeneratorConfig config;
@@ -180,18 +210,23 @@ int main(int argc, char** argv) {
                    "(--help for usage)\n";
       return 1;
     }
+    cc::core::PhaseTimings phases;
+    cc::util::Stopwatch watch;
     const cc::core::Instance instance =
         cc::core::load_instance(instance_path);
+    phases.generate_ms = watch.elapsed_ms();
 
     if (cli.has("schedule")) {
       const cc::core::Schedule schedule =
           cc::core::load_schedule(cli.get("schedule", ""));
-      return evaluate(instance, schedule, cli);
+      return evaluate(instance, schedule, cli, phases);
     }
 
     const std::string algo = cli.get("algo", "ccsa");
     const auto scheduler = cc::core::make_scheduler(algo);
+    watch.restart();
     const auto result = scheduler->run(instance);
+    phases.schedule_ms = watch.elapsed_ms();
     std::cout << "algorithm         : " << algo << '\n'
               << "elapsed           : " << result.stats.elapsed_ms
               << " ms\n";
@@ -200,7 +235,7 @@ int main(int argc, char** argv) {
       cc::core::save_schedule(schedule_out, result.schedule);
       std::cout << "wrote " << schedule_out << '\n';
     }
-    return evaluate(instance, result.schedule, cli);
+    return evaluate(instance, result.schedule, cli, phases);
   } catch (const cc::core::IoError& e) {
     std::cerr << "i/o error: " << e.what() << '\n';
     return 2;
