@@ -9,12 +9,29 @@
 /// (util/thread_pool.h). Seeds are assigned per *index*, so the numbers
 /// a bench reports are identical for any `--jobs` value — parallelism
 /// only changes the wall clock.
+///
+/// Observability: every bench understands
+///   --obs              enable the obs registry (counters/spans)
+///   --trace=PATH       write a JSON-lines span trace (implies --obs)
+///   --manifest[=PATH]  write a RunManifest on exit (implies --obs);
+///                      default path is BENCH_<bench>.json in the cwd
+/// `init` registers the manifest writer with atexit, so benches need no
+/// explicit shutdown call; `sweep_algorithm` auto-records its mean cost
+/// (deterministic, CI-gated) and mean wall time (advisory) as headline
+/// metrics, and `record_metric` adds bench-specific ones.
 
+#include <atomic>
+#include <cstdlib>
 #include <iostream>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "coopcharge/coopcharge.h"
+#include "obs/manifest.h"
+#include "obs/registry.h"
+#include "obs/span.h"
 #include "util/cli.h"
 #include "util/csv.h"
 #include "util/stats.h"
@@ -24,13 +41,95 @@
 
 namespace cc::bench {
 
+namespace detail {
+
+struct ManifestState {
+  std::mutex mutex;
+  std::string bench_name = "bench";
+  std::string manifest_path;  // empty: no manifest requested
+  std::vector<std::pair<std::string, double>> metrics;
+  std::atomic<int> sweep_index{0};
+};
+
+inline ManifestState& manifest_state() {
+  static ManifestState* state = new ManifestState;  // alive during atexit
+  return *state;
+}
+
+inline void write_manifest_at_exit() {
+  ManifestState& state = manifest_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (state.manifest_path.empty()) {
+    return;
+  }
+  obs::RunManifest manifest = obs::make_manifest(state.bench_name);
+  for (const auto& [key, value] : state.metrics) {
+    manifest.set_metric(key, value);
+  }
+  try {
+    manifest.save(state.manifest_path);
+    std::cout << "manifest: " << state.manifest_path << '\n';
+  } catch (const std::exception& e) {
+    std::cerr << "manifest write failed: " << e.what() << '\n';
+  }
+  obs::flush_trace();
+}
+
+}  // namespace detail
+
+/// Adds one headline metric to the manifest (no-op when none was
+/// requested). Keys with a "time." prefix or "_ms" suffix are treated
+/// as machine-dependent by `ccs_bench_diff`; everything else is gated.
+inline void record_metric(const std::string& key, double value) {
+  detail::ManifestState& state = detail::manifest_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (state.manifest_path.empty()) {
+    return;
+  }
+  for (auto& [existing_key, existing_value] : state.metrics) {
+    if (existing_key == key) {
+      existing_value = value;
+      return;
+    }
+  }
+  state.metrics.emplace_back(key, value);
+}
+
 /// Standard bench entry hook: parses `--jobs=N` (0 = one per hardware
 /// thread; `CC_JOBS` is the fallback) before any sweep touches the
-/// process-wide pool. Call first in every bench main.
+/// process-wide pool, plus the observability flags documented in the
+/// file comment. Call first in every bench main.
 inline void init(int argc, const char* const* argv) {
   const util::Cli cli(argc, argv);
   if (cli.has("jobs")) {
     util::set_default_jobs(cli.get_int("jobs", 1));
+  }
+
+  std::string name = argc > 0 ? std::string(argv[0]) : std::string();
+  const auto slash = name.find_last_of('/');
+  if (slash != std::string::npos) {
+    name = name.substr(slash + 1);
+  }
+  if (name.empty()) {
+    name = "bench";
+  }
+  detail::manifest_state().bench_name = name;
+
+  if (cli.get_bool("obs", false)) {
+    obs::set_enabled(true);
+  }
+  if (cli.has("trace")) {
+    obs::set_enabled(true);
+    obs::set_trace_path(cli.get("trace", ""));
+  }
+  if (cli.has("manifest")) {
+    obs::set_enabled(true);
+    std::string path = cli.get("manifest", "");
+    if (path.empty() || path == "true") {  // bare --manifest
+      path = "BENCH_" + name + ".json";
+    }
+    detail::manifest_state().manifest_path = path;
+    std::atexit(detail::write_manifest_at_exit);
   }
 }
 
@@ -49,6 +148,9 @@ inline AlgoSweepResult sweep_algorithm(const std::string& algorithm,
                                        core::GeneratorConfig config,
                                        int seeds,
                                        std::uint64_t seed_base = 1) {
+  const obs::Span span("bench.sweep." + algorithm);
+  obs::count("bench.sweeps");
+  obs::count("bench.trials", seeds);
   // Hoisted per-config state: one scheduler serves every trial
   // (Scheduler::run is stateless — see scheduler.h).
   const auto scheduler = core::make_scheduler(algorithm);
@@ -81,6 +183,18 @@ inline AlgoSweepResult sweep_algorithm(const std::string& algorithm,
   out.mean_cost = out.cost_summary.mean;
   out.elapsed_summary = util::summarize(elapsed);
   out.mean_elapsed_ms = out.elapsed_summary.mean;
+
+  // Headline metrics for the manifest. Sweeps run serially from main,
+  // so the index sequence — and with it every key — is deterministic;
+  // the mean cost is seed-derived and CI-gated at 1e-9, the wall time
+  // is machine-bound and advisory ("time." prefix).
+  const int idx =
+      detail::manifest_state().sweep_index.fetch_add(1,
+                                                     std::memory_order_relaxed);
+  const std::string prefix =
+      "sweep" + std::to_string(idx) + "." + algorithm;
+  record_metric(prefix + ".mean_cost", out.mean_cost);
+  record_metric("time." + prefix + ".mean_ms", out.mean_elapsed_ms);
   return out;
 }
 

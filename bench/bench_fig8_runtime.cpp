@@ -108,6 +108,9 @@ int main(int argc, char** argv) {
       table.row().cell(p.algo).cell(p.n).cell(ms, 2);
       timing_csv.write_row({"scaling", p.algo, std::to_string(p.n),
                             cc::util::format_double(ms, 3)});
+      cc::bench::record_metric("time.scaling." + std::string(p.algo) + "." +
+                                   std::to_string(p.n) + "_ms",
+                               ms);
     }
     table.print(std::cout);
     std::cout << '\n';
@@ -155,6 +158,10 @@ int main(int argc, char** argv) {
                           cc::util::format_double(serial_ms, 3)});
     timing_csv.write_row({"engine", "parallel", std::to_string(devices),
                           cc::util::format_double(parallel_ms, 3)});
+    cc::bench::record_metric("time.engine.serial_ms", serial_ms);
+    cc::bench::record_metric("time.engine.parallel_ms", parallel_ms);
+    cc::bench::record_metric("engine.mean_cost",
+                             cc::util::mean_of(serial));
   }
 
   // --- 3. Full vs incremental cost-model hot path ----------------------
@@ -233,6 +240,12 @@ int main(int argc, char** argv) {
       timing_csv.write_row({"oracle_incremental", v.label,
                             std::to_string(v.devices),
                             cc::util::format_double(inc_ms, 3)});
+      cc::bench::record_metric("time.oracle." + v.label + ".full_ms",
+                               full_ms);
+      cc::bench::record_metric("time.oracle." + v.label + ".incremental_ms",
+                               inc_ms);
+      cc::bench::record_metric("oracle." + v.label + ".max_cost_delta",
+                               max_delta);
     }
     table.print(std::cout);
   }

@@ -52,6 +52,13 @@ int main(int argc, char** argv) {
                    cc::util::format_double(pct, 2),
                    cc::util::format_double(makespan, 2),
                    cc::util::format_double(wait, 2)});
+    const std::string prefix = std::string("field.") + name;
+    cc::bench::record_metric(prefix + ".realized_mean",
+                             result.realized.mean);
+    cc::bench::record_metric(prefix + ".scheduled_mean",
+                             result.scheduled.mean);
+    cc::bench::record_metric(prefix + ".mean_makespan_s", makespan);
+    cc::bench::record_metric(prefix + ".mean_wait_s", wait);
   }
   table.print(std::cout);
   std::cout << "\ncsv: bench_table2_field_experiment.csv\n";

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "core/refine.h"
+#include "obs/registry.h"
 #include "submodular/densest.h"
 #include "util/assert.h"
 #include "util/stopwatch.h"
@@ -73,6 +74,11 @@ SchedulerResult Ccsa::run(const Instance& instance) const {
   }
 
   result.stats.elapsed_ms = watch.elapsed_ms();
+  // Direct constructions (fig8's before/after harness) bypass the
+  // registry decorator, so the algorithm reports its own counters too.
+  obs::count("ccsa.runs");
+  obs::count("ccsa.cover_iterations", result.stats.iterations);
+  obs::count("ccsa.refine_switches", result.stats.switches);
   return result;
 }
 

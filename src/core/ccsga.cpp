@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "core/incremental_cost.h"
+#include "obs/registry.h"
 #include "util/assert.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -303,6 +304,14 @@ SchedulerResult Ccsga::run(const Instance& instance) const {
     }
   }
   result.stats.elapsed_ms = watch.elapsed_ms();
+  // Direct constructions (fig8's before/after harness) bypass the
+  // registry decorator, so the algorithm reports its own counters too.
+  obs::count("ccsga.runs");
+  obs::count("ccsga.rounds", result.stats.iterations);
+  obs::count("ccsga.switch_ops", result.stats.switches);
+  if (!result.stats.converged) {
+    obs::count("ccsga.round_cap_hits");
+  }
   return result;
 }
 

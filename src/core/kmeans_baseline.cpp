@@ -61,7 +61,8 @@ SchedulerResult KMeansBaseline::run(const Instance& instance) const {
     std::vector<geom::Vec2> sums(static_cast<std::size_t>(k));
     std::vector<int> counts(static_cast<std::size_t>(k), 0);
     for (int i = 0; i < n; ++i) {
-      const auto c = static_cast<std::size_t>(assignment[static_cast<std::size_t>(i)]);
+      const auto c =
+          static_cast<std::size_t>(assignment[static_cast<std::size_t>(i)]);
       sums[c] += instance.device(i).position;
       ++counts[c];
     }

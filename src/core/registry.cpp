@@ -8,11 +8,51 @@
 #include "core/noncoop.h"
 #include "core/random_baseline.h"
 #include "core/simple_baselines.h"
+#include "obs/registry.h"
+#include "obs/span.h"
 #include "util/assert.h"
 
 namespace cc::core {
 
-std::unique_ptr<Scheduler> make_scheduler(const std::string& name) {
+namespace {
+
+/// Decorates every registry scheduler with a trace span and run/
+/// iteration/switch counters, so any driver that goes through
+/// `make_scheduler` (ccs_cli, benches, testbed, sweeps) is observable
+/// without per-algorithm wiring. Inert when the obs gate is off.
+class InstrumentedScheduler final : public Scheduler {
+ public:
+  explicit InstrumentedScheduler(std::unique_ptr<Scheduler> inner)
+      : inner_(std::move(inner)) {}
+
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+
+  [[nodiscard]] SchedulerResult run(const Instance& instance) const override {
+    if (!obs::enabled()) {
+      return inner_->run(instance);
+    }
+    const std::string algo = inner_->name();
+    const obs::Span span("sched." + algo);
+    SchedulerResult result = inner_->run(instance);
+    obs::count("sched.runs");
+    obs::count("sched." + algo + ".runs");
+    obs::count("sched." + algo + ".iterations", result.stats.iterations);
+    obs::count("sched." + algo + ".switches", result.stats.switches);
+    if (!result.stats.converged) {
+      obs::count("sched." + algo + ".round_cap_hits");
+    }
+    return result;
+  }
+
+ private:
+  std::unique_ptr<Scheduler> inner_;
+};
+
+std::unique_ptr<Scheduler> instrument(std::unique_ptr<Scheduler> inner) {
+  return std::make_unique<InstrumentedScheduler>(std::move(inner));
+}
+
+std::unique_ptr<Scheduler> make_raw_scheduler(const std::string& name) {
   if (name == "noncoop") {
     return std::make_unique<NonCooperation>();
   }
@@ -60,6 +100,12 @@ std::unique_ptr<Scheduler> make_scheduler(const std::string& name) {
   }
   CC_ASSERT(false, "unknown scheduler: " + name);
   return nullptr;
+}
+
+}  // namespace
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name) {
+  return instrument(make_raw_scheduler(name));
 }
 
 std::vector<std::string> scheduler_names() {

@@ -34,8 +34,8 @@ std::vector<double> airport_shapley(double a, std::span<const double> weights) {
   return shares;
 }
 
-std::vector<double> airport_shapley_bruteforce(double a,
-                                               std::span<const double> weights) {
+std::vector<double> airport_shapley_bruteforce(
+    double a, std::span<const double> weights) {
   CC_EXPECTS(a >= 0.0, "cost coefficient must be nonnegative");
   CC_EXPECTS(!weights.empty() && weights.size() <= 9,
              "bruteforce Shapley is limited to k <= 9");

@@ -92,8 +92,8 @@ std::size_t GridIndex::nearest(Vec2 query) const {
             col >= static_cast<long>(cols_)) {
           continue;
         }
-        const std::size_t c =
-            static_cast<std::size_t>(row) * cols_ + static_cast<std::size_t>(col);
+        const std::size_t c = static_cast<std::size_t>(row) * cols_ +
+                              static_cast<std::size_t>(col);
         for (std::size_t k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
           const std::size_t i = cell_items_[k];
           const double d2 = distance_sq(points_[i], query);

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file json.h
+/// Minimal JSON support for the observability layer: escaping and
+/// round-trip double formatting for the writers (manifests, trace
+/// lines), and a small recursive-descent parser for the readers
+/// (`ccs_bench_diff`, manifest round-trip tests). Deliberately tiny —
+/// objects, arrays, strings, finite numbers, bools, null — which is
+/// exactly the subset the manifests use. Not a general-purpose
+/// library; no external dependency wanted for a build-gating tool.
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cc::obs {
+
+/// Escapes `"` `\` and control characters for a JSON string literal
+/// (returns the body only, without surrounding quotes).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Shortest representation that round-trips a finite double
+/// (max_digits10). Non-finite values serialize as null — manifests
+/// must never carry them into a CI comparison.
+[[nodiscard]] std::string json_double(double v);
+
+/// Thrown by `parse_json` with a byte offset and reason.
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parsed JSON document. Keys are kept in a map (manifest writers emit
+/// sorted keys, so round-trips are byte-stable).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind == Kind::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind == Kind::kArray; }
+
+  /// Object member access; throws JsonError on missing key / non-object.
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+
+  /// True when the value is an object containing `key`.
+  [[nodiscard]] bool has(const std::string& key) const noexcept;
+
+  /// Typed accessors; throw JsonError on kind mismatch.
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] const std::string& as_string() const;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, anything
+/// else after the value is an error). Throws JsonError on malformed
+/// input.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+}  // namespace cc::obs

@@ -1,0 +1,184 @@
+#include "obs/manifest.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/json.h"
+#include "obs/registry.h"
+#include "util/thread_pool.h"
+
+#ifndef CC_GIT_DESCRIBE
+#define CC_GIT_DESCRIBE "unknown"
+#endif
+#ifndef CC_BUILD_TYPE
+#define CC_BUILD_TYPE "unknown"
+#endif
+#ifndef CC_SANITIZE_STR
+#define CC_SANITIZE_STR "OFF"
+#endif
+
+namespace cc::obs {
+
+namespace {
+
+constexpr std::string_view kSpanPrefix = "span.";
+constexpr std::string_view kSpanCpuPrefix = "span_cpu.";
+
+void write_string_field(std::ostream& out, const char* key,
+                        const std::string& value, bool trailing_comma) {
+  out << "  \"" << key << "\": \"" << json_escape(value) << '"'
+      << (trailing_comma ? ",\n" : "\n");
+}
+
+}  // namespace
+
+void RunManifest::set_metric(std::string_view key, double value) {
+  for (auto& [name, existing] : metrics) {
+    if (name == key) {
+      existing = value;
+      return;
+    }
+  }
+  metrics.emplace_back(std::string(key), value);
+}
+
+bool RunManifest::metric(std::string_view key, double& out) const noexcept {
+  for (const auto& [name, value] : metrics) {
+    if (name == key) {
+      out = value;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string RunManifest::to_json() const {
+  std::ostringstream out;
+  out << "{\n";
+  write_string_field(out, "name", name, true);
+  write_string_field(out, "git_describe", git_describe, true);
+  write_string_field(out, "build_type", build_type, true);
+  write_string_field(out, "sanitize", sanitize, true);
+  out << "  \"seed\": " << seed << ",\n";
+  out << "  \"jobs\": " << jobs << ",\n";
+  out << "  \"devices\": " << devices << ",\n";
+  out << "  \"chargers\": " << chargers << ",\n";
+  out << "  \"phases\": [";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const PhaseSample& p = phases[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"name\": \""
+        << json_escape(p.name) << "\", \"wall_ms\": " << json_double(p.wall_ms)
+        << ", \"cpu_ms\": " << json_double(p.cpu_ms)
+        << ", \"count\": " << p.count << "}";
+  }
+  out << (phases.empty() ? "],\n" : "\n  ],\n");
+  out << "  \"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \""
+        << json_escape(counters[i].first) << "\": " << counters[i].second;
+  }
+  out << (counters.empty() ? "},\n" : "\n  },\n");
+  out << "  \"metrics\": {";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \""
+        << json_escape(metrics[i].first)
+        << "\": " << json_double(metrics[i].second);
+  }
+  out << (metrics.empty() ? "}\n" : "\n  }\n");
+  out << "}\n";
+  return out.str();
+}
+
+RunManifest RunManifest::from_json(std::string_view text) {
+  const JsonValue doc = parse_json(text);
+  if (!doc.is_object()) {
+    throw JsonError("manifest: top-level value must be an object");
+  }
+  RunManifest m;
+  m.name = doc.at("name").as_string();
+  m.git_describe = doc.at("git_describe").as_string();
+  m.build_type = doc.at("build_type").as_string();
+  m.sanitize = doc.at("sanitize").as_string();
+  m.seed = static_cast<std::uint64_t>(doc.at("seed").as_number());
+  m.jobs = static_cast<int>(doc.at("jobs").as_int());
+  m.devices = static_cast<int>(doc.at("devices").as_int());
+  m.chargers = static_cast<int>(doc.at("chargers").as_int());
+  for (const JsonValue& p : doc.at("phases").array) {
+    PhaseSample sample;
+    sample.name = p.at("name").as_string();
+    sample.wall_ms = p.at("wall_ms").as_number();
+    sample.cpu_ms = p.at("cpu_ms").as_number();
+    sample.count = p.at("count").as_int();
+    m.phases.push_back(std::move(sample));
+  }
+  for (const auto& [key, value] : doc.at("counters").object) {
+    m.counters.emplace_back(key, value.as_int());
+  }
+  for (const auto& [key, value] : doc.at("metrics").object) {
+    m.metrics.emplace_back(key, value.as_number());
+  }
+  return m;
+}
+
+void RunManifest::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("manifest: cannot open '" + path +
+                             "' for writing");
+  }
+  out << to_json();
+  if (!out) {
+    throw std::runtime_error("manifest: write to '" + path + "' failed");
+  }
+}
+
+RunManifest RunManifest::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("manifest: cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_json(buffer.str());
+}
+
+RunManifest make_manifest(std::string name) {
+  RunManifest m;
+  m.name = std::move(name);
+  m.git_describe = CC_GIT_DESCRIBE;
+  m.build_type = CC_BUILD_TYPE;
+  m.sanitize = CC_SANITIZE_STR;
+  m.jobs = util::default_jobs();
+  m.counters = registry().counter_snapshot();
+
+  // Pair the wall and CPU span histograms into per-phase samples.
+  const auto histograms = registry().histogram_snapshot();
+  for (const auto& [hist_name, snap] : histograms) {
+    if (!hist_name.starts_with(kSpanPrefix) ||
+        hist_name.starts_with(kSpanCpuPrefix)) {
+      continue;
+    }
+    PhaseSample sample;
+    sample.name = hist_name.substr(kSpanPrefix.size());
+    sample.wall_ms = snap.sum;
+    sample.count = snap.count;
+    for (const auto& [cpu_name, cpu_snap] : histograms) {
+      if (cpu_name.size() == kSpanCpuPrefix.size() + sample.name.size() &&
+          cpu_name.starts_with(kSpanCpuPrefix) &&
+          cpu_name.ends_with(sample.name)) {
+        sample.cpu_ms = cpu_snap.sum;
+        break;
+      }
+    }
+    m.phases.push_back(std::move(sample));
+  }
+  return m;
+}
+
+bool is_runtime_metric(std::string_view key) noexcept {
+  return key.starts_with("time.") || key.ends_with("_ms");
+}
+
+}  // namespace cc::obs

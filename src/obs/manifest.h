@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file manifest.h
+/// Per-run manifest: the machine-readable record every bench and
+/// `ccs_cli --manifest` emit as `BENCH_<name>.json`. CI diffs two
+/// manifest sets with `ccs_bench_diff` to gate cost drift and runtime
+/// regressions, so the schema separates what must match exactly from
+/// what is machine-dependent:
+///
+///   * `metrics`  — headline numbers. Keys classified by
+///     `is_runtime_metric` (prefix "time." or suffix "_ms") are wall
+///     clock and only checked against a loose advisory threshold; all
+///     other metrics (costs, ratios, counts) are deterministic and
+///     gated at a tight relative tolerance.
+///   * `counters` — the obs registry snapshot. Informational: values
+///     depend on `jobs` and gating, so the differ never compares them.
+///   * `phases`   — per-phase wall/CPU totals from span histograms.
+///
+/// Metadata (git describe, build type, sanitizer, seed, jobs, instance
+/// shape) travels along for provenance and is likewise not compared.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cc::obs {
+
+struct PhaseSample {
+  std::string name;
+  double wall_ms = 0.0;
+  double cpu_ms = 0.0;
+  std::int64_t count = 0;  ///< spans accumulated into this phase
+};
+
+struct RunManifest {
+  std::string name;          ///< bench/tool identity; differ matches on it
+  std::string git_describe;  ///< CC_GIT_DESCRIBE at configure time
+  std::string build_type;    ///< CMAKE_BUILD_TYPE
+  std::string sanitize;      ///< CC_SANITIZE cache value
+  std::uint64_t seed = 0;
+  int jobs = 1;
+  int devices = 0;   ///< instance shape when one instance dominates
+  int chargers = 0;  ///< (0 = multi-instance sweep, shape in metrics)
+  std::vector<PhaseSample> phases;
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+  std::vector<std::pair<std::string, double>> metrics;
+
+  /// Appends or overwrites one headline metric.
+  void set_metric(std::string_view key, double value);
+
+  /// Looks up a metric; returns true and fills `out` when present.
+  [[nodiscard]] bool metric(std::string_view key, double& out) const noexcept;
+
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] static RunManifest from_json(std::string_view text);
+
+  /// Writes `to_json()` to `path`; throws std::runtime_error on I/O
+  /// failure.
+  void save(const std::string& path) const;
+  [[nodiscard]] static RunManifest load(const std::string& path);
+};
+
+/// Builds a manifest pre-filled with build/runtime provenance (git
+/// describe, build flags, jobs) plus the current registry counter
+/// snapshot and per-phase span totals. Callers add metrics and shape.
+[[nodiscard]] RunManifest make_manifest(std::string name);
+
+/// True for metric keys that carry wall-clock measurements ("time."
+/// prefix or "_ms" suffix) — advisory in CI, not gating.
+[[nodiscard]] bool is_runtime_metric(std::string_view key) noexcept;
+
+}  // namespace cc::obs

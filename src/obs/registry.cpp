@@ -1,0 +1,148 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+namespace cc::obs {
+
+namespace {
+
+bool env_enabled() {
+  const char* env = std::getenv("CC_OBS");
+  if (env == nullptr || *env == '\0') {
+    return false;
+  }
+  return std::strcmp(env, "0") != 0 && std::strcmp(env, "false") != 0 &&
+         std::strcmp(env, "off") != 0;
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{env_enabled()};
+  return flag;
+}
+
+}  // namespace
+
+bool enabled() noexcept {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) noexcept {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+void Gauge::max_of(double v) noexcept {
+  if (!enabled()) {
+    return;
+  }
+  double current = value_.load(std::memory_order_relaxed);
+  while (v > current && !value_.compare_exchange_weak(
+                            current, v, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::record(double x) noexcept {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (data_.count == 0) {
+    data_.min = x;
+    data_.max = x;
+  } else {
+    data_.min = std::min(data_.min, x);
+    data_.max = std::max(data_.max, x);
+  }
+  ++data_.count;
+  data_.sum += x;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return data_;
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  data_ = Snapshot{};
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) {
+    return it->second;
+  }
+  return counters_[std::string(name)];
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) {
+    return it->second;
+  }
+  return gauges_[std::string(name)];
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    return it->second;
+  }
+  return histograms_[std::string(name)];
+}
+
+std::vector<std::pair<std::string, std::int64_t>> Registry::counter_snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter.value());
+  }
+  return out;  // std::map iterates in name order
+}
+
+std::vector<std::pair<std::string, double>> Registry::gauge_snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.emplace_back(name, gauge.value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, Histogram::Snapshot>>
+Registry::histogram_snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, Histogram::Snapshot>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.emplace_back(name, histogram.snapshot());
+  }
+  return out;
+}
+
+void Registry::reset_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) {
+    counter.reset();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge.reset();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram.reset();
+  }
+}
+
+Registry& registry() {
+  static Registry* instance = new Registry;  // leak: outlive atexit users
+  return *instance;
+}
+
+}  // namespace cc::obs

@@ -1,0 +1,142 @@
+#pragma once
+
+/// \file registry.h
+/// Process-wide observability registry: named counters, gauges and
+/// histograms that any layer (schedulers, simulator, thread pool,
+/// testbed) can bump without plumbing a context object through every
+/// call site.
+///
+/// Cost contract: the whole subsystem sits behind one global flag
+/// (`enabled()`, backed by the `CC_OBS` environment variable or
+/// `set_enabled`). Every mutation checks that flag first — a single
+/// relaxed atomic load — so release numbers with `CC_OBS` off are
+/// unaffected (verified by bench_fig8_runtime before/after). Handles
+/// returned by `Registry` are stable for the process lifetime, so hot
+/// paths may cache them.
+///
+/// Thread safety: counters are lock-free relaxed atomics; gauges use
+/// CAS loops; histograms take a per-histogram mutex (they are only
+/// touched on span ends and other cold edges). Name lookup takes the
+/// registry mutex — cache the handle if a path is hot.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cc::obs {
+
+/// Global gate. Initialized from `CC_OBS` (unset/"0"/"false"/"off" =
+/// disabled) on first query; `set_enabled` overrides at any time.
+[[nodiscard]] bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// Monotonic event count. `add` is a no-op while the gate is off.
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) noexcept {
+    if (enabled()) {
+      value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+  }
+
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-value / high-watermark instrument (e.g. peak queue depth).
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    if (enabled()) {
+      value_.store(v, std::memory_order_relaxed);
+    }
+  }
+
+  /// Raises the gauge to `v` if larger (monotone high-watermark).
+  void max_of(double v) noexcept;
+
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Count/sum/min/max accumulator — enough for per-phase wall/CPU
+/// totals in manifests without committing to a bucket layout.
+class Histogram {
+ public:
+  struct Snapshot {
+    std::int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+
+    [[nodiscard]] double mean() const noexcept {
+      return count > 0 ? sum / static_cast<double>(count) : 0.0;
+    }
+  };
+
+  void record(double x) noexcept;
+  [[nodiscard]] Snapshot snapshot() const;
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  Snapshot data_;
+};
+
+/// Name → instrument table. Returned references stay valid for the
+/// lifetime of the registry (node-based storage, never erased).
+class Registry {
+ public:
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name);
+
+  /// Snapshots sorted by name — deterministic serialization order.
+  [[nodiscard]] std::vector<std::pair<std::string, std::int64_t>>
+  counter_snapshot() const;
+  [[nodiscard]] std::vector<std::pair<std::string, double>> gauge_snapshot()
+      const;
+  [[nodiscard]] std::vector<std::pair<std::string, Histogram::Snapshot>>
+  histogram_snapshot() const;
+
+  /// Zeroes every instrument (tests); names stay registered.
+  void reset_all();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+/// The process-wide registry (lazily constructed, never destroyed
+/// before atexit manifest writers run).
+[[nodiscard]] Registry& registry();
+
+/// Convenience: `registry().counter(name).add(delta)` with the gate
+/// checked before the name lookup, so disabled call sites pay one
+/// atomic load and no locking.
+inline void count(std::string_view name, std::int64_t delta = 1) {
+  if (enabled()) {
+    registry().counter(name).add(delta);
+  }
+}
+
+}  // namespace cc::obs

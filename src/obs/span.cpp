@@ -1,0 +1,136 @@
+#include "obs/span.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <mutex>
+#include <utility>
+
+#include "obs/json.h"
+#include "obs/registry.h"
+
+namespace cc::obs {
+
+namespace {
+
+thread_local int tls_depth = 0;
+
+/// Small monotone ids keep trace files readable (std::thread::id is an
+/// opaque hash). Assigned on first span end per thread.
+int thread_trace_id() {
+  static std::atomic<int> next{0};
+  thread_local int id = next.fetch_add(1);
+  return id;
+}
+
+struct TraceSink {
+  std::mutex mutex;
+  std::ofstream out;
+  bool env_checked = false;
+
+  void ensure_env_default() {
+    if (env_checked) {
+      return;
+    }
+    env_checked = true;
+    const char* env = std::getenv("CC_OBS_TRACE");
+    if (env != nullptr && *env != '\0') {
+      out.open(env, std::ios::trunc);
+    }
+  }
+};
+
+TraceSink& sink() {
+  static TraceSink* instance = new TraceSink;  // leak: usable at exit
+  return *instance;
+}
+
+std::chrono::steady_clock::time_point process_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+double wall_clock_ms() noexcept {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - process_epoch())
+      .count();
+}
+
+double thread_cpu_ms() noexcept {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) * 1e3 +
+           static_cast<double>(ts.tv_nsec) * 1e-6;
+  }
+#endif
+  return static_cast<double>(std::clock()) * 1e3 / CLOCKS_PER_SEC;
+}
+
+Span::Span(std::string name) {
+  if (!enabled()) {
+    return;
+  }
+  name_ = std::move(name);
+  active_ = true;
+  ++tls_depth;
+  start_wall_ms_ = wall_clock_ms();
+  start_cpu_ms_ = thread_cpu_ms();
+}
+
+Span::~Span() {
+  if (!active_) {
+    return;
+  }
+  const double wall = wall_clock_ms() - start_wall_ms_;
+  const double cpu = thread_cpu_ms() - start_cpu_ms_;
+  const int depth = --tls_depth;
+  registry().histogram("span." + name_).record(wall);
+  registry().histogram("span_cpu." + name_).record(cpu);
+
+  TraceSink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.ensure_env_default();
+  if (!s.out.is_open()) {
+    return;
+  }
+  s.out << "{\"name\":\"" << json_escape(name_)
+        << "\",\"thread\":" << thread_trace_id() << ",\"depth\":" << depth
+        << ",\"start_ms\":" << json_double(start_wall_ms_)
+        << ",\"wall_ms\":" << json_double(wall)
+        << ",\"cpu_ms\":" << json_double(cpu) << "}\n";
+}
+
+int Span::current_depth() noexcept { return tls_depth; }
+
+void set_trace_path(const std::string& path) {
+  TraceSink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.env_checked = true;  // explicit choice overrides CC_OBS_TRACE
+  if (s.out.is_open()) {
+    s.out.close();
+  }
+  if (!path.empty()) {
+    s.out.open(path, std::ios::trunc);
+  }
+}
+
+bool tracing() noexcept {
+  TraceSink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.out.is_open();
+}
+
+void flush_trace() {
+  TraceSink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.out.is_open()) {
+    s.out.flush();
+  }
+}
+
+}  // namespace cc::obs

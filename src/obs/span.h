@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file span.h
+/// RAII trace spans. A `Span` measures the wall and thread-CPU time of
+/// a scope, accumulates both into the registry (histograms
+/// `span.<name>` and `span_cpu.<name>`, which is where manifests get
+/// their per-phase totals), and — when a trace sink is attached —
+/// appends one JSON line per completed span to a `.jsonl` file:
+///
+///   {"name":"sched.ccsa","thread":2,"depth":1,
+///    "start_ms":12.031,"wall_ms":48.772,"cpu_ms":48.512}
+///
+/// Nesting is tracked per thread: a span opened inside another span
+/// carries `depth` one deeper, so the driver-level `PhaseTimings`
+/// phases (ccs_cli opens `phase.generate` / `phase.schedule` / …) form
+/// the depth-0 roots under which scheduler and simulator spans nest.
+///
+/// Like all of obs, spans are inert while `obs::enabled()` is false:
+/// construction is a single relaxed atomic load and no clock is read.
+
+#include <cstdint>
+#include <string>
+
+namespace cc::obs {
+
+class Span {
+ public:
+  explicit Span(std::string name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Nesting depth of the calling thread's innermost open span; 0 when
+  /// none is open (exposed for tests).
+  [[nodiscard]] static int current_depth() noexcept;
+
+ private:
+  std::string name_;
+  bool active_ = false;
+  double start_wall_ms_ = 0.0;
+  double start_cpu_ms_ = 0.0;
+};
+
+/// Attaches a JSON-lines trace sink (truncates `path`); "" detaches.
+/// Reads `CC_OBS_TRACE` on first span end if never called. Attaching
+/// does not flip the global gate — callers enable obs explicitly.
+void set_trace_path(const std::string& path);
+
+/// True when a trace sink is attached and open.
+[[nodiscard]] bool tracing() noexcept;
+
+/// Flushes the trace sink (no-op when detached).
+void flush_trace();
+
+/// Milliseconds of wall clock since the process-wide epoch (first use
+/// anywhere in obs). Trace `start_ms` fields use this origin.
+[[nodiscard]] double wall_clock_ms() noexcept;
+
+/// Milliseconds of CPU time consumed by the calling thread.
+[[nodiscard]] double thread_cpu_ms() noexcept;
+
+}  // namespace cc::obs

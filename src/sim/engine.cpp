@@ -5,6 +5,8 @@
 
 #include "energy/battery.h"
 #include "energy/motion.h"
+#include "obs/registry.h"
+#include "obs/span.h"
 #include "util/assert.h"
 #include "util/rng.h"
 
@@ -42,6 +44,7 @@ struct ChargerState {
 SimReport simulate(const core::Instance& instance,
                    const core::Schedule& schedule,
                    core::SharingScheme scheme, const SimOptions& options) {
+  const obs::Span span("sim.run");
   schedule.validate(instance);
   const core::CostModel cost(instance);
 
@@ -659,6 +662,25 @@ SimReport simulate(const core::Instance& instance,
   for (const CoalitionState& cs : cstate) {
     CC_ASSERT(cs.finished,
               "simulation ended with an unaccounted coalition");
+  }
+  if (obs::enabled()) {
+    // One aggregate flush per run keeps the event loop itself free of
+    // instrumentation overhead.
+    obs::count("sim.runs");
+    obs::count("sim.events_processed", report.events_processed);
+    const FaultStats& f = report.faults;
+    obs::count("sim.faults.charger_outages", f.charger_outages);
+    obs::count("sim.faults.charger_deaths", f.charger_deaths);
+    obs::count("sim.faults.device_dropouts", f.device_dropouts);
+    obs::count("sim.faults.sessions_aborted", f.sessions_aborted);
+    obs::count("sim.faults.coalitions_stranded", f.coalitions_stranded);
+    obs::count("sim.recovery.attempts", f.recovery_attempts);
+    obs::count("sim.recovery.restarts", f.recovery_restarts);
+    obs::count("sim.recovery.successes", f.recovery_successes);
+    if (options.fault_plan.has_value()) {
+      obs::count("sim.faults.injected",
+                 static_cast<std::int64_t>(options.fault_plan->size()));
+    }
   }
   return report;
 }

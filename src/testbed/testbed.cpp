@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/registry.h"
+#include "obs/span.h"
 #include "sim/engine.h"
 #include "util/assert.h"
 #include "util/thread_pool.h"
@@ -79,6 +81,8 @@ FieldResult run_field_trials(const core::Scheduler& scheduler,
   result.trials = util::parallel_map(
       static_cast<std::size_t>(config.num_trials),
       [&scheduler, &config, &trial_rngs](std::size_t trial) {
+        const obs::Span span("testbed.trial");
+        obs::count("testbed.trials");
         util::Rng& trial_rng = trial_rngs[trial];
         const core::Instance instance =
             make_trial_instance(trial_rng, config.demand_jitter,

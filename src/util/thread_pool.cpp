@@ -10,6 +10,7 @@
 #include <queue>
 #include <thread>
 
+#include "obs/registry.h"
 #include "util/assert.h"
 
 namespace cc::util {
@@ -94,14 +95,21 @@ int ThreadPool::size() const noexcept {
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> future = packaged.get_future();
+  obs::count("pool.tasks_submitted");
   if (impl_->workers.empty()) {
-    packaged();  // size-1 pool: run inline
+    obs::count("pool.tasks_inline");  // size-1 pool: run inline
+    packaged();
     return future;
   }
   {
     std::lock_guard<std::mutex> lock(impl_->mutex);
     CC_EXPECTS(!impl_->stop, "submit on a stopped ThreadPool");
     impl_->queue.push(std::move(packaged));
+    if (obs::enabled()) {
+      obs::registry()
+          .gauge("pool.queue_depth_peak")
+          .max_of(static_cast<double>(impl_->queue.size()));
+    }
   }
   impl_->cv.notify_one();
   return future;
@@ -112,7 +120,11 @@ void ThreadPool::parallel_for(std::size_t n,
   if (n == 0) {
     return;
   }
+  obs::count("pool.parallel_for_calls");
+  obs::count("pool.parallel_for_items", static_cast<std::int64_t>(n));
   if (size() <= 1 || n == 1 || on_worker_thread()) {
+    obs::count("pool.parallel_for_inline_items",
+               static_cast<std::int64_t>(n));
     for (std::size_t i = 0; i < n; ++i) {
       body(i);
     }

@@ -1,0 +1,94 @@
+# ccs_bench_diff gate semantics, end to end: identical manifest sets
+# pass, a 1% cost perturbation fails, runtime regressions are advisory
+# unless --runtime-fail, and schema drift (missing/extra metrics)
+# fails. Invoked by ctest with -DDIFF=<path-to-binary>.
+
+set(WORK "${CMAKE_CURRENT_BINARY_DIR}/bench_diff_test_work")
+file(REMOVE_RECURSE "${WORK}")
+file(MAKE_DIRECTORY "${WORK}/base" "${WORK}/cand")
+
+function(write_manifest path cost runtime extra_metric)
+  set(metrics "\"sweep0.ccsa.mean_cost\": ${cost},\n    \"time.sweep0.ccsa.mean_ms\": ${runtime}")
+  if(NOT extra_metric STREQUAL "")
+    set(metrics "${metrics},\n    ${extra_metric}")
+  endif()
+  file(WRITE "${path}" "{
+  \"name\": \"bench_synthetic\",
+  \"git_describe\": \"test\",
+  \"build_type\": \"Release\",
+  \"sanitize\": \"OFF\",
+  \"seed\": 1,
+  \"jobs\": 1,
+  \"devices\": 60,
+  \"chargers\": 10,
+  \"phases\": [],
+  \"counters\": {
+    \"sched.runs\": 30
+  },
+  \"metrics\": {
+    ${metrics}
+  }
+}
+")
+endfunction()
+
+function(run_diff expect_rc)
+  execute_process(
+    COMMAND ${DIFF} ${ARGN}
+    WORKING_DIRECTORY "${WORK}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL ${expect_rc})
+    message(FATAL_ERROR
+            "ccs_bench_diff ${ARGN} exited ${rc} (expected ${expect_rc}):\n${out}${err}")
+  endif()
+endfunction()
+
+# Identical sets: gate passes.
+write_manifest("${WORK}/base/BENCH_bench_synthetic.json" 1000.0 50.0 "")
+write_manifest("${WORK}/cand/BENCH_bench_synthetic.json" 1000.0 50.0 "")
+run_diff(0 --baseline=base --candidate=cand)
+
+# Injected 1% cost perturbation: must exit nonzero at the 1e-9 gate.
+write_manifest("${WORK}/cand/BENCH_bench_synthetic.json" 1010.0 50.0 "")
+run_diff(1 --baseline=base --candidate=cand --cost-tol=1e-9)
+
+# A perturbation inside a loose tolerance passes.
+run_diff(0 --baseline=base --candidate=cand --cost-tol=0.02)
+
+# Runtime regression (3x): advisory by default, gating with --runtime-fail.
+write_manifest("${WORK}/cand/BENCH_bench_synthetic.json" 1000.0 150.0 "")
+run_diff(0 --baseline=base --candidate=cand)
+run_diff(1 --baseline=base --candidate=cand --runtime-fail)
+
+# Runtime improvements never trip the gate.
+write_manifest("${WORK}/cand/BENCH_bench_synthetic.json" 1000.0 5.0 "")
+run_diff(0 --baseline=base --candidate=cand --runtime-fail)
+
+# Metric only in candidate (schema drift): fail.
+write_manifest("${WORK}/cand/BENCH_bench_synthetic.json" 1000.0 50.0
+               "\"sweep1.new.mean_cost\": 5.0")
+run_diff(1 --baseline=base --candidate=cand)
+
+# Metric missing from candidate: fail.
+write_manifest("${WORK}/base/BENCH_bench_synthetic.json" 1000.0 50.0
+               "\"sweep1.gone.mean_cost\": 5.0")
+write_manifest("${WORK}/cand/BENCH_bench_synthetic.json" 1000.0 50.0 "")
+run_diff(1 --baseline=base --candidate=cand)
+
+# Whole manifest missing from the candidate set: fail.
+write_manifest("${WORK}/base/BENCH_bench_other.json" 1.0 1.0 "")
+# (bench_other name collides with bench_synthetic inside write_manifest —
+# patch the name so the set holds two distinct manifests.)
+file(READ "${WORK}/base/BENCH_bench_other.json" other)
+string(REPLACE "bench_synthetic" "bench_other" other "${other}")
+file(WRITE "${WORK}/base/BENCH_bench_other.json" "${other}")
+write_manifest("${WORK}/base/BENCH_bench_synthetic.json" 1000.0 50.0 "")
+run_diff(1 --baseline=base --candidate=cand)
+
+# Usage / I-O errors exit 2.
+run_diff(2 --baseline=base)
+run_diff(2 --baseline=missing_dir --candidate=cand)
+
+message(STATUS "ccs_bench_diff gate OK")

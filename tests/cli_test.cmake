@@ -65,6 +65,24 @@ if(NOT out MATCHES "recovery")
   message(FATAL_ERROR "recovery stats missing from simulation output")
 endif()
 
+# Manifest + span trace emission (--manifest implies the obs gate).
+run_cli(0 out --instance=instance.txt --algo=ccsa --manifest=run.json
+        --trace=run_trace.jsonl --simulate)
+if(NOT EXISTS "${WORK}/run.json" OR NOT EXISTS "${WORK}/run_trace.jsonl")
+  message(FATAL_ERROR "manifest or trace output missing")
+endif()
+file(READ "${WORK}/run.json" manifest)
+foreach(field "\"cost.total\"" "\"sched.ccsa.runs\"" "\"git_describe\""
+        "\"sim.realized_cost\"" "phase.schedule")
+  if(NOT manifest MATCHES "${field}")
+    message(FATAL_ERROR "manifest missing ${field}:\n${manifest}")
+  endif()
+endforeach()
+file(READ "${WORK}/run_trace.jsonl" trace)
+if(NOT trace MATCHES "\"name\":\"sched.ccsa\"")
+  message(FATAL_ERROR "trace missing the scheduler span:\n${trace}")
+endif()
+
 # Usage error: unknown recovery policy.
 run_cli(1 out --instance=instance.txt --schedule=sched.txt --simulate
         --recovery=bogus)

@@ -1,0 +1,331 @@
+// Observability layer: registry semantics, the CC_OBS gate, counter
+// atomicity under real ThreadPool contention, span nesting and trace
+// output, JSON parsing, and manifest round-trips.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/manifest.h"
+#include "obs/registry.h"
+#include "obs/span.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using cc::obs::JsonValue;
+using cc::obs::RunManifest;
+
+/// Every test starts from a clean, enabled registry and restores the
+/// disabled default afterwards so ordering cannot leak state.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cc::obs::set_enabled(true);
+    cc::obs::registry().reset_all();
+  }
+  void TearDown() override {
+    cc::obs::set_trace_path("");
+    cc::obs::registry().reset_all();
+    cc::obs::set_enabled(false);
+  }
+};
+
+TEST_F(ObsTest, CounterAccumulatesAndResets) {
+  auto& c = cc::obs::registry().counter("t.counter");
+  EXPECT_EQ(c.value(), 0);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+  c.reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST_F(ObsTest, SameNameYieldsSameInstrument) {
+  auto& a = cc::obs::registry().counter("t.same");
+  auto& b = cc::obs::registry().counter("t.same");
+  EXPECT_EQ(&a, &b);
+  a.add(7);
+  EXPECT_EQ(b.value(), 7);
+}
+
+TEST_F(ObsTest, GateOffMakesMutationsNoOps) {
+  auto& c = cc::obs::registry().counter("t.gated");
+  auto& g = cc::obs::registry().gauge("t.gauge");
+  auto& h = cc::obs::registry().histogram("t.hist");
+  cc::obs::set_enabled(false);
+  c.add(5);
+  g.set(3.0);
+  g.max_of(9.0);
+  h.record(1.0);
+  cc::obs::count("t.gated", 5);
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.snapshot().count, 0);
+  cc::obs::set_enabled(true);
+  c.add(5);
+  EXPECT_EQ(c.value(), 5);
+}
+
+TEST_F(ObsTest, GaugeMaxOfIsMonotone) {
+  auto& g = cc::obs::registry().gauge("t.peak");
+  g.max_of(3.0);
+  g.max_of(1.0);
+  EXPECT_EQ(g.value(), 3.0);
+  g.max_of(10.0);
+  EXPECT_EQ(g.value(), 10.0);
+}
+
+TEST_F(ObsTest, HistogramTracksCountSumMinMax) {
+  auto& h = cc::obs::registry().histogram("t.h");
+  h.record(2.0);
+  h.record(8.0);
+  h.record(5.0);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 3);
+  EXPECT_DOUBLE_EQ(snap.sum, 15.0);
+  EXPECT_DOUBLE_EQ(snap.min, 2.0);
+  EXPECT_DOUBLE_EQ(snap.max, 8.0);
+  EXPECT_DOUBLE_EQ(snap.mean(), 5.0);
+}
+
+TEST_F(ObsTest, CounterIsAtomicUnderThreadPoolStress) {
+  // Many workers hammering one counter (and registering new names
+  // concurrently) must lose no increments and corrupt no state.
+  constexpr int kTasks = 64;
+  constexpr int kAddsPerTask = 10000;
+  cc::util::ThreadPool pool(8);
+  auto& c = cc::obs::registry().counter("t.stress");
+  pool.parallel_for(kTasks, [&](std::size_t i) {
+    auto& named = cc::obs::registry().counter("t.stress." +
+                                              std::to_string(i % 7));
+    for (int k = 0; k < kAddsPerTask; ++k) {
+      c.add();
+      named.add();
+      cc::obs::registry().histogram("t.stress_hist").record(1.0);
+    }
+  });
+  EXPECT_EQ(c.value(), static_cast<std::int64_t>(kTasks) * kAddsPerTask);
+  std::int64_t named_total = 0;
+  for (const auto& [name, value] :
+       cc::obs::registry().counter_snapshot()) {
+    if (name.starts_with("t.stress.")) {
+      named_total += value;
+    }
+  }
+  EXPECT_EQ(named_total, static_cast<std::int64_t>(kTasks) * kAddsPerTask);
+  EXPECT_EQ(cc::obs::registry().histogram("t.stress_hist").snapshot().count,
+            static_cast<std::int64_t>(kTasks) * kAddsPerTask);
+}
+
+TEST_F(ObsTest, SpanNestingTracksDepth) {
+  EXPECT_EQ(cc::obs::Span::current_depth(), 0);
+  {
+    const cc::obs::Span outer("t.outer");
+    EXPECT_EQ(cc::obs::Span::current_depth(), 1);
+    {
+      const cc::obs::Span inner("t.inner");
+      EXPECT_EQ(cc::obs::Span::current_depth(), 2);
+    }
+    EXPECT_EQ(cc::obs::Span::current_depth(), 1);
+  }
+  EXPECT_EQ(cc::obs::Span::current_depth(), 0);
+  // Both spans accumulated into their wall/CPU histograms.
+  EXPECT_EQ(cc::obs::registry().histogram("span.t.outer").snapshot().count,
+            1);
+  EXPECT_EQ(cc::obs::registry().histogram("span.t.inner").snapshot().count,
+            1);
+  EXPECT_EQ(
+      cc::obs::registry().histogram("span_cpu.t.outer").snapshot().count, 1);
+}
+
+TEST_F(ObsTest, DisabledSpanIsInert) {
+  cc::obs::set_enabled(false);
+  {
+    const cc::obs::Span span("t.ghost");
+    EXPECT_EQ(cc::obs::Span::current_depth(), 0);
+  }
+  cc::obs::set_enabled(true);
+  EXPECT_EQ(cc::obs::registry().histogram("span.t.ghost").snapshot().count,
+            0);
+}
+
+TEST_F(ObsTest, TraceFileIsJsonLinesWithDepths) {
+  const std::string path = ::testing::TempDir() + "obs_trace_test.jsonl";
+  cc::obs::set_trace_path(path);
+  {
+    const cc::obs::Span outer("t.outer");
+    const cc::obs::Span inner("t.inner");
+  }
+  cc::obs::set_trace_path("");  // close + flush
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<JsonValue> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    lines.push_back(cc::obs::parse_json(line));
+  }
+  ASSERT_EQ(lines.size(), 2u);
+  // Spans close innermost-first.
+  EXPECT_EQ(lines[0].at("name").as_string(), "t.inner");
+  EXPECT_EQ(lines[0].at("depth").as_int(), 1);
+  EXPECT_EQ(lines[1].at("name").as_string(), "t.outer");
+  EXPECT_EQ(lines[1].at("depth").as_int(), 0);
+  EXPECT_GE(lines[1].at("wall_ms").as_number(),
+            lines[0].at("wall_ms").as_number());
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, SpansNestAcrossPoolWorkers) {
+  // Depth is per thread: concurrent testbed-style spans never observe
+  // each other, and the registry sees every one of them.
+  cc::util::ThreadPool pool(4);
+  pool.parallel_for(32, [](std::size_t) {
+    const cc::obs::Span span("t.pooled");
+    EXPECT_EQ(cc::obs::Span::current_depth(), 1);
+  });
+  EXPECT_EQ(cc::obs::registry().histogram("span.t.pooled").snapshot().count,
+            32);
+}
+
+TEST(JsonTest, ParsesScalarsArraysObjects) {
+  const JsonValue v = cc::obs::parse_json(
+      R"({"a": 1.5, "b": [1, 2, 3], "c": {"d": "x\n\"y\""}, "e": true,
+          "f": null, "g": -2e3})");
+  EXPECT_DOUBLE_EQ(v.at("a").as_number(), 1.5);
+  ASSERT_EQ(v.at("b").array.size(), 3u);
+  EXPECT_EQ(v.at("b").array[2].as_int(), 3);
+  EXPECT_EQ(v.at("c").at("d").as_string(), "x\n\"y\"");
+  EXPECT_TRUE(v.at("e").boolean);
+  EXPECT_EQ(v.at("f").kind, JsonValue::Kind::kNull);
+  EXPECT_DOUBLE_EQ(v.at("g").as_number(), -2000.0);
+  EXPECT_TRUE(v.has("a"));
+  EXPECT_FALSE(v.has("zzz"));
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_THROW((void)cc::obs::parse_json("{"), cc::obs::JsonError);
+  EXPECT_THROW((void)cc::obs::parse_json("{} trailing"), cc::obs::JsonError);
+  EXPECT_THROW((void)cc::obs::parse_json("{\"a\": nope}"),
+               cc::obs::JsonError);
+  EXPECT_THROW((void)cc::obs::parse_json("\"unterminated"),
+               cc::obs::JsonError);
+  EXPECT_THROW((void)cc::obs::parse_json(""), cc::obs::JsonError);
+}
+
+TEST(JsonTest, EscapeRoundTripsThroughParser) {
+  const std::string nasty = "a\"b\\c\nd\te\x01f";
+  const std::string doc = "{\"k\": \"" + cc::obs::json_escape(nasty) + "\"}";
+  EXPECT_EQ(cc::obs::parse_json(doc).at("k").as_string(), nasty);
+}
+
+TEST(JsonTest, DoubleFormattingRoundTrips) {
+  for (const double v : {0.0, 1.0, -1.5, 1e-300, 507.86081599674947,
+                         1.0 / 3.0, 12345678901234.5}) {
+    const JsonValue parsed = cc::obs::parse_json(cc::obs::json_double(v));
+    EXPECT_EQ(parsed.as_number(), v) << "value " << v;
+  }
+  EXPECT_EQ(cc::obs::json_double(
+                std::numeric_limits<double>::quiet_NaN()),
+            "null");
+}
+
+TEST_F(ObsTest, ManifestRoundTripsThroughJson) {
+  RunManifest m;
+  m.name = "bench_unit";
+  m.git_describe = "v1.2.3-4-gabcdef";
+  m.build_type = "Release";
+  m.sanitize = "OFF";
+  m.seed = 42;
+  m.jobs = 8;
+  m.devices = 60;
+  m.chargers = 10;
+  m.phases.push_back({"phase.schedule", 12.5, 11.25, 3});
+  m.counters.emplace_back("sched.runs", 30);
+  m.counters.emplace_back("sim.events_processed", 1234);
+  m.set_metric("sweep0.ccsa.mean_cost", 1234.5678901234567);
+  m.set_metric("time.sweep0.ccsa.mean_ms", 1.75);
+
+  const RunManifest r = RunManifest::from_json(m.to_json());
+  EXPECT_EQ(r.name, m.name);
+  EXPECT_EQ(r.git_describe, m.git_describe);
+  EXPECT_EQ(r.build_type, m.build_type);
+  EXPECT_EQ(r.sanitize, m.sanitize);
+  EXPECT_EQ(r.seed, m.seed);
+  EXPECT_EQ(r.jobs, m.jobs);
+  EXPECT_EQ(r.devices, m.devices);
+  EXPECT_EQ(r.chargers, m.chargers);
+  ASSERT_EQ(r.phases.size(), 1u);
+  EXPECT_EQ(r.phases[0].name, "phase.schedule");
+  EXPECT_DOUBLE_EQ(r.phases[0].wall_ms, 12.5);
+  EXPECT_DOUBLE_EQ(r.phases[0].cpu_ms, 11.25);
+  EXPECT_EQ(r.phases[0].count, 3);
+  ASSERT_EQ(r.counters.size(), 2u);
+  EXPECT_EQ(r.counters[0].second, 30);
+  double value = 0.0;
+  ASSERT_TRUE(r.metric("sweep0.ccsa.mean_cost", value));
+  EXPECT_EQ(value, 1234.5678901234567);  // bit-exact through max_digits10
+  ASSERT_TRUE(r.metric("time.sweep0.ccsa.mean_ms", value));
+  EXPECT_EQ(value, 1.75);
+  EXPECT_FALSE(r.metric("missing", value));
+}
+
+TEST_F(ObsTest, ManifestSaveLoadRoundTripsOnDisk) {
+  const std::string path = ::testing::TempDir() + "obs_manifest_test.json";
+  RunManifest m;
+  m.name = "bench_disk";
+  m.set_metric("cost.total", 99.5);
+  m.save(path);
+  const RunManifest r = RunManifest::load(path);
+  EXPECT_EQ(r.name, "bench_disk");
+  double value = 0.0;
+  ASSERT_TRUE(r.metric("cost.total", value));
+  EXPECT_EQ(value, 99.5);
+  std::remove(path.c_str());
+  EXPECT_THROW((void)RunManifest::load(path), std::runtime_error);
+}
+
+TEST_F(ObsTest, MakeManifestCapturesRegistryState) {
+  cc::obs::registry().counter("t.make_manifest").add(5);
+  {
+    const cc::obs::Span span("t.make_span");
+  }
+  const RunManifest m = cc::obs::make_manifest("unit");
+  EXPECT_EQ(m.name, "unit");
+  EXPECT_FALSE(m.git_describe.empty());
+  bool saw_counter = false;
+  for (const auto& [name, value] : m.counters) {
+    if (name == "t.make_manifest") {
+      saw_counter = true;
+      EXPECT_EQ(value, 5);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  bool saw_phase = false;
+  for (const auto& phase : m.phases) {
+    if (phase.name == "t.make_span") {
+      saw_phase = true;
+      EXPECT_EQ(phase.count, 1);
+      EXPECT_GE(phase.wall_ms, 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_phase);
+}
+
+TEST(ManifestTest, RuntimeMetricClassification) {
+  EXPECT_TRUE(cc::obs::is_runtime_metric("time.sweep0.ccsa.mean_ms"));
+  EXPECT_TRUE(cc::obs::is_runtime_metric("time.engine.serial"));
+  EXPECT_TRUE(cc::obs::is_runtime_metric("phase.schedule_ms"));
+  EXPECT_FALSE(cc::obs::is_runtime_metric("sweep0.ccsa.mean_cost"));
+  EXPECT_FALSE(cc::obs::is_runtime_metric("sim.completion_ratio"));
+  EXPECT_FALSE(cc::obs::is_runtime_metric("cost.total"));
+}
+
+}  // namespace

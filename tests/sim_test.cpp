@@ -129,9 +129,9 @@ TEST(SimTest, SlowerPowerRaisesRealizedCost) {
   const double nominal =
       cc::sim::simulate(inst, result.schedule, SharingScheme::kEgalitarian)
           .realized_total_cost();
-  const double slow =
-      cc::sim::simulate(inst, result.schedule, SharingScheme::kEgalitarian, degraded)
-          .realized_total_cost();
+  const double slow = cc::sim::simulate(inst, result.schedule,
+                                        SharingScheme::kEgalitarian, degraded)
+                          .realized_total_cost();
   EXPECT_GT(slow, nominal);
 }
 
@@ -216,8 +216,8 @@ TEST(SimTest, TraceRecordsAllEvents) {
   const auto nc = cc::core::NonCooperation().run(inst);
   SimOptions options;
   options.record_trace = true;
-  const SimReport report =
-      cc::sim::simulate(inst, nc.schedule, SharingScheme::kEgalitarian, options);
+  const SimReport report = cc::sim::simulate(
+      inst, nc.schedule, SharingScheme::kEgalitarian, options);
   EXPECT_EQ(static_cast<long>(report.trace.size()),
             report.events_processed);
   // 6 departures + 6 arrivals + 6 starts + 6 ends.

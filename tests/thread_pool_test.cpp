@@ -107,7 +107,8 @@ double trial_value(std::size_t i) {
   cc::util::Rng rng(static_cast<std::uint64_t>(i) * 2654435761ULL + 17);
   double acc = 0.0;
   for (int k = 0; k < 100; ++k) {
-    acc += std::sin(rng.uniform(0.0, 6.283185307179586)) * rng.uniform(0.5, 2.0);
+    acc +=
+        std::sin(rng.uniform(0.0, 6.283185307179586)) * rng.uniform(0.5, 2.0);
   }
   return acc;
 }

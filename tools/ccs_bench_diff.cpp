@@ -1,0 +1,186 @@
+// ccs_bench_diff — compares two run-manifest sets (BENCH_*.json) and
+// gates CI on drift:
+//
+//   ccs_bench_diff --baseline=DIR_OR_FILE --candidate=DIR_OR_FILE
+//                  [--cost-tol=1e-9]     relative tolerance for
+//                                        deterministic metrics
+//                  [--runtime-tol=0.5]   allowed fractional runtime
+//                                        regression (0.5 = +50%)
+//                  [--runtime-fail]      make runtime regressions fail
+//                                        the run (default: advisory,
+//                                        for shared CI runners)
+//
+// Matching: manifests pair up by their `name` field. A baseline
+// manifest with no candidate (or vice versa), or a metric present on
+// one side only, is drift — regenerate the baselines deliberately
+// rather than silently. Metric keys with a "time." prefix or "_ms"
+// suffix are wall clock: machine-dependent, so they are only checked
+// against --runtime-tol and only fail with --runtime-fail. Counters
+// and provenance metadata are informational and never compared.
+//
+// Exit codes: 0 all gated comparisons pass, 1 drift or gated
+// regression, 2 usage/I-O error.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/manifest.h"
+#include "util/cli.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Loads one manifest file, or every BENCH_*.json inside a directory.
+std::map<std::string, cc::obs::RunManifest> load_set(const std::string& path) {
+  std::map<std::string, cc::obs::RunManifest> out;
+  std::vector<fs::path> files;
+  if (fs::is_directory(path)) {
+    for (const auto& entry : fs::directory_iterator(path)) {
+      const std::string file = entry.path().filename().string();
+      if (entry.is_regular_file() && file.starts_with("BENCH_") &&
+          file.ends_with(".json")) {
+        files.push_back(entry.path());
+      }
+    }
+  } else {
+    files.emplace_back(path);
+  }
+  std::sort(files.begin(), files.end());
+  for (const fs::path& file : files) {
+    cc::obs::RunManifest manifest = cc::obs::RunManifest::load(file.string());
+    const std::string name = manifest.name;
+    if (!out.emplace(name, std::move(manifest)).second) {
+      throw std::runtime_error("duplicate manifest name '" + name +
+                               "' in set " + path);
+    }
+  }
+  if (out.empty()) {
+    throw std::runtime_error("no BENCH_*.json manifests found at " + path);
+  }
+  return out;
+}
+
+struct GateResult {
+  int failures = 0;
+  int advisories = 0;
+  int compared = 0;
+};
+
+void diff_pair(const cc::obs::RunManifest& base,
+               const cc::obs::RunManifest& cand, double cost_tol,
+               double runtime_tol, bool runtime_fail, GateResult& gate) {
+  std::map<std::string, double> cand_metrics(cand.metrics.begin(),
+                                             cand.metrics.end());
+  for (const auto& [key, base_value] : base.metrics) {
+    const auto it = cand_metrics.find(key);
+    if (it == cand_metrics.end()) {
+      std::cout << "FAIL  " << base.name << " :: " << key
+                << " missing from candidate (schema drift — regenerate "
+                   "baselines if intended)\n";
+      ++gate.failures;
+      continue;
+    }
+    const double cand_value = it->second;
+    cand_metrics.erase(it);
+    ++gate.compared;
+
+    if (cc::obs::is_runtime_metric(key)) {
+      if (base_value > 0.0) {
+        const double regression = (cand_value - base_value) / base_value;
+        if (regression > runtime_tol) {
+          std::cout << (runtime_fail ? "FAIL  " : "WARN  ") << base.name
+                    << " :: " << key << " runtime " << base_value << " -> "
+                    << cand_value << " (+" << 100.0 * regression
+                    << "%, tol +" << 100.0 * runtime_tol << "%)\n";
+          if (runtime_fail) {
+            ++gate.failures;
+          } else {
+            ++gate.advisories;
+          }
+        }
+      }
+      continue;
+    }
+
+    const double scale =
+        std::max({1.0, std::abs(base_value), std::abs(cand_value)});
+    if (std::abs(cand_value - base_value) > cost_tol * scale) {
+      std::cout << "FAIL  " << base.name << " :: " << key << " "
+                << base_value << " -> " << cand_value << " (|delta| "
+                << std::abs(cand_value - base_value) << " > " << cost_tol
+                << " * " << scale << ")\n";
+      ++gate.failures;
+    }
+  }
+  for (const auto& [key, value] : cand_metrics) {
+    std::cout << "FAIL  " << cand.name << " :: " << key
+              << " only in candidate (" << value
+              << ") — regenerate baselines if intended\n";
+    ++gate.failures;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cc::util::Cli cli(argc, argv);
+  const std::string baseline_path = cli.get("baseline", "");
+  const std::string candidate_path = cli.get("candidate", "");
+  if (baseline_path.empty() || candidate_path.empty()) {
+    std::cerr << "usage: ccs_bench_diff --baseline=DIR_OR_FILE "
+                 "--candidate=DIR_OR_FILE [--cost-tol=1e-9] "
+                 "[--runtime-tol=0.5] [--runtime-fail]\n";
+    return 2;
+  }
+  const double cost_tol = cli.get_double("cost-tol", 1e-9);
+  const double runtime_tol = cli.get_double("runtime-tol", 0.5);
+  const bool runtime_fail = cli.get_bool("runtime-fail", false);
+
+  try {
+    const auto baselines = load_set(baseline_path);
+    auto candidates = load_set(candidate_path);
+
+    GateResult gate;
+    for (const auto& [name, base] : baselines) {
+      const auto it = candidates.find(name);
+      if (it == candidates.end()) {
+        std::cout << "FAIL  manifest '" << name
+                  << "' missing from candidate set\n";
+        ++gate.failures;
+        continue;
+      }
+      std::cout << "--- " << name << " (baseline " << base.git_describe
+                << " / " << base.build_type << " vs candidate "
+                << it->second.git_describe << " / " << it->second.build_type
+                << ")\n";
+      diff_pair(base, it->second, cost_tol, runtime_tol, runtime_fail, gate);
+      candidates.erase(it);
+    }
+    for (const auto& [name, cand] : candidates) {
+      std::cout << "FAIL  manifest '" << name
+                << "' only in candidate set — regenerate baselines if "
+                   "intended\n";
+      ++gate.failures;
+    }
+
+    std::cout << "\ncompared " << gate.compared << " metrics: "
+              << gate.failures << " failures, " << gate.advisories
+              << " runtime advisories\n";
+    if (gate.failures > 0) {
+      std::cout << "GATE: FAIL\n";
+      return 1;
+    }
+    std::cout << "GATE: OK\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+}

@@ -16,9 +16,13 @@
 // Exit codes: 0 success, 1 usage error, 2 I/O or validation error.
 
 #include <iostream>
+#include <string>
 
 #include "coopcharge/coopcharge.h"
 #include "core/io.h"
+#include "obs/manifest.h"
+#include "obs/registry.h"
+#include "obs/span.h"
 #include "util/cli.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
@@ -62,6 +66,14 @@ Flags:
                              the CC_JOBS environment variable, else 1)
   --verbose-timing           print the generate/schedule/validate/score
                              wall-clock breakdown
+  --obs                      enable the observability registry (also on
+                             when CC_OBS is set in the environment)
+  --trace=PATH               write a JSON-lines span trace (implies
+                             --obs; CC_OBS_TRACE is the env fallback)
+  --manifest[=PATH]          write a JSON run manifest — git/build
+                             provenance, per-phase wall/CPU, counters,
+                             headline metrics (implies --obs; default
+                             path BENCH_ccs_cli.json)
 )";
 }
 
@@ -78,13 +90,21 @@ void print_phase_timings(const cc::core::PhaseTimings& phases) {
 
 int evaluate(const cc::core::Instance& instance,
              const cc::core::Schedule& schedule, const cc::util::Cli& cli,
-             cc::core::PhaseTimings phases) {
+             cc::core::PhaseTimings phases,
+             cc::obs::RunManifest* manifest) {
   cc::util::Stopwatch watch;
-  schedule.validate(instance);
+  {
+    const cc::obs::Span span("phase.validate");
+    schedule.validate(instance);
+  }
   phases.validate_ms = watch.elapsed_ms();
   watch.restart();
   const cc::core::CostModel cost(instance);
-  const double total_cost = schedule.total_cost(cost);
+  double total_cost = 0.0;
+  {
+    const cc::obs::Span span("phase.score");
+    total_cost = schedule.total_cost(cost);
+  }
   phases.score_ms = watch.elapsed_ms();
   const auto scheme = cc::core::sharing_scheme_from_string(
       cli.get("scheme", "egalitarian"));
@@ -95,6 +115,19 @@ int evaluate(const cc::core::Instance& instance,
             << "comprehensive cost: " << total_cost << '\n';
   if (cli.get_bool("verbose-timing", false)) {
     print_phase_timings(phases);
+  }
+  if (manifest != nullptr) {
+    manifest->devices = instance.num_devices();
+    manifest->chargers = instance.num_chargers();
+    manifest->set_metric("cost.total", total_cost);
+    manifest->set_metric("schedule.coalitions",
+                         static_cast<double>(schedule.num_coalitions()));
+    manifest->set_metric("schedule.mean_size",
+                         schedule.mean_coalition_size());
+    manifest->set_metric("time.phase.load_ms", phases.generate_ms);
+    manifest->set_metric("time.phase.schedule_ms", phases.schedule_ms);
+    manifest->set_metric("time.phase.validate_ms", phases.validate_ms);
+    manifest->set_metric("time.phase.score_ms", phases.score_ms);
   }
 
   if (cli.get_bool("payments", false)) {
@@ -145,8 +178,19 @@ int evaluate(const cc::core::Instance& instance,
           instance, model,
           static_cast<std::uint64_t>(cli.get_int("fault-seed", 7)));
     }
+    const cc::obs::Span sim_span("phase.simulate");
     const auto report = cc::sim::simulate(instance, schedule, scheme,
                                           options);
+    if (manifest != nullptr) {
+      manifest->set_metric("sim.realized_cost",
+                           report.realized_total_cost());
+      manifest->set_metric("sim.makespan_s", report.makespan_s);
+      manifest->set_metric("sim.mean_wait_s", report.mean_wait_s());
+      manifest->set_metric("sim.completion_ratio",
+                           report.completion_ratio());
+      manifest->set_metric("sim.events_processed",
+                           static_cast<double>(report.events_processed));
+    }
     std::cout << "realized cost     : " << report.realized_total_cost()
               << '\n'
               << "makespan          : " << report.makespan_s << " s\n"
@@ -184,6 +228,18 @@ int main(int argc, char** argv) {
     cc::util::set_default_jobs(cli.get_int("jobs", 1));
   }
 
+  const bool want_manifest = cli.has("manifest");
+  if (cli.get_bool("obs", false) || want_manifest || cli.has("trace")) {
+    cc::obs::set_enabled(true);
+  }
+  if (cli.has("trace")) {
+    cc::obs::set_trace_path(cli.get("trace", ""));
+  }
+  std::string manifest_path = cli.get("manifest", "");
+  if (manifest_path.empty() || manifest_path == "true") {
+    manifest_path = "BENCH_ccs_cli.json";
+  }
+
   try {
     if (cli.get_bool("generate", false)) {
       cc::core::GeneratorConfig config;
@@ -212,30 +268,53 @@ int main(int argc, char** argv) {
     }
     cc::core::PhaseTimings phases;
     cc::util::Stopwatch watch;
-    const cc::core::Instance instance =
-        cc::core::load_instance(instance_path);
+    cc::obs::RunManifest scratch;  // metric collector; finalized below
+    cc::obs::RunManifest* manifest = want_manifest ? &scratch : nullptr;
+    const cc::core::Instance instance = [&] {
+      const cc::obs::Span span("phase.load");
+      return cc::core::load_instance(instance_path);
+    }();
     phases.generate_ms = watch.elapsed_ms();
 
+    int rc = 0;
     if (cli.has("schedule")) {
       const cc::core::Schedule schedule =
           cc::core::load_schedule(cli.get("schedule", ""));
-      return evaluate(instance, schedule, cli, phases);
+      rc = evaluate(instance, schedule, cli, phases, manifest);
+    } else {
+      const std::string algo = cli.get("algo", "ccsa");
+      const auto scheduler = cc::core::make_scheduler(algo);
+      watch.restart();
+      const auto result = [&] {
+        const cc::obs::Span span("phase.schedule");
+        return scheduler->run(instance);
+      }();
+      phases.schedule_ms = watch.elapsed_ms();
+      std::cout << "algorithm         : " << algo << '\n'
+                << "elapsed           : " << result.stats.elapsed_ms
+                << " ms\n";
+      const std::string schedule_out = cli.get("schedule-out", "");
+      if (!schedule_out.empty()) {
+        cc::core::save_schedule(schedule_out, result.schedule);
+        std::cout << "wrote " << schedule_out << '\n';
+      }
+      rc = evaluate(instance, result.schedule, cli, phases, manifest);
     }
 
-    const std::string algo = cli.get("algo", "ccsa");
-    const auto scheduler = cc::core::make_scheduler(algo);
-    watch.restart();
-    const auto result = scheduler->run(instance);
-    phases.schedule_ms = watch.elapsed_ms();
-    std::cout << "algorithm         : " << algo << '\n'
-              << "elapsed           : " << result.stats.elapsed_ms
-              << " ms\n";
-    const std::string schedule_out = cli.get("schedule-out", "");
-    if (!schedule_out.empty()) {
-      cc::core::save_schedule(schedule_out, result.schedule);
-      std::cout << "wrote " << schedule_out << '\n';
+    if (want_manifest && rc == 0) {
+      // Counters and span totals snapshot last so the whole run —
+      // including simulation — is covered.
+      cc::obs::RunManifest final_manifest = cc::obs::make_manifest("ccs_cli");
+      final_manifest.seed =
+          static_cast<std::uint64_t>(cli.get_int("seed", 0));
+      final_manifest.devices = scratch.devices;
+      final_manifest.chargers = scratch.chargers;
+      final_manifest.metrics = scratch.metrics;
+      final_manifest.save(manifest_path);
+      std::cout << "manifest: " << manifest_path << '\n';
+      cc::obs::flush_trace();
     }
-    return evaluate(instance, result.schedule, cli, phases);
+    return rc;
   } catch (const cc::core::IoError& e) {
     std::cerr << "i/o error: " << e.what() << '\n';
     return 2;
