@@ -22,9 +22,11 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <initializer_list>
 #include <iostream>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -98,9 +100,16 @@ inline void record_metric(const std::string& key, double value) {
 /// Standard bench entry hook: parses `--jobs=N` (0 = one per hardware
 /// thread; `CC_JOBS` is the fallback) before any sweep touches the
 /// process-wide pool, plus the observability flags documented in the
-/// file comment. Call first in every bench main.
-inline void init(int argc, const char* const* argv) {
-  const util::Cli cli(argc, argv);
+/// file comment. Call first in every bench main. `extra_keys` names the
+/// bench-specific flags; anything else on the command line is rejected
+/// with a diagnostic (a mistyped --jbos=4 must not be silently
+/// ignored). Returns the parsed Cli for benches that read extras.
+inline util::Cli init(int argc, const char* const* argv,
+                      std::initializer_list<std::string_view> extra_keys = {}) {
+  util::Cli cli(argc, argv);
+  cli.declare({"jobs", "obs", "trace", "manifest"});
+  cli.declare(extra_keys);
+  cli.reject_unknown();
   if (cli.has("jobs")) {
     util::set_default_jobs(cli.get_int("jobs", 1));
   }
@@ -131,6 +140,7 @@ inline void init(int argc, const char* const* argv) {
     detail::manifest_state().manifest_path = path;
     std::atexit(detail::write_manifest_at_exit);
   }
+  return cli;
 }
 
 /// Mean comprehensive cost of `algorithm` over `seeds` instances drawn

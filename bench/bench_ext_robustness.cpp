@@ -210,8 +210,8 @@ int main(int argc, char** argv) {
   for (double p : {0.0, 0.1, 0.2, 0.3, 0.5, 1.0}) {
     const RobustnessPoint noncoop = evaluate_crashes("noncoop", p, kSeeds);
     const RobustnessPoint ccsa = evaluate_crashes("ccsa", p, kSeeds);
-    // percent_change() maps a zero baseline to 0%; an undefined per-served
-    // cost must surface as NaN, not a fake parity.
+    // An undefined per-served cost must surface as NaN, not a fake
+    // parity; percent_change() itself yields NaN on a zero baseline.
     const double advantage =
         std::isfinite(noncoop.cost_per_served) &&
                 std::isfinite(ccsa.cost_per_served)

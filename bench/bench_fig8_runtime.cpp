@@ -71,8 +71,8 @@ std::vector<double> ccsa_sweep(cc::util::ThreadPool& pool, int seeds,
 }  // namespace
 
 int main(int argc, char** argv) {
-  cc::bench::init(argc, argv);
-  const cc::util::Cli cli(argc, argv);
+  const cc::util::Cli cli = cc::bench::init(
+      argc, argv, {"speedup-seeds", "speedup-devices", "oracle-seeds"});
   const int jobs = cc::util::default_jobs() == 0
                        ? static_cast<int>(std::thread::hardware_concurrency())
                        : cc::util::default_jobs();

@@ -34,6 +34,8 @@ Breakdown breakdown_of(const cc::core::CostModel& cost,
 
 int main(int argc, char** argv) {
   const cc::util::Cli cli(argc, argv);
+  cli.declare({"devices", "kiosks", "buildings", "seed"});
+  cli.reject_unknown();
 
   cc::core::GeneratorConfig config;
   config.num_devices = cli.get_int("devices", 48);

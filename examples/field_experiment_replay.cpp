@@ -14,6 +14,8 @@
 
 int main(int argc, char** argv) {
   const cc::util::Cli cli(argc, argv);
+  cli.declare({"trials", "sigma", "seed"});
+  cli.reject_unknown();
   cc::testbed::TestbedConfig config;
   config.num_trials = cli.get_int("trials", 50);
   config.power_sigma = cli.get_double("sigma", 0.15);

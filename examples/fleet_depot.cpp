@@ -14,6 +14,8 @@
 
 int main(int argc, char** argv) {
   const cc::util::Cli cli(argc, argv);
+  cli.declare({"max-robots", "depots", "seed"});
+  cli.reject_unknown();
   const int max_robots = cli.get_int("max-robots", 320);
   const int depots = cli.get_int("depots", 12);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 3));

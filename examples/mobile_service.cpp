@@ -15,6 +15,8 @@
 
 int main(int argc, char** argv) {
   const cc::util::Cli cli(argc, argv);
+  cli.declare({"devices", "chargers", "seed", "charger-cost", "svg"});
+  cli.reject_unknown();
   cc::core::GeneratorConfig config;
   config.num_devices = cli.get_int("devices", 36);
   config.num_chargers = cli.get_int("chargers", 4);

@@ -12,6 +12,8 @@
 
 int main(int argc, char** argv) {
   const cc::util::Cli cli(argc, argv);
+  cli.declare({"devices", "chargers", "seed", "epochs", "draw"});
+  cli.reject_unknown();
 
   cc::core::GeneratorConfig gen;
   gen.num_devices = cli.get_int("devices", 30);

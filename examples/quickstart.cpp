@@ -13,6 +13,8 @@
 
 int main(int argc, char** argv) {
   const cc::util::Cli cli(argc, argv);
+  cli.declare({"devices", "chargers", "seed"});
+  cli.reject_unknown();
 
   cc::core::GeneratorConfig config;
   config.num_devices = cli.get_int("devices", 60);

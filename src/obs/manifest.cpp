@@ -129,6 +129,7 @@ void RunManifest::save(const std::string& path) const {
                              "' for writing");
   }
   out << to_json();
+  out.flush();  // surface disk-full now, not at destruction
   if (!out) {
     throw std::runtime_error("manifest: write to '" + path + "' failed");
   }

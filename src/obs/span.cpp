@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <ctime>
 #include <fstream>
+#include <iostream>
 #include <mutex>
 #include <utility>
 
@@ -29,6 +30,19 @@ struct TraceSink {
   std::mutex mutex;
   std::ofstream out;
   bool env_checked = false;
+  bool write_failed = false;
+
+  /// Reports a sink failure once and detaches, so a full disk does not
+  /// silently truncate the trace (nor spam stderr per span).
+  void check_write(const char* when) {
+    if (out.good() || write_failed) {
+      return;
+    }
+    write_failed = true;
+    std::cerr << "error: obs trace sink failed during " << when
+              << " (disk full?); detaching trace\n";
+    out.close();
+  }
 
   void ensure_env_default() {
     if (env_checked) {
@@ -103,6 +117,7 @@ Span::~Span() {
         << ",\"start_ms\":" << json_double(start_wall_ms_)
         << ",\"wall_ms\":" << json_double(wall)
         << ",\"cpu_ms\":" << json_double(cpu) << "}\n";
+  s.check_write("span write");
 }
 
 int Span::current_depth() noexcept { return tls_depth; }
@@ -111,6 +126,7 @@ void set_trace_path(const std::string& path) {
   TraceSink& s = sink();
   std::lock_guard<std::mutex> lock(s.mutex);
   s.env_checked = true;  // explicit choice overrides CC_OBS_TRACE
+  s.write_failed = false;
   if (s.out.is_open()) {
     s.out.close();
   }
@@ -130,6 +146,7 @@ void flush_trace() {
   std::lock_guard<std::mutex> lock(s.mutex);
   if (s.out.is_open()) {
     s.out.flush();
+    s.check_write("flush");
   }
 }
 

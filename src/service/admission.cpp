@@ -1,0 +1,76 @@
+#include "service/admission.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace cc::service {
+
+AdmissionQueue::AdmissionQueue(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+AdmitResult AdmissionQueue::try_push(PendingRequest pending) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) {
+      return AdmitResult::kClosed;
+    }
+    if (queue_.size() >= capacity_) {
+      return AdmitResult::kQueueFull;
+    }
+    pending.enqueued_at = std::chrono::steady_clock::now();
+    queue_.push_back(std::move(pending));
+    high_watermark_ = std::max(high_watermark_, queue_.size());
+  }
+  cv_.notify_one();
+  return AdmitResult::kAccepted;
+}
+
+std::vector<PendingRequest> AdmissionQueue::pop_batch(
+    std::size_t max, std::chrono::milliseconds window) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) {
+    return {};  // closed and drained
+  }
+  // Micro-batch: give compatible requests `window` to pile up, but
+  // never hold a full batch back.
+  if (window.count() > 0 && queue_.size() < max) {
+    const auto batch_deadline = std::chrono::steady_clock::now() + window;
+    cv_.wait_until(lock, batch_deadline, [this, max] {
+      return closed_ || queue_.size() >= max;
+    });
+  }
+  std::vector<PendingRequest> batch;
+  const std::size_t take = std::min(max, queue_.size());
+  batch.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return batch;
+}
+
+void AdmissionQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool AdmissionQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t AdmissionQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+std::size_t AdmissionQueue::high_watermark() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return high_watermark_;
+}
+
+}  // namespace cc::service

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file admission.h
+/// Bounded admission queue of the charging service — the backpressure
+/// boundary between untrusted request traffic and the scheduler.
+///
+/// Semantics:
+///  * `try_push` never blocks: a full queue rejects immediately
+///    (`kQueueFull`), which the service surfaces to the client as a
+///    `rejected`/`queue_full` response. Overload sheds load; it never
+///    queues unboundedly.
+///  * `pop_batch(max, window)` blocks until at least one request is
+///    available (or the queue is closed), then keeps collecting for up
+///    to `window` so compatible requests can be micro-batched into one
+///    dispatch wave. It returns at most `max` requests in arrival
+///    order.
+///  * `close()` stops intake (`kClosed`) and wakes the consumer; a
+///    drain loop keeps calling `pop_batch` until it returns empty.
+///
+/// Deadlines are carried, not enforced, here — the service checks the
+/// queue wait against each request's deadline at dispatch time.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "service/protocol.h"
+
+namespace cc::service {
+
+/// A request admitted into the queue, stamped for latency accounting.
+struct PendingRequest {
+  Request request;
+  std::chrono::steady_clock::time_point enqueued_at{};
+  double deadline_ms = 0.0;  ///< resolved deadline; 0 = none
+};
+
+enum class AdmitResult { kAccepted, kQueueFull, kClosed };
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(std::size_t capacity);
+
+  /// Non-blocking admission; stamps `enqueued_at` on success.
+  AdmitResult try_push(PendingRequest pending);
+
+  /// Blocks until a request arrives or the queue closes, then collects
+  /// up to `max` requests, waiting at most `window` for the batch to
+  /// fill. Empty result ⇔ closed and drained.
+  [[nodiscard]] std::vector<PendingRequest> pop_batch(
+      std::size_t max, std::chrono::milliseconds window);
+
+  void close();
+
+  [[nodiscard]] bool closed() const;
+  [[nodiscard]] std::size_t depth() const;
+  /// Peak depth since construction (exported as a gauge).
+  [[nodiscard]] std::size_t high_watermark() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<PendingRequest> queue_;
+  std::size_t capacity_;
+  std::size_t high_watermark_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace cc::service

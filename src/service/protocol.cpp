@@ -1,0 +1,337 @@
+#include "service/protocol.h"
+
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace cc::service {
+
+namespace {
+
+using obs::JsonValue;
+
+bool finite_number(const JsonValue& v, double& out) {
+  if (v.kind != JsonValue::Kind::kNumber || !std::isfinite(v.number)) {
+    return false;
+  }
+  out = v.number;
+  return true;
+}
+
+/// Reads an optional numeric member into `out`; returns an error reason
+/// when present but invalid.
+std::string read_number(const JsonValue& object, const std::string& key,
+                        double minimum, double& out) {
+  if (!object.has(key)) {
+    return "";
+  }
+  double value = 0.0;
+  if (!finite_number(object.at(key), value)) {
+    return "field '" + key + "' must be a finite number";
+  }
+  if (value < minimum) {
+    return "field '" + key + "' must be >= " + obs::json_double(minimum);
+  }
+  out = value;
+  return "";
+}
+
+std::string parse_device(const JsonValue& value, RequestDevice& device) {
+  if (!value.is_object()) {
+    return "each device must be an object";
+  }
+  static const std::set<std::string> kKeys = {
+      "x", "y", "demand_j", "capacity_j", "speed", "unit_cost",
+      "joules_per_m"};
+  for (const auto& [key, member] : value.object) {
+    (void)member;
+    if (!kKeys.contains(key)) {
+      return "unknown device field '" + key + "'";
+    }
+  }
+  if (!value.has("x") || !value.has("y") || !value.has("demand_j")) {
+    return "device needs 'x', 'y' and 'demand_j'";
+  }
+  double x = 0.0;
+  double y = 0.0;
+  if (!finite_number(value.at("x"), x) || !finite_number(value.at("y"), y)) {
+    return "device position must be finite numbers";
+  }
+  device.x = x;
+  device.y = y;
+  if (std::string err = read_number(value, "demand_j", 0.0, device.demand_j);
+      !err.empty()) {
+    return err;
+  }
+  if (std::string err =
+          read_number(value, "capacity_j", 0.0, device.capacity_j);
+      !err.empty()) {
+    return err;
+  }
+  if (device.capacity_j != 0.0 && device.capacity_j < device.demand_j) {
+    return "device 'capacity_j' must be 0 (auto) or >= 'demand_j'";
+  }
+  if (std::string err = read_number(value, "speed", 0.0, device.speed_m_per_s);
+      !err.empty()) {
+    return err;
+  }
+  if (device.speed_m_per_s <= 0.0) {
+    return "device 'speed' must be > 0";
+  }
+  if (std::string err =
+          read_number(value, "unit_cost", 0.0, device.unit_cost);
+      !err.empty()) {
+    return err;
+  }
+  if (std::string err =
+          read_number(value, "joules_per_m", 0.0, device.joules_per_m);
+      !err.empty()) {
+    return err;
+  }
+  return "";
+}
+
+void append_device(std::ostringstream& out, const RequestDevice& d) {
+  out << "{\"x\":" << obs::json_double(d.x)
+      << ",\"y\":" << obs::json_double(d.y)
+      << ",\"demand_j\":" << obs::json_double(d.demand_j);
+  if (d.capacity_j != 0.0) {
+    out << ",\"capacity_j\":" << obs::json_double(d.capacity_j);
+  }
+  if (d.speed_m_per_s != 1.0) {
+    out << ",\"speed\":" << obs::json_double(d.speed_m_per_s);
+  }
+  if (d.unit_cost != 1.0) {
+    out << ",\"unit_cost\":" << obs::json_double(d.unit_cost);
+  }
+  if (d.joules_per_m != 0.0) {
+    out << ",\"joules_per_m\":" << obs::json_double(d.joules_per_m);
+  }
+  out << '}';
+}
+
+}  // namespace
+
+std::string parse_line(const std::string& line, ParsedLine& out) {
+  JsonValue doc;
+  try {
+    doc = obs::parse_json(line);
+  } catch (const obs::JsonError& e) {
+    return std::string("malformed JSON: ") + e.what();
+  }
+  if (!doc.is_object()) {
+    return "request must be a JSON object";
+  }
+
+  if (doc.has("cmd")) {
+    if (doc.object.size() != 1 ||
+        doc.at("cmd").kind != JsonValue::Kind::kString) {
+      return "control line must be exactly {\"cmd\":\"stats|shutdown\"}";
+    }
+    const std::string& cmd = doc.at("cmd").as_string();
+    if (cmd == "stats") {
+      out.kind = LineKind::kStats;
+      return "";
+    }
+    if (cmd == "shutdown") {
+      out.kind = LineKind::kShutdown;
+      return "";
+    }
+    return "unknown command '" + cmd + "'";
+  }
+
+  static const std::set<std::string> kKeys = {
+      "id", "algo", "scheme", "deadline_ms", "budget", "devices"};
+  for (const auto& [key, member] : doc.object) {
+    (void)member;
+    if (!kKeys.contains(key)) {
+      return "unknown request field '" + key + "'";
+    }
+  }
+
+  out.kind = LineKind::kRequest;
+  Request& request = out.request;
+  request = Request{};
+
+  if (!doc.has("id") || doc.at("id").kind != JsonValue::Kind::kString ||
+      doc.at("id").as_string().empty()) {
+    return "request needs a nonempty string 'id'";
+  }
+  request.id = doc.at("id").as_string();
+  if (request.id.size() > 128) {
+    return "request 'id' exceeds 128 characters";
+  }
+
+  for (const char* key : {"algo", "scheme"}) {
+    if (doc.has(key)) {
+      if (doc.at(key).kind != JsonValue::Kind::kString) {
+        return std::string("field '") + key + "' must be a string";
+      }
+      (key[0] == 'a' ? request.algo : request.scheme) = doc.at(key).as_string();
+    }
+  }
+  if (std::string err =
+          read_number(doc, "deadline_ms", 0.0, request.deadline_ms);
+      !err.empty()) {
+    return err;
+  }
+  if (std::string err = read_number(doc, "budget", 0.0, request.budget);
+      !err.empty()) {
+    return err;
+  }
+
+  if (!doc.has("devices") || !doc.at("devices").is_array() ||
+      doc.at("devices").array.empty()) {
+    return "request needs a nonempty 'devices' array";
+  }
+  request.devices.reserve(doc.at("devices").array.size());
+  for (const JsonValue& entry : doc.at("devices").array) {
+    RequestDevice device;
+    if (std::string err = parse_device(entry, device); !err.empty()) {
+      return err;
+    }
+    request.devices.push_back(device);
+  }
+  return "";
+}
+
+std::string to_json_line(const Response& r) {
+  std::ostringstream out;
+  out << "{\"id\":\"" << obs::json_escape(r.id) << "\",\"status\":\""
+      << obs::json_escape(r.status) << '"';
+  if (!r.reason.empty()) {
+    out << ",\"reason\":\"" << obs::json_escape(r.reason) << '"';
+  }
+  if (r.status == "ok") {
+    out << ",\"algo\":\"" << obs::json_escape(r.algo) << "\",\"scheme\":\""
+        << obs::json_escape(r.scheme) << "\",\"batch_size\":" << r.batch_size
+        << ",\"coalesced\":" << (r.coalesced ? "true" : "false")
+        << ",\"queue_ms\":" << obs::json_double(r.queue_ms)
+        << ",\"schedule_ms\":" << obs::json_double(r.schedule_ms)
+        << ",\"total_cost\":" << obs::json_double(r.total_cost)
+        << ",\"payments\":[";
+    for (std::size_t i = 0; i < r.payments.size(); ++i) {
+      out << (i == 0 ? "" : ",") << obs::json_double(r.payments[i]);
+    }
+    out << "],\"coalitions\":[";
+    for (std::size_t c = 0; c < r.coalitions.size(); ++c) {
+      const ResponseCoalition& coalition = r.coalitions[c];
+      out << (c == 0 ? "" : ",") << "{\"charger\":" << coalition.charger
+          << ",\"members\":[";
+      for (std::size_t m = 0; m < coalition.members.size(); ++m) {
+        out << (m == 0 ? "" : ",") << coalition.members[m];
+      }
+      out << "]}";
+    }
+    out << ']';
+  } else if (r.status == "stats") {
+    for (const auto& [key, value] : r.stats) {
+      out << ",\"" << obs::json_escape(key) << "\":" << value;
+    }
+  } else if (r.total_cost != 0.0) {
+    // over_budget rejections report the cost that broke the budget
+    out << ",\"total_cost\":" << obs::json_double(r.total_cost);
+  }
+  out << '}';
+  return out.str();
+}
+
+std::string to_json_line(const Request& r) {
+  std::ostringstream out;
+  out << "{\"id\":\"" << obs::json_escape(r.id) << '"';
+  if (!r.algo.empty()) {
+    out << ",\"algo\":\"" << obs::json_escape(r.algo) << '"';
+  }
+  if (!r.scheme.empty()) {
+    out << ",\"scheme\":\"" << obs::json_escape(r.scheme) << '"';
+  }
+  if (r.deadline_ms != 0.0) {
+    out << ",\"deadline_ms\":" << obs::json_double(r.deadline_ms);
+  }
+  if (r.budget != 0.0) {
+    out << ",\"budget\":" << obs::json_double(r.budget);
+  }
+  out << ",\"devices\":[";
+  for (std::size_t i = 0; i < r.devices.size(); ++i) {
+    if (i != 0) {
+      out << ',';
+    }
+    append_device(out, r.devices[i]);
+  }
+  out << "]}";
+  return out.str();
+}
+
+Response parse_response(const std::string& line) {
+  const JsonValue doc = obs::parse_json(line);
+  Response r;
+  r.id = doc.has("id") ? doc.at("id").as_string() : "";
+  r.status = doc.at("status").as_string();
+  if (doc.has("reason")) {
+    r.reason = doc.at("reason").as_string();
+  }
+  if (doc.has("algo")) {
+    r.algo = doc.at("algo").as_string();
+  }
+  if (doc.has("scheme")) {
+    r.scheme = doc.at("scheme").as_string();
+  }
+  if (doc.has("batch_size")) {
+    r.batch_size = static_cast<int>(doc.at("batch_size").as_int());
+  }
+  if (doc.has("coalesced")) {
+    r.coalesced = doc.at("coalesced").boolean;
+  }
+  if (doc.has("queue_ms")) {
+    r.queue_ms = doc.at("queue_ms").as_number();
+  }
+  if (doc.has("schedule_ms")) {
+    r.schedule_ms = doc.at("schedule_ms").as_number();
+  }
+  if (doc.has("total_cost")) {
+    r.total_cost = doc.at("total_cost").as_number();
+  }
+  if (doc.has("payments")) {
+    for (const JsonValue& p : doc.at("payments").array) {
+      r.payments.push_back(p.as_number());
+    }
+  }
+  if (doc.has("coalitions")) {
+    for (const JsonValue& entry : doc.at("coalitions").array) {
+      ResponseCoalition coalition;
+      coalition.charger = static_cast<int>(entry.at("charger").as_int());
+      for (const JsonValue& m : entry.at("members").array) {
+        coalition.members.push_back(static_cast<int>(m.as_int()));
+      }
+      r.coalitions.push_back(std::move(coalition));
+    }
+  }
+  return r;
+}
+
+core::Instance build_instance(const Request& request,
+                              std::span<const core::Charger> chargers,
+                              const core::CostParams& params) {
+  std::vector<core::Device> devices;
+  devices.reserve(request.devices.size());
+  for (const RequestDevice& d : request.devices) {
+    core::Device device;
+    device.position = {d.x, d.y};
+    device.demand_j = d.demand_j;
+    device.battery_capacity_j =
+        d.capacity_j > 0.0 ? d.capacity_j : d.demand_j;
+    device.motion.speed_m_per_s = d.speed_m_per_s;
+    device.motion.unit_cost = d.unit_cost;
+    device.motion.joules_per_m = d.joules_per_m;
+    devices.push_back(device);
+  }
+  return core::Instance(std::move(devices),
+                        std::vector<core::Charger>(chargers.begin(),
+                                                   chargers.end()),
+                        params);
+}
+
+}  // namespace cc::service

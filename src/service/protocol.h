@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file protocol.h
+/// Wire format of the charging service: one JSON document per line on
+/// both directions of the transport (stdin/stdout of `ccs_serve`, or
+/// any byte pipe). Built on the obs JSON reader/writer so manifests,
+/// traces and service traffic share one dialect — doubles round-trip
+/// exactly (max_digits10), which is what makes the service's schedules
+/// bit-identical to offline `ccs_cli` runs on the same instances.
+///
+/// Request line:
+///
+///   {"id":"r7","algo":"ccsa","scheme":"proportional","deadline_ms":250,
+///    "budget":120.5,"devices":[{"x":1.5,"y":2.0,"demand_j":60.0,
+///    "capacity_j":72.0,"speed":1.0,"unit_cost":0.9,"joules_per_m":0}]}
+///
+/// `id` and a nonempty `devices` array are required; everything else is
+/// optional with server-side defaults. Parsing is strict: unknown keys,
+/// wrong types, non-finite numbers, negative demands and malformed JSON
+/// are all rejected with a reason — never coerced (an untrusted request
+/// must not silently drive the scheduler with garbage).
+///
+/// Control lines share the stream: {"cmd":"stats"} and
+/// {"cmd":"shutdown"}.
+///
+/// Response line (status "ok"):
+///
+///   {"id":"r7","status":"ok","algo":"ccsa","scheme":"proportional",
+///    "batch_size":3,"coalesced":false,"queue_ms":1.2,"schedule_ms":4.1,
+///    "total_cost":812.5,"payments":[...],
+///    "coalitions":[{"charger":2,"members":[0,3]},...]}
+///
+/// `members` are request-local device indices (the order of the
+/// request's `devices` array). Rejections carry
+/// {"status":"rejected","reason":...}; hard failures
+/// {"status":"error","reason":...}.
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/schedule.h"
+
+namespace cc::service {
+
+/// One device in a charging request (mirrors core::Device).
+struct RequestDevice {
+  double x = 0.0;
+  double y = 0.0;
+  double demand_j = 0.0;
+  double capacity_j = 0.0;  ///< 0 → demand_j
+  double speed_m_per_s = 1.0;
+  double unit_cost = 1.0;
+  double joules_per_m = 0.0;
+};
+
+/// A parsed charging request.
+struct Request {
+  std::string id;
+  std::string algo;         ///< empty → server default
+  std::string scheme;       ///< empty → server default
+  double deadline_ms = 0.0; ///< max queue wait; 0 → server default
+  double budget = 0.0;      ///< max acceptable cost share; 0 = unlimited
+  std::vector<RequestDevice> devices;
+};
+
+enum class LineKind { kRequest, kStats, kShutdown };
+
+struct ParsedLine {
+  LineKind kind = LineKind::kRequest;
+  Request request;  ///< filled when kind == kRequest
+};
+
+/// Parses one wire line. Returns an empty string on success, otherwise
+/// the rejection reason (the line is never partially accepted).
+[[nodiscard]] std::string parse_line(const std::string& line,
+                                     ParsedLine& out);
+
+/// One coalition of a response; members are request-local indices.
+struct ResponseCoalition {
+  int charger = 0;
+  std::vector<int> members;
+};
+
+struct Response {
+  std::string id;
+  std::string status;  ///< "ok" | "rejected" | "error" | "stats"
+  std::string reason;  ///< rejection/error reason, empty for "ok"
+  std::string algo;
+  std::string scheme;
+  int batch_size = 0;       ///< requests co-scheduled in the same batch
+  bool coalesced = false;   ///< true when cross-request coalescing ran
+  double queue_ms = 0.0;    ///< admission → dispatch wait
+  double schedule_ms = 0.0; ///< scheduler wall time for this instance
+  double total_cost = 0.0;  ///< this request's comprehensive cost share
+  std::vector<double> payments;  ///< per request-device fee shares
+  std::vector<ResponseCoalition> coalitions;
+  /// Flat numeric fields of a {"cmd":"stats"} reply (status "stats").
+  std::vector<std::pair<std::string, long>> stats;
+};
+
+/// Serializes a response as one JSON line (no trailing newline).
+[[nodiscard]] std::string to_json_line(const Response& response);
+
+/// Serializes a request as one JSON line (client side; omits fields
+/// left at their defaults so the strict parser round-trips it).
+[[nodiscard]] std::string to_json_line(const Request& request);
+
+/// Parses a response line (client `--check` path). Throws
+/// `obs::JsonError` on malformed input.
+[[nodiscard]] Response parse_response(const std::string& line);
+
+/// Builds the scheduling instance a request denotes: the request's
+/// devices against the service's charger topology and cost weights.
+/// Deterministic — the offline equivalence check rebuilds the identical
+/// instance from the same JSON.
+[[nodiscard]] core::Instance build_instance(
+    const Request& request, std::span<const core::Charger> chargers,
+    const core::CostParams& params);
+
+}  // namespace cc::service

@@ -1,0 +1,459 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "core/cost_model.h"
+#include "obs/registry.h"
+#include "obs/span.h"
+#include "util/assert.h"
+#include "util/thread_pool.h"
+
+namespace cc::service {
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+ChargingService::ChargingService(std::vector<core::Charger> chargers,
+                                 core::CostParams params,
+                                 ServiceOptions options, ResponseSink sink)
+    : chargers_(std::move(chargers)),
+      params_(params),
+      options_(std::move(options)),
+      sink_(std::move(sink)),
+      queue_(options_.queue_capacity) {
+  CC_EXPECTS(!chargers_.empty(), "service needs at least one charger");
+  CC_EXPECTS(sink_ != nullptr, "service needs a response sink");
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+ChargingService::~ChargingService() { shutdown(true); }
+
+bool ChargingService::submit_line(const std::string& line) {
+  const obs::Span span("service.admit");
+  if (!accepting_.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  ParsedLine parsed;
+  const std::string error = parse_line(line, parsed);
+  if (!error.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.received;
+    }
+    Response response;
+    response.status = "rejected";
+    response.reason = "malformed: " + error;
+    respond(response);
+    return true;
+  }
+  switch (parsed.kind) {
+    case LineKind::kStats:
+      respond(stats_response());
+      return true;
+    case LineKind::kShutdown:
+      shutdown(true);
+      return false;
+    case LineKind::kRequest:
+      submit(std::move(parsed.request));
+      return accepting_.load(std::memory_order_relaxed);
+  }
+  return true;
+}
+
+void ChargingService::submit(Request request) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.received;
+  }
+  obs::count("service.received");
+
+  Response rejection;
+  rejection.id = request.id;
+  rejection.status = "rejected";
+
+  if (!accepting_.load(std::memory_order_relaxed)) {
+    reject(std::move(rejection), "shutting_down");
+    return;
+  }
+  if (static_cast<int>(request.devices.size()) >
+      options_.max_devices_per_request) {
+    reject(std::move(rejection),
+           "too_many_devices (limit " +
+               std::to_string(options_.max_devices_per_request) + ")");
+    return;
+  }
+
+  // Resolve defaults and validate names *before* queueing, so a bad
+  // request is rejected synchronously and never occupies a slot.
+  if (request.algo.empty()) {
+    request.algo = options_.default_algo;
+  }
+  if (request.scheme.empty()) {
+    request.scheme = options_.default_scheme;
+  }
+  try {
+    (void)scheduler_for(request.algo);
+  } catch (const std::exception&) {
+    reject(std::move(rejection), "unknown_algo '" + request.algo + "'");
+    return;
+  }
+  try {
+    (void)core::sharing_scheme_from_string(request.scheme);
+  } catch (const std::exception&) {
+    reject(std::move(rejection), "unknown_scheme '" + request.scheme + "'");
+    return;
+  }
+
+  PendingRequest pending;
+  pending.deadline_ms = request.deadline_ms > 0.0
+                            ? request.deadline_ms
+                            : options_.default_deadline_ms;
+  pending.request = std::move(request);
+
+  switch (queue_.try_push(std::move(pending))) {
+    case AdmitResult::kAccepted: {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.accepted;
+      }
+      obs::count("service.accepted");
+      if (obs::enabled()) {
+        obs::registry()
+            .gauge("service.queue_depth")
+            .set(static_cast<double>(queue_.depth()));
+        obs::registry()
+            .gauge("service.queue_peak")
+            .max_of(static_cast<double>(queue_.high_watermark()));
+      }
+      return;
+    }
+    case AdmitResult::kQueueFull:
+      reject(std::move(rejection), "queue_full");
+      return;
+    case AdmitResult::kClosed:
+      reject(std::move(rejection), "shutting_down");
+      return;
+  }
+}
+
+void ChargingService::shutdown(bool drain) {
+  std::call_once(shutdown_once_, [this, drain] {
+    accepting_.store(false, std::memory_order_relaxed);
+    drop_backlog_.store(!drain, std::memory_order_relaxed);
+    queue_.close();
+    if (worker_.joinable()) {
+      worker_.join();
+    }
+  });
+}
+
+ServiceStats ChargingService::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void ChargingService::worker_loop() {
+  const auto window = std::chrono::milliseconds(
+      std::llround(std::max(options_.batch_window_ms, 0.0)));
+  while (true) {
+    std::vector<PendingRequest> batch =
+        queue_.pop_batch(std::max<std::size_t>(options_.batch_max, 1),
+                         window);
+    if (batch.empty()) {
+      return;  // closed and drained
+    }
+    if (drop_backlog_.load(std::memory_order_relaxed)) {
+      for (PendingRequest& pending : batch) {
+        Response response;
+        response.id = pending.request.id;
+        response.status = "rejected";
+        reject(std::move(response), "shutting_down");
+      }
+      continue;
+    }
+    process_batch(std::move(batch));
+  }
+}
+
+void ChargingService::process_batch(std::vector<PendingRequest> batch) {
+  const obs::Span span("service.batch");
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.batches;
+  }
+  obs::count("service.batches");
+  obs::count("service.batched_requests",
+             static_cast<std::int64_t>(batch.size()));
+  if (obs::enabled()) {
+    obs::registry()
+        .gauge("service.queue_depth")
+        .set(static_cast<double>(queue_.depth()));
+  }
+
+  // Deadline gate: a request that waited past its deadline is rejected
+  // before any scheduling work is spent on it.
+  std::vector<const PendingRequest*> live;
+  live.reserve(batch.size());
+  for (const PendingRequest& pending : batch) {
+    const double queue_ms = ms_since(pending.enqueued_at);
+    if (obs::enabled()) {
+      obs::registry().histogram("service.queue_ms").record(queue_ms);
+    }
+    if (pending.deadline_ms > 0.0 && queue_ms > pending.deadline_ms) {
+      Response response;
+      response.id = pending.request.id;
+      response.status = "rejected";
+      response.queue_ms = queue_ms;
+      reject(std::move(response), "deadline_expired");
+      continue;
+    }
+    live.push_back(&pending);
+  }
+  if (live.empty()) {
+    return;
+  }
+
+  if (!options_.coalesce) {
+    // Each request is its own instance (offline-equivalent); the wave
+    // fans out through the process-wide pool, worker participating.
+    const int batch_size = static_cast<int>(live.size());
+    const std::vector<Response> responses = util::parallel_map(
+        live.size(), [this, &live, batch_size](std::size_t i) {
+          return serve_one(*live[i], batch_size);
+        });
+    for (const Response& response : responses) {
+      respond(response);
+    }
+    return;
+  }
+
+  // Coalesced mode: group compatible requests, merge each group into
+  // one instance. Map iteration keeps the response order deterministic.
+  std::map<std::pair<std::string, std::string>,
+           std::vector<const PendingRequest*>>
+      groups;
+  for (const PendingRequest* pending : live) {
+    groups[{pending->request.algo, pending->request.scheme}].push_back(
+        pending);
+  }
+  for (const auto& [key, group] : groups) {
+    (void)key;
+    if (group.size() == 1) {
+      respond(serve_one(*group.front(), static_cast<int>(live.size())));
+    } else {
+      serve_coalesced(group);
+    }
+  }
+}
+
+Response ChargingService::serve_one(const PendingRequest& pending,
+                                    int batch_size) {
+  const Request& request = pending.request;
+  Response response;
+  response.id = request.id;
+  response.algo = request.algo;
+  response.scheme = request.scheme;
+  response.batch_size = batch_size;
+  response.queue_ms = ms_since(pending.enqueued_at);
+  try {
+    const core::Instance instance =
+        build_instance(request, chargers_, params_);
+    const core::Scheduler* scheduler = scheduler_for(request.algo);
+    const core::SchedulerResult result = scheduler->run(instance);
+    response.schedule_ms = result.stats.elapsed_ms;
+    result.schedule.validate(instance);
+    const core::CostModel cost(instance);
+    const double total = result.schedule.total_cost(cost);
+    response.total_cost = total;
+    if (request.budget > 0.0 && total > request.budget) {
+      response.status = "rejected";
+      response.reason = "over_budget";
+      return response;
+    }
+    response.payments = result.schedule.device_payments(
+        cost, core::sharing_scheme_from_string(request.scheme));
+    for (const core::Coalition& coalition : result.schedule.coalitions()) {
+      ResponseCoalition out;
+      out.charger = coalition.charger;
+      out.members.assign(coalition.members.begin(), coalition.members.end());
+      response.coalitions.push_back(std::move(out));
+    }
+    response.status = "ok";
+  } catch (const std::exception& e) {
+    response.status = "error";
+    response.reason = e.what();
+    response.payments.clear();
+    response.coalitions.clear();
+  }
+  return response;
+}
+
+void ChargingService::serve_coalesced(
+    const std::vector<const PendingRequest*>& group) {
+  // Merge the group's devices into one instance; request r owns the
+  // index range [offsets[r], offsets[r+1]).
+  Request merged;
+  merged.algo = group.front()->request.algo;
+  merged.scheme = group.front()->request.scheme;
+  std::vector<std::size_t> offsets;
+  offsets.reserve(group.size() + 1);
+  offsets.push_back(0);
+  for (const PendingRequest* pending : group) {
+    merged.devices.insert(merged.devices.end(),
+                          pending->request.devices.begin(),
+                          pending->request.devices.end());
+    offsets.push_back(merged.devices.size());
+  }
+
+  std::vector<Response> responses(group.size());
+  for (std::size_t r = 0; r < group.size(); ++r) {
+    responses[r].id = group[r]->request.id;
+    responses[r].algo = merged.algo;
+    responses[r].scheme = merged.scheme;
+    responses[r].batch_size = static_cast<int>(group.size());
+    responses[r].coalesced = true;
+    responses[r].queue_ms = ms_since(group[r]->enqueued_at);
+  }
+
+  try {
+    const core::Instance instance =
+        build_instance(merged, chargers_, params_);
+    const core::Scheduler* scheduler = scheduler_for(merged.algo);
+    const core::SchedulerResult result = scheduler->run(instance);
+    result.schedule.validate(instance);
+    const core::CostModel cost(instance);
+    const std::vector<double> payments = result.schedule.device_payments(
+        cost, core::sharing_scheme_from_string(merged.scheme));
+
+    for (std::size_t r = 0; r < group.size(); ++r) {
+      Response& response = responses[r];
+      const std::size_t begin = offsets[r];
+      const std::size_t end = offsets[r + 1];
+      response.schedule_ms = result.stats.elapsed_ms;
+      double share = 0.0;
+      for (std::size_t i = begin; i < end; ++i) {
+        response.payments.push_back(payments[i]);
+        share += payments[i];
+      }
+      response.total_cost = share;
+      for (const core::Coalition& coalition : result.schedule.coalitions()) {
+        ResponseCoalition out;
+        out.charger = coalition.charger;
+        for (const core::DeviceId member : coalition.members) {
+          const auto index = static_cast<std::size_t>(member);
+          if (index >= begin && index < end) {
+            out.members.push_back(static_cast<int>(index - begin));
+          }
+        }
+        if (!out.members.empty()) {
+          response.coalitions.push_back(std::move(out));
+        }
+      }
+      const double budget = group[r]->request.budget;
+      if (budget > 0.0 && share > budget) {
+        response.status = "rejected";
+        response.reason = "over_budget";
+        response.payments.clear();
+        response.coalitions.clear();
+      } else {
+        response.status = "ok";
+      }
+    }
+  } catch (const std::exception& e) {
+    for (Response& response : responses) {
+      response.status = "error";
+      response.reason = e.what();
+      response.payments.clear();
+      response.coalitions.clear();
+    }
+  }
+  for (const Response& response : responses) {
+    respond(response);
+  }
+}
+
+const core::Scheduler* ChargingService::scheduler_for(
+    const std::string& algo) {
+  std::lock_guard<std::mutex> lock(scheduler_mutex_);
+  auto it = schedulers_.find(algo);
+  if (it == schedulers_.end()) {
+    it = schedulers_.emplace(algo, core::make_scheduler(algo)).first;
+  }
+  return it->second.get();
+}
+
+Response ChargingService::stats_response() const {
+  Response response;
+  response.status = "stats";
+  const ServiceStats s = stats();
+  response.stats = {
+      {"received", s.received},
+      {"accepted", s.accepted},
+      {"completed", s.completed},
+      {"rejected_malformed", s.rejected_malformed},
+      {"rejected_overload", s.rejected_overload},
+      {"rejected_deadline", s.rejected_deadline},
+      {"rejected_invalid", s.rejected_invalid},
+      {"rejected_over_budget", s.rejected_over_budget},
+      {"errors", s.errors},
+      {"batches", s.batches},
+      {"queue_depth", static_cast<long>(queue_.depth())},
+      {"queue_peak", static_cast<long>(queue_.high_watermark())},
+  };
+  return response;
+}
+
+void ChargingService::reject(Response response, const std::string& reason) {
+  response.status = "rejected";
+  response.reason = reason;
+  respond(response);
+}
+
+void ChargingService::respond(const Response& response) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (response.status == "ok") {
+      ++stats_.completed;
+    } else if (response.status == "error") {
+      ++stats_.errors;
+    } else if (response.status == "rejected") {
+      if (response.reason.starts_with("malformed")) {
+        ++stats_.rejected_malformed;
+      } else if (response.reason == "queue_full") {
+        ++stats_.rejected_overload;
+      } else if (response.reason == "deadline_expired") {
+        ++stats_.rejected_deadline;
+      } else if (response.reason == "over_budget") {
+        ++stats_.rejected_over_budget;
+      } else {
+        ++stats_.rejected_invalid;
+      }
+    }
+  }
+  if (response.status == "ok") {
+    obs::count("service.completed");
+    if (obs::enabled()) {
+      obs::registry()
+          .histogram("service.latency_ms")
+          .record(response.queue_ms + response.schedule_ms);
+    }
+  } else if (response.status == "rejected") {
+    obs::count("service.rejected");
+  } else if (response.status == "error") {
+    obs::count("service.errors");
+  }
+  std::lock_guard<std::mutex> lock(sink_mutex_);
+  sink_(response);
+}
+
+}  // namespace cc::service

@@ -1,0 +1,164 @@
+#pragma once
+
+/// \file service.h
+/// The long-running charging service: admission control, micro-batching
+/// and dispatch of online charging requests onto the scheduler registry.
+///
+/// Pipeline (one worker thread drives it; scheduling fans out through
+/// the process-wide `util::ThreadPool`):
+///
+///   submit_line ──parse+validate──▶ AdmissionQueue ──pop_batch──▶
+///     group by (algo, scheme) ──▶ schedule wave (thread pool) ──▶
+///     fee sharing ──▶ ResponseSink
+///
+/// Guarantees:
+///  * Bounded memory: the queue rejects (`queue_full`) instead of
+///    growing without bound; responses are emitted for *every*
+///    submitted request, accepted or not.
+///  * Per-request deadline: a request whose queue wait exceeds its
+///    deadline is rejected (`deadline_expired`) without being
+///    scheduled.
+///  * Determinism: with coalescing off (the default), each request is
+///    scheduled as its own instance — bit-identical to an offline
+///    `ccs_cli` run on the same instance, regardless of batching or
+///    `--jobs`.
+///  * Graceful shutdown: `shutdown(drain=true)` serves everything
+///    already admitted; `drain=false` rejects the backlog
+///    (`shutting_down`). Either way the worker joins before return.
+///
+/// With `coalesce` on, compatible requests of one batch are merged into
+/// a single instance so coalitions may span requests — cooperative
+/// charging *across* tenants, the paper's economics applied between
+/// customers — and each request pays its devices' fee shares of the
+/// merged schedule.
+///
+/// Observability (all behind the `CC_OBS` gate): counters
+/// `service.received/accepted/completed/rejected.*`, queue-depth and
+/// peak gauges, `service.queue_ms` / `service.latency_ms` histograms,
+/// and `service.admit` / `service.batch` spans around the pipeline
+/// stages (scheduler spans nest inside via the instrumented registry).
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/scheduler.h"
+#include "core/sharing.h"
+#include "service/admission.h"
+#include "service/protocol.h"
+
+namespace cc::service {
+
+struct ServiceOptions {
+  std::string default_algo = "ccsa";
+  std::string default_scheme = "egalitarian";
+  std::size_t queue_capacity = 64;   ///< admission bound (backpressure)
+  std::size_t batch_max = 8;         ///< max requests per dispatch wave
+  double batch_window_ms = 2.0;      ///< wait for co-batchable requests
+  double default_deadline_ms = 0.0;  ///< applied when a request has none
+  int max_devices_per_request = 1024;
+  bool coalesce = false;  ///< merge compatible requests into one instance
+};
+
+/// Monotone request accounting (also exported as obs counters).
+struct ServiceStats {
+  long received = 0;   ///< submit_line/submit calls (incl. malformed)
+  long accepted = 0;   ///< admitted into the queue
+  long completed = 0;  ///< responded with status "ok"
+  long rejected_malformed = 0;
+  long rejected_overload = 0;
+  long rejected_deadline = 0;
+  long rejected_invalid = 0;  ///< unknown algo/scheme, size cap, shutdown
+  long rejected_over_budget = 0;
+  long errors = 0;
+  long batches = 0;
+
+  [[nodiscard]] long rejected_total() const noexcept {
+    return rejected_malformed + rejected_overload + rejected_deadline +
+           rejected_invalid + rejected_over_budget;
+  }
+};
+
+class ChargingService {
+ public:
+  /// Called for every response, from the intake thread (synchronous
+  /// rejections) or the worker thread (scheduled results); calls are
+  /// serialized by the service.
+  using ResponseSink = std::function<void(const Response&)>;
+
+  /// Topology (`chargers`, `params`) is fixed for the service lifetime;
+  /// requests only bring devices. Throws `util::AssertionError` on an
+  /// empty charger set. Starts the worker thread.
+  ChargingService(std::vector<core::Charger> chargers,
+                  core::CostParams params, ServiceOptions options,
+                  ResponseSink sink);
+
+  /// Drain-shuts down if the caller did not.
+  ~ChargingService();
+
+  ChargingService(const ChargingService&) = delete;
+  ChargingService& operator=(const ChargingService&) = delete;
+
+  /// Full wire path: parse → validate → admit. Every line gets exactly
+  /// one response. Returns false once the caller should stop feeding
+  /// lines (a {"cmd":"shutdown"} control line or prior shutdown).
+  bool submit_line(const std::string& line);
+
+  /// Programmatic path (tests, in-process embedding): an
+  /// already-parsed request through the same validation + admission.
+  void submit(Request request);
+
+  /// Stops intake and joins the worker. `drain` serves the admitted
+  /// backlog; otherwise it is rejected with reason "shutting_down".
+  /// Idempotent.
+  void shutdown(bool drain = true);
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.depth(); }
+  [[nodiscard]] std::size_t queue_high_watermark() const {
+    return queue_.high_watermark();
+  }
+  [[nodiscard]] const ServiceOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  void worker_loop();
+  void process_batch(std::vector<PendingRequest> batch);
+  /// One request = one instance (the equivalence-preserving path).
+  [[nodiscard]] Response serve_one(const PendingRequest& pending,
+                                   int batch_size);
+  /// Merged-instance path; emits one response per request of the group.
+  void serve_coalesced(const std::vector<const PendingRequest*>& group);
+  [[nodiscard]] const core::Scheduler* scheduler_for(const std::string& algo);
+  [[nodiscard]] Response stats_response() const;
+  void reject(Response response, const std::string& reason);
+  void respond(const Response& response);
+
+  std::vector<core::Charger> chargers_;
+  core::CostParams params_;
+  ServiceOptions options_;
+  ResponseSink sink_;
+
+  AdmissionQueue queue_;
+  std::thread worker_;
+  std::atomic<bool> accepting_{true};
+  std::atomic<bool> drop_backlog_{false};
+  std::once_flag shutdown_once_;
+
+  mutable std::mutex scheduler_mutex_;
+  std::map<std::string, std::unique_ptr<core::Scheduler>> schedulers_;
+
+  mutable std::mutex stats_mutex_;
+  ServiceStats stats_;
+  std::mutex sink_mutex_;
+};
+
+}  // namespace cc::service

@@ -1,9 +1,42 @@
 #include "util/cli.h"
 
+#include <algorithm>
+#include <cctype>
+#include <charconv>
 #include <cstdlib>
-#include <string_view>
+#include <iostream>
 
 namespace cc::util {
+
+namespace {
+
+std::string lowercase(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char ch) {
+    return static_cast<char>(std::tolower(ch));
+  });
+  return out;
+}
+
+/// Edit distance capped for suggestion purposes (inputs are short keys).
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> prev(b.size() + 1);
+  std::vector<std::size_t> cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) {
+    prev[j] = j;
+  }
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+}  // namespace
 
 Cli::Cli(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
@@ -13,38 +46,154 @@ Cli::Cli(int argc, const char* const* argv) {
     }
     arg.remove_prefix(2);
     const auto eq = arg.find('=');
+    std::string key;
     if (eq == std::string_view::npos) {
-      flags_[std::string(arg)] = "true";
+      key = std::string(arg);
+      flags_[key] = "true";
     } else {
-      flags_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+      key = std::string(arg.substr(0, eq));
+      flags_[key] = std::string(arg.substr(eq + 1));
+    }
+    if (std::find(order_.begin(), order_.end(), key) == order_.end()) {
+      order_.push_back(key);
     }
   }
 }
 
-bool Cli::has(const std::string& key) const { return flags_.contains(key); }
+bool Cli::has(const std::string& key) const {
+  known_.insert(key);
+  return flags_.contains(key);
+}
 
 std::string Cli::get(const std::string& key,
                      const std::string& fallback) const {
+  known_.insert(key);
   const auto it = flags_.find(key);
   return it == flags_.end() ? fallback : it->second;
 }
 
 int Cli::get_int(const std::string& key, int fallback) const {
-  const auto it = flags_.find(key);
-  return it == flags_.end() ? fallback : std::atoi(it->second.c_str());
-}
-
-double Cli::get_double(const std::string& key, double fallback) const {
-  const auto it = flags_.find(key);
-  return it == flags_.end() ? fallback : std::atof(it->second.c_str());
-}
-
-bool Cli::get_bool(const std::string& key, bool fallback) const {
+  known_.insert(key);
   const auto it = flags_.find(key);
   if (it == flags_.end()) {
     return fallback;
   }
-  return it->second == "true" || it->second == "1" || it->second == "yes";
+  const auto parsed = parse_int(it->second);
+  if (!parsed.has_value()) {
+    fail("invalid integer for --" + key + ": '" + it->second + "'");
+  }
+  return *parsed;
+}
+
+double Cli::get_double(const std::string& key, double fallback) const {
+  known_.insert(key);
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) {
+    return fallback;
+  }
+  const auto parsed = parse_double(it->second);
+  if (!parsed.has_value()) {
+    fail("invalid number for --" + key + ": '" + it->second + "'");
+  }
+  return *parsed;
+}
+
+bool Cli::get_bool(const std::string& key, bool fallback) const {
+  known_.insert(key);
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) {
+    return fallback;
+  }
+  const auto parsed = parse_bool(it->second);
+  if (!parsed.has_value()) {
+    fail("invalid boolean for --" + key + ": '" + it->second +
+         "' (use true/false/1/0/yes/no/on/off)");
+  }
+  return *parsed;
+}
+
+void Cli::declare(std::initializer_list<std::string_view> keys) const {
+  for (const std::string_view key : keys) {
+    known_.insert(std::string(key));
+  }
+}
+
+std::vector<std::string> Cli::unknown_flags() const {
+  std::vector<std::string> unknown;
+  for (const std::string& key : order_) {
+    if (!known_.contains(key)) {
+      unknown.push_back(key);
+    }
+  }
+  return unknown;
+}
+
+void Cli::reject_unknown() const {
+  const auto unknown = unknown_flags();
+  if (unknown.empty()) {
+    return;
+  }
+  for (const std::string& key : unknown) {
+    std::string suggestion;
+    std::size_t best = 3;  // suggest only close misses
+    for (const std::string& candidate : known_) {
+      const std::size_t d = edit_distance(key, candidate);
+      if (d < best) {
+        best = d;
+        suggestion = candidate;
+      }
+    }
+    std::cerr << "error: unknown flag --" << key;
+    if (!suggestion.empty()) {
+      std::cerr << " (did you mean --" << suggestion << "?)";
+    }
+    std::cerr << '\n';
+  }
+  std::exit(1);
+}
+
+std::optional<int> Cli::parse_int(std::string_view text) {
+  if (text.empty()) {
+    return std::nullopt;
+  }
+  int value = 0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::optional<double> Cli::parse_double(std::string_view text) {
+  if (text.empty()) {
+    return std::nullopt;
+  }
+  double value = 0.0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::optional<bool> Cli::parse_bool(std::string_view text) {
+  const std::string lower = lowercase(text);
+  if (lower == "true" || lower == "1" || lower == "yes" || lower == "on") {
+    return true;
+  }
+  if (lower == "false" || lower == "0" || lower == "no" || lower == "off") {
+    return false;
+  }
+  return std::nullopt;
+}
+
+void Cli::fail(const std::string& message) {
+  std::cerr << "error: " << message << '\n';
+  std::exit(1);
 }
 
 }  // namespace cc::util

@@ -1,15 +1,37 @@
 #pragma once
 
 /// \file cli.h
-/// Tiny `--key=value` flag parser for examples and benches.
+/// Tiny `--key=value` flag parser for tools, benches and examples.
+///
+/// Strictness contract (service-facing inputs must fail loudly, never
+/// guess):
+///  * `get_int` / `get_double` parse with `std::from_chars`; a malformed
+///    or trailing-garbage value (`--jobs=abc`, `--seed=12x`) prints a
+///    diagnostic and exits nonzero instead of silently becoming 0.
+///  * `get_bool` is case-insensitive over true/false/1/0/yes/no/on/off
+///    and rejects anything else (`--obs=ye`).
+///  * Callers register the keys they understand — every accessor call
+///    registers its key, `declare` covers conditionally-read ones — and
+///    then call `reject_unknown()`, which turns a mistyped `--jbos=4`
+///    into an error (with a nearest-match suggestion) instead of a
+///    silently ignored flag.
+///
+/// The raw `parse_*` helpers are exposed for layers that need the same
+/// strictness without the exit-on-error policy (the charging-service
+/// request validator, tests).
 
+#include <initializer_list>
 #include <map>
+#include <optional>
+#include <set>
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace cc::util {
 
 /// Parses `--key=value` and bare `--flag` arguments.
-/// Unknown positional arguments are ignored (reported via `positional()`).
+/// Non-flag positional arguments are ignored.
 class Cli {
  public:
   Cli(int argc, const char* const* argv);
@@ -17,13 +39,39 @@ class Cli {
   [[nodiscard]] bool has(const std::string& key) const;
   [[nodiscard]] std::string get(const std::string& key,
                                 const std::string& fallback) const;
+  /// Strict accessors: a present-but-malformed value prints
+  /// `error: ...` to stderr and exits 1 (see file comment).
   [[nodiscard]] int get_int(const std::string& key, int fallback) const;
   [[nodiscard]] double get_double(const std::string& key,
                                   double fallback) const;
   [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
 
+  /// Registers keys this program understands but may not query on every
+  /// path (accessors register their key automatically).
+  void declare(std::initializer_list<std::string_view> keys) const;
+
+  /// Flags present on the command line but never declared or queried,
+  /// in command-line order.
+  [[nodiscard]] std::vector<std::string> unknown_flags() const;
+
+  /// Exits 1 with one diagnostic per unknown flag (plus a nearest-match
+  /// suggestion); no-op when every flag is known. Call after all
+  /// unconditional accessor calls and `declare`s.
+  void reject_unknown() const;
+
+  /// Strict whole-string parsers (empty/partial/garbage → nullopt).
+  [[nodiscard]] static std::optional<int> parse_int(std::string_view text);
+  [[nodiscard]] static std::optional<double> parse_double(
+      std::string_view text);
+  /// Case-insensitive true/1/yes/on vs false/0/no/off.
+  [[nodiscard]] static std::optional<bool> parse_bool(std::string_view text);
+
  private:
+  [[noreturn]] static void fail(const std::string& message);
+
   std::map<std::string, std::string> flags_;
+  std::vector<std::string> order_;       ///< flags in command-line order
+  mutable std::set<std::string> known_;  ///< declared or queried keys
 };
 
 }  // namespace cc::util

@@ -1,5 +1,6 @@
 #include "util/csv.h"
 
+#include <iostream>
 #include <stdexcept>
 
 namespace cc::util {
@@ -28,6 +29,18 @@ CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
   }
 }
 
+CsvWriter::~CsvWriter() {
+  if (closed_) {
+    return;
+  }
+  out_.flush();
+  if (!out_) {
+    // Destructors cannot throw; the loud path is write_row/close.
+    std::cerr << "error: CsvWriter: write to '" << path_
+              << "' failed (disk full or file revoked?)\n";
+  }
+}
+
 void CsvWriter::write_row(const std::vector<std::string>& cells) {
   for (std::size_t i = 0; i < cells.size(); ++i) {
     if (i != 0) {
@@ -36,10 +49,33 @@ void CsvWriter::write_row(const std::vector<std::string>& cells) {
     out_ << csv_escape(cells[i]);
   }
   out_ << '\n';
+  // Per-row flush: result CSVs are small and a disk-full failure must
+  // surface at the failing row, not as a quietly truncated file.
+  flush();
 }
 
 void CsvWriter::write_header(const std::vector<std::string>& names) {
   write_row(names);
+}
+
+void CsvWriter::flush() {
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: write to '" + path_ +
+                             "' failed (disk full or file revoked?)");
+  }
+}
+
+void CsvWriter::close() {
+  if (closed_) {
+    return;
+  }
+  flush();
+  out_.close();
+  closed_ = true;
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: closing '" + path_ + "' failed");
+  }
 }
 
 }  // namespace cc::util

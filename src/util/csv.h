@@ -10,23 +10,43 @@
 
 namespace cc::util {
 
-/// Writes rows of cells with RFC-4180-style quoting. Flushes on close.
+/// Writes rows of cells with RFC-4180-style quoting.
+///
+/// Failure contract: every row is flushed and the stream state checked,
+/// so a full disk or revoked permission surfaces as a
+/// `std::runtime_error` at the failing row instead of a silently
+/// truncated file (result CSVs gate CI; truncation must be loud).
 class CsvWriter {
  public:
   /// Opens `path` for writing; throws `std::runtime_error` on failure.
   explicit CsvWriter(const std::string& path);
 
-  /// Writes one row; cells containing commas/quotes/newlines are quoted.
+  /// Closes best-effort; a write failure first detected here is
+  /// reported on stderr (destructors cannot throw).
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Writes one row; cells containing commas/quotes/newlines are
+  /// quoted. Throws `std::runtime_error` if the write fails.
   void write_row(const std::vector<std::string>& cells);
 
   /// Convenience: header row.
   void write_header(const std::vector<std::string>& names);
+
+  /// Flushes and throws `std::runtime_error` if the stream went bad.
+  void flush();
+
+  /// Flushes, checks and closes; idempotent. Throws on failure.
+  void close();
 
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
  private:
   std::string path_;
   std::ofstream out_;
+  bool closed_ = false;
 };
 
 /// Quotes a single CSV cell if needed.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/assert.h"
 
@@ -91,7 +92,9 @@ double mean_of(std::span<const double> xs) noexcept {
 
 double percent_change(double a, double b) noexcept {
   if (a == 0.0) {
-    return 0.0;
+    // A zero baseline has no defined relative change; returning 0 here
+    // used to mask division-by-zero baselines in bench summaries.
+    return std::numeric_limits<double>::quiet_NaN();
   }
   return (b - a) / a * 100.0;
 }

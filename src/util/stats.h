@@ -55,6 +55,7 @@ struct Summary {
 [[nodiscard]] double mean_of(std::span<const double> xs) noexcept;
 
 /// Relative change (b - a) / a expressed as a percentage, e.g. -27.3.
+/// NaN for a zero baseline (undefined; tables render it as "n/a").
 [[nodiscard]] double percent_change(double a, double b) noexcept;
 
 /// Jain's fairness index (Σx)² / (n·Σx²) ∈ (0, 1]; 1 = perfectly even.

@@ -1,6 +1,7 @@
 #include "util/table.h"
 
 #include <algorithm>
+#include <cmath>
 #include <iomanip>
 #include <sstream>
 
@@ -34,6 +35,9 @@ Table& Table::cell(std::string text) {
 Table& Table::cell(const char* text) { return cell(std::string(text)); }
 
 Table& Table::cell(double value, int precision) {
+  if (!std::isfinite(value)) {
+    return cell("n/a");  // undefined ratios (e.g. zero baselines)
+  }
   return cell(format_double(value, precision));
 }
 

@@ -23,6 +23,7 @@ class Table {
 
   Table& cell(std::string text);
   Table& cell(const char* text);
+  /// Non-finite values render as "n/a" (undefined ratios).
   Table& cell(double value, int precision = 2);
   Table& cell(std::size_t value);
   Table& cell(int value);

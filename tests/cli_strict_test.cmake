@@ -1,0 +1,64 @@
+# Process-level contract of the strict flag parsing: malformed values
+# and unknown flags must exit nonzero with a clear message, across every
+# entry point that takes flags. Invoked by ctest with
+# -DCLI=<ccs_cli> -DSERVE=<ccs_serve> -DCLIENT=<ccs_client>
+# -DBENCH=<bench_fig8_runtime>.
+
+set(WORK "${CMAKE_CURRENT_BINARY_DIR}/cli_strict_work")
+file(REMOVE_RECURSE "${WORK}")
+file(MAKE_DIRECTORY "${WORK}")
+
+function(expect_usage_error label match)
+  execute_process(
+    COMMAND ${ARGN}
+    WORKING_DIRECTORY "${WORK}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR "${label}: expected a nonzero exit, got 0")
+  endif()
+  if(NOT err MATCHES "${match}")
+    message(FATAL_ERROR
+            "${label}: stderr missing '${match}':\n${err}")
+  endif()
+endfunction()
+
+# Malformed numeric values fail loudly instead of silently becoming 0.
+expect_usage_error("cli jobs=abc" "invalid integer for --jobs"
+                   ${CLI} --generate --jobs=abc)
+expect_usage_error("cli seed=12x" "invalid integer for --seed"
+                   ${CLI} --generate --seed=12x)
+expect_usage_error("cli field=wide" "invalid number for --field"
+                   ${CLI} --generate --field=wide)
+expect_usage_error("cli obs=ye" "invalid boolean for --obs"
+                   ${CLI} --generate --obs=ye)
+expect_usage_error("serve jobs=abc" "invalid integer for --jobs"
+                   ${SERVE} --jobs=abc)
+expect_usage_error("client requests=many" "invalid integer for --requests"
+                   ${CLIENT} --emit --requests=many)
+expect_usage_error("bench jobs=abc" "invalid integer for --jobs"
+                   ${BENCH} --jobs=abc)
+
+# Unknown flags are rejected with a suggestion for close misses.
+expect_usage_error("cli typo" "unknown flag --jbos .did you mean --jobs.."
+                   ${CLI} --generate --jbos=4)
+expect_usage_error("serve typo" "unknown flag --queu-cap"
+                   ${SERVE} --queu-cap=4)
+expect_usage_error("client typo" "unknown flag --requets"
+                   ${CLIENT} --emit --requets=5)
+expect_usage_error("bench typo" "unknown flag --oracle-seed"
+                   ${BENCH} --oracle-seed=3)
+
+# Well-formed values still parse: a tiny generate run must succeed.
+execute_process(
+  COMMAND ${CLI} --generate --devices=5 --chargers=2 --seed=12
+          --out=ok.txt
+  WORKING_DIRECTORY "${WORK}"
+  RESULT_VARIABLE rc
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "well-formed flags rejected: ${err}")
+endif()
+
+message(STATUS "strict CLI parsing OK")

@@ -183,6 +183,33 @@ TEST_F(ObsTest, TraceFileIsJsonLinesWithDepths) {
   std::remove(path.c_str());
 }
 
+TEST_F(ObsTest, TraceSinkDetachesOnWriteFailure) {
+  if (!std::ifstream("/dev/full").good()) {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  // /dev/full fails every write; the sink must report once, detach, and
+  // keep the process alive rather than silently truncating the trace.
+  cc::obs::set_trace_path("/dev/full");
+  {
+    const cc::obs::Span span("t.doomed");
+  }
+  cc::obs::flush_trace();  // must not throw or crash
+
+  // A fresh path resets the failure latch and traces normally again.
+  const std::string path = ::testing::TempDir() + "obs_trace_recover.jsonl";
+  cc::obs::set_trace_path(path);
+  {
+    const cc::obs::Span span("t.recovered");
+  }
+  cc::obs::set_trace_path("");
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(cc::obs::parse_json(line).at("name").as_string(), "t.recovered");
+  std::remove(path.c_str());
+}
+
 TEST_F(ObsTest, SpansNestAcrossPoolWorkers) {
   // Depth is per thread: concurrent testbed-style spans never observe
   // each other, and the registry sees every one of them.
@@ -290,6 +317,15 @@ TEST_F(ObsTest, ManifestSaveLoadRoundTripsOnDisk) {
   EXPECT_EQ(value, 99.5);
   std::remove(path.c_str());
   EXPECT_THROW((void)RunManifest::load(path), std::runtime_error);
+}
+
+TEST_F(ObsTest, ManifestSaveToFullDeviceThrows) {
+  if (!std::ifstream("/dev/full").good()) {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  RunManifest m;
+  m.name = "doomed";
+  EXPECT_THROW(m.save("/dev/full"), std::runtime_error);
 }
 
 TEST_F(ObsTest, MakeManifestCapturesRegistryState) {

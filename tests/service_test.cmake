@@ -1,0 +1,132 @@
+# End-to-end exercise of the charging service: ccs_client drives a
+# spawned ccs_serve through 200 mixed requests, dumps every served
+# instance + schedule, and each one is replayed through offline ccs_cli
+# — the files must compare byte-identical. Also checks the daemon's
+# strict-input and shutdown behavior on a raw request stream.
+# Invoked by ctest with -DCLI=<ccs_cli> -DSERVE=<ccs_serve>
+# -DCLIENT=<ccs_client>.
+
+set(WORK "${CMAKE_CURRENT_BINARY_DIR}/service_test_work")
+file(REMOVE_RECURSE "${WORK}")
+file(MAKE_DIRECTORY "${WORK}")
+file(MAKE_DIRECTORY "${WORK}/dump")
+
+function(run label expect_rc)
+  execute_process(
+    COMMAND ${ARGN}
+    WORKING_DIRECTORY "${WORK}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL ${expect_rc})
+    message(FATAL_ERROR
+            "${label} exited ${rc} (expected ${expect_rc}):\n${out}\n${err}")
+  endif()
+  set(last_out "${out}" PARENT_SCOPE)
+  set(last_err "${err}" PARENT_SCOPE)
+endfunction()
+
+# Shared topology: the server schedules against it, the client rebuilds
+# the per-request instances from it.
+run("topology generate" 0
+    ${CLI} --generate --devices=1 --chargers=6 --seed=42 --out=topo.txt)
+
+# 200 mixed requests (3 algorithms x 3 fee schemes), closed loop, with
+# the equivalence dump.
+set(N 200)
+run("client drive" 0
+    ${CLIENT} "--server=${SERVE} --instance=topo.txt --batch-window-ms=0"
+    --requests=${N} --seed=7 --topology=topo.txt --dump=dump --stats)
+if(NOT last_out MATCHES "ok=${N} rejected=0 errors=0")
+  message(FATAL_ERROR "drive summary unexpected:\n${last_out}")
+endif()
+if(NOT last_err MATCHES "received=${N} completed=${N}")
+  message(FATAL_ERROR "server final stats unexpected:\n${last_err}")
+endif()
+
+# Offline replay: every served schedule must be byte-identical to what
+# ccs_cli computes on the dumped instance. The client cycles its
+# default algorithm mix ccsa,noncoop,ccsga by request index.
+set(ALGOS ccsa noncoop ccsga)
+math(EXPR LAST "${N} - 1")
+foreach(i RANGE ${LAST})
+  math(EXPR m "${i} % 3")
+  list(GET ALGOS ${m} algo)
+  if(NOT EXISTS "${WORK}/dump/r${i}.instance")
+    message(FATAL_ERROR "dump missing r${i}.instance")
+  endif()
+  execute_process(
+    COMMAND ${CLI} --instance=dump/r${i}.instance --algo=${algo}
+            --schedule-out=offline.sched
+    WORKING_DIRECTORY "${WORK}"
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "offline replay of r${i} failed: ${err}")
+  endif()
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${WORK}/offline.sched" "${WORK}/dump/r${i}.schedule"
+    RESULT_VARIABLE same)
+  if(NOT same EQUAL 0)
+    message(FATAL_ERROR
+            "r${i} (${algo}): service schedule differs from offline ccs_cli")
+  endif()
+endforeach()
+message(STATUS "${N} service schedules byte-identical to offline runs")
+
+# Raw stream: malformed lines are rejected with reasons, the shutdown
+# control line drains cleanly, and valid requests still complete.
+file(WRITE "${WORK}/stream.jsonl"
+"{\"id\":\"good\",\"devices\":[{\"x\":5,\"y\":5,\"demand_j\":50}]}
+this is not json
+{\"id\":\"bad-field\",\"devices\":[{\"x\":1,\"y\":2,\"demand_j\":5,\"volts\":3}]}
+{\"id\":\"bad-algo\",\"algo\":\"quantum\",\"devices\":[{\"x\":1,\"y\":2,\"demand_j\":5}]}
+{\"cmd\":\"stats\"}
+{\"cmd\":\"shutdown\"}
+")
+execute_process(
+  COMMAND ${SERVE} --instance=topo.txt --batch-window-ms=0
+  WORKING_DIRECTORY "${WORK}"
+  INPUT_FILE "${WORK}/stream.jsonl"
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "daemon exited ${rc} on the raw stream:\n${err}")
+endif()
+# Malformed lines carry no trustworthy id, so those rejections report
+# an empty one; the reason pins down which line failed.
+foreach(marker
+        "\"id\":\"good\",\"status\":\"ok\""
+        "malformed: malformed JSON"
+        "unknown device field 'volts'"
+        "\"id\":\"bad-algo\",\"status\":\"rejected\""
+        "unknown_algo 'quantum'"
+        "\"status\":\"stats\"")
+  if(NOT out MATCHES "${marker}")
+    message(FATAL_ERROR "daemon output missing '${marker}':\n${out}")
+  endif()
+endforeach()
+if(NOT err MATCHES "received=4 completed=1")
+  message(FATAL_ERROR "daemon final stats unexpected:\n${err}")
+endif()
+
+# Overload: open-loop flood of heavy requests (scheduling 100+ devices
+# takes milliseconds; the flood arrives every 0.2 ms) against a tiny
+# queue must shed load with an explicit queue_full reason and still
+# answer every request.
+run("overload drive" 0
+    ${CLIENT}
+    "--server=${SERVE} --instance=topo.txt --queue-cap=2 --batch-max=2 --batch-window-ms=0"
+    --requests=40 --seed=3 --rate=5000 --devices-min=100 --devices-max=140
+    --algos=ccsa)
+if(NOT last_out MATCHES "queue_full")
+  message(FATAL_ERROR "flood did not surface queue_full:\n${last_out}")
+endif()
+if(NOT last_out MATCHES " 40 answered")
+  message(FATAL_ERROR "flood lost responses:\n${last_out}")
+endif()
+
+message(STATUS "service end-to-end OK")

@@ -1,0 +1,494 @@
+// Tests for src/service: wire-protocol parsing, the admission queue,
+// and the charging service's scheduling / rejection / shutdown paths.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/generator.h"
+#include "core/scheduler.h"
+#include "service/admission.h"
+#include "service/protocol.h"
+#include "service/service.h"
+
+namespace {
+
+using cc::service::AdmissionQueue;
+using cc::service::AdmitResult;
+using cc::service::ChargingService;
+using cc::service::LineKind;
+using cc::service::ParsedLine;
+using cc::service::PendingRequest;
+using cc::service::Request;
+using cc::service::RequestDevice;
+using cc::service::Response;
+using cc::service::ServiceOptions;
+
+constexpr const char* kGoodLine =
+    R"({"id":"r1","devices":[{"x":10,"y":20,"demand_j":60}]})";
+
+// Builds "prefix<i>" without `const char* + std::string`, which trips a
+// -Wrestrict false positive in GCC 12 (PR 105651) at -O2.
+std::string indexed_id(const char* prefix, int i) {
+  std::string id(prefix);
+  id += std::to_string(i);
+  return id;
+}
+
+Request small_request(const std::string& id, int devices = 2) {
+  Request request;
+  request.id = id;
+  for (int d = 0; d < devices; ++d) {
+    RequestDevice device;
+    device.x = 10.0 * (d + 1);
+    device.y = 5.0 * (d + 1);
+    device.demand_j = 50.0 + d;
+    request.devices.push_back(device);
+  }
+  return request;
+}
+
+/// Thread-safe response collector with a completion wait.
+class Collector {
+ public:
+  void operator()(const Response& response) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    responses_.push_back(response);
+    cv_.notify_all();
+  }
+
+  ChargingService::ResponseSink sink() {
+    return [this](const Response& r) { (*this)(r); };
+  }
+
+  bool wait_for(std::size_t n, std::chrono::seconds timeout =
+                                   std::chrono::seconds(30)) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return cv_.wait_for(lock, timeout,
+                        [this, n] { return responses_.size() >= n; });
+  }
+
+  std::vector<Response> responses() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return responses_;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Response> responses_;
+};
+
+std::vector<cc::core::Charger> test_chargers() {
+  cc::core::GeneratorConfig config;
+  config.num_devices = 1;
+  config.num_chargers = 5;
+  config.seed = 7;
+  const cc::core::Instance topo = cc::core::generate(config);
+  return {topo.chargers().begin(), topo.chargers().end()};
+}
+
+// -------------------------------------------------------------- protocol
+
+TEST(ProtocolTest, ParsesMinimalRequest) {
+  ParsedLine parsed;
+  ASSERT_EQ(cc::service::parse_line(kGoodLine, parsed), "");
+  EXPECT_EQ(parsed.kind, LineKind::kRequest);
+  EXPECT_EQ(parsed.request.id, "r1");
+  ASSERT_EQ(parsed.request.devices.size(), 1u);
+  EXPECT_DOUBLE_EQ(parsed.request.devices[0].demand_j, 60.0);
+}
+
+TEST(ProtocolTest, ParsesControlLines) {
+  ParsedLine parsed;
+  ASSERT_EQ(cc::service::parse_line(R"({"cmd":"stats"})", parsed), "");
+  EXPECT_EQ(parsed.kind, LineKind::kStats);
+  ASSERT_EQ(cc::service::parse_line(R"({"cmd":"shutdown"})", parsed), "");
+  EXPECT_EQ(parsed.kind, LineKind::kShutdown);
+  EXPECT_NE(cc::service::parse_line(R"({"cmd":"reboot"})", parsed), "");
+  EXPECT_NE(cc::service::parse_line(R"({"cmd":"stats","x":1})", parsed), "");
+}
+
+TEST(ProtocolTest, RejectsMalformedLines) {
+  ParsedLine parsed;
+  // Every entry must come back with a nonempty reason, never coerced.
+  const std::vector<std::string> bad = {
+      "",
+      "not json",
+      "[1,2]",
+      R"({"devices":[{"x":1,"y":2,"demand_j":5}]})",          // no id
+      R"({"id":"","devices":[{"x":1,"y":2,"demand_j":5}]})",  // empty id
+      R"({"id":"r","devices":[]})",                           // no devices
+      R"({"id":"r","devices":[{"x":1,"y":2}]})",              // no demand
+      R"({"id":"r","devices":[{"x":1,"y":2,"demand_j":-5}]})",
+      R"({"id":"r","devices":[{"x":1,"y":2,"demand_j":5,"speed":0}]})",
+      R"({"id":"r","devices":[{"x":1,"y":2,"demand_j":9,"capacity_j":5}]})",
+      R"({"id":"r","devices":[{"x":1,"y":2,"demand_j":5}],"oops":1})",
+      R"({"id":"r","devices":[{"x":1,"y":2,"demand_j":5,"volts":3}]})",
+      R"({"id":"r","deadline_ms":"s","devices":[{"x":1,"y":2,"demand_j":5}]})",
+      R"({"id":"r","budget":-1,"devices":[{"x":1,"y":2,"demand_j":5}]})",
+  };
+  for (const std::string& line : bad) {
+    EXPECT_NE(cc::service::parse_line(line, parsed), "")
+        << "accepted: " << line;
+  }
+}
+
+TEST(ProtocolTest, RequestRoundTripsThroughJson) {
+  Request request = small_request("round-trip", 3);
+  request.algo = "ccsa";
+  request.scheme = "proportional";
+  request.budget = 250.5;
+  request.deadline_ms = 100.0;
+  request.devices[1].capacity_j = 80.0;
+  request.devices[2].unit_cost = 1.25;
+
+  ParsedLine parsed;
+  ASSERT_EQ(
+      cc::service::parse_line(cc::service::to_json_line(request), parsed),
+      "");
+  const Request& back = parsed.request;
+  EXPECT_EQ(back.id, request.id);
+  EXPECT_EQ(back.algo, request.algo);
+  EXPECT_EQ(back.scheme, request.scheme);
+  EXPECT_EQ(back.budget, request.budget);
+  ASSERT_EQ(back.devices.size(), request.devices.size());
+  for (std::size_t i = 0; i < back.devices.size(); ++i) {
+    // Bitwise equality: json_double must round-trip exactly, this is
+    // what the offline-equivalence guarantee rests on.
+    EXPECT_EQ(back.devices[i].x, request.devices[i].x);
+    EXPECT_EQ(back.devices[i].y, request.devices[i].y);
+    EXPECT_EQ(back.devices[i].demand_j, request.devices[i].demand_j);
+    EXPECT_EQ(back.devices[i].capacity_j, request.devices[i].capacity_j);
+    EXPECT_EQ(back.devices[i].unit_cost, request.devices[i].unit_cost);
+  }
+}
+
+TEST(ProtocolTest, ResponseRoundTripsThroughJson) {
+  Response response;
+  response.id = "r9";
+  response.status = "ok";
+  response.algo = "ccsa";
+  response.scheme = "egalitarian";
+  response.batch_size = 3;
+  response.queue_ms = 1.25;
+  response.schedule_ms = 0.5;
+  response.total_cost = 812.375;
+  response.payments = {400.125, 412.25};
+  response.coalitions = {{2, {0, 1}}};
+
+  const Response back =
+      cc::service::parse_response(cc::service::to_json_line(response));
+  EXPECT_EQ(back.id, "r9");
+  EXPECT_EQ(back.status, "ok");
+  EXPECT_EQ(back.batch_size, 3);
+  EXPECT_EQ(back.total_cost, response.total_cost);
+  ASSERT_EQ(back.payments.size(), 2u);
+  EXPECT_EQ(back.payments[1], 412.25);
+  ASSERT_EQ(back.coalitions.size(), 1u);
+  EXPECT_EQ(back.coalitions[0].charger, 2);
+  EXPECT_EQ(back.coalitions[0].members, (std::vector<int>{0, 1}));
+}
+
+// ------------------------------------------------------------- admission
+
+TEST(AdmissionTest, BoundedQueueRejectsWhenFull) {
+  AdmissionQueue queue(2);
+  EXPECT_EQ(queue.try_push({small_request("a")}), AdmitResult::kAccepted);
+  EXPECT_EQ(queue.try_push({small_request("b")}), AdmitResult::kAccepted);
+  EXPECT_EQ(queue.try_push({small_request("c")}), AdmitResult::kQueueFull);
+  EXPECT_EQ(queue.depth(), 2u);
+  EXPECT_EQ(queue.high_watermark(), 2u);
+}
+
+TEST(AdmissionTest, PopBatchPreservesArrivalOrderAndCap) {
+  AdmissionQueue queue(8);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(queue.try_push({small_request(indexed_id("r", i))}),
+              AdmitResult::kAccepted);
+  }
+  const auto batch =
+      queue.pop_batch(3, std::chrono::milliseconds(0));
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].request.id, "r0");
+  EXPECT_EQ(batch[2].request.id, "r2");
+  EXPECT_EQ(queue.depth(), 2u);
+}
+
+TEST(AdmissionTest, CloseRejectsPushAndDrainsRest) {
+  AdmissionQueue queue(8);
+  ASSERT_EQ(queue.try_push({small_request("a")}), AdmitResult::kAccepted);
+  queue.close();
+  EXPECT_EQ(queue.try_push({small_request("b")}), AdmitResult::kClosed);
+  EXPECT_EQ(queue.pop_batch(8, std::chrono::milliseconds(0)).size(), 1u);
+  EXPECT_TRUE(queue.pop_batch(8, std::chrono::milliseconds(0)).empty());
+}
+
+TEST(AdmissionTest, PopBatchWaitsForWindowToFill) {
+  AdmissionQueue queue(8);
+  ASSERT_EQ(queue.try_push({small_request("first")}),
+            AdmitResult::kAccepted);
+  std::thread producer([&queue] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    (void)queue.try_push({small_request("second")});
+  });
+  // The 2-slot batch waits up to 500 ms; the second arrival at ~20 ms
+  // completes it early.
+  const auto batch = queue.pop_batch(2, std::chrono::milliseconds(500));
+  producer.join();
+  EXPECT_EQ(batch.size(), 2u);
+}
+
+// --------------------------------------------------------------- service
+
+TEST(ServiceTest, SchedulesRequestsAndSharesFees) {
+  Collector collector;
+  ServiceOptions options;
+  options.batch_window_ms = 0.0;
+  ChargingService service(test_chargers(), {}, options, collector.sink());
+  service.submit(small_request("a", 4));
+  service.submit(small_request("b", 3));
+  service.shutdown(true);
+
+  const auto responses = collector.responses();
+  ASSERT_EQ(responses.size(), 2u);
+  for (const Response& response : responses) {
+    EXPECT_EQ(response.status, "ok") << response.reason;
+    EXPECT_EQ(response.algo, "ccsa");
+    EXPECT_EQ(response.scheme, "egalitarian");
+    EXPECT_GT(response.total_cost, 0.0);
+    double paid = 0.0;
+    for (double p : response.payments) {
+      paid += p;
+    }
+    EXPECT_NEAR(paid, response.total_cost, 1e-9 * response.total_cost);
+  }
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.received, 2);
+  EXPECT_EQ(stats.completed, 2);
+  EXPECT_EQ(stats.rejected_total(), 0);
+}
+
+TEST(ServiceTest, ServiceScheduleMatchesOfflineScheduler) {
+  Collector collector;
+  ServiceOptions options;
+  options.batch_window_ms = 0.0;
+  const auto chargers = test_chargers();
+  ChargingService service(chargers, {}, options, collector.sink());
+  Request request = small_request("match", 6);
+  request.algo = "ccsa";
+  service.submit(request);
+  service.shutdown(true);
+
+  const auto responses = collector.responses();
+  ASSERT_EQ(responses.size(), 1u);
+  ASSERT_EQ(responses[0].status, "ok") << responses[0].reason;
+
+  // Offline run on the identical instance must produce the identical
+  // schedule and cost (same scheduler, same inputs, stateless run).
+  const cc::core::Instance instance =
+      cc::service::build_instance(request, chargers, {});
+  const auto offline = cc::core::make_scheduler("ccsa")->run(instance);
+  const cc::core::CostModel cost(instance);
+  EXPECT_EQ(responses[0].total_cost, offline.schedule.total_cost(cost));
+  ASSERT_EQ(responses[0].coalitions.size(),
+            offline.schedule.num_coalitions());
+  for (std::size_t c = 0; c < responses[0].coalitions.size(); ++c) {
+    const auto& got = responses[0].coalitions[c];
+    const auto& want = offline.schedule.coalitions()[c];
+    EXPECT_EQ(got.charger, want.charger);
+    EXPECT_EQ(got.members,
+              std::vector<int>(want.members.begin(), want.members.end()));
+  }
+}
+
+TEST(ServiceTest, OverloadShedsWithQueueFullReason) {
+  Collector collector;
+  ServiceOptions options;
+  options.queue_capacity = 2;
+  options.batch_max = 2;
+  options.batch_window_ms = 100.0;  // slow consumer: batches linger
+  ChargingService service(test_chargers(), {}, options, collector.sink());
+  // Heavy requests: the submit loop outruns the worker by orders of
+  // magnitude, so the 2-slot queue must overflow.
+  const int flood = 50;
+  for (int i = 0; i < flood; ++i) {
+    service.submit(small_request(indexed_id("f", i), 64));
+  }
+  service.shutdown(true);
+
+  ASSERT_TRUE(collector.wait_for(flood));
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.received, flood);
+  EXPECT_GT(stats.rejected_overload, 0);
+  EXPECT_EQ(stats.completed + stats.rejected_total(), flood);
+}
+
+TEST(ServiceTest, ExpiredDeadlineIsRejectedBeforeScheduling) {
+  Collector collector;
+  ServiceOptions options;
+  options.batch_max = 1;
+  options.batch_window_ms = 0.0;
+  ChargingService service(test_chargers(), {}, options, collector.sink());
+  // A deadline far smaller than any possible queue wait: the request
+  // sits behind a batch in flight and expires.
+  Request hurried = small_request("hurried", 1);
+  hurried.deadline_ms = 1e-6;
+  service.submit(small_request("ahead", 8));
+  service.submit(hurried);
+  service.shutdown(true);
+
+  const auto responses = collector.responses();
+  ASSERT_EQ(responses.size(), 2u);
+  for (const Response& response : responses) {
+    if (response.id == "hurried") {
+      EXPECT_EQ(response.status, "rejected");
+      EXPECT_EQ(response.reason, "deadline_expired");
+    }
+  }
+  EXPECT_EQ(service.stats().rejected_deadline, 1);
+}
+
+TEST(ServiceTest, RejectsInvalidRequestsSynchronously) {
+  Collector collector;
+  ServiceOptions options;
+  options.max_devices_per_request = 4;
+  ChargingService service(test_chargers(), {}, options, collector.sink());
+
+  Request bad_algo = small_request("bad-algo");
+  bad_algo.algo = "quantum";
+  service.submit(bad_algo);
+  Request bad_scheme = small_request("bad-scheme");
+  bad_scheme.scheme = "communism";
+  service.submit(bad_scheme);
+  service.submit(small_request("too-big", 5));
+  EXPECT_TRUE(service.submit_line("this is not json"));
+  service.shutdown(true);
+
+  const auto responses = collector.responses();
+  ASSERT_EQ(responses.size(), 4u);
+  for (const Response& response : responses) {
+    EXPECT_EQ(response.status, "rejected");
+  }
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.rejected_invalid, 3);
+  EXPECT_EQ(stats.rejected_malformed, 1);
+}
+
+TEST(ServiceTest, OverBudgetRequestIsRejectedWithCost) {
+  Collector collector;
+  ServiceOptions options;
+  options.batch_window_ms = 0.0;
+  ChargingService service(test_chargers(), {}, options, collector.sink());
+  Request request = small_request("cheap", 4);
+  request.budget = 1e-6;  // no schedule is this cheap
+  service.submit(request);
+  service.shutdown(true);
+
+  const auto responses = collector.responses();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, "rejected");
+  EXPECT_EQ(responses[0].reason, "over_budget");
+  EXPECT_GT(responses[0].total_cost, 1e-6);
+  EXPECT_EQ(service.stats().rejected_over_budget, 1);
+}
+
+TEST(ServiceTest, ShutdownLineStopsIntake) {
+  Collector collector;
+  ChargingService service(test_chargers(), {}, {}, collector.sink());
+  EXPECT_TRUE(service.submit_line(kGoodLine));
+  EXPECT_FALSE(service.submit_line(R"({"cmd":"shutdown"})"));
+  // The drained request was served before shutdown returned.
+  const auto responses = collector.responses();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, "ok") << responses[0].reason;
+  // Late submissions are rejected, not silently dropped.
+  service.submit(small_request("late"));
+  ASSERT_TRUE(collector.wait_for(2));
+  EXPECT_EQ(collector.responses()[1].reason, "shutting_down");
+}
+
+TEST(ServiceTest, AbortShutdownRejectsBacklog) {
+  Collector collector;
+  ServiceOptions options;
+  options.queue_capacity = 64;
+  options.batch_max = 1;
+  options.batch_window_ms = 50.0;  // keep the backlog queued
+  ChargingService service(test_chargers(), {}, options, collector.sink());
+  // A heavy head-of-line request keeps the worker busy while the
+  // backlog queues up behind it.
+  service.submit(small_request("q0", 100));
+  for (int i = 1; i < 10; ++i) {
+    service.submit(small_request(indexed_id("q", i), 1));
+  }
+  service.shutdown(/*drain=*/false);
+  ASSERT_TRUE(collector.wait_for(10));
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.completed + stats.rejected_total(), 10);
+  EXPECT_GT(stats.rejected_invalid, 0);  // "shutting_down" rejections
+}
+
+TEST(ServiceTest, StatsLineReportsCounters) {
+  Collector collector;
+  ServiceOptions options;
+  options.batch_window_ms = 0.0;
+  ChargingService service(test_chargers(), {}, options, collector.sink());
+  EXPECT_TRUE(service.submit_line(kGoodLine));
+  ASSERT_TRUE(collector.wait_for(1));  // counter must reflect the request
+  EXPECT_TRUE(service.submit_line(R"({"cmd":"stats"})"));
+  service.shutdown(true);
+
+  const auto responses = collector.responses();
+  ASSERT_EQ(responses.size(), 2u);
+  const Response& stats = responses[1];
+  ASSERT_EQ(stats.status, "stats");
+  bool saw_completed = false;
+  for (const auto& [key, value] : stats.stats) {
+    if (key == "completed") {
+      saw_completed = true;
+      EXPECT_EQ(value, 1);
+    }
+  }
+  EXPECT_TRUE(saw_completed);
+}
+
+TEST(ServiceTest, CoalescedBatchSharesFeesPerRequest) {
+  Collector collector;
+  ServiceOptions options;
+  options.coalesce = true;
+  options.batch_max = 4;
+  options.batch_window_ms = 200.0;  // long window: both requests co-batch
+  ChargingService service(test_chargers(), {}, options, collector.sink());
+  service.submit(small_request("tenant-a", 3));
+  service.submit(small_request("tenant-b", 2));
+  service.shutdown(true);
+
+  const auto responses = collector.responses();
+  ASSERT_EQ(responses.size(), 2u);
+  for (const Response& response : responses) {
+    ASSERT_EQ(response.status, "ok") << response.reason;
+    EXPECT_TRUE(response.coalesced);
+    // Per-request payment slice, request-local coalition indices.
+    const std::size_t devices = response.id == "tenant-a" ? 3u : 2u;
+    EXPECT_EQ(response.payments.size(), devices);
+    for (const auto& coalition : response.coalitions) {
+      for (int member : coalition.members) {
+        EXPECT_GE(member, 0);
+        EXPECT_LT(member, static_cast<int>(devices));
+      }
+    }
+    double paid = 0.0;
+    for (double p : response.payments) {
+      paid += p;
+    }
+    EXPECT_NEAR(paid, response.total_cost, 1e-9 * (1.0 + response.total_cost));
+  }
+}
+
+}  // namespace

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "util/assert.h"
@@ -214,7 +216,14 @@ TEST(StatsTest, QuantileRejectsBadInput) {
 TEST(StatsTest, PercentChange) {
   EXPECT_DOUBLE_EQ(cc::util::percent_change(100.0, 73.0), -27.0);
   EXPECT_DOUBLE_EQ(cc::util::percent_change(50.0, 55.0), 10.0);
-  EXPECT_DOUBLE_EQ(cc::util::percent_change(0.0, 55.0), 0.0);
+}
+
+TEST(StatsTest, PercentChangeFromZeroBaselineIsNan) {
+  // A zero baseline has no defined relative change; 0.0 used to be
+  // returned here, silently reading as "no change".
+  EXPECT_TRUE(std::isnan(cc::util::percent_change(0.0, 55.0)));
+  EXPECT_TRUE(std::isnan(cc::util::percent_change(0.0, 0.0)));
+  EXPECT_DOUBLE_EQ(cc::util::percent_change(-10.0, -5.0), -50.0);
 }
 
 
@@ -257,6 +266,16 @@ TEST(TableTest, RejectsEmptyHeaderList) {
   EXPECT_THROW(cc::util::Table t({}), AssertionError);
 }
 
+TEST(TableTest, NonFiniteCellsRenderAsNa) {
+  cc::util::Table t({"metric", "delta"});
+  t.row().cell("x").cell(std::nan(""), 2);
+  t.row().cell("y").cell(std::numeric_limits<double>::infinity(), 2);
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("n/a"), std::string::npos);
+  EXPECT_EQ(out.find("nan"), std::string::npos);
+  EXPECT_EQ(out.find("inf"), std::string::npos);
+}
+
 // ------------------------------------------------------------------- csv
 
 TEST(CsvTest, EscapesSpecialCharacters) {
@@ -283,6 +302,32 @@ TEST(CsvTest, WritesRows) {
   std::remove(path.c_str());
 }
 
+// ------------------------------------------------------------- csv errors
+
+TEST(CsvTest, WriteToFullDeviceThrows) {
+  // /dev/full returns ENOSPC on every write — a deterministic stand-in
+  // for a disk filling up mid-experiment.
+  if (!std::ifstream("/dev/full").good()) {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  cc::util::CsvWriter w("/dev/full");
+  EXPECT_THROW(w.write_row({"a", "b"}), std::runtime_error);
+}
+
+TEST(CsvTest, UnopenablePathThrowsAtConstruction) {
+  EXPECT_THROW(cc::util::CsvWriter w("/nonexistent-dir/out.csv"),
+               std::runtime_error);
+}
+
+TEST(CsvTest, CloseIsIdempotentAfterSuccess) {
+  const std::string path = "csv_close_tmp.csv";
+  cc::util::CsvWriter w(path);
+  w.write_row({"1"});
+  EXPECT_NO_THROW(w.close());
+  EXPECT_NO_THROW(w.close());
+  std::remove(path.c_str());
+}
+
 // ------------------------------------------------------------------- cli
 
 TEST(CliTest, ParsesKeyValueAndFlags) {
@@ -294,6 +339,90 @@ TEST(CliTest, ParsesKeyValueAndFlags) {
   EXPECT_TRUE(cli.get_bool("verbose", false));
   EXPECT_FALSE(cli.has("positional"));
   EXPECT_EQ(cli.get("missing", "dflt"), "dflt");
+}
+
+TEST(CliTest, ParseIntIsStrict) {
+  using cc::util::Cli;
+  EXPECT_EQ(Cli::parse_int("42"), 42);
+  EXPECT_EQ(Cli::parse_int("-7"), -7);
+  EXPECT_FALSE(Cli::parse_int("12x").has_value());   // trailing junk
+  EXPECT_FALSE(Cli::parse_int("abc").has_value());
+  EXPECT_FALSE(Cli::parse_int("4.5").has_value());
+  EXPECT_FALSE(Cli::parse_int("").has_value());
+  EXPECT_FALSE(Cli::parse_int(" 3").has_value());
+  EXPECT_FALSE(Cli::parse_int("99999999999999999999").has_value());
+}
+
+TEST(CliTest, ParseDoubleIsStrict) {
+  using cc::util::Cli;
+  EXPECT_DOUBLE_EQ(Cli::parse_double("1.5").value(), 1.5);
+  EXPECT_DOUBLE_EQ(Cli::parse_double("-2e3").value(), -2000.0);
+  EXPECT_FALSE(Cli::parse_double("1.5x").has_value());
+  EXPECT_FALSE(Cli::parse_double("abc").has_value());
+  EXPECT_FALSE(Cli::parse_double("").has_value());
+}
+
+TEST(CliTest, ParseBoolIsCaseInsensitiveAndStrict) {
+  using cc::util::Cli;
+  EXPECT_EQ(Cli::parse_bool("TRUE"), true);
+  EXPECT_EQ(Cli::parse_bool("Yes"), true);
+  EXPECT_EQ(Cli::parse_bool("on"), true);
+  EXPECT_EQ(Cli::parse_bool("1"), true);
+  EXPECT_EQ(Cli::parse_bool("False"), false);
+  EXPECT_EQ(Cli::parse_bool("OFF"), false);
+  EXPECT_FALSE(Cli::parse_bool("ye").has_value());
+  EXPECT_FALSE(Cli::parse_bool("2").has_value());
+  EXPECT_FALSE(Cli::parse_bool("").has_value());
+}
+
+TEST(CliDeathTest, MalformedIntExitsNonzero) {
+  const char* argv[] = {"prog", "--jobs=abc"};
+  const cc::util::Cli cli(2, argv);
+  EXPECT_EXIT((void)cli.get_int("jobs", 1), ::testing::ExitedWithCode(1),
+              "invalid integer for --jobs");
+}
+
+TEST(CliDeathTest, TrailingJunkIntExitsNonzero) {
+  const char* argv[] = {"prog", "--seed=12x"};
+  const cc::util::Cli cli(2, argv);
+  EXPECT_EXIT((void)cli.get_int("seed", 1), ::testing::ExitedWithCode(1),
+              "invalid integer for --seed");
+}
+
+TEST(CliDeathTest, MalformedDoubleExitsNonzero) {
+  const char* argv[] = {"prog", "--rate=fast"};
+  const cc::util::Cli cli(2, argv);
+  EXPECT_EXIT((void)cli.get_double("rate", 0.0),
+              ::testing::ExitedWithCode(1), "invalid number for --rate");
+}
+
+TEST(CliDeathTest, MalformedBoolExitsNonzero) {
+  const char* argv[] = {"prog", "--obs=ye"};
+  const cc::util::Cli cli(2, argv);
+  EXPECT_EXIT((void)cli.get_bool("obs", false),
+              ::testing::ExitedWithCode(1), "invalid boolean for --obs");
+}
+
+TEST(CliTest, UnknownFlagsTracksUndeclaredKeys) {
+  const char* argv[] = {"prog", "--jobs=4", "--jbos=2"};
+  const cc::util::Cli cli(3, argv);
+  cli.declare({"jobs"});
+  EXPECT_EQ(cli.unknown_flags(), std::vector<std::string>{"jbos"});
+}
+
+TEST(CliTest, AccessorsRegisterKeysAsKnown) {
+  const char* argv[] = {"prog", "--jobs=4"};
+  const cc::util::Cli cli(2, argv);
+  EXPECT_EQ(cli.get_int("jobs", 1), 4);
+  EXPECT_TRUE(cli.unknown_flags().empty());
+}
+
+TEST(CliDeathTest, RejectUnknownSuggestsNearMiss) {
+  const char* argv[] = {"prog", "--jbos=4"};
+  const cc::util::Cli cli(2, argv);
+  cli.declare({"jobs", "seed"});
+  EXPECT_EXIT(cli.reject_unknown(), ::testing::ExitedWithCode(1),
+              "unknown flag --jbos \\(did you mean --jobs\\?\\)");
 }
 
 // -------------------------------------------------------------- stopwatch

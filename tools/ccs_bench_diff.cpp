@@ -131,6 +131,9 @@ void diff_pair(const cc::obs::RunManifest& base,
 
 int main(int argc, char** argv) {
   const cc::util::Cli cli(argc, argv);
+  cli.declare({"baseline", "candidate", "cost-tol", "runtime-tol",
+               "runtime-fail"});
+  cli.reject_unknown();
   const std::string baseline_path = cli.get("baseline", "");
   const std::string candidate_path = cli.get("candidate", "");
   if (baseline_path.empty() || candidate_path.empty()) {

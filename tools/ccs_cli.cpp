@@ -219,6 +219,18 @@ int evaluate(const cc::core::Instance& instance,
 
 int main(int argc, char** argv) {
   const cc::util::Cli cli(argc, argv);
+  cli.declare({"help",          "generate",      "devices",
+               "chargers",      "seed",          "field",
+               "clusters",      "cap",           "out",
+               "instance",      "algo",          "schedule-out",
+               "schedule",      "scheme",        "simulate",
+               "mtbf",          "mttr",          "death-prob",
+               "brownout-prob", "dropout-hazard", "fault-horizon",
+               "fault-seed",    "recovery",      "retries",
+               "payments",      "svg",           "jobs",
+               "verbose-timing", "obs",          "trace",
+               "manifest"});
+  cli.reject_unknown();
   if (cli.get_bool("help", false) || argc == 1) {
     print_help();
     return 0;

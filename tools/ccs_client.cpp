@@ -1,0 +1,480 @@
+/// \file ccs_client.cpp
+/// Load generator and offline-equivalence driver for `ccs_serve`.
+///
+/// Generates a deterministic mix of charging requests (seeded), then
+/// either prints them as request JSONL (`--emit`) or spawns the server
+/// command and drives it through a stdin/stdout pipe pair — closed-loop
+/// (wait for each response; the default) or open-loop (`--rate=R`
+/// requests per second regardless of completion). With `--dump=DIR`
+/// and `--topology=PATH` every "ok" response is materialized as an
+/// instance + schedule file pair so an offline `ccs_cli` run on the
+/// same instance can be compared byte-for-byte.
+///
+/// Exit codes: 0 when every request was answered and nothing was
+/// rejected as malformed, 1 otherwise, 2 on I/O errors.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <span>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/io.h"
+#include "obs/json.h"
+#include "service/protocol.h"
+#include "util/assert.h"
+#include "util/cli.h"
+#include "util/rng.h"
+
+namespace {
+
+constexpr const char* kUsage = R"(ccs_client — load generator for ccs_serve
+
+Request mix (deterministic in --seed):
+  --requests=N               number of requests (default 50)
+  --seed=K                   mix seed (default 1)
+  --devices-min=A            devices per request, lower bound (default 3)
+  --devices-max=B            upper bound (default 10)
+  --field=S                  device coordinate range [0,S) (default 100)
+  --algos=a,b,c              cycled algorithm mix (default
+                             ccsa,noncoop,ccsga; "" = server default)
+  --schemes=x,y              cycled fee-sharing mix (default
+                             egalitarian,proportional,shapley)
+  --budget-prob=P            fraction of requests given a budget
+  --deadline-ms=D            attach this deadline to every request
+
+Modes:
+  --emit                     print request JSONL to stdout (or --out=PATH)
+  --server="CMD"             spawn CMD via sh -c and drive it
+  --rate=R                   open loop at R req/s (default: closed loop)
+  --stats                    query {"cmd":"stats"} after the mix
+
+Equivalence dump (drive mode):
+  --topology=PATH            instance file with the server's chargers
+  --dump=DIR                 write DIR/<id>.instance + DIR/<id>.schedule
+                             for every "ok" response
+  --help
+)";
+
+struct Summary {
+  long ok = 0;
+  long errors = 0;
+  long unparseable = 0;
+  std::map<std::string, long> rejected;  // reason → count
+  double queue_ms_sum = 0.0;
+  double queue_ms_max = 0.0;
+  double schedule_ms_sum = 0.0;
+  double schedule_ms_max = 0.0;
+
+  [[nodiscard]] long rejected_total() const {
+    long total = 0;
+    for (const auto& [reason, count] : rejected) {
+      (void)reason;
+      total += count;
+    }
+    return total;
+  }
+};
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) {
+      out.push_back(item);
+    }
+  }
+  return out;
+}
+
+std::vector<cc::service::Request> generate_mix(const cc::util::Cli& cli) {
+  const int count = cli.get_int("requests", 50);
+  const int dev_min = cli.get_int("devices-min", 3);
+  const int dev_max = cli.get_int("devices-max", 10);
+  const double field = cli.get_double("field", 100.0);
+  const double budget_prob = cli.get_double("budget-prob", 0.0);
+  const double deadline_ms = cli.get_double("deadline-ms", 0.0);
+  const std::vector<std::string> algos =
+      split_csv(cli.get("algos", "ccsa,noncoop,ccsga"));
+  const std::vector<std::string> schemes =
+      split_csv(cli.get("schemes", "egalitarian,proportional,shapley"));
+  CC_EXPECTS(count > 0, "--requests must be > 0");
+  CC_EXPECTS(dev_min > 0 && dev_max >= dev_min,
+             "need 0 < --devices-min <= --devices-max");
+
+  cc::util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
+  std::vector<cc::service::Request> mix;
+  mix.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    cc::service::Request request;
+    request.id = "r" + std::to_string(i);
+    if (!algos.empty()) {
+      request.algo = algos[static_cast<std::size_t>(i) % algos.size()];
+    }
+    if (!schemes.empty()) {
+      request.scheme = schemes[static_cast<std::size_t>(i) % schemes.size()];
+    }
+    request.deadline_ms = deadline_ms;
+    const auto devices = rng.uniform_int(dev_min, dev_max);
+    for (std::int64_t d = 0; d < devices; ++d) {
+      cc::service::RequestDevice device;
+      device.x = rng.uniform(0.0, field);
+      device.y = rng.uniform(0.0, field);
+      device.demand_j = rng.uniform(40.0, 120.0);
+      device.unit_cost = rng.uniform(0.5, 1.5);
+      request.devices.push_back(device);
+    }
+    if (budget_prob > 0.0 && rng.bernoulli(budget_prob)) {
+      request.budget = rng.uniform(10.0, 200.0);
+    }
+    mix.push_back(std::move(request));
+  }
+  return mix;
+}
+
+/// The spawned server with its two pipe ends. Reader thread collects
+/// response lines so open-loop sending never deadlocks on a full pipe.
+class ServerPipe {
+ public:
+  explicit ServerPipe(const std::string& command) {
+    int to_child[2] = {-1, -1};
+    int from_child[2] = {-1, -1};
+    if (pipe(to_child) != 0 || pipe(from_child) != 0) {
+      throw cc::core::IoError("cannot create server pipes");
+    }
+    pid_ = fork();
+    if (pid_ < 0) {
+      throw cc::core::IoError("cannot fork server process");
+    }
+    if (pid_ == 0) {
+      dup2(to_child[0], STDIN_FILENO);
+      dup2(from_child[1], STDOUT_FILENO);
+      close(to_child[0]);
+      close(to_child[1]);
+      close(from_child[0]);
+      close(from_child[1]);
+      execl("/bin/sh", "sh", "-c", command.c_str(),
+            static_cast<char*>(nullptr));
+      std::perror("ccs_client: exec failed");
+      _exit(127);
+    }
+    close(to_child[0]);
+    close(from_child[1]);
+    to_server_ = fdopen(to_child[1], "w");
+    from_server_ = fdopen(from_child[0], "r");
+    if (to_server_ == nullptr || from_server_ == nullptr) {
+      throw cc::core::IoError("cannot attach server pipes");
+    }
+    reader_ = std::thread([this] { read_loop(); });
+  }
+
+  ~ServerPipe() {
+    close_input();
+    if (reader_.joinable()) {
+      reader_.join();
+    }
+    if (from_server_ != nullptr) {
+      std::fclose(from_server_);
+    }
+    if (pid_ > 0) {
+      int status = 0;
+      waitpid(pid_, &status, 0);
+    }
+  }
+
+  void send(const std::string& line) {
+    std::fputs(line.c_str(), to_server_);
+    std::fputc('\n', to_server_);
+    std::fflush(to_server_);
+  }
+
+  /// Signals EOF to the server (it drains and exits).
+  void close_input() {
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    if (to_server_ != nullptr) {
+      std::fclose(to_server_);
+      to_server_ = nullptr;
+    }
+  }
+
+  /// Blocks until at least `n` response lines arrived or the stream
+  /// ended; returns false on premature EOF.
+  bool wait_for(std::size_t n) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this, n] { return lines_.size() >= n || eof_; });
+    return lines_.size() >= n;
+  }
+
+  [[nodiscard]] std::vector<std::string> lines() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lines_;
+  }
+
+ private:
+  void read_loop() {
+    std::string line;
+    int c = 0;
+    while ((c = std::fgetc(from_server_)) != EOF) {
+      if (c == '\n') {
+        std::lock_guard<std::mutex> lock(mutex_);
+        lines_.push_back(line);
+        line.clear();
+        cv_.notify_all();
+        continue;
+      }
+      line.push_back(static_cast<char>(c));
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!line.empty()) {
+      lines_.push_back(line);
+    }
+    eof_ = true;
+    cv_.notify_all();
+  }
+
+  pid_t pid_ = -1;
+  std::FILE* to_server_ = nullptr;
+  std::FILE* from_server_ = nullptr;
+  std::thread reader_;
+  std::mutex write_mutex_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::string> lines_;
+  bool eof_ = false;
+};
+
+void tally(const cc::service::Response& response, Summary& summary) {
+  if (response.status == "ok") {
+    ++summary.ok;
+    summary.queue_ms_sum += response.queue_ms;
+    summary.queue_ms_max = std::max(summary.queue_ms_max, response.queue_ms);
+    summary.schedule_ms_sum += response.schedule_ms;
+    summary.schedule_ms_max =
+        std::max(summary.schedule_ms_max, response.schedule_ms);
+  } else if (response.status == "rejected") {
+    // Collapse malformed reasons to one bucket for the exit gate.
+    const std::string key = response.reason.starts_with("malformed")
+                                ? "malformed"
+                                : response.reason;
+    ++summary.rejected[key];
+  } else if (response.status == "error") {
+    ++summary.errors;
+  }
+}
+
+/// Writes <id>.instance and <id>.schedule so the cmake e2e test can
+/// replay the instance through offline ccs_cli and `cmp` the schedules.
+void dump_pair(const std::string& dir, const cc::service::Request& request,
+               const cc::service::Response& response,
+               std::span<const cc::core::Charger> chargers,
+               const cc::core::CostParams& params) {
+  const cc::core::Instance instance =
+      cc::service::build_instance(request, chargers, params);
+  cc::core::save_instance(dir + "/" + request.id + ".instance", instance);
+  std::vector<cc::core::Coalition> coalitions;
+  coalitions.reserve(response.coalitions.size());
+  for (const cc::service::ResponseCoalition& c : response.coalitions) {
+    cc::core::Coalition coalition;
+    coalition.charger = c.charger;
+    coalition.members.assign(c.members.begin(), c.members.end());
+    coalitions.push_back(std::move(coalition));
+  }
+  cc::core::save_schedule(dir + "/" + request.id + ".schedule",
+                          cc::core::Schedule(std::move(coalitions)));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cc::util::Cli cli(argc, argv);
+  cli.declare({"help", "requests", "seed", "devices-min", "devices-max",
+               "field", "algos", "schemes", "budget-prob", "deadline-ms",
+               "emit", "out", "server", "rate", "stats", "topology",
+               "dump"});
+  cli.reject_unknown();
+  if (cli.get_bool("help", false)) {
+    std::cout << kUsage;
+    return 0;
+  }
+
+  try {
+    const std::vector<cc::service::Request> mix = generate_mix(cli);
+
+    if (cli.get_bool("emit", false)) {
+      const std::string out_path = cli.get("out", "");
+      std::ostringstream buffer;
+      for (const cc::service::Request& request : mix) {
+        buffer << cc::service::to_json_line(request) << '\n';
+      }
+      if (out_path.empty()) {
+        std::cout << buffer.str();
+      } else {
+        std::ofstream out(out_path);
+        out << buffer.str();
+        out.flush();
+        if (!out) {
+          throw cc::core::IoError("cannot write " + out_path);
+        }
+        std::cerr << "wrote " << mix.size() << " requests to " << out_path
+                  << '\n';
+      }
+      return 0;
+    }
+
+    const std::string server_cmd = cli.get("server", "");
+    if (server_cmd.empty()) {
+      std::cerr << "error: need --emit or --server=\"CMD\" "
+                   "(--help for usage)\n";
+      return 1;
+    }
+
+    const std::string dump_dir = cli.get("dump", "");
+    std::vector<cc::core::Charger> chargers;
+    cc::core::CostParams params;
+    if (!dump_dir.empty()) {
+      const std::string topology = cli.get("topology", "");
+      if (topology.empty()) {
+        std::cerr << "error: --dump needs --topology=PATH (the server's "
+                     "charger layout)\n";
+        return 1;
+      }
+      const cc::core::Instance topo = cc::core::load_instance(topology);
+      chargers.assign(topo.chargers().begin(), topo.chargers().end());
+      params = topo.params();
+    }
+
+    const double rate = cli.get_double("rate", 0.0);
+    ServerPipe server(server_cmd);
+    const auto start = std::chrono::steady_clock::now();
+
+    if (rate > 0.0) {
+      // Open loop: fixed send schedule, ignore completions.
+      const auto interval =
+          std::chrono::duration<double>(1.0 / rate);
+      auto next = std::chrono::steady_clock::now();
+      for (const cc::service::Request& request : mix) {
+        std::this_thread::sleep_until(next);
+        server.send(cc::service::to_json_line(request));
+        next += std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(interval);
+      }
+    } else {
+      // Closed loop: one outstanding request at a time.
+      std::size_t sent = 0;
+      for (const cc::service::Request& request : mix) {
+        server.send(cc::service::to_json_line(request));
+        ++sent;
+        if (!server.wait_for(sent)) {
+          break;
+        }
+      }
+    }
+
+    std::size_t expected = mix.size();
+    if (cli.get_bool("stats", false)) {
+      server.wait_for(mix.size());  // stats reply must come last
+      server.send("{\"cmd\":\"stats\"}");
+      ++expected;
+    }
+    server.send("{\"cmd\":\"shutdown\"}");
+    server.close_input();
+    server.wait_for(expected);
+    const double elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+
+    std::map<std::string, const cc::service::Request*> by_id;
+    for (const cc::service::Request& request : mix) {
+      by_id[request.id] = &request;
+    }
+
+    Summary summary;
+    std::size_t answered = 0;
+    for (const std::string& line : server.lines()) {
+      cc::service::Response response;
+      try {
+        response = cc::service::parse_response(line);
+      } catch (const cc::obs::JsonError&) {
+        ++summary.unparseable;
+        continue;
+      }
+      if (response.status == "stats") {
+        std::cout << "server stats: " << line << '\n';
+        continue;
+      }
+      ++answered;
+      tally(response, summary);
+      if (!dump_dir.empty() && response.status == "ok" &&
+          !response.coalesced) {
+        const auto it = by_id.find(response.id);
+        CC_ASSERT(it != by_id.end(),
+                  "server answered an id that was never sent: " +
+                      response.id);
+        dump_pair(dump_dir, *it->second, response, chargers, params);
+      }
+    }
+
+    const long rejected = summary.rejected_total();
+    std::cout << "requests : " << mix.size() << " sent, " << answered
+              << " answered in " << elapsed_s << " s ("
+              << (elapsed_s > 0.0
+                      ? static_cast<double>(answered) / elapsed_s
+                      : 0.0)
+              << " rsp/s, " << (rate > 0.0 ? "open" : "closed")
+              << " loop)\n";
+    std::cout << "status   : ok=" << summary.ok << " rejected=" << rejected
+              << " errors=" << summary.errors
+              << " unparseable=" << summary.unparseable << '\n';
+    for (const auto& [reason, count] : summary.rejected) {
+      std::cout << "rejected : " << reason << " ×" << count << '\n';
+    }
+    if (summary.ok > 0) {
+      std::cout << "latency  : queue mean="
+                << summary.queue_ms_sum / static_cast<double>(summary.ok)
+                << " ms max=" << summary.queue_ms_max
+                << " ms; schedule mean="
+                << summary.schedule_ms_sum / static_cast<double>(summary.ok)
+                << " ms max=" << summary.schedule_ms_max << " ms\n";
+    }
+
+    const bool all_answered = answered == mix.size();
+    const long malformed = summary.rejected.contains("malformed")
+                               ? summary.rejected.at("malformed")
+                               : 0;
+    if (!all_answered) {
+      std::cerr << "error: " << (mix.size() - answered)
+                << " requests got no response\n";
+    }
+    if (malformed > 0) {
+      std::cerr << "error: " << malformed
+                << " requests rejected as malformed\n";
+    }
+    if (summary.unparseable > 0) {
+      std::cerr << "error: " << summary.unparseable
+                << " unparseable response lines\n";
+    }
+    return (all_answered && malformed == 0 && summary.unparseable == 0)
+               ? 0
+               : 1;
+  } catch (const cc::core::IoError& e) {
+    std::cerr << "i/o error: " << e.what() << '\n';
+    return 2;
+  } catch (const cc::util::AssertionError& e) {
+    std::cerr << "invalid input: " << e.what() << '\n';
+    return 1;
+  }
+}

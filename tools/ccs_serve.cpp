@@ -1,0 +1,190 @@
+/// \file ccs_serve.cpp
+/// The charging-service daemon: reads one JSON request per line on
+/// stdin, schedules it against a fixed charger topology, and writes one
+/// JSON response per line on stdout (see docs/service.md for the wire
+/// protocol). Diagnostics go to stderr so the response stream stays
+/// machine-parseable.
+///
+/// Exit codes: 0 clean shutdown, 1 usage error, 2 I/O error.
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/generator.h"
+#include "core/io.h"
+#include "obs/manifest.h"
+#include "obs/registry.h"
+#include "obs/span.h"
+#include "service/service.h"
+#include "util/assert.h"
+#include "util/cli.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+constexpr const char* kUsage = R"(ccs_serve — cooperative charging as a service
+
+Reads line-delimited JSON charging requests on stdin; writes one JSON
+response per line on stdout. Control lines: {"cmd":"stats"} and
+{"cmd":"shutdown"}.
+
+Topology (pick one):
+  --instance=PATH            chargers + cost weights from an instance file
+                             (its devices are ignored; requests bring devices)
+  --chargers=N               generate N chargers instead (default 6)
+  --field=S                  square field side for --chargers (default 100)
+  --seed=K                   layout seed for --chargers (default 1)
+  --cap=G                    max coalition size, 0 = unlimited (default 0)
+
+Service knobs:
+  --algo=NAME                default scheduler (default ccsa)
+  --scheme=NAME              default fee sharing (default egalitarian)
+  --queue-cap=N              admission queue bound (default 64)
+  --batch-max=N              max requests per dispatch wave (default 8)
+  --batch-window-ms=W        micro-batch gather window (default 2)
+  --deadline-ms=D            default per-request deadline, 0 = none
+  --max-devices=N            per-request device cap (default 1024)
+  --coalesce                 merge compatible requests into one instance
+
+Common:
+  --jobs=N                   scheduler thread-pool size
+  --obs | --trace=PATH | --manifest[=PATH]   observability (see ccs_cli)
+  --help
+)";
+
+void print_final_stats(const cc::service::ChargingService& service) {
+  const cc::service::ServiceStats s = service.stats();
+  std::cerr << "ccs_serve: received=" << s.received
+            << " completed=" << s.completed
+            << " rejected=" << s.rejected_total()
+            << " (malformed=" << s.rejected_malformed
+            << " overload=" << s.rejected_overload
+            << " deadline=" << s.rejected_deadline
+            << " invalid=" << s.rejected_invalid
+            << " over_budget=" << s.rejected_over_budget
+            << ") errors=" << s.errors << " batches=" << s.batches
+            << " queue_peak=" << service.queue_high_watermark() << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cc::util::Cli cli(argc, argv);
+  cli.declare({"help", "instance", "chargers", "field", "seed", "cap",
+               "algo", "scheme", "queue-cap", "batch-max", "batch-window-ms",
+               "deadline-ms", "max-devices", "coalesce", "jobs", "obs",
+               "trace", "manifest"});
+  cli.reject_unknown();
+  if (cli.get_bool("help", false)) {
+    std::cout << kUsage;
+    return 0;
+  }
+  if (cli.has("jobs")) {
+    cc::util::set_default_jobs(cli.get_int("jobs", 1));
+  }
+  const bool want_manifest = cli.has("manifest");
+  if (cli.get_bool("obs", false) || want_manifest || cli.has("trace")) {
+    cc::obs::set_enabled(true);
+  }
+  if (cli.has("trace")) {
+    cc::obs::set_trace_path(cli.get("trace", ""));
+  }
+
+  try {
+    std::vector<cc::core::Charger> chargers;
+    cc::core::CostParams params;
+    const std::string instance_path = cli.get("instance", "");
+    if (!instance_path.empty()) {
+      const cc::core::Instance topo = cc::core::load_instance(instance_path);
+      chargers.assign(topo.chargers().begin(), topo.chargers().end());
+      params = topo.params();
+    } else {
+      cc::core::GeneratorConfig config;
+      config.num_devices = 1;  // generator needs one; requests bring theirs
+      config.num_chargers = cli.get_int("chargers", 6);
+      config.field_size_m = cli.get_double("field", config.field_size_m);
+      config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+      config.cost_params.max_group_size = cli.get_int("cap", 0);
+      const cc::core::Instance topo = cc::core::generate(config);
+      chargers.assign(topo.chargers().begin(), topo.chargers().end());
+      params = topo.params();
+    }
+
+    cc::service::ServiceOptions options;
+    options.default_algo = cli.get("algo", options.default_algo);
+    options.default_scheme = cli.get("scheme", options.default_scheme);
+    options.queue_capacity = static_cast<std::size_t>(
+        cli.get_int("queue-cap", static_cast<int>(options.queue_capacity)));
+    options.batch_max = static_cast<std::size_t>(
+        cli.get_int("batch-max", static_cast<int>(options.batch_max)));
+    options.batch_window_ms =
+        cli.get_double("batch-window-ms", options.batch_window_ms);
+    options.default_deadline_ms =
+        cli.get_double("deadline-ms", options.default_deadline_ms);
+    options.max_devices_per_request =
+        cli.get_int("max-devices", options.max_devices_per_request);
+    options.coalesce = cli.get_bool("coalesce", false);
+
+    // Validate the defaults up front: a typo'd --algo should kill the
+    // daemon at boot, not reject every request at runtime.
+    (void)cc::core::make_scheduler(options.default_algo);
+    (void)cc::core::sharing_scheme_from_string(options.default_scheme);
+
+    cc::service::ChargingService service(
+        std::move(chargers), params, options,
+        [](const cc::service::Response& response) {
+          std::cout << cc::service::to_json_line(response) << '\n';
+          std::cout.flush();
+        });
+
+    std::cerr << "ccs_serve: " << "algo=" << options.default_algo
+              << " scheme=" << options.default_scheme
+              << " queue-cap=" << options.queue_capacity
+              << " batch-max=" << options.batch_max << " coalesce="
+              << (options.coalesce ? "on" : "off")
+              << "; reading requests from stdin\n";
+
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line.empty()) {
+        continue;
+      }
+      if (!service.submit_line(line)) {
+        break;  // {"cmd":"shutdown"}
+      }
+    }
+    service.shutdown(true);
+    print_final_stats(service);
+
+    if (want_manifest) {
+      std::string manifest_path = cli.get("manifest", "");
+      if (manifest_path.empty() || manifest_path == "true") {
+        manifest_path = "BENCH_ccs_serve.json";
+      }
+      cc::obs::RunManifest manifest = cc::obs::make_manifest("ccs_serve");
+      const cc::service::ServiceStats s = service.stats();
+      manifest.set_metric("service.received", static_cast<double>(s.received));
+      manifest.set_metric("service.completed",
+                          static_cast<double>(s.completed));
+      manifest.set_metric("service.rejected",
+                          static_cast<double>(s.rejected_total()));
+      manifest.set_metric("service.errors", static_cast<double>(s.errors));
+      manifest.set_metric("service.batches", static_cast<double>(s.batches));
+      manifest.set_metric(
+          "service.queue_peak",
+          static_cast<double>(service.queue_high_watermark()));
+      manifest.save(manifest_path);
+      std::cerr << "manifest: " << manifest_path << '\n';
+    }
+    cc::obs::flush_trace();
+    return 0;
+  } catch (const cc::core::IoError& e) {
+    std::cerr << "i/o error: " << e.what() << '\n';
+    return 2;
+  } catch (const cc::util::AssertionError& e) {
+    std::cerr << "invalid input: " << e.what() << '\n';
+    return 1;
+  }
+}
