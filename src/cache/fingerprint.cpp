@@ -1,0 +1,252 @@
+#include "cache/fingerprint.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+#include "util/assert.h"
+
+namespace cc::cache {
+
+namespace {
+
+/// FNV-1a in 128 bits (unsigned __int128 is always available on the
+/// GCC/Clang toolchains this project builds with).
+__extension__ typedef unsigned __int128 U128;
+
+constexpr U128 u128(std::uint64_t hi, std::uint64_t lo) {
+  return (static_cast<U128>(hi) << 64) | lo;
+}
+
+constexpr U128 kFnvOffset = u128(0x6c62272e07bb0142ULL, 0x62b821756295c58dULL);
+constexpr U128 kFnvPrime = u128(0x0000000001000000ULL, 0x000000000000013bULL);
+
+class Fnv128 {
+ public:
+  void update(std::string_view bytes) noexcept {
+    for (const char c : bytes) {
+      state_ ^= static_cast<unsigned char>(c);
+      state_ *= kFnvPrime;
+    }
+  }
+
+  /// Hashes the value's IEEE-754 bit pattern (little-endian byte
+  /// order): value-exact and far cheaper than text formatting on the
+  /// service's hot lookup path.
+  void update(double value) noexcept {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    for (int b = 0; b < 8; ++b) {
+      state_ ^= static_cast<unsigned char>(bits >> (8 * b));
+      state_ *= kFnvPrime;
+    }
+  }
+
+  /// Record separator (ASCII unit separator), so field boundaries
+  /// cannot alias across entities.
+  void separate() noexcept {
+    state_ ^= 0x1fu;
+    state_ *= kFnvPrime;
+  }
+
+  [[nodiscard]] Fingerprint digest() const noexcept {
+    return {static_cast<std::uint64_t>(state_ >> 64),
+            static_cast<std::uint64_t>(state_)};
+  }
+
+ private:
+  U128 state_ = kFnvOffset;
+};
+
+double quantize(double x, double grid) noexcept {
+  const double value = grid > 0.0 ? std::round(x / grid) * grid : x;
+  // Fold -0.0 onto +0.0: numerically equal values must share one bit
+  // pattern or the sort (numeric) and the hash (bit-wise) disagree.
+  return value == 0.0 ? 0.0 : value;
+}
+
+/// Canonical sort key of one device / charger: every field that feeds
+/// the cost model, quantized if requested. Exact-double comparison —
+/// equal tuples mean interchangeable entities.
+template <std::size_t N>
+using FieldTuple = std::array<double, N>;
+
+FieldTuple<7> device_fields(const core::Device& d, double grid) noexcept {
+  return {quantize(d.position.x, grid),
+          quantize(d.position.y, grid),
+          quantize(d.demand_j, grid),
+          quantize(d.battery_capacity_j, grid),
+          quantize(d.motion.speed_m_per_s, grid),
+          quantize(d.motion.unit_cost, grid),
+          quantize(d.motion.joules_per_m, grid)};
+}
+
+FieldTuple<6> charger_fields(const core::Charger& c, double grid) noexcept {
+  return {quantize(c.position.x, grid),
+          quantize(c.position.y, grid),
+          quantize(c.power_w, grid),
+          quantize(c.price_per_s, grid),
+          quantize(c.pad_radius_m, grid),
+          static_cast<double>(c.max_group_size)};
+}
+
+template <std::size_t N>
+void hash_fields(Fnv128& hash, const FieldTuple<N>& fields) {
+  for (const double f : fields) {
+    hash.update(f);
+  }
+  hash.separate();
+}
+
+/// Sorts 0..n-1 by the canonical field tuples (stable, so fully
+/// identical entities keep their relative order — either order hashes
+/// to the same bytes).
+template <typename Fields>
+std::vector<int> canonical_order(int n, const Fields& fields_of) {
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return fields_of(a) < fields_of(b); });
+  return order;
+}
+
+char hex_digit(std::uint64_t nibble) noexcept {
+  return nibble < 10 ? static_cast<char>('0' + nibble)
+                     : static_cast<char>('a' + nibble - 10);
+}
+
+void append_hex(std::string& out, std::uint64_t word) {
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out += hex_digit((word >> shift) & 0xf);
+  }
+}
+
+}  // namespace
+
+std::string Fingerprint::hex() const {
+  std::string out;
+  out.reserve(32);
+  append_hex(out, hi);
+  append_hex(out, lo);
+  return out;
+}
+
+CanonicalForm canonicalize(const core::Instance& instance,
+                           std::string_view algo, std::string_view scheme,
+                           std::string_view option_salt,
+                           const FingerprintOptions& options) {
+  const double grid = options.quantize_grid;
+  CanonicalForm form;
+  form.device_order = canonical_order(instance.num_devices(), [&](int i) {
+    return device_fields(instance.device(i), grid);
+  });
+  form.charger_order = canonical_order(instance.num_chargers(), [&](int j) {
+    return charger_fields(instance.charger(j), grid);
+  });
+
+  // Canonical byte stream: version, configuration salt, cost weights,
+  // then the sorted chargers and devices as raw IEEE-754 bit patterns
+  // (quantized first in quantized mode; -0.0 folded to +0.0).
+  Fnv128 hash;
+  hash.update("ccs-fp-v1\x1f");
+  hash.update(algo);
+  hash.separate();
+  hash.update(scheme);
+  hash.separate();
+  hash.update(option_salt);
+  hash.separate();
+  const core::CostParams& params = instance.params();
+  hash_fields(hash, FieldTuple<4>{quantize(params.fee_weight, grid),
+                                  quantize(params.move_weight, grid),
+                                  params.round_trip ? 1.0 : 0.0,
+                                  static_cast<double>(
+                                      params.max_group_size)});
+  hash.update("C\x1f");
+  for (const int j : form.charger_order) {
+    hash_fields(hash, charger_fields(instance.charger(j), grid));
+  }
+  hash.update("D\x1f");
+  for (const int i : form.device_order) {
+    hash_fields(hash, device_fields(instance.device(i), grid));
+  }
+  form.key = hash.digest();
+  return form;
+}
+
+std::size_t CachedSchedule::approx_bytes() const noexcept {
+  std::size_t bytes = sizeof(CachedSchedule);
+  bytes += payments.capacity() * sizeof(double);
+  bytes += coalitions.capacity() * sizeof(core::Coalition);
+  for (const core::Coalition& coalition : coalitions) {
+    bytes += coalition.members.capacity() * sizeof(core::DeviceId);
+  }
+  return bytes;
+}
+
+CachedSchedule make_canonical_payload(
+    const CanonicalForm& canon, double total_cost, double schedule_ms,
+    std::span<const double> payments,
+    std::span<const core::Coalition> coalitions) {
+  CC_EXPECTS(payments.size() == canon.device_order.size(),
+             "payment vector does not match the canonical form");
+  // Invert the canonical→original permutations once.
+  std::vector<int> device_slot(canon.device_order.size());
+  for (std::size_t c = 0; c < canon.device_order.size(); ++c) {
+    device_slot[static_cast<std::size_t>(canon.device_order[c])] =
+        static_cast<int>(c);
+  }
+  std::vector<int> charger_slot(canon.charger_order.size());
+  for (std::size_t c = 0; c < canon.charger_order.size(); ++c) {
+    charger_slot[static_cast<std::size_t>(canon.charger_order[c])] =
+        static_cast<int>(c);
+  }
+
+  CachedSchedule payload;
+  payload.total_cost = total_cost;
+  payload.schedule_ms = schedule_ms;
+  payload.payments.resize(payments.size());
+  for (std::size_t i = 0; i < payments.size(); ++i) {
+    payload.payments[static_cast<std::size_t>(device_slot[i])] = payments[i];
+  }
+  payload.coalitions.reserve(coalitions.size());
+  for (const core::Coalition& coalition : coalitions) {
+    core::Coalition mapped;
+    mapped.charger =
+        charger_slot[static_cast<std::size_t>(coalition.charger)];
+    mapped.members.reserve(coalition.members.size());
+    for (const core::DeviceId member : coalition.members) {
+      mapped.members.push_back(device_slot[static_cast<std::size_t>(member)]);
+    }
+    payload.coalitions.push_back(std::move(mapped));
+  }
+  return payload;
+}
+
+void apply_payload(const CanonicalForm& canon, const CachedSchedule& payload,
+                   std::vector<double>& payments_out,
+                   std::vector<core::Coalition>& coalitions_out) {
+  CC_EXPECTS(payload.payments.size() == canon.device_order.size(),
+             "cached payload does not match the canonical form");
+  payments_out.resize(payload.payments.size());
+  for (std::size_t c = 0; c < payload.payments.size(); ++c) {
+    payments_out[static_cast<std::size_t>(canon.device_order[c])] =
+        payload.payments[c];
+  }
+  coalitions_out.clear();
+  coalitions_out.reserve(payload.coalitions.size());
+  for (const core::Coalition& coalition : payload.coalitions) {
+    core::Coalition mapped;
+    mapped.charger =
+        canon.charger_order[static_cast<std::size_t>(coalition.charger)];
+    mapped.members.reserve(coalition.members.size());
+    for (const core::DeviceId member : coalition.members) {
+      mapped.members.push_back(
+          canon.device_order[static_cast<std::size_t>(member)]);
+    }
+    coalitions_out.push_back(std::move(mapped));
+  }
+}
+
+}  // namespace cc::cache

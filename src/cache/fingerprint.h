@@ -1,0 +1,114 @@
+#pragma once
+
+/// \file fingerprint.h
+/// Canonical instance fingerprinting — the cache key of the schedule
+/// cache (schedule_cache.h).
+///
+/// A schedule is a deterministic function of (instance, algo, scheme,
+/// options), so two requests denoting the *same* instance under the
+/// *same* configuration can share one scheduler run. `canonicalize`
+/// normalizes an instance into a canonical byte string and hashes it to
+/// a 128-bit key (FNV-1a over the canonical text; 2⁻⁶⁴-grade collision
+/// odds at any realistic cache size).
+///
+/// Invariance contract (what maps to the same key):
+///  * **Label permutation.** Devices are sorted by
+///    (x, y, demand, capacity, speed, unit_cost, joules_per_m) and
+///    chargers by (x, y, power, price, pad_radius, cap) before
+///    hashing, so relabeled-but-isomorphic instances collide on
+///    purpose. `CanonicalForm` carries the permutations, and
+///    `make_canonical_payload` / `apply_payload` translate a cached
+///    schedule between canonical and request-local labels. Two devices
+///    with identical field tuples are interchangeable, so the sort is
+///    unambiguous exactly when it needs to be.
+///  * **Value-exact by default.** Floats are hashed as their IEEE-754
+///    bit patterns (with -0.0 folded onto +0.0, so numerically equal
+///    values share one representation): any value change — a price, a
+///    demand, a position — changes the key.
+///  * **Configuration salt.** The algorithm name, sharing scheme, cost
+///    weights (fee/move/round-trip/cap) and a free-form option salt are
+///    hashed in, so the same instance under a different configuration
+///    never shares an entry.
+///  * **Optional quantized mode** (`FingerprintOptions::quantize_grid`):
+///    floats snap to the nearest grid multiple before hashing, letting
+///    near-identical instances dedupe. Off by default and kept off the
+///    correctness path — the service only ever uses value-exact keys.
+///
+/// What is *not* in the key: request identity (id, deadline, budget).
+/// Deadlines gate admission before the cache, and budgets are applied
+/// to the cached cost at response-assembly time.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/schedule.h"
+
+namespace cc::cache {
+
+/// 128-bit cache key. Totally ordered and hashable for container use.
+struct Fingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+  friend auto operator<=>(const Fingerprint&, const Fingerprint&) = default;
+
+  /// 32 lowercase hex digits (hi then lo), for logs and manifests.
+  [[nodiscard]] std::string hex() const;
+};
+
+struct FingerprintOptions {
+  /// 0 = value-exact (the default and the only mode the service uses);
+  /// > 0 snaps every float to the nearest multiple before hashing.
+  double quantize_grid = 0.0;
+};
+
+/// An instance's canonical identity: the key plus the label mappings
+/// needed to translate payloads in and out of canonical order.
+struct CanonicalForm {
+  Fingerprint key;
+  /// Canonical slot → original device index (a permutation).
+  std::vector<int> device_order;
+  /// Canonical slot → original charger index (a permutation).
+  std::vector<int> charger_order;
+};
+
+/// Normalizes and hashes `instance` under the given configuration.
+/// Deterministic across runs and processes; never throws on a valid
+/// instance.
+[[nodiscard]] CanonicalForm canonicalize(
+    const core::Instance& instance, std::string_view algo,
+    std::string_view scheme, std::string_view option_salt = {},
+    const FingerprintOptions& options = {});
+
+/// The cached result of one scheduler run, stored in *canonical* label
+/// space so every relabeling of the instance can share it.
+struct CachedSchedule {
+  double total_cost = 0.0;
+  double schedule_ms = 0.0;  ///< leader's scheduler wall time (advisory)
+  std::vector<double> payments;             ///< canonical device order
+  std::vector<core::Coalition> coalitions;  ///< canonical labels
+
+  /// Approximate heap footprint, for the cache's byte budget.
+  [[nodiscard]] std::size_t approx_bytes() const noexcept;
+};
+
+/// Translates a request-local scheduling result into canonical label
+/// space under `canon` (coalition and member order are preserved, so
+/// the mapping round-trips byte-exactly).
+[[nodiscard]] CachedSchedule make_canonical_payload(
+    const CanonicalForm& canon, double total_cost, double schedule_ms,
+    std::span<const double> payments,
+    std::span<const core::Coalition> coalitions);
+
+/// Inverse of `make_canonical_payload`: maps a canonical payload back
+/// into the label space of the instance `canon` was computed from.
+void apply_payload(const CanonicalForm& canon, const CachedSchedule& payload,
+                   std::vector<double>& payments_out,
+                   std::vector<core::Coalition>& coalitions_out);
+
+}  // namespace cc::cache

@@ -1,0 +1,222 @@
+#include "cache/schedule_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/registry.h"
+#include "obs/span.h"
+#include "util/assert.h"
+
+namespace cc::cache {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+ScheduleCache::ScheduleCache(CacheOptions options) : options_(options) {
+  const std::size_t shards =
+      round_up_pow2(std::max<std::size_t>(options_.shards, 1));
+  options_.shards = shards;
+  shard_entry_cap_ = std::max<std::size_t>(options_.max_entries / shards, 1);
+  shard_byte_cap_ = std::max<std::size_t>(options_.max_bytes / shards, 1);
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ScheduleCache::Shard& ScheduleCache::shard_for(const Fingerprint& key) {
+  return *shards_[key.hi & (shards_.size() - 1)];
+}
+
+ScheduleCache::Payload ScheduleCache::locked_lookup(Shard& shard,
+                                                    const Fingerprint& key) {
+  const auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    return nullptr;
+  }
+  if (it->second.expires < Clock::now()) {
+    shard.bytes -= it->second.bytes;
+    shard.lru.erase(it->second.lru_it);
+    shard.entries.erase(it);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    obs::count("cache.evict");
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+  return it->second.payload;
+}
+
+void ScheduleCache::locked_evict_lru(Shard& shard) {
+  while ((shard.entries.size() > shard_entry_cap_ ||
+          shard.bytes > shard_byte_cap_) &&
+         !shard.lru.empty()) {
+    const auto victim = shard.entries.find(shard.lru.back());
+    CC_ASSERT(victim != shard.entries.end(),
+              "cache LRU list out of sync with the entry map");
+    shard.bytes -= victim->second.bytes;
+    shard.lru.pop_back();
+    shard.entries.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    obs::count("cache.evict");
+  }
+}
+
+void ScheduleCache::locked_insert(Shard& shard, const Fingerprint& key,
+                                  Payload payload) {
+  const std::size_t bytes = payload->approx_bytes();
+  const auto expires =
+      options_.ttl_s > 0.0
+          ? Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(options_.ttl_s))
+          : Clock::time_point::max();
+  const auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
+    shard.bytes -= it->second.bytes;
+    shard.bytes += bytes;
+    it->second.payload = std::move(payload);
+    it->second.bytes = bytes;
+    it->second.expires = expires;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+  } else {
+    shard.lru.push_front(key);
+    Entry entry;
+    entry.payload = std::move(payload);
+    entry.bytes = bytes;
+    entry.expires = expires;
+    entry.lru_it = shard.lru.begin();
+    shard.entries.emplace(key, std::move(entry));
+    shard.bytes += bytes;
+  }
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  locked_evict_lru(shard);
+}
+
+ScheduleCache::Payload ScheduleCache::lookup(const Fingerprint& key,
+                                             bool count_miss) {
+  const obs::Span span("cache.lookup");
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  Payload payload = locked_lookup(shard, key);
+  if (payload != nullptr) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    obs::count("cache.hit");
+  } else if (count_miss) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    obs::count("cache.miss");
+  }
+  return payload;
+}
+
+void ScheduleCache::insert(const Fingerprint& key, CachedSchedule payload) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  locked_insert(shard, key,
+                std::make_shared<const CachedSchedule>(std::move(payload)));
+}
+
+ScheduleCache::Result ScheduleCache::get_or_compute(
+    const Fingerprint& key,
+    const std::function<CachedSchedule()>& compute) {
+  Shard& shard = shard_for(key);
+  std::shared_ptr<Flight> flight;
+  bool leader = false;
+  {
+    const obs::Span span("cache.lookup");
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (Payload payload = locked_lookup(shard, key); payload != nullptr) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      obs::count("cache.hit");
+      return {std::move(payload), Source::kCached};
+    }
+    const auto inflight = shard.inflight.find(key);
+    if (inflight != shard.inflight.end()) {
+      flight = inflight->second;
+    } else {
+      flight = std::make_shared<Flight>();
+      shard.inflight.emplace(key, flight);
+      leader = true;
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      obs::count("cache.miss");
+    }
+  }
+
+  if (!leader) {
+    merged_.fetch_add(1, std::memory_order_relaxed);
+    obs::count("cache.inflight_merged");
+    std::unique_lock<std::mutex> wait(flight->mutex);
+    flight->cv.wait(wait, [&] { return flight->done; });
+    if (flight->error != nullptr) {
+      std::rethrow_exception(flight->error);
+    }
+    return {flight->payload, Source::kMerged};
+  }
+
+  // Leader: run the expensive compute outside every cache lock.
+  Payload payload;
+  try {
+    payload = std::make_shared<const CachedSchedule>(compute());
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.inflight.erase(key);
+    }
+    {
+      std::lock_guard<std::mutex> done(flight->mutex);
+      flight->error = std::current_exception();
+      flight->done = true;
+    }
+    flight->cv.notify_all();
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.inflight.erase(key);
+    locked_insert(shard, key, payload);
+  }
+  {
+    std::lock_guard<std::mutex> done(flight->mutex);
+    flight->payload = payload;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+  return {std::move(payload), Source::kComputed};
+}
+
+CacheStats ScheduleCache::stats() const noexcept {
+  CacheStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.inflight_merged = merged_.load(std::memory_order_relaxed);
+  out.inserts = inserts_.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::size_t ScheduleCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->entries.size();
+  }
+  return total;
+}
+
+std::size_t ScheduleCache::approx_bytes() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->bytes;
+  }
+  return total;
+}
+
+}  // namespace cc::cache

@@ -1,0 +1,153 @@
+#pragma once
+
+/// \file schedule_cache.h
+/// Sharded, mutex-striped LRU cache of scheduler results, keyed by the
+/// canonical instance fingerprint (fingerprint.h), with singleflight
+/// duplicate suppression.
+///
+/// Design:
+///  * **Sharding.** Keys stripe over `shards` independent shards
+///    (power-of-two, selected by the key's high word) so concurrent
+///    lookups on different keys never contend on one mutex.
+///  * **Bounded memory.** Each shard holds at most `max_entries/shards`
+///    entries and `max_bytes/shards` approximate payload bytes; the
+///    least-recently-used entries are evicted on insert. A `ttl_s` > 0
+///    additionally expires entries at lookup time.
+///  * **Singleflight.** `get_or_compute` guarantees that N concurrent
+///    callers with the same key trigger exactly one `compute()`: one
+///    leader runs it while followers block on the in-flight entry and
+///    share the result (counted as `inflight_merged`). A compute that
+///    throws propagates the exception to every waiter and caches
+///    nothing — errors are never stored.
+///  * **Immutability.** Payloads are handed out as
+///    `shared_ptr<const CachedSchedule>`, so a hit stays valid after
+///    eviction and entries are never copied on the hot path.
+///
+/// Observability: hits/misses/evictions/merges are always counted in
+/// cheap relaxed atomics (`stats()`), and mirrored into the obs
+/// registry (`cache.hit` / `cache.miss` / `cache.evict` /
+/// `cache.inflight_merged`, plus a `cache.lookup` span) when the
+/// `CC_OBS` gate is on.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "cache/fingerprint.h"
+
+namespace cc::cache {
+
+struct CacheOptions {
+  std::size_t shards = 8;  ///< rounded up to a power of two, min 1
+  std::size_t max_entries = 4096;         ///< across all shards
+  std::size_t max_bytes = 64ull << 20;    ///< approximate, across shards
+  double ttl_s = 0.0;                     ///< 0 = entries never expire
+};
+
+/// Monotone counters (relaxed; exact under any interleaving).
+struct CacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;  ///< singleflight leaders (scheduler runs)
+  std::int64_t evictions = 0;  ///< capacity and TTL evictions
+  std::int64_t inflight_merged = 0;  ///< followers served by a leader
+  std::int64_t inserts = 0;
+};
+
+class ScheduleCache {
+ public:
+  using Payload = std::shared_ptr<const CachedSchedule>;
+
+  /// Where a `get_or_compute` result came from.
+  enum class Source {
+    kComputed,  ///< this caller ran compute() (the singleflight leader)
+    kMerged,    ///< waited on a concurrent leader's run
+    kCached     ///< served from the LRU store
+  };
+
+  struct Result {
+    Payload payload;
+    Source source = Source::kCached;
+  };
+
+  explicit ScheduleCache(CacheOptions options = {});
+
+  /// Probe-only lookup. Returns nullptr on miss or TTL expiry (the
+  /// expired entry is evicted). `count_miss=false` lets a pre-admission
+  /// probe avoid double-counting the miss its dispatch-side
+  /// `get_or_compute` will record.
+  [[nodiscard]] Payload lookup(const Fingerprint& key,
+                               bool count_miss = true);
+
+  /// Unconditional insert/overwrite, then LRU-evicts the shard back
+  /// under its entry and byte budgets.
+  void insert(const Fingerprint& key, CachedSchedule payload);
+
+  /// Hit → cached payload; miss → exactly one concurrent caller runs
+  /// `compute()` (outside all cache locks) and every waiter shares the
+  /// published result. Exceptions from compute() propagate to all
+  /// waiters; nothing is cached.
+  [[nodiscard]] Result get_or_compute(
+      const Fingerprint& key,
+      const std::function<CachedSchedule()>& compute);
+
+  [[nodiscard]] CacheStats stats() const noexcept;
+  [[nodiscard]] std::size_t size() const;         ///< live entries
+  [[nodiscard]] std::size_t approx_bytes() const; ///< live payload bytes
+  [[nodiscard]] const CacheOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Flight {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    Payload payload;
+    std::exception_ptr error;
+  };
+
+  struct Entry {
+    Payload payload;
+    std::size_t bytes = 0;
+    Clock::time_point expires = Clock::time_point::max();
+    std::list<Fingerprint>::iterator lru_it;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Fingerprint> lru;  ///< front = most recently used
+    std::map<Fingerprint, Entry> entries;
+    std::map<Fingerprint, std::shared_ptr<Flight>> inflight;
+    std::size_t bytes = 0;
+  };
+
+  [[nodiscard]] Shard& shard_for(const Fingerprint& key);
+  /// Probe under the shard lock; touches LRU on hit, evicts on expiry.
+  [[nodiscard]] Payload locked_lookup(Shard& shard, const Fingerprint& key);
+  void locked_insert(Shard& shard, const Fingerprint& key, Payload payload);
+  void locked_evict_lru(Shard& shard);
+
+  CacheOptions options_;
+  std::size_t shard_entry_cap_ = 0;
+  std::size_t shard_byte_cap_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<std::int64_t> hits_{0};
+  std::atomic<std::int64_t> misses_{0};
+  std::atomic<std::int64_t> evictions_{0};
+  std::atomic<std::int64_t> merged_{0};
+  std::atomic<std::int64_t> inserts_{0};
+};
+
+}  // namespace cc::cache

@@ -12,6 +12,8 @@
 /// const auto result = ccsa->run(instance);
 /// ```
 
+#include "cache/fingerprint.h"  // IWYU pragma: export
+#include "cache/schedule_cache.h"  // IWYU pragma: export
 #include "core/anneal.h"        // IWYU pragma: export
 #include "core/ccsa.h"          // IWYU pragma: export
 #include "core/ccsga.h"         // IWYU pragma: export

@@ -182,4 +182,8 @@ bool is_runtime_metric(std::string_view key) noexcept {
   return key.starts_with("time.") || key.ends_with("_ms");
 }
 
+bool is_cache_metric(std::string_view key) noexcept {
+  return key.starts_with("cache.");
+}
+
 }  // namespace cc::obs

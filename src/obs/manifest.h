@@ -71,4 +71,9 @@ struct RunManifest {
 /// prefix or "_ms" suffix) — advisory in CI, not gating.
 [[nodiscard]] bool is_runtime_metric(std::string_view key) noexcept;
 
+/// True for schedule-cache effectiveness metrics ("cache." prefix) —
+/// hit/miss mixes depend on timing and concurrency, so the differ
+/// reports them as purely informational and never gates on them.
+[[nodiscard]] bool is_cache_metric(std::string_view key) noexcept;
+
 }  // namespace cc::obs

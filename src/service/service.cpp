@@ -33,6 +33,9 @@ ChargingService::ChargingService(std::vector<core::Charger> chargers,
       queue_(options_.queue_capacity) {
   CC_EXPECTS(!chargers_.empty(), "service needs at least one charger");
   CC_EXPECTS(sink_ != nullptr, "service needs a response sink");
+  if (options_.cache) {
+    cache_ = std::make_unique<cache::ScheduleCache>(options_.cache_options);
+  }
   worker_ = std::thread([this] { worker_loop(); });
 }
 
@@ -114,6 +117,19 @@ void ChargingService::submit(Request request) {
     return;
   }
 
+  // Cache fast path: a hit skips the queue entirely (zero wait, no
+  // slot consumed). A miss falls through to admission; the dispatch
+  // side records it via singleflight, so the probe must not count it.
+  if (cache_ != nullptr && !options_.coalesce &&
+      try_serve_from_cache(request)) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.accepted;
+    }
+    obs::count("service.accepted");
+    return;
+  }
+
   PendingRequest pending;
   pending.deadline_ms = request.deadline_ms > 0.0
                             ? request.deadline_ms
@@ -161,6 +177,12 @@ ServiceStats ChargingService::stats() const {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   return stats_;
 }
+
+cache::CacheStats ChargingService::cache_stats() const {
+  return cache_ != nullptr ? cache_->stats() : cache::CacheStats{};
+}
+
+void ChargingService::emit_stats() { respond(stats_response()); }
 
 void ChargingService::worker_loop() {
   const auto window = std::chrono::milliseconds(
@@ -268,6 +290,36 @@ Response ChargingService::serve_one(const PendingRequest& pending,
   try {
     const core::Instance instance =
         build_instance(request, chargers_, params_);
+
+    if (cache_ != nullptr) {
+      // Singleflight path: the leader of concurrent identical requests
+      // runs the scheduler once; followers and later hits share the
+      // canonical payload.
+      const cache::CanonicalForm canon =
+          cache::canonicalize(instance, request.algo, request.scheme);
+      const cache::ScheduleCache::Result cached = cache_->get_or_compute(
+          canon.key, [&]() -> cache::CachedSchedule {
+            const core::Scheduler* scheduler = scheduler_for(request.algo);
+            const core::SchedulerResult result = scheduler->run(instance);
+            result.schedule.validate(instance);
+            const core::CostModel cost(instance);
+            const double total = result.schedule.total_cost(cost);
+            const std::vector<double> payments =
+                result.schedule.device_payments(
+                    cost, core::sharing_scheme_from_string(request.scheme));
+            return cache::make_canonical_payload(
+                canon, total, result.stats.elapsed_ms, payments,
+                result.schedule.coalitions());
+          });
+      const double schedule_ms =
+          cached.source == cache::ScheduleCache::Source::kCached
+              ? 0.0
+              : cached.payload->schedule_ms;
+      return response_from_payload(request, canon, *cached.payload,
+                                   response.queue_ms, batch_size,
+                                   schedule_ms);
+    }
+
     const core::Scheduler* scheduler = scheduler_for(request.algo);
     const core::SchedulerResult result = scheduler->run(instance);
     response.schedule_ms = result.stats.elapsed_ms;
@@ -295,6 +347,60 @@ Response ChargingService::serve_one(const PendingRequest& pending,
     response.payments.clear();
     response.coalitions.clear();
   }
+  return response;
+}
+
+bool ChargingService::try_serve_from_cache(const Request& request) {
+  try {
+    const core::Instance instance =
+        build_instance(request, chargers_, params_);
+    const cache::CanonicalForm canon =
+        cache::canonicalize(instance, request.algo, request.scheme);
+    // The dispatch-side get_or_compute owns miss accounting; a probe
+    // miss here is the same miss, not a second one.
+    const cache::ScheduleCache::Payload payload =
+        cache_->lookup(canon.key, /*count_miss=*/false);
+    if (payload == nullptr) {
+      return false;
+    }
+    respond(response_from_payload(request, canon, *payload,
+                                  /*queue_ms=*/0.0, /*batch_size=*/1,
+                                  /*schedule_ms=*/0.0));
+    return true;
+  } catch (const std::exception&) {
+    // An unbuildable instance is rejected downstream with the same
+    // error either way; treat probe failures as misses.
+    return false;
+  }
+}
+
+Response ChargingService::response_from_payload(
+    const Request& request, const cache::CanonicalForm& canon,
+    const cache::CachedSchedule& payload, double queue_ms, int batch_size,
+    double schedule_ms) const {
+  Response response;
+  response.id = request.id;
+  response.algo = request.algo;
+  response.scheme = request.scheme;
+  response.batch_size = batch_size;
+  response.queue_ms = queue_ms;
+  response.schedule_ms = schedule_ms;
+  response.total_cost = payload.total_cost;
+  if (request.budget > 0.0 && payload.total_cost > request.budget) {
+    response.status = "rejected";
+    response.reason = "over_budget";
+    return response;
+  }
+  std::vector<core::Coalition> coalitions;
+  cache::apply_payload(canon, payload, response.payments, coalitions);
+  response.coalitions.reserve(coalitions.size());
+  for (const core::Coalition& coalition : coalitions) {
+    ResponseCoalition out;
+    out.charger = coalition.charger;
+    out.members.assign(coalition.members.begin(), coalition.members.end());
+    response.coalitions.push_back(std::move(out));
+  }
+  response.status = "ok";
   return response;
 }
 
@@ -410,6 +516,15 @@ Response ChargingService::stats_response() const {
       {"queue_depth", static_cast<long>(queue_.depth())},
       {"queue_peak", static_cast<long>(queue_.high_watermark())},
   };
+  if (cache_ != nullptr) {
+    const cache::CacheStats c = cache_->stats();
+    response.stats.emplace_back("cache_hits", static_cast<long>(c.hits));
+    response.stats.emplace_back("cache_misses", static_cast<long>(c.misses));
+    response.stats.emplace_back("cache_evictions",
+                                static_cast<long>(c.evictions));
+    response.stats.emplace_back("cache_inflight_merged",
+                                static_cast<long>(c.inflight_merged));
+  }
   return response;
 }
 

@@ -48,6 +48,7 @@
 #include <thread>
 #include <vector>
 
+#include "cache/schedule_cache.h"
 #include "core/instance.h"
 #include "core/scheduler.h"
 #include "core/sharing.h"
@@ -65,6 +66,11 @@ struct ServiceOptions {
   double default_deadline_ms = 0.0;  ///< applied when a request has none
   int max_devices_per_request = 1024;
   bool coalesce = false;  ///< merge compatible requests into one instance
+  /// Schedule cache (src/cache): canonical-fingerprint lookup before
+  /// admission, singleflight dedup at dispatch. Coalesced batches
+  /// bypass it (a merged instance is not any request's instance).
+  bool cache = false;
+  cache::CacheOptions cache_options;
 };
 
 /// Monotone request accounting (also exported as obs counters).
@@ -120,7 +126,14 @@ class ChargingService {
   /// Idempotent.
   void shutdown(bool drain = true);
 
+  /// Emits a stats control-line response through the sink (the same
+  /// formatter a {"cmd":"stats"} line triggers) — the `--stats-interval`
+  /// heartbeat of ccs_serve calls this periodically.
+  void emit_stats();
+
   [[nodiscard]] ServiceStats stats() const;
+  /// Zeroed stats when the cache is disabled.
+  [[nodiscard]] cache::CacheStats cache_stats() const;
   [[nodiscard]] std::size_t queue_depth() const { return queue_.depth(); }
   [[nodiscard]] std::size_t queue_high_watermark() const {
     return queue_.high_watermark();
@@ -135,6 +148,16 @@ class ChargingService {
   /// One request = one instance (the equivalence-preserving path).
   [[nodiscard]] Response serve_one(const PendingRequest& pending,
                                    int batch_size);
+  /// Pre-admission cache probe: on a hit, responds immediately (queue
+  /// wait 0) and returns true; on a miss or any probe failure, returns
+  /// false and the request proceeds to admission untouched.
+  [[nodiscard]] bool try_serve_from_cache(const Request& request);
+  /// Assembles a response from a cached/computed canonical payload,
+  /// applying the request's budget gate.
+  [[nodiscard]] Response response_from_payload(
+      const Request& request, const cache::CanonicalForm& canon,
+      const cache::CachedSchedule& payload, double queue_ms, int batch_size,
+      double schedule_ms) const;
   /// Merged-instance path; emits one response per request of the group.
   void serve_coalesced(const std::vector<const PendingRequest*>& group);
   [[nodiscard]] const core::Scheduler* scheduler_for(const std::string& algo);
@@ -147,6 +170,7 @@ class ChargingService {
   ServiceOptions options_;
   ResponseSink sink_;
 
+  std::unique_ptr<cache::ScheduleCache> cache_;  ///< null when disabled
   AdmissionQueue queue_;
   std::thread worker_;
   std::atomic<bool> accepting_{true};

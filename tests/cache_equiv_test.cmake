@@ -1,0 +1,52 @@
+# Cache equivalence gate: the schedule cache must be invisible on the
+# wire. ccs_client replays the same 220-request repeat-heavy mix against
+# ccs_serve with the cache off and on; the normalized response streams
+# (ids kept, timing fields zeroed by --responses-out) must compare
+# byte-identical, and the cached run must actually hit. Invoked by ctest
+# with -DSERVE=<ccs_serve> -DCLIENT=<ccs_client>.
+
+set(WORK "${CMAKE_CURRENT_BINARY_DIR}/cache_equiv_work")
+file(REMOVE_RECURSE "${WORK}")
+file(MAKE_DIRECTORY "${WORK}")
+
+# Closed loop (no --rate) + --batch-window-ms=0 gives a deterministic
+# request/response order, so byte comparison is meaningful.
+set(MIX --requests=220 --seed=9 --repeat-prob=0.45)
+set(SERVER_BASE "${SERVE} --chargers=6 --seed=42 --batch-window-ms=0")
+
+function(drive label server_cmd out_file)
+  execute_process(
+    COMMAND ${CLIENT} "--server=${server_cmd}" ${MIX}
+            --responses-out=${out_file}
+    WORKING_DIRECTORY "${WORK}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${label} exited ${rc}:\n${out}\n${err}")
+  endif()
+  if(NOT out MATCHES "220 answered")
+    message(FATAL_ERROR "${label} lost responses:\n${out}")
+  endif()
+  set(last_err "${err}" PARENT_SCOPE)
+endfunction()
+
+drive("cache-off replay" "${SERVER_BASE}" nocache.jsonl)
+drive("cache-on replay" "${SERVER_BASE} --cache" cache.jsonl)
+
+# The cached run must have served a real share of requests from cache.
+if(NOT last_err MATCHES "cache: hits=([1-9][0-9]*)")
+  message(FATAL_ERROR "cache-on server reported no hits:\n${last_err}")
+endif()
+message(STATUS "cache-on server: hits=${CMAKE_MATCH_1}")
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${WORK}/nocache.jsonl" "${WORK}/cache.jsonl"
+  RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR
+          "cache-on responses differ from cache-off responses "
+          "(see ${WORK}/nocache.jsonl vs ${WORK}/cache.jsonl)")
+endif()
+message(STATUS "220 cache-on responses byte-identical to cache-off")

@@ -1,0 +1,580 @@
+// Tests for src/cache: the canonical fingerprint's invariance contract
+// (label permutations collide, any value/configuration change
+// separates), payload translation between label spaces, the sharded
+// LRU store's eviction and TTL behavior, singleflight dedup, and the
+// ChargingService cache fast path.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cache/fingerprint.h"
+#include "cache/schedule_cache.h"
+#include "core/cost_model.h"
+#include "core/generator.h"
+#include "core/instance.h"
+#include "core/schedule.h"
+#include "core/scheduler.h"
+#include "core/sharing.h"
+#include "service/protocol.h"
+#include "service/service.h"
+
+namespace {
+
+using cc::cache::CacheOptions;
+using cc::cache::CachedSchedule;
+using cc::cache::CanonicalForm;
+using cc::cache::canonicalize;
+using cc::cache::Fingerprint;
+using cc::cache::FingerprintOptions;
+using cc::cache::ScheduleCache;
+using cc::core::Charger;
+using cc::core::CostParams;
+using cc::core::Device;
+using cc::core::Instance;
+
+std::vector<Device> base_devices() {
+  std::vector<Device> devices;
+  for (int i = 0; i < 4; ++i) {
+    Device d;
+    d.position = {10.0 + 7.0 * i, 20.0 + 3.0 * i};
+    d.demand_j = 50.0 + 5.0 * i;
+    d.battery_capacity_j = d.demand_j + 25.0;
+    d.motion.speed_m_per_s = 1.0 + 0.25 * i;
+    d.motion.unit_cost = 0.8 + 0.1 * i;
+    d.motion.joules_per_m = 0.05 * i;
+    devices.push_back(d);
+  }
+  return devices;
+}
+
+std::vector<Charger> base_chargers() {
+  std::vector<Charger> chargers;
+  for (int j = 0; j < 3; ++j) {
+    Charger c;
+    c.position = {30.0 * j, 15.0 + 10.0 * j};
+    c.power_w = 4.0 + j;
+    c.price_per_s = 1.0 + 0.5 * j;
+    c.pad_radius_m = 1.0 + 0.1 * j;
+    c.max_group_size = j;  // 0 = unlimited on the first
+    chargers.push_back(c);
+  }
+  return chargers;
+}
+
+CostParams base_params() {
+  CostParams params;
+  params.fee_weight = 1.0;
+  params.move_weight = 1.25;
+  params.round_trip = false;
+  params.max_group_size = 0;
+  return params;
+}
+
+Instance base_instance() {
+  return {base_devices(), base_chargers(), base_params()};
+}
+
+Fingerprint key_of(const Instance& instance,
+                   const std::string& algo = "ccsa",
+                   const std::string& scheme = "egalitarian",
+                   const std::string& salt = {},
+                   const FingerprintOptions& options = {}) {
+  return canonicalize(instance, algo, scheme, salt, options).key;
+}
+
+// ---------------------------------------------------------- fingerprint
+
+TEST(FingerprintTest, DeterministicAcrossCalls) {
+  EXPECT_EQ(key_of(base_instance()), key_of(base_instance()));
+}
+
+TEST(FingerprintTest, HexIs32LowercaseDigits) {
+  const std::string hex = key_of(base_instance()).hex();
+  ASSERT_EQ(hex.size(), 32u);
+  for (const char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << hex;
+  }
+}
+
+TEST(FingerprintTest, DevicePermutationInvariant) {
+  const Fingerprint base = key_of(base_instance());
+  std::vector<Device> devices = base_devices();
+  std::vector<std::size_t> order = {2, 0, 3, 1};
+  std::vector<Device> permuted;
+  for (const std::size_t i : order) {
+    permuted.push_back(devices[i]);
+  }
+  EXPECT_EQ(key_of({permuted, base_chargers(), base_params()}), base);
+  std::reverse(devices.begin(), devices.end());
+  EXPECT_EQ(key_of({devices, base_chargers(), base_params()}), base);
+}
+
+TEST(FingerprintTest, ChargerPermutationInvariant) {
+  const Fingerprint base = key_of(base_instance());
+  std::vector<Charger> chargers = base_chargers();
+  std::reverse(chargers.begin(), chargers.end());
+  EXPECT_EQ(key_of({base_devices(), chargers, base_params()}), base);
+}
+
+TEST(FingerprintTest, JointPermutationInvariant) {
+  const Fingerprint base = key_of(base_instance());
+  std::vector<Device> devices = base_devices();
+  std::vector<Charger> chargers = base_chargers();
+  std::rotate(devices.begin(), devices.begin() + 2, devices.end());
+  std::rotate(chargers.begin(), chargers.begin() + 1, chargers.end());
+  EXPECT_EQ(key_of({devices, chargers, base_params()}), base);
+}
+
+// Property matrix: every field of every entity (and every piece of the
+// configuration salt) must separate the key when it changes.
+TEST(FingerprintTest, AnyValueChangeChangesKey) {
+  const Fingerprint base = key_of(base_instance());
+
+  const std::vector<std::pair<const char*, std::function<void(Device&)>>>
+      device_mutators = {
+          {"x", [](Device& d) { d.position.x += 0.5; }},
+          {"y", [](Device& d) { d.position.y += 0.5; }},
+          {"demand_j", [](Device& d) { d.demand_j += 1.0; }},
+          {"battery_capacity_j",
+           [](Device& d) { d.battery_capacity_j += 1.0; }},
+          {"speed_m_per_s",
+           [](Device& d) { d.motion.speed_m_per_s += 0.1; }},
+          {"unit_cost", [](Device& d) { d.motion.unit_cost += 0.1; }},
+          {"joules_per_m",
+           [](Device& d) { d.motion.joules_per_m += 0.01; }},
+      };
+  for (const auto& [name, mutate] : device_mutators) {
+    std::vector<Device> devices = base_devices();
+    mutate(devices[1]);
+    EXPECT_NE(key_of({devices, base_chargers(), base_params()}), base)
+        << "device field " << name << " did not change the key";
+  }
+
+  const std::vector<std::pair<const char*, std::function<void(Charger&)>>>
+      charger_mutators = {
+          {"x", [](Charger& c) { c.position.x += 0.5; }},
+          {"y", [](Charger& c) { c.position.y += 0.5; }},
+          {"power_w", [](Charger& c) { c.power_w += 0.5; }},
+          {"price_per_s", [](Charger& c) { c.price_per_s += 0.1; }},
+          {"pad_radius_m", [](Charger& c) { c.pad_radius_m += 0.1; }},
+          {"max_group_size", [](Charger& c) { c.max_group_size += 1; }},
+      };
+  for (const auto& [name, mutate] : charger_mutators) {
+    std::vector<Charger> chargers = base_chargers();
+    mutate(chargers[2]);
+    EXPECT_NE(key_of({base_devices(), chargers, base_params()}), base)
+        << "charger field " << name << " did not change the key";
+  }
+
+  const std::vector<std::pair<const char*, std::function<void(CostParams&)>>>
+      params_mutators = {
+          {"fee_weight", [](CostParams& p) { p.fee_weight += 0.1; }},
+          {"move_weight", [](CostParams& p) { p.move_weight += 0.1; }},
+          {"round_trip", [](CostParams& p) { p.round_trip = true; }},
+          {"max_group_size", [](CostParams& p) { p.max_group_size = 2; }},
+      };
+  for (const auto& [name, mutate] : params_mutators) {
+    CostParams params = base_params();
+    mutate(params);
+    EXPECT_NE(key_of({base_devices(), base_chargers(), params}), base)
+        << "cost param " << name << " did not change the key";
+  }
+}
+
+TEST(FingerprintTest, ConfigurationSaltChangesKey) {
+  const Instance instance = base_instance();
+  const Fingerprint base = key_of(instance);
+  EXPECT_NE(key_of(instance, "ccsga"), base);
+  EXPECT_NE(key_of(instance, "ccsa", "proportional"), base);
+  EXPECT_NE(key_of(instance, "ccsa", "egalitarian", "opt=1"), base);
+}
+
+TEST(FingerprintTest, NegativeZeroFoldsOntoPositiveZero) {
+  std::vector<Device> devices = base_devices();
+  devices[0].position.x = 0.0;
+  const Fingerprint plus =
+      key_of({devices, base_chargers(), base_params()});
+  devices[0].position.x = -0.0;
+  EXPECT_EQ(key_of({devices, base_chargers(), base_params()}), plus);
+}
+
+TEST(FingerprintTest, QuantizedModeMergesNearbyAndKeepsDistant) {
+  FingerprintOptions quantized;
+  quantized.quantize_grid = 0.01;
+
+  std::vector<Device> nudged = base_devices();
+  nudged[0].position.x += 1e-6;  // far below grid/2
+  const Instance base = base_instance();
+  const Instance close{nudged, base_chargers(), base_params()};
+
+  // Value-exact: any change separates.
+  EXPECT_NE(key_of(close), key_of(base));
+  // Quantized: sub-grid noise merges…
+  EXPECT_EQ(key_of(close, "ccsa", "egalitarian", {}, quantized),
+            key_of(base, "ccsa", "egalitarian", {}, quantized));
+  // …but a super-grid change still separates.
+  nudged[0].position.x += 1.0;
+  const Instance far{nudged, base_chargers(), base_params()};
+  EXPECT_NE(key_of(far, "ccsa", "egalitarian", {}, quantized),
+            key_of(base, "ccsa", "egalitarian", {}, quantized));
+}
+
+// ------------------------------------------------------------- payloads
+
+TEST(PayloadTest, RoundTripsIdentityLabeling) {
+  const Instance instance = base_instance();
+  const CanonicalForm canon = canonicalize(instance, "ccsa", "egalitarian");
+  const auto scheduler = cc::core::make_scheduler("ccsa");
+  const cc::core::SchedulerResult result = scheduler->run(instance);
+  const cc::core::CostModel cost(instance);
+  const std::vector<double> payments = result.schedule.device_payments(
+      cost, cc::core::SharingScheme::kEgalitarian);
+
+  const CachedSchedule payload = cc::cache::make_canonical_payload(
+      canon, result.schedule.total_cost(cost), 1.0, payments,
+      result.schedule.coalitions());
+  std::vector<double> payments_out;
+  std::vector<cc::core::Coalition> coalitions_out;
+  cc::cache::apply_payload(canon, payload, payments_out, coalitions_out);
+
+  EXPECT_EQ(payments_out, payments);
+  ASSERT_EQ(coalitions_out.size(), result.schedule.coalitions().size());
+  for (std::size_t c = 0; c < coalitions_out.size(); ++c) {
+    EXPECT_EQ(coalitions_out[c].charger,
+              result.schedule.coalitions()[c].charger);
+    EXPECT_EQ(coalitions_out[c].members,
+              result.schedule.coalitions()[c].members);
+  }
+}
+
+TEST(PayloadTest, TranslatesBetweenLabelings) {
+  // Store under the base labeling, retrieve under the reversed one: the
+  // same physical device must pay the same fee in both label spaces.
+  const Instance instance = base_instance();
+  const CanonicalForm canon = canonicalize(instance, "ccsa", "egalitarian");
+  std::vector<double> payments = {1.0, 2.0, 3.0, 4.0};
+  std::vector<cc::core::Coalition> coalitions(1);
+  coalitions[0].charger = 1;
+  coalitions[0].members = {0, 1, 2, 3};
+  const CachedSchedule payload = cc::cache::make_canonical_payload(
+      canon, 10.0, 1.0, payments, coalitions);
+
+  std::vector<Device> reversed = base_devices();
+  std::reverse(reversed.begin(), reversed.end());
+  const Instance mirrored{reversed, base_chargers(), base_params()};
+  const CanonicalForm canon2 =
+      canonicalize(mirrored, "ccsa", "egalitarian");
+  ASSERT_EQ(canon2.key, canon.key);
+
+  std::vector<double> payments_out;
+  std::vector<cc::core::Coalition> coalitions_out;
+  cc::cache::apply_payload(canon2, payload, payments_out, coalitions_out);
+  // Device k of `mirrored` is device (3 - k) of the original.
+  const std::vector<double> expected = {4.0, 3.0, 2.0, 1.0};
+  EXPECT_EQ(payments_out, expected);
+  ASSERT_EQ(coalitions_out.size(), 1u);
+  std::vector<cc::core::DeviceId> members = coalitions_out[0].members;
+  std::sort(members.begin(), members.end());
+  EXPECT_EQ(members, (std::vector<cc::core::DeviceId>{0, 1, 2, 3}));
+}
+
+// ---------------------------------------------------------------- cache
+
+CachedSchedule tiny_payload(double cost) {
+  CachedSchedule payload;
+  payload.total_cost = cost;
+  payload.payments = {cost};
+  return payload;
+}
+
+TEST(ScheduleCacheTest, LruEvictsOldestWhenOverEntryCap) {
+  CacheOptions options;
+  options.shards = 1;
+  options.max_entries = 2;
+  ScheduleCache cache(options);
+  const Fingerprint a{1, 0}, b{2, 0}, c{3, 0};
+  cache.insert(a, tiny_payload(1.0));
+  cache.insert(b, tiny_payload(2.0));
+  EXPECT_NE(cache.lookup(a), nullptr);  // touch a → b is now LRU
+  cache.insert(c, tiny_payload(3.0));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.lookup(b), nullptr);
+  EXPECT_NE(cache.lookup(a), nullptr);
+  EXPECT_NE(cache.lookup(c), nullptr);
+  EXPECT_GE(cache.stats().evictions, 1);
+}
+
+TEST(ScheduleCacheTest, ByteBudgetBoundsResidency) {
+  CacheOptions options;
+  options.shards = 1;
+  options.max_entries = 1000;
+  options.max_bytes = 1;  // nothing fits next to anything
+  ScheduleCache cache(options);
+  cache.insert({1, 0}, tiny_payload(1.0));
+  cache.insert({2, 0}, tiny_payload(2.0));
+  EXPECT_LE(cache.size(), 1u);
+  EXPECT_GE(cache.stats().evictions, 1);
+}
+
+TEST(ScheduleCacheTest, TtlExpiresEntries) {
+  CacheOptions options;
+  options.shards = 1;
+  options.ttl_s = 0.05;
+  ScheduleCache cache(options);
+  const Fingerprint key{7, 7};
+  cache.insert(key, tiny_payload(1.0));
+  EXPECT_NE(cache.lookup(key), nullptr);
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  EXPECT_EQ(cache.lookup(key), nullptr);
+  EXPECT_GE(cache.stats().evictions, 1);
+}
+
+TEST(ScheduleCacheTest, ProbeWithoutMissAccounting) {
+  ScheduleCache cache;
+  EXPECT_EQ(cache.lookup({9, 9}, /*count_miss=*/false), nullptr);
+  EXPECT_EQ(cache.stats().misses, 0);
+  EXPECT_EQ(cache.lookup({9, 9}), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1);
+}
+
+TEST(ScheduleCacheTest, SingleflightRunsComputeOnce) {
+  ScheduleCache cache;
+  const Fingerprint key{42, 42};
+  std::atomic<int> computes{0};
+  std::atomic<int> computed_sources{0};
+  constexpr int kThreads = 8;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      const ScheduleCache::Result result =
+          cache.get_or_compute(key, [&]() -> CachedSchedule {
+            computes.fetch_add(1);
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            return tiny_payload(5.0);
+          });
+      EXPECT_NE(result.payload, nullptr);
+      EXPECT_EQ(result.payload->total_cost, 5.0);
+      if (result.source == ScheduleCache::Source::kComputed) {
+        computed_sources.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(computes.load(), 1);
+  EXPECT_EQ(computed_sources.load(), 1);
+  const cc::cache::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits + stats.inflight_merged, kThreads - 1);
+}
+
+TEST(ScheduleCacheTest, ComputeErrorsPropagateAndCacheNothing) {
+  ScheduleCache cache;
+  const Fingerprint key{13, 13};
+  EXPECT_THROW(
+      (void)cache.get_or_compute(
+          key, []() -> CachedSchedule { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+  EXPECT_EQ(cache.size(), 0u);
+  // The key is not poisoned: the next caller computes fresh.
+  const ScheduleCache::Result result =
+      cache.get_or_compute(key, [] { return tiny_payload(2.0); });
+  EXPECT_EQ(result.source, ScheduleCache::Source::kComputed);
+  EXPECT_EQ(result.payload->total_cost, 2.0);
+}
+
+// -------------------------------------------------------------- service
+
+using cc::service::ChargingService;
+using cc::service::Request;
+using cc::service::RequestDevice;
+using cc::service::Response;
+using cc::service::ServiceOptions;
+
+class Collector {
+ public:
+  void operator()(const Response& response) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    responses_.push_back(response);
+    cv_.notify_all();
+  }
+
+  ChargingService::ResponseSink sink() {
+    return [this](const Response& r) { (*this)(r); };
+  }
+
+  bool wait_for(std::size_t n, std::chrono::seconds timeout =
+                                   std::chrono::seconds(30)) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return cv_.wait_for(lock, timeout,
+                        [this, n] { return responses_.size() >= n; });
+  }
+
+  std::vector<Response> responses() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return responses_;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Response> responses_;
+};
+
+std::vector<Charger> service_chargers() {
+  cc::core::GeneratorConfig config;
+  config.num_devices = 1;
+  config.num_chargers = 5;
+  config.seed = 7;
+  const Instance topo = cc::core::generate(config);
+  return {topo.chargers().begin(), topo.chargers().end()};
+}
+
+Request service_request(const std::string& id) {
+  Request request;
+  request.id = id;
+  for (int d = 0; d < 3; ++d) {
+    RequestDevice device;
+    device.x = 12.0 * (d + 1);
+    device.y = 6.0 * (d + 1);
+    device.demand_j = 55.0 + d;
+    request.devices.push_back(device);
+  }
+  return request;
+}
+
+ServiceOptions cached_options() {
+  ServiceOptions options;
+  options.cache = true;
+  options.batch_window_ms = 0.0;
+  return options;
+}
+
+TEST(ServiceCacheTest, RepeatRequestHitsAndMatchesByteForByte) {
+  Collector collector;
+  ChargingService service(service_chargers(), {}, cached_options(),
+                          collector.sink());
+  service.submit(service_request("first"));
+  ASSERT_TRUE(collector.wait_for(1));
+  service.submit(service_request("second"));
+  ASSERT_TRUE(collector.wait_for(2));
+  service.shutdown(true);
+
+  const auto responses = collector.responses();
+  ASSERT_EQ(responses.size(), 2u);
+  const Response& first = responses[0];
+  const Response& second = responses[1];
+  EXPECT_EQ(first.status, "ok");
+  EXPECT_EQ(second.status, "ok");
+  EXPECT_EQ(second.total_cost, first.total_cost);
+  EXPECT_EQ(second.payments, first.payments);
+  EXPECT_EQ(second.queue_ms, 0.0);     // served before admission
+  EXPECT_EQ(second.schedule_ms, 0.0);  // no scheduler run
+  EXPECT_GE(service.cache_stats().hits, 1);
+  EXPECT_EQ(service.cache_stats().misses, 1);
+
+  // Identical wire bytes modulo the id and timing fields.
+  Response scrub_first = first;
+  Response scrub_second = second;
+  scrub_first.id = scrub_second.id = "x";
+  scrub_first.queue_ms = scrub_second.queue_ms = 0.0;
+  scrub_first.schedule_ms = scrub_second.schedule_ms = 0.0;
+  scrub_first.batch_size = scrub_second.batch_size = 0;
+  EXPECT_EQ(cc::service::to_json_line(scrub_first),
+            cc::service::to_json_line(scrub_second));
+}
+
+TEST(ServiceCacheTest, PermutedRepeatHitsWithRelabeledPayments) {
+  Collector collector;
+  ChargingService service(service_chargers(), {}, cached_options(),
+                          collector.sink());
+  Request forward = service_request("forward");
+  Request backward = service_request("backward");
+  std::reverse(backward.devices.begin(), backward.devices.end());
+
+  service.submit(forward);
+  ASSERT_TRUE(collector.wait_for(1));
+  service.submit(backward);
+  ASSERT_TRUE(collector.wait_for(2));
+  service.shutdown(true);
+
+  const auto responses = collector.responses();
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[0].status, "ok");
+  EXPECT_EQ(responses[1].status, "ok");
+  EXPECT_GE(service.cache_stats().hits, 1);
+  EXPECT_EQ(responses[1].total_cost, responses[0].total_cost);
+  ASSERT_EQ(responses[1].payments.size(), responses[0].payments.size());
+  std::vector<double> mirrored(responses[1].payments.rbegin(),
+                               responses[1].payments.rend());
+  EXPECT_EQ(mirrored, responses[0].payments);
+}
+
+TEST(ServiceCacheTest, BudgetGateAppliesOnCacheHits) {
+  Collector collector;
+  ChargingService service(service_chargers(), {}, cached_options(),
+                          collector.sink());
+  Request rich = service_request("rich");
+  service.submit(rich);
+  ASSERT_TRUE(collector.wait_for(1));
+  const double cost = collector.responses()[0].total_cost;
+  ASSERT_GT(cost, 0.0);
+
+  Request poor = service_request("poor");
+  poor.budget = cost * 0.5;
+  service.submit(poor);
+  ASSERT_TRUE(collector.wait_for(2));
+  service.shutdown(true);
+
+  const auto responses = collector.responses();
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[1].status, "rejected");
+  EXPECT_EQ(responses[1].reason, "over_budget");
+  EXPECT_EQ(responses[1].total_cost, cost);
+  EXPECT_TRUE(responses[1].payments.empty());
+  EXPECT_GE(service.cache_stats().hits, 1);
+}
+
+TEST(ServiceCacheTest, StatsResponseCarriesCacheCounters) {
+  Collector collector;
+  ChargingService service(service_chargers(), {}, cached_options(),
+                          collector.sink());
+  service.submit(service_request("a"));
+  ASSERT_TRUE(collector.wait_for(1));
+  service.emit_stats();
+  ASSERT_TRUE(collector.wait_for(2));
+  service.shutdown(true);
+
+  const auto responses = collector.responses();
+  const Response& stats = responses.back();
+  ASSERT_EQ(stats.status, "stats");
+  bool saw_hits = false;
+  bool saw_misses = false;
+  for (const auto& [key, value] : stats.stats) {
+    if (key == "cache_hits") {
+      saw_hits = true;
+    }
+    if (key == "cache_misses") {
+      saw_misses = true;
+      EXPECT_EQ(value, 1);
+    }
+  }
+  EXPECT_TRUE(saw_hits);
+  EXPECT_TRUE(saw_misses);
+}
+
+}  // namespace

@@ -15,8 +15,10 @@
 // one side only, is drift — regenerate the baselines deliberately
 // rather than silently. Metric keys with a "time." prefix or "_ms"
 // suffix are wall clock: machine-dependent, so they are only checked
-// against --runtime-tol and only fail with --runtime-fail. Counters
-// and provenance metadata are informational and never compared.
+// against --runtime-tol and only fail with --runtime-fail. Keys with a
+// "cache." prefix (hit/miss/eviction counters) are informational and
+// never gate, not even with --runtime-fail. Counters and provenance
+// metadata are informational and never compared.
 //
 // Exit codes: 0 all gated comparisons pass, 1 drift or gated
 // regression, 2 usage/I-O error.
@@ -90,6 +92,18 @@ void diff_pair(const cc::obs::RunManifest& base,
     const double cand_value = it->second;
     cand_metrics.erase(it);
     ++gate.compared;
+
+    if (cc::obs::is_cache_metric(key)) {
+      // Hit/miss/eviction mixes vary with timing and concurrency:
+      // informational only, never a gate (not even with --runtime-fail).
+      if (cand_value != base_value) {
+        std::cout << "INFO  " << base.name << " :: " << key << " "
+                  << base_value << " -> " << cand_value
+                  << " (cache counter, informational)\n";
+        ++gate.advisories;
+      }
+      continue;
+    }
 
     if (cc::obs::is_runtime_metric(key)) {
       if (base_value > 0.0) {

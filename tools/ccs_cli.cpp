@@ -15,8 +15,11 @@
 //
 // Exit codes: 0 success, 1 usage error, 2 I/O or validation error.
 
+#include <algorithm>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "coopcharge/coopcharge.h"
 #include "core/io.h"
@@ -24,6 +27,7 @@
 #include "obs/registry.h"
 #include "obs/span.h"
 #include "util/cli.h"
+#include "util/stats.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -46,6 +50,10 @@ Flags:
                              ccsga|ccsga-selfish|ccsga-guarded|optimal|
                              kmeans|random)
     --schedule-out=PATH      write the schedule (default: stdout summary)
+    --cache                  warm-repeat mode: solve through the
+                             canonical schedule cache and report
+                             cold/warm latency (docs/cache.md)
+    --repeat=N               total cache-mode solves (default 20)
   --schedule=PATH            load + evaluate an existing schedule
   --scheme=NAME              sharing scheme for payments/simulation
                              (egalitarian|proportional|shapley)
@@ -229,7 +237,7 @@ int main(int argc, char** argv) {
                "fault-seed",    "recovery",      "retries",
                "payments",      "svg",           "jobs",
                "verbose-timing", "obs",          "trace",
-               "manifest"});
+               "manifest",      "cache",         "repeat"});
   cli.reject_unknown();
   if (cli.get_bool("help", false) || argc == 1) {
     print_help();
@@ -296,12 +304,79 @@ int main(int argc, char** argv) {
     } else {
       const std::string algo = cli.get("algo", "ccsa");
       const auto scheduler = cc::core::make_scheduler(algo);
-      watch.restart();
-      const auto result = [&] {
-        const cc::obs::Span span("phase.schedule");
-        return scheduler->run(instance);
-      }();
-      phases.schedule_ms = watch.elapsed_ms();
+      std::optional<cc::core::SchedulerResult> solved;
+
+      if (cli.get_bool("cache", false)) {
+        // Warm-repeat mode: first solve is the cache leader, the rest
+        // hit — the offline view of the service's cache fast path.
+        const int repeats = std::max(cli.get_int("repeat", 20), 2);
+        const std::string scheme = cli.get("scheme", "egalitarian");
+        cc::cache::ScheduleCache cache;
+        const cc::cache::CanonicalForm canon =
+            cc::cache::canonicalize(instance, algo, scheme);
+        const auto compute = [&]() -> cc::cache::CachedSchedule {
+          const cc::obs::Span span("phase.schedule");
+          cc::core::SchedulerResult result = scheduler->run(instance);
+          result.schedule.validate(instance);
+          const cc::core::CostModel cost(instance);
+          const double total = result.schedule.total_cost(cost);
+          const auto payments = result.schedule.device_payments(
+              cost, cc::core::sharing_scheme_from_string(scheme));
+          cc::cache::CachedSchedule payload =
+              cc::cache::make_canonical_payload(canon, total,
+                                                result.stats.elapsed_ms,
+                                                payments,
+                                                result.schedule.coalitions());
+          solved = std::move(result);
+          return payload;
+        };
+        watch.restart();
+        (void)cache.get_or_compute(canon.key, compute);
+        const double cold_ms = watch.elapsed_ms();
+        std::vector<double> warm_ms;
+        warm_ms.reserve(static_cast<std::size_t>(repeats - 1));
+        for (int r = 1; r < repeats; ++r) {
+          watch.restart();
+          (void)cache.get_or_compute(canon.key, compute);
+          warm_ms.push_back(watch.elapsed_ms());
+        }
+        std::sort(warm_ms.begin(), warm_ms.end());
+        double warm_sum = 0.0;
+        for (const double ms : warm_ms) {
+          warm_sum += ms;
+        }
+        const double warm_mean =
+            warm_sum / static_cast<double>(warm_ms.size());
+        const double warm_p50 = cc::util::quantile_sorted(warm_ms, 0.50);
+        const cc::cache::CacheStats stats = cache.stats();
+        phases.schedule_ms = cold_ms;
+        std::cout << "cache key         : " << canon.key.hex() << '\n'
+                  << "cold solve        : " << cold_ms << " ms\n"
+                  << "warm hit          : mean " << warm_mean << " ms, p50 "
+                  << warm_p50 << " ms (" << warm_ms.size() << " repeats)\n"
+                  << "speedup           : "
+                  << (warm_mean > 0.0 ? cold_ms / warm_mean : 0.0)
+                  << "x\n"
+                  << "cache counters    : hits=" << stats.hits
+                  << " misses=" << stats.misses << '\n';
+        if (manifest != nullptr) {
+          manifest->set_metric("cache.hits",
+                               static_cast<double>(stats.hits));
+          manifest->set_metric("cache.misses",
+                               static_cast<double>(stats.misses));
+          manifest->set_metric("time.cache.cold_ms", cold_ms);
+          manifest->set_metric("time.cache.warm_p50_ms", warm_p50);
+        }
+      } else {
+        watch.restart();
+        solved = [&] {
+          const cc::obs::Span span("phase.schedule");
+          return scheduler->run(instance);
+        }();
+        phases.schedule_ms = watch.elapsed_ms();
+      }
+
+      const cc::core::SchedulerResult& result = *solved;
       std::cout << "algorithm         : " << algo << '\n'
                 << "elapsed           : " << result.stats.elapsed_ms
                 << " ms\n";

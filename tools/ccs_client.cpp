@@ -18,6 +18,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdio>
@@ -37,6 +38,7 @@
 #include "util/assert.h"
 #include "util/cli.h"
 #include "util/rng.h"
+#include "util/stats.h"
 
 namespace {
 
@@ -54,6 +56,9 @@ Request mix (deterministic in --seed):
                              egalitarian,proportional,shapley)
   --budget-prob=P            fraction of requests given a budget
   --deadline-ms=D            attach this deadline to every request
+  --repeat-prob=P            fraction of requests that repeat an earlier
+                             request's devices/algo/scheme (fresh id) —
+                             the cache-hit workload knob
 
 Modes:
   --emit                     print request JSONL to stdout (or --out=PATH)
@@ -65,13 +70,22 @@ Equivalence dump (drive mode):
   --topology=PATH            instance file with the server's chargers
   --dump=DIR                 write DIR/<id>.instance + DIR/<id>.schedule
                              for every "ok" response
+  --responses-out=PATH       write every response line, normalized
+                             (queue_ms/schedule_ms/batch_size zeroed,
+                             stats lines skipped) — the cache on/off
+                             byte-identity artifact
   --help
+
+The closed-loop summary reports p50/p95/p99 end-to-end latency, and the
+exit code is nonzero if any response line fails the strict protocol
+parse/validation.
 )";
 
 struct Summary {
   long ok = 0;
   long errors = 0;
   long unparseable = 0;
+  long invalid = 0;  ///< parsed but violating the response contract
   std::map<std::string, long> rejected;  // reason → count
   double queue_ms_sum = 0.0;
   double queue_ms_max = 0.0;
@@ -115,12 +129,25 @@ std::vector<cc::service::Request> generate_mix(const cc::util::Cli& cli) {
   CC_EXPECTS(dev_min > 0 && dev_max >= dev_min,
              "need 0 < --devices-min <= --devices-max");
 
+  const double repeat_prob = cli.get_double("repeat-prob", 0.0);
   cc::util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
   std::vector<cc::service::Request> mix;
   mix.reserve(static_cast<std::size_t>(count));
   for (int i = 0; i < count; ++i) {
     cc::service::Request request;
     request.id = "r" + std::to_string(i);
+    // Repeat phase: re-issue an earlier request's exact instance and
+    // configuration under a fresh id (the canonical cache-hit shape).
+    if (!mix.empty() && repeat_prob > 0.0 && rng.bernoulli(repeat_prob)) {
+      const cc::service::Request& older = mix[rng.index(mix.size())];
+      request.algo = older.algo;
+      request.scheme = older.scheme;
+      request.devices = older.devices;
+      request.budget = older.budget;
+      request.deadline_ms = older.deadline_ms;
+      mix.push_back(std::move(request));
+      continue;
+    }
     if (!algos.empty()) {
       request.algo = algos[static_cast<std::size_t>(i) % algos.size()];
     }
@@ -256,6 +283,35 @@ class ServerPipe {
   bool eof_ = false;
 };
 
+/// Strict response-contract check beyond JSON well-formedness. Returns
+/// an empty string when the response is valid, else the violation.
+std::string validate_response(const cc::service::Response& response) {
+  if (response.status != "ok" && response.status != "rejected" &&
+      response.status != "error" && response.status != "stats") {
+    return "unknown status '" + response.status + "'";
+  }
+  if (response.status == "stats") {
+    return "";
+  }
+  if (response.id.empty()) {
+    return "missing id";
+  }
+  if (response.status == "ok") {
+    if (response.algo.empty() || response.scheme.empty()) {
+      return "ok response without algo/scheme";
+    }
+    if (!std::isfinite(response.total_cost)) {
+      return "non-finite total_cost";
+    }
+    if (response.payments.empty()) {
+      return "ok response without payments";
+    }
+  } else if (response.reason.empty()) {
+    return response.status + " response without reason";
+  }
+  return "";
+}
+
 void tally(const cc::service::Response& response, Summary& summary) {
   if (response.status == "ok") {
     ++summary.ok;
@@ -302,8 +358,8 @@ int main(int argc, char** argv) {
   const cc::util::Cli cli(argc, argv);
   cli.declare({"help", "requests", "seed", "devices-min", "devices-max",
                "field", "algos", "schemes", "budget-prob", "deadline-ms",
-               "emit", "out", "server", "rate", "stats", "topology",
-               "dump"});
+               "repeat-prob", "emit", "out", "server", "rate", "stats",
+               "topology", "dump", "responses-out"});
   cli.reject_unknown();
   if (cli.get_bool("help", false)) {
     std::cout << kUsage;
@@ -371,13 +427,23 @@ int main(int argc, char** argv) {
         next += std::chrono::duration_cast<
             std::chrono::steady_clock::duration>(interval);
       }
-    } else {
-      // Closed loop: one outstanding request at a time.
+    }
+    std::vector<double> latencies_ms;
+    if (rate <= 0.0) {
+      // Closed loop: one outstanding request at a time, end-to-end
+      // latency measured per request.
+      latencies_ms.reserve(mix.size());
       std::size_t sent = 0;
       for (const cc::service::Request& request : mix) {
+        const auto sent_at = std::chrono::steady_clock::now();
         server.send(cc::service::to_json_line(request));
         ++sent;
-        if (!server.wait_for(sent)) {
+        const bool answered_in_time = server.wait_for(sent);
+        latencies_ms.push_back(
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - sent_at)
+                .count());
+        if (!answered_in_time) {
           break;
         }
       }
@@ -402,6 +468,15 @@ int main(int argc, char** argv) {
       by_id[request.id] = &request;
     }
 
+    const std::string responses_out = cli.get("responses-out", "");
+    std::ofstream normalized;
+    if (!responses_out.empty()) {
+      normalized.open(responses_out);
+      if (!normalized) {
+        throw cc::core::IoError("cannot write " + responses_out);
+      }
+    }
+
     Summary summary;
     std::size_t answered = 0;
     for (const std::string& line : server.lines()) {
@@ -412,9 +487,24 @@ int main(int argc, char** argv) {
         ++summary.unparseable;
         continue;
       }
+      const std::string violation = validate_response(response);
+      if (!violation.empty()) {
+        ++summary.invalid;
+        std::cerr << "invalid response (" << violation << "): " << line
+                  << '\n';
+      }
       if (response.status == "stats") {
         std::cout << "server stats: " << line << '\n';
         continue;
+      }
+      if (normalized.is_open()) {
+        // Timing and batching are nondeterministic by nature; zero them
+        // so a cache on/off replay can be compared byte-for-byte.
+        cc::service::Response scrubbed = response;
+        scrubbed.queue_ms = 0.0;
+        scrubbed.schedule_ms = 0.0;
+        scrubbed.batch_size = 0;
+        normalized << cc::service::to_json_line(scrubbed) << '\n';
       }
       ++answered;
       tally(response, summary);
@@ -438,7 +528,8 @@ int main(int argc, char** argv) {
               << " loop)\n";
     std::cout << "status   : ok=" << summary.ok << " rejected=" << rejected
               << " errors=" << summary.errors
-              << " unparseable=" << summary.unparseable << '\n';
+              << " unparseable=" << summary.unparseable
+              << " invalid=" << summary.invalid << '\n';
     for (const auto& [reason, count] : summary.rejected) {
       std::cout << "rejected : " << reason << " ×" << count << '\n';
     }
@@ -449,6 +540,14 @@ int main(int argc, char** argv) {
                 << " ms; schedule mean="
                 << summary.schedule_ms_sum / static_cast<double>(summary.ok)
                 << " ms max=" << summary.schedule_ms_max << " ms\n";
+    }
+    if (!latencies_ms.empty()) {
+      std::sort(latencies_ms.begin(), latencies_ms.end());
+      std::cout << "e2e      : p50="
+                << cc::util::quantile_sorted(latencies_ms, 0.50)
+                << " ms p95=" << cc::util::quantile_sorted(latencies_ms, 0.95)
+                << " ms p99=" << cc::util::quantile_sorted(latencies_ms, 0.99)
+                << " ms (" << latencies_ms.size() << " closed-loop sends)\n";
     }
 
     const bool all_answered = answered == mix.size();
@@ -467,7 +566,12 @@ int main(int argc, char** argv) {
       std::cerr << "error: " << summary.unparseable
                 << " unparseable response lines\n";
     }
-    return (all_answered && malformed == 0 && summary.unparseable == 0)
+    if (summary.invalid > 0) {
+      std::cerr << "error: " << summary.invalid
+                << " responses failed strict validation\n";
+    }
+    return (all_answered && malformed == 0 && summary.unparseable == 0 &&
+            summary.invalid == 0)
                ? 0
                : 1;
   } catch (const cc::core::IoError& e) {

@@ -7,9 +7,13 @@
 ///
 /// Exit codes: 0 clean shutdown, 1 usage error, 2 I/O error.
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <iostream>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/generator.h"
@@ -47,6 +51,12 @@ Service knobs:
   --deadline-ms=D            default per-request deadline, 0 = none
   --max-devices=N            per-request device cap (default 1024)
   --coalesce                 merge compatible requests into one instance
+  --cache                    canonical-fingerprint schedule cache with
+                             singleflight dedup (docs/cache.md)
+  --cache-entries=N          cache capacity in entries (default 4096)
+  --cache-mb=M               cache capacity in MiB (default 64)
+  --cache-ttl=S              entry time-to-live seconds, 0 = none
+  --stats-interval=S         emit a stats heartbeat line every S seconds
 
 Common:
   --jobs=N                   scheduler thread-pool size
@@ -66,7 +76,59 @@ void print_final_stats(const cc::service::ChargingService& service) {
             << " over_budget=" << s.rejected_over_budget
             << ") errors=" << s.errors << " batches=" << s.batches
             << " queue_peak=" << service.queue_high_watermark() << '\n';
+  if (service.options().cache) {
+    const cc::cache::CacheStats c = service.cache_stats();
+    std::cerr << "ccs_serve: cache: hits=" << c.hits
+              << " misses=" << c.misses << " evictions=" << c.evictions
+              << " merged=" << c.inflight_merged << '\n';
+  }
 }
+
+/// Periodic stats heartbeat: a detached-looking but joinable thread
+/// that calls `emit_stats()` every `interval_s` until stopped.
+class StatsHeartbeat {
+ public:
+  StatsHeartbeat(cc::service::ChargingService& service, double interval_s)
+      : service_(service), interval_s_(interval_s) {
+    if (interval_s_ > 0.0) {
+      thread_ = std::thread([this] { run(); });
+    }
+  }
+
+  ~StatsHeartbeat() { stop(); }
+
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopped_) {
+        return;
+      }
+      stopped_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) {
+      thread_.join();
+    }
+  }
+
+ private:
+  void run() {
+    const auto interval = std::chrono::duration<double>(interval_s_);
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!cv_.wait_for(lock, interval, [this] { return stopped_; })) {
+      lock.unlock();
+      service_.emit_stats();
+      lock.lock();
+    }
+  }
+
+  cc::service::ChargingService& service_;
+  double interval_s_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopped_ = false;
+  std::thread thread_;
+};
 
 }  // namespace
 
@@ -74,8 +136,9 @@ int main(int argc, char** argv) {
   const cc::util::Cli cli(argc, argv);
   cli.declare({"help", "instance", "chargers", "field", "seed", "cap",
                "algo", "scheme", "queue-cap", "batch-max", "batch-window-ms",
-               "deadline-ms", "max-devices", "coalesce", "jobs", "obs",
-               "trace", "manifest"});
+               "deadline-ms", "max-devices", "coalesce", "cache",
+               "cache-entries", "cache-mb", "cache-ttl", "stats-interval",
+               "jobs", "obs", "trace", "manifest"});
   cli.reject_unknown();
   if (cli.get_bool("help", false)) {
     std::cout << kUsage;
@@ -126,6 +189,14 @@ int main(int argc, char** argv) {
     options.max_devices_per_request =
         cli.get_int("max-devices", options.max_devices_per_request);
     options.coalesce = cli.get_bool("coalesce", false);
+    options.cache = cli.get_bool("cache", false);
+    options.cache_options.max_entries = static_cast<std::size_t>(
+        cli.get_int("cache-entries",
+                    static_cast<int>(options.cache_options.max_entries)));
+    options.cache_options.max_bytes =
+        static_cast<std::size_t>(cli.get_int("cache-mb", 64)) << 20;
+    options.cache_options.ttl_s = cli.get_double("cache-ttl", 0.0);
+    const double stats_interval_s = cli.get_double("stats-interval", 0.0);
 
     // Validate the defaults up front: a typo'd --algo should kill the
     // daemon at boot, not reject every request at runtime.
@@ -143,9 +214,11 @@ int main(int argc, char** argv) {
               << " scheme=" << options.default_scheme
               << " queue-cap=" << options.queue_capacity
               << " batch-max=" << options.batch_max << " coalesce="
-              << (options.coalesce ? "on" : "off")
+              << (options.coalesce ? "on" : "off") << " cache="
+              << (options.cache ? "on" : "off")
               << "; reading requests from stdin\n";
 
+    StatsHeartbeat heartbeat(service, stats_interval_s);
     std::string line;
     while (std::getline(std::cin, line)) {
       if (line.empty()) {
@@ -155,6 +228,7 @@ int main(int argc, char** argv) {
         break;  // {"cmd":"shutdown"}
       }
     }
+    heartbeat.stop();
     service.shutdown(true);
     print_final_stats(service);
 
@@ -175,6 +249,15 @@ int main(int argc, char** argv) {
       manifest.set_metric(
           "service.queue_peak",
           static_cast<double>(service.queue_high_watermark()));
+      if (options.cache) {
+        const cc::cache::CacheStats c = service.cache_stats();
+        manifest.set_metric("cache.hits", static_cast<double>(c.hits));
+        manifest.set_metric("cache.misses", static_cast<double>(c.misses));
+        manifest.set_metric("cache.evictions",
+                            static_cast<double>(c.evictions));
+        manifest.set_metric("cache.inflight_merged",
+                            static_cast<double>(c.inflight_merged));
+      }
       manifest.save(manifest_path);
       std::cerr << "manifest: " << manifest_path << '\n';
     }
