@@ -1,0 +1,384 @@
+/// \file bench_service_chaos.cpp
+/// Fault-tolerance gates for the charging service (docs/robustness.md).
+///
+/// Four in-process phases over one seeded request mix:
+///
+///   A reference — plain service (no journal/watchdog/dedup), closed
+///     loop; its normalized responses are the ground truth and its p95
+///     latency the overhead baseline.
+///   B armed     — journal (fsync-per-append) + watchdog + dedup window
+///     on the same mix. Gates: every reply byte-identical to A after
+///     normalization, and p95 <= p95_A * (1 + --overhead-frac) +
+///     --overhead-slack-ms (absolute slack absorbs fsync jitter on
+///     requests whose baseline is sub-millisecond).
+///   C storm     — wire faults (drop/truncate/corrupt) on the inbound
+///     lines plus dispatch stalls and sink failures, with a retrying
+///     driver using ids as idempotency keys. Gate: every request ends
+///     "ok" within --passes retry rounds and matches A byte-for-byte —
+///     zero accepted-request loss, no silently-corrupted schedules.
+///   D replay    — a journal holding all N requests with only half
+///     completed (the on-disk state after a mid-flight crash) is handed
+///     to a fresh service; `replay_recovered` must resubmit exactly the
+///     incomplete half, their replies must match A, and a clean drain
+///     must reset the journal to empty.
+///
+/// Normalization scrubs the per-run fields (queue_ms, schedule_ms,
+/// batch_size) and compares the full response serialization, so "match"
+/// means bit-identical schedules, costs, and fee shares.
+///
+/// Mean cost over the reference pass is deterministic in --seed and
+/// CI-gated ("service.mean_cost"); latencies and the overhead ratio are
+/// advisory "time." metrics.
+///
+/// Exit codes: 0 ok, 1 when any gate fails.
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "service/chaos.h"
+#include "service/journal.h"
+#include "service/protocol.h"
+#include "service/service.h"
+#include "util/rng.h"
+
+namespace {
+
+using cc::service::ChaosInjector;
+using cc::service::ChaosSpec;
+using cc::service::ChargingService;
+using cc::service::Journal;
+using cc::service::Request;
+using cc::service::RequestDevice;
+using cc::service::Response;
+using cc::service::ServiceOptions;
+
+/// Latest response per id with an arrival count, so a closed-loop
+/// driver can wait for "one more response for this id" across retries.
+class Collector {
+ public:
+  void operator()(const Response& response) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!response.id.empty()) {
+      auto& slot = by_id_[response.id];
+      slot.first += 1;
+      slot.second = response;
+    }
+    cv_.notify_all();
+  }
+
+  ChargingService::ResponseSink sink() {
+    return [this](const Response& r) { (*this)(r); };
+  }
+
+  [[nodiscard]] long count(const std::string& id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = by_id_.find(id);
+    return it == by_id_.end() ? 0 : it->second.first;
+  }
+
+  /// Waits until `id` has at least `min_count` responses; false on
+  /// timeout (a dropped wire line produces no response at all).
+  bool wait_for(const std::string& id, long min_count,
+                std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return cv_.wait_for(lock, timeout, [&] {
+      const auto it = by_id_.find(id);
+      return it != by_id_.end() && it->second.first >= min_count;
+    });
+  }
+
+  [[nodiscard]] Response latest(const std::string& id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return by_id_.at(id).second;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::string, std::pair<long, Response>> by_id_;
+};
+
+/// The client-side normalization (ccs_client --normalize): scrub the
+/// fields that legitimately vary run to run, keep everything that must
+/// not.
+std::string normalized(Response response) {
+  response.queue_ms = 0.0;
+  response.schedule_ms = 0.0;
+  response.batch_size = 0;
+  return cc::service::to_json_line(response);
+}
+
+std::vector<cc::core::Charger> bench_chargers(std::uint64_t seed) {
+  cc::core::GeneratorConfig config;
+  config.num_devices = 1;
+  config.num_chargers = 6;
+  config.seed = seed;
+  const cc::core::Instance topo = cc::core::generate(config);
+  return {topo.chargers().begin(), topo.chargers().end()};
+}
+
+/// Deterministic mix cycling the three algorithms and fee schemes,
+/// 3..8 devices per request — the chaos_kill_restart workload shape.
+std::vector<Request> build_mix(std::size_t n, std::uint64_t seed) {
+  static const char* kAlgos[] = {"ccsa", "noncoop", "ccsga"};
+  static const char* kSchemes[] = {"egalitarian", "proportional",
+                                   "shapley"};
+  cc::util::Rng rng(seed);
+  std::vector<Request> mix;
+  mix.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Request request;
+    // Built without `const char* + std::string` (GCC 12 -Wrestrict
+    // false positive, PR 105651).
+    request.id = "b";
+    request.id += std::to_string(i);
+    request.algo = kAlgos[i % 3];
+    request.scheme = kSchemes[(i / 3) % 3];
+    const int devices = 3 + static_cast<int>(rng.index(6));
+    for (int d = 0; d < devices; ++d) {
+      RequestDevice device;
+      device.x = rng.uniform(0.0, 100.0);
+      device.y = rng.uniform(0.0, 100.0);
+      device.demand_j = rng.uniform(20.0, 120.0);
+      request.devices.push_back(device);
+    }
+    mix.push_back(request);
+  }
+  return mix;
+}
+
+struct PassResult {
+  std::map<std::string, std::string> normalized_by_id;
+  double p95_ms = 0.0;
+  double mean_cost = 0.0;
+};
+
+/// Closed loop: submit, wait, record. Used for phases A and B, where
+/// every request must be answered on the first attempt.
+PassResult run_closed_loop(const std::vector<Request>& mix,
+                           const ServiceOptions& options) {
+  Collector collector;
+  ChargingService service(bench_chargers(42), {}, options,
+                          collector.sink());
+  PassResult result;
+  std::vector<double> latencies;
+  latencies.reserve(mix.size());
+  double cost_sum = 0.0;
+  for (const Request& request : mix) {
+    cc::util::Stopwatch watch;
+    service.submit(request);
+    if (!collector.wait_for(request.id, 1, std::chrono::seconds(30))) {
+      std::cerr << "closed loop: no response for " << request.id << '\n';
+      std::exit(1);
+    }
+    latencies.push_back(watch.elapsed_ms());
+    const Response response = collector.latest(request.id);
+    if (response.status != "ok") {
+      std::cerr << "closed loop: " << request.id << " -> "
+                << response.status << " (" << response.reason << ")\n";
+      std::exit(1);
+    }
+    cost_sum += response.total_cost;
+    result.normalized_by_id[request.id] = normalized(response);
+  }
+  service.shutdown();
+  std::sort(latencies.begin(), latencies.end());
+  result.p95_ms = latencies[latencies.size() * 95 / 100];
+  result.mean_cost = cost_sum / static_cast<double>(mix.size());
+  return result;
+}
+
+int mismatches(const PassResult& reference,
+               const std::map<std::string, std::string>& got,
+               const char* label) {
+  int bad = 0;
+  for (const auto& [id, line] : reference.normalized_by_id) {
+    const auto it = got.find(id);
+    if (it == got.end()) {
+      std::cerr << label << ": " << id << " unanswered\n";
+      ++bad;
+    } else if (it->second != line) {
+      std::cerr << label << ": " << id << " differs\n  ref: " << line
+                << "\n  got: " << it->second << '\n';
+      ++bad;
+    }
+  }
+  return bad;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cc::util::Cli cli = cc::bench::init(
+      argc, argv,
+      {"requests", "seed", "passes", "overhead-frac", "overhead-slack-ms"});
+  const auto n = static_cast<std::size_t>(cli.get_int("requests", 48));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  const int passes = cli.get_int("passes", 20);
+  const double overhead_frac = cli.get_double("overhead-frac", 0.10);
+  const double overhead_slack_ms = cli.get_double("overhead-slack-ms", 2.0);
+
+  const std::vector<Request> mix = build_mix(n, seed);
+  const std::string wal = "bench_service_chaos_wal.bin";
+  const std::string crash_wal = "bench_service_chaos_crash.bin";
+  std::remove(wal.c_str());
+  std::remove(crash_wal.c_str());
+  int failures = 0;
+
+  // ----------------------------------------------------- A: reference
+  ServiceOptions plain;
+  plain.batch_window_ms = 0.0;
+  const PassResult reference = run_closed_loop(mix, plain);
+  std::cout << "reference : " << n << " ok, p95 " << reference.p95_ms
+            << " ms, mean cost " << reference.mean_cost << '\n';
+  cc::bench::record_metric("service.mean_cost", reference.mean_cost);
+  cc::bench::record_metric("time.plain_p95_ms", reference.p95_ms);
+
+  // ----------------------------------------- B: armed, fault-free gate
+  ServiceOptions armed = plain;
+  armed.journal_path = wal;
+  armed.journal_sync = Journal::SyncMode::kAlways;
+  armed.request_timeout_ms = 5000.0;
+  armed.dedup_window = 2 * n;
+  const PassResult armed_run = run_closed_loop(mix, armed);
+  failures += mismatches(reference, armed_run.normalized_by_id, "armed");
+  const double budget =
+      reference.p95_ms * (1.0 + overhead_frac) + overhead_slack_ms;
+  std::cout << "armed     : p95 " << armed_run.p95_ms << " ms (budget "
+            << budget << " ms)\n";
+  cc::bench::record_metric("time.armed_p95_ms", armed_run.p95_ms);
+  cc::bench::record_metric("time.overhead_ratio",
+                           armed_run.p95_ms / reference.p95_ms);
+  if (armed_run.p95_ms > budget) {
+    std::cerr << "overhead gate: armed p95 " << armed_run.p95_ms
+              << " ms exceeds " << budget << " ms\n";
+    ++failures;
+  }
+
+  // ------------------------------------------------- C: chaos + retry
+  {
+    ChaosSpec spec = ChaosSpec::parse(
+        "seed=5,drop=0.06,truncate=0.04,corrupt=0.05,stall=0.03,"
+        "stall-ms=60,sink-fail=0.03");
+    spec.seed = seed * 31 + 5;
+    ChaosInjector injector(spec);
+    ServiceOptions stormy = armed;
+    stormy.journal_path.clear();  // journal covered by A/B/D; keep the
+    stormy.request_timeout_ms = 800.0;  // storm about wire+sink faults
+    stormy.chaos = &injector;
+    Collector collector;
+    ChargingService service(bench_chargers(42), {}, stormy,
+                            collector.sink());
+    std::map<std::string, std::string> answered;
+    int rounds = 0;
+    for (; rounds < passes && answered.size() < mix.size(); ++rounds) {
+      for (const Request& request : mix) {
+        if (answered.count(request.id) != 0) {
+          continue;
+        }
+        std::string line = cc::service::to_checksummed_line(request);
+        const long before = collector.count(request.id);
+        if (!injector.mangle_line(line)) {
+          continue;  // dropped on the wire: retry next round
+        }
+        service.submit_line(line);
+        if (!collector.wait_for(request.id, before + 1,
+                                std::chrono::seconds(2))) {
+          continue;  // mangled into an id-less reject, or sink-failed
+        }
+        const Response response = collector.latest(request.id);
+        if (response.status == "ok") {
+          answered[request.id] = normalized(response);
+        }
+      }
+    }
+    service.shutdown();
+    if (answered.size() != mix.size()) {
+      std::cerr << "storm: " << mix.size() - answered.size()
+                << " requests never completed in " << passes
+                << " rounds\n";
+      ++failures;
+    }
+    failures += mismatches(reference, answered, "storm");
+    const ChaosInjector::Stats chaos = injector.stats();
+    std::cout << "storm     : " << answered.size() << "/" << n << " ok in "
+              << rounds << " rounds (faults: " << chaos.total()
+              << " = " << chaos.dropped << " drop, " << chaos.truncated
+              << " trunc, " << chaos.corrupted << " corrupt, "
+              << chaos.stalls << " stall, " << chaos.sink_failures
+              << " sink)\n";
+    cc::bench::record_metric("chaos.faults_injected",
+                             static_cast<double>(chaos.total()));
+    cc::bench::record_metric("chaos.retry_rounds",
+                             static_cast<double>(rounds));
+  }
+
+  // -------------------------------------------- D: crash-journal replay
+  {
+    // The on-disk state after a mid-flight crash: every request
+    // admitted, only the first half completed.
+    std::vector<std::uint64_t> seqs;
+    {
+      Journal journal(crash_wal);
+      for (const Request& request : mix) {
+        seqs.push_back(
+            journal.append_request(cc::service::to_json_line(request)));
+      }
+      for (std::size_t i = 0; i < n / 2; ++i) {
+        journal.append_complete(seqs[i]);
+      }
+    }
+    Collector collector;
+    ServiceOptions recover = plain;
+    recover.journal_path = crash_wal;
+    ChargingService service(bench_chargers(42), {}, recover,
+                            collector.sink());
+    const std::size_t replayed = service.replay_recovered();
+    if (replayed != n - n / 2) {
+      std::cerr << "replay: resubmitted " << replayed << ", expected "
+                << n - n / 2 << '\n';
+      ++failures;
+    }
+    std::map<std::string, std::string> got;
+    for (std::size_t i = n / 2; i < n; ++i) {
+      const std::string& id = mix[i].id;
+      if (collector.wait_for(id, 1, std::chrono::seconds(30))) {
+        got[id] = normalized(collector.latest(id));
+      }
+    }
+    service.shutdown();
+    PassResult tail;
+    for (std::size_t i = n / 2; i < n; ++i) {
+      tail.normalized_by_id[mix[i].id] =
+          reference.normalized_by_id.at(mix[i].id);
+    }
+    failures += mismatches(tail, got, "replay");
+    const cc::service::JournalReplay after = Journal::scan(crash_wal);
+    if (after.records != 0 || after.valid_bytes != 0) {
+      std::cerr << "replay: journal not reset after clean drain ("
+                << after.records << " records)\n";
+      ++failures;
+    }
+    std::cout << "replay    : " << replayed << " incomplete resubmitted, "
+              << got.size() << " matched, journal reset\n";
+    cc::bench::record_metric("chaos.replayed",
+                             static_cast<double>(replayed));
+  }
+
+  std::remove(wal.c_str());
+  std::remove(crash_wal.c_str());
+  if (failures != 0) {
+    std::cerr << failures << " gate failure(s)\n";
+    return 1;
+  }
+  std::cout << "all gates passed\n";
+  return 0;
+}

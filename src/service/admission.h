@@ -17,12 +17,34 @@
 ///  * `close()` stops intake (`kClosed`) and wakes the consumer; a
 ///    drain loop keeps calling `pop_batch` until it returns empty.
 ///
+/// Shutdown ordering contract (drain vs. concurrent try_push):
+///  1. `close()` flips `closed_` under the same mutex that `try_push`
+///     checks, so the race is decided deterministically per request —
+///     a push either wins (its request is in the queue *before* close
+///     returns, and is guaranteed to be observed by a later
+///     `pop_batch`) or loses (`kClosed`, and the caller must emit the
+///     `shutting_down` rejection itself). There is no third outcome:
+///     a request can never be accepted and then silently dropped by
+///     the queue.
+///  2. After `close()`, the consumer keeps calling `pop_batch` until
+///     it returns an empty batch. The empty batch is the drain
+///     barrier: it is returned only when `closed_ && queue_.empty()`
+///     holds under the mutex, at which point every admitted request
+///     has been handed to exactly one earlier `pop_batch` call and no
+///     future `try_push` can succeed.
+///  3. Consequently the service's shutdown sequence is:
+///     `close()` → join the dispatch worker (it exits on the empty
+///     batch) → tear down downstream state (watchdog, journal, cache).
+///     Anything enqueued before the close is drained (or explicitly
+///     rejected by the drop-backlog path) before teardown begins.
+///
 /// Deadlines are carried, not enforced, here — the service checks the
 /// queue wait against each request's deadline at dispatch time.
 
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <vector>
@@ -35,7 +57,8 @@ namespace cc::service {
 struct PendingRequest {
   Request request;
   std::chrono::steady_clock::time_point enqueued_at{};
-  double deadline_ms = 0.0;  ///< resolved deadline; 0 = none
+  double deadline_ms = 0.0;    ///< resolved deadline; 0 = none
+  std::uint64_t journal_seq = 0;  ///< WAL sequence; 0 = not journaled
 };
 
 enum class AdmitResult { kAccepted, kQueueFull, kClosed };

@@ -1,0 +1,176 @@
+#include "service/chaos.h"
+
+#include <charconv>
+#include <chrono>
+#include <thread>
+
+#include "obs/registry.h"
+#include "util/assert.h"
+
+namespace cc::service {
+
+namespace {
+
+double parse_double(const std::string& key, const std::string& value) {
+  double out = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  CC_EXPECTS(ec == std::errc{} && ptr == value.data() + value.size(),
+             "chaos: bad value for '" + key + "': '" + value + "'");
+  return out;
+}
+
+double parse_prob(const std::string& key, const std::string& value) {
+  const double p = parse_double(key, value);
+  CC_EXPECTS(p >= 0.0 && p <= 1.0,
+             "chaos: '" + key + "' must be a probability in [0,1]");
+  return p;
+}
+
+}  // namespace
+
+ChaosSpec ChaosSpec::parse(const std::string& spec) {
+  ChaosSpec out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) {
+      comma = spec.size();
+    }
+    const std::string field = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (field.empty()) {
+      continue;
+    }
+    const std::size_t eq = field.find('=');
+    CC_EXPECTS(eq != std::string::npos,
+               "chaos: expected key=value, got '" + field + "'");
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    if (key == "seed") {
+      out.seed = static_cast<std::uint64_t>(parse_double(key, value));
+    } else if (key == "drop") {
+      out.drop = parse_prob(key, value);
+    } else if (key == "truncate") {
+      out.truncate = parse_prob(key, value);
+    } else if (key == "corrupt") {
+      out.corrupt = parse_prob(key, value);
+    } else if (key == "stall") {
+      out.stall = parse_prob(key, value);
+    } else if (key == "stall-ms") {
+      out.stall_ms = parse_double(key, value);
+      CC_EXPECTS(out.stall_ms >= 0.0, "chaos: stall-ms must be >= 0");
+    } else if (key == "stall-max") {
+      out.stall_max = static_cast<long>(parse_double(key, value));
+    } else if (key == "crash") {
+      out.crash = parse_prob(key, value);
+    } else if (key == "sink-fail") {
+      out.sink_fail = parse_prob(key, value);
+    } else {
+      CC_EXPECTS(false, "chaos: unknown key '" + key + "'");
+    }
+  }
+  return out;
+}
+
+ChaosInjector::ChaosInjector(ChaosSpec spec)
+    : spec_(spec), rng_(spec.seed) {}
+
+bool ChaosInjector::roll(double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rng_.bernoulli(p);
+}
+
+bool ChaosInjector::mangle_line(std::string& line) {
+  if (!spec_.any_wire()) {
+    return true;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  // At most one fault per line so the counters account exactly for
+  // what happened on the wire.
+  if (spec_.drop > 0.0 && rng_.bernoulli(spec_.drop)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    obs::count("chaos.dropped");
+    return false;
+  }
+  if (!line.empty() && spec_.truncate > 0.0 &&
+      rng_.bernoulli(spec_.truncate)) {
+    line.resize(rng_.index(line.size()));
+    truncated_.fetch_add(1, std::memory_order_relaxed);
+    obs::count("chaos.truncated");
+    return true;
+  }
+  if (!line.empty() && spec_.corrupt > 0.0 &&
+      rng_.bernoulli(spec_.corrupt)) {
+    const std::size_t at = rng_.index(line.size());
+    switch (rng_.index(3)) {
+      case 0:  // flip one bit
+        line[at] = static_cast<char>(
+            static_cast<unsigned char>(line[at]) ^
+            (1U << rng_.index(8)));
+        break;
+      case 1:  // splice in invalid UTF-8 junk
+        line.insert(at, "\xff\xfe\xf0\x9f");
+        break;
+      default:  // clobber with a structural character
+        line[at] = rng_.bernoulli(0.5) ? '{' : '"';
+        break;
+    }
+    corrupted_.fetch_add(1, std::memory_order_relaxed);
+    obs::count("chaos.corrupted");
+  }
+  return true;
+}
+
+void ChaosInjector::maybe_stall() {
+  if (spec_.stall <= 0.0 || spec_.stall_ms <= 0.0) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (spec_.stall_max >= 0 &&
+        stalls_.load(std::memory_order_relaxed) >= spec_.stall_max) {
+      return;
+    }
+    if (!rng_.bernoulli(spec_.stall)) {
+      return;
+    }
+    stalls_.fetch_add(1, std::memory_order_relaxed);
+  }
+  obs::count("chaos.stalls");
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(spec_.stall_ms));
+}
+
+void ChaosInjector::maybe_worker_crash() {
+  if (roll(spec_.crash)) {
+    crashes_.fetch_add(1, std::memory_order_relaxed);
+    obs::count("chaos.crashes");
+    throw ChaosCrash();
+  }
+}
+
+bool ChaosInjector::steal_sink_write() {
+  if (roll(spec_.sink_fail)) {
+    sink_failures_.fetch_add(1, std::memory_order_relaxed);
+    obs::count("chaos.sink_failures");
+    return true;
+  }
+  return false;
+}
+
+ChaosInjector::Stats ChaosInjector::stats() const {
+  Stats s;
+  s.dropped = dropped_.load(std::memory_order_relaxed);
+  s.truncated = truncated_.load(std::memory_order_relaxed);
+  s.corrupted = corrupted_.load(std::memory_order_relaxed);
+  s.stalls = stalls_.load(std::memory_order_relaxed);
+  s.crashes = crashes_.load(std::memory_order_relaxed);
+  s.sink_failures = sink_failures_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace cc::service

@@ -1,0 +1,117 @@
+#pragma once
+
+/// \file chaos.h
+/// Seeded fault injection for the service stack (docs/robustness.md).
+///
+/// A `ChaosSpec` is parsed from `--chaos=...` / the `CC_CHAOS`
+/// environment variable, e.g.
+///
+///   seed=7,drop=0.01,truncate=0.01,corrupt=0.02,stall=0.05,
+///   stall-ms=50,crash=0.005,sink-fail=0.01
+///
+/// and drives a `ChaosInjector` shared (non-owning) with the service:
+///  * wire faults — `mangle_line` drops, truncates, or byte-corrupts
+///    inbound request lines at the transport edge (ccs_serve read
+///    loop, bench harness), exercising the strict parser;
+///  * dispatch faults — `maybe_stall` sleeps inside a scheduler run
+///    (watchdog timeout fodder), `maybe_worker_crash` throws
+///    `ChaosCrash` so a dispatch worker genuinely dies and must be
+///    replaced by the watchdog supervisor;
+///  * sink faults — `steal_sink_write` tells the response sink to fail
+///    this write, exercising the service's sink-error tolerance.
+///
+/// All rolls come from one seeded `util::Rng` behind a mutex, so a
+/// given spec produces the same fault sequence for the same call
+/// order. Crash injection is only honored under watchdog supervision
+/// (an unsupervised dispatch wave has nobody to catch the corpse).
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.h"
+
+namespace cc::service {
+
+/// Thrown by `maybe_worker_crash`: simulates a dispatch worker dying
+/// mid-task. The watchdog treats it as a worker death (respawn +
+/// structured internal_error response), unlike ordinary exceptions.
+struct ChaosCrash : std::runtime_error {
+  ChaosCrash() : std::runtime_error("chaos: injected worker crash") {}
+};
+
+struct ChaosSpec {
+  std::uint64_t seed = 1;
+  double drop = 0.0;       ///< P(drop an inbound wire line)
+  double truncate = 0.0;   ///< P(truncate a wire line mid-byte)
+  double corrupt = 0.0;    ///< P(bit-flip / junk-splice a wire line)
+  double stall = 0.0;      ///< P(stall a scheduler dispatch)
+  double stall_ms = 50.0;  ///< injected stall duration
+  long stall_max = -1;     ///< cap on injected stalls; -1 = unlimited
+  double crash = 0.0;      ///< P(kill a supervised dispatch worker)
+  double sink_fail = 0.0;  ///< P(response sink write failure)
+
+  /// Strict "key=value,..." parser; throws util::AssertionError on an
+  /// unknown key, an unparseable value, or a probability outside [0,1].
+  [[nodiscard]] static ChaosSpec parse(const std::string& spec);
+
+  [[nodiscard]] bool any_wire() const {
+    return drop > 0.0 || truncate > 0.0 || corrupt > 0.0;
+  }
+  [[nodiscard]] bool any_dispatch() const {
+    return stall > 0.0 || crash > 0.0 || sink_fail > 0.0;
+  }
+};
+
+class ChaosInjector {
+ public:
+  struct Stats {
+    long dropped = 0;
+    long truncated = 0;
+    long corrupted = 0;
+    long stalls = 0;
+    long crashes = 0;
+    long sink_failures = 0;
+    [[nodiscard]] long total() const {
+      return dropped + truncated + corrupted + stalls + crashes +
+             sink_failures;
+    }
+  };
+
+  explicit ChaosInjector(ChaosSpec spec);
+
+  /// Wire edge: returns false when the line is dropped; may truncate or
+  /// corrupt `line` in place (at most one fault per line).
+  [[nodiscard]] bool mangle_line(std::string& line);
+
+  /// Dispatch edge: sleeps `stall_ms` with probability `stall` (until
+  /// `stall_max` stalls have fired).
+  void maybe_stall();
+
+  /// Dispatch edge: throws ChaosCrash with probability `crash`.
+  void maybe_worker_crash();
+
+  /// Sink edge: true = fail this response write.
+  [[nodiscard]] bool steal_sink_write();
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] const ChaosSpec& spec() const { return spec_; }
+
+ private:
+  /// One seeded Bernoulli roll (serialized for determinism).
+  [[nodiscard]] bool roll(double p);
+
+  ChaosSpec spec_;
+  mutable std::mutex mutex_;
+  util::Rng rng_;
+  std::atomic<long> dropped_{0};
+  std::atomic<long> truncated_{0};
+  std::atomic<long> corrupted_{0};
+  std::atomic<long> stalls_{0};
+  std::atomic<long> crashes_{0};
+  std::atomic<long> sink_failures_{0};
+};
+
+}  // namespace cc::service

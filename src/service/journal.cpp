@@ -1,0 +1,296 @@
+#include "service/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <algorithm>
+#include <fstream>
+#include <unordered_set>
+
+#include "core/io.h"
+#include "util/assert.h"
+
+namespace cc::service {
+
+namespace {
+
+constexpr std::uint8_t kMagic = 0xCC;
+constexpr std::uint8_t kRequestRecord = 1;
+constexpr std::uint8_t kCompleteRecord = 2;
+constexpr std::uint8_t kCheckpointRecord = 3;
+constexpr std::size_t kHeaderBytes = 10;  // magic + type + len + crc
+/// Sanity bound on a frame payload: a corrupt length field must not be
+/// trusted to allocate gigabytes. Wire lines are capped far below this.
+constexpr std::size_t kMaxPayloadBytes = std::size_t{64} << 20;
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1U) != 0 ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+std::uint32_t read_u32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint64_t read_u64(const unsigned char* p) {
+  return static_cast<std::uint64_t>(read_u32(p)) |
+         static_cast<std::uint64_t>(read_u32(p + 4)) << 32;
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v & 0xFFFFFFFFU));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+}  // namespace
+
+std::uint32_t journal_crc32(const void* data, std::size_t len) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = 0xFFFFFFFFU;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFU;
+}
+
+Journal::SyncMode Journal::sync_mode_from_string(const std::string& name) {
+  if (name == "always") {
+    return SyncMode::kAlways;
+  }
+  if (name == "batch") {
+    return SyncMode::kBatch;
+  }
+  if (name == "off") {
+    return SyncMode::kOff;
+  }
+  CC_EXPECTS(false, "unknown journal sync mode '" + name +
+                        "' (want always|batch|off)");
+  return SyncMode::kAlways;  // unreachable
+}
+
+JournalReplay Journal::scan(const std::string& path) {
+  JournalReplay replay;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    if (::access(path.c_str(), F_OK) == 0) {
+      throw core::IoError("journal: cannot read " + path);
+    }
+    return replay;  // missing journal == empty journal
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    throw core::IoError("journal: read failed on " + path);
+  }
+
+  // Requests in arrival order; settled seqs accumulated alongside.
+  std::vector<std::pair<std::uint64_t, std::string>> requests;
+  std::unordered_set<std::uint64_t> settled;
+
+  const auto* data = reinterpret_cast<const unsigned char*>(bytes.data());
+  std::size_t offset = 0;
+  while (true) {
+    if (bytes.size() - offset < kHeaderBytes) {
+      break;  // torn or empty tail
+    }
+    const unsigned char* frame = data + offset;
+    if (frame[0] != kMagic) {
+      break;
+    }
+    const std::uint8_t type = frame[1];
+    const std::size_t len = read_u32(frame + 2);
+    const std::uint32_t crc = read_u32(frame + 6);
+    if (len > kMaxPayloadBytes || len > bytes.size() - offset - kHeaderBytes) {
+      break;  // length field torn or corrupt
+    }
+    const unsigned char* payload = frame + kHeaderBytes;
+    if (journal_crc32(payload, len) != crc) {
+      break;
+    }
+    if ((type == kRequestRecord && len < 8) ||
+        ((type == kCompleteRecord || type == kCheckpointRecord) &&
+         len != 8)) {
+      break;  // structurally impossible payload: treat as corruption
+    }
+    switch (type) {
+      case kRequestRecord: {
+        const std::uint64_t seq = read_u64(payload);
+        requests.emplace_back(
+            seq, std::string(reinterpret_cast<const char*>(payload) + 8,
+                             len - 8));
+        ++replay.requests;
+        replay.max_seq = std::max(replay.max_seq, seq);
+        break;
+      }
+      case kCompleteRecord: {
+        const std::uint64_t seq = read_u64(payload);
+        settled.insert(seq);
+        ++replay.completes;
+        replay.max_seq = std::max(replay.max_seq, seq);
+        break;
+      }
+      case kCheckpointRecord: {
+        const std::uint64_t upto = read_u64(payload);
+        replay.checkpoint = std::max(replay.checkpoint, upto);
+        replay.max_seq = std::max(replay.max_seq, upto);
+        break;
+      }
+      default:
+        // Unknown record type: written by a future version or corrupt.
+        // Either way nothing after it can be trusted.
+        replay.torn_bytes = bytes.size() - offset;
+        replay.valid_bytes = offset;
+        replay.records = replay.requests + replay.completes;
+        return replay;
+    }
+    ++replay.records;
+    offset += kHeaderBytes + len;
+  }
+  replay.valid_bytes = offset;
+  replay.torn_bytes = bytes.size() - offset;
+
+  for (auto& [seq, line] : requests) {
+    if (seq > replay.checkpoint && settled.find(seq) == settled.end()) {
+      replay.incomplete.emplace_back(seq, std::move(line));
+    }
+  }
+  return replay;
+}
+
+Journal::Journal(std::string path, SyncMode mode)
+    : path_(std::move(path)), mode_(mode), recovered_(scan(path_)) {
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd_ < 0) {
+    throw core::IoError("journal: cannot open " + path_ + ": " +
+                        std::strerror(errno));
+  }
+  // Drop the torn tail so new frames start on a valid boundary.
+  if (::ftruncate(fd_, static_cast<off_t>(recovered_.valid_bytes)) != 0 ||
+      ::lseek(fd_, 0, SEEK_END) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw core::IoError("journal: cannot position " + path_ + ": " + err);
+  }
+  next_seq_ = recovered_.max_seq + 1;
+}
+
+Journal::~Journal() {
+  if (fd_ >= 0) {
+    if (mode_ != SyncMode::kOff) {
+      ::fsync(fd_);
+    }
+    ::close(fd_);
+  }
+}
+
+std::uint64_t Journal::append_request(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t seq = next_seq_++;
+  std::string payload;
+  payload.reserve(8 + line.size());
+  put_u64(payload, seq);
+  payload.append(line);
+  append_frame(kRequestRecord, payload, /*durable=*/true);
+  ++outstanding_;
+  return seq;
+}
+
+void Journal::append_complete(std::uint64_t seq) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string payload;
+  put_u64(payload, seq);
+  append_frame(kCompleteRecord, payload, /*durable=*/false);
+  if (outstanding_ > 0) {
+    --outstanding_;
+  }
+}
+
+void Journal::append_checkpoint(std::uint64_t upto) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string payload;
+  put_u64(payload, upto);
+  append_frame(kCheckpointRecord, payload, /*durable=*/true);
+}
+
+void Journal::sync() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ >= 0 && mode_ == SyncMode::kBatch) {
+    ::fsync(fd_);
+  }
+}
+
+void Journal::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) {
+    return;
+  }
+  if (::ftruncate(fd_, 0) != 0 || ::lseek(fd_, 0, SEEK_SET) < 0) {
+    throw core::IoError("journal: cannot reset " + path_ + ": " +
+                        std::strerror(errno));
+  }
+  if (mode_ != SyncMode::kOff) {
+    ::fsync(fd_);
+  }
+}
+
+std::uint64_t Journal::outstanding() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return outstanding_;
+}
+
+void Journal::append_frame(std::uint8_t type, const std::string& payload,
+                           bool durable) {
+  CC_ASSERT(fd_ >= 0, "journal used after open failure");
+  std::string frame;
+  frame.reserve(kHeaderBytes + payload.size());
+  frame.push_back(static_cast<char>(kMagic));
+  frame.push_back(static_cast<char>(type));
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u32(frame, journal_crc32(payload.data(), payload.size()));
+  frame.append(payload);
+
+  const char* p = frame.data();
+  std::size_t left = frame.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw core::IoError("journal: write failed on " + path_ + ": " +
+                          std::strerror(errno));
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (durable && mode_ == SyncMode::kAlways) {
+    if (::fsync(fd_) != 0) {
+      throw core::IoError("journal: fsync failed on " + path_ + ": " +
+                          std::strerror(errno));
+    }
+  }
+}
+
+}  // namespace cc::service

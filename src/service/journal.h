@@ -1,0 +1,130 @@
+#pragma once
+
+/// \file journal.h
+/// Crash-safe write-ahead journal for the charging service.
+///
+/// Every admitted request is appended as a framed record *before* the
+/// service acknowledges admission; a completion record is appended when
+/// its response is handed to the sink. After a crash, `scan()` (or the
+/// constructor) replays the file and reports the requests that were
+/// admitted but never answered — `ccs_serve --journal` resubmits them
+/// on restart, so an accepted request is never lost (at-least-once:
+/// a crash between the response and its completion record makes the
+/// request replay once more; client-side idempotent IDs and the server
+/// dedup window absorb the duplicate).
+///
+/// On-disk format — a flat sequence of frames, no header:
+///
+///   [magic 0xCC][type u8][len u32 LE][crc32 u32 LE][payload len bytes]
+///
+/// with payloads
+///   kRequest    u64 seq LE + the request's JSON wire line
+///   kComplete   u64 seq LE              (seq answered)
+///   kCheckpoint u64 seq LE              (every seq <= value settled)
+///
+/// The CRC (IEEE 802.3, over the payload) plus the magic byte make the
+/// scan torn-tail tolerant: the first frame that fails to parse ends
+/// the valid prefix, and everything after it is treated as a torn
+/// write and truncated on reopen. Committed frames are never lost —
+/// `append_request` fsyncs before returning in `SyncMode::kAlways`
+/// (the durability point of admission); completion records ride the
+/// next sync, since losing one only causes a harmless duplicate
+/// replay.
+///
+/// Thread-safe: appends are serialized by an internal mutex.
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cc::service {
+
+/// Result of scanning a journal file at boot.
+struct JournalReplay {
+  /// Admitted-but-unanswered requests in admission order: (seq, line).
+  std::vector<std::pair<std::uint64_t, std::string>> incomplete;
+  std::uint64_t max_seq = 0;     ///< highest sequence number seen
+  std::uint64_t checkpoint = 0;  ///< highest checkpoint (seqs <= settled)
+  std::size_t records = 0;       ///< valid frames of any type
+  std::size_t requests = 0;
+  std::size_t completes = 0;
+  std::size_t valid_bytes = 0;  ///< offset just past the last valid frame
+  std::size_t torn_bytes = 0;   ///< trailing bytes dropped as torn
+};
+
+class Journal {
+ public:
+  enum class SyncMode {
+    kAlways,  ///< fsync inside append_request (durable admission)
+    kBatch,   ///< fsync only on explicit sync() (per dispatch wave)
+    kOff,     ///< never fsync (tests; page cache only)
+  };
+
+  /// "always" | "batch" | "off"; throws util::AssertionError otherwise.
+  [[nodiscard]] static SyncMode sync_mode_from_string(
+      const std::string& name);
+
+  /// Read-only scan of `path`. A missing file yields an empty replay;
+  /// corruption or a torn tail ends the valid prefix without throwing.
+  /// Throws core::IoError only if the file exists but cannot be read.
+  [[nodiscard]] static JournalReplay scan(const std::string& path);
+
+  /// Opens (creating if absent) `path` for appending: scans it,
+  /// truncates any torn tail, and positions new sequence numbers after
+  /// the recovered maximum. Throws core::IoError on open failure.
+  explicit Journal(std::string path, SyncMode mode = SyncMode::kAlways);
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// What the constructor's scan recovered (stable for the lifetime).
+  [[nodiscard]] const JournalReplay& recovered() const { return recovered_; }
+
+  /// Appends a request record and returns its sequence number. In
+  /// kAlways mode the record is fsync'd before returning — once this
+  /// returns, the request survives a crash. Throws core::IoError if
+  /// the write fails (callers must then refuse the request).
+  [[nodiscard]] std::uint64_t append_request(const std::string& line);
+
+  /// Marks `seq` answered. Not individually fsync'd in any mode.
+  void append_complete(std::uint64_t seq);
+
+  /// Marks every seq <= `upto` settled — written after the recovered
+  /// backlog has been resubmitted (under fresh seqs), so a crash
+  /// mid-replay duplicates work instead of losing it.
+  void append_checkpoint(std::uint64_t upto);
+
+  /// Flushes pending records to disk (no-op in kOff mode).
+  void sync();
+
+  /// Truncates the journal to empty. Safe only when nothing is
+  /// outstanding; the service calls this on a clean drained shutdown
+  /// so restarts do not rescan settled history.
+  void reset();
+
+  /// Requests appended minus completions appended by *this* process.
+  [[nodiscard]] std::uint64_t outstanding() const;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  void append_frame(std::uint8_t type, const std::string& payload,
+                    bool durable);
+
+  std::string path_;
+  SyncMode mode_;
+  int fd_ = -1;
+  mutable std::mutex mutex_;
+  JournalReplay recovered_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t outstanding_ = 0;
+};
+
+/// CRC-32 (IEEE 802.3, reflected) over `data` — exposed for tests.
+[[nodiscard]] std::uint32_t journal_crc32(const void* data, std::size_t len);
+
+}  // namespace cc::service

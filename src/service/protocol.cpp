@@ -1,11 +1,13 @@
 #include "service/protocol.h"
 
 #include <cmath>
+#include <cstdint>
 #include <set>
 #include <sstream>
 #include <utility>
 
 #include "obs/json.h"
+#include "service/journal.h"  // journal_crc32: the shared CRC-32
 
 namespace cc::service {
 
@@ -144,7 +146,7 @@ std::string parse_line(const std::string& line, ParsedLine& out) {
   }
 
   static const std::set<std::string> kKeys = {
-      "id", "algo", "scheme", "deadline_ms", "budget", "devices"};
+      "id", "algo", "scheme", "deadline_ms", "budget", "devices", "ck"};
   for (const auto& [key, member] : doc.object) {
     (void)member;
     if (!kKeys.contains(key)) {
@@ -194,6 +196,24 @@ std::string parse_line(const std::string& line, ParsedLine& out) {
       return err;
     }
     request.devices.push_back(device);
+  }
+
+  // End-to-end integrity: `ck` is the CRC-32 of the canonical
+  // serialization of the content. Because doubles round-trip exactly,
+  // re-serializing the parsed request reproduces the sender's bytes —
+  // unless corruption altered a value while keeping the JSON valid.
+  if (doc.has("ck")) {
+    const JsonValue& ck = doc.at("ck");
+    double raw = 0.0;
+    if (!finite_number(ck, raw) || raw < 0.0 || raw > 4294967295.0 ||
+        raw != std::floor(raw)) {
+      return "field 'ck' must be a CRC-32 integer";
+    }
+    const std::string canonical = to_json_line(request);
+    if (journal_crc32(canonical.data(), canonical.size()) !=
+        static_cast<std::uint32_t>(raw)) {
+      return "checksum_mismatch: content does not match 'ck'";
+    }
   }
   return "";
 }
@@ -263,6 +283,16 @@ std::string to_json_line(const Request& r) {
   }
   out << "]}";
   return out.str();
+}
+
+std::string to_checksummed_line(const Request& r) {
+  std::string line = to_json_line(r);
+  const std::uint32_t crc = journal_crc32(line.data(), line.size());
+  line.pop_back();  // reopen the object
+  line += ",\"ck\":";
+  line += std::to_string(crc);
+  line += '}';
+  return line;
 }
 
 Response parse_response(const std::string& line) {

@@ -20,6 +20,16 @@
 /// are all rejected with a reason — never coerced (an untrusted request
 /// must not silently drive the scheduler with garbage).
 ///
+/// End-to-end integrity: an optional trailing `"ck"` field carries the
+/// CRC-32 of the request's canonical serialization (what
+/// `to_json_line(Request)` produces for the parsed content). The server
+/// recomputes it after parsing and rejects a mismatch
+/// (`checksum_mismatch`) — the defense against wire corruption that
+/// happens to keep the JSON parseable (a flipped digit inside a
+/// coordinate), which would otherwise be scheduled as a subtly
+/// different instance. `ccs_client` always sends it; hand-crafted lines
+/// without `ck` are accepted unverified.
+///
 /// Control lines share the stream: {"cmd":"stats"} and
 /// {"cmd":"shutdown"}.
 ///
@@ -107,6 +117,11 @@ struct Response {
 /// Serializes a request as one JSON line (client side; omits fields
 /// left at their defaults so the strict parser round-trips it).
 [[nodiscard]] std::string to_json_line(const Request& request);
+
+/// `to_json_line` plus the trailing `"ck"` integrity field (CRC-32 of
+/// the plain serialization). Parseable-but-corrupted copies of the
+/// line are rejected by the server instead of silently scheduled.
+[[nodiscard]] std::string to_checksummed_line(const Request& request);
 
 /// Parses a response line (client `--check` path). Throws
 /// `obs::JsonError` on malformed input.

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <thread>
 #include <utility>
 
 #include "core/cost_model.h"
+#include "core/io.h"
 #include "obs/registry.h"
 #include "obs/span.h"
 #include "util/assert.h"
@@ -36,6 +38,18 @@ ChargingService::ChargingService(std::vector<core::Charger> chargers,
   if (options_.cache) {
     cache_ = std::make_unique<cache::ScheduleCache>(options_.cache_options);
   }
+  chaos_ = options_.chaos;
+  if (!options_.journal_path.empty()) {
+    journal_ = std::make_unique<Journal>(options_.journal_path,
+                                         options_.journal_sync);
+  }
+  if (options_.request_timeout_ms > 0.0) {
+    Watchdog::Options wd;
+    wd.workers = options_.watchdog_workers > 0
+                     ? options_.watchdog_workers
+                     : std::max<std::size_t>(options_.batch_max, 1);
+    watchdog_ = std::make_unique<Watchdog>(wd, chaos_);
+  }
   worker_ = std::thread([this] { worker_loop(); });
 }
 
@@ -54,6 +68,10 @@ bool ChargingService::submit_line(const std::string& line) {
       ++stats_.received;
     }
     Response response;
+    // Echo the id when the parse got far enough to extract one (e.g. a
+    // checksum_mismatch) so a retrying client can match the rejection
+    // to its in-flight request instead of waiting for a timeout.
+    response.id = parsed.request.id;
     response.status = "rejected";
     response.reason = "malformed: " + error;
     respond(response);
@@ -86,6 +104,12 @@ void ChargingService::submit(Request request) {
 
   if (!accepting_.load(std::memory_order_relaxed)) {
     reject(std::move(rejection), "shutting_down");
+    return;
+  }
+  // Idempotent retry: an id the dedup window has already answered is
+  // re-answered from memory, without scheduling or journaling again.
+  if (options_.dedup_window > 0 && !request.id.empty() &&
+      try_respond_from_dedup(request.id)) {
     return;
   }
   if (static_cast<int>(request.devices.size()) >
@@ -134,7 +158,23 @@ void ChargingService::submit(Request request) {
   pending.deadline_ms = request.deadline_ms > 0.0
                             ? request.deadline_ms
                             : options_.default_deadline_ms;
+
+  // Durability point: the request hits the journal (fsync-gated)
+  // *before* admission, so anything the queue accepts survives a
+  // crash. A failed journal write refuses the request — accepting it
+  // without durability would break the replay guarantee.
+  if (journal_ != nullptr) {
+    try {
+      pending.journal_seq = journal_->append_request(to_json_line(request));
+    } catch (const std::exception& e) {
+      obs::count("service.journal.append_failed");
+      reject(std::move(rejection),
+             std::string("journal_write_failed: ") + e.what());
+      return;
+    }
+  }
   pending.request = std::move(request);
+  const std::uint64_t journal_seq = pending.journal_seq;
 
   switch (queue_.try_push(std::move(pending))) {
     case AdmitResult::kAccepted: {
@@ -154,10 +194,12 @@ void ChargingService::submit(Request request) {
       return;
     }
     case AdmitResult::kQueueFull:
-      reject(std::move(rejection), "queue_full");
+      // The rejection is this request's final answer; it settles the
+      // journal entry so a restart will not replay a shed request.
+      reject(std::move(rejection), "queue_full", journal_seq);
       return;
     case AdmitResult::kClosed:
-      reject(std::move(rejection), "shutting_down");
+      reject(std::move(rejection), "shutting_down", journal_seq);
       return;
   }
 }
@@ -170,6 +212,24 @@ void ChargingService::shutdown(bool drain) {
     if (worker_.joinable()) {
       worker_.join();
     }
+    // The watchdog stays alive until destruction (declared last, so
+    // destroyed first): an abandoned stalled task may still be
+    // running, and joining it here would serialize shutdown behind
+    // the stall for no benefit — it no longer touches the journal or
+    // the sink once its waiter has timed out.
+    if (journal_ != nullptr) {
+      // A clean drained shutdown leaves nothing to replay; truncating
+      // here keeps restarts from rescanning settled history. Anything
+      // still outstanding (recovered backlog never replayed, or a
+      // sink that swallowed responses) keeps the journal intact.
+      journal_->sync();
+      const bool backlog_settled =
+          journal_->recovered().incomplete.empty() ||
+          replayed_recovered_.load(std::memory_order_relaxed);
+      if (journal_->outstanding() == 0 && backlog_settled) {
+        journal_->reset();
+      }
+    }
   });
 }
 
@@ -180,6 +240,114 @@ ServiceStats ChargingService::stats() const {
 
 cache::CacheStats ChargingService::cache_stats() const {
   return cache_ != nullptr ? cache_->stats() : cache::CacheStats{};
+}
+
+Watchdog::Stats ChargingService::watchdog_stats() const {
+  return watchdog_ != nullptr ? watchdog_->stats() : Watchdog::Stats{};
+}
+
+std::size_t ChargingService::replay_recovered() {
+  if (journal_ == nullptr) {
+    return 0;
+  }
+  const JournalReplay& recovered = journal_->recovered();
+  if (recovered.incomplete.empty()) {
+    return 0;
+  }
+  std::size_t resubmitted = 0;
+  for (const auto& [seq, line] : recovered.incomplete) {
+    (void)seq;
+    ParsedLine parsed;
+    const std::string error = parse_line(line, parsed);
+    if (!error.empty() || parsed.kind != LineKind::kRequest) {
+      // A request that journaled cleanly but no longer parses means
+      // the format changed under us; surface it rather than crash.
+      obs::count("service.journal.replay_unparseable");
+      continue;
+    }
+    // Replay must not be shed by backpressure: the queue is briefly
+    // waited out instead (the dispatch worker is already draining it).
+    while (queue_depth() >= options_.queue_capacity &&
+           accepting_.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    submit(std::move(parsed.request));
+    ++resubmitted;
+  }
+  // The old backlog is now re-journaled under fresh sequence numbers;
+  // checkpointing the recovered range keeps a crash between here and
+  // their completions from replaying the *old* records again
+  // (duplicates are bounded, loss is impossible).
+  journal_->append_checkpoint(recovered.max_seq);
+  replayed_recovered_.store(true, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.replayed += static_cast<long>(resubmitted);
+  }
+  obs::count("service.journal.replayed",
+             static_cast<std::int64_t>(resubmitted));
+  return resubmitted;
+}
+
+bool ChargingService::try_respond_from_dedup(const std::string& id) {
+  Response stored;
+  {
+    std::lock_guard<std::mutex> lock(dedup_mutex_);
+    const auto it = dedup_by_id_.find(id);
+    if (it == dedup_by_id_.end()) {
+      return false;
+    }
+    stored = it->second;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.deduped;
+  }
+  obs::count("service.deduped");
+  // Re-emission only: the original response already did the stats /
+  // journal accounting for this id.
+  std::lock_guard<std::mutex> lock(sink_mutex_);
+  try {
+    if (chaos_ != nullptr && chaos_->steal_sink_write()) {
+      throw core::IoError("chaos: injected sink failure");
+    }
+    sink_(stored);
+  } catch (const std::exception&) {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.sink_errors;
+    obs::count("service.sink_errors");
+  }
+  return true;
+}
+
+void ChargingService::store_dedup(const Response& response) {
+  if (options_.dedup_window == 0 || response.id.empty() ||
+      response.status == "stats") {
+    return;
+  }
+  // Only settled outcomes are idempotent: an "ok" or a permanent
+  // rejection re-answers a retry verbatim. Transient outcomes (watchdog
+  // timeouts, internal errors, overload/shutdown rejections) must NOT
+  // be remembered — the whole point of the retry is to reschedule.
+  // Malformed rejections (including checksum_mismatch) describe the
+  // corrupted wire line, not the request the id names — never remember
+  // them, or a clean retry would be re-answered with the rejection.
+  if (response.status == "error" || response.reason == "queue_full" ||
+      response.reason == "shutting_down" ||
+      response.reason.starts_with("malformed")) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(dedup_mutex_);
+  const auto [it, inserted] = dedup_by_id_.insert_or_assign(
+      response.id, response);
+  (void)it;
+  if (inserted) {
+    dedup_order_.push_back(response.id);
+    while (dedup_order_.size() > options_.dedup_window) {
+      dedup_by_id_.erase(dedup_order_.front());
+      dedup_order_.pop_front();
+    }
+  }
 }
 
 void ChargingService::emit_stats() { respond(stats_response()); }
@@ -199,11 +367,14 @@ void ChargingService::worker_loop() {
         Response response;
         response.id = pending.request.id;
         response.status = "rejected";
-        reject(std::move(response), "shutting_down");
+        reject(std::move(response), "shutting_down", pending.journal_seq);
       }
       continue;
     }
     process_batch(std::move(batch));
+    if (journal_ != nullptr) {
+      journal_->sync();  // batch-mode durability point (no-op otherwise)
+    }
   }
 }
 
@@ -236,7 +407,7 @@ void ChargingService::process_batch(std::vector<PendingRequest> batch) {
       response.id = pending.request.id;
       response.status = "rejected";
       response.queue_ms = queue_ms;
-      reject(std::move(response), "deadline_expired");
+      reject(std::move(response), "deadline_expired", pending.journal_seq);
       continue;
     }
     live.push_back(&pending);
@@ -246,15 +417,40 @@ void ChargingService::process_batch(std::vector<PendingRequest> batch) {
   }
 
   if (!options_.coalesce) {
-    // Each request is its own instance (offline-equivalent); the wave
-    // fans out through the process-wide pool, worker participating.
     const int batch_size = static_cast<int>(live.size());
+    if (watchdog_ != nullptr) {
+      // Supervised wave: each request runs under its own wall-clock
+      // deadline. Tasks copy their PendingRequest — an abandoned
+      // (timed-out) run may still be executing after this batch's
+      // storage is gone.
+      std::vector<Watchdog::Ticket> tickets;
+      tickets.reserve(live.size());
+      for (const PendingRequest* pending : live) {
+        tickets.push_back(watchdog_->submit(
+            pending->request.id, options_.request_timeout_ms,
+            [this, copy = *pending, batch_size] {
+              return serve_one(copy, batch_size);
+            }));
+      }
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        Response response = watchdog_->wait(tickets[i]);
+        if (response.status == "error" &&
+            response.reason.starts_with("timeout")) {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.timeouts;
+        }
+        respond(response, live[i]->journal_seq);
+      }
+      return;
+    }
+    // Unsupervised wave (offline-equivalent): fans out through the
+    // process-wide pool, worker participating.
     const std::vector<Response> responses = util::parallel_map(
         live.size(), [this, &live, batch_size](std::size_t i) {
           return serve_one(*live[i], batch_size);
         });
-    for (const Response& response : responses) {
-      respond(response);
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+      respond(responses[i], live[i]->journal_seq);
     }
     return;
   }
@@ -271,7 +467,8 @@ void ChargingService::process_batch(std::vector<PendingRequest> batch) {
   for (const auto& [key, group] : groups) {
     (void)key;
     if (group.size() == 1) {
-      respond(serve_one(*group.front(), static_cast<int>(live.size())));
+      respond(serve_one(*group.front(), static_cast<int>(live.size())),
+              group.front()->journal_seq);
     } else {
       serve_coalesced(group);
     }
@@ -288,6 +485,9 @@ Response ChargingService::serve_one(const PendingRequest& pending,
   response.batch_size = batch_size;
   response.queue_ms = ms_since(pending.enqueued_at);
   try {
+    if (chaos_ != nullptr) {
+      chaos_->maybe_stall();  // injected scheduler stall (watchdog bait)
+    }
     const core::Instance instance =
         build_instance(request, chargers_, params_);
 
@@ -483,8 +683,8 @@ void ChargingService::serve_coalesced(
       response.coalitions.clear();
     }
   }
-  for (const Response& response : responses) {
-    respond(response);
+  for (std::size_t r = 0; r < group.size(); ++r) {
+    respond(responses[r], group[r]->journal_seq);
   }
 }
 
@@ -516,6 +716,24 @@ Response ChargingService::stats_response() const {
       {"queue_depth", static_cast<long>(queue_.depth())},
       {"queue_peak", static_cast<long>(queue_.high_watermark())},
   };
+  if (options_.dedup_window > 0) {
+    response.stats.emplace_back("deduped", s.deduped);
+  }
+  if (journal_ != nullptr) {
+    response.stats.emplace_back("replayed", s.replayed);
+    response.stats.emplace_back(
+        "journal_outstanding", static_cast<long>(journal_->outstanding()));
+  }
+  if (watchdog_ != nullptr) {
+    const Watchdog::Stats w = watchdog_->stats();
+    response.stats.emplace_back("watchdog_timeouts", w.timeouts);
+    response.stats.emplace_back("watchdog_stalls", w.stalls_detected);
+    response.stats.emplace_back("watchdog_replaced", w.workers_replaced);
+    response.stats.emplace_back("watchdog_crashes", w.worker_crashes);
+  }
+  if (s.sink_errors > 0) {
+    response.stats.emplace_back("sink_errors", s.sink_errors);
+  }
   if (cache_ != nullptr) {
     const cache::CacheStats c = cache_->stats();
     response.stats.emplace_back("cache_hits", static_cast<long>(c.hits));
@@ -528,13 +746,15 @@ Response ChargingService::stats_response() const {
   return response;
 }
 
-void ChargingService::reject(Response response, const std::string& reason) {
+void ChargingService::reject(Response response, const std::string& reason,
+                             std::uint64_t journal_seq) {
   response.status = "rejected";
   response.reason = reason;
-  respond(response);
+  respond(response, journal_seq);
 }
 
-void ChargingService::respond(const Response& response) {
+void ChargingService::respond(const Response& response,
+                              std::uint64_t journal_seq) {
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     if (response.status == "ok") {
@@ -567,8 +787,30 @@ void ChargingService::respond(const Response& response) {
   } else if (response.status == "error") {
     obs::count("service.errors");
   }
+  // Settle the journal entry *before* the sink write: if the process
+  // dies after this point the response may be lost on the wire, but
+  // the request is answered as far as replay is concerned — a
+  // retrying client re-fetches it (dedup window / schedule cache)
+  // rather than the journal re-running it.
+  if (journal_ != nullptr && journal_seq != 0) {
+    journal_->append_complete(journal_seq);
+  }
+  store_dedup(response);
   std::lock_guard<std::mutex> lock(sink_mutex_);
-  sink_(response);
+  try {
+    if (chaos_ != nullptr && response.status != "stats" &&
+        chaos_->steal_sink_write()) {
+      throw core::IoError("chaos: injected sink failure");
+    }
+    sink_(response);
+  } catch (const std::exception&) {
+    // A failing sink must not kill dispatch: count it and move on.
+    // The response stays available via the dedup window, and the
+    // journal has already settled this request.
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.sink_errors;
+    obs::count("service.sink_errors");
+  }
 }
 
 }  // namespace cc::service

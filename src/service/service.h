@@ -37,9 +37,28 @@
 /// peak gauges, `service.queue_ms` / `service.latency_ms` histograms,
 /// and `service.admit` / `service.batch` spans around the pipeline
 /// stages (scheduler spans nest inside via the instrumented registry).
+///
+/// Fault tolerance (docs/robustness.md):
+///  * `journal_path` arms a crash-safe write-ahead journal: admission
+///    is durable before it is acknowledged, every response writes a
+///    completion record, and `replay_recovered()` resubmits the
+///    incomplete backlog after a crash (at-least-once semantics).
+///  * `request_timeout_ms` arms the dispatch watchdog: a stalled or
+///    crashing scheduler run yields a structured `timeout` /
+///    `internal_error` response at the deadline instead of wedging
+///    the dispatch wave (`service.watchdog.*` counters).
+///  * `dedup_window` remembers the last N responses by request id, so
+///    a client retry of an already-answered id is re-answered from
+///    memory — ids are idempotency keys. Content-identical repeats
+///    under fresh ids are deduplicated by the schedule cache instead.
+///  * Sink write failures are absorbed (`service.sink_errors`): the
+///    journal keeps the request replayable and a retrying client
+///    re-fetches the response; the service never dies on a sink.
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -53,7 +72,10 @@
 #include "core/scheduler.h"
 #include "core/sharing.h"
 #include "service/admission.h"
+#include "service/chaos.h"
+#include "service/journal.h"
 #include "service/protocol.h"
+#include "service/watchdog.h"
 
 namespace cc::service {
 
@@ -71,6 +93,19 @@ struct ServiceOptions {
   /// bypass it (a merged instance is not any request's instance).
   bool cache = false;
   cache::CacheOptions cache_options;
+  /// Write-ahead journal path; empty = no journal. See journal.h.
+  std::string journal_path;
+  Journal::SyncMode journal_sync = Journal::SyncMode::kAlways;
+  /// Per-request dispatch deadline enforced by the watchdog; 0 = no
+  /// watchdog (dispatch runs unsupervised through the thread pool).
+  double request_timeout_ms = 0.0;
+  /// Watchdog pool size; 0 = match batch_max so a full wave never
+  /// queues behind itself.
+  std::size_t watchdog_workers = 0;
+  /// Responses remembered for idempotent retry dedup; 0 = off.
+  std::size_t dedup_window = 0;
+  /// Optional fault injector (non-owning; must outlive the service).
+  ChaosInjector* chaos = nullptr;
 };
 
 /// Monotone request accounting (also exported as obs counters).
@@ -83,8 +118,12 @@ struct ServiceStats {
   long rejected_deadline = 0;
   long rejected_invalid = 0;  ///< unknown algo/scheme, size cap, shutdown
   long rejected_over_budget = 0;
-  long errors = 0;
+  long errors = 0;    ///< status "error" responses (incl. timeouts)
   long batches = 0;
+  long timeouts = 0;     ///< watchdog deadline expirations (⊂ errors)
+  long deduped = 0;      ///< retries answered from the dedup window
+  long sink_errors = 0;  ///< response sink writes that failed
+  long replayed = 0;     ///< journal-recovered requests resubmitted
 
   [[nodiscard]] long rejected_total() const noexcept {
     return rejected_malformed + rejected_overload + rejected_deadline +
@@ -131,9 +170,19 @@ class ChargingService {
   /// heartbeat of ccs_serve calls this periodically.
   void emit_stats();
 
+  /// Resubmits the requests the journal recovered as admitted-but-
+  /// unanswered (each re-journaled under a fresh sequence number, then
+  /// the old backlog is checkpointed). Call once, after construction
+  /// and before feeding new traffic. Returns the number resubmitted.
+  std::size_t replay_recovered();
+
   [[nodiscard]] ServiceStats stats() const;
   /// Zeroed stats when the cache is disabled.
   [[nodiscard]] cache::CacheStats cache_stats() const;
+  /// Zeroed stats when the watchdog is disabled.
+  [[nodiscard]] Watchdog::Stats watchdog_stats() const;
+  /// Null when journaling is disabled.
+  [[nodiscard]] const Journal* journal() const { return journal_.get(); }
   [[nodiscard]] std::size_t queue_depth() const { return queue_.depth(); }
   [[nodiscard]] std::size_t queue_high_watermark() const {
     return queue_.high_watermark();
@@ -162,8 +211,16 @@ class ChargingService {
   void serve_coalesced(const std::vector<const PendingRequest*>& group);
   [[nodiscard]] const core::Scheduler* scheduler_for(const std::string& algo);
   [[nodiscard]] Response stats_response() const;
-  void reject(Response response, const std::string& reason);
-  void respond(const Response& response);
+  void reject(Response response, const std::string& reason,
+              std::uint64_t journal_seq = 0);
+  /// Emits a response: journals the completion of `journal_seq` (when
+  /// nonzero) *before* the sink write, stores it in the dedup window,
+  /// and absorbs sink failures.
+  void respond(const Response& response, std::uint64_t journal_seq = 0);
+  /// Re-emits a stored response for a retried id; returns false when
+  /// the id is unknown to the dedup window.
+  [[nodiscard]] bool try_respond_from_dedup(const std::string& id);
+  void store_dedup(const Response& response);
 
   std::vector<core::Charger> chargers_;
   core::CostParams params_;
@@ -183,6 +240,18 @@ class ChargingService {
   mutable std::mutex stats_mutex_;
   ServiceStats stats_;
   std::mutex sink_mutex_;
+
+  std::unique_ptr<Journal> journal_;  ///< null when disabled
+  std::atomic<bool> replayed_recovered_{false};
+  ChaosInjector* chaos_ = nullptr;    ///< non-owning; may be null
+
+  mutable std::mutex dedup_mutex_;
+  std::map<std::string, Response> dedup_by_id_;
+  std::deque<std::string> dedup_order_;
+
+  /// Declared last: its destructor joins dispatch threads that may
+  /// still touch every member above (abandoned stalled tasks).
+  std::unique_ptr<Watchdog> watchdog_;
 };
 
 }  // namespace cc::service

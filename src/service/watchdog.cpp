@@ -1,0 +1,285 @@
+#include "service/watchdog.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "obs/registry.h"
+#include "obs/span.h"
+
+namespace cc::service {
+
+Watchdog::Watchdog(Options options, ChaosInjector* chaos)
+    : options_(options), chaos_(chaos) {
+  options_.workers = std::max<std::size_t>(options_.workers, 1);
+  options_.poll_ms = std::max(options_.poll_ms, 0.5);
+  {
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    for (std::size_t i = 0; i < options_.workers; ++i) {
+      spawn_worker_locked();
+    }
+  }
+  supervisor_ = std::thread([this] { supervisor_loop(); });
+}
+
+Watchdog::~Watchdog() {
+  // Stop the supervisor first so nothing respawns workers while the
+  // pool is being torn down.
+  {
+    std::lock_guard<std::mutex> lock(supervisor_mutex_);
+    stop_supervisor_ = true;
+  }
+  supervisor_cv_.notify_all();
+  if (supervisor_.joinable()) {
+    supervisor_.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    closed_ = true;
+  }
+  queue_cv_.notify_all();
+  std::lock_guard<std::mutex> lock(workers_mutex_);
+  for (Worker& worker : workers_) {
+    if (worker.thread.joinable()) {
+      worker.thread.join();
+    }
+  }
+  workers_.clear();
+}
+
+Watchdog::Ticket Watchdog::submit(std::string id, double timeout_ms,
+                                  Task task) {
+  auto state = std::make_shared<TaskState>();
+  state->id = std::move(id);
+  state->task = std::move(task);
+  state->timeout_ms = timeout_ms;
+  if (timeout_ms > 0.0) {
+    state->deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(timeout_ms));
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_.push_back(state);
+  }
+  queue_cv_.notify_one();
+  return state;
+}
+
+Response Watchdog::wait(const Ticket& ticket) {
+  TaskState& state = *ticket;
+  std::unique_lock<std::mutex> lock(state.mutex);
+  if (state.timeout_ms <= 0.0) {
+    state.cv.wait(lock, [&state] { return state.done; });
+    return std::move(state.response);
+  }
+  if (!state.cv.wait_until(lock, state.deadline,
+                           [&state] { return state.done; })) {
+    // Deadline passed: abandon the task. Whatever the worker is still
+    // computing will be discarded; the client gets a structured
+    // timeout *now*, at the deadline.
+    state.abandoned = true;
+    timeouts_.fetch_add(1, std::memory_order_relaxed);
+    obs::count("service.watchdog.timeouts");
+    Response response;
+    response.id = state.id;
+    response.status = "error";
+    response.reason =
+        "timeout after " +
+        std::to_string(std::llround(state.timeout_ms)) + " ms";
+    return response;
+  }
+  return std::move(state.response);
+}
+
+Watchdog::Stats Watchdog::stats() const {
+  Stats s;
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.timeouts = timeouts_.load(std::memory_order_relaxed);
+  s.worker_crashes = worker_crashes_.load(std::memory_order_relaxed);
+  s.stalls_detected = stalls_detected_.load(std::memory_order_relaxed);
+  s.workers_replaced = workers_replaced_.load(std::memory_order_relaxed);
+  s.results_discarded = results_discarded_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t Watchdog::live_workers() const {
+  std::lock_guard<std::mutex> lock(workers_mutex_);
+  std::size_t live = 0;
+  for (const Worker& worker : workers_) {
+    if (!worker.slot->exited.load(std::memory_order_relaxed)) {
+      ++live;
+    }
+  }
+  return live;
+}
+
+Watchdog::Ticket Watchdog::pop_task() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  queue_cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) {
+    return nullptr;  // closed and drained
+  }
+  Ticket ticket = std::move(queue_.front());
+  queue_.pop_front();
+  return ticket;
+}
+
+void Watchdog::publish(const Ticket& ticket, Response response) {
+  std::lock_guard<std::mutex> lock(ticket->mutex);
+  if (ticket->abandoned) {
+    results_discarded_.fetch_add(1, std::memory_order_relaxed);
+    obs::count("service.watchdog.results_discarded");
+    return;
+  }
+  ticket->response = std::move(response);
+  ticket->done = true;
+  ticket->cv.notify_all();
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  obs::count("service.watchdog.completed");
+}
+
+void Watchdog::worker_loop(const std::shared_ptr<Slot>& slot) {
+  while (true) {
+    Ticket ticket = pop_task();
+    if (ticket == nullptr) {
+      break;
+    }
+    {
+      // A task abandoned while still queued is dropped without work.
+      std::lock_guard<std::mutex> lock(ticket->mutex);
+      if (ticket->abandoned) {
+        results_discarded_.fetch_add(1, std::memory_order_relaxed);
+        obs::count("service.watchdog.results_discarded");
+        continue;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(slot->mutex);
+      slot->current = ticket;
+      slot->replacement_sent = false;
+    }
+
+    Response response;
+    bool crashed = false;
+    try {
+      const obs::Span span("service.watchdog.task");
+      if (chaos_ != nullptr) {
+        chaos_->maybe_worker_crash();
+      }
+      response = ticket->task();
+    } catch (const ChaosCrash& e) {
+      crashed = true;
+      response.id = ticket->id;
+      response.status = "error";
+      response.reason = std::string("internal_error: ") + e.what();
+    } catch (const std::exception& e) {
+      response.id = ticket->id;
+      response.status = "error";
+      response.reason = std::string("internal_error: ") + e.what();
+    }
+    publish(ticket, std::move(response));
+
+    bool superseded = false;
+    {
+      std::lock_guard<std::mutex> lock(slot->mutex);
+      slot->current.reset();
+      superseded = slot->superseded;
+    }
+    if (crashed) {
+      // The injected crash kills this thread for real; the supervisor
+      // reaps the corpse and spawns a replacement.
+      worker_crashes_.fetch_add(1, std::memory_order_relaxed);
+      obs::count("service.watchdog.worker_crashes");
+      slot->exited.store(true, std::memory_order_release);
+      return;
+    }
+    if (superseded) {
+      // A replacement is already running; exit quietly to keep the
+      // pool at its configured size.
+      slot->exited.store(true, std::memory_order_release);
+      return;
+    }
+  }
+  slot->exited.store(true, std::memory_order_release);
+}
+
+void Watchdog::supervisor_loop() {
+  const auto poll = std::chrono::duration<double, std::milli>(
+      options_.poll_ms);
+  std::unique_lock<std::mutex> lock(supervisor_mutex_);
+  while (!supervisor_cv_.wait_for(lock, poll,
+                                  [this] { return stop_supervisor_; })) {
+    lock.unlock();
+    {
+      std::lock_guard<std::mutex> workers_lock(workers_mutex_);
+      // Reap exited workers (crashed or superseded). Crashed workers
+      // lost their slot without a stand-in, so they are replaced here.
+      for (auto it = workers_.begin(); it != workers_.end();) {
+        if (it->slot->exited.load(std::memory_order_acquire)) {
+          if (it->thread.joinable()) {
+            it->thread.join();
+          }
+          bool covered = false;
+          {
+            std::lock_guard<std::mutex> slot_lock(it->slot->mutex);
+            covered = it->slot->superseded;
+          }
+          it = workers_.erase(it);
+          if (!covered) {
+            const obs::Span span("service.watchdog.replace");
+            spawn_worker_locked();
+            workers_replaced_.fetch_add(1, std::memory_order_relaxed);
+            obs::count("service.watchdog.workers_replaced");
+          }
+        } else {
+          ++it;
+        }
+      }
+      // Stall detection: a worker still executing a task its waiter
+      // already abandoned is wedged from the pool's point of view.
+      // Spawn a stand-in immediately; the wedged thread exits (and is
+      // reaped above) whenever its run finally returns.
+      const std::size_t count = workers_.size();
+      for (std::size_t i = 0; i < count; ++i) {
+        Slot& slot = *workers_[i].slot;
+        Ticket current;
+        {
+          std::lock_guard<std::mutex> slot_lock(slot.mutex);
+          if (slot.current == nullptr || slot.replacement_sent) {
+            continue;
+          }
+          current = slot.current;
+        }
+        bool stalled = false;
+        {
+          std::lock_guard<std::mutex> task_lock(current->mutex);
+          stalled = current->abandoned && !current->done;
+        }
+        if (stalled) {
+          std::lock_guard<std::mutex> slot_lock(slot.mutex);
+          slot.replacement_sent = true;
+          slot.superseded = true;
+          stalls_detected_.fetch_add(1, std::memory_order_relaxed);
+          obs::count("service.watchdog.stalls_detected");
+          const obs::Span span("service.watchdog.replace");
+          spawn_worker_locked();
+          workers_replaced_.fetch_add(1, std::memory_order_relaxed);
+          obs::count("service.watchdog.workers_replaced");
+        }
+      }
+    }
+    lock.lock();
+  }
+}
+
+void Watchdog::spawn_worker_locked() {
+  Worker worker;
+  worker.slot = std::make_shared<Slot>();
+  worker.thread =
+      std::thread([this, slot = worker.slot] { worker_loop(slot); });
+  workers_.push_back(std::move(worker));
+}
+
+}  // namespace cc::service

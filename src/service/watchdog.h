@@ -1,0 +1,149 @@
+#pragma once
+
+/// \file watchdog.h
+/// Supervised dispatch executor with per-request wall-clock deadlines.
+///
+/// The service hands each scheduler run to the watchdog as a task; the
+/// waiter gets the result back, or — if the run stalls past its
+/// deadline — a structured `timeout` response *at* the deadline, so a
+/// wedged scheduler can never block the response stream. Recovery
+/// actions, all counted under `service.watchdog.*`:
+///
+///  * timeout   — the waiter abandons the task at its deadline and
+///    synthesizes a `status:"error", reason:"timeout after N ms"`
+///    response; the eventual real result is discarded.
+///  * stall     — the supervisor notices a worker still running an
+///    abandoned task and spawns a replacement so pool capacity is
+///    restored immediately; the superseded worker exits (and is
+///    reaped) once its stuck run finally returns.
+///  * crash     — a task throwing `ChaosCrash` kills its worker thread
+///    for real; the supervisor reaps and replaces it. Ordinary
+///    exceptions do not kill the worker; they become a structured
+///    `internal_error` response.
+///
+/// Shutdown joins every thread, including superseded ones — a stuck
+/// run delays destruction rather than leaving a detached thread racing
+/// the service teardown (TSan-clean by construction). The escape hatch
+/// for a truly infinite stall is process death + journal replay
+/// (docs/robustness.md).
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/chaos.h"
+#include "service/protocol.h"
+
+namespace cc::service {
+
+class Watchdog {
+ public:
+  struct Options {
+    std::size_t workers = 2;
+    double poll_ms = 5.0;  ///< supervisor scan interval
+  };
+
+  struct Stats {
+    long completed = 0;          ///< results delivered to a live waiter
+    long timeouts = 0;           ///< waiter-side deadline expirations
+    long worker_crashes = 0;     ///< threads killed by ChaosCrash
+    long stalls_detected = 0;    ///< abandoned tasks found still running
+    long workers_replaced = 0;   ///< replacement threads spawned
+    long results_discarded = 0;  ///< results of abandoned tasks dropped
+  };
+
+  /// A dispatch task produces the response for one request.
+  using Task = std::function<Response()>;
+
+  /// Shared waiter/worker state for one submitted task.
+  struct TaskState {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::string id;  ///< request id (for the synthesized timeout)
+    Task task;
+    double timeout_ms = 0.0;
+    std::chrono::steady_clock::time_point deadline{};
+    bool done = false;       ///< response is valid
+    bool abandoned = false;  ///< waiter gave up; result will be dropped
+    Response response;
+  };
+  using Ticket = std::shared_ptr<TaskState>;
+
+  /// Spawns `options.workers` workers plus the supervisor. `chaos` is
+  /// optional and non-owning; when set, each task dispatch rolls for an
+  /// injected worker crash.
+  explicit Watchdog(Options options, ChaosInjector* chaos = nullptr);
+
+  /// Joins everything; blocks until in-flight tasks return.
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Enqueues a task whose deadline is `timeout_ms` from now
+  /// (0 = no deadline). Must be paired with exactly one `wait`.
+  [[nodiscard]] Ticket submit(std::string id, double timeout_ms, Task task);
+
+  /// Blocks until the task completes or its deadline passes; on
+  /// expiry, marks the task abandoned and returns the structured
+  /// timeout response immediately.
+  [[nodiscard]] Response wait(const Ticket& ticket);
+
+  [[nodiscard]] Stats stats() const;
+  /// Worker threads currently able to pick up tasks.
+  [[nodiscard]] std::size_t live_workers() const;
+
+ private:
+  /// One worker slot; the supervisor inspects it from outside.
+  struct Slot {
+    std::mutex mutex;
+    Ticket current;              ///< task being executed, if any
+    bool replacement_sent = false;  ///< supervisor already covered it
+    bool superseded = false;     ///< exit after the current task
+    std::atomic<bool> exited{false};
+  };
+  struct Worker {
+    std::shared_ptr<Slot> slot;
+    std::thread thread;
+  };
+
+  void worker_loop(const std::shared_ptr<Slot>& slot);
+  void supervisor_loop();
+  /// Requires workers_mutex_ held.
+  void spawn_worker_locked();
+  [[nodiscard]] Ticket pop_task();
+  void publish(const Ticket& ticket, Response response);
+
+  Options options_;
+  ChaosInjector* chaos_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Ticket> queue_;
+  bool closed_ = false;
+
+  mutable std::mutex workers_mutex_;
+  std::vector<Worker> workers_;
+
+  std::mutex supervisor_mutex_;
+  std::condition_variable supervisor_cv_;
+  bool stop_supervisor_ = false;
+  std::thread supervisor_;
+
+  std::atomic<long> completed_{0};
+  std::atomic<long> timeouts_{0};
+  std::atomic<long> worker_crashes_{0};
+  std::atomic<long> stalls_detected_{0};
+  std::atomic<long> workers_replaced_{0};
+  std::atomic<long> results_discarded_{0};
+};
+
+}  // namespace cc::service

@@ -1,0 +1,150 @@
+# Crash-safety end to end: a journaled ccs_serve is SIGKILLed mid-run
+# (with injected scheduler stalls keeping requests in flight), restarted
+# with the same --journal, and must replay every admitted-but-unanswered
+# request — zero accepted-request loss, and the normalized response set
+# byte-identical to a fault-free reference run of the same mix.
+# Invoked by ctest with -DCLI=<ccs_cli> -DSERVE=<ccs_serve>
+# -DCLIENT=<ccs_client>.
+#
+# The kill choreography (background server, poll, kill -9) needs a real
+# shell; the comparison and assertions run here in cmake.
+
+set(WORK "${CMAKE_CURRENT_BINARY_DIR}/chaos_test_work")
+file(REMOVE_RECURSE "${WORK}")
+file(MAKE_DIRECTORY "${WORK}")
+
+find_program(BASH_PROGRAM bash REQUIRED)
+
+function(run label expect_rc)
+  execute_process(
+    COMMAND ${ARGN}
+    WORKING_DIRECTORY "${WORK}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL ${expect_rc})
+    message(FATAL_ERROR
+            "${label} exited ${rc} (expected ${expect_rc}):\n${out}\n${err}")
+  endif()
+  set(last_out "${out}" PARENT_SCOPE)
+  set(last_err "${err}" PARENT_SCOPE)
+endfunction()
+
+# ---------------------------------------------------------------- fixture
+
+# The topology the server schedules against.
+run("topology" 0
+    ${CLI} --generate --devices=1 --chargers=6 --seed=42 --out=topo.txt)
+
+# The request mix, emitted once so the kill run and the reference run
+# replay the identical byte stream.
+run("emit mix" 0
+    ${CLIENT} --requests=40 --seed=11 --devices-min=3 --devices-max=8
+    --emit --out=mix.jsonl)
+
+# ---------------------------------------------- fault-free reference run
+run("reference run" 0
+    ${BASH_PROGRAM} -c
+    "'${SERVE}' --instance=topo.txt --batch-window-ms=0 < mix.jsonl > ref_raw.jsonl 2> ref_err.txt")
+run("normalize reference" 0
+    ${CLIENT} --normalize=ref_raw.jsonl --out=ref_norm.jsonl)
+
+# ------------------------------------------------- kill -9 + journal run
+# Stall injection (100 ms per dispatch) keeps a backlog in flight so the
+# SIGKILL lands with admitted-but-unanswered requests in the journal.
+file(WRITE "${WORK}/kill_run.sh" "#!${BASH_PROGRAM}
+set -u
+cd '${WORK}'
+( cat mix.jsonl; sleep 60 ) | \\
+  '${SERVE}' --instance=topo.txt --journal=wal.bin --batch-max=2 \\
+    --chaos=seed=3,stall=1.0,stall-ms=100 > out1.jsonl 2> err1.txt &
+feeder=$!
+for i in $(seq 1 200); do
+  [ -s out1.jsonl ] && break
+  sleep 0.05
+done
+sleep 0.4
+spid=$(pgrep -f 'journal=wal.bin' | head -1)
+if [ -z \"$spid\" ]; then echo 'server not found' >&2; exit 1; fi
+kill -9 \"$spid\"
+kill $feeder 2>/dev/null
+wait 2>/dev/null
+answered=$(wc -l < out1.jsonl)
+echo \"answered before kill: $answered\"
+if [ \"$answered\" -ge 40 ]; then
+  echo 'server finished before the kill: nothing in flight' >&2
+  exit 1
+fi
+exit 0
+")
+run("kill -9 mid-run" 0 ${BASH_PROGRAM} "${WORK}/kill_run.sh")
+message(STATUS "${last_out}")
+
+# Restart with the same journal: the boot replay must resubmit the
+# incomplete backlog and answer all of it.
+run("restart + replay" 0
+    ${BASH_PROGRAM} -c
+    "'${SERVE}' --instance=topo.txt --journal=wal.bin < /dev/null > out2.jsonl 2> err2.txt && cat err2.txt")
+if(NOT last_out MATCHES "replayed [1-9][0-9]* incomplete")
+  message(FATAL_ERROR "restart did not replay the backlog:\n${last_out}")
+endif()
+
+# -------------------------------------------------- zero-loss comparison
+# Every request of the mix must be answered across the two server
+# lives, and (duplicates collapsed, timing normalized) the response set
+# must be byte-identical to the fault-free reference.
+run("merge outputs" 0
+    ${BASH_PROGRAM} -c "cat out1.jsonl out2.jsonl > merged_raw.jsonl")
+run("normalize merged" 0
+    ${CLIENT} --normalize=merged_raw.jsonl --out=merged_norm.jsonl)
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${WORK}/merged_norm.jsonl" "${WORK}/ref_norm.jsonl"
+  RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR
+          "responses across the kill-restart differ from the fault-free "
+          "run (see ${WORK}/merged_norm.jsonl vs ref_norm.jsonl)")
+endif()
+
+# The reference answered all 40; byte-identity therefore proves zero
+# accepted-request loss. Belt and braces: count them.
+file(STRINGS "${WORK}/merged_norm.jsonl" merged_lines)
+list(LENGTH merged_lines merged_count)
+if(NOT merged_count EQUAL 40)
+  message(FATAL_ERROR
+          "expected 40 unique answered requests, got ${merged_count}")
+endif()
+message(STATUS "kill -9 + journal replay: 40/40 answered, byte-identical "
+               "to fault-free run")
+
+# ------------------------------------------- retrying client under chaos
+# A chaos storm on the wire plus watchdog timeouts: the retrying client
+# must still get every request answered "ok", byte-identical to the
+# fault-free reference (ids are idempotency keys; the dedup window and
+# schedule fingerprints absorb duplicate resubmissions).
+run("chaos storm drive" 0
+    ${CLIENT} --requests=40 --seed=11 --devices-min=3 --devices-max=8
+    --retries=10 --backoff-ms=5 --response-timeout-ms=500
+    --responses-out=storm_norm.jsonl
+    "--server=${SERVE} --instance=topo.txt --batch-window-ms=0 --journal=storm_wal.bin --timeout-ms=800 --dedup=256 --chaos=seed=5,drop=0.06,truncate=0.04,corrupt=0.05,stall=0.03,stall-ms=120,sink-fail=0.02")
+if(NOT last_out MATCHES "40 sent, 40 answered")
+  message(FATAL_ERROR "chaos storm run lost requests:\n${last_out}")
+endif()
+
+# storm_norm.jsonl is written in mix order (r0..r39); the reference is
+# sorted by id — sort both before comparing.
+run("sort storm" 0
+    ${BASH_PROGRAM} -c
+    "sort storm_norm.jsonl > storm_sorted.jsonl && sort ref_norm.jsonl > ref_sorted.jsonl")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${WORK}/storm_sorted.jsonl" "${WORK}/ref_sorted.jsonl"
+  RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR
+          "chaos-storm responses differ from the fault-free run")
+endif()
+message(STATUS "chaos storm: 40/40 answered through retries, "
+               "byte-identical to fault-free run")

@@ -9,6 +9,7 @@
 
 #include "coopcharge/coopcharge.h"
 #include "core/io.h"
+#include "service/protocol.h"
 #include "util/rng.h"
 
 namespace {
@@ -216,6 +217,76 @@ TEST_P(FuzzSweep, FaultPlansPreserveAccountingInvariants) {
     }
     EXPECT_LE(report.faults.coalitions_stranded + served_count,
               static_cast<int>(report.coalitions.size()));
+  }
+}
+
+// Byte-level mutation fuzzing of the service wire parser: truncations,
+// bit flips, and UTF-8 junk splices of valid request lines must never
+// crash `service::parse_line` — every mutant either parses cleanly or
+// is strictly rejected with a nonempty reason (never coerced).
+TEST_P(FuzzSweep, ServiceParserSurvivesByteMutations) {
+  cc::util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 8117);
+  // Seed corpus: a few structurally diverse valid lines.
+  cc::service::Request request;
+  request.id = "fz" + std::to_string(GetParam());
+  const int devices = 1 + static_cast<int>(rng.index(4));
+  for (int d = 0; d < devices; ++d) {
+    cc::service::RequestDevice device;
+    device.x = rng.uniform(-50.0, 50.0);
+    device.y = rng.uniform(-50.0, 50.0);
+    device.demand_j = rng.uniform(1.0, 200.0);
+    if (rng.bernoulli(0.5)) {
+      device.capacity_j = device.demand_j * rng.uniform(1.0, 2.0);
+    }
+    if (rng.bernoulli(0.5)) {
+      device.unit_cost = rng.uniform(0.1, 3.0);
+    }
+    request.devices.push_back(device);
+  }
+  if (rng.bernoulli(0.5)) {
+    request.algo = "ccsa";
+  }
+  if (rng.bernoulli(0.3)) {
+    request.budget = rng.uniform(1.0, 500.0);
+  }
+  const std::vector<std::string> corpus = {
+      cc::service::to_json_line(request),
+      cc::service::to_checksummed_line(request),
+      R"({"cmd":"stats"})",
+      R"({"cmd":"shutdown"})",
+  };
+  const char junk[] = "\xff\xfe\xf0\x9f\x92\xa9\x00{}[]\",:";
+  for (const std::string& seedline : corpus) {
+    for (int mutant = 0; mutant < 120; ++mutant) {
+      std::string line = seedline;
+      const int kind = static_cast<int>(rng.index(4));
+      if (kind == 0 && !line.empty()) {
+        line.resize(rng.index(line.size()));  // truncate
+      } else if (kind == 1 && !line.empty()) {
+        const std::size_t at = rng.index(line.size());
+        line[at] = static_cast<char>(
+            line[at] ^ (1u << rng.index(8)));  // bit flip
+      } else if (kind == 2) {
+        const std::size_t at = rng.index(line.size() + 1);
+        const std::size_t n = 1 + rng.index(sizeof(junk) - 1);
+        line.insert(at, junk, n);  // UTF-8/NUL junk splice
+      } else if (!line.empty()) {
+        // Structural clobber: overwrite with a syntax character.
+        line[rng.index(line.size())] = rng.bernoulli(0.5) ? '{' : '"';
+      }
+      cc::service::ParsedLine parsed;
+      std::string error;
+      // Must never crash or throw; a nonempty error means strict
+      // rejection, an empty one means the mutant stayed well-formed.
+      EXPECT_NO_THROW(error = cc::service::parse_line(line, parsed));
+      if (error.empty() && parsed.kind == cc::service::LineKind::kRequest) {
+        EXPECT_FALSE(parsed.request.id.empty());
+        EXPECT_FALSE(parsed.request.devices.empty());
+        for (const auto& device : parsed.request.devices) {
+          EXPECT_GT(device.demand_j, 0.0);
+        }
+      }
+    }
   }
 }
 

@@ -96,8 +96,9 @@ execute_process(
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "daemon exited ${rc} on the raw stream:\n${err}")
 endif()
-# Malformed lines carry no trustworthy id, so those rejections report
-# an empty one; the reason pins down which line failed.
+# Unparseable lines carry no trustworthy id, so those rejections report
+# an empty one; when the parse got far enough to extract an id (e.g. a
+# bad field) it is echoed. The reason pins down which line failed.
 foreach(marker
         "\"id\":\"good\",\"status\":\"ok\""
         "malformed: malformed JSON"

@@ -1,10 +1,14 @@
 // Tests for src/service: wire-protocol parsing, the admission queue,
-// and the charging service's scheduling / rejection / shutdown paths.
+// the charging service's scheduling / rejection / shutdown paths, and
+// the fault-tolerance layer (journal, watchdog, dedup, chaos).
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
+#include <fstream>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -14,6 +18,8 @@
 #include "core/generator.h"
 #include "core/scheduler.h"
 #include "service/admission.h"
+#include "service/chaos.h"
+#include "service/journal.h"
 #include "service/protocol.h"
 #include "service/service.h"
 
@@ -21,7 +27,10 @@ namespace {
 
 using cc::service::AdmissionQueue;
 using cc::service::AdmitResult;
+using cc::service::ChaosInjector;
+using cc::service::ChaosSpec;
 using cc::service::ChargingService;
+using cc::service::Journal;
 using cc::service::LineKind;
 using cc::service::ParsedLine;
 using cc::service::PendingRequest;
@@ -168,6 +177,44 @@ TEST(ProtocolTest, RequestRoundTripsThroughJson) {
     EXPECT_EQ(back.devices[i].capacity_j, request.devices[i].capacity_j);
     EXPECT_EQ(back.devices[i].unit_cost, request.devices[i].unit_cost);
   }
+}
+
+TEST(ProtocolTest, ChecksummedLineRoundTripsAndDetectsCorruption) {
+  Request request = small_request("ck-1", 3);
+  request.algo = "ccsa";
+  request.budget = 120.25;
+  const std::string line = cc::service::to_checksummed_line(request);
+
+  ParsedLine parsed;
+  ASSERT_EQ(cc::service::parse_line(line, parsed), "");
+  EXPECT_EQ(parsed.request.id, "ck-1");
+
+  // A digit flip that keeps the JSON parseable must be caught by the
+  // checksum — this is exactly the corruption a wire fault produces.
+  std::string corrupted = line;
+  const std::size_t digit = corrupted.find("demand_j\":5");
+  ASSERT_NE(digit, std::string::npos);
+  corrupted[digit + 10] = '7';
+  const std::string error = cc::service::parse_line(corrupted, parsed);
+  EXPECT_TRUE(error.starts_with("checksum_mismatch")) << error;
+  // The id is still extracted so the rejection can be routed back.
+  EXPECT_EQ(parsed.request.id, "ck-1");
+
+  // Plain lines without ck stay accepted unverified.
+  ASSERT_EQ(
+      cc::service::parse_line(cc::service::to_json_line(request), parsed),
+      "");
+  // A ck of the wrong shape is rejected, not coerced.
+  EXPECT_NE(cc::service::parse_line(
+                R"({"id":"r","devices":[{"x":1,"y":2,"demand_j":5}],)"
+                R"("ck":-3})",
+                parsed),
+            "");
+  EXPECT_NE(cc::service::parse_line(
+                R"({"id":"r","devices":[{"x":1,"y":2,"demand_j":5}],)"
+                R"("ck":1.5})",
+                parsed),
+            "");
 }
 
 TEST(ProtocolTest, ResponseRoundTripsThroughJson) {
@@ -489,6 +536,384 @@ TEST(ServiceTest, CoalescedBatchSharesFeesPerRequest) {
     }
     EXPECT_NEAR(paid, response.total_cost, 1e-9 * (1.0 + response.total_cost));
   }
+}
+
+// ------------------------------------------------- admission: shutdown race
+
+// close() racing try_push from several threads must never lose an
+// accepted request: every kAccepted is observable by the drain, and
+// every post-close push reports kClosed. Run under CC_SANITIZE=thread
+// this also proves the queue data-race-free.
+TEST(AdmissionTest, CloseVsPushRaceLosesNoAcceptedRequest) {
+  for (int round = 0; round < 25; ++round) {
+    AdmissionQueue queue(4096);
+    std::atomic<bool> go{false};
+    std::atomic<long> accepted{0};
+    std::vector<std::thread> producers;
+    for (int t = 0; t < 4; ++t) {
+      producers.emplace_back([&queue, &go, &accepted, t] {
+        while (!go.load()) {
+        }
+        for (int i = 0; i < 50; ++i) {
+          PendingRequest pending;
+          pending.request = small_request(indexed_id("p", t * 1000 + i), 1);
+          if (queue.try_push(std::move(pending)) == AdmitResult::kAccepted) {
+            accepted.fetch_add(1);
+          }
+        }
+      });
+    }
+    std::thread closer([&queue, &go] {
+      while (!go.load()) {
+      }
+      queue.close();
+    });
+    go.store(true);
+    for (std::thread& p : producers) {
+      p.join();
+    }
+    closer.join();
+    long drained = 0;
+    while (true) {
+      const auto batch = queue.pop_batch(64, std::chrono::milliseconds(0));
+      if (batch.empty()) {
+        break;  // closed + empty: the drain barrier
+      }
+      drained += static_cast<long>(batch.size());
+    }
+    EXPECT_EQ(drained, accepted.load()) << "round " << round;
+    EXPECT_EQ(queue.try_push({small_request("late")}), AdmitResult::kClosed);
+  }
+}
+
+// ------------------------------------------------------------------- chaos
+
+TEST(ChaosTest, SpecParsesAndValidates) {
+  const ChaosSpec spec = ChaosSpec::parse(
+      "seed=9,drop=0.25,truncate=0.1,corrupt=0.05,stall=0.5,stall-ms=75,"
+      "stall-max=3,crash=0.01,sink-fail=0.02");
+  EXPECT_EQ(spec.seed, 9u);
+  EXPECT_DOUBLE_EQ(spec.drop, 0.25);
+  EXPECT_DOUBLE_EQ(spec.stall_ms, 75.0);
+  EXPECT_EQ(spec.stall_max, 3);
+  EXPECT_TRUE(spec.any_wire());
+  EXPECT_TRUE(spec.any_dispatch());
+  EXPECT_THROW((void)ChaosSpec::parse("drop=1.5"), cc::util::AssertionError);
+  EXPECT_THROW((void)ChaosSpec::parse("frobnicate=1"),
+               cc::util::AssertionError);
+  EXPECT_THROW((void)ChaosSpec::parse("drop=abc"), cc::util::AssertionError);
+}
+
+TEST(ChaosTest, WireFaultsAreSeededAndBounded) {
+  ChaosSpec spec;
+  spec.seed = 42;
+  spec.drop = 0.2;
+  spec.truncate = 0.2;
+  spec.corrupt = 0.2;
+  const std::string original(kGoodLine);
+  // Same seed, same call order → identical fault sequence.
+  std::vector<std::string> first;
+  for (int pass = 0; pass < 2; ++pass) {
+    ChaosInjector injector(spec);
+    std::vector<std::string> outcome;
+    for (int i = 0; i < 200; ++i) {
+      std::string line = original;
+      outcome.push_back(injector.mangle_line(line) ? line : "<dropped>");
+    }
+    const ChaosInjector::Stats stats = injector.stats();
+    EXPECT_GT(stats.dropped, 0);
+    EXPECT_GT(stats.truncated, 0);
+    EXPECT_GT(stats.corrupted, 0);
+    if (pass == 0) {
+      first = outcome;
+    } else {
+      EXPECT_EQ(outcome, first);
+    }
+  }
+}
+
+TEST(ChaosTest, StallMaxCapsInjectedStalls) {
+  ChaosSpec spec;
+  spec.stall = 1.0;
+  spec.stall_ms = 1.0;
+  spec.stall_max = 2;
+  ChaosInjector injector(spec);
+  for (int i = 0; i < 10; ++i) {
+    injector.maybe_stall();
+  }
+  EXPECT_EQ(injector.stats().stalls, 2);
+}
+
+// ---------------------------------------------------------------- watchdog
+
+// A stalled dispatch yields a structured timeout at the deadline while
+// the pool keeps serving; the stalled worker is superseded and its
+// eventual result discarded.
+TEST(ServiceTest, WatchdogTimesOutStalledDispatch) {
+  ChaosSpec spec;
+  spec.stall = 1.0;
+  spec.stall_ms = 400.0;
+  spec.stall_max = 1;  // only the first dispatch stalls
+  ChaosInjector injector(spec);
+
+  Collector collector;
+  ServiceOptions options;
+  options.batch_max = 1;  // serialize: the stall hits request "stuck"
+  options.batch_window_ms = 0.0;
+  options.request_timeout_ms = 60.0;
+  options.chaos = &injector;
+  ChargingService service(test_chargers(), {}, options, collector.sink());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  service.submit(small_request("stuck", 2));
+  ASSERT_TRUE(collector.wait_for(1));
+  const double waited_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  // The acceptance gate: a structured timeout within 2x the deadline,
+  // far before the 400 ms stall resolves.
+  EXPECT_LT(waited_ms, 2.0 * options.request_timeout_ms + 50.0);
+
+  service.submit(small_request("after", 2));
+  service.shutdown(true);
+
+  const auto responses = collector.responses();
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[0].id, "stuck");
+  EXPECT_EQ(responses[0].status, "error");
+  EXPECT_TRUE(responses[0].reason.starts_with("timeout after"))
+      << responses[0].reason;
+  EXPECT_EQ(responses[1].id, "after");
+  EXPECT_EQ(responses[1].status, "ok") << responses[1].reason;
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.timeouts, 1);
+  EXPECT_EQ(stats.errors, 1);
+  EXPECT_EQ(stats.completed, 1);
+  // Every recovery action is accounted for. The stalled task publishes
+  // (and is discarded) only once its 400 ms stall resolves — wait.
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (service.watchdog_stats().results_discarded < 1 &&
+         std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const auto wd = service.watchdog_stats();
+  EXPECT_EQ(wd.timeouts, 1);
+  EXPECT_EQ(wd.results_discarded, 1);
+  EXPECT_EQ(wd.completed, 1);
+}
+
+// A crashing dispatch worker produces a structured internal_error and
+// is replaced; the service keeps running.
+TEST(ServiceTest, WatchdogReplacesCrashedWorker) {
+  ChaosSpec spec;
+  spec.crash = 1.0;
+  ChaosInjector injector(spec);
+
+  Collector collector;
+  ServiceOptions options;
+  options.batch_max = 1;
+  options.batch_window_ms = 0.0;
+  options.request_timeout_ms = 5000.0;  // watchdog on; deadline irrelevant
+  options.chaos = &injector;
+  ChargingService service(test_chargers(), {}, options, collector.sink());
+  service.submit(small_request("boom-1", 2));
+  service.submit(small_request("boom-2", 2));
+  service.shutdown(true);
+
+  const auto responses = collector.responses();
+  ASSERT_EQ(responses.size(), 2u);
+  for (const Response& response : responses) {
+    EXPECT_EQ(response.status, "error");
+    EXPECT_TRUE(response.reason.starts_with("internal_error"))
+        << response.reason;
+  }
+  const auto wd = service.watchdog_stats();
+  EXPECT_EQ(wd.worker_crashes, 2);
+  EXPECT_GE(wd.workers_replaced, 1);
+  EXPECT_EQ(service.stats().errors, 2);
+}
+
+// With the watchdog armed but nothing stalling, responses are identical
+// to the unsupervised path (the equivalence guarantee survives).
+TEST(ServiceTest, WatchdogPreservesFaultFreeResults) {
+  const auto run = [](bool watchdog) {
+    Collector collector;
+    ServiceOptions options;
+    options.batch_window_ms = 0.0;
+    options.request_timeout_ms = watchdog ? 5000.0 : 0.0;
+    ChargingService service(test_chargers(), {}, options, collector.sink());
+    service.submit(small_request("w1", 5));
+    service.submit(small_request("w2", 3));
+    service.shutdown(true);
+    return collector.responses();
+  };
+  const auto plain = run(false);
+  const auto supervised = run(true);
+  ASSERT_EQ(plain.size(), supervised.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].id, supervised[i].id);
+    EXPECT_EQ(plain[i].status, supervised[i].status);
+    // Bitwise equality — supervision must not perturb the schedule.
+    EXPECT_EQ(plain[i].total_cost, supervised[i].total_cost);
+    EXPECT_EQ(plain[i].payments, supervised[i].payments);
+  }
+}
+
+// ------------------------------------------------------------ idempotency
+
+// A repeated id is re-answered from the dedup window: same payload,
+// no second scheduling.
+TEST(ServiceTest, DedupWindowReAnswersRetriedId) {
+  Collector collector;
+  ServiceOptions options;
+  options.batch_window_ms = 0.0;
+  options.dedup_window = 8;
+  ChargingService service(test_chargers(), {}, options, collector.sink());
+  service.submit(small_request("dup", 4));
+  ASSERT_TRUE(collector.wait_for(1));
+  service.submit(small_request("dup", 4));  // the retry
+  ASSERT_TRUE(collector.wait_for(2));
+  service.shutdown(true);
+
+  const auto responses = collector.responses();
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(cc::service::to_json_line(responses[0]),
+            cc::service::to_json_line(responses[1]));
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.deduped, 1);
+  EXPECT_EQ(stats.completed, 1);  // scheduled once, answered twice
+}
+
+TEST(ServiceTest, DedupWindowEvictsFifo) {
+  Collector collector;
+  ServiceOptions options;
+  options.batch_window_ms = 0.0;
+  options.dedup_window = 2;
+  ChargingService service(test_chargers(), {}, options, collector.sink());
+  service.submit(small_request("d0", 2));
+  service.submit(small_request("d1", 2));
+  service.submit(small_request("d2", 2));  // evicts d0
+  ASSERT_TRUE(collector.wait_for(3));
+  service.submit(small_request("d0", 2));  // re-scheduled, not deduped
+  ASSERT_TRUE(collector.wait_for(4));
+  service.shutdown(true);
+  EXPECT_EQ(service.stats().deduped, 0);
+  EXPECT_EQ(service.stats().completed, 4);
+}
+
+// Sink write failures are absorbed: the service stays up and counts
+// them instead of dying mid-response.
+TEST(ServiceTest, SinkFailuresAreAbsorbed) {
+  ChaosSpec spec;
+  spec.sink_fail = 1.0;
+  ChaosInjector injector(spec);
+  Collector collector;
+  ServiceOptions options;
+  options.batch_window_ms = 0.0;
+  options.chaos = &injector;
+  ChargingService service(test_chargers(), {}, options, collector.sink());
+  service.submit(small_request("swallowed-1", 2));
+  service.submit(small_request("swallowed-2", 2));
+  service.shutdown(true);
+
+  EXPECT_TRUE(collector.responses().empty());
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.completed, 2);
+  EXPECT_EQ(stats.sink_errors, 2);
+  EXPECT_EQ(injector.stats().sink_failures, 2);
+}
+
+// ----------------------------------------------------------- journal + svc
+
+class TempPath {
+ public:
+  explicit TempPath(const char* tag) {
+    path_ = ::testing::TempDir() + "service_test_" + tag + ".journal";
+    std::remove(path_.c_str());
+  }
+  ~TempPath() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::size_t file_size(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  return in ? static_cast<std::size_t>(in.tellg()) : 0u;
+}
+
+// A journal left with admitted-but-unanswered requests (the crash
+// image) is replayed on the next boot: every lost request is re-served.
+TEST(ServiceTest, JournalReplayResubmitsIncompleteRequests) {
+  TempPath temp("replay");
+  {
+    Journal journal(temp.path(), Journal::SyncMode::kOff);
+    (void)journal.append_request(
+        cc::service::to_json_line(small_request("lost-1", 3)));
+    const std::uint64_t answered = journal.append_request(
+        cc::service::to_json_line(small_request("answered", 2)));
+    journal.append_complete(answered);
+    (void)journal.append_request(
+        cc::service::to_json_line(small_request("lost-2", 2)));
+  }
+
+  Collector collector;
+  ServiceOptions options;
+  options.batch_window_ms = 0.0;
+  options.journal_path = temp.path();
+  options.journal_sync = Journal::SyncMode::kOff;
+  ChargingService service(test_chargers(), {}, options, collector.sink());
+  EXPECT_EQ(service.replay_recovered(), 2u);
+  service.shutdown(true);
+
+  const auto responses = collector.responses();
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[0].id, "lost-1");
+  EXPECT_EQ(responses[1].id, "lost-2");
+  for (const Response& response : responses) {
+    EXPECT_EQ(response.status, "ok") << response.reason;
+  }
+  EXPECT_EQ(service.stats().replayed, 2);
+  // Clean drained shutdown settles everything: the journal is reset so
+  // the next boot does not rescan history.
+  EXPECT_EQ(file_size(temp.path()), 0u);
+}
+
+// A fault-free journaled run leaves an empty journal behind (nothing
+// outstanding), and journaling does not change the responses.
+TEST(ServiceTest, JournaledRunDrainsCleanAndMatchesUnjournaled) {
+  TempPath temp("clean");
+  const auto run = [&](bool journaled) {
+    Collector collector;
+    ServiceOptions options;
+    options.batch_window_ms = 0.0;
+    if (journaled) {
+      options.journal_path = temp.path();
+      options.journal_sync = Journal::SyncMode::kOff;
+    }
+    ChargingService service(test_chargers(), {}, options, collector.sink());
+    service.submit(small_request("j1", 4));
+    service.submit(small_request("j2", 2));
+    service.shutdown(true);
+    return collector.responses();
+  };
+  const auto plain = run(false);
+  const auto journaled = run(true);
+  ASSERT_EQ(plain.size(), journaled.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    // Timing fields vary run to run; everything semantic must match
+    // bitwise (journaling sits outside the scheduling path).
+    EXPECT_EQ(plain[i].id, journaled[i].id);
+    EXPECT_EQ(plain[i].status, journaled[i].status);
+    EXPECT_EQ(plain[i].total_cost, journaled[i].total_cost);
+    EXPECT_EQ(plain[i].payments, journaled[i].payments);
+  }
+  EXPECT_EQ(file_size(temp.path()), 0u);
+  EXPECT_TRUE(Journal::scan(temp.path()).incomplete.empty());
 }
 
 }  // namespace

@@ -10,6 +10,16 @@
 /// instance + schedule file pair so an offline `ccs_cli` run on the
 /// same instance can be compared byte-for-byte.
 ///
+/// Fault tolerance (docs/robustness.md): request ids are idempotency
+/// keys, so `--retries` resends a request after a retryable rejection
+/// (`queue_full`, watchdog `timeout`, `internal_error`), a response
+/// timeout, or server death — with capped exponential backoff and
+/// deterministic seeded jitter. A dead server pipe (EOF/EPIPE) is
+/// respawned and the in-flight request resubmitted; with the server
+/// journalling, nothing admitted is ever lost across the restart.
+/// Without retries the client exits nonzero with a diagnostic naming
+/// the in-flight requests instead of blocking forever.
+///
 /// Exit codes: 0 when every request was answered and nothing was
 /// rejected as malformed, 1 otherwise, 2 on I/O errors.
 
@@ -20,11 +30,13 @@
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <sstream>
@@ -65,15 +77,33 @@ Modes:
   --server="CMD"             spawn CMD via sh -c and drive it
   --rate=R                   open loop at R req/s (default: closed loop)
   --stats                    query {"cmd":"stats"} after the mix
+  --normalize=PATH           offline mode: read a raw response JSONL
+                             stream, keep the latest response per id,
+                             zero timing/batching fields, drop stats
+                             lines, and write the result sorted by id
+                             to --out (default stdout) — the byte-
+                             comparison artifact for chaos/kill runs
+
+Retries (closed loop; ids are idempotency keys server-side):
+  --retries=N                resend attempts per request (default 0)
+  --backoff-ms=B             backoff base; attempt k sleeps
+                             min(cap, B*2^k) * jitter[0.5,1) (default 50)
+  --backoff-cap-ms=C         backoff cap (default 2000)
+  --response-timeout-ms=T    per-attempt wait for a response; 0 = wait
+                             forever (default) — required to recover
+                             from dropped/corrupted wire lines
+  --connect-timeout=S        seconds to wait for the first response
+                             after each (re)spawn before declaring the
+                             server dead; 0 = no limit (default)
 
 Equivalence dump (drive mode):
   --topology=PATH            instance file with the server's chargers
   --dump=DIR                 write DIR/<id>.instance + DIR/<id>.schedule
                              for every "ok" response
-  --responses-out=PATH       write every response line, normalized
-                             (queue_ms/schedule_ms/batch_size zeroed,
-                             stats lines skipped) — the cache on/off
-                             byte-identity artifact
+  --responses-out=PATH       write the latest response per request id,
+                             normalized (queue_ms/schedule_ms/batch_size
+                             zeroed, stats lines skipped), in mix order —
+                             the cache on/off byte-identity artifact
   --help
 
 The closed-loop summary reports p50/p95/p99 end-to-end latency, and the
@@ -135,7 +165,10 @@ std::vector<cc::service::Request> generate_mix(const cc::util::Cli& cli) {
   mix.reserve(static_cast<std::size_t>(count));
   for (int i = 0; i < count; ++i) {
     cc::service::Request request;
-    request.id = "r" + std::to_string(i);
+    // Built without `const char* + std::string` (GCC 12 -Wrestrict
+    // false positive, PR 105651).
+    request.id = "r";
+    request.id += std::to_string(i);
     // Repeat phase: re-issue an earlier request's exact instance and
     // configuration under a fresh id (the canonical cache-hit shape).
     if (!mix.empty() && repeat_prob > 0.0 && rng.bernoulli(repeat_prob)) {
@@ -172,10 +205,13 @@ std::vector<cc::service::Request> generate_mix(const cc::util::Cli& cli) {
   return mix;
 }
 
-/// The spawned server with its two pipe ends. Reader thread collects
-/// response lines so open-loop sending never deadlocks on a full pipe.
+/// The spawned server with its two pipe ends. A reader thread collects
+/// response lines (indexed by request id) so open-loop sending never
+/// deadlocks on a full pipe and per-id waits survive interleaving.
 class ServerPipe {
  public:
+  enum class Wait { kGot, kEof, kTimeout };
+
   explicit ServerPipe(const std::string& command) {
     int to_child[2] = {-1, -1};
     int from_child[2] = {-1, -1};
@@ -222,10 +258,19 @@ class ServerPipe {
     }
   }
 
-  void send(const std::string& line) {
-    std::fputs(line.c_str(), to_server_);
-    std::fputc('\n', to_server_);
-    std::fflush(to_server_);
+  /// False when the pipe is gone (server died; SIGPIPE is ignored so
+  /// the write surfaces as EPIPE instead of killing the client).
+  bool send(const std::string& line) {
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    if (to_server_ == nullptr) {
+      return false;
+    }
+    if (std::fputs(line.c_str(), to_server_) == EOF ||
+        std::fputc('\n', to_server_) == EOF ||
+        std::fflush(to_server_) == EOF) {
+      return false;
+    }
+    return true;
   }
 
   /// Signals EOF to the server (it drains and exits).
@@ -245,6 +290,57 @@ class ServerPipe {
     return lines_.size() >= n;
   }
 
+  /// Blocks until `id` has at least `min_count` responses, the stream
+  /// ends, or `deadline` passes (`max()` = no deadline). The response
+  /// check wins over EOF, so an answer that arrived just before the
+  /// server died is still delivered.
+  Wait wait_for_id(const std::string& id, long min_count,
+                   std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto ready = [this, &id, min_count] {
+      const auto it = id_counts_.find(id);
+      return (it != id_counts_.end() && it->second >= min_count) || eof_;
+    };
+    if (deadline == std::chrono::steady_clock::time_point::max()) {
+      cv_.wait(lock, ready);
+    } else if (!cv_.wait_until(lock, deadline, ready)) {
+      return Wait::kTimeout;
+    }
+    const auto it = id_counts_.find(id);
+    if (it != id_counts_.end() && it->second >= min_count) {
+      return Wait::kGot;
+    }
+    return Wait::kEof;
+  }
+
+  /// Blocks until a stats response arrives beyond `seen` or EOF.
+  void wait_for_stats(long seen) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this, seen] { return stats_seen_ > seen || eof_; });
+  }
+
+  void wait_for_eof() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return eof_; });
+  }
+
+  [[nodiscard]] long id_count(const std::string& id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = id_counts_.find(id);
+    return it == id_counts_.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] std::string latest_for_id(const std::string& id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = latest_by_id_.find(id);
+    return it == latest_by_id_.end() ? std::string() : it->second;
+  }
+
+  [[nodiscard]] long stats_seen() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_seen_;
+  }
+
   [[nodiscard]] std::vector<std::string> lines() {
     std::lock_guard<std::mutex> lock(mutex_);
     return lines_;
@@ -256,19 +352,42 @@ class ServerPipe {
     int c = 0;
     while ((c = std::fgetc(from_server_)) != EOF) {
       if (c == '\n') {
-        std::lock_guard<std::mutex> lock(mutex_);
-        lines_.push_back(line);
+        index_line(line);
         line.clear();
-        cv_.notify_all();
         continue;
       }
       line.push_back(static_cast<char>(c));
     }
-    std::lock_guard<std::mutex> lock(mutex_);
     if (!line.empty()) {
-      lines_.push_back(line);
+      index_line(line);
     }
+    std::lock_guard<std::mutex> lock(mutex_);
     eof_ = true;
+    cv_.notify_all();
+  }
+
+  void index_line(const std::string& line) {
+    // Index by response id so waiters match their own answers even
+    // when stats heartbeats or other requests interleave. Lines that
+    // fail to parse (or carry no id — e.g. corrupted-wire rejections)
+    // are kept for the final accounting but wake nobody.
+    std::string id;
+    bool is_stats = false;
+    try {
+      const cc::service::Response response =
+          cc::service::parse_response(line);
+      id = response.id;
+      is_stats = response.status == "stats";
+    } catch (const cc::obs::JsonError&) {
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    lines_.push_back(line);
+    if (is_stats) {
+      ++stats_seen_;
+    } else if (!id.empty()) {
+      ++id_counts_[id];
+      latest_by_id_[id] = line;
+    }
     cv_.notify_all();
   }
 
@@ -280,6 +399,9 @@ class ServerPipe {
   std::mutex mutex_;
   std::condition_variable cv_;
   std::vector<std::string> lines_;
+  std::map<std::string, long> id_counts_;
+  std::map<std::string, std::string> latest_by_id_;
+  long stats_seen_ = 0;
   bool eof_ = false;
 };
 
@@ -294,6 +416,12 @@ std::string validate_response(const cc::service::Response& response) {
     return "";
   }
   if (response.id.empty()) {
+    // A malformed-line rejection legitimately has no id: the server
+    // could not parse one out of the (possibly corrupted) line.
+    if (response.status == "rejected" &&
+        response.reason.starts_with("malformed")) {
+      return "";
+    }
     return "missing id";
   }
   if (response.status == "ok") {
@@ -310,6 +438,24 @@ std::string validate_response(const cc::service::Response& response) {
     return response.status + " response without reason";
   }
   return "";
+}
+
+/// A response worth resending the (idempotent) request for: transient
+/// overload, a watchdog timeout, or an injected/internal failure.
+bool retryable_response(const cc::service::Response& response) {
+  if (response.status == "rejected") {
+    // The client only sends well-formed checksummed lines, so any
+    // malformed/checksum verdict on our id proves wire corruption —
+    // the request itself is fine; resend it.
+    return response.reason == "queue_full" ||
+           response.reason.starts_with("malformed");
+  }
+  if (response.status == "error") {
+    return response.reason.starts_with("timeout") ||
+           response.reason.starts_with("internal_error") ||
+           response.reason.find("chaos") != std::string::npos;
+  }
+  return false;
 }
 
 void tally(const cc::service::Response& response, Summary& summary) {
@@ -352,6 +498,71 @@ void dump_pair(const std::string& dir, const cc::service::Request& request,
                           cc::core::Schedule(std::move(coalitions)));
 }
 
+/// Zeroes the fields that vary run-to-run by nature.
+cc::service::Response scrub(const cc::service::Response& response) {
+  cc::service::Response out = response;
+  out.queue_ms = 0.0;
+  out.schedule_ms = 0.0;
+  out.batch_size = 0;
+  return out;
+}
+
+/// --normalize mode: canonicalize a raw response stream for byte
+/// comparison across runs (fault-free vs chaos vs kill-restart).
+int normalize_stream(const std::string& in_path,
+                     const std::string& out_path) {
+  std::ifstream in(in_path);
+  if (!in) {
+    throw cc::core::IoError("cannot read " + in_path);
+  }
+  std::map<std::string, std::string> latest;  // sorted by id
+  std::string line;
+  long unparseable = 0;
+  long skipped = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    cc::service::Response response;
+    try {
+      response = cc::service::parse_response(line);
+    } catch (const cc::obs::JsonError&) {
+      ++unparseable;
+      std::cerr << "normalize: unparseable line: " << line << '\n';
+      continue;
+    }
+    if (response.status == "stats") {
+      continue;
+    }
+    if (response.id.empty()) {
+      // Corrupted-wire rejections carry no id; they are per-run noise
+      // by construction and cannot be matched across runs.
+      ++skipped;
+      continue;
+    }
+    latest[response.id] = cc::service::to_json_line(scrub(response));
+  }
+  std::ostringstream buffer;
+  for (const auto& [id, normalized] : latest) {
+    (void)id;
+    buffer << normalized << '\n';
+  }
+  if (out_path.empty()) {
+    std::cout << buffer.str();
+  } else {
+    std::ofstream out(out_path);
+    out << buffer.str();
+    out.flush();
+    if (!out) {
+      throw cc::core::IoError("cannot write " + out_path);
+    }
+  }
+  std::cerr << "normalize: " << latest.size() << " ids, " << skipped
+            << " id-less lines skipped, " << unparseable
+            << " unparseable\n";
+  return unparseable == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -359,14 +570,23 @@ int main(int argc, char** argv) {
   cli.declare({"help", "requests", "seed", "devices-min", "devices-max",
                "field", "algos", "schemes", "budget-prob", "deadline-ms",
                "repeat-prob", "emit", "out", "server", "rate", "stats",
-               "topology", "dump", "responses-out"});
+               "topology", "dump", "responses-out", "retries", "backoff-ms",
+               "backoff-cap-ms", "response-timeout-ms", "connect-timeout",
+               "normalize"});
   cli.reject_unknown();
   if (cli.get_bool("help", false)) {
     std::cout << kUsage;
     return 0;
   }
+  // A dying server must surface as EPIPE on write, not kill us.
+  std::signal(SIGPIPE, SIG_IGN);
 
   try {
+    const std::string normalize_in = cli.get("normalize", "");
+    if (!normalize_in.empty()) {
+      return normalize_stream(normalize_in, cli.get("out", ""));
+    }
+
     const std::vector<cc::service::Request> mix = generate_mix(cli);
 
     if (cli.get_bool("emit", false)) {
@@ -413,7 +633,41 @@ int main(int argc, char** argv) {
     }
 
     const double rate = cli.get_double("rate", 0.0);
-    ServerPipe server(server_cmd);
+    const int retries = cli.get_int("retries", 0);
+    const double backoff_ms = cli.get_double("backoff-ms", 50.0);
+    const double backoff_cap_ms = cli.get_double("backoff-cap-ms", 2000.0);
+    const double response_timeout_ms =
+        cli.get_double("response-timeout-ms", 0.0);
+    const double connect_timeout_s = cli.get_double("connect-timeout", 0.0);
+    CC_EXPECTS(retries >= 0, "--retries must be >= 0");
+    // Distinct stream from the mix rng so adding retries never changes
+    // the generated workload.
+    cc::util::Rng jitter_rng(
+        static_cast<std::uint64_t>(cli.get_int("seed", 1)) ^
+        0x9e3779b97f4a7c15ULL);
+    const auto backoff = [&](int attempt) {
+      const double capped = std::min(
+          backoff_cap_ms, backoff_ms * std::pow(2.0, attempt));
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          capped * jitter_rng.uniform(0.5, 1.0)));
+    };
+
+    auto server = std::make_unique<ServerPipe>(server_cmd);
+    std::vector<std::string> collected;  // lines from replaced pipes
+    long resends = 0;
+    long respawns = 0;
+    bool server_lost = false;
+    bool awaiting_first = true;  // no response seen since (re)spawn
+    std::vector<std::string> gave_up;  // ids abandoned in flight
+    const auto respawn = [&] {
+      const std::vector<std::string> old = server->lines();
+      collected.insert(collected.end(), old.begin(), old.end());
+      server.reset();  // reaps the dead child
+      server = std::make_unique<ServerPipe>(server_cmd);
+      awaiting_first = true;
+      ++respawns;
+    };
+
     const auto start = std::chrono::steady_clock::now();
 
     if (rate > 0.0) {
@@ -423,7 +677,11 @@ int main(int argc, char** argv) {
       auto next = std::chrono::steady_clock::now();
       for (const cc::service::Request& request : mix) {
         std::this_thread::sleep_until(next);
-        server.send(cc::service::to_json_line(request));
+        if (!server->send(cc::service::to_checksummed_line(request))) {
+          server_lost = true;
+          gave_up.push_back(request.id);
+          break;
+        }
         next += std::chrono::duration_cast<
             std::chrono::steady_clock::duration>(interval);
       }
@@ -431,33 +689,96 @@ int main(int argc, char** argv) {
     std::vector<double> latencies_ms;
     if (rate <= 0.0) {
       // Closed loop: one outstanding request at a time, end-to-end
-      // latency measured per request.
+      // latency (including retries) measured per request.
       latencies_ms.reserve(mix.size());
-      std::size_t sent = 0;
+      bool abort_drive = false;
       for (const cc::service::Request& request : mix) {
-        const auto sent_at = std::chrono::steady_clock::now();
-        server.send(cc::service::to_json_line(request));
-        ++sent;
-        const bool answered_in_time = server.wait_for(sent);
-        latencies_ms.push_back(
-            std::chrono::duration<double, std::milli>(
-                std::chrono::steady_clock::now() - sent_at)
-                .count());
-        if (!answered_in_time) {
+        if (abort_drive) {
           break;
+        }
+        const std::string line = cc::service::to_checksummed_line(request);
+        const auto sent_at = std::chrono::steady_clock::now();
+        for (int attempt = 0;; ++attempt) {
+          const long have = server->id_count(request.id);
+          ServerPipe::Wait result = ServerPipe::Wait::kEof;
+          if (server->send(line)) {
+            auto deadline = std::chrono::steady_clock::time_point::max();
+            const auto attempt_start = std::chrono::steady_clock::now();
+            if (response_timeout_ms > 0.0) {
+              deadline =
+                  attempt_start +
+                  std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double, std::milli>(
+                          response_timeout_ms));
+            }
+            if (awaiting_first && connect_timeout_s > 0.0) {
+              deadline = std::min(
+                  deadline,
+                  attempt_start +
+                      std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(
+                              connect_timeout_s)));
+            }
+            result = server->wait_for_id(request.id, have + 1, deadline);
+          }
+          if (result == ServerPipe::Wait::kGot) {
+            awaiting_first = false;
+            cc::service::Response response;
+            try {
+              response = cc::service::parse_response(
+                  server->latest_for_id(request.id));
+            } catch (const cc::obs::JsonError&) {
+            }
+            if (attempt < retries && retryable_response(response)) {
+              ++resends;
+              backoff(attempt);
+              continue;
+            }
+            latencies_ms.push_back(
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - sent_at)
+                    .count());
+            break;
+          }
+          // EOF (server death) or a response timeout.
+          if (attempt >= retries) {
+            gave_up.push_back(request.id);
+            if (result == ServerPipe::Wait::kEof) {
+              server_lost = true;
+              abort_drive = true;  // nobody left to answer the rest
+            }
+            break;
+          }
+          ++resends;
+          backoff(attempt);
+          const bool dead = result == ServerPipe::Wait::kEof ||
+                            (result == ServerPipe::Wait::kTimeout &&
+                             awaiting_first);
+          if (dead) {
+            respawn();
+          }
         }
       }
     }
 
-    std::size_t expected = mix.size();
-    if (cli.get_bool("stats", false)) {
-      server.wait_for(mix.size());  // stats reply must come last
-      server.send("{\"cmd\":\"stats\"}");
-      ++expected;
+    if (!server_lost) {
+      std::size_t expected = mix.size();
+      if (cli.get_bool("stats", false)) {
+        if (rate > 0.0) {
+          server->wait_for(mix.size());  // stats reply must come last
+        }
+        const long seen = server->stats_seen();
+        if (server->send("{\"cmd\":\"stats\"}")) {
+          server->wait_for_stats(seen);
+        }
+        ++expected;
+      }
+      (void)server->send("{\"cmd\":\"shutdown\"}");
     }
-    server.send("{\"cmd\":\"shutdown\"}");
-    server.close_input();
-    server.wait_for(expected);
+    server->close_input();
+    server->wait_for_eof();
     const double elapsed_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
@@ -477,9 +798,17 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Parse everything that arrived — across respawns — and keep the
+    // latest response per id: retries can legitimately produce
+    // duplicate answers for one id, which must not double-count.
+    std::vector<std::string> all_lines = std::move(collected);
+    {
+      const std::vector<std::string> last = server->lines();
+      all_lines.insert(all_lines.end(), last.begin(), last.end());
+    }
     Summary summary;
-    std::size_t answered = 0;
-    for (const std::string& line : server.lines()) {
+    std::map<std::string, cc::service::Response> latest;
+    for (const std::string& line : all_lines) {
       cc::service::Response response;
       try {
         response = cc::service::parse_response(line);
@@ -497,24 +826,33 @@ int main(int argc, char** argv) {
         std::cout << "server stats: " << line << '\n';
         continue;
       }
+      if (response.id.empty()) {
+        // No id to match on (e.g. a corrupted-wire rejection): tally
+        // it directly; it cannot answer any request of the mix.
+        tally(response, summary);
+        continue;
+      }
+      latest[response.id] = std::move(response);
+    }
+
+    std::size_t answered = 0;
+    for (const cc::service::Request& request : mix) {
+      const auto it = latest.find(request.id);
+      if (it == latest.end()) {
+        continue;
+      }
+      const cc::service::Response& response = it->second;
+      ++answered;
+      tally(response, summary);
       if (normalized.is_open()) {
         // Timing and batching are nondeterministic by nature; zero them
         // so a cache on/off replay can be compared byte-for-byte.
-        cc::service::Response scrubbed = response;
-        scrubbed.queue_ms = 0.0;
-        scrubbed.schedule_ms = 0.0;
-        scrubbed.batch_size = 0;
-        normalized << cc::service::to_json_line(scrubbed) << '\n';
+        normalized << cc::service::to_json_line(scrub(response)) << '\n';
       }
-      ++answered;
-      tally(response, summary);
       if (!dump_dir.empty() && response.status == "ok" &&
           !response.coalesced) {
-        const auto it = by_id.find(response.id);
-        CC_ASSERT(it != by_id.end(),
-                  "server answered an id that was never sent: " +
-                      response.id);
-        dump_pair(dump_dir, *it->second, response, chargers, params);
+        dump_pair(dump_dir, *by_id.at(request.id), response, chargers,
+                  params);
       }
     }
 
@@ -532,6 +870,10 @@ int main(int argc, char** argv) {
               << " invalid=" << summary.invalid << '\n';
     for (const auto& [reason, count] : summary.rejected) {
       std::cout << "rejected : " << reason << " ×" << count << '\n';
+    }
+    if (resends > 0 || respawns > 0) {
+      std::cout << "retries  : " << resends << " resends, " << respawns
+                << " server respawns\n";
     }
     if (summary.ok > 0) {
       std::cout << "latency  : queue mean="
@@ -554,13 +896,46 @@ int main(int argc, char** argv) {
     const long malformed = summary.rejected.contains("malformed")
                                ? summary.rejected.at("malformed")
                                : 0;
+    if (server_lost) {
+      std::cerr << "error: server pipe closed unexpectedly (EOF/EPIPE) — "
+                   "server died mid-run\n";
+    }
     if (!all_answered) {
       std::cerr << "error: " << (mix.size() - answered)
                 << " requests got no response\n";
+      std::string in_flight;
+      std::size_t listed = 0;
+      for (const cc::service::Request& request : mix) {
+        if (latest.find(request.id) != latest.end()) {
+          continue;
+        }
+        if (listed == 10) {
+          in_flight += " ...";
+          break;
+        }
+        in_flight += (listed == 0 ? "" : " ") + request.id;
+        ++listed;
+      }
+      std::cerr << "error: in-flight/unanswered ids: " << in_flight << '\n';
+      if (!gave_up.empty()) {
+        std::cerr << "error: " << gave_up.size()
+                  << " of them abandoned after exhausting retries "
+                     "(first: "
+                  << gave_up.front() << ")\n";
+      }
     }
-    if (malformed > 0) {
+    // With retries on, the client is in fault-tolerant mode: malformed
+    // rejections are expected wire-corruption noise as long as every
+    // request was eventually answered. Without retries they mean the
+    // client itself emitted a bad line — a hard failure.
+    const bool malformed_fatal = malformed > 0 && retries == 0;
+    if (malformed_fatal) {
       std::cerr << "error: " << malformed
                 << " requests rejected as malformed\n";
+    } else if (malformed > 0) {
+      std::cerr << "note: " << malformed
+                << " malformed rejections tolerated (wire noise under "
+                   "retries)\n";
     }
     if (summary.unparseable > 0) {
       std::cerr << "error: " << summary.unparseable
@@ -570,8 +945,8 @@ int main(int argc, char** argv) {
       std::cerr << "error: " << summary.invalid
                 << " responses failed strict validation\n";
     }
-    return (all_answered && malformed == 0 && summary.unparseable == 0 &&
-            summary.invalid == 0)
+    return (all_answered && !malformed_fatal && summary.unparseable == 0 &&
+            summary.invalid == 0 && !server_lost)
                ? 0
                : 1;
   } catch (const cc::core::IoError& e) {

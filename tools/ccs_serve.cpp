@@ -10,7 +10,9 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -58,6 +60,22 @@ Service knobs:
   --cache-ttl=S              entry time-to-live seconds, 0 = none
   --stats-interval=S         emit a stats heartbeat line every S seconds
 
+Robustness (docs/robustness.md):
+  --journal=PATH             crash-safe write-ahead journal: admitted
+                             requests survive a crash and are replayed
+                             on the next --journal start
+  --journal-sync=MODE        always | batch | off (default always)
+  --timeout-ms=T             per-request dispatch deadline enforced by
+                             the watchdog, 0 = off (default)
+  --watchdog-workers=N       supervised dispatch pool size
+                             (default: batch-max)
+  --dedup=N                  remember the last N responses by request
+                             id and re-answer retries from memory
+  --chaos=SPEC               seeded fault injection, e.g.
+                             seed=7,drop=0.01,corrupt=0.02,stall=0.1,
+                             stall-ms=50,crash=0.01,sink-fail=0.01
+                             (CC_CHAOS env var is the fallback)
+
 Common:
   --jobs=N                   scheduler thread-pool size
   --obs | --trace=PATH | --manifest[=PATH]   observability (see ccs_cli)
@@ -82,6 +100,32 @@ void print_final_stats(const cc::service::ChargingService& service) {
               << " misses=" << c.misses << " evictions=" << c.evictions
               << " merged=" << c.inflight_merged << '\n';
   }
+  if (service.options().request_timeout_ms > 0.0) {
+    const cc::service::Watchdog::Stats w = service.watchdog_stats();
+    std::cerr << "ccs_serve: watchdog: timeouts=" << w.timeouts
+              << " stalls=" << w.stalls_detected
+              << " crashes=" << w.worker_crashes
+              << " replaced=" << w.workers_replaced
+              << " discarded=" << w.results_discarded << '\n';
+  }
+  if (service.journal() != nullptr) {
+    std::cerr << "ccs_serve: journal: replayed=" << s.replayed
+              << " outstanding=" << service.journal()->outstanding()
+              << '\n';
+  }
+  if (s.deduped > 0 || s.sink_errors > 0 || s.timeouts > 0) {
+    std::cerr << "ccs_serve: robustness: deduped=" << s.deduped
+              << " sink_errors=" << s.sink_errors
+              << " timeouts=" << s.timeouts << '\n';
+  }
+}
+
+void print_chaos_stats(const cc::service::ChaosInjector& chaos) {
+  const cc::service::ChaosInjector::Stats c = chaos.stats();
+  std::cerr << "ccs_serve: chaos: dropped=" << c.dropped
+            << " truncated=" << c.truncated << " corrupted=" << c.corrupted
+            << " stalls=" << c.stalls << " crashes=" << c.crashes
+            << " sink_failures=" << c.sink_failures << '\n';
 }
 
 /// Periodic stats heartbeat: a detached-looking but joinable thread
@@ -138,7 +182,8 @@ int main(int argc, char** argv) {
                "algo", "scheme", "queue-cap", "batch-max", "batch-window-ms",
                "deadline-ms", "max-devices", "coalesce", "cache",
                "cache-entries", "cache-mb", "cache-ttl", "stats-interval",
-               "jobs", "obs", "trace", "manifest"});
+               "journal", "journal-sync", "timeout-ms", "watchdog-workers",
+               "dedup", "chaos", "jobs", "obs", "trace", "manifest"});
   cli.reject_unknown();
   if (cli.get_bool("help", false)) {
     std::cout << kUsage;
@@ -197,6 +242,28 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(cli.get_int("cache-mb", 64)) << 20;
     options.cache_options.ttl_s = cli.get_double("cache-ttl", 0.0);
     const double stats_interval_s = cli.get_double("stats-interval", 0.0);
+    options.journal_path = cli.get("journal", "");
+    options.journal_sync = cc::service::Journal::sync_mode_from_string(
+        cli.get("journal-sync", "always"));
+    options.request_timeout_ms = cli.get_double("timeout-ms", 0.0);
+    options.watchdog_workers =
+        static_cast<std::size_t>(cli.get_int("watchdog-workers", 0));
+    options.dedup_window = static_cast<std::size_t>(cli.get_int("dedup", 0));
+
+    // Fault injection: --chaos wins; the CC_CHAOS environment variable
+    // is the fallback so wrappers can arm it without touching argv.
+    std::unique_ptr<cc::service::ChaosInjector> chaos;
+    std::string chaos_spec = cli.get("chaos", "");
+    if (chaos_spec.empty()) {
+      if (const char* env = std::getenv("CC_CHAOS")) {
+        chaos_spec = env;
+      }
+    }
+    if (!chaos_spec.empty()) {
+      chaos = std::make_unique<cc::service::ChaosInjector>(
+          cc::service::ChaosSpec::parse(chaos_spec));
+      options.chaos = chaos.get();
+    }
 
     // Validate the defaults up front: a typo'd --algo should kill the
     // daemon at boot, not reject every request at runtime.
@@ -215,14 +282,40 @@ int main(int argc, char** argv) {
               << " queue-cap=" << options.queue_capacity
               << " batch-max=" << options.batch_max << " coalesce="
               << (options.coalesce ? "on" : "off") << " cache="
-              << (options.cache ? "on" : "off")
+              << (options.cache ? "on" : "off") << " journal="
+              << (options.journal_path.empty() ? "off" : "on")
+              << " watchdog="
+              << (options.request_timeout_ms > 0.0 ? "on" : "off")
+              << (options.chaos != nullptr ? " chaos=on" : "")
               << "; reading requests from stdin\n";
+
+    // Crash recovery: requests the previous run admitted but never
+    // answered are resubmitted before any new traffic is read.
+    if (service.journal() != nullptr) {
+      const cc::service::JournalReplay& recovered =
+          service.journal()->recovered();
+      const std::size_t replayed = service.replay_recovered();
+      std::cerr << "ccs_serve: journal " << options.journal_path << ": "
+                << recovered.records << " records recovered ("
+                << recovered.torn_bytes << " torn bytes dropped), replayed "
+                << replayed << " incomplete request"
+                << (replayed == 1 ? "" : "s") << '\n';
+    }
 
     StatsHeartbeat heartbeat(service, stats_interval_s);
     std::string line;
     while (std::getline(std::cin, line)) {
       if (line.empty()) {
         continue;
+      }
+      // Wire-level chaos mangles inbound lines at the transport edge,
+      // upstream of the strict parser (a dropped line simply never
+      // reaches the service — exactly like a lossy network).
+      if (chaos != nullptr && !chaos->mangle_line(line)) {
+        continue;
+      }
+      if (line.empty()) {
+        continue;  // truncated-to-nothing by chaos
       }
       if (!service.submit_line(line)) {
         break;  // {"cmd":"shutdown"}
@@ -231,6 +324,9 @@ int main(int argc, char** argv) {
     heartbeat.stop();
     service.shutdown(true);
     print_final_stats(service);
+    if (chaos != nullptr) {
+      print_chaos_stats(*chaos);
+    }
 
     if (want_manifest) {
       std::string manifest_path = cli.get("manifest", "");
@@ -257,6 +353,23 @@ int main(int argc, char** argv) {
                             static_cast<double>(c.evictions));
         manifest.set_metric("cache.inflight_merged",
                             static_cast<double>(c.inflight_merged));
+      }
+      if (options.request_timeout_ms > 0.0) {
+        const cc::service::Watchdog::Stats w = service.watchdog_stats();
+        manifest.set_metric("watchdog.timeouts",
+                            static_cast<double>(w.timeouts));
+        manifest.set_metric("watchdog.stalls",
+                            static_cast<double>(w.stalls_detected));
+        manifest.set_metric("watchdog.replaced",
+                            static_cast<double>(w.workers_replaced));
+      }
+      if (!options.journal_path.empty()) {
+        manifest.set_metric("journal.replayed",
+                            static_cast<double>(s.replayed));
+      }
+      if (options.dedup_window > 0) {
+        manifest.set_metric("service.deduped",
+                            static_cast<double>(s.deduped));
       }
       manifest.save(manifest_path);
       std::cerr << "manifest: " << manifest_path << '\n';
