@@ -1,0 +1,265 @@
+/// \file bench_scale.cpp
+/// Scale sweep for the structure-of-arrays scheduler core: 1k → 100k
+/// devices per algorithm on a fixed-field deployment (device density
+/// grows with n, the service-area regime where coalition sizes scale).
+///
+/// Three gates, all fatal (nonzero exit):
+///
+///  * equality — at every size up to --ref-max the SoA CCSA cover must
+///    produce a total cost within 1e-9 (relative) of the scalar
+///    reference cover (`soa=false`), and the schedules must agree
+///    coalition-for-coalition;
+///  * speedup  — at the --gate-size (default 10k) the SoA cover must be
+///    at least --min-speedup times faster than the scalar reference
+///    (default 4x; lower it for smoke runs on loaded machines);
+///  * steady-state allocations — with the obs registry on, a repeat run
+///    of the SoA cover at the gate size must not grow any `alloc.*`
+///    counter: the arena blocks and the per-thread scratch rows are at
+///    their high-water marks after warm-up, so the steady state runs
+///    allocation-free.
+///
+/// Costs per (algorithm, size) are deterministic in --seed and recorded
+/// as gated manifest metrics; wall times and the measured speedup are
+/// machine-dependent and recorded under the advisory "time." prefix.
+/// CCSA runs with refine off (the cover phase is what the SoA core
+/// accelerates; refinement is shared code gated by its own benches) —
+/// full refine at 100k devices is a different complexity class.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/ccsa.h"
+#include "core/ccsga.h"
+#include "core/online.h"
+#include "util/rng.h"
+
+namespace {
+
+struct RunSample {
+  double cost = 0.0;
+  double best_ms = 0.0;
+  std::size_t coalitions = 0;
+};
+
+std::vector<int> parse_sizes(const std::string& csv) {
+  std::vector<int> sizes;
+  std::stringstream stream(csv);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) {
+      sizes.push_back(std::stoi(item));
+    }
+  }
+  return sizes;
+}
+
+cc::core::Instance make_instance(int devices, int chargers,
+                                 std::uint64_t seed) {
+  cc::core::GeneratorConfig config;
+  config.num_devices = devices;
+  config.num_chargers = chargers;
+  config.seed = seed;
+  return cc::core::generate(config);
+}
+
+/// Runs `scheduler` `reps` times; returns the (deterministic) cost and
+/// the best wall time.
+RunSample time_runs(const cc::core::Scheduler& scheduler,
+                    const cc::core::Instance& instance, int reps) {
+  RunSample sample;
+  sample.best_ms = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps; ++rep) {
+    cc::util::Stopwatch watch;
+    const cc::core::SchedulerResult result = scheduler.run(instance);
+    const double ms = watch.elapsed_ms();
+    sample.best_ms = std::min(sample.best_ms, ms);
+    const cc::core::CostModel cost(instance);
+    sample.cost = result.schedule.total_cost(cost);
+    sample.coalitions = result.schedule.coalitions().size();
+  }
+  return sample;
+}
+
+/// Sum of every `alloc.*` counter in the obs registry.
+std::int64_t alloc_counter_total() {
+  std::int64_t total = 0;
+  for (const auto& [name, value] :
+       cc::obs::registry().counter_snapshot()) {
+    if (name.rfind("alloc.", 0) == 0) {
+      total += value;
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cc::util::Cli cli = cc::bench::init(
+      argc, argv,
+      {"sizes", "chargers", "seed", "reps", "ref-max", "gate-size",
+       "min-speedup", "ccsga-max", "online-max"});
+  const std::vector<int> sizes =
+      parse_sizes(cli.get("sizes", "1000,3000,10000,30000,100000"));
+  const int chargers = cli.get_int("chargers", 10);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const int reps = cli.get_int("reps", 3);
+  const int ref_max = cli.get_int("ref-max", 10000);
+  const int gate_size = cli.get_int("gate-size", 10000);
+  const double min_speedup = cli.get_double("min-speedup", 4.0);
+  const int ccsga_max = cli.get_int("ccsga-max", 10000);
+  const int online_max = cli.get_int("online-max", 3000);
+
+  cc::bench::banner(
+      "SoA scheduler core at scale: 1k-100k devices",
+      "vectorized cost kernels + arena coalitions; SoA cover gated "
+      "bit-close (1e-9) against the scalar reference and >= min-speedup "
+      "faster at the gate size");
+
+  cc::util::Table table({"algorithm", "devices", "cost", "groups", "ms",
+                         "scalar ms", "speedup"});
+  cc::util::CsvWriter csv("bench_scale.csv");
+  csv.write_header({"algorithm", "devices", "cost", "groups", "best_ms",
+                    "scalar_best_ms", "speedup"});
+
+  cc::core::CcsaOptions soa_opts;
+  soa_opts.refine = false;
+  soa_opts.soa = true;
+  cc::core::CcsaOptions scalar_opts;
+  scalar_opts.refine = false;
+  scalar_opts.soa = false;
+
+  bool equality_ok = true;
+  double gate_speedup = 0.0;
+  bool gate_measured = false;
+
+  for (const int n : sizes) {
+    const cc::core::Instance instance = make_instance(n, chargers, seed);
+    const std::string suffix = ".n" + std::to_string(n);
+    const int size_reps = n <= 10000 ? reps : 1;
+
+    // --- CCSA cover, SoA vs scalar reference ------------------------
+    const cc::core::Ccsa soa(soa_opts);
+    const RunSample soa_run = time_runs(soa, instance, size_reps);
+    cc::bench::record_metric("ccsa_raw.cost" + suffix, soa_run.cost);
+    cc::bench::record_metric("time.ccsa_raw" + suffix + "_ms",
+                             soa_run.best_ms);
+
+    double scalar_ms = 0.0;
+    double speedup = 0.0;
+    if (n <= ref_max) {
+      const cc::core::Ccsa scalar(scalar_opts);
+      const RunSample ref_run = time_runs(scalar, instance, size_reps);
+      scalar_ms = ref_run.best_ms;
+      speedup = soa_run.best_ms > 0.0 ? ref_run.best_ms / soa_run.best_ms
+                                      : 0.0;
+      cc::bench::record_metric("time.ccsa_scalar" + suffix + "_ms",
+                               ref_run.best_ms);
+      cc::bench::record_metric("time.ccsa.speedup" + suffix, speedup);
+      const double tol = 1e-9 * std::max(1.0, std::abs(ref_run.cost));
+      if (std::abs(ref_run.cost - soa_run.cost) > tol ||
+          ref_run.coalitions != soa_run.coalitions) {
+        std::cerr << "FAIL: SoA cover diverged from scalar reference at n="
+                  << n << " (soa=" << soa_run.cost
+                  << ", scalar=" << ref_run.cost << ")\n";
+        equality_ok = false;
+      }
+      if (n == gate_size) {
+        gate_speedup = speedup;
+        gate_measured = true;
+      }
+    }
+    table.row()
+        .cell("ccsa-raw")
+        .cell(n)
+        .cell(soa_run.cost, 2)
+        .cell(static_cast<long>(soa_run.coalitions))
+        .cell(soa_run.best_ms, 2)
+        .cell(scalar_ms, 2)
+        .cell(speedup, 2);
+    csv.write_row({"ccsa-raw", std::to_string(n),
+                   cc::util::format_double(soa_run.cost, 6),
+                   std::to_string(soa_run.coalitions),
+                   cc::util::format_double(soa_run.best_ms, 4),
+                   cc::util::format_double(scalar_ms, 4),
+                   cc::util::format_double(speedup, 3)});
+
+    // --- steady-state allocation gate (at the gate size) ------------
+    if (n == gate_size) {
+      cc::obs::set_enabled(true);
+      (void)soa.run(instance);  // warm every thread-local to high water
+      const std::int64_t before = alloc_counter_total();
+      (void)soa.run(instance);
+      const std::int64_t after = alloc_counter_total();
+      cc::bench::record_metric("alloc.steady_state_delta",
+                               static_cast<double>(after - before));
+      if (after != before) {
+        std::cerr << "FAIL: steady-state run grew alloc.* counters by "
+                  << (after - before) << " at n=" << n << "\n";
+        equality_ok = false;
+      }
+    }
+
+    // --- the other schedulers, SoA-backed via the shared kernels ----
+    if (n <= ccsga_max) {
+      const cc::core::Ccsga ccsga;
+      const RunSample run = time_runs(ccsga, instance, size_reps);
+      cc::bench::record_metric("ccsga.cost" + suffix, run.cost);
+      cc::bench::record_metric("time.ccsga" + suffix + "_ms", run.best_ms);
+      table.row()
+          .cell("ccsga")
+          .cell(n)
+          .cell(run.cost, 2)
+          .cell(static_cast<long>(run.coalitions))
+          .cell(run.best_ms, 2)
+          .cell(0.0, 2)
+          .cell(0.0, 2);
+      csv.write_row({"ccsga", std::to_string(n),
+                     cc::util::format_double(run.cost, 6),
+                     std::to_string(run.coalitions),
+                     cc::util::format_double(run.best_ms, 4), "0", "0"});
+    }
+    if (n <= online_max) {
+      const cc::core::OnlineGreedy online;
+      const RunSample run = time_runs(online, instance, size_reps);
+      cc::bench::record_metric("online.cost" + suffix, run.cost);
+      cc::bench::record_metric("time.online" + suffix + "_ms", run.best_ms);
+      table.row()
+          .cell("online")
+          .cell(n)
+          .cell(run.cost, 2)
+          .cell(static_cast<long>(run.coalitions))
+          .cell(run.best_ms, 2)
+          .cell(0.0, 2)
+          .cell(0.0, 2);
+      csv.write_row({"online", std::to_string(n),
+                     cc::util::format_double(run.cost, 6),
+                     std::to_string(run.coalitions),
+                     cc::util::format_double(run.best_ms, 4), "0", "0"});
+    }
+  }
+
+  table.print(std::cout);
+  std::cout << "\nwrote bench_scale.csv\n";
+
+  int exit_code = 0;
+  if (!equality_ok) {
+    exit_code = 1;
+  }
+  if (gate_measured && gate_speedup < min_speedup) {
+    std::cerr << "FAIL: SoA speedup at n=" << gate_size << " is "
+              << gate_speedup << "x, below the " << min_speedup
+              << "x acceptance floor\n";
+    exit_code = 1;
+  } else if (gate_measured) {
+    std::cout << "speedup gate: " << gate_speedup << "x at n=" << gate_size
+              << " (floor " << min_speedup << "x)\n";
+  }
+  return exit_code;
+}

@@ -1,33 +1,39 @@
 #include "core/ccsa.h"
 
+#include <algorithm>
 #include <limits>
+#include <numeric>
 
 #include "core/refine.h"
 #include "obs/registry.h"
 #include "submodular/densest.h"
+#include "util/arena.h"
 #include "util/assert.h"
 #include "util/stopwatch.h"
 
 namespace cc::core {
 
-SchedulerResult Ccsa::run(const Instance& instance) const {
-  const util::Stopwatch watch;
-  const CostModel cost(instance);
-  SchedulerResult result;
+namespace {
 
-  std::vector<DeviceId> uncovered;
-  uncovered.reserve(static_cast<std::size_t>(instance.num_devices()));
-  for (DeviceId i = 0; i < instance.num_devices(); ++i) {
-    uncovered.push_back(i);
-  }
+/// Per-thread cover-loop working set. The arena hands out the
+/// per-iteration weight/permutation buffers (reset() keeps the blocks,
+/// so after the first iteration at the high-water size nothing touches
+/// the heap); the vectors keep their capacity across iterations and
+/// across runs on the same thread.
+struct CoverWorkspace {
+  util::Arena arena;
+  sub::DensestScratch densest;
+  std::vector<int> candidate;   ///< densest argmin of the current charger
+  std::vector<int> best_local;  ///< best proposal's indices into uncovered
+};
 
+/// Reference cover loop: per charger, materialize the group-cost
+/// function and run the structured (or Wolfe) Dinkelbach on it. Kept
+/// verbatim as the scalar baseline the SoA path is gated against.
+void cover_scalar(const CostModel& cost, const CcsaOptions& options,
+                  std::vector<DeviceId>& uncovered, SchedulerResult& result) {
+  const Instance& instance = cost.instance();
   const sub::WolfeSfm wolfe_solver;
-  bool any_cap = false;
-  for (ChargerId j = 0; j < instance.num_chargers(); ++j) {
-    any_cap |= cost.session_cap(j) > 0;
-  }
-  CC_EXPECTS(!any_cap || options_.backend == CcsaBackend::kStructured,
-             "session capacity constraints need the structured backend");
 
   while (!uncovered.empty()) {
     ++result.stats.iterations;
@@ -41,9 +47,9 @@ SchedulerResult Ccsa::run(const Instance& instance) const {
           cost.group_cost_function(j, uncovered);
       const sub::DensestResult densest =
           cap > 0 ? sub::min_average_cost_capped(group_fn, cap,
-                                                 options_.incremental_oracle)
-          : options_.backend == CcsaBackend::kStructured
-              ? sub::min_average_cost(group_fn, options_.incremental_oracle)
+                                                 options.incremental_oracle)
+          : options.backend == CcsaBackend::kStructured
+              ? sub::min_average_cost(group_fn, options.incremental_oracle)
               : sub::min_average_cost(group_fn, wolfe_solver);
       if (densest.average_cost < best_average) {
         best_average = densest.average_cost;
@@ -66,10 +72,177 @@ SchedulerResult Ccsa::run(const Instance& instance) const {
     }
     result.schedule.add(std::move(coalition));
   }
+}
+
+/// SoA cover loop. The key structural win: the Dinkelbach ground set
+/// (the uncovered devices) has charger-independent max-weights, so the
+/// w-ascending permutation every oracle needs is computed ONCE per
+/// cover iteration and shared by all m chargers — the scalar path
+/// re-sorts inside every group_cost_function construction. Each
+/// charger then only gathers its move-cost column (a contiguous slice
+/// of the column-major matrix) through the shared permutation and runs
+/// the span kernels. Identical value sequences at every step, hence
+/// bit-identical schedules.
+void cover_soa(const CostModel& cost, std::vector<DeviceId>& uncovered,
+               SchedulerResult& result) {
+  const InstanceView& view = cost.view();
+  const std::span<const double> demand = view.demand();
+  const std::span<const double> fee_rate = view.fee_rate();
+  const std::span<const int> caps = view.session_cap();
+  const int num_chargers = view.num_chargers();
+
+  thread_local CoverWorkspace ws;
+
+  if (uncovered.empty()) {
+    return;
+  }
+  const std::size_t n_full = uncovered.size();
+  std::size_t n_u = n_full;
+
+  // All scratch comes from the per-thread arena, sized once at the full
+  // device count; subsequent cover iterations only shrink the live
+  // prefix. After the first run at a given size the arena's blocks are
+  // at their high-water mark and every later run is allocation-free.
+  ws.arena.reset();
+  const std::span<double> w = ws.arena.make<double>(n_full);
+  const std::span<double> b = ws.arena.make<double>(n_full);
+  const std::span<double> w_sorted = ws.arena.make<double>(n_full);
+  const std::span<double> b_sorted = ws.arena.make<double>(n_full);
+  const std::span<int> order = ws.arena.make<int>(n_full);
+  const std::span<DeviceId> dev_sorted = ws.arena.make<DeviceId>(n_full);
+  const std::span<int> remap = ws.arena.make<int>(n_full);
+
+  // The w-ascending permutation is sorted ONCE, with the same
+  // comparator as the MaxModularFunction constructor (ties by local
+  // index). Later iterations maintain it by a stable filter: removing
+  // committed entries keeps the survivors' relative order, and because
+  // the uncovered compaction preserves relative local indices, the
+  // filtered permutation is exactly what a fresh (w, index) sort of the
+  // shrunken set would produce — the scalar path's per-charger
+  // per-iteration sorts collapse to one O(n log n) sort per run.
+  for (std::size_t k = 0; k < n_u; ++k) {
+    w[k] = demand[static_cast<std::size_t>(uncovered[k])];
+  }
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&w](int lhs, int rhs) {
+    const double wl = w[static_cast<std::size_t>(lhs)];
+    const double wr = w[static_cast<std::size_t>(rhs)];
+    return wl != wr ? wl < wr : lhs < rhs;
+  });
+  for (std::size_t pos = 0; pos < n_u; ++pos) {
+    const auto id = static_cast<std::size_t>(order[pos]);
+    w_sorted[pos] = w[id];
+    dev_sorted[pos] = uncovered[id];
+  }
+
+  while (n_u > 0) {
+    ++result.stats.iterations;
+
+    double best_average = std::numeric_limits<double>::infinity();
+    ChargerId best_charger = 0;
+    ws.best_local.clear();
+
+    for (ChargerId j = 0; j < num_chargers; ++j) {
+      const std::span<const double> col = view.move_col(j);
+      for (std::size_t k = 0; k < n_u; ++k) {
+        b[k] = col[static_cast<std::size_t>(uncovered[k])];
+      }
+      // One fused gather through the precomputed sorted device ids.
+      for (std::size_t pos = 0; pos < n_u; ++pos) {
+        b_sorted[pos] = col[static_cast<std::size_t>(dev_sorted[pos])];
+      }
+      const sub::SortedMaxModularView group_fn{
+          fee_rate[static_cast<std::size_t>(j)], w_sorted.first(n_u),
+          b_sorted.first(n_u), order.first(n_u)};
+      const sub::DensestScan scan = sub::min_average_cost_sorted(
+          group_fn, w.first(n_u), b.first(n_u),
+          caps[static_cast<std::size_t>(j)], ws.densest, ws.candidate);
+      if (scan.average_cost < best_average) {
+        best_average = scan.average_cost;
+        best_charger = j;
+        ws.best_local.assign(ws.candidate.begin(), ws.candidate.end());
+      }
+    }
+
+    CC_ASSERT(!ws.best_local.empty(),
+              "greedy step must commit a nonempty coalition");
+    Coalition coalition;
+    coalition.charger = best_charger;
+    coalition.members.reserve(ws.best_local.size());
+    for (int local : ws.best_local) {
+      coalition.members.push_back(uncovered[static_cast<std::size_t>(local)]);
+    }
+    // One-pass compaction of the committed devices; `best_local` is
+    // ascending, so this removes exactly the same positions as the
+    // scalar path's descending erase loop. `remap` records old → new
+    // local indices (-1 for removed) for the permutation filter below;
+    // `w` is compacted in the same pass.
+    std::size_t write = 0;
+    std::size_t next = 0;
+    for (std::size_t read = 0; read < n_u; ++read) {
+      if (next < ws.best_local.size() &&
+          read == static_cast<std::size_t>(ws.best_local[next])) {
+        ++next;
+        remap[read] = -1;
+        continue;
+      }
+      remap[read] = static_cast<int>(write);
+      uncovered[write] = uncovered[read];
+      w[write] = w[read];
+      ++write;
+    }
+    uncovered.resize(write);
+
+    // Stable filter of the sorted permutation (and its parallel
+    // arrays) — survivors keep their relative order.
+    std::size_t out = 0;
+    for (std::size_t pos = 0; pos < n_u; ++pos) {
+      const int new_id = remap[static_cast<std::size_t>(order[pos])];
+      if (new_id >= 0) {
+        order[out] = new_id;
+        w_sorted[out] = w_sorted[pos];
+        dev_sorted[out] = dev_sorted[pos];
+        ++out;
+      }
+    }
+    n_u = write;
+    result.schedule.add(std::move(coalition));
+  }
+}
+
+}  // namespace
+
+SchedulerResult Ccsa::run(const Instance& instance) const {
+  const util::Stopwatch watch;
+  const CostModel cost(instance);
+  SchedulerResult result;
+
+  std::vector<DeviceId> uncovered;
+  uncovered.reserve(static_cast<std::size_t>(instance.num_devices()));
+  for (DeviceId i = 0; i < instance.num_devices(); ++i) {
+    uncovered.push_back(i);
+  }
+
+  bool any_cap = false;
+  for (ChargerId j = 0; j < instance.num_chargers(); ++j) {
+    any_cap |= cost.session_cap(j) > 0;
+  }
+  CC_EXPECTS(!any_cap || options_.backend == CcsaBackend::kStructured,
+             "session capacity constraints need the structured backend");
+
+  // The SoA fast path requires the structured exact oracle; the Wolfe
+  // backend and the non-incremental reference leg (fig8's "before"
+  // measurement) keep the scalar loop.
+  if (options_.soa && options_.backend == CcsaBackend::kStructured &&
+      options_.incremental_oracle) {
+    cover_soa(cost, uncovered, result);
+  } else {
+    cover_scalar(cost, options_, uncovered, result);
+  }
 
   if (options_.refine) {
     const RefineStats refine_stats =
-        refine_schedule(instance, result.schedule, options_.refine_rounds);
+        refine_schedule(cost, result.schedule, options_.refine_rounds);
     result.stats.switches = refine_stats.relocations + refine_stats.merges;
   }
 

@@ -35,6 +35,16 @@ struct CcsaOptions {
   /// Bit-identical results; `false` keeps the legacy reference path for
   /// the before/after runtime harness.
   bool incremental_oracle = true;
+  /// Run the cover phase on the structure-of-arrays fast path: the
+  /// per-iteration w-sort is hoisted out of the charger loop (the
+  /// demands of the uncovered set do not depend on the charger), every
+  /// oracle runs over pre-permuted contiguous arrays, and all scratch
+  /// comes from a per-thread arena — zero heap allocations at steady
+  /// state. Bit-identical to the scalar cover loop (enforced by
+  /// soa_equivalence_test); takes effect only with the structured
+  /// backend and `incremental_oracle` (the fig8 harness's scalar
+  /// reference leg stays untouched).
+  bool soa = true;
 };
 
 class Ccsa final : public Scheduler {

@@ -34,6 +34,12 @@ struct GameState {
   std::vector<Coalition> coalitions;
   std::vector<IncrementalGroupCost> caches;  // parallel to `coalitions`
   std::vector<int> coalition_of_device;  // device -> coalition index
+  // Legacy-path (non-incremental / Shapley) candidate buffers, hoisted
+  // so the payment peeks and consent checks reuse capacity instead of
+  // allocating per probe.
+  mutable std::vector<DeviceId> enlarged_scratch;
+  mutable std::vector<double> pay_before;
+  mutable std::vector<double> pay_after;
 
   [[nodiscard]] bool fast_scheme() const noexcept {
     return incremental && scheme != SharingScheme::kShapley;
@@ -55,8 +61,7 @@ struct GameState {
     if (fast_scheme()) {
       const IncrementalGroupCost& g =
           caches[static_cast<std::size_t>(coalition_idx)];
-      return fast_share(g.session_fee(),
-                        cost->instance().device(i).demand_j, g.demand_sum(),
+      return fast_share(g.session_fee(), cost->demand(i), g.demand_sum(),
                         c.members.size()) +
              cost->move_cost(i, c.charger);
     }
@@ -69,14 +74,14 @@ struct GameState {
     const Coalition& c = coalitions[static_cast<std::size_t>(target)];
     if (fast_scheme()) {
       const IncrementalGroupCost& g = caches[static_cast<std::size_t>(target)];
-      const double di = cost->instance().device(i).demand_j;
+      const double di = cost->demand(i);
       return fast_share(g.fee_with(i), di, g.demand_sum() + di,
                         c.members.size() + 1) +
              cost->move_cost(i, c.charger);
     }
-    std::vector<DeviceId> enlarged = c.members;
-    enlarged.push_back(i);
-    return payment_of(scheme, *cost, c.charger, enlarged, i);
+    enlarged_scratch.assign(c.members.begin(), c.members.end());
+    enlarged_scratch.push_back(i);
+    return payment_of(scheme, *cost, c.charger, enlarged_scratch, i);
   }
 
   /// Consent: would any incumbent of `target` pay more after i joins?
@@ -87,11 +92,10 @@ struct GameState {
       const double fee_before = g.session_fee();
       const double fee_after = g.fee_with(i);
       const double total_before = g.demand_sum();
-      const double total_after =
-          total_before + cost->instance().device(i).demand_j;
+      const double total_after = total_before + cost->demand(i);
       const std::size_t k = c.members.size();
       for (DeviceId m : c.members) {
-        const double dm = cost->instance().device(m).demand_j;
+        const double dm = cost->demand(m);
         const double mv = cost->move_cost(m, c.charger);
         const double before =
             fast_share(fee_before, dm, total_before, k) + mv;
@@ -103,14 +107,12 @@ struct GameState {
       }
       return true;
     }
-    std::vector<DeviceId> enlarged = c.members;
-    enlarged.push_back(i);
-    const std::vector<double> before =
-        payments(scheme, *cost, c.charger, c.members);
-    const std::vector<double> after =
-        payments(scheme, *cost, c.charger, enlarged);
+    enlarged_scratch.assign(c.members.begin(), c.members.end());
+    enlarged_scratch.push_back(i);
+    payments_into(scheme, *cost, c.charger, c.members, pay_before);
+    payments_into(scheme, *cost, c.charger, enlarged_scratch, pay_after);
     for (std::size_t idx = 0; idx < c.members.size(); ++idx) {
-      if (after[idx] > before[idx] + epsilon) {
+      if (pay_after[idx] > pay_before[idx] + epsilon) {
         return false;
       }
     }
@@ -190,6 +192,9 @@ SchedulerResult Ccsga::run(const Instance& instance) const {
   std::vector<DeviceId> order(
       static_cast<std::size_t>(instance.num_devices()));
   std::iota(order.begin(), order.end(), 0);
+  // Guarded-mode legacy-path candidate buffers (capacity reused).
+  std::vector<DeviceId> cur_without;
+  std::vector<DeviceId> enlarged;
 
   bool any_switch = true;
   for (int round = 0; round < options_.max_rounds && any_switch; ++round) {
@@ -261,7 +266,7 @@ SchedulerResult Ccsga::run(const Instance& instance) const {
         } else {
           const Coalition& cur =
               state.coalitions[static_cast<std::size_t>(cur_idx)];
-          std::vector<DeviceId> cur_without = cur.members;
+          cur_without.assign(cur.members.begin(), cur.members.end());
           cur_without.erase(
               std::find(cur_without.begin(), cur_without.end(), i));
           delta = -cost.group_cost(cur.charger, cur.members);
@@ -271,7 +276,7 @@ SchedulerResult Ccsga::run(const Instance& instance) const {
           if (best_target >= 0) {
             const Coalition& tgt =
                 state.coalitions[static_cast<std::size_t>(best_target)];
-            std::vector<DeviceId> enlarged = tgt.members;
+            enlarged.assign(tgt.members.begin(), tgt.members.end());
             enlarged.push_back(i);
             delta -= cost.group_cost(tgt.charger, tgt.members);
             delta += cost.group_cost(tgt.charger, enlarged);
@@ -320,6 +325,9 @@ bool is_switch_stable(const Instance& instance, const Schedule& schedule,
                       double epsilon) {
   const CostModel cost(instance);
   const auto coalitions = schedule.coalitions();
+  std::vector<DeviceId> enlarged;
+  std::vector<double> before;
+  std::vector<double> after;
   for (std::size_t k = 0; k < coalitions.size(); ++k) {
     for (DeviceId i : coalitions[k].members) {
       const double cur_pay = payment_of(scheme, cost, coalitions[k].charger,
@@ -339,8 +347,8 @@ bool is_switch_stable(const Instance& instance, const Schedule& schedule,
             static_cast<int>(coalitions[t].members.size()) >= cap) {
           continue;
         }
-        std::vector<DeviceId> enlarged(coalitions[t].members.begin(),
-                                       coalitions[t].members.end());
+        enlarged.assign(coalitions[t].members.begin(),
+                        coalitions[t].members.end());
         enlarged.push_back(i);
         const double pay = payment_of(scheme, cost, coalitions[t].charger,
                                       enlarged, i);
@@ -352,10 +360,9 @@ bool is_switch_stable(const Instance& instance, const Schedule& schedule,
         }
         // Individual stability: the deviation only counts if every
         // incumbent consents.
-        const std::vector<double> before = payments(
-            scheme, cost, coalitions[t].charger, coalitions[t].members);
-        const std::vector<double> after =
-            payments(scheme, cost, coalitions[t].charger, enlarged);
+        payments_into(scheme, cost, coalitions[t].charger,
+                      coalitions[t].members, before);
+        payments_into(scheme, cost, coalitions[t].charger, enlarged, after);
         bool consent = true;
         for (std::size_t idx = 0; idx < coalitions[t].members.size();
              ++idx) {

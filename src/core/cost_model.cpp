@@ -3,32 +3,21 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/registry.h"
 #include "util/assert.h"
 
 namespace cc::core {
 
-CostModel::CostModel(const Instance& instance) : inst_(&instance) {
+CostModel::CostModel(const Instance& instance)
+    : inst_(&instance),
+      view_(instance),
+      move_rm_(view_.move_rm().data()),
+      stride_(view_.charger_stride()) {
   for (ChargerId j = 0; j < instance.num_chargers(); ++j) {
     const int cap = session_cap(j);
     max_feasible_group_ =
         std::max(max_feasible_group_,
                  cap == 0 ? instance.num_devices() : cap);
-  }
-  // Same expression as the on-the-fly formula, evaluated once per pair:
-  // lookups are bit-identical to the former per-call computation.
-  const double trip_factor = instance.params().round_trip ? 2.0 : 1.0;
-  move_cost_cache_.resize(static_cast<std::size_t>(instance.num_devices()) *
-                          static_cast<std::size_t>(instance.num_chargers()));
-  for (DeviceId i = 0; i < instance.num_devices(); ++i) {
-    for (ChargerId j = 0; j < instance.num_chargers(); ++j) {
-      move_cost_cache_[static_cast<std::size_t>(i) *
-                           static_cast<std::size_t>(
-                               instance.num_chargers()) +
-                       static_cast<std::size_t>(j)] =
-          instance.params().move_weight *
-          instance.device(i).motion.unit_cost * instance.distance(i, j) *
-          trip_factor;
-    }
   }
   standalone_cache_.reserve(
       static_cast<std::size_t>(instance.num_devices()));
@@ -38,31 +27,23 @@ CostModel::CostModel(const Instance& instance) : inst_(&instance) {
   }
 }
 
-int CostModel::session_cap(ChargerId j) const {
-  const int global = inst_->params().max_group_size;
-  const int local = inst_->charger(j).max_group_size;
-  if (global > 0 && local > 0) {
-    return std::min(global, local);
-  }
-  return global > 0 ? global : local;
-}
-
 double CostModel::session_time(ChargerId j,
                                std::span<const DeviceId> members) const {
   if (members.empty()) {
     return 0.0;
   }
-  const Charger& charger = inst_->charger(j);
+  const double* demand = view_.demand().data();
   double max_demand = 0.0;
   for (DeviceId i : members) {
-    max_demand = std::max(max_demand, inst_->device(i).demand_j);
+    max_demand = std::max(max_demand, demand[static_cast<std::size_t>(i)]);
   }
-  return max_demand / charger.power_w;
+  return max_demand / view_.power()[static_cast<std::size_t>(j)];
 }
 
 double CostModel::session_fee(ChargerId j,
                               std::span<const DeviceId> members) const {
-  return inst_->params().fee_weight * inst_->charger(j).price_per_s *
+  return inst_->params().fee_weight *
+         view_.price()[static_cast<std::size_t>(j)] *
          session_time(j, members);
 }
 
@@ -75,6 +56,33 @@ double CostModel::group_cost(ChargerId j,
   return total;
 }
 
+void CostModel::group_costs_into(std::span<const DeviceId> members,
+                                 std::span<double> out) const {
+  CC_EXPECTS(out.size() == stride_,
+             "group_costs_into needs one slot per charger");
+  const double* demand = view_.demand().data();
+  double max_demand = 0.0;
+  for (DeviceId i : members) {
+    max_demand = std::max(max_demand, demand[static_cast<std::size_t>(i)]);
+  }
+  // Seed each slot with the session fee computed exactly as
+  // `session_fee` does (fee_weight · π_j · (max/P_j)), then accumulate
+  // the members' matrix rows in member order — per charger this is the
+  // same addition sequence as `group_cost`, hence bit-identical.
+  const double fee_weight = inst_->params().fee_weight;
+  const double* power = view_.power().data();
+  const double* price = view_.price().data();
+  for (std::size_t j = 0; j < stride_; ++j) {
+    out[j] = fee_weight * price[j] * (max_demand / power[j]);
+  }
+  for (DeviceId i : members) {
+    const double* row = move_rm_ + static_cast<std::size_t>(i) * stride_;
+    for (std::size_t j = 0; j < stride_; ++j) {
+      out[j] += row[j];
+    }
+  }
+}
+
 std::pair<ChargerId, double> CostModel::standalone(DeviceId i) const {
   CC_EXPECTS(i >= 0 && i < inst_->num_devices(), "device id out of range");
   return standalone_cache_[static_cast<std::size_t>(i)];
@@ -83,14 +91,26 @@ std::pair<ChargerId, double> CostModel::standalone(DeviceId i) const {
 std::pair<ChargerId, double> CostModel::best_charger(
     std::span<const DeviceId> members) const {
   CC_EXPECTS(!members.empty(), "best_charger needs a nonempty group");
+  // Per-thread scratch row: sized on first use (and on the first larger
+  // instance a thread sees), then reused allocation-free.
+  thread_local std::vector<double> scratch;
+  if (scratch.size() < stride_) {
+    scratch.resize(stride_);
+    obs::count("alloc.scratch_grows");
+  }
+  const std::span<double> costs(scratch.data(), stride_);
+  group_costs_into(members, costs);
+
+  const int* caps = view_.session_cap().data();
+  const auto group_size = static_cast<int>(members.size());
   ChargerId best_j = -1;
   double best_cost = std::numeric_limits<double>::infinity();
   for (ChargerId j = 0; j < inst_->num_chargers(); ++j) {
-    const int cap = session_cap(j);
-    if (cap > 0 && static_cast<int>(members.size()) > cap) {
+    const int cap = caps[static_cast<std::size_t>(j)];
+    if (cap > 0 && group_size > cap) {
       continue;  // this pad cannot host the group
     }
-    const double cost = group_cost(j, members);
+    const double cost = costs[static_cast<std::size_t>(j)];
     if (cost < best_cost) {
       best_cost = cost;
       best_j = j;
@@ -102,16 +122,16 @@ std::pair<ChargerId, double> CostModel::best_charger(
 
 sub::MaxModularFunction CostModel::group_cost_function(
     ChargerId j, std::span<const DeviceId> universe) const {
-  const Charger& charger = inst_->charger(j);
-  const double a =
-      inst_->params().fee_weight * charger.price_per_s / charger.power_w;
+  const double a = view_.fee_rate()[static_cast<std::size_t>(j)];
+  const double* demand = view_.demand().data();
+  const double* col = view_.move_col(j).data();
   std::vector<double> w;
   std::vector<double> b;
   w.reserve(universe.size());
   b.reserve(universe.size());
   for (DeviceId i : universe) {
-    w.push_back(inst_->device(i).demand_j);
-    b.push_back(move_cost(i, j));
+    w.push_back(demand[static_cast<std::size_t>(i)]);
+    b.push_back(col[static_cast<std::size_t>(i)]);
   }
   return sub::MaxModularFunction(a, std::move(w), std::move(b));
 }

@@ -13,12 +13,22 @@
 /// shared by the group, and the moving cost is modular. For each fixed
 /// charger this is exactly a `MaxModularFunction`, the fact CCSA's
 /// submodular minimization step relies on.
+///
+/// Layout: the model owns an `InstanceView` — the structure-of-arrays
+/// projection of the instance (contiguous demand/power/price/fee-rate
+/// arrays plus the move-cost matrix in both orientations) — and every
+/// query reads the view, never the AoS structs. `group_costs_into`
+/// evaluates one group against *all* chargers as a fused linear pass
+/// over the matrix rows (the kernel behind `best_charger`, which the
+/// refine loop hammers). All kernels are bit-identical to the scalar
+/// definitions above; docs/model.md §9 states the contract.
 
 #include <span>
 #include <utility>
 #include <vector>
 
 #include "core/instance.h"
+#include "core/instance_view.h"
 #include "submodular/max_modular.h"
 
 namespace cc::core {
@@ -26,14 +36,21 @@ namespace cc::core {
 class CostModel {
  public:
   /// Binds to `instance`, which must outlive the model (it is a view).
-  /// Precomputes the full (device, charger) moving-cost matrix on top of
-  /// the instance's distance matrix — `move_cost` is a lookup, which the
+  /// Builds the SoA `InstanceView` — including the full (device,
+  /// charger) moving-cost matrix, so `move_cost` is a lookup, which the
   /// submodular oracles and the CCSGA move loop hammer — and every
   /// device's best standalone option (O(n·m)); the game dynamics (CCSGA,
   /// online) query `standalone` constantly.
   explicit CostModel(const Instance& instance);
 
   [[nodiscard]] const Instance& instance() const noexcept { return *inst_; }
+  /// The SoA projection; scheduler hot loops read its spans directly.
+  [[nodiscard]] const InstanceView& view() const noexcept { return view_; }
+
+  /// Device i's energy demand (contiguous-array load).
+  [[nodiscard]] double demand(DeviceId i) const noexcept {
+    return view_.demand()[static_cast<std::size_t>(i)];
+  }
 
   /// Session duration (s) for members charged concurrently at charger j:
   /// max demand over the group divided by the charger's service power.
@@ -46,16 +63,24 @@ class CostModel {
                                    std::span<const DeviceId> members) const;
 
   /// Weighted moving cost for device i to reach charger j (precomputed).
+  /// The row stride is hoisted into a member at construction — no
+  /// per-call re-derivation.
   [[nodiscard]] double move_cost(DeviceId i, ChargerId j) const {
-    return move_cost_cache_[static_cast<std::size_t>(i) *
-                                static_cast<std::size_t>(
-                                    inst_->num_chargers()) +
-                            static_cast<std::size_t>(j)];
+    return move_rm_[static_cast<std::size_t>(i) * stride_ +
+                    static_cast<std::size_t>(j)];
   }
 
   /// Total comprehensive cost C_j(S) = fee + Σ moving costs.
   [[nodiscard]] double group_cost(ChargerId j,
                                   std::span<const DeviceId> members) const;
+
+  /// C_j(S) for *every* charger j in one pass: `out[j]` gets the same
+  /// value (bit-identical) as `group_cost(j, members)`. `out` must have
+  /// `num_chargers()` elements. One max reduction over the group, then
+  /// a fused fee row + one contiguous matrix-row accumulation per
+  /// member — the vectorizable form of the m-fold scalar loop.
+  void group_costs_into(std::span<const DeviceId> members,
+                        std::span<double> out) const;
 
   /// Cost a device pays when charging alone at its best charger.
   /// Returns (best charger, cost).
@@ -63,8 +88,10 @@ class CostModel {
 
   /// Effective session capacity of charger j: the tighter of the global
   /// `CostParams::max_group_size` and the charger's own pad limit
-  /// (0 = unbounded).
-  [[nodiscard]] int session_cap(ChargerId j) const;
+  /// (0 = unbounded). Pre-combined at construction.
+  [[nodiscard]] int session_cap(ChargerId j) const {
+    return view_.session_cap()[static_cast<std::size_t>(j)];
+  }
 
   /// Largest group any charger can serve (num_devices() when some
   /// charger is unbounded). Used by baselines to size their chunks.
@@ -80,7 +107,7 @@ class CostModel {
   /// The best *feasible* charger for a fixed group (chargers whose
   /// session capacity cannot host the group are skipped) and the
   /// resulting group cost. Requires a nonempty group that some charger
-  /// can host.
+  /// can host. Runs on `group_costs_into` + one argmin scan.
   [[nodiscard]] std::pair<ChargerId, double> best_charger(
       std::span<const DeviceId> members) const;
 
@@ -97,7 +124,9 @@ class CostModel {
 
  private:
   const Instance* inst_;
-  std::vector<double> move_cost_cache_;  // row-major [device][charger]
+  InstanceView view_;
+  const double* move_rm_;  ///< view_.move_rm().data(), hoisted
+  std::size_t stride_;     ///< row stride of the move matrix (== m)
   std::vector<std::pair<ChargerId, double>> standalone_cache_;
   int max_feasible_group_ = 0;
 };

@@ -16,22 +16,24 @@ void IncrementalGroupCost::rebind(ChargerId j) {
   CC_EXPECTS(j >= 0 && j < cost_->instance().num_chargers(),
              "charger id out of range");
   charger_ = j;
-  demands_.clear();
+  demands_.clear();  // capacity survives — rebinding stays alloc-free
   demand_sum_ = 0.0;
   move_sum_ = 0.0;
 }
 
 void IncrementalGroupCost::add(DeviceId i) {
-  const double demand = cost_->instance().device(i).demand_j;
-  demands_.insert(demand);
+  const double demand = cost_->demand(i);
+  demands_.insert(std::upper_bound(demands_.begin(), demands_.end(), demand),
+                  demand);
   demand_sum_ += demand;
   move_sum_ += cost_->move_cost(i, charger_);
 }
 
 void IncrementalGroupCost::remove(DeviceId i) {
-  const double demand = cost_->instance().device(i).demand_j;
-  const auto it = demands_.find(demand);
-  CC_EXPECTS(it != demands_.end(),
+  const double demand = cost_->demand(i);
+  const auto it =
+      std::lower_bound(demands_.begin(), demands_.end(), demand);
+  CC_EXPECTS(it != demands_.end() && *it == demand,
              "removing a device that is not a member");
   demands_.erase(it);
   demand_sum_ -= demand;
@@ -46,16 +48,18 @@ void IncrementalGroupCost::remove(DeviceId i) {
 }
 
 double IncrementalGroupCost::max_demand() const noexcept {
-  return demands_.empty() ? 0.0 : *demands_.rbegin();
+  return demands_.empty() ? 0.0 : demands_.back();
 }
 
 double IncrementalGroupCost::fee_of_max(double max_demand) const {
   // Mirrors CostModel::session_fee/session_time op-for-op so that fee
-  // queries are bit-identical to a fresh evaluation.
-  const Instance& inst = cost_->instance();
-  const Charger& charger = inst.charger(charger_);
-  const double session_time = max_demand / charger.power_w;
-  return inst.params().fee_weight * charger.price_per_s * session_time;
+  // queries are bit-identical to a fresh evaluation (the view arrays
+  // hold the exact charger parameters).
+  const InstanceView& view = cost_->view();
+  const auto j = static_cast<std::size_t>(charger_);
+  const double session_time = max_demand / view.power()[j];
+  return cost_->instance().params().fee_weight * view.price()[j] *
+         session_time;
 }
 
 double IncrementalGroupCost::session_fee() const {
@@ -66,7 +70,7 @@ double IncrementalGroupCost::session_fee() const {
 }
 
 double IncrementalGroupCost::fee_with(DeviceId i) const {
-  const double demand = cost_->instance().device(i).demand_j;
+  const double demand = cost_->demand(i);
   return fee_of_max(std::max(max_demand(), demand));
 }
 
@@ -75,15 +79,14 @@ double IncrementalGroupCost::cost_with(DeviceId i) const {
 }
 
 double IncrementalGroupCost::max_without(DeviceId i) const {
-  const double demand = cost_->instance().device(i).demand_j;
+  const double demand = cost_->demand(i);
   CC_EXPECTS(!demands_.empty(), "peek on an empty coalition");
-  const auto last = std::prev(demands_.end());
-  if (demand < *last) {
-    return *last;  // some other member still attains the max
+  if (demand < demands_.back()) {
+    return demands_.back();  // some other member still attains the max
   }
   // i attains the max; the survivor max is the next value down (which
   // may equal it, when the max is tied).
-  return demands_.size() >= 2 ? *std::prev(last) : 0.0;
+  return demands_.size() >= 2 ? demands_[demands_.size() - 2] : 0.0;
 }
 
 double IncrementalGroupCost::fee_without(DeviceId i) const {

@@ -9,9 +9,11 @@
 /// of otherwise-unchanged coalitions, so this class keeps one mutable
 /// coalition's aggregates live instead:
 ///
-///  * demands in a sorted multiset — the `max` term updates in
-///    O(log|S|) on add/remove, and the "what if device i left/joined"
-///    peeks are O(log|S|) with no allocation;
+///  * demands in a sorted contiguous vector — the `max` term is the
+///    back element, add/remove are a binary search plus a memmove
+///    (contiguous, allocation-free once the capacity is warm — node
+///    containers allocate on every insert), and the "what if device i
+///    left/joined" peeks are O(log|S|);
 ///  * moving-cost and demand sums as running totals (move costs come
 ///    from the matrix precomputed by `CostModel`).
 ///
@@ -23,7 +25,7 @@
 /// within 1e-9 relative, which the incremental-vs-full harness in
 /// bench_fig8_runtime and incremental_cost_test enforce.
 
-#include <set>
+#include <vector>
 
 #include "core/cost_model.h"
 
@@ -72,7 +74,7 @@ class IncrementalGroupCost {
 
   const CostModel* cost_ = nullptr;
   ChargerId charger_ = -1;
-  std::multiset<double> demands_;
+  std::vector<double> demands_;  ///< sorted ascending; max is back()
   double demand_sum_ = 0.0;
   double move_sum_ = 0.0;
 };

@@ -1,0 +1,64 @@
+#include "core/instance_view.h"
+
+#include <algorithm>
+
+namespace cc::core {
+
+InstanceView::InstanceView(const Instance& instance)
+    : num_devices_(instance.num_devices()),
+      num_chargers_(instance.num_chargers()),
+      charger_stride_(static_cast<std::size_t>(instance.num_chargers())) {
+  const auto n = static_cast<std::size_t>(num_devices_);
+  const auto m = static_cast<std::size_t>(num_chargers_);
+  const CostParams& params = instance.params();
+
+  demand_.resize(n);
+  unit_move_cost_.resize(n);
+  for (DeviceId i = 0; i < num_devices_; ++i) {
+    const Device& d = instance.device(i);
+    demand_[static_cast<std::size_t>(i)] = d.demand_j;
+    unit_move_cost_[static_cast<std::size_t>(i)] = d.motion.unit_cost;
+  }
+
+  power_.resize(m);
+  price_.resize(m);
+  fee_rate_.resize(m);
+  session_cap_.resize(m);
+  for (ChargerId j = 0; j < num_chargers_; ++j) {
+    const Charger& c = instance.charger(j);
+    const auto idx = static_cast<std::size_t>(j);
+    power_[idx] = c.power_w;
+    price_[idx] = c.price_per_s;
+    // Same expression as CostModel::group_cost_function's coefficient.
+    fee_rate_[idx] = params.fee_weight * c.price_per_s / c.power_w;
+    const int global = params.max_group_size;
+    const int local = c.max_group_size;
+    session_cap_[idx] = (global > 0 && local > 0) ? std::min(global, local)
+                        : global > 0             ? global
+                                                 : local;
+  }
+
+  // Same expression as the former per-pair CostModel cache: lookups are
+  // bit-identical to the on-the-fly formula.
+  const double trip_factor = params.round_trip ? 2.0 : 1.0;
+  move_rm_.resize(n * m);
+  for (DeviceId i = 0; i < num_devices_; ++i) {
+    double* row = move_rm_.data() + static_cast<std::size_t>(i) * m;
+    for (ChargerId j = 0; j < num_chargers_; ++j) {
+      row[j] = params.move_weight *
+               instance.device(i).motion.unit_cost *
+               instance.distance(i, j) * trip_factor;
+    }
+  }
+  // Bitwise transpose — column gathers read the exact same values.
+  move_cm_.resize(n * m);
+  for (ChargerId j = 0; j < num_chargers_; ++j) {
+    double* col = move_cm_.data() + static_cast<std::size_t>(j) * n;
+    for (DeviceId i = 0; i < num_devices_; ++i) {
+      col[i] = move_rm_[static_cast<std::size_t>(i) * m +
+                        static_cast<std::size_t>(j)];
+    }
+  }
+}
+
+}  // namespace cc::core

@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file instance_view.h
+/// Structure-of-arrays projection of a problem instance.
+///
+/// The scheduler inner loops evaluate C_j(S) = fee·π_j·max E/P_j +
+/// Σ c_i·d_ij millions of times per run. Walking the AoS
+/// `Device`/`Charger` structs for that pulls a whole struct through the
+/// cache to read one double; `InstanceView` lays the hot fields out as
+/// contiguous arrays instead, so the demand-max and modular-sum
+/// reductions become branch-light linear scans the compiler can
+/// vectorize:
+///
+///   * per device:  `demand[]`, `unit_move_cost[]`
+///   * per charger: `power[]`, `price[]`, `fee_rate[]` (the max+modular
+///     coefficient fee_weight·π_j/P_j), `session_cap[]` (global and
+///     per-pad caps pre-combined)
+///   * the weighted move-cost matrix in *both* orientations: row-major
+///     `move_rm[device][charger]` for "one device against every
+///     charger" scans (CCSGA candidate loop, best_charger) and
+///     column-major `move_cm[charger][device]` for "one charger against
+///     many devices" gathers (CCSA's per-charger modular vector).
+///
+/// Exactness: every array element is produced by the *same expression*
+/// the scalar paths used (`fee_rate` matches `group_cost_function`'s
+/// coefficient, `move_rm` matches the former `CostModel` cache, the
+/// column-major copy is a bitwise transpose), so kernels reading the
+/// view are bit-identical to kernels reading the structs. See
+/// docs/model.md §9.
+
+#include <span>
+#include <vector>
+
+#include "core/instance.h"
+
+namespace cc::core {
+
+class InstanceView {
+ public:
+  /// Builds the projection (O(n·m)); `instance` must outlive the view.
+  explicit InstanceView(const Instance& instance);
+
+  [[nodiscard]] int num_devices() const noexcept { return num_devices_; }
+  [[nodiscard]] int num_chargers() const noexcept { return num_chargers_; }
+  /// Row stride of `move_rm` (== num_chargers), hoisted once so hot
+  /// lookups never re-derive it.
+  [[nodiscard]] std::size_t charger_stride() const noexcept {
+    return charger_stride_;
+  }
+
+  [[nodiscard]] std::span<const double> demand() const noexcept {
+    return demand_;
+  }
+  [[nodiscard]] std::span<const double> unit_move_cost() const noexcept {
+    return unit_move_cost_;
+  }
+  [[nodiscard]] std::span<const double> power() const noexcept {
+    return power_;
+  }
+  [[nodiscard]] std::span<const double> price() const noexcept {
+    return price_;
+  }
+  /// fee_weight·π_j/P_j — the `a` coefficient of charger j's
+  /// max+modular group-cost function.
+  [[nodiscard]] std::span<const double> fee_rate() const noexcept {
+    return fee_rate_;
+  }
+  /// Effective session capacity per charger: min of the global and the
+  /// per-pad cap when both are set, else whichever is (0 = unbounded).
+  [[nodiscard]] std::span<const int> session_cap() const noexcept {
+    return session_cap_;
+  }
+
+  [[nodiscard]] std::span<const double> move_rm() const noexcept {
+    return move_rm_;
+  }
+  /// Weighted move costs of device i to every charger (contiguous).
+  [[nodiscard]] std::span<const double> move_row(DeviceId i) const noexcept {
+    return {move_rm_.data() +
+                static_cast<std::size_t>(i) * charger_stride_,
+            charger_stride_};
+  }
+  /// Weighted move costs of every device to charger j (contiguous).
+  [[nodiscard]] std::span<const double> move_col(ChargerId j) const noexcept {
+    return {move_cm_.data() + static_cast<std::size_t>(j) *
+                                  static_cast<std::size_t>(num_devices_),
+            static_cast<std::size_t>(num_devices_)};
+  }
+
+ private:
+  int num_devices_ = 0;
+  int num_chargers_ = 0;
+  std::size_t charger_stride_ = 0;
+  std::vector<double> demand_;
+  std::vector<double> unit_move_cost_;
+  std::vector<double> power_;
+  std::vector<double> price_;
+  std::vector<double> fee_rate_;
+  std::vector<int> session_cap_;
+  std::vector<double> move_rm_;  // [device][charger]
+  std::vector<double> move_cm_;  // [charger][device]
+};
+
+}  // namespace cc::core

@@ -31,6 +31,12 @@ SchedulerResult run_online(const Instance& instance,
   const CostModel cost(instance);
   std::vector<Coalition> sessions;
 
+  // Per-candidate buffers, hoisted out of the session scan: every open
+  // session probe reuses their capacity instead of allocating.
+  std::vector<DeviceId> enlarged;
+  std::vector<double> before;
+  std::vector<double> after;
+
   SchedulerResult result;
   for (DeviceId i : arrivals) {
     ++result.stats.iterations;
@@ -46,7 +52,7 @@ SchedulerResult run_online(const Instance& instance,
       if (cap > 0 && static_cast<int>(session.members.size()) >= cap) {
         continue;
       }
-      std::vector<DeviceId> enlarged = session.members;
+      enlarged.assign(session.members.begin(), session.members.end());
       enlarged.push_back(i);
       const double pay =
           payment_of(options.scheme, cost, session.charger, enlarged, i);
@@ -54,10 +60,9 @@ SchedulerResult run_online(const Instance& instance,
         continue;
       }
       if (options.require_consent) {
-        const std::vector<double> before = payments(
-            options.scheme, cost, session.charger, session.members);
-        const std::vector<double> after =
-            payments(options.scheme, cost, session.charger, enlarged);
+        payments_into(options.scheme, cost, session.charger, session.members,
+                      before);
+        payments_into(options.scheme, cost, session.charger, enlarged, after);
         bool accepted = true;
         for (std::size_t idx = 0; idx < session.members.size(); ++idx) {
           if (after[idx] > before[idx] + 1e-9) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/cost_model.h"
 #include "util/assert.h"
 
 namespace cc::core {
@@ -23,12 +24,19 @@ struct WorkingSet {
 
 }  // namespace
 
-RefineStats refine_schedule(const Instance& instance, Schedule& schedule,
+RefineStats refine_schedule(const CostModel& cost, Schedule& schedule,
                             int max_rounds) {
-  const CostModel cost(instance);
+  const Instance& instance = cost.instance();
   WorkingSet ws;
   ws.groups.assign(schedule.coalitions().begin(),
                    schedule.coalitions().end());
+
+  // Candidate-membership buffers, hoisted out of the move loops: each
+  // candidate evaluation reuses the capacity instead of allocating a
+  // fresh vector (these loops dominate refine's allocation profile).
+  std::vector<DeviceId> src_without;
+  std::vector<DeviceId> enlarged;
+  std::vector<DeviceId> merged;
 
   RefineStats stats;
   bool improved = true;
@@ -44,7 +52,8 @@ RefineStats refine_schedule(const Instance& instance, Schedule& schedule,
       for (std::size_t mi = 0; mi < ws.groups[src].members.size();) {
         const DeviceId dev = ws.groups[src].members[mi];
         const double src_before = ws.group_cost(cost, src);
-        std::vector<DeviceId> src_without = ws.groups[src].members;
+        src_without.assign(ws.groups[src].members.begin(),
+                           ws.groups[src].members.end());
         src_without.erase(
             std::find(src_without.begin(), src_without.end(), dev));
         double src_after = 0.0;
@@ -81,7 +90,8 @@ RefineStats refine_schedule(const Instance& instance, Schedule& schedule,
                   static_cast<int>(ws.groups[dst].members.size()) + 1)) {
             continue;  // no pad can host the enlarged session
           }
-          std::vector<DeviceId> enlarged = ws.groups[dst].members;
+          enlarged.assign(ws.groups[dst].members.begin(),
+                          ws.groups[dst].members.end());
           enlarged.push_back(dev);
           const auto [j, dst_after] = cost.best_charger(enlarged);
           const double delta = (src_after + dst_after) -
@@ -130,7 +140,8 @@ RefineStats refine_schedule(const Instance& instance, Schedule& schedule,
         if (ws.groups[b].members.empty()) {
           continue;
         }
-        std::vector<DeviceId> merged = ws.groups[a].members;
+        merged.assign(ws.groups[a].members.begin(),
+                      ws.groups[a].members.end());
         merged.insert(merged.end(), ws.groups[b].members.begin(),
                       ws.groups[b].members.end());
         if (!cost.has_feasible_charger(static_cast<int>(merged.size()))) {
@@ -140,7 +151,7 @@ RefineStats refine_schedule(const Instance& instance, Schedule& schedule,
         const double before =
             ws.group_cost(cost, a) + ws.group_cost(cost, b);
         if (merged_cost < before - kImprovementEps) {
-          ws.groups[a].members = std::move(merged);
+          ws.groups[a].members.assign(merged.begin(), merged.end());
           ws.groups[a].charger = j;
           ws.groups[b].members.clear();
           ++stats.merges;
@@ -160,6 +171,12 @@ RefineStats refine_schedule(const Instance& instance, Schedule& schedule,
   refined.validate(instance);
   schedule = std::move(refined);
   return stats;
+}
+
+RefineStats refine_schedule(const Instance& instance, Schedule& schedule,
+                            int max_rounds) {
+  const CostModel cost(instance);
+  return refine_schedule(cost, schedule, max_rounds);
 }
 
 }  // namespace cc::core

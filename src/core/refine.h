@@ -17,6 +17,8 @@
 
 namespace cc::core {
 
+class CostModel;
+
 struct RefineStats {
   long relocations = 0;
   long merges = 0;
@@ -26,6 +28,11 @@ struct RefineStats {
 /// Refines `schedule` in place until no improving move exists (or
 /// `max_rounds` passes). Returns move statistics.
 RefineStats refine_schedule(const Instance& instance, Schedule& schedule,
+                            int max_rounds = 100);
+
+/// Same, reusing an already-built cost model (skips rebuilding the
+/// O(n·m) move-cost matrix — CCSA already owns one when it refines).
+RefineStats refine_schedule(const CostModel& cost, Schedule& schedule,
                             int max_rounds = 100);
 
 }  // namespace cc::core

@@ -33,58 +33,71 @@ SharingScheme sharing_scheme_from_string(const std::string& s) {
   return SharingScheme::kEgalitarian;
 }
 
-std::vector<double> fee_shares(SharingScheme scheme, const CostModel& cost,
-                               ChargerId j,
-                               std::span<const DeviceId> members) {
+void fee_shares_into(SharingScheme scheme, const CostModel& cost, ChargerId j,
+                     std::span<const DeviceId> members,
+                     std::vector<double>& out) {
   CC_EXPECTS(!members.empty(), "fee_shares needs a nonempty coalition");
   const double fee = cost.session_fee(j, members);
   const std::size_t k = members.size();
   switch (scheme) {
     case SharingScheme::kEgalitarian:
-      return std::vector<double>(k, fee / static_cast<double>(k));
+      out.assign(k, fee / static_cast<double>(k));
+      return;
     case SharingScheme::kProportional: {
       double total_demand = 0.0;
       for (DeviceId i : members) {
-        total_demand += cost.instance().device(i).demand_j;
+        total_demand += cost.demand(i);
       }
-      std::vector<double> shares(k, 0.0);
       if (total_demand <= 0.0) {
         // Degenerate: all demands zero — fee is zero too; split equally.
-        for (double& s : shares) {
-          s = fee / static_cast<double>(k);
-        }
-        return shares;
+        out.assign(k, fee / static_cast<double>(k));
+        return;
       }
+      out.resize(k);
       for (std::size_t idx = 0; idx < k; ++idx) {
-        shares[idx] =
-            fee * cost.instance().device(members[idx]).demand_j / total_demand;
+        out[idx] = fee * cost.demand(members[idx]) / total_demand;
       }
-      return shares;
+      return;
     }
     case SharingScheme::kShapley: {
       // The fee equals a·max(demands) with a = fee_weight·π_j/P_j, which
-      // is an airport game over the demands.
-      const Charger& charger = cost.instance().charger(j);
-      const double a = cost.instance().params().fee_weight *
-                       charger.price_per_s / charger.power_w;
+      // is an airport game over the demands (the view precomputes the
+      // coefficient with the same expression).
+      const double a = cost.view().fee_rate()[static_cast<std::size_t>(j)];
       std::vector<double> demands;
       demands.reserve(k);
       for (DeviceId i : members) {
-        demands.push_back(cost.instance().device(i).demand_j);
+        demands.push_back(cost.demand(i));
       }
-      return airport_shapley(a, demands);
+      const std::vector<double> shares = airport_shapley(a, demands);
+      out.assign(shares.begin(), shares.end());
+      return;
     }
   }
   CC_ASSERT(false, "unhandled sharing scheme");
-  return {};
+}
+
+std::vector<double> fee_shares(SharingScheme scheme, const CostModel& cost,
+                               ChargerId j,
+                               std::span<const DeviceId> members) {
+  std::vector<double> shares;
+  fee_shares_into(scheme, cost, j, members, shares);
+  return shares;
+}
+
+void payments_into(SharingScheme scheme, const CostModel& cost, ChargerId j,
+                   std::span<const DeviceId> members,
+                   std::vector<double>& out) {
+  fee_shares_into(scheme, cost, j, members, out);
+  for (std::size_t idx = 0; idx < members.size(); ++idx) {
+    out[idx] += cost.move_cost(members[idx], j);
+  }
 }
 
 std::vector<double> payments(SharingScheme scheme, const CostModel& cost,
                              ChargerId j, std::span<const DeviceId> members) {
-  std::vector<double> pays = fee_shares(scheme, cost, j, members);
-  for (std::size_t idx = 0; idx < members.size(); ++idx) {
-    pays[idx] += cost.move_cost(members[idx], j);
-  }
+  std::vector<double> pays;
+  payments_into(scheme, cost, j, members, pays);
   return pays;
 }
 

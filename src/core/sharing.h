@@ -39,10 +39,23 @@ enum class SharingScheme { kEgalitarian, kProportional, kShapley };
     SharingScheme scheme, const CostModel& cost, ChargerId j,
     std::span<const DeviceId> members);
 
+/// Buffer-reusing form: writes the shares into `out` (resized to
+/// `members.size()`, capacity reused — allocation-free once warm).
+/// Same values as `fee_shares`.
+void fee_shares_into(SharingScheme scheme, const CostModel& cost, ChargerId j,
+                     std::span<const DeviceId> members,
+                     std::vector<double>& out);
+
 /// Comprehensive payment of each member: fee share + own moving cost.
 [[nodiscard]] std::vector<double> payments(
     SharingScheme scheme, const CostModel& cost, ChargerId j,
     std::span<const DeviceId> members);
+
+/// Buffer-reusing form of `payments` (same contract as
+/// `fee_shares_into`). The CCSGA consent checks hammer this.
+void payments_into(SharingScheme scheme, const CostModel& cost, ChargerId j,
+                   std::span<const DeviceId> members,
+                   std::vector<double>& out);
 
 /// Payment of one specific member (convenience; O(|S|)).
 [[nodiscard]] double payment_of(SharingScheme scheme, const CostModel& cost,

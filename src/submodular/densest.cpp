@@ -1,5 +1,6 @@
 #include "submodular/densest.h"
 
+#include <algorithm>
 #include <limits>
 
 #include "util/assert.h"
@@ -135,6 +136,62 @@ DensestResult min_average_cost(const MaxModularFunction& f, bool incremental) {
               "Dinkelbach ratio must strictly improve");
     theta = ratio;
     result.set = std::move(set);
+    result.average_cost = ratio;
+  }
+  return result;
+}
+
+DensestScan min_average_cost_sorted(const SortedMaxModularView& f,
+                                    std::span<const double> w,
+                                    std::span<const double> b, int max_size,
+                                    DensestScratch& scratch,
+                                    std::vector<int>& out_set) {
+  const std::size_t n = f.size();
+  CC_EXPECTS(n > 0, "min_average_cost needs a nonempty ground set");
+  CC_EXPECTS(w.size() == n && b.size() == n,
+             "unsorted weight arrays must match the view length");
+
+  // Seed θ with the best singleton ratio, scanning ids ascending — the
+  // same order (and the same running max/sum arithmetic as value({i}))
+  // as the member-function Dinkelbach, so ties resolve identically.
+  DensestScan result;
+  double theta = std::numeric_limits<double>::infinity();
+  out_set.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    double max_w = 0.0;
+    double sum_b = 0.0;
+    max_w = std::max(max_w, w[i]);
+    sum_b += b[i];
+    const double v = f.a * max_w + sum_b;
+    if (v < theta) {
+      theta = v;
+      out_set.assign(1, static_cast<int>(i));
+      result.average_cost = v;
+    }
+  }
+
+  std::vector<int>& set = scratch.step_set;
+  for (int iter = 0; iter < kMaxDinkelbachIterations; ++iter) {
+    ++result.iterations;
+    const double value =
+        max_size >= 1 ? minimize_sorted_capped_shifted(
+                            f, max_size, theta, scratch.minimizer, set)
+                      : minimize_sorted_shifted(f, theta, set);
+    if (value >= -kRatioTolerance * std::max(1.0, theta)) {
+      break;
+    }
+    double max_w = 0.0;
+    double sum_b = 0.0;
+    for (int e : set) {
+      max_w = std::max(max_w, w[static_cast<std::size_t>(e)]);
+      sum_b += b[static_cast<std::size_t>(e)];
+    }
+    const double cost = f.a * max_w + sum_b;
+    const double ratio = cost / static_cast<double>(set.size());
+    CC_ASSERT(ratio < theta + kRatioTolerance,
+              "Dinkelbach ratio must strictly improve");
+    theta = ratio;
+    out_set.assign(set.begin(), set.end());
     result.average_cost = ratio;
   }
   return result;

@@ -13,6 +13,7 @@
 /// iterations because each accepted θ strictly decreases and ratios come
 /// from a finite set.
 
+#include <span>
 #include <vector>
 
 #include "submodular/max_modular.h"
@@ -47,5 +48,35 @@ struct DensestResult {
 /// capped structured minimizer provides. `incremental` as above.
 [[nodiscard]] DensestResult min_average_cost_capped(
     const MaxModularFunction& f, int max_size, bool incremental = true);
+
+/// Reusable working set for `min_average_cost_sorted`: the capped
+/// minimizer's heap buffers plus the per-step candidate set. Capacities
+/// persist across calls — CCSA keeps one per run and the whole cover
+/// loop runs allocation-free after warm-up.
+struct DensestScratch {
+  MaxModularScratch minimizer;
+  std::vector<int> step_set;
+};
+
+/// Slim result of the sorted-view Dinkelbach (the set goes to the
+/// caller-owned `out_set`, so nothing here allocates).
+struct DensestScan {
+  double average_cost = 0.0;  ///< f(out_set)/|out_set|
+  int iterations = 0;         ///< Dinkelbach outer iterations
+};
+
+/// SoA twin of the structured `min_average_cost` /
+/// `min_average_cost_capped` pair: runs Dinkelbach over a pre-sorted
+/// view, with `w`/`b` the *unsorted* (id-indexed) weight arrays used
+/// for singleton seeding and exact re-evaluation of accepted sets —
+/// the same arithmetic sequences as `MaxModularFunction::value`, so
+/// the result is bit-identical to the member-function path on the same
+/// data. `max_size >= 1` applies the cardinality cap; `max_size <= 0`
+/// means uncapped. Writes the argmin (ids ascending) into `out_set`.
+DensestScan min_average_cost_sorted(const SortedMaxModularView& f,
+                                    std::span<const double> w,
+                                    std::span<const double> b, int max_size,
+                                    DensestScratch& scratch,
+                                    std::vector<int>& out_set);
 
 }  // namespace cc::sub

@@ -3,11 +3,150 @@
 #include <algorithm>
 #include <limits>
 #include <numeric>
-#include <queue>
 
 #include "util/assert.h"
 
 namespace cc::sub {
+
+namespace {
+
+/// Element access through the cached sort order (gather form — what the
+/// member-function minimizers use).
+struct GatherAccess {
+  const double* w;
+  const double* b;
+  const int* order;
+
+  [[nodiscard]] double w_at(std::size_t pos) const {
+    return w[static_cast<std::size_t>(order[pos])];
+  }
+  [[nodiscard]] double b_at(std::size_t pos) const {
+    return b[static_cast<std::size_t>(order[pos])];
+  }
+  [[nodiscard]] int id_at(std::size_t pos) const { return order[pos]; }
+};
+
+/// Element access over pre-permuted contiguous arrays (SoA form — what
+/// the CCSA cover loop feeds). Same values at every position as the
+/// gather form, so the shared kernels below are bit-identical across
+/// the two instantiations.
+struct SortedAccess {
+  const double* w;
+  const double* b;
+  const int* ids;
+
+  [[nodiscard]] double w_at(std::size_t pos) const { return w[pos]; }
+  [[nodiscard]] double b_at(std::size_t pos) const { return b[pos]; }
+  [[nodiscard]] int id_at(std::size_t pos) const { return ids[pos]; }
+};
+
+/// Shared kernel: exact minimizer of a·max w + Σ(b−θ) over nonempty
+/// subsets, walking the w-ascending order. `neg_prefix` accumulates the
+/// negative shifted modular weights among strictly earlier positions —
+/// exactly the free riders worth adding under the element at position k.
+template <typename Access>
+double minimize_shifted_kernel(double a, std::size_t n, const Access& at,
+                               double theta, std::vector<int>& set) {
+  double best_value = std::numeric_limits<double>::infinity();
+  std::size_t best_pos = 0;
+  double neg_prefix = 0.0;
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    const double bi = at.b_at(pos) - theta;
+    const double candidate = a * at.w_at(pos) + bi + neg_prefix;
+    if (candidate < best_value) {
+      best_value = candidate;
+      best_pos = pos;
+    }
+    if (bi < 0.0) {
+      neg_prefix += bi;
+    }
+  }
+  set.clear();
+  set.push_back(at.id_at(best_pos));
+  for (std::size_t pos = 0; pos < best_pos; ++pos) {
+    if (at.b_at(pos) - theta < 0.0) {
+      set.push_back(at.id_at(pos));
+    }
+  }
+  std::sort(set.begin(), set.end());
+  return best_value;
+}
+
+/// Shared kernel, cardinality-capped: a max-heap (by shifted b value)
+/// keeps the up to `max_size − 1` most negative earlier modular
+/// weights; the heap's running sum is the best companion contribution
+/// for the current max candidate. The winning position's companion set
+/// is re-derived after the scan. Heap ops run on `scratch.heap` via
+/// std::push_heap/pop_heap — the same max-heap discipline (and thus the
+/// same `top()` values and running-sum arithmetic) as the
+/// std::priority_queue the reference used.
+template <typename Access>
+double minimize_capped_shifted_kernel(double a, std::size_t n,
+                                      const Access& at, int max_size,
+                                      double theta,
+                                      MaxModularScratch& scratch,
+                                      std::vector<int>& set) {
+  CC_EXPECTS(max_size >= 1, "capped minimizer needs max_size >= 1");
+  const std::size_t companions = static_cast<std::size_t>(max_size) - 1;
+
+  std::vector<double>& heap = scratch.heap;
+  heap.clear();
+  double best_value = std::numeric_limits<double>::infinity();
+  std::size_t best_pos = 0;
+  double heap_sum = 0.0;
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    const double bi = at.b_at(pos) - theta;
+    const double candidate = a * at.w_at(pos) + bi + heap_sum;
+    if (candidate < best_value) {
+      best_value = candidate;
+      best_pos = pos;
+    }
+    if (bi < 0.0 && companions > 0) {
+      if (heap.size() < companions) {
+        heap.push_back(bi);
+        std::push_heap(heap.begin(), heap.end());
+        heap_sum += bi;
+      } else if (!heap.empty() && bi < heap.front()) {
+        heap_sum += bi - heap.front();
+        std::pop_heap(heap.begin(), heap.end());
+        heap.back() = bi;
+        std::push_heap(heap.begin(), heap.end());
+      }
+    }
+  }
+
+  // Reconstruct the companion set for best_pos: the `companions` most
+  // negative shifted b among earlier positions (ties broken toward
+  // earlier ids — any tie choice attains the same value).
+  std::vector<int>& earlier = scratch.earlier;  // sorted positions
+  earlier.clear();
+  for (std::size_t pos = 0; pos < best_pos; ++pos) {
+    if (at.b_at(pos) - theta < 0.0) {
+      earlier.push_back(static_cast<int>(pos));
+    }
+  }
+  std::sort(earlier.begin(), earlier.end(), [&at, theta](int lhs, int rhs) {
+    const double bl = at.b_at(static_cast<std::size_t>(lhs)) - theta;
+    const double br = at.b_at(static_cast<std::size_t>(rhs)) - theta;
+    return bl != br ? bl < br
+                    : at.id_at(static_cast<std::size_t>(lhs)) <
+                          at.id_at(static_cast<std::size_t>(rhs));
+  });
+  if (earlier.size() > companions) {
+    earlier.resize(companions);
+  }
+  set.clear();
+  set.push_back(at.id_at(best_pos));
+  for (int pos : earlier) {
+    set.push_back(at.id_at(static_cast<std::size_t>(pos)));
+  }
+  std::sort(set.begin(), set.end());
+  CC_ENSURES(static_cast<int>(set.size()) <= max_size,
+             "capped minimizer exceeded the cardinality bound");
+  return best_value;
+}
+
+}  // namespace
 
 MaxModularFunction::MaxModularFunction(double a, std::vector<double> w,
                                        std::vector<double> b)
@@ -80,33 +219,11 @@ MaxModularFunction::minimize_exact_nonempty() const {
 std::pair<std::vector<int>, double>
 MaxModularFunction::minimize_exact_nonempty_shifted(double theta) const {
   CC_EXPECTS(!w_.empty(), "cannot minimize over an empty ground set");
-  double best_value = std::numeric_limits<double>::infinity();
-  std::size_t best_pos = 0;
-  // Walking the w-ascending order, `neg_prefix` accumulates the negative
-  // shifted modular weights (b − θ) among strictly earlier positions —
-  // exactly the free riders worth adding under the element at position k.
-  double neg_prefix = 0.0;
-  for (std::size_t pos = 0; pos < order_.size(); ++pos) {
-    const auto idx = static_cast<std::size_t>(order_[pos]);
-    const double bi = b_[idx] - theta;
-    const double candidate = a_ * w_[idx] + bi + neg_prefix;
-    if (candidate < best_value) {
-      best_value = candidate;
-      best_pos = pos;
-    }
-    if (bi < 0.0) {
-      neg_prefix += bi;
-    }
-  }
+  const GatherAccess at{w_.data(), b_.data(), order_.data()};
   std::vector<int> set;
-  set.push_back(order_[best_pos]);
-  for (std::size_t pos = 0; pos < best_pos; ++pos) {
-    if (b_[static_cast<std::size_t>(order_[pos])] - theta < 0.0) {
-      set.push_back(order_[pos]);
-    }
-  }
-  std::sort(set.begin(), set.end());
-  return {std::move(set), best_value};
+  const double value =
+      minimize_shifted_kernel(a_, w_.size(), at, theta, set);
+  return {std::move(set), value};
 }
 
 std::pair<std::vector<int>, double>
@@ -118,64 +235,33 @@ std::pair<std::vector<int>, double>
 MaxModularFunction::minimize_exact_nonempty_capped_shifted(
     int max_size, double theta) const {
   CC_EXPECTS(!w_.empty(), "cannot minimize over an empty ground set");
-  CC_EXPECTS(max_size >= 1, "capped minimizer needs max_size >= 1");
-  const std::size_t companions =
-      static_cast<std::size_t>(max_size) - 1;
-
-  double best_value = std::numeric_limits<double>::infinity();
-  std::size_t best_pos = 0;
-  // Walking the w-ascending order: a max-heap (by b value) keeps the up
-  // to `companions` most negative earlier modular weights; the heap's
-  // running sum is the best companion contribution for the current max
-  // candidate. The winning position's companion set is re-derived after
-  // the scan.
-  std::priority_queue<double> heap;  // most positive (least negative) on top
-  double heap_sum = 0.0;
-  for (std::size_t pos = 0; pos < order_.size(); ++pos) {
-    const auto idx = static_cast<std::size_t>(order_[pos]);
-    const double bi = b_[idx] - theta;
-    const double candidate = a_ * w_[idx] + bi + heap_sum;
-    if (candidate < best_value) {
-      best_value = candidate;
-      best_pos = pos;
-    }
-    if (bi < 0.0 && companions > 0) {
-      if (heap.size() < companions) {
-        heap.push(bi);
-        heap_sum += bi;
-      } else if (!heap.empty() && bi < heap.top()) {
-        heap_sum += bi - heap.top();
-        heap.pop();
-        heap.push(bi);
-      }
-    }
-  }
-
-  // Reconstruct the companion set for best_pos: the `companions` most
-  // negative shifted b among earlier positions (ties broken toward
-  // earlier ids — any tie choice attains the same value).
-  std::vector<int> earlier_negative;
-  for (std::size_t pos = 0; pos < best_pos; ++pos) {
-    if (b_[static_cast<std::size_t>(order_[pos])] - theta < 0.0) {
-      earlier_negative.push_back(order_[pos]);
-    }
-  }
-  std::sort(earlier_negative.begin(), earlier_negative.end(),
-            [this, theta](int lhs, int rhs) {
-              const double bl = b_[static_cast<std::size_t>(lhs)] - theta;
-              const double br = b_[static_cast<std::size_t>(rhs)] - theta;
-              return bl != br ? bl < br : lhs < rhs;
-            });
-  if (earlier_negative.size() > companions) {
-    earlier_negative.resize(companions);
-  }
+  const GatherAccess at{w_.data(), b_.data(), order_.data()};
+  MaxModularScratch scratch;
   std::vector<int> set;
-  set.push_back(order_[best_pos]);
-  set.insert(set.end(), earlier_negative.begin(), earlier_negative.end());
-  std::sort(set.begin(), set.end());
-  CC_ENSURES(static_cast<int>(set.size()) <= max_size,
-             "capped minimizer exceeded the cardinality bound");
-  return {std::move(set), best_value};
+  const double value = minimize_capped_shifted_kernel(
+      a_, w_.size(), at, max_size, theta, scratch, set);
+  return {std::move(set), value};
+}
+
+double minimize_sorted_shifted(const SortedMaxModularView& f, double theta,
+                               std::vector<int>& out_set) {
+  CC_EXPECTS(f.size() > 0, "cannot minimize over an empty ground set");
+  CC_EXPECTS(f.b_sorted.size() == f.size() && f.ids.size() == f.size(),
+             "sorted view arrays must have equal length");
+  const SortedAccess at{f.w_sorted.data(), f.b_sorted.data(), f.ids.data()};
+  return minimize_shifted_kernel(f.a, f.size(), at, theta, out_set);
+}
+
+double minimize_sorted_capped_shifted(const SortedMaxModularView& f,
+                                      int max_size, double theta,
+                                      MaxModularScratch& scratch,
+                                      std::vector<int>& out_set) {
+  CC_EXPECTS(f.size() > 0, "cannot minimize over an empty ground set");
+  CC_EXPECTS(f.b_sorted.size() == f.size() && f.ids.size() == f.size(),
+             "sorted view arrays must have equal length");
+  const SortedAccess at{f.w_sorted.data(), f.b_sorted.data(), f.ids.data()};
+  return minimize_capped_shifted_kernel(f.a, f.size(), at, max_size, theta,
+                                        scratch, out_set);
 }
 
 }  // namespace cc::sub

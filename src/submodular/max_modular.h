@@ -77,4 +77,45 @@ class MaxModularFunction final : public SetFunction {
   std::vector<int> order_;  // element ids sorted by w ascending
 };
 
+/// Non-owning sorted view of a max+modular function — the SoA form the
+/// CCSA cover loop feeds the exact minimizers. `w_sorted`/`b_sorted`
+/// hold the weights permuted to w-ascending order (ties broken by id
+/// ascending — the same order `MaxModularFunction` caches) and
+/// `ids[pos]` is the original element id at sorted position `pos`.
+/// Because the data is pre-permuted, the Dinkelbach scans below run
+/// over contiguous arrays instead of gathering through an index
+/// vector; the arithmetic sequence is identical either way, so results
+/// are bit-identical to the member-function minimizers (enforced by
+/// soa_equivalence_test).
+struct SortedMaxModularView {
+  double a = 0.0;
+  std::span<const double> w_sorted;
+  std::span<const double> b_sorted;
+  std::span<const int> ids;
+
+  [[nodiscard]] std::size_t size() const noexcept { return w_sorted.size(); }
+};
+
+/// Reusable scratch for the capped minimizer (heap storage + companion
+/// reconstruction buffer). Capacities persist across calls, so a
+/// warmed-up scratch serves the hot loop allocation-free.
+struct MaxModularScratch {
+  std::vector<double> heap;
+  std::vector<int> earlier;
+};
+
+/// Span-kernel twin of `minimize_exact_nonempty_shifted`: writes the
+/// argmin of a·max w + Σ(b_i − θ) over nonempty subsets into `out_set`
+/// (original ids, ascending; capacity reused) and returns the minimum
+/// value. Bit-identical to the member function on the same data.
+double minimize_sorted_shifted(const SortedMaxModularView& f, double theta,
+                               std::vector<int>& out_set);
+
+/// Span-kernel twin of `minimize_exact_nonempty_capped_shifted`
+/// (|S| ≤ max_size, max_size ≥ 1), same contract as above.
+double minimize_sorted_capped_shifted(const SortedMaxModularView& f,
+                                      int max_size, double theta,
+                                      MaxModularScratch& scratch,
+                                      std::vector<int>& out_set);
+
 }  // namespace cc::sub

@@ -1,0 +1,61 @@
+#include "util/arena.h"
+
+#include <algorithm>
+
+#include "obs/registry.h"
+#include "util/assert.h"
+
+namespace cc::util {
+
+Arena::Arena(std::size_t min_block_bytes)
+    : min_block_bytes_(std::max<std::size_t>(min_block_bytes, 64)) {}
+
+void Arena::reset() noexcept {
+  for (Block& block : blocks_) {
+    block.used = 0;
+  }
+  cursor_ = 0;
+}
+
+Arena::Block& Arena::grow(std::size_t at_least) {
+  std::size_t size = blocks_.empty()
+                         ? min_block_bytes_
+                         : std::min(blocks_.back().size * 2, kMaxBlockBytes);
+  size = std::max(size, at_least);
+  Block block;
+  block.data = std::make_unique<std::byte[]>(size);
+  block.size = size;
+  blocks_.push_back(std::move(block));
+  reserved_bytes_ += size;
+  obs::count("alloc.arena_blocks");
+  obs::count("alloc.arena_bytes", static_cast<std::int64_t>(size));
+  return blocks_.back();
+}
+
+void* Arena::allocate_bytes(std::size_t bytes, std::size_t align) {
+  CC_EXPECTS(align > 0 && (align & (align - 1)) == 0,
+             "alignment must be a power of two");
+  // Walk forward from the cursor block; blocks before it are full-ish
+  // and blocks after it were emptied by reset().
+  while (cursor_ < blocks_.size()) {
+    Block& block = blocks_[cursor_];
+    const std::size_t base =
+        reinterpret_cast<std::size_t>(block.data.get()) + block.used;
+    const std::size_t padding = (align - base % align) % align;
+    if (block.used + padding + bytes <= block.size) {
+      block.used += padding;
+      void* p = block.data.get() + block.used;
+      block.used += bytes;
+      return p;
+    }
+    ++cursor_;
+  }
+  Block& block = grow(bytes + align);
+  const std::size_t base = reinterpret_cast<std::size_t>(block.data.get());
+  const std::size_t padding = (align - base % align) % align;
+  block.used = padding + bytes;
+  cursor_ = blocks_.size() - 1;
+  return block.data.get() + padding;
+}
+
+}  // namespace cc::util

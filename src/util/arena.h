@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file arena.h
+/// Bump arena for scheduler scratch memory.
+///
+/// The CCSA/CCSGA hot loops churn working sets (membership lists,
+/// Dinkelbach buffers, per-charger cost rows) whose sizes are bounded
+/// by the instance shape but whose lifetimes are one iteration. An
+/// `Arena` hands out such buffers by bumping a cursor through chained
+/// blocks; `reset()` rewinds the cursor but *keeps every block*, so a
+/// warmed-up arena serves any number of further iterations with zero
+/// heap traffic. Schedulers hold one arena per thread (thread_local
+/// workspaces) and reset it at the top of each run.
+///
+/// Accounting: every block acquisition bumps the `alloc.arena_blocks`
+/// and `alloc.arena_bytes` obs counters (gated behind `CC_OBS` like
+/// all instruments), which is what lets bench_scale *assert* the
+/// zero-allocation steady state instead of claiming it.
+///
+/// Only trivially copyable/destructible element types are supported —
+/// the arena never runs constructors or destructors.
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace cc::util {
+
+class Arena {
+ public:
+  /// `min_block_bytes` sizes the first block; later blocks double until
+  /// `kMaxBlockBytes` (a single allocation larger than that gets a
+  /// dedicated block of exactly its size).
+  explicit Arena(std::size_t min_block_bytes = 1u << 16);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Uninitialized storage for `count` elements of `T`, aligned for `T`.
+  /// Valid until the next `reset()`.
+  template <typename T>
+  [[nodiscard]] std::span<T> make(std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "Arena storage is raw memory: trivial types only");
+    if (count == 0) {
+      return {};
+    }
+    void* p = allocate_bytes(count * sizeof(T), alignof(T));
+    return {static_cast<T*>(p), count};
+  }
+
+  /// Rewinds the cursor to the start of the first block. All previously
+  /// returned spans become invalid; no memory is released.
+  void reset() noexcept;
+
+  /// Number of heap blocks currently owned (monotone until destruction).
+  [[nodiscard]] std::size_t blocks() const noexcept { return blocks_.size(); }
+  /// Total bytes reserved across blocks.
+  [[nodiscard]] std::size_t reserved_bytes() const noexcept {
+    return reserved_bytes_;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  static constexpr std::size_t kMaxBlockBytes = 8u << 20;
+
+  [[nodiscard]] void* allocate_bytes(std::size_t bytes, std::size_t align);
+  Block& grow(std::size_t at_least);
+
+  std::vector<Block> blocks_;
+  std::size_t cursor_ = 0;  ///< index of the block currently bumped
+  std::size_t min_block_bytes_;
+  std::size_t reserved_bytes_ = 0;
+};
+
+}  // namespace cc::util

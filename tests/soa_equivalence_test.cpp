@@ -1,0 +1,375 @@
+// Property tests for the structure-of-arrays scheduler core: every SoA
+// kernel must be *bit-identical* to the scalar reference definition it
+// replaced — same doubles, same sets, same schedules. The sweeps cover
+// degenerate shapes (zero demands, equal-max ties, singleton ground
+// sets, session caps, round-trip costs) where tie-breaking and FP
+// ordering bugs would hide.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "core/ccsa.h"
+#include "core/cost_model.h"
+#include "core/generator.h"
+#include "core/incremental_cost.h"
+#include "core/instance.h"
+#include "submodular/densest.h"
+#include "submodular/max_modular.h"
+#include "util/arena.h"
+#include "util/rng.h"
+
+namespace {
+
+using cc::core::Ccsa;
+using cc::core::CcsaOptions;
+using cc::core::Charger;
+using cc::core::ChargerId;
+using cc::core::Coalition;
+using cc::core::CostModel;
+using cc::core::CostParams;
+using cc::core::Device;
+using cc::core::DeviceId;
+using cc::core::IncrementalGroupCost;
+using cc::core::Instance;
+using cc::util::Rng;
+
+// ------------------------------------------------- random problem data
+
+/// Demand population shapes the sweep cycles through. The degenerate
+/// ones exercise max-tie and zero-fee tie-breaking.
+enum class DemandShape { kUniform, kAllEqual, kSomeZero, kTiedMax };
+
+Instance random_instance(Rng& rng, int n, int m, DemandShape shape,
+                         bool round_trip, int global_cap, bool pad_caps) {
+  std::vector<Device> devices;
+  devices.reserve(static_cast<std::size_t>(n));
+  const double equal_demand = rng.uniform(10.0, 100.0);
+  const double max_demand = rng.uniform(80.0, 120.0);
+  for (int i = 0; i < n; ++i) {
+    Device d;
+    d.position = {rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)};
+    switch (shape) {
+      case DemandShape::kUniform:
+        d.demand_j = rng.uniform(1.0, 120.0);
+        break;
+      case DemandShape::kAllEqual:
+        d.demand_j = equal_demand;
+        break;
+      case DemandShape::kSomeZero:
+        d.demand_j = rng.uniform(0.0, 1.0) < 0.4 ? 0.0
+                                                 : rng.uniform(1.0, 120.0);
+        break;
+      case DemandShape::kTiedMax:
+        // Roughly half the devices share the exact maximum demand.
+        d.demand_j = rng.uniform(0.0, 1.0) < 0.5 ? max_demand
+                                                 : rng.uniform(1.0, 79.0);
+        break;
+    }
+    d.battery_capacity_j = d.demand_j + 1.0;
+    d.motion.unit_cost = rng.uniform(0.1, 2.0);
+    devices.push_back(d);
+  }
+
+  std::vector<Charger> chargers;
+  chargers.reserve(static_cast<std::size_t>(m));
+  for (int j = 0; j < m; ++j) {
+    Charger c;
+    c.position = {rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)};
+    c.power_w = rng.uniform(2.0, 8.0);
+    c.price_per_s = rng.uniform(0.2, 1.0);
+    if (pad_caps) {
+      c.max_group_size = static_cast<int>(rng.uniform_int(0, 4));
+    }
+    chargers.push_back(c);
+  }
+
+  CostParams params;
+  params.round_trip = round_trip;
+  params.max_group_size = global_cap;
+  return Instance(std::move(devices), std::move(chargers), params);
+}
+
+/// Random max+modular data; returns (a, w, b) with the invariants the
+/// cost model guarantees (a ≥ 0, w ≥ 0, b ≥ 0).
+struct RandomFn {
+  double a;
+  std::vector<double> w;
+  std::vector<double> b;
+};
+
+RandomFn random_fn(Rng& rng, int n) {
+  RandomFn f;
+  f.a = rng.uniform(0.0, 3.0);
+  f.w.reserve(static_cast<std::size_t>(n));
+  f.b.reserve(static_cast<std::size_t>(n));
+  const bool tie_heavy = rng.uniform(0.0, 1.0) < 0.3;
+  const double tied = rng.uniform(0.0, 50.0);
+  for (int i = 0; i < n; ++i) {
+    if (tie_heavy && rng.uniform(0.0, 1.0) < 0.5) {
+      f.w.push_back(tied);
+    } else {
+      f.w.push_back(rng.uniform(0.0, 1.0) < 0.1 ? 0.0
+                                                : rng.uniform(0.0, 100.0));
+    }
+    f.b.push_back(rng.uniform(0.0, 50.0));
+  }
+  return f;
+}
+
+/// Pre-permutes (w, b) to the w-ascending order MaxModularFunction
+/// caches, keeping the arrays alive for the view's spans.
+struct SortedData {
+  std::vector<double> w_sorted;
+  std::vector<double> b_sorted;
+  std::vector<int> ids;
+
+  explicit SortedData(const RandomFn& f) {
+    const auto n = f.w.size();
+    ids.resize(n);
+    std::iota(ids.begin(), ids.end(), 0);
+    std::sort(ids.begin(), ids.end(), [&f](int lhs, int rhs) {
+      const double wl = f.w[static_cast<std::size_t>(lhs)];
+      const double wr = f.w[static_cast<std::size_t>(rhs)];
+      return wl != wr ? wl < wr : lhs < rhs;
+    });
+    w_sorted.resize(n);
+    b_sorted.resize(n);
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      w_sorted[pos] = f.w[static_cast<std::size_t>(ids[pos])];
+      b_sorted[pos] = f.b[static_cast<std::size_t>(ids[pos])];
+    }
+  }
+
+  [[nodiscard]] cc::sub::SortedMaxModularView view(double a) const {
+    return {a, w_sorted, b_sorted, ids};
+  }
+};
+
+// ------------------------------------------------------ span kernels
+
+TEST(SoaEquivalence, SortedKernelsMatchMemberMinimizers) {
+  Rng rng(20260808);
+  cc::sub::MaxModularScratch scratch;
+  std::vector<int> out;
+  for (int rep = 0; rep < 300; ++rep) {
+    const int n = static_cast<int>(rng.uniform_int(1, 48));
+    const RandomFn data = random_fn(rng, n);
+    const cc::sub::MaxModularFunction f(data.a, data.w, data.b);
+    const SortedData sorted(data);
+    // θ sweeps from "keeps everything positive" to "makes most modular
+    // weights negative" — both kernel branches get exercised.
+    const double theta = rng.uniform(-10.0, 60.0);
+
+    const auto [ref_set, ref_value] = f.minimize_exact_nonempty_shifted(theta);
+    const double soa_value =
+        minimize_sorted_shifted(sorted.view(data.a), theta, out);
+    EXPECT_EQ(ref_value, soa_value);  // bitwise, not approx
+    EXPECT_EQ(ref_set, out);
+
+    const int cap = static_cast<int>(rng.uniform_int(1, n));
+    const auto [ref_cset, ref_cvalue] =
+        f.minimize_exact_nonempty_capped_shifted(cap, theta);
+    const double soa_cvalue = minimize_sorted_capped_shifted(
+        sorted.view(data.a), cap, theta, scratch, out);
+    EXPECT_EQ(ref_cvalue, soa_cvalue);
+    EXPECT_EQ(ref_cset, out);
+  }
+}
+
+TEST(SoaEquivalence, SortedDinkelbachMatchesStructured) {
+  Rng rng(777);
+  cc::sub::DensestScratch scratch;
+  std::vector<int> out;
+  for (int rep = 0; rep < 200; ++rep) {
+    const int n = static_cast<int>(rng.uniform_int(1, 40));
+    const RandomFn data = random_fn(rng, n);
+    const cc::sub::MaxModularFunction f(data.a, data.w, data.b);
+    const SortedData sorted(data);
+
+    const cc::sub::DensestResult ref = min_average_cost(f, true);
+    const cc::sub::DensestScan scan = min_average_cost_sorted(
+        sorted.view(data.a), data.w, data.b, 0, scratch, out);
+    EXPECT_EQ(ref.average_cost, scan.average_cost);
+    EXPECT_EQ(ref.set, out);
+    EXPECT_EQ(ref.iterations, scan.iterations);
+
+    const int cap = static_cast<int>(rng.uniform_int(1, n));
+    const cc::sub::DensestResult ref_cap =
+        min_average_cost_capped(f, cap, true);
+    const cc::sub::DensestScan scan_cap = min_average_cost_sorted(
+        sorted.view(data.a), data.w, data.b, cap, scratch, out);
+    EXPECT_EQ(ref_cap.average_cost, scan_cap.average_cost);
+    EXPECT_EQ(ref_cap.set, out);
+    EXPECT_EQ(ref_cap.iterations, scan_cap.iterations);
+  }
+}
+
+// ----------------------------------------------------- cost kernels
+
+TEST(SoaEquivalence, GroupCostsIntoBitIdentical) {
+  Rng rng(42);
+  const DemandShape shapes[] = {DemandShape::kUniform, DemandShape::kAllEqual,
+                                DemandShape::kSomeZero,
+                                DemandShape::kTiedMax};
+  for (int rep = 0; rep < 60; ++rep) {
+    const int n = static_cast<int>(rng.uniform_int(1, 40));
+    const int m = static_cast<int>(rng.uniform_int(1, 8));
+    const Instance instance = random_instance(
+        rng, n, m, shapes[rep % 4], rep % 2 == 1,
+        static_cast<int>(rng.uniform_int(0, 3)), rep % 3 == 0);
+    const CostModel cost(instance);
+
+    std::vector<DeviceId> pool(static_cast<std::size_t>(n));
+    std::iota(pool.begin(), pool.end(), 0);
+    std::vector<double> fused(static_cast<std::size_t>(m));
+    for (int trial = 0; trial < 10; ++trial) {
+      rng.shuffle(pool);
+      const auto size = static_cast<std::size_t>(
+          rng.uniform_int(1, std::min(n, 12)));
+      std::vector<DeviceId> members(pool.begin(),
+                                    pool.begin() + static_cast<long>(size));
+      cost.group_costs_into(members, fused);
+      for (ChargerId j = 0; j < m; ++j) {
+        EXPECT_EQ(cost.group_cost(j, members),
+                  fused[static_cast<std::size_t>(j)])
+            << "charger " << j << " size " << size;
+      }
+
+      // best_charger == the scalar argmin over feasible chargers.
+      if (cost.has_feasible_charger(static_cast<int>(size))) {
+        ChargerId ref_j = -1;
+        double ref_cost = std::numeric_limits<double>::infinity();
+        for (ChargerId j = 0; j < m; ++j) {
+          const int cap = cost.session_cap(j);
+          if (cap > 0 && static_cast<int>(size) > cap) {
+            continue;
+          }
+          const double c = cost.group_cost(j, members);
+          if (c < ref_cost) {
+            ref_cost = c;
+            ref_j = j;
+          }
+        }
+        const auto [soa_j, soa_cost] = cost.best_charger(members);
+        EXPECT_EQ(ref_j, soa_j);
+        EXPECT_EQ(ref_cost, soa_cost);
+      }
+    }
+  }
+}
+
+TEST(SoaEquivalence, IncrementalCrossChecksFreshEvaluation) {
+  Rng rng(9001);
+  for (int rep = 0; rep < 30; ++rep) {
+    const int n = static_cast<int>(rng.uniform_int(2, 30));
+    const int m = static_cast<int>(rng.uniform_int(1, 5));
+    const Instance instance = random_instance(
+        rng, n, m, rep % 2 == 0 ? DemandShape::kTiedMax : DemandShape::kUniform,
+        false, 0, false);
+    const CostModel cost(instance);
+    const ChargerId j = static_cast<ChargerId>(rng.uniform_int(0, m - 1));
+
+    IncrementalGroupCost inc(cost, j);
+    std::vector<DeviceId> members;
+    for (int op = 0; op < 60; ++op) {
+      if (members.empty() ||
+          (members.size() < static_cast<std::size_t>(n) &&
+           rng.uniform(0.0, 1.0) < 0.6)) {
+        DeviceId i;
+        do {
+          i = static_cast<DeviceId>(rng.uniform_int(0, n - 1));
+        } while (std::find(members.begin(), members.end(), i) !=
+                 members.end());
+        inc.add(i);
+        members.push_back(i);
+      } else {
+        const auto pick = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(members.size()) - 1));
+        inc.remove(members[pick]);
+        members.erase(members.begin() + static_cast<long>(pick));
+      }
+      // Fee queries are exact (max-based); summed cost is 1e-9-relative.
+      EXPECT_EQ(inc.session_fee(), cost.session_fee(j, members));
+      if (!members.empty()) {
+        const double fresh = cost.group_cost(j, members);
+        EXPECT_NEAR(inc.cost(), fresh, 1e-9 * std::max(1.0, fresh));
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------- CCSA cover
+
+TEST(SoaEquivalence, CcsaSoaPathMatchesScalarSchedules) {
+  Rng rng(31337);
+  const DemandShape shapes[] = {DemandShape::kUniform, DemandShape::kAllEqual,
+                                DemandShape::kSomeZero,
+                                DemandShape::kTiedMax};
+  for (int rep = 0; rep < 24; ++rep) {
+    const int n = static_cast<int>(rng.uniform_int(1, 36));
+    const int m = static_cast<int>(rng.uniform_int(1, 6));
+    const Instance instance = random_instance(
+        rng, n, m, shapes[rep % 4], rep % 2 == 0,
+        static_cast<int>(rng.uniform_int(0, 3)), rep % 5 == 0);
+
+    for (const bool refine : {false, true}) {
+      CcsaOptions scalar_opts;
+      scalar_opts.refine = refine;
+      scalar_opts.soa = false;
+      CcsaOptions soa_opts;
+      soa_opts.refine = refine;
+      soa_opts.soa = true;
+
+      const auto scalar = Ccsa(scalar_opts).run(instance);
+      const auto soa = Ccsa(soa_opts).run(instance);
+
+      const auto scalar_groups = scalar.schedule.coalitions();
+      const auto soa_groups = soa.schedule.coalitions();
+      ASSERT_EQ(scalar_groups.size(), soa_groups.size());
+      for (std::size_t k = 0; k < scalar_groups.size(); ++k) {
+        EXPECT_EQ(scalar_groups[k].charger, soa_groups[k].charger);
+        EXPECT_EQ(scalar_groups[k].members, soa_groups[k].members);
+      }
+      const CostModel cost(instance);
+      EXPECT_EQ(scalar.schedule.total_cost(cost),
+                soa.schedule.total_cost(cost));
+      EXPECT_EQ(scalar.stats.iterations, soa.stats.iterations);
+    }
+  }
+}
+
+// ------------------------------------------------------------- arena
+
+TEST(SoaEquivalence, ArenaReusesBlocksAfterReset) {
+  cc::util::Arena arena(1024);
+  // Warm up at the high-water size.
+  for (int round = 0; round < 3; ++round) {
+    arena.reset();
+    const auto d = arena.make<double>(700);
+    const auto i = arena.make<int>(900);
+    ASSERT_EQ(d.size(), 700u);
+    ASSERT_EQ(i.size(), 900u);
+    d[0] = 1.5;
+    d[699] = 2.5;
+    i[899] = 7;
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d.data()) % alignof(double),
+              0u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(i.data()) % alignof(int), 0u);
+  }
+  const std::size_t warm_blocks = arena.blocks();
+  const std::size_t warm_bytes = arena.reserved_bytes();
+  // Steady state: same request pattern, no new blocks.
+  for (int round = 0; round < 50; ++round) {
+    arena.reset();
+    (void)arena.make<double>(700);
+    (void)arena.make<int>(900);
+  }
+  EXPECT_EQ(arena.blocks(), warm_blocks);
+  EXPECT_EQ(arena.reserved_bytes(), warm_bytes);
+}
+
+}  // namespace
