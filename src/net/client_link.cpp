@@ -1,0 +1,276 @@
+#include "net/client_link.h"
+
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/io.h"
+#include "obs/json.h"
+#include "service/protocol.h"
+
+namespace cc::net {
+
+ClientLink::~ClientLink() = default;
+
+bool ClientLink::send(const std::string& line) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  if (write_closed_) {
+    return false;
+  }
+  std::string framed = line;
+  framed.push_back('\n');
+  if (!write_bytes(framed.data(), framed.size())) {
+    write_closed_ = true;
+    return false;
+  }
+  return true;
+}
+
+void ClientLink::close_input() {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  if (!write_closed_) {
+    write_closed_ = true;
+    shutdown_write();
+  }
+}
+
+bool ClientLink::wait_for(std::size_t n) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this, n] { return lines_.size() >= n || eof_; });
+  return lines_.size() >= n;
+}
+
+ClientLink::Wait ClientLink::wait_for_id(
+    const std::string& id, long min_count,
+    std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto ready = [this, &id, min_count] {
+    const auto it = id_counts_.find(id);
+    return (it != id_counts_.end() && it->second >= min_count) || eof_;
+  };
+  if (deadline == std::chrono::steady_clock::time_point::max()) {
+    cv_.wait(lock, ready);
+  } else if (!cv_.wait_until(lock, deadline, ready)) {
+    return Wait::kTimeout;
+  }
+  const auto it = id_counts_.find(id);
+  if (it != id_counts_.end() && it->second >= min_count) {
+    return Wait::kGot;
+  }
+  return Wait::kEof;
+}
+
+void ClientLink::wait_for_stats(long seen) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this, seen] { return stats_seen_ > seen || eof_; });
+}
+
+void ClientLink::wait_for_eof() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return eof_; });
+}
+
+long ClientLink::id_count(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = id_counts_.find(id);
+  return it == id_counts_.end() ? 0 : it->second;
+}
+
+std::string ClientLink::latest_for_id(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = latest_by_id_.find(id);
+  return it == latest_by_id_.end() ? std::string() : it->second;
+}
+
+long ClientLink::stats_seen() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_seen_;
+}
+
+std::vector<std::string> ClientLink::lines() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lines_;
+}
+
+void ClientLink::start_reader() {
+  reader_ = std::thread([this] { read_loop(); });
+}
+
+void ClientLink::join_reader() {
+  close_input();
+  if (reader_.joinable()) {
+    reader_.join();
+  }
+}
+
+void ClientLink::read_loop() {
+  std::string line;
+  char buf[16 * 1024];
+  for (;;) {
+    if (read_stall_ms_ > 0) {
+      // Injected slow reader: the CI backpressure leg uses this to
+      // push the server's outbound queue over its soft limit.
+      std::this_thread::sleep_for(std::chrono::milliseconds(read_stall_ms_));
+    }
+    const ssize_t n = read_bytes(buf, sizeof(buf));
+    if (n <= 0) {
+      break;
+    }
+    for (ssize_t i = 0; i < n; ++i) {
+      const char c = buf[i];
+      if (c == '\n') {
+        index_line(line);
+        line.clear();
+      } else {
+        line.push_back(c);
+      }
+    }
+  }
+  if (!line.empty()) {
+    index_line(line);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  eof_ = true;
+  cv_.notify_all();
+}
+
+void ClientLink::index_line(const std::string& line) {
+  // Index by response id so waiters match their own answers even when
+  // stats heartbeats or other requests interleave. Lines that fail to
+  // parse (or carry no id — e.g. corrupted-wire rejections) are kept
+  // for the final accounting but wake nobody.
+  std::string id;
+  bool is_stats = false;
+  try {
+    const service::Response response = service::parse_response(line);
+    id = response.id;
+    is_stats = response.status == "stats";
+  } catch (const obs::JsonError&) {
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  lines_.push_back(line);
+  if (is_stats) {
+    ++stats_seen_;
+  } else if (!id.empty()) {
+    ++id_counts_[id];
+    latest_by_id_[id] = line;
+  }
+  cv_.notify_all();
+}
+
+PipeLink::PipeLink(const std::string& command, int read_stall_ms)
+    : ClientLink(read_stall_ms) {
+  int to_child[2] = {-1, -1};
+  int from_child[2] = {-1, -1};
+  if (pipe(to_child) != 0 || pipe(from_child) != 0) {
+    throw core::IoError("cannot create server pipes");
+  }
+  pid_ = fork();
+  if (pid_ < 0) {
+    throw core::IoError("cannot fork server process");
+  }
+  if (pid_ == 0) {
+    dup2(to_child[0], STDIN_FILENO);
+    dup2(from_child[1], STDOUT_FILENO);
+    close(to_child[0]);
+    close(to_child[1]);
+    close(from_child[0]);
+    close(from_child[1]);
+    execl("/bin/sh", "sh", "-c", command.c_str(),
+          static_cast<char*>(nullptr));
+    std::perror("pipe link: exec failed");
+    _exit(127);
+  }
+  close(to_child[0]);
+  close(from_child[1]);
+  to_server_ = Fd(to_child[1]);
+  from_server_ = Fd(from_child[0]);
+  start_reader();
+}
+
+PipeLink::~PipeLink() {
+  join_reader();
+  from_server_.reset();
+  if (pid_ > 0) {
+    int status = 0;
+    waitpid(pid_, &status, 0);
+  }
+}
+
+ssize_t PipeLink::read_bytes(char* buf, std::size_t cap) {
+  for (;;) {
+    const ssize_t n = ::read(from_server_.get(), buf, cap);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    return n;
+  }
+}
+
+bool PipeLink::write_bytes(const char* data, std::size_t len) {
+  // SIGPIPE is ignored by the tools, so a dead child surfaces as
+  // EPIPE here rather than killing the client.
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(to_server_.get(), data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void PipeLink::shutdown_write() { to_server_.reset(); }
+
+TcpLink::TcpLink(const Endpoint& endpoint, double connect_timeout_s,
+                 int read_stall_ms, std::size_t rcvbuf_bytes)
+    : ClientLink(read_stall_ms) {
+  fd_ = connect_tcp(endpoint, connect_timeout_s, rcvbuf_bytes);
+  start_reader();
+}
+
+TcpLink::~TcpLink() {
+  join_reader();
+  // The reader may be blocked in read(); closing here is safe because
+  // the server answers SHUT_WR (from join_reader's close_input) by
+  // draining and closing, which unblocks the read with EOF first.
+  fd_.reset();
+}
+
+ssize_t TcpLink::read_bytes(char* buf, std::size_t cap) {
+  for (;;) {
+    const ssize_t n = ::read(fd_.get(), buf, cap);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    return n;
+  }
+}
+
+bool TcpLink::write_bytes(const char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n =
+        ::send(fd_.get(), data + off, len - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void TcpLink::shutdown_write() { ::shutdown(fd_.get(), SHUT_WR); }
+
+}  // namespace cc::net

@@ -1,0 +1,153 @@
+#pragma once
+
+/// \file client_link.h
+/// Client-side transports for driving a `ccs_serve` instance — the
+/// machinery `ccs_client` uses to send request lines and collect
+/// response lines, factored so the pipe and TCP paths share one
+/// contract:
+///
+///  * a background reader thread splits the inbound byte stream into
+///    lines and indexes them by response id, so open-loop sending
+///    never deadlocks on a full pipe and per-id waits survive
+///    arbitrary interleaving (stats heartbeats, other connections'
+///    retries);
+///  * `send` appends the newline frame delimiter and reports transport
+///    death (EPIPE/ECONNRESET) as `false` instead of a signal — the
+///    caller's retry loop decides whether to reconnect;
+///  * `close_input` half-closes the write side (pipe: close stdin;
+///    TCP: `shutdown(SHUT_WR)`), signalling the server to drain, while
+///    responses keep flowing until the server closes its side.
+///
+/// `PipeLink` spawns the server command and owns the child (reaps it
+/// on destruction). `TcpLink` connects to a listening server and owns
+/// only its connection — destroying it leaves the server running,
+/// which is what makes reconnect-after-kill work.
+///
+/// An optional read stall injects a slow reader (sleep before every
+/// read) to exercise the server's backpressure shedding from CI.
+
+#include <sys/types.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.h"
+
+namespace cc::net {
+
+class ClientLink {
+ public:
+  enum class Wait { kGot, kEof, kTimeout };
+
+  virtual ~ClientLink();
+
+  ClientLink(const ClientLink&) = delete;
+  ClientLink& operator=(const ClientLink&) = delete;
+
+  /// Sends one line (the newline is appended). False when the
+  /// transport is gone — the server died or dropped the connection.
+  bool send(const std::string& line);
+
+  /// Half-closes the write side; the server sees EOF and drains.
+  /// Idempotent.
+  void close_input();
+
+  /// Blocks until at least `n` response lines arrived or the stream
+  /// ended; returns false on premature EOF.
+  bool wait_for(std::size_t n);
+
+  /// Blocks until `id` has at least `min_count` responses, the stream
+  /// ends, or `deadline` passes (`max()` = no deadline). The response
+  /// check wins over EOF, so an answer that arrived just before the
+  /// server died is still delivered.
+  Wait wait_for_id(const std::string& id, long min_count,
+                   std::chrono::steady_clock::time_point deadline);
+
+  /// Blocks until a stats response arrives beyond `seen` or EOF.
+  void wait_for_stats(long seen);
+
+  void wait_for_eof();
+
+  [[nodiscard]] long id_count(const std::string& id);
+  [[nodiscard]] std::string latest_for_id(const std::string& id);
+  [[nodiscard]] long stats_seen();
+  [[nodiscard]] std::vector<std::string> lines();
+
+ protected:
+  explicit ClientLink(int read_stall_ms) : read_stall_ms_(read_stall_ms) {}
+
+  /// Derived constructors call this once the transport is open.
+  void start_reader();
+  /// Derived destructors call this before tearing the transport down.
+  void join_reader();
+
+  /// Blocking read; <= 0 means EOF or a dead transport.
+  virtual ssize_t read_bytes(char* buf, std::size_t cap) = 0;
+  /// Full blocking write; false when the transport is gone.
+  virtual bool write_bytes(const char* data, std::size_t len) = 0;
+  /// Transport-specific half-close of the write side.
+  virtual void shutdown_write() = 0;
+
+ private:
+  void read_loop();
+  void index_line(const std::string& line);
+
+  int read_stall_ms_ = 0;
+  std::thread reader_;
+  std::mutex write_mutex_;
+  bool write_closed_ = false;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::string> lines_;
+  std::map<std::string, long> id_counts_;
+  std::map<std::string, std::string> latest_by_id_;
+  long stats_seen_ = 0;
+  bool eof_ = false;
+};
+
+/// Spawns `command` via `sh -c` and drives it over a stdin/stdout pipe
+/// pair. Owns the child: destruction closes the pipes, joins the
+/// reader and reaps the process.
+class PipeLink final : public ClientLink {
+ public:
+  explicit PipeLink(const std::string& command, int read_stall_ms = 0);
+  ~PipeLink() override;
+
+ protected:
+  ssize_t read_bytes(char* buf, std::size_t cap) override;
+  bool write_bytes(const char* data, std::size_t len) override;
+  void shutdown_write() override;
+
+ private:
+  pid_t pid_ = -1;
+  Fd to_server_;
+  Fd from_server_;
+};
+
+/// One TCP connection to a `ccs_serve --listen` instance. Destruction
+/// closes only this connection; the server keeps serving others.
+class TcpLink final : public ClientLink {
+ public:
+  /// Throws `core::IoError` when the connect fails or times out.
+  /// `rcvbuf_bytes > 0` shrinks the socket receive buffer so a stalled
+  /// reader back-propagates to the server quickly (backpressure tests).
+  explicit TcpLink(const Endpoint& endpoint, double connect_timeout_s = 0.0,
+                   int read_stall_ms = 0, std::size_t rcvbuf_bytes = 0);
+  ~TcpLink() override;
+
+ protected:
+  ssize_t read_bytes(char* buf, std::size_t cap) override;
+  bool write_bytes(const char* data, std::size_t len) override;
+  void shutdown_write() override;
+
+ private:
+  Fd fd_;
+};
+
+}  // namespace cc::net

@@ -1,0 +1,56 @@
+#include "net/framing.h"
+
+#include "util/assert.h"
+
+namespace cc::net {
+
+LineFramer::LineFramer(std::size_t max_frame_bytes)
+    : max_frame_bytes_(max_frame_bytes) {
+  CC_EXPECTS(max_frame_bytes_ > 0, "frame size limit must be positive");
+}
+
+std::vector<LineFramer::Event> LineFramer::feed(std::string_view bytes) {
+  std::vector<Event> events;
+  while (!bytes.empty()) {
+    const std::size_t nl = bytes.find('\n');
+    const bool complete = nl != std::string_view::npos;
+    const std::string_view chunk =
+        bytes.substr(0, complete ? nl : bytes.size());
+    bytes.remove_prefix(complete ? nl + 1 : bytes.size());
+
+    if (skipping_) {
+      // Tail of an already-reported oversized frame: discard up to and
+      // including its newline, then resume normal framing.
+      if (complete) {
+        skipping_ = false;
+      }
+      continue;
+    }
+    if (buffer_.size() + chunk.size() > max_frame_bytes_) {
+      ++oversized_;
+      Event event;
+      event.oversized = true;
+      events.push_back(std::move(event));
+      buffer_.clear();
+      skipping_ = !complete;
+      continue;
+    }
+    buffer_.append(chunk);
+    if (!complete) {
+      break;  // bytes exhausted; the tail waits for the next feed
+    }
+    if (!buffer_.empty() && buffer_.back() == '\r') {
+      buffer_.pop_back();  // CRLF framing
+    }
+    if (!buffer_.empty()) {
+      ++frames_;
+      Event event;
+      event.line = std::move(buffer_);
+      events.push_back(std::move(event));
+    }
+    buffer_.clear();
+  }
+  return events;
+}
+
+}  // namespace cc::net

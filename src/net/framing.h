@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file framing.h
+/// Newline-framed JSONL reassembly for the TCP front-end.
+///
+/// TCP is a byte stream: one `read()` may deliver half a frame, three
+/// frames and a prefix of a fourth, or a single byte. `LineFramer`
+/// turns that stream back into the wire protocol's unit — one JSON
+/// document per line — independently of where the kernel happened to
+/// split the bytes:
+///
+///  * **Partial frames** are buffered until their terminating `\n`
+///    arrives; reassembly is byte-split-invariant (the unit suite
+///    feeds every chunking of a stream and requires identical frames).
+///  * **CRLF vs LF**: one trailing `\r` is stripped, so telnet-style
+///    clients interoperate with the LF-only server tools.
+///  * **Blank frames** (empty lines, lone `\r\n`) are dropped, matching
+///    the stdin path's `line.empty()` skip.
+///  * **Oversized frames**: a frame whose payload exceeds
+///    `max_frame_bytes` is surfaced as a single oversized event (the
+///    server answers `frame_too_large`) and its remaining bytes are
+///    discarded up to the next newline — the connection stays in sync
+///    instead of treating the tail of a huge frame as new frames.
+///
+/// The framer is transport-agnostic (it only sees bytes), so the unit
+/// tests cover the reassembly matrix without sockets.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cc::net {
+
+class LineFramer {
+ public:
+  /// One reassembled event: either a complete line (without its
+  /// newline / CR) or an oversized-frame marker with the payload
+  /// dropped.
+  struct Event {
+    bool oversized = false;
+    std::string line;  ///< empty when oversized
+  };
+
+  explicit LineFramer(std::size_t max_frame_bytes);
+
+  /// Appends received bytes and returns the frames they complete, in
+  /// stream order. Partial tails stay buffered for the next feed.
+  [[nodiscard]] std::vector<Event> feed(std::string_view bytes);
+
+  /// Bytes buffered awaiting a newline (0 when between frames).
+  [[nodiscard]] std::size_t buffered() const noexcept {
+    return buffer_.size();
+  }
+
+  [[nodiscard]] std::uint64_t frames() const noexcept { return frames_; }
+  [[nodiscard]] std::uint64_t oversized() const noexcept {
+    return oversized_;
+  }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::string buffer_;
+  bool skipping_ = false;  ///< discarding the tail of an oversized frame
+  std::uint64_t frames_ = 0;
+  std::uint64_t oversized_ = 0;
+};
+
+}  // namespace cc::net

@@ -1,0 +1,365 @@
+#include "net/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "core/io.h"
+#include "obs/registry.h"
+#include "service/protocol.h"
+#include "util/assert.h"
+
+namespace cc::net {
+
+namespace {
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+/// Hard outbound limit = soft × this; beyond it even the shed rejects
+/// are not being read and the connection is dropped.
+constexpr std::size_t kHardLimitFactor = 4;
+/// Shutdown flush deadline: a reader stalled through drain cannot hold
+/// the process open forever.
+constexpr auto kFlushDeadline = std::chrono::seconds(10);
+
+}  // namespace
+
+std::vector<std::pair<std::string, long>> NetCounters::snapshot() const {
+  return {
+      {"net.accepts", accepts.load()},
+      {"net.disconnects", disconnects.load()},
+      {"net.active", active.load()},
+      {"net.frames", frames.load()},
+      {"net.oversized", oversized.load()},
+      {"net.responses", responses.load()},
+      {"net.bytes_in", bytes_in.load()},
+      {"net.bytes_out", bytes_out.load()},
+      {"net.sheds", sheds.load()},
+      {"net.overflow_drops", overflow_drops.load()},
+      {"net.dropped_responses", dropped_responses.load()},
+  };
+}
+
+NetServer::NetServer(Options options, ShardRouter& router)
+    : options_(std::move(options)), router_(router) {
+  CC_EXPECTS(options_.max_frame_bytes > 0, "max_frame_bytes must be > 0");
+  CC_EXPECTS(options_.soft_outbound_bytes > 0,
+             "soft_outbound_bytes must be > 0");
+  listener_ = listen_tcp(options_.endpoint, options_.backlog);
+  auto pipe = make_wake_pipe();
+  wake_read_ = std::move(pipe.first);
+  wake_write_ = std::move(pipe.second);
+}
+
+NetServer::~NetServer() = default;
+
+std::uint16_t NetServer::port() const { return local_port(listener_.get()); }
+
+void NetServer::request_shutdown() noexcept {
+  shutdown_requested_.store(true, std::memory_order_release);
+  const char byte = 1;
+  (void)!::write(wake_write_.get(), &byte, 1);
+}
+
+void NetServer::queue_response(std::uint64_t conn, std::string line) {
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    pending_.emplace_back(conn, std::move(line));
+  }
+  const char byte = 1;
+  (void)!::write(wake_write_.get(), &byte, 1);
+}
+
+void NetServer::run() {
+  std::vector<pollfd> pfds;
+  std::vector<std::uint64_t> ids;  // pfds[i + 2] belongs to conn ids[i]
+  while (!draining_ &&
+         !shutdown_requested_.load(std::memory_order_acquire)) {
+    pfds.clear();
+    ids.clear();
+    pfds.push_back({wake_read_.get(), POLLIN, 0});
+    pfds.push_back({listener_.get(), POLLIN, 0});
+    for (auto& [id, conn] : conns_) {
+      short events = 0;
+      if (!conn.read_closed) {
+        events |= POLLIN;
+      }
+      if (conn.outbound_head < conn.outbound.size()) {
+        events |= POLLOUT;
+      }
+      pfds.push_back({conn.fd.get(), events, 0});
+      ids.push_back(id);
+    }
+    if (poll(pfds.data(), pfds.size(), -1) < 0) {
+      if (errno == EINTR) {
+        continue;  // a signal; the shutdown flag check re-runs above
+      }
+      throw core::IoError(std::string("poll failed: ") +
+                          std::strerror(errno));
+    }
+    if ((pfds[0].revents & POLLIN) != 0) {
+      char buf[256];
+      while (::read(wake_read_.get(), buf, sizeof(buf)) > 0) {
+      }
+      transfer_pending();
+    }
+    if ((pfds[1].revents & POLLIN) != 0) {
+      accept_ready();
+    }
+    std::vector<std::uint64_t> dead;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const short revents = pfds[i + 2].revents;
+      if (revents == 0) {
+        continue;
+      }
+      const auto it = conns_.find(ids[i]);
+      if (it == conns_.end()) {
+        continue;
+      }
+      Connection& conn = it->second;
+      bool alive = true;
+      if ((revents & POLLNVAL) != 0) {
+        alive = false;
+      }
+      if (alive && !conn.read_closed &&
+          (revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        alive = read_ready(ids[i], conn);
+      }
+      if (alive && (revents & POLLOUT) != 0) {
+        alive = write_ready(conn);
+      }
+      if (alive && conn.read_closed && (revents & POLLERR) != 0) {
+        alive = false;
+      }
+      if (alive &&
+          conn.outbound_bytes >
+              options_.soft_outbound_bytes * kHardLimitFactor) {
+        // The reader is not even consuming the shed rejects.
+        counters_.overflow_drops.fetch_add(1);
+        obs::count("net.overflow_drops");
+        alive = false;
+      }
+      if (!alive) {
+        dead.push_back(ids[i]);
+      }
+      if (draining_) {
+        break;  // a {"cmd":"shutdown"} frame arrived mid-sweep
+      }
+    }
+    for (const std::uint64_t id : dead) {
+      drop(id);
+    }
+    // Half-close sweep: the peer sent EOF, everything it is owed has
+    // been written — the connection is complete.
+    std::vector<std::uint64_t> done;
+    for (const auto& [id, conn] : conns_) {
+      if (conn.read_closed && conn.outbound_head >= conn.outbound.size() &&
+          router_.pending(id) == 0) {
+        done.push_back(id);
+      }
+    }
+    for (const std::uint64_t id : done) {
+      drop(id);
+    }
+  }
+  drain_and_flush();
+}
+
+void NetServer::accept_ready() {
+  for (;;) {
+    const int raw = ::accept(listener_.get(), nullptr, nullptr);
+    if (raw < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+          errno == ECONNABORTED) {
+        return;
+      }
+      throw core::IoError(std::string("accept failed: ") +
+                          std::strerror(errno));
+    }
+    Fd fd(raw);
+    set_nonblocking(fd.get());
+    if (options_.sndbuf_bytes > 0) {
+      const int size = static_cast<int>(options_.sndbuf_bytes);
+      (void)setsockopt(fd.get(), SOL_SOCKET, SO_SNDBUF, &size,
+                       sizeof(size));
+    }
+    const std::uint64_t id = next_conn_id_++;
+    conns_.emplace(id, Connection(std::move(fd), options_.max_frame_bytes));
+    counters_.accepts.fetch_add(1);
+    counters_.active.fetch_add(1);
+    obs::count("net.accepts");
+  }
+}
+
+bool NetServer::read_ready(std::uint64_t id, Connection& conn) {
+  char buf[kReadChunk];
+  for (;;) {
+    const ssize_t n = ::read(conn.fd.get(), buf, sizeof(buf));
+    if (n == 0) {
+      conn.read_closed = true;  // half-close; finish writing first
+      return true;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return true;
+      }
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;  // ECONNRESET and friends
+    }
+    counters_.bytes_in.fetch_add(n);
+    for (auto& event :
+         conn.framer.feed(std::string_view(buf, static_cast<size_t>(n)))) {
+      if (event.oversized) {
+        counters_.oversized.fetch_add(1);
+        obs::count("net.oversized");
+        service::Response reject;
+        reject.status = "rejected";
+        reject.reason =
+            "frame_too_large (limit " +
+            std::to_string(options_.max_frame_bytes) + " bytes)";
+        enqueue(conn, service::to_json_line(reject));
+        continue;
+      }
+      if (options_.chaos != nullptr) {
+        (void)options_.chaos->mangle_line(event.line);
+        if (event.line.empty()) {
+          continue;  // mangled to nothing; the stdin path skips too
+        }
+      }
+      counters_.frames.fetch_add(1);
+      obs::count("net.frames");
+      const bool shed = conn.outbound_bytes > options_.soft_outbound_bytes;
+      if (shed) {
+        counters_.sheds.fetch_add(1);
+        obs::count("net.sheds");
+      }
+      if (!router_.submit(id, event.line, shed)) {
+        draining_ = true;  // {"cmd":"shutdown"}: stop reading everywhere
+        return true;
+      }
+    }
+  }
+}
+
+bool NetServer::write_ready(Connection& conn) {
+  while (conn.outbound_head < conn.outbound.size()) {
+    const std::string& front = conn.outbound[conn.outbound_head];
+    const ssize_t n =
+        ::send(conn.fd.get(), front.data() + conn.write_offset,
+               front.size() - conn.write_offset, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return true;
+      }
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;  // EPIPE / ECONNRESET
+    }
+    counters_.bytes_out.fetch_add(n);
+    conn.write_offset += static_cast<std::size_t>(n);
+    if (conn.write_offset == front.size()) {
+      conn.outbound_bytes -= front.size();
+      conn.write_offset = 0;
+      ++conn.outbound_head;
+    }
+  }
+  conn.outbound.clear();
+  conn.outbound_head = 0;
+  return true;
+}
+
+void NetServer::enqueue(Connection& conn, std::string line) {
+  line.push_back('\n');
+  conn.outbound_bytes += line.size();
+  conn.outbound.push_back(std::move(line));
+  counters_.responses.fetch_add(1);
+  obs::count("net.responses");
+}
+
+void NetServer::transfer_pending() {
+  std::vector<std::pair<std::uint64_t, std::string>> batch;
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    batch.swap(pending_);
+  }
+  for (auto& [id, line] : batch) {
+    const auto it = conns_.find(id);
+    if (it == conns_.end()) {
+      counters_.dropped_responses.fetch_add(1);
+      obs::count("net.dropped_responses");
+      continue;
+    }
+    enqueue(it->second, std::move(line));
+  }
+}
+
+void NetServer::drop(std::uint64_t id, bool count_disconnect) {
+  router_.forget(id);
+  conns_.erase(id);
+  if (count_disconnect) {
+    counters_.disconnects.fetch_add(1);
+    counters_.active.fetch_sub(1);
+    obs::count("net.disconnects");
+  }
+}
+
+void NetServer::drain_and_flush() {
+  listener_.reset();  // no new connections
+  // Serve the admitted backlog; shard sinks keep queueing responses
+  // into pending_ while this blocks.
+  router_.drain();
+  transfer_pending();
+  const auto deadline = std::chrono::steady_clock::now() + kFlushDeadline;
+  for (;;) {
+    std::vector<std::uint64_t> done;
+    std::vector<pollfd> pfds;
+    std::vector<std::uint64_t> ids;
+    for (auto& [id, conn] : conns_) {
+      if (conn.outbound_head >= conn.outbound.size()) {
+        done.push_back(id);
+        continue;
+      }
+      pfds.push_back({conn.fd.get(), POLLOUT, 0});
+      ids.push_back(id);
+    }
+    for (const std::uint64_t id : done) {
+      drop(id);
+    }
+    if (pfds.empty()) {
+      return;
+    }
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) {
+      break;
+    }
+    const int rc =
+        poll(pfds.data(), pfds.size(), static_cast<int>(remaining.count()));
+    if (rc < 0 && errno != EINTR) {
+      break;
+    }
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if ((pfds[i].revents & (POLLOUT | POLLERR | POLLHUP)) == 0) {
+        continue;
+      }
+      const auto it = conns_.find(ids[i]);
+      if (it != conns_.end() && !write_ready(it->second)) {
+        drop(ids[i]);
+      }
+    }
+  }
+  // Deadline hit: the stalled readers lose their tails.
+  while (!conns_.empty()) {
+    counters_.dropped_responses.fetch_add(1);
+    drop(conns_.begin()->first);
+  }
+}
+
+}  // namespace cc::net

@@ -1,0 +1,155 @@
+#pragma once
+
+/// \file server.h
+/// The TCP front-end of `ccs_serve --listen`: a single-threaded
+/// poll(2) event loop that owns the listener and every connection,
+/// feeding reassembled JSONL frames to a `ShardRouter` and writing the
+/// responses its shards emit back to the right connection.
+///
+/// Threading: the loop thread does all socket I/O. Shard workers never
+/// touch sockets — `queue_response` (the router's emit callback) moves
+/// serialized lines into a mutex-guarded staging vector and wakes the
+/// loop through a self-pipe; the loop transfers them onto the owning
+/// connection's outbound queue. `request_shutdown` is async-signal-safe
+/// (an atomic store plus one pipe write), so SIGTERM/SIGINT handlers
+/// can call it directly.
+///
+/// Backpressure (per connection, byte-accounted on the outbound
+/// queue):
+///  * over the **soft limit**, new requests are shed with a
+///    `backpressure` reject (cheap, fixed-size) instead of being
+///    scheduled — a slow reader degrades, it does not wedge the server
+///    or balloon memory;
+///  * over the **hard limit** (4× soft) — the reader stopped consuming
+///    even the rejects — the connection is dropped.
+///
+/// Half-close/drain: a client that `shutdown(SHUT_WR)`s after its last
+/// request (EOF on read) still receives every in-flight response; the
+/// connection closes once the router owes it nothing and its outbound
+/// queue is flushed. Server shutdown mirrors that: stop accepting,
+/// stop reading, drain the shards, flush every queue (bounded by a
+/// deadline so a stalled reader cannot hang exit), then close.
+///
+/// Oversized frames (beyond `max_frame_bytes`) are answered inline
+/// with a `frame_too_large` reject and the stream resyncs at the next
+/// newline — framing.h owns that contract.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/framing.h"
+#include "net/shard_router.h"
+#include "net/socket.h"
+#include "service/chaos.h"
+
+namespace cc::net {
+
+/// Monotone wire accounting, readable from any thread while the loop
+/// runs (plain atomics: unlike the obs mirror, always on).
+struct NetCounters {
+  std::atomic<long> accepts{0};
+  std::atomic<long> disconnects{0};   ///< closed for any reason
+  std::atomic<long> active{0};        ///< currently open (gauge)
+  std::atomic<long> frames{0};        ///< complete frames routed
+  std::atomic<long> oversized{0};     ///< frame_too_large rejects
+  std::atomic<long> responses{0};     ///< lines written back
+  std::atomic<long> bytes_in{0};
+  std::atomic<long> bytes_out{0};
+  std::atomic<long> sheds{0};            ///< soft-limit request sheds
+  std::atomic<long> overflow_drops{0};   ///< hard-limit disconnects
+  std::atomic<long> dropped_responses{0};  ///< conn gone before write
+
+  /// Flat (name, value) pairs for stats replies and the manifest.
+  [[nodiscard]] std::vector<std::pair<std::string, long>> snapshot() const;
+};
+
+class NetServer {
+ public:
+  struct Options {
+    Endpoint endpoint;                      ///< port 0 = ephemeral
+    std::size_t max_frame_bytes = 1 << 20;  ///< frame_too_large beyond
+    /// Outbound bytes above which a connection's requests are shed
+    /// with `backpressure`; the hard drop limit is 4× this.
+    std::size_t soft_outbound_bytes = 256 * 1024;
+    /// `> 0` shrinks SO_SNDBUF on accepted sockets. Kernel socket
+    /// buffers absorb hundreds of KB before the server's userspace
+    /// queue grows, which masks slow readers at test-sized volumes;
+    /// the backpressure tests set this small to make sheds observable.
+    std::size_t sndbuf_bytes = 0;
+    int backlog = 64;
+    /// Optional fault injector applied to inbound frames (same
+    /// mangling the stdin path applies); non-owning, may be null.
+    service::ChaosInjector* chaos = nullptr;
+  };
+
+  /// Binds and listens immediately (so `port()` is valid before
+  /// `run()`); throws `core::IoError` when the endpoint is taken.
+  /// The router must outlive the server.
+  NetServer(Options options, ShardRouter& router);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// The bound port (resolves `--listen=HOST:0` ephemeral binds).
+  [[nodiscard]] std::uint16_t port() const;
+
+  /// Runs the event loop until shutdown: a {"cmd":"shutdown"} frame or
+  /// `request_shutdown`. Drains shards and flushes connections before
+  /// returning. Call once.
+  void run();
+
+  /// Async-signal-safe shutdown trigger (atomic store + pipe write).
+  void request_shutdown() noexcept;
+
+  /// Thread-safe response enqueue — pass as the router's Emit. Lines
+  /// carry no trailing newline; the server appends the frame delimiter.
+  void queue_response(std::uint64_t conn, std::string line);
+
+  [[nodiscard]] const NetCounters& counters() const { return counters_; }
+
+ private:
+  struct Connection {
+    Fd fd;
+    LineFramer framer;
+    std::vector<std::string> outbound;  ///< framed lines, front first
+    std::size_t outbound_head = 0;      ///< consumed prefix of outbound
+    std::size_t write_offset = 0;       ///< within outbound[head]
+    std::size_t outbound_bytes = 0;
+    bool read_closed = false;
+
+    explicit Connection(Fd socket, std::size_t max_frame_bytes)
+        : fd(std::move(socket)), framer(max_frame_bytes) {}
+  };
+
+  void accept_ready();
+  /// Returns false when the connection must be dropped.
+  [[nodiscard]] bool read_ready(std::uint64_t id, Connection& conn);
+  [[nodiscard]] bool write_ready(Connection& conn);
+  void enqueue(Connection& conn, std::string line);
+  void transfer_pending();
+  void drop(std::uint64_t id, bool count_disconnect = true);
+  void drain_and_flush();
+
+  Options options_;
+  ShardRouter& router_;
+  Fd listener_;
+  Fd wake_read_;
+  Fd wake_write_;
+  std::map<std::uint64_t, Connection> conns_;
+  std::uint64_t next_conn_id_ = 1;
+  std::atomic<bool> shutdown_requested_{false};
+  bool draining_ = false;
+  NetCounters counters_;
+
+  std::mutex pending_mutex_;
+  std::vector<std::pair<std::uint64_t, std::string>> pending_;
+};
+
+}  // namespace cc::net

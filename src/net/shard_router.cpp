@@ -1,0 +1,312 @@
+#include "net/shard_router.h"
+
+#include <exception>
+#include <iterator>
+#include <utility>
+
+#include "cache/fingerprint.h"
+#include "obs/registry.h"
+#include "util/assert.h"
+
+namespace cc::net {
+
+ShardRouter::ShardRouter(std::size_t shards,
+                         std::vector<core::Charger> chargers,
+                         core::CostParams params,
+                         service::ServiceOptions options, Emit emit,
+                         StatsAugment stats_augment)
+    : chargers_(std::move(chargers)),
+      params_(params),
+      default_algo_(options.default_algo),
+      default_scheme_(options.default_scheme),
+      emit_(std::move(emit)),
+      stats_augment_(std::move(stats_augment)) {
+  CC_EXPECTS(shards > 0, "shard count must be positive");
+  CC_EXPECTS(emit_ != nullptr, "router needs an emit callback");
+  waiting_.resize(shards);
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    service::ServiceOptions shard_options = options;
+    if (!shard_options.journal_path.empty() && shards > 1) {
+      shard_options.journal_path += ".shard" + std::to_string(i);
+    }
+    shards_.push_back(std::make_unique<service::ChargingService>(
+        chargers_, params_, std::move(shard_options),
+        [this, i](const service::Response& response) {
+          on_response(i, response);
+        }));
+  }
+}
+
+ShardRouter::~ShardRouter() { drain(); }
+
+bool ShardRouter::submit(std::uint64_t conn, const std::string& line,
+                         bool shed) {
+  service::ParsedLine parsed;
+  const std::string error = service::parse_line(line, parsed);
+  if (!error.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.malformed;
+    }
+    obs::count("net.router.malformed");
+    service::Response response;
+    // Echo the id when the parse got far enough to extract one, same
+    // as the stdin path.
+    response.id = parsed.request.id;
+    response.status = "rejected";
+    response.reason = "malformed: " + error;
+    emit_(conn, service::to_json_line(response));
+    return true;
+  }
+  switch (parsed.kind) {
+    case service::LineKind::kStats:
+      emit_(conn, service::to_json_line(stats_reply()));
+      return true;
+    case service::LineKind::kShutdown:
+      return false;
+    case service::LineKind::kRequest:
+      break;
+  }
+  if (shed) {
+    // The connection is over its outbound soft limit: answering with a
+    // small reject keeps the stream one-response-per-request without
+    // growing the queue by a full schedule.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.backpressure_sheds;
+    }
+    obs::count("net.router.backpressure_sheds");
+    service::Response response;
+    response.id = parsed.request.id;
+    response.status = "rejected";
+    response.reason = "backpressure";
+    emit_(conn, service::to_json_line(response));
+    return true;
+  }
+  const std::size_t shard = route(parsed.request);
+  {
+    // Recorded *before* submit: the shard may answer synchronously
+    // (cache hit, dedup, rejection) on this very thread.
+    std::lock_guard<std::mutex> lock(mutex_);
+    waiting_[shard][parsed.request.id].push_back(conn);
+    ++inflight_[conn];
+  }
+  shards_[shard]->submit(std::move(parsed.request));
+  return true;
+}
+
+std::size_t ShardRouter::route(const service::Request& request) {
+  // The cache key's invariances are exactly the affinity we want:
+  // relabeled-but-identical instances land on the same shard and hit
+  // that shard's cache. Resolve the defaults the shard would apply so
+  // an explicit "ccsa" and an elided default route identically.
+  try {
+    const std::string& algo =
+        request.algo.empty() ? default_algo_ : request.algo;
+    const std::string& scheme =
+        request.scheme.empty() ? default_scheme_ : request.scheme;
+    const core::Instance instance =
+        service::build_instance(request, chargers_, params_);
+    const cache::CanonicalForm canon =
+        cache::canonicalize(instance, algo, scheme);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.routed_fingerprint;
+    obs::count("net.router.routed_fingerprint");
+    return static_cast<std::size_t>(canon.key.lo % shards_.size());
+  } catch (const std::exception&) {
+    // Un-fingerprintable (e.g. an instance the validator will reject):
+    // spread round-robin; the shard produces the structured rejection.
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.routed_round_robin;
+    obs::count("net.router.routed_round_robin");
+    const std::size_t shard = round_robin_next_;
+    round_robin_next_ = (round_robin_next_ + 1) % shards_.size();
+    return shard;
+  }
+}
+
+void ShardRouter::on_response(std::size_t shard,
+                              const service::Response& response) {
+  std::uint64_t conn = 0;
+  bool routable = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& by_id = waiting_[shard];
+    const auto it = by_id.find(response.id);
+    if (it != by_id.end() && !it->second.empty()) {
+      conn = it->second.front();
+      it->second.pop_front();
+      if (it->second.empty()) {
+        by_id.erase(it);
+      }
+      const auto inflight = inflight_.find(conn);
+      if (inflight != inflight_.end() && --inflight->second == 0) {
+        inflight_.erase(inflight);
+      }
+      routable = true;
+    } else {
+      // Journal-replayed backlog or a connection dropped mid-flight:
+      // the response is settled (journal, dedup window) but has no
+      // wire to go out on.
+      ++stats_.orphaned;
+    }
+  }
+  if (routable) {
+    emit_(conn, service::to_json_line(response));
+  } else {
+    obs::count("net.router.orphaned");
+  }
+}
+
+service::Response ShardRouter::stats_reply() const {
+  service::Response response;
+  response.status = "stats";
+  const service::ServiceStats s = aggregated_stats();
+  std::size_t queue_depth = 0;
+  std::size_t queue_peak = 0;
+  for (const auto& shard : shards_) {
+    queue_depth += shard->queue_depth();
+    queue_peak += shard->queue_high_watermark();
+  }
+  const RouterStats r = router_stats();
+  response.stats = {
+      {"received", s.received + r.malformed + r.backpressure_sheds},
+      {"accepted", s.accepted},
+      {"completed", s.completed},
+      {"rejected_malformed", s.rejected_malformed + r.malformed},
+      {"rejected_overload", s.rejected_overload},
+      {"rejected_deadline", s.rejected_deadline},
+      {"rejected_invalid", s.rejected_invalid},
+      {"rejected_over_budget", s.rejected_over_budget},
+      {"errors", s.errors},
+      {"batches", s.batches},
+      {"queue_depth", static_cast<long>(queue_depth)},
+      {"queue_peak", static_cast<long>(queue_peak)},
+      {"shards", static_cast<long>(shards_.size())},
+      {"net.backpressure_sheds", r.backpressure_sheds},
+      {"net.routed_fingerprint", r.routed_fingerprint},
+      {"net.routed_round_robin", r.routed_round_robin},
+      {"net.orphaned", r.orphaned},
+  };
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const std::string prefix = "shard" + std::to_string(i) + ".";
+    response.stats.emplace_back(prefix + "received",
+                                shards_[i]->stats().received);
+    response.stats.emplace_back(
+        prefix + "queue_depth",
+        static_cast<long>(shards_[i]->queue_depth()));
+  }
+  const service::ServiceOptions& options = shards_.front()->options();
+  if (options.dedup_window > 0) {
+    response.stats.emplace_back("deduped", s.deduped);
+  }
+  if (!options.journal_path.empty()) {
+    long outstanding = 0;
+    for (const auto& shard : shards_) {
+      if (shard->journal() != nullptr) {
+        outstanding += static_cast<long>(shard->journal()->outstanding());
+      }
+    }
+    response.stats.emplace_back("replayed", s.replayed);
+    response.stats.emplace_back("journal_outstanding", outstanding);
+  }
+  if (options.request_timeout_ms > 0.0) {
+    service::Watchdog::Stats w;
+    for (const auto& shard : shards_) {
+      const service::Watchdog::Stats ws = shard->watchdog_stats();
+      w.timeouts += ws.timeouts;
+      w.stalls_detected += ws.stalls_detected;
+      w.workers_replaced += ws.workers_replaced;
+      w.worker_crashes += ws.worker_crashes;
+    }
+    response.stats.emplace_back("watchdog_timeouts", w.timeouts);
+    response.stats.emplace_back("watchdog_stalls", w.stalls_detected);
+    response.stats.emplace_back("watchdog_replaced", w.workers_replaced);
+    response.stats.emplace_back("watchdog_crashes", w.worker_crashes);
+  }
+  if (s.sink_errors > 0) {
+    response.stats.emplace_back("sink_errors", s.sink_errors);
+  }
+  if (options.cache) {
+    cache::CacheStats c;
+    for (const auto& shard : shards_) {
+      const cache::CacheStats cs = shard->cache_stats();
+      c.hits += cs.hits;
+      c.misses += cs.misses;
+      c.evictions += cs.evictions;
+      c.inflight_merged += cs.inflight_merged;
+    }
+    response.stats.emplace_back("cache_hits", static_cast<long>(c.hits));
+    response.stats.emplace_back("cache_misses", static_cast<long>(c.misses));
+    response.stats.emplace_back("cache_evictions",
+                                static_cast<long>(c.evictions));
+    response.stats.emplace_back("cache_inflight_merged",
+                                static_cast<long>(c.inflight_merged));
+  }
+  if (stats_augment_ != nullptr) {
+    stats_augment_(response.stats);
+  }
+  return response;
+}
+
+std::size_t ShardRouter::replay_recovered() {
+  std::size_t replayed = 0;
+  for (const auto& shard : shards_) {
+    replayed += shard->replay_recovered();
+  }
+  return replayed;
+}
+
+void ShardRouter::drain() {
+  for (const auto& shard : shards_) {
+    shard->shutdown(true);
+  }
+}
+
+std::size_t ShardRouter::pending(std::uint64_t conn) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = inflight_.find(conn);
+  return it == inflight_.end() ? 0 : it->second;
+}
+
+void ShardRouter::forget(std::uint64_t conn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  inflight_.erase(conn);
+  for (auto& by_id : waiting_) {
+    for (auto it = by_id.begin(); it != by_id.end();) {
+      auto& fifo = it->second;
+      std::erase(fifo, conn);
+      it = fifo.empty() ? by_id.erase(it) : std::next(it);
+    }
+  }
+}
+
+service::ServiceStats ShardRouter::aggregated_stats() const {
+  service::ServiceStats total;
+  for (const auto& shard : shards_) {
+    const service::ServiceStats s = shard->stats();
+    total.received += s.received;
+    total.accepted += s.accepted;
+    total.completed += s.completed;
+    total.rejected_malformed += s.rejected_malformed;
+    total.rejected_overload += s.rejected_overload;
+    total.rejected_deadline += s.rejected_deadline;
+    total.rejected_invalid += s.rejected_invalid;
+    total.rejected_over_budget += s.rejected_over_budget;
+    total.errors += s.errors;
+    total.batches += s.batches;
+    total.timeouts += s.timeouts;
+    total.deduped += s.deduped;
+    total.sink_errors += s.sink_errors;
+    total.replayed += s.replayed;
+  }
+  return total;
+}
+
+ShardRouter::RouterStats ShardRouter::router_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace cc::net

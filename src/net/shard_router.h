@@ -1,0 +1,138 @@
+#pragma once
+
+/// \file shard_router.h
+/// Fingerprint-sharded serving behind the TCP front-end: N independent
+/// `ChargingService` workers, each request routed by its canonical
+/// instance fingerprint (`cache::canonicalize`, the schedule cache's
+/// key) so repeat-heavy traffic keeps every shard's cache hot — the
+/// same instance always lands on the same shard, regardless of which
+/// connection sent it. Requests whose instance cannot be built (they
+/// will be rejected downstream anyway) fall back to round-robin.
+///
+/// The router is the bridge between the single-threaded event loop and
+/// the shards' worker threads:
+///
+///  * `submit` runs on the loop thread: parse (strict, same
+///    `parse_line` as the stdin path), answer control lines, shed
+///    `backpressure` rejects for slow readers, or route the request —
+///    recording (shard, id) → connection so the response finds its way
+///    back.
+///  * Each shard's response sink calls `on_response` from that shard's
+///    worker thread; the matched response is serialized and handed to
+///    `emit` (which enqueues on the connection and wakes the loop).
+///    Responses whose connection is gone are counted as orphaned and
+///    dropped — the journal (if armed) has already settled them.
+///
+/// Ids are idempotency keys across the whole server (exactly as in the
+/// dedup window): two *concurrently in-flight* requests sharing an id
+/// on one shard may have their byte-identical-id responses swapped
+/// between connections, so clients should keep ids unique
+/// (`ccs_client --id-prefix` namespaces its mixes).
+///
+/// Sharding preserves offline equivalence: every shard runs the same
+/// deterministic scheduler on the same topology, so *which* shard
+/// serves a request never changes the response bytes.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/instance.h"
+#include "service/service.h"
+
+namespace cc::net {
+
+class ShardRouter {
+ public:
+  /// Serialized response line (no newline) bound for `conn`. Called
+  /// from the loop thread (synchronous rejections, control replies)
+  /// and from shard worker threads (scheduled results); must be
+  /// thread-safe.
+  using Emit = std::function<void(std::uint64_t conn, std::string line)>;
+
+  /// Extra flat fields appended to {"cmd":"stats"} replies (the
+  /// server's net.* counters). Called on the loop thread.
+  using StatsAugment =
+      std::function<void(std::vector<std::pair<std::string, long>>&)>;
+
+  /// Builds `shards` services over one shared topology. When the base
+  /// options carry a journal path and `shards > 1`, shard i journals to
+  /// `path.shard<i>` so write-ahead logs never interleave.
+  ShardRouter(std::size_t shards, std::vector<core::Charger> chargers,
+              core::CostParams params, service::ServiceOptions options,
+              Emit emit, StatsAugment stats_augment = nullptr);
+
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Routes one inbound frame from `conn`. `shed` marks the connection
+  /// as over its outbound soft limit: requests are answered with a
+  /// `backpressure` reject instead of being scheduled (control lines
+  /// still run). Returns false when the frame was {"cmd":"shutdown"}.
+  bool submit(std::uint64_t conn, const std::string& line, bool shed);
+
+  /// Journal recovery across all shards (call once, before traffic).
+  /// Recovered requests re-run but their clients are gone, so their
+  /// responses count as orphaned — the replay is for journal
+  /// settlement, exactly like the stdin path after a crash.
+  std::size_t replay_recovered();
+
+  /// Drains every shard (each serves its admitted backlog, emitting
+  /// through the sinks) and returns when all workers joined.
+  void drain();
+
+  /// In-flight requests routed for `conn` and not yet answered.
+  [[nodiscard]] std::size_t pending(std::uint64_t conn) const;
+
+  /// Forgets a closed connection: its outstanding responses become
+  /// orphans when they complete.
+  void forget(std::uint64_t conn);
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] const service::ChargingService& shard(std::size_t i) const {
+    return *shards_[i];
+  }
+
+  /// Element-wise sum of every shard's ServiceStats.
+  [[nodiscard]] service::ServiceStats aggregated_stats() const;
+
+  struct RouterStats {
+    long malformed = 0;          ///< frames rejected at parse
+    long backpressure_sheds = 0; ///< requests shed for slow readers
+    long routed_fingerprint = 0;
+    long routed_round_robin = 0;
+    long orphaned = 0;  ///< responses whose connection was gone
+  };
+  [[nodiscard]] RouterStats router_stats() const;
+
+ private:
+  [[nodiscard]] std::size_t route(const service::Request& request);
+  void on_response(std::size_t shard, const service::Response& response);
+  [[nodiscard]] service::Response stats_reply() const;
+
+  std::vector<core::Charger> chargers_;
+  core::CostParams params_;
+  std::string default_algo_;
+  std::string default_scheme_;
+  Emit emit_;
+  StatsAugment stats_augment_;
+  std::vector<std::unique_ptr<service::ChargingService>> shards_;
+
+  mutable std::mutex mutex_;
+  /// (shard, id) → FIFO of connections awaiting that id's response.
+  std::vector<std::map<std::string, std::deque<std::uint64_t>>> waiting_;
+  std::map<std::uint64_t, std::size_t> inflight_;  ///< per connection
+  std::size_t round_robin_next_ = 0;
+  RouterStats stats_;
+};
+
+}  // namespace cc::net

@@ -1,0 +1,205 @@
+#include "net/socket.h"
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+
+#include "core/io.h"
+#include "util/assert.h"
+
+namespace cc::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw core::IoError(what + ": " + std::strerror(errno));
+}
+
+/// getaddrinfo with RAII cleanup; numeric-friendly, resolves
+/// "localhost" and friends too.
+struct AddrInfo {
+  addrinfo* list = nullptr;
+  ~AddrInfo() {
+    if (list != nullptr) {
+      freeaddrinfo(list);
+    }
+  }
+};
+
+void resolve(const Endpoint& endpoint, bool passive, AddrInfo& out) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = passive ? AI_PASSIVE : 0;
+  const std::string port = std::to_string(endpoint.port);
+  const int rc =
+      getaddrinfo(endpoint.host.c_str(), port.c_str(), &hints, &out.list);
+  if (rc != 0) {
+    throw core::IoError("cannot resolve " + endpoint.to_string() + ": " +
+                        gai_strerror(rc));
+  }
+}
+
+}  // namespace
+
+void Fd::reset() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::string Endpoint::to_string() const {
+  return host + ":" + std::to_string(port);
+}
+
+Endpoint parse_endpoint(const std::string& spec) {
+  const std::size_t colon = spec.rfind(':');
+  CC_EXPECTS(colon != std::string::npos && colon > 0 &&
+                 colon + 1 < spec.size(),
+             "endpoint must be HOST:PORT, got '" + spec + "'");
+  Endpoint endpoint;
+  endpoint.host = spec.substr(0, colon);
+  const std::string port_text = spec.substr(colon + 1);
+  long port = 0;
+  std::size_t used = 0;
+  try {
+    port = std::stol(port_text, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  CC_EXPECTS(used == port_text.size() && port >= 0 && port <= 65535,
+             "endpoint port must be 0..65535, got '" + port_text + "'");
+  endpoint.port = static_cast<std::uint16_t>(port);
+  return endpoint;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("cannot set O_NONBLOCK");
+  }
+}
+
+Fd listen_tcp(const Endpoint& endpoint, int backlog) {
+  AddrInfo resolved;
+  resolve(endpoint, /*passive=*/true, resolved);
+  std::string last_error = "no addresses";
+  for (addrinfo* ai = resolved.list; ai != nullptr; ai = ai->ai_next) {
+    Fd fd(socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!fd.valid()) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    // SO_REUSEADDR: a daemon killed hard leaves its accepted
+    // connections in TIME_WAIT on this port; without the flag the
+    // restarted daemon cannot rebind for minutes.
+    const int one = 1;
+    (void)setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (bind(fd.get(), ai->ai_addr, ai->ai_addrlen) != 0 ||
+        listen(fd.get(), backlog) != 0) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    set_nonblocking(fd.get());
+    return fd;
+  }
+  throw core::IoError("cannot listen on " + endpoint.to_string() + ": " +
+                      last_error);
+}
+
+std::uint16_t local_port(int fd) {
+  sockaddr_storage addr{};
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    throw_errno("getsockname failed");
+  }
+  if (addr.ss_family == AF_INET) {
+    return ntohs(reinterpret_cast<sockaddr_in*>(&addr)->sin_port);
+  }
+  if (addr.ss_family == AF_INET6) {
+    return ntohs(reinterpret_cast<sockaddr_in6*>(&addr)->sin6_port);
+  }
+  throw core::IoError("getsockname: unexpected address family");
+}
+
+Fd connect_tcp(const Endpoint& endpoint, double timeout_s,
+               std::size_t rcvbuf_bytes) {
+  AddrInfo resolved;
+  resolve(endpoint, /*passive=*/false, resolved);
+  std::string last_error = "no addresses";
+  for (addrinfo* ai = resolved.list; ai != nullptr; ai = ai->ai_next) {
+    Fd fd(socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!fd.valid()) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    if (rcvbuf_bytes > 0) {
+      // Before connect, so the advertised receive window shrinks too.
+      const int size = static_cast<int>(rcvbuf_bytes);
+      (void)setsockopt(fd.get(), SOL_SOCKET, SO_RCVBUF, &size,
+                       sizeof(size));
+    }
+    // Nonblocking connect + poll gives the deadline; the socket is
+    // flipped back to blocking for the reader thread afterwards.
+    set_nonblocking(fd.get());
+    int rc = connect(fd.get(), ai->ai_addr, ai->ai_addrlen);
+    if (rc != 0 && errno == EINPROGRESS) {
+      pollfd pfd{fd.get(), POLLOUT, 0};
+      const int timeout_ms =
+          timeout_s > 0.0 ? static_cast<int>(timeout_s * 1000.0) : -1;
+      rc = poll(&pfd, 1, timeout_ms);
+      if (rc == 0) {
+        last_error = "connect timed out";
+        continue;
+      }
+      int err = 0;
+      socklen_t len = sizeof(err);
+      if (rc < 0 ||
+          getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+        last_error = std::strerror(errno);
+        continue;
+      }
+      if (err != 0) {
+        last_error = std::strerror(err);
+        continue;
+      }
+      rc = 0;
+    } else if (rc != 0) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    const int flags = fcntl(fd.get(), F_GETFL, 0);
+    if (flags < 0 ||
+        fcntl(fd.get(), F_SETFL, flags & ~O_NONBLOCK) < 0) {
+      throw_errno("cannot clear O_NONBLOCK");
+    }
+    const int one = 1;
+    (void)setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return fd;
+  }
+  throw core::IoError("cannot connect to " + endpoint.to_string() + ": " +
+                      last_error);
+}
+
+std::pair<Fd, Fd> make_wake_pipe() {
+  int fds[2] = {-1, -1};
+  if (pipe(fds) != 0) {
+    throw_errno("cannot create wake pipe");
+  }
+  Fd read_end(fds[0]);
+  Fd write_end(fds[1]);
+  set_nonblocking(read_end.get());
+  set_nonblocking(write_end.get());
+  return {std::move(read_end), std::move(write_end)};
+}
+
+}  // namespace cc::net

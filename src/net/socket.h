@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file socket.h
+/// Thin POSIX TCP helpers for the network front-end: an RAII file
+/// descriptor, `HOST:PORT` endpoint parsing, and the three socket
+/// shapes the stack needs — a nonblocking `SO_REUSEADDR` listener
+/// (rebindable immediately after a hard kill leaves connections in
+/// TIME_WAIT), a blocking client connect with a deadline, and a wake
+/// pipe for cross-thread event-loop signaling.
+///
+/// Failure model: endpoint syntax errors throw `util::AssertionError`
+/// (usage errors, exit code 1 in the tools); socket/system failures
+/// throw `core::IoError` with the errno text (exit code 2).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace cc::net {
+
+/// Owning file descriptor. Move-only; closes on destruction.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  void reset() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral (listeners only)
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Parses "HOST:PORT" (e.g. "127.0.0.1:7411", "localhost:0"). Throws
+/// `util::AssertionError` on syntax or range errors.
+[[nodiscard]] Endpoint parse_endpoint(const std::string& spec);
+
+/// Marks `fd` nonblocking (O_NONBLOCK). Throws `core::IoError`.
+void set_nonblocking(int fd);
+
+/// Binds and listens on `endpoint` with `SO_REUSEADDR` and a
+/// nonblocking accept socket. Port 0 picks an ephemeral port — read it
+/// back with `local_port`.
+[[nodiscard]] Fd listen_tcp(const Endpoint& endpoint, int backlog);
+
+/// The locally bound port of a socket (after `listen_tcp` on port 0).
+[[nodiscard]] std::uint16_t local_port(int fd);
+
+/// Blocking connect with a deadline; `timeout_s <= 0` waits forever.
+/// The returned socket is blocking (the client link reader owns it).
+/// `rcvbuf_bytes > 0` shrinks SO_RCVBUF before the connect (the
+/// receive window follows), making a deliberately slow reader visible
+/// to the server with small traffic volumes — the backpressure tests'
+/// knob.
+[[nodiscard]] Fd connect_tcp(const Endpoint& endpoint, double timeout_s,
+                             std::size_t rcvbuf_bytes = 0);
+
+/// A nonblocking self-pipe: `.first` is the read end, `.second` the
+/// write end. Writes from any thread (or a signal handler) wake a
+/// `poll` on the read end.
+[[nodiscard]] std::pair<Fd, Fd> make_wake_pipe();
+
+}  // namespace cc::net

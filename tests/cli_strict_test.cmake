@@ -40,6 +40,18 @@ expect_usage_error("client requests=many" "invalid integer for --requests"
 expect_usage_error("bench jobs=abc" "invalid integer for --jobs"
                    ${BENCH} --jobs=abc)
 
+# Network flag validation: bad endpoint specs and flag combinations
+# that only make sense together are usage errors (exit 1), not hangs.
+expect_usage_error("serve bad listen" "endpoint must be HOST:PORT"
+                   ${SERVE} --listen=nope)
+expect_usage_error("serve bad port" "endpoint port must be 0..65535"
+                   ${SERVE} --listen=127.0.0.1:99999)
+expect_usage_error("serve shards sans listen" "--shards requires --listen"
+                   ${SERVE} --shards=2)
+expect_usage_error("client conns sans connect"
+                   "--connections > 1 needs --connect"
+                   ${CLIENT} --requests=1 --server=true --connections=2)
+
 # Unknown flags are rejected with a suggestion for close misses.
 expect_usage_error("cli typo" "unknown flag --jbos .did you mean --jobs.."
                    ${CLI} --generate --jbos=4)

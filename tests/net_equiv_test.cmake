@@ -1,0 +1,208 @@
+# The TCP front-end's equivalence contract, end to end:
+#
+#  1. 300 mixed requests through `ccs_serve --listen --shards=2` over 4
+#     concurrent client connections; every served schedule must be
+#     byte-identical to an offline ccs_cli replay of the dumped
+#     instance (sharding and the socket path change nothing).
+#  2. The normalized response stream of a TCP run must be byte-identical
+#     to the same mix through the stdin pipe path.
+#  3. kill -9 the listening server mid-run, restart it on the SAME port
+#     (SO_REUSEADDR), and the retrying client must reconnect, resubmit
+#     its unanswered requests, and finish with every request answered.
+#
+# Invoked by ctest with -DCLI=<ccs_cli> -DSERVE=<ccs_serve>
+# -DCLIENT=<ccs_client>. The background-server choreography needs a real
+# shell; assertions run here in cmake.
+
+set(WORK "${CMAKE_CURRENT_BINARY_DIR}/net_equiv_test_work")
+file(REMOVE_RECURSE "${WORK}")
+file(MAKE_DIRECTORY "${WORK}")
+file(MAKE_DIRECTORY "${WORK}/dump")
+
+find_program(BASH_PROGRAM bash REQUIRED)
+
+function(run label expect_rc)
+  execute_process(
+    COMMAND ${ARGN}
+    WORKING_DIRECTORY "${WORK}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL ${expect_rc})
+    message(FATAL_ERROR
+            "${label} exited ${rc} (expected ${expect_rc}):\n${out}\n${err}")
+  endif()
+  set(last_out "${out}" PARENT_SCOPE)
+  set(last_err "${err}" PARENT_SCOPE)
+endfunction()
+
+# ---------------------------------------------------------------- fixture
+
+run("topology" 0
+    ${CLI} --generate --devices=1 --chargers=6 --seed=42 --out=topo.txt)
+
+# Boots a server on an ephemeral port, runs the client command against
+# it, then waits for the server to exit (the client sends shutdown).
+# $1 = extra server flags ('-' for none; execute_process drops empty
+# args), $2... = client args; the bound port is substituted for @PORT@
+# in the client args.
+file(WRITE "${WORK}/with_server.sh" "#!${BASH_PROGRAM}
+set -u
+cd '${WORK}'
+extra_server_flags=\"$1\"; shift
+[ \"$extra_server_flags\" = - ] && extra_server_flags=
+log=\"serve_$$.log\"
+( '${SERVE}' --listen=127.0.0.1:0 --shards=2 --instance=topo.txt \\
+    --batch-window-ms=0 $extra_server_flags 2> \"$log\" ) &
+server=$!
+port=
+for i in $(seq 1 100); do
+  port=$(sed -n 's/.*listening on 127\\.0\\.0\\.1:\\([0-9]*\\).*/\\1/p' \"$log\")
+  [ -n \"$port\" ] && break
+  sleep 0.1
+done
+if [ -z \"$port\" ]; then echo 'server never listened' >&2; exit 1; fi
+args=()
+for a in \"$@\"; do args+=( \"\${a//@PORT@/$port}\" ); done
+'${CLIENT}' \"\${args[@]}\"
+rc=$?
+wait $server
+server_rc=$?
+cat \"$log\" >&2
+if [ $server_rc -ne 0 ]; then echo \"server exited $server_rc\" >&2; exit 1; fi
+exit $rc
+")
+
+# ------------------------- leg 1: TCP + shards vs offline ccs_cli replay
+
+set(N 300)
+run("tcp drive with dump" 0
+    ${BASH_PROGRAM} "${WORK}/with_server.sh" "-"
+    --connect=127.0.0.1:@PORT@ --connections=4 --requests=${N} --seed=7
+    --topology=topo.txt --dump=dump --stats --shutdown)
+if(NOT last_out MATCHES "ok=${N} rejected=0 errors=0")
+  message(FATAL_ERROR "tcp drive summary unexpected:\n${last_out}")
+endif()
+if(NOT last_err MATCHES "routing: fingerprint=")
+  message(FATAL_ERROR "server never reported shard routing:\n${last_err}")
+endif()
+
+# The client cycles algorithms ccsa,noncoop,ccsga by request index; the
+# responding shard must not matter.
+set(ALGOS ccsa noncoop ccsga)
+math(EXPR LAST "${N} - 1")
+foreach(i RANGE ${LAST})
+  math(EXPR m "${i} % 3")
+  list(GET ALGOS ${m} algo)
+  if(NOT EXISTS "${WORK}/dump/r${i}.instance")
+    message(FATAL_ERROR "dump missing r${i}.instance")
+  endif()
+  execute_process(
+    COMMAND ${CLI} --instance=dump/r${i}.instance --algo=${algo}
+            --schedule-out=offline.sched
+    WORKING_DIRECTORY "${WORK}"
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "offline replay of r${i} failed: ${err}")
+  endif()
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${WORK}/offline.sched" "${WORK}/dump/r${i}.schedule"
+    RESULT_VARIABLE same)
+  if(NOT same EQUAL 0)
+    message(FATAL_ERROR
+            "r${i} (${algo}): TCP-served schedule differs from offline "
+            "ccs_cli")
+  endif()
+endforeach()
+message(STATUS "${N} TCP-served schedules byte-identical to offline runs")
+
+# ----------------------------- leg 2: TCP vs stdin normalized responses
+# The same repeat-heavy mix (cache-affinity traffic) through both
+# transports; the normalized latest-per-id response files must match
+# byte for byte.
+
+run("stdin reference" 0
+    ${CLIENT} "--server=${SERVE} --instance=topo.txt --batch-window-ms=0"
+    --requests=100 --seed=13 --repeat-prob=0.3 --budget-prob=0.2
+    --responses-out=ref_norm.jsonl)
+run("tcp run" 0
+    ${BASH_PROGRAM} "${WORK}/with_server.sh" "-"
+    --connect=127.0.0.1:@PORT@ --connections=4 --requests=100 --seed=13
+    --repeat-prob=0.3 --budget-prob=0.2
+    --responses-out=tcp_norm.jsonl --shutdown)
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${WORK}/tcp_norm.jsonl" "${WORK}/ref_norm.jsonl"
+  RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR
+          "TCP responses differ from the stdin pipe path (see "
+          "${WORK}/tcp_norm.jsonl vs ref_norm.jsonl)")
+endif()
+message(STATUS "TCP and stdin normalized responses byte-identical")
+
+# ------------------- leg 3: kill -9, same-port rebind, client reconnect
+
+file(WRITE "${WORK}/kill_restart.sh" "#!${BASH_PROGRAM}
+set -u
+cd '${WORK}'
+# Stall injection (100 ms per dispatch) slows the closed-loop drive so
+# the SIGKILL lands mid-run with requests still unanswered.
+( '${SERVE}' --listen=127.0.0.1:0 --instance=topo.txt \\
+    --batch-window-ms=0 --chaos=seed=3,stall=1.0,stall-ms=100 \\
+    2> kr1.log ) &
+for i in $(seq 1 100); do
+  port=$(sed -n 's/.*listening on 127\\.0\\.0\\.1:\\([0-9]*\\).*/\\1/p' kr1.log)
+  [ -n \"$port\" ] && break
+  sleep 0.1
+done
+if [ -z \"$port\" ]; then echo 'server never listened' >&2; exit 1; fi
+
+'${CLIENT}' --connect=127.0.0.1:$port --requests=150 --seed=5 \\
+  --retries=20 --backoff-ms=100 --backoff-cap-ms=500 \\
+  --response-timeout-ms=2000 > kr_client.out 2>&1 &
+client=$!
+
+sleep 1.0
+spid=$(pgrep -f 'listen=127.0.0.1:0' | head -1)
+if [ -z \"$spid\" ]; then echo 'server pid not found' >&2; exit 1; fi
+kill -9 \"$spid\"
+sleep 0.3
+
+# Restart on the SAME port: SO_REUSEADDR must allow the rebind while
+# the killed server's connections sit in TIME_WAIT.
+( '${SERVE}' --listen=127.0.0.1:$port --instance=topo.txt \\
+    --batch-window-ms=0 2> kr2.log ) &
+server2=$!
+for i in $(seq 1 100); do
+  grep -q 'listening on' kr2.log && break
+  sleep 0.1
+done
+grep -q 'listening on' kr2.log || { echo 'rebind failed' >&2; cat kr2.log >&2; exit 1; }
+
+wait $client
+client_rc=$?
+cat kr_client.out
+
+'${CLIENT}' --connect=127.0.0.1:$port --requests=1 --id-prefix=bye \\
+  --shutdown > /dev/null 2>&1
+wait $server2 || { echo 'restarted server exited nonzero' >&2; exit 1; }
+
+if [ $client_rc -ne 0 ]; then
+  echo \"client exited $client_rc\" >&2
+  exit 1
+fi
+exit 0
+")
+run("kill -9 + rebind + reconnect" 0
+    ${BASH_PROGRAM} "${WORK}/kill_restart.sh")
+if(NOT last_out MATCHES "150 sent, 150 answered")
+  message(FATAL_ERROR "reconnect run lost requests:\n${last_out}")
+endif()
+if(NOT last_out MATCHES "reconnects")
+  message(FATAL_ERROR "client never reconnected:\n${last_out}")
+endif()
+message(STATUS "kill -9 / rebind / reconnect: 150/150 answered")

@@ -1,0 +1,207 @@
+// Tests for src/net: the JSONL line framer's reassembly contract
+// (byte-split invariance, CRLF interop, oversized rejection + resync),
+// endpoint parsing, and the listener's SO_REUSEADDR rebind guarantee.
+
+#include <gtest/gtest.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/io.h"
+#include "net/framing.h"
+#include "net/socket.h"
+#include "util/assert.h"
+
+namespace {
+
+using cc::net::connect_tcp;
+using cc::net::Endpoint;
+using cc::net::Fd;
+using cc::net::LineFramer;
+using cc::net::listen_tcp;
+using cc::net::local_port;
+using cc::net::parse_endpoint;
+
+std::vector<LineFramer::Event> feed_chunked(
+    const std::string& stream, const std::vector<std::size_t>& cuts,
+    std::size_t max_frame_bytes) {
+  LineFramer framer(max_frame_bytes);
+  std::vector<LineFramer::Event> events;
+  std::size_t start = 0;
+  for (std::size_t cut : cuts) {
+    for (const auto& event : framer.feed(
+             std::string_view(stream).substr(start, cut - start))) {
+      events.push_back(event);
+    }
+    start = cut;
+  }
+  for (const auto& event :
+       framer.feed(std::string_view(stream).substr(start))) {
+    events.push_back(event);
+  }
+  return events;
+}
+
+void expect_same_events(const std::vector<LineFramer::Event>& got,
+                        const std::vector<LineFramer::Event>& want,
+                        const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].oversized, want[i].oversized) << label << " #" << i;
+    EXPECT_EQ(got[i].line, want[i].line) << label << " #" << i;
+  }
+}
+
+// ---------------------------------------------------------------- framing
+
+TEST(FramingTest, ReassemblyIsByteSplitInvariant) {
+  // Mixed stream: LF frames, a CRLF frame, a blank line, an oversized
+  // frame (with the 24-byte test limit), then a trailing normal frame.
+  const std::string stream =
+      "{\"id\":\"a\"}\n"
+      "{\"id\":\"b\"}\r\n"
+      "\n"
+      "{\"id\":\"way-too-long-for-the-limit\"}\n"
+      "{\"id\":\"c\"}\n";
+  constexpr std::size_t kMax = 24;
+  const std::vector<LineFramer::Event> reference =
+      feed_chunked(stream, {}, kMax);
+
+  // The whole stream at once must equal every 2-chunk split, every
+  // 3-chunk split, and the byte-at-a-time feed.
+  for (std::size_t i = 0; i <= stream.size(); ++i) {
+    expect_same_events(feed_chunked(stream, {i}, kMax), reference,
+                       "split@" + std::to_string(i));
+    for (std::size_t j = i; j <= stream.size(); ++j) {
+      expect_same_events(feed_chunked(stream, {i, j}, kMax), reference,
+                         "split@" + std::to_string(i) + "," +
+                             std::to_string(j));
+    }
+  }
+  std::vector<std::size_t> every_byte;
+  for (std::size_t i = 1; i < stream.size(); ++i) {
+    every_byte.push_back(i);
+  }
+  expect_same_events(feed_chunked(stream, every_byte, kMax), reference,
+                     "byte-at-a-time");
+}
+
+TEST(FramingTest, CrlfAndBlankLineHandling) {
+  LineFramer framer(1024);
+  const auto events = framer.feed("a\r\n\r\n\nb\nc\r\r\n");
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].line, "a");    // one trailing CR stripped
+  EXPECT_EQ(events[1].line, "b");    // blank lines dropped
+  EXPECT_EQ(events[2].line, "c\r");  // only ONE trailing CR stripped
+  EXPECT_EQ(framer.frames(), 3u);
+  EXPECT_EQ(framer.oversized(), 0u);
+  EXPECT_EQ(framer.buffered(), 0u);
+}
+
+TEST(FramingTest, OversizedFrameIsOneEventAndStreamResyncs) {
+  LineFramer framer(8);
+  // The oversized payload arrives across three feeds; exactly one
+  // oversized event fires (when the limit is crossed), the rest of the
+  // frame is discarded, and the next line parses normally.
+  auto events = framer.feed("0123456");
+  EXPECT_TRUE(events.empty());
+  events = framer.feed("789abcdef-still-going");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(events[0].oversized);
+  events = framer.feed("-more-tail\nok\n");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_FALSE(events[0].oversized);
+  EXPECT_EQ(events[0].line, "ok");
+  EXPECT_EQ(framer.frames(), 1u);
+  EXPECT_EQ(framer.oversized(), 1u);
+}
+
+TEST(FramingTest, ExactLimitPassesOneOverRejects) {
+  LineFramer at_limit(5);
+  auto events = at_limit.feed("12345\n");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_FALSE(events[0].oversized);
+  EXPECT_EQ(events[0].line, "12345");
+
+  LineFramer over_limit(5);
+  events = over_limit.feed("123456\n");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(events[0].oversized);
+  EXPECT_EQ(over_limit.oversized(), 1u);
+}
+
+TEST(FramingTest, InterleavedConnectionsKeepIndependentState) {
+  // Two framers fed alternating partial chunks — the per-connection
+  // buffers must never bleed into each other (the server owns one
+  // framer per connection for exactly this reason).
+  LineFramer first(1024);
+  LineFramer second(1024);
+  std::vector<LineFramer::Event> from_first;
+  std::vector<LineFramer::Event> from_second;
+  const auto drain = [](std::vector<LineFramer::Event>& into,
+                        std::vector<LineFramer::Event> events) {
+    for (auto& event : events) {
+      into.push_back(std::move(event));
+    }
+  };
+  drain(from_first, first.feed("{\"id\":"));
+  drain(from_second, second.feed("{\"id\":\"x"));
+  drain(from_first, first.feed("\"a\"}\n{\"i"));
+  drain(from_second, second.feed("\"}\n"));
+  drain(from_first, first.feed("d\":\"b\"}\n"));
+
+  ASSERT_EQ(from_first.size(), 2u);
+  EXPECT_EQ(from_first[0].line, "{\"id\":\"a\"}");
+  EXPECT_EQ(from_first[1].line, "{\"id\":\"b\"}");
+  ASSERT_EQ(from_second.size(), 1u);
+  EXPECT_EQ(from_second[0].line, "{\"id\":\"x\"}");
+}
+
+// ---------------------------------------------------------------- sockets
+
+TEST(SocketTest, ParseEndpointAcceptsHostPort) {
+  const Endpoint a = parse_endpoint("127.0.0.1:7411");
+  EXPECT_EQ(a.host, "127.0.0.1");
+  EXPECT_EQ(a.port, 7411);
+  const Endpoint b = parse_endpoint("localhost:0");
+  EXPECT_EQ(b.host, "localhost");
+  EXPECT_EQ(b.port, 0);
+}
+
+TEST(SocketTest, ParseEndpointRejectsGarbage) {
+  const std::vector<std::string> bad = {
+      "",  "nope", ":", "host:", ":1", "host:-1", "host:65536", "host:12x",
+  };
+  for (const std::string& spec : bad) {
+    EXPECT_THROW((void)parse_endpoint(spec), cc::util::AssertionError)
+        << "accepted: " << spec;
+  }
+}
+
+TEST(SocketTest, ListenerRebindsSamePortAfterHardClose) {
+  // A server killed hard leaves its accepted connections in TIME_WAIT;
+  // SO_REUSEADDR must let a restart rebind the same port immediately.
+  Endpoint endpoint;  // 127.0.0.1:0 — ephemeral
+  Fd listener = listen_tcp(endpoint, 8);
+  endpoint.port = local_port(listener.get());
+  ASSERT_GT(endpoint.port, 0);
+
+  // Establish a real connection and close the server side first, which
+  // is what parks the four-tuple in TIME_WAIT on the server.
+  Fd client = connect_tcp(endpoint, /*timeout_s=*/5.0);
+  pollfd pfd{listener.get(), POLLIN, 0};
+  ASSERT_GT(poll(&pfd, 1, 5000), 0) << "accept never became ready";
+  Fd accepted(::accept(listener.get(), nullptr, nullptr));
+  ASSERT_TRUE(accepted.valid());
+  accepted.reset();
+  listener.reset();
+
+  Fd rebound = listen_tcp(endpoint, 8);
+  EXPECT_EQ(local_port(rebound.get()), endpoint.port);
+}
+
+}  // namespace

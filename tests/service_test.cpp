@@ -7,8 +7,10 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -17,6 +19,10 @@
 #include "core/cost_model.h"
 #include "core/generator.h"
 #include "core/scheduler.h"
+#include "net/client_link.h"
+#include "net/server.h"
+#include "net/shard_router.h"
+#include "net/socket.h"
 #include "service/admission.h"
 #include "service/chaos.h"
 #include "service/journal.h"
@@ -914,6 +920,61 @@ TEST(ServiceTest, JournaledRunDrainsCleanAndMatchesUnjournaled) {
   }
   EXPECT_EQ(file_size(temp.path()), 0u);
   EXPECT_TRUE(Journal::scan(temp.path()).incomplete.empty());
+}
+
+// ------------------------------------------------------- tcp reconnect
+
+// The transport-generic retry contract: a TCP client that loses its
+// server can reconnect to a restarted one on the same port and keep
+// working. This is the in-process half of the e2e kill/restart leg in
+// net_equiv_test.cmake (which drives the real `ccs_client --retries`).
+TEST(ServiceTest, TcpClientReconnectsAfterServerRestart) {
+  cc::net::Endpoint endpoint;  // 127.0.0.1:0 — first boot is ephemeral
+  const auto boot = [&](std::unique_ptr<cc::net::ShardRouter>& router,
+                        std::unique_ptr<cc::net::NetServer>& server) {
+    ServiceOptions options;
+    options.batch_window_ms = 0.0;
+    router = std::make_unique<cc::net::ShardRouter>(
+        2, test_chargers(), cc::core::CostParams{}, options,
+        [&server](std::uint64_t conn, std::string line) {
+          server->queue_response(conn, std::move(line));
+        });
+    cc::net::NetServer::Options net_options;
+    net_options.endpoint = endpoint;
+    server = std::make_unique<cc::net::NetServer>(net_options, *router);
+    endpoint.port = server->port();  // pin for the restart
+    return std::thread([&server] { server->run(); });
+  };
+  const auto ask = [](cc::net::TcpLink& link, const std::string& id) {
+    ASSERT_TRUE(link.send(cc::service::to_json_line(small_request(id))));
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    ASSERT_EQ(link.wait_for_id(id, 1, deadline),
+              cc::net::ClientLink::Wait::kGot);
+    EXPECT_NE(link.latest_for_id(id).find("\"status\":\"ok\""),
+              std::string::npos);
+  };
+
+  std::unique_ptr<cc::net::ShardRouter> router;
+  std::unique_ptr<cc::net::NetServer> server;
+  std::thread loop = boot(router, server);
+  auto link = std::make_unique<cc::net::TcpLink>(endpoint, 5.0);
+  ask(*link, "pre-restart");
+
+  server->request_shutdown();
+  loop.join();
+  link->wait_for_eof();  // the drain closes us cleanly
+  server.reset();        // port released
+  router.reset();
+
+  std::thread loop2 = boot(router, server);
+  ASSERT_EQ(server->port(), endpoint.port) << "rebind changed the port";
+  link = std::make_unique<cc::net::TcpLink>(endpoint, 5.0);  // reconnect
+  ask(*link, "post-restart");
+
+  server->request_shutdown();
+  loop2.join();
+  EXPECT_GE(server->counters().accepts.load(), 1);
 }
 
 }  // namespace

@@ -2,8 +2,10 @@
 /// Load generator and offline-equivalence driver for `ccs_serve`.
 ///
 /// Generates a deterministic mix of charging requests (seeded), then
-/// either prints them as request JSONL (`--emit`) or spawns the server
-/// command and drives it through a stdin/stdout pipe pair — closed-loop
+/// either prints them as request JSONL (`--emit`) or drives a server —
+/// spawned over a stdin/stdout pipe pair (`--server="CMD"`) or reached
+/// over TCP (`--connect=HOST:PORT`, optionally with `--connections=M`
+/// concurrent connections splitting the mix round-robin). Closed-loop
 /// (wait for each response; the default) or open-loop (`--rate=R`
 /// requests per second regardless of completion). With `--dump=DIR`
 /// and `--topology=PATH` every "ok" response is materialized as an
@@ -12,28 +14,26 @@
 ///
 /// Fault tolerance (docs/robustness.md): request ids are idempotency
 /// keys, so `--retries` resends a request after a retryable rejection
-/// (`queue_full`, watchdog `timeout`, `internal_error`), a response
-/// timeout, or server death — with capped exponential backoff and
-/// deterministic seeded jitter. A dead server pipe (EOF/EPIPE) is
-/// respawned and the in-flight request resubmitted; with the server
-/// journalling, nothing admitted is ever lost across the restart.
-/// Without retries the client exits nonzero with a diagnostic naming
-/// the in-flight requests instead of blocking forever.
+/// (`queue_full`, `backpressure`, watchdog `timeout`, `internal_error`),
+/// a response timeout, or transport death — with capped exponential
+/// backoff and deterministic seeded jitter. A dead transport
+/// (EOF/EPIPE/ECONNRESET) is replaced — the pipe path respawns the
+/// server command, the TCP path reconnects to the same endpoint — and
+/// the in-flight request resubmitted; with the server journalling,
+/// nothing admitted is ever lost across the restart. Without retries
+/// the client exits nonzero with a diagnostic naming the in-flight
+/// requests instead of blocking forever.
 ///
 /// Exit codes: 0 when every request was answered and nothing was
 /// rejected as malformed, 1 otherwise, 2 on I/O errors.
 
-#include <sys/wait.h>
-#include <unistd.h>
-
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
 #include <csignal>
 #include <cstdint>
-#include <cstdio>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "core/io.h"
+#include "net/client_link.h"
 #include "obs/json.h"
 #include "service/protocol.h"
 #include "util/assert.h"
@@ -59,6 +60,9 @@ constexpr const char* kUsage = R"(ccs_client — load generator for ccs_serve
 Request mix (deterministic in --seed):
   --requests=N               number of requests (default 50)
   --seed=K                   mix seed (default 1)
+  --id-prefix=S              request id prefix (default "r"); give each
+                             client process its own prefix when several
+                             drive one server so ids stay unique
   --devices-min=A            devices per request, lower bound (default 3)
   --devices-max=B            upper bound (default 10)
   --field=S                  device coordinate range [0,S) (default 100)
@@ -74,7 +78,19 @@ Request mix (deterministic in --seed):
 
 Modes:
   --emit                     print request JSONL to stdout (or --out=PATH)
-  --server="CMD"             spawn CMD via sh -c and drive it
+  --server="CMD"             spawn CMD via sh -c and drive it over pipes
+  --connect=HOST:PORT        drive a running ccs_serve --listen over TCP
+  --connections=M            concurrent TCP connections; the mix is
+                             split round-robin (default 1; needs
+                             --connect)
+  --shutdown                 send {"cmd":"shutdown"} when done (connect
+                             mode; pipe mode always shuts its server
+                             down)
+  --read-stall-ms=T          sleep T ms before every read — a slow
+                             reader, to exercise server backpressure
+  --recv-buf-kb=N            shrink the TCP receive buffer so a stalled
+                             reader back-propagates to the server at
+                             small volumes (default 0 = kernel)
   --rate=R                   open loop at R req/s (default: closed loop)
   --stats                    query {"cmd":"stats"} after the mix
   --normalize=PATH           offline mode: read a raw response JSONL
@@ -93,8 +109,8 @@ Retries (closed loop; ids are idempotency keys server-side):
                              forever (default) — required to recover
                              from dropped/corrupted wire lines
   --connect-timeout=S        seconds to wait for the first response
-                             after each (re)spawn before declaring the
-                             server dead; 0 = no limit (default)
+                             after each (re)spawn/(re)connect before
+                             declaring the server dead; 0 = no limit
 
 Equivalence dump (drive mode):
   --topology=PATH            instance file with the server's chargers
@@ -151,6 +167,7 @@ std::vector<cc::service::Request> generate_mix(const cc::util::Cli& cli) {
   const double field = cli.get_double("field", 100.0);
   const double budget_prob = cli.get_double("budget-prob", 0.0);
   const double deadline_ms = cli.get_double("deadline-ms", 0.0);
+  const std::string id_prefix = cli.get("id-prefix", "r");
   const std::vector<std::string> algos =
       split_csv(cli.get("algos", "ccsa,noncoop,ccsga"));
   const std::vector<std::string> schemes =
@@ -158,6 +175,7 @@ std::vector<cc::service::Request> generate_mix(const cc::util::Cli& cli) {
   CC_EXPECTS(count > 0, "--requests must be > 0");
   CC_EXPECTS(dev_min > 0 && dev_max >= dev_min,
              "need 0 < --devices-min <= --devices-max");
+  CC_EXPECTS(!id_prefix.empty(), "--id-prefix must be nonempty");
 
   const double repeat_prob = cli.get_double("repeat-prob", 0.0);
   cc::util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
@@ -167,7 +185,7 @@ std::vector<cc::service::Request> generate_mix(const cc::util::Cli& cli) {
     cc::service::Request request;
     // Built without `const char* + std::string` (GCC 12 -Wrestrict
     // false positive, PR 105651).
-    request.id = "r";
+    request.id = id_prefix;
     request.id += std::to_string(i);
     // Repeat phase: re-issue an earlier request's exact instance and
     // configuration under a fresh id (the canonical cache-hit shape).
@@ -205,206 +223,6 @@ std::vector<cc::service::Request> generate_mix(const cc::util::Cli& cli) {
   return mix;
 }
 
-/// The spawned server with its two pipe ends. A reader thread collects
-/// response lines (indexed by request id) so open-loop sending never
-/// deadlocks on a full pipe and per-id waits survive interleaving.
-class ServerPipe {
- public:
-  enum class Wait { kGot, kEof, kTimeout };
-
-  explicit ServerPipe(const std::string& command) {
-    int to_child[2] = {-1, -1};
-    int from_child[2] = {-1, -1};
-    if (pipe(to_child) != 0 || pipe(from_child) != 0) {
-      throw cc::core::IoError("cannot create server pipes");
-    }
-    pid_ = fork();
-    if (pid_ < 0) {
-      throw cc::core::IoError("cannot fork server process");
-    }
-    if (pid_ == 0) {
-      dup2(to_child[0], STDIN_FILENO);
-      dup2(from_child[1], STDOUT_FILENO);
-      close(to_child[0]);
-      close(to_child[1]);
-      close(from_child[0]);
-      close(from_child[1]);
-      execl("/bin/sh", "sh", "-c", command.c_str(),
-            static_cast<char*>(nullptr));
-      std::perror("ccs_client: exec failed");
-      _exit(127);
-    }
-    close(to_child[0]);
-    close(from_child[1]);
-    to_server_ = fdopen(to_child[1], "w");
-    from_server_ = fdopen(from_child[0], "r");
-    if (to_server_ == nullptr || from_server_ == nullptr) {
-      throw cc::core::IoError("cannot attach server pipes");
-    }
-    reader_ = std::thread([this] { read_loop(); });
-  }
-
-  ~ServerPipe() {
-    close_input();
-    if (reader_.joinable()) {
-      reader_.join();
-    }
-    if (from_server_ != nullptr) {
-      std::fclose(from_server_);
-    }
-    if (pid_ > 0) {
-      int status = 0;
-      waitpid(pid_, &status, 0);
-    }
-  }
-
-  /// False when the pipe is gone (server died; SIGPIPE is ignored so
-  /// the write surfaces as EPIPE instead of killing the client).
-  bool send(const std::string& line) {
-    std::lock_guard<std::mutex> lock(write_mutex_);
-    if (to_server_ == nullptr) {
-      return false;
-    }
-    if (std::fputs(line.c_str(), to_server_) == EOF ||
-        std::fputc('\n', to_server_) == EOF ||
-        std::fflush(to_server_) == EOF) {
-      return false;
-    }
-    return true;
-  }
-
-  /// Signals EOF to the server (it drains and exits).
-  void close_input() {
-    std::lock_guard<std::mutex> lock(write_mutex_);
-    if (to_server_ != nullptr) {
-      std::fclose(to_server_);
-      to_server_ = nullptr;
-    }
-  }
-
-  /// Blocks until at least `n` response lines arrived or the stream
-  /// ended; returns false on premature EOF.
-  bool wait_for(std::size_t n) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this, n] { return lines_.size() >= n || eof_; });
-    return lines_.size() >= n;
-  }
-
-  /// Blocks until `id` has at least `min_count` responses, the stream
-  /// ends, or `deadline` passes (`max()` = no deadline). The response
-  /// check wins over EOF, so an answer that arrived just before the
-  /// server died is still delivered.
-  Wait wait_for_id(const std::string& id, long min_count,
-                   std::chrono::steady_clock::time_point deadline) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    const auto ready = [this, &id, min_count] {
-      const auto it = id_counts_.find(id);
-      return (it != id_counts_.end() && it->second >= min_count) || eof_;
-    };
-    if (deadline == std::chrono::steady_clock::time_point::max()) {
-      cv_.wait(lock, ready);
-    } else if (!cv_.wait_until(lock, deadline, ready)) {
-      return Wait::kTimeout;
-    }
-    const auto it = id_counts_.find(id);
-    if (it != id_counts_.end() && it->second >= min_count) {
-      return Wait::kGot;
-    }
-    return Wait::kEof;
-  }
-
-  /// Blocks until a stats response arrives beyond `seen` or EOF.
-  void wait_for_stats(long seen) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this, seen] { return stats_seen_ > seen || eof_; });
-  }
-
-  void wait_for_eof() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] { return eof_; });
-  }
-
-  [[nodiscard]] long id_count(const std::string& id) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = id_counts_.find(id);
-    return it == id_counts_.end() ? 0 : it->second;
-  }
-
-  [[nodiscard]] std::string latest_for_id(const std::string& id) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = latest_by_id_.find(id);
-    return it == latest_by_id_.end() ? std::string() : it->second;
-  }
-
-  [[nodiscard]] long stats_seen() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return stats_seen_;
-  }
-
-  [[nodiscard]] std::vector<std::string> lines() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return lines_;
-  }
-
- private:
-  void read_loop() {
-    std::string line;
-    int c = 0;
-    while ((c = std::fgetc(from_server_)) != EOF) {
-      if (c == '\n') {
-        index_line(line);
-        line.clear();
-        continue;
-      }
-      line.push_back(static_cast<char>(c));
-    }
-    if (!line.empty()) {
-      index_line(line);
-    }
-    std::lock_guard<std::mutex> lock(mutex_);
-    eof_ = true;
-    cv_.notify_all();
-  }
-
-  void index_line(const std::string& line) {
-    // Index by response id so waiters match their own answers even
-    // when stats heartbeats or other requests interleave. Lines that
-    // fail to parse (or carry no id — e.g. corrupted-wire rejections)
-    // are kept for the final accounting but wake nobody.
-    std::string id;
-    bool is_stats = false;
-    try {
-      const cc::service::Response response =
-          cc::service::parse_response(line);
-      id = response.id;
-      is_stats = response.status == "stats";
-    } catch (const cc::obs::JsonError&) {
-    }
-    std::lock_guard<std::mutex> lock(mutex_);
-    lines_.push_back(line);
-    if (is_stats) {
-      ++stats_seen_;
-    } else if (!id.empty()) {
-      ++id_counts_[id];
-      latest_by_id_[id] = line;
-    }
-    cv_.notify_all();
-  }
-
-  pid_t pid_ = -1;
-  std::FILE* to_server_ = nullptr;
-  std::FILE* from_server_ = nullptr;
-  std::thread reader_;
-  std::mutex write_mutex_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::vector<std::string> lines_;
-  std::map<std::string, long> id_counts_;
-  std::map<std::string, std::string> latest_by_id_;
-  long stats_seen_ = 0;
-  bool eof_ = false;
-};
-
 /// Strict response-contract check beyond JSON well-formedness. Returns
 /// an empty string when the response is valid, else the violation.
 std::string validate_response(const cc::service::Response& response) {
@@ -416,10 +234,12 @@ std::string validate_response(const cc::service::Response& response) {
     return "";
   }
   if (response.id.empty()) {
-    // A malformed-line rejection legitimately has no id: the server
-    // could not parse one out of the (possibly corrupted) line.
+    // A malformed-line or oversized-frame rejection legitimately has
+    // no id: the server could not parse one out of the (possibly
+    // corrupted or discarded) line.
     if (response.status == "rejected" &&
-        response.reason.starts_with("malformed")) {
+        (response.reason.starts_with("malformed") ||
+         response.reason.starts_with("frame_too_large"))) {
       return "";
     }
     return "missing id";
@@ -441,13 +261,15 @@ std::string validate_response(const cc::service::Response& response) {
 }
 
 /// A response worth resending the (idempotent) request for: transient
-/// overload, a watchdog timeout, or an injected/internal failure.
+/// overload or shedding, a watchdog timeout, or an injected/internal
+/// failure.
 bool retryable_response(const cc::service::Response& response) {
   if (response.status == "rejected") {
     // The client only sends well-formed checksummed lines, so any
     // malformed/checksum verdict on our id proves wire corruption —
     // the request itself is fine; resend it.
     return response.reason == "queue_full" ||
+           response.reason == "backpressure" ||
            response.reason.starts_with("malformed");
   }
   if (response.status == "error") {
@@ -563,16 +385,196 @@ int normalize_stream(const std::string& in_path,
   return unparseable == 0 ? 0 : 1;
 }
 
+/// How one connection worker makes (and remakes) its transport.
+using LinkFactory =
+    std::function<std::unique_ptr<cc::net::ClientLink>()>;
+
+struct DriveConfig {
+  double rate = 0.0;  ///< > 0 = open loop
+  int retries = 0;
+  double backoff_ms = 50.0;
+  double backoff_cap_ms = 2000.0;
+  double response_timeout_ms = 0.0;
+  double connect_timeout_s = 0.0;
+  bool query_stats = false;
+  bool send_shutdown = false;  ///< pipe mode, or connect + --shutdown
+  std::uint64_t jitter_seed = 0;
+};
+
+/// One connection's worth of driving: everything a worker produced,
+/// merged into the process-wide accounting after the join.
+struct DriveResult {
+  std::vector<std::string> lines;  ///< across transport replacements
+  std::vector<double> latencies_ms;
+  long resends = 0;
+  long respawns = 0;
+  bool server_lost = false;
+  std::vector<std::string> gave_up;  ///< ids abandoned in flight
+};
+
+/// Drives `slice` through one connection, replacing the transport on
+/// death when retries remain. Mirrors the single-pipe behavior the
+/// tool always had; the transport is behind `make_link`, so the same
+/// loop serves pipes and TCP reconnects.
+DriveResult drive_connection(std::span<const cc::service::Request*> slice,
+                             const LinkFactory& make_link,
+                             const DriveConfig& config) {
+  DriveResult result;
+  cc::util::Rng jitter_rng(config.jitter_seed);
+  const auto backoff = [&](int attempt) {
+    const double capped = std::min(
+        config.backoff_cap_ms, config.backoff_ms * std::pow(2.0, attempt));
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        capped * jitter_rng.uniform(0.5, 1.0)));
+  };
+
+  std::unique_ptr<cc::net::ClientLink> link;
+  try {
+    link = make_link();
+  } catch (const cc::core::IoError&) {
+    link = nullptr;  // not up yet; the retry loop backs off and re-tries
+  }
+  bool awaiting_first = true;  // no response seen since (re)spawn
+  const auto respawn = [&] {
+    if (link != nullptr) {
+      const std::vector<std::string> old = link->lines();
+      result.lines.insert(result.lines.end(), old.begin(), old.end());
+      link.reset();  // pipe: reaps the dead child; TCP: closes the fd
+    }
+    try {
+      link = make_link();
+    } catch (const cc::core::IoError&) {
+      link = nullptr;  // still down; the retry loop backs off and re-tries
+    }
+    awaiting_first = true;
+    ++result.respawns;
+  };
+
+  if (config.rate > 0.0) {
+    // Open loop: fixed send schedule, ignore completions.
+    const auto interval = std::chrono::duration<double>(1.0 / config.rate);
+    auto next = std::chrono::steady_clock::now();
+    for (const cc::service::Request* request : slice) {
+      std::this_thread::sleep_until(next);
+      if (link == nullptr ||
+          !link->send(cc::service::to_checksummed_line(*request))) {
+        result.server_lost = true;
+        result.gave_up.push_back(request->id);
+        break;
+      }
+      next += std::chrono::duration_cast<
+          std::chrono::steady_clock::duration>(interval);
+    }
+  } else {
+    // Closed loop: one outstanding request at a time, end-to-end
+    // latency (including retries) measured per request.
+    result.latencies_ms.reserve(slice.size());
+    bool abort_drive = false;
+    for (const cc::service::Request* request : slice) {
+      if (abort_drive) {
+        break;
+      }
+      const std::string line = cc::service::to_checksummed_line(*request);
+      const auto sent_at = std::chrono::steady_clock::now();
+      for (int attempt = 0;; ++attempt) {
+        const long have =
+            link != nullptr ? link->id_count(request->id) : 0;
+        cc::net::ClientLink::Wait wait = cc::net::ClientLink::Wait::kEof;
+        if (link != nullptr && link->send(line)) {
+          auto deadline = std::chrono::steady_clock::time_point::max();
+          const auto attempt_start = std::chrono::steady_clock::now();
+          if (config.response_timeout_ms > 0.0) {
+            deadline = attempt_start +
+                       std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               config.response_timeout_ms));
+          }
+          if (awaiting_first && config.connect_timeout_s > 0.0) {
+            deadline = std::min(
+                deadline, attempt_start +
+                              std::chrono::duration_cast<
+                                  std::chrono::steady_clock::duration>(
+                                  std::chrono::duration<double>(
+                                      config.connect_timeout_s)));
+          }
+          wait = link->wait_for_id(request->id, have + 1, deadline);
+        }
+        if (wait == cc::net::ClientLink::Wait::kGot) {
+          awaiting_first = false;
+          cc::service::Response response;
+          try {
+            response =
+                cc::service::parse_response(link->latest_for_id(request->id));
+          } catch (const cc::obs::JsonError&) {
+          }
+          if (attempt < config.retries && retryable_response(response)) {
+            ++result.resends;
+            backoff(attempt);
+            continue;
+          }
+          result.latencies_ms.push_back(
+              std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - sent_at)
+                  .count());
+          break;
+        }
+        // EOF (transport death) or a response timeout.
+        if (attempt >= config.retries) {
+          result.gave_up.push_back(request->id);
+          if (wait == cc::net::ClientLink::Wait::kEof) {
+            result.server_lost = true;
+            abort_drive = true;  // nobody left to answer the rest
+          }
+          break;
+        }
+        ++result.resends;
+        backoff(attempt);
+        const bool dead =
+            link == nullptr || wait == cc::net::ClientLink::Wait::kEof ||
+            (wait == cc::net::ClientLink::Wait::kTimeout && awaiting_first);
+        if (dead) {
+          respawn();
+        }
+      }
+    }
+  }
+
+  if (!result.server_lost && link != nullptr) {
+    if (config.query_stats) {
+      if (config.rate > 0.0) {
+        link->wait_for(slice.size());  // stats reply must come last
+      }
+      const long seen = link->stats_seen();
+      if (link->send("{\"cmd\":\"stats\"}")) {
+        link->wait_for_stats(seen);
+      }
+    }
+    if (config.send_shutdown) {
+      (void)link->send("{\"cmd\":\"shutdown\"}");
+    }
+  }
+  if (link != nullptr) {
+    link->close_input();
+    link->wait_for_eof();
+    const std::vector<std::string> last = link->lines();
+    result.lines.insert(result.lines.end(), last.begin(), last.end());
+  }
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const cc::util::Cli cli(argc, argv);
-  cli.declare({"help", "requests", "seed", "devices-min", "devices-max",
-               "field", "algos", "schemes", "budget-prob", "deadline-ms",
-               "repeat-prob", "emit", "out", "server", "rate", "stats",
-               "topology", "dump", "responses-out", "retries", "backoff-ms",
-               "backoff-cap-ms", "response-timeout-ms", "connect-timeout",
-               "normalize"});
+  cli.declare({"help", "requests", "seed", "id-prefix", "devices-min",
+               "devices-max", "field", "algos", "schemes", "budget-prob",
+               "deadline-ms", "repeat-prob", "emit", "out", "server",
+               "connect", "connections", "shutdown", "read-stall-ms",
+               "recv-buf-kb",
+               "rate", "stats", "topology", "dump", "responses-out",
+               "retries", "backoff-ms", "backoff-cap-ms",
+               "response-timeout-ms", "connect-timeout", "normalize"});
   cli.reject_unknown();
   if (cli.get_bool("help", false)) {
     std::cout << kUsage;
@@ -611,11 +613,20 @@ int main(int argc, char** argv) {
     }
 
     const std::string server_cmd = cli.get("server", "");
-    if (server_cmd.empty()) {
-      std::cerr << "error: need --emit or --server=\"CMD\" "
-                   "(--help for usage)\n";
+    const std::string connect_spec = cli.get("connect", "");
+    if (server_cmd.empty() == connect_spec.empty()) {
+      std::cerr << "error: need exactly one of --emit, --server=\"CMD\" or "
+                   "--connect=HOST:PORT (--help for usage)\n";
       return 1;
     }
+    const int connections = cli.get_int("connections", 1);
+    CC_EXPECTS(connections > 0, "--connections must be > 0");
+    CC_EXPECTS(connections == 1 || !connect_spec.empty(),
+               "--connections > 1 needs --connect (one pipe server has "
+               "one stdin)");
+    const int read_stall_ms = cli.get_int("read-stall-ms", 0);
+    const std::size_t rcvbuf_bytes =
+        static_cast<std::size_t>(cli.get_int("recv-buf-kb", 0)) * 1024;
 
     const std::string dump_dir = cli.get("dump", "");
     std::vector<cc::core::Charger> chargers;
@@ -632,157 +643,117 @@ int main(int argc, char** argv) {
       params = topo.params();
     }
 
-    const double rate = cli.get_double("rate", 0.0);
-    const int retries = cli.get_int("retries", 0);
-    const double backoff_ms = cli.get_double("backoff-ms", 50.0);
-    const double backoff_cap_ms = cli.get_double("backoff-cap-ms", 2000.0);
-    const double response_timeout_ms =
-        cli.get_double("response-timeout-ms", 0.0);
-    const double connect_timeout_s = cli.get_double("connect-timeout", 0.0);
-    CC_EXPECTS(retries >= 0, "--retries must be >= 0");
-    // Distinct stream from the mix rng so adding retries never changes
-    // the generated workload.
-    cc::util::Rng jitter_rng(
-        static_cast<std::uint64_t>(cli.get_int("seed", 1)) ^
-        0x9e3779b97f4a7c15ULL);
-    const auto backoff = [&](int attempt) {
-      const double capped = std::min(
-          backoff_cap_ms, backoff_ms * std::pow(2.0, attempt));
-      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
-          capped * jitter_rng.uniform(0.5, 1.0)));
-    };
+    DriveConfig config;
+    config.rate = cli.get_double("rate", 0.0);
+    config.retries = cli.get_int("retries", 0);
+    config.backoff_ms = cli.get_double("backoff-ms", 50.0);
+    config.backoff_cap_ms = cli.get_double("backoff-cap-ms", 2000.0);
+    config.response_timeout_ms = cli.get_double("response-timeout-ms", 0.0);
+    config.connect_timeout_s = cli.get_double("connect-timeout", 0.0);
+    config.query_stats = cli.get_bool("stats", false);
+    CC_EXPECTS(config.retries >= 0, "--retries must be >= 0");
 
-    auto server = std::make_unique<ServerPipe>(server_cmd);
-    std::vector<std::string> collected;  // lines from replaced pipes
-    long resends = 0;
-    long respawns = 0;
-    bool server_lost = false;
-    bool awaiting_first = true;  // no response seen since (re)spawn
-    std::vector<std::string> gave_up;  // ids abandoned in flight
-    const auto respawn = [&] {
-      const std::vector<std::string> old = server->lines();
-      collected.insert(collected.end(), old.begin(), old.end());
-      server.reset();  // reaps the dead child
-      server = std::make_unique<ServerPipe>(server_cmd);
-      awaiting_first = true;
-      ++respawns;
-    };
+    // Pipe mode owns its server and always shuts it down when done.
+    // Connect mode leaves the shared server running; --shutdown sends
+    // the control line over a dedicated connection after every worker
+    // joined, so it never cuts off another connection's in-flight mix.
+    const bool tcp = !connect_spec.empty();
+    config.send_shutdown = !tcp;
+    cc::net::Endpoint endpoint;
+    if (tcp) {
+      endpoint = cc::net::parse_endpoint(connect_spec);
+    }
+    const LinkFactory make_link =
+        tcp ? LinkFactory([endpoint, &config, read_stall_ms, rcvbuf_bytes] {
+          return std::unique_ptr<cc::net::ClientLink>(
+              std::make_unique<cc::net::TcpLink>(
+                  endpoint, config.connect_timeout_s, read_stall_ms,
+                  rcvbuf_bytes));
+        })
+            : LinkFactory([server_cmd, read_stall_ms] {
+                return std::unique_ptr<cc::net::ClientLink>(
+                    std::make_unique<cc::net::PipeLink>(server_cmd,
+                                                        read_stall_ms));
+              });
+
+    // Split round-robin so repeat-heavy mixes spread across
+    // connections (adjacent requests often repeat each other).
+    std::vector<std::vector<const cc::service::Request*>> slices(
+        static_cast<std::size_t>(connections));
+    for (std::size_t i = 0; i < mix.size(); ++i) {
+      slices[i % static_cast<std::size_t>(connections)].push_back(&mix[i]);
+    }
 
     const auto start = std::chrono::steady_clock::now();
-
-    if (rate > 0.0) {
-      // Open loop: fixed send schedule, ignore completions.
-      const auto interval =
-          std::chrono::duration<double>(1.0 / rate);
-      auto next = std::chrono::steady_clock::now();
-      for (const cc::service::Request& request : mix) {
-        std::this_thread::sleep_until(next);
-        if (!server->send(cc::service::to_checksummed_line(request))) {
-          server_lost = true;
-          gave_up.push_back(request.id);
-          break;
+    std::vector<DriveResult> results(slices.size());
+    std::vector<std::string> worker_errors;
+    std::mutex error_mutex;
+    {
+      std::vector<std::thread> workers;
+      for (std::size_t w = 0; w < slices.size(); ++w) {
+        DriveConfig worker_config = config;
+        // Distinct stream from the mix rng so adding retries never
+        // changes the generated workload; worker 0 matches the
+        // single-connection jitter stream exactly.
+        worker_config.jitter_seed =
+            (static_cast<std::uint64_t>(cli.get_int("seed", 1)) ^
+             0x9e3779b97f4a7c15ULL) ^
+            (static_cast<std::uint64_t>(w) * 0x9e3779b97f4a7c15ULL);
+        // With several connections, only the first queries stats (one
+        // stats reply is enough for the summary).
+        if (w != 0) {
+          worker_config.query_stats = false;
         }
-        next += std::chrono::duration_cast<
-            std::chrono::steady_clock::duration>(interval);
+        workers.emplace_back([&, w, worker_config] {
+          try {
+            results[w] =
+                drive_connection(slices[w], make_link, worker_config);
+          } catch (const std::exception& e) {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            worker_errors.push_back(e.what());
+          }
+        });
+      }
+      for (std::thread& worker : workers) {
+        worker.join();
       }
     }
-    std::vector<double> latencies_ms;
-    if (rate <= 0.0) {
-      // Closed loop: one outstanding request at a time, end-to-end
-      // latency (including retries) measured per request.
-      latencies_ms.reserve(mix.size());
-      bool abort_drive = false;
-      for (const cc::service::Request& request : mix) {
-        if (abort_drive) {
-          break;
-        }
-        const std::string line = cc::service::to_checksummed_line(request);
-        const auto sent_at = std::chrono::steady_clock::now();
-        for (int attempt = 0;; ++attempt) {
-          const long have = server->id_count(request.id);
-          ServerPipe::Wait result = ServerPipe::Wait::kEof;
-          if (server->send(line)) {
-            auto deadline = std::chrono::steady_clock::time_point::max();
-            const auto attempt_start = std::chrono::steady_clock::now();
-            if (response_timeout_ms > 0.0) {
-              deadline =
-                  attempt_start +
-                  std::chrono::duration_cast<
-                      std::chrono::steady_clock::duration>(
-                      std::chrono::duration<double, std::milli>(
-                          response_timeout_ms));
-            }
-            if (awaiting_first && connect_timeout_s > 0.0) {
-              deadline = std::min(
-                  deadline,
-                  attempt_start +
-                      std::chrono::duration_cast<
-                          std::chrono::steady_clock::duration>(
-                          std::chrono::duration<double>(
-                              connect_timeout_s)));
-            }
-            result = server->wait_for_id(request.id, have + 1, deadline);
-          }
-          if (result == ServerPipe::Wait::kGot) {
-            awaiting_first = false;
-            cc::service::Response response;
-            try {
-              response = cc::service::parse_response(
-                  server->latest_for_id(request.id));
-            } catch (const cc::obs::JsonError&) {
-            }
-            if (attempt < retries && retryable_response(response)) {
-              ++resends;
-              backoff(attempt);
-              continue;
-            }
-            latencies_ms.push_back(
-                std::chrono::duration<double, std::milli>(
-                    std::chrono::steady_clock::now() - sent_at)
-                    .count());
-            break;
-          }
-          // EOF (server death) or a response timeout.
-          if (attempt >= retries) {
-            gave_up.push_back(request.id);
-            if (result == ServerPipe::Wait::kEof) {
-              server_lost = true;
-              abort_drive = true;  // nobody left to answer the rest
-            }
-            break;
-          }
-          ++resends;
-          backoff(attempt);
-          const bool dead = result == ServerPipe::Wait::kEof ||
-                            (result == ServerPipe::Wait::kTimeout &&
-                             awaiting_first);
-          if (dead) {
-            respawn();
-          }
-        }
+    if (tcp && cli.get_bool("shutdown", false)) {
+      try {
+        cc::net::TcpLink control(endpoint, config.connect_timeout_s);
+        (void)control.send("{\"cmd\":\"shutdown\"}");
+        control.close_input();
+        control.wait_for_eof();
+      } catch (const cc::core::IoError& e) {
+        std::cerr << "warning: shutdown control connection failed: "
+                  << e.what() << '\n';
       }
     }
-
-    if (!server_lost) {
-      std::size_t expected = mix.size();
-      if (cli.get_bool("stats", false)) {
-        if (rate > 0.0) {
-          server->wait_for(mix.size());  // stats reply must come last
-        }
-        const long seen = server->stats_seen();
-        if (server->send("{\"cmd\":\"stats\"}")) {
-          server->wait_for_stats(seen);
-        }
-        ++expected;
-      }
-      (void)server->send("{\"cmd\":\"shutdown\"}");
+    if (!worker_errors.empty()) {
+      throw cc::core::IoError(worker_errors.front());
     }
-    server->close_input();
-    server->wait_for_eof();
     const double elapsed_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
             .count();
+
+    std::vector<std::string> all_lines;
+    std::vector<double> latencies_ms;
+    long resends = 0;
+    long respawns = 0;
+    bool server_lost = false;
+    std::vector<std::string> gave_up;
+    for (DriveResult& result : results) {
+      all_lines.insert(all_lines.end(), result.lines.begin(),
+                       result.lines.end());
+      latencies_ms.insert(latencies_ms.end(), result.latencies_ms.begin(),
+                          result.latencies_ms.end());
+      resends += result.resends;
+      respawns += result.respawns;
+      server_lost = server_lost || result.server_lost;
+      gave_up.insert(gave_up.end(), result.gave_up.begin(),
+                     result.gave_up.end());
+    }
 
     std::map<std::string, const cc::service::Request*> by_id;
     for (const cc::service::Request& request : mix) {
@@ -798,14 +769,10 @@ int main(int argc, char** argv) {
       }
     }
 
-    // Parse everything that arrived — across respawns — and keep the
-    // latest response per id: retries can legitimately produce
-    // duplicate answers for one id, which must not double-count.
-    std::vector<std::string> all_lines = std::move(collected);
-    {
-      const std::vector<std::string> last = server->lines();
-      all_lines.insert(all_lines.end(), last.begin(), last.end());
-    }
+    // Parse everything that arrived — across respawns and connections
+    // — and keep the latest response per id: retries can legitimately
+    // produce duplicate answers for one id, which must not
+    // double-count.
     Summary summary;
     std::map<std::string, cc::service::Response> latest;
     for (const std::string& line : all_lines) {
@@ -862,8 +829,8 @@ int main(int argc, char** argv) {
               << (elapsed_s > 0.0
                       ? static_cast<double>(answered) / elapsed_s
                       : 0.0)
-              << " rsp/s, " << (rate > 0.0 ? "open" : "closed")
-              << " loop)\n";
+              << " rsp/s, " << (config.rate > 0.0 ? "open" : "closed")
+              << " loop" << (tcp ? ", tcp" : "") << ")\n";
     std::cout << "status   : ok=" << summary.ok << " rejected=" << rejected
               << " errors=" << summary.errors
               << " unparseable=" << summary.unparseable
@@ -873,7 +840,7 @@ int main(int argc, char** argv) {
     }
     if (resends > 0 || respawns > 0) {
       std::cout << "retries  : " << resends << " resends, " << respawns
-                << " server respawns\n";
+                << (tcp ? " reconnects\n" : " server respawns\n");
     }
     if (summary.ok > 0) {
       std::cout << "latency  : queue mean="
@@ -897,8 +864,8 @@ int main(int argc, char** argv) {
                                ? summary.rejected.at("malformed")
                                : 0;
     if (server_lost) {
-      std::cerr << "error: server pipe closed unexpectedly (EOF/EPIPE) — "
-                   "server died mid-run\n";
+      std::cerr << "error: transport closed unexpectedly "
+                   "(EOF/EPIPE/ECONNRESET) — server died mid-run\n";
     }
     if (!all_answered) {
       std::cerr << "error: " << (mix.size() - answered)
@@ -928,7 +895,7 @@ int main(int argc, char** argv) {
     // rejections are expected wire-corruption noise as long as every
     // request was eventually answered. Without retries they mean the
     // client itself emitted a bad line — a hard failure.
-    const bool malformed_fatal = malformed > 0 && retries == 0;
+    const bool malformed_fatal = malformed > 0 && config.retries == 0;
     if (malformed_fatal) {
       std::cerr << "error: " << malformed
                 << " requests rejected as malformed\n";

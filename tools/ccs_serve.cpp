@@ -1,25 +1,38 @@
 /// \file ccs_serve.cpp
-/// The charging-service daemon: reads one JSON request per line on
-/// stdin, schedules it against a fixed charger topology, and writes one
-/// JSON response per line on stdout (see docs/service.md for the wire
-/// protocol). Diagnostics go to stderr so the response stream stays
+/// The charging-service daemon. Two front-ends over one service core:
+///
+///  * **stdin mode** (default): reads one JSON request per line on
+///    stdin, writes one JSON response per line on stdout (see
+///    docs/service.md for the wire protocol).
+///  * **listen mode** (`--listen=HOST:PORT`): a poll-based TCP
+///    front-end serving the same newline-framed protocol to many
+///    concurrent connections, sharded across `--shards` service
+///    workers by canonical instance fingerprint so repeat traffic
+///    stays cache-hot (docs/service.md, "Network front-end").
+///
+/// Diagnostics go to stderr so the response stream stays
 /// machine-parseable.
 ///
 /// Exit codes: 0 clean shutdown, 1 usage error, 2 I/O error.
 
+#include <csignal>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/generator.h"
 #include "core/io.h"
+#include "net/server.h"
+#include "net/shard_router.h"
 #include "obs/manifest.h"
 #include "obs/registry.h"
 #include "obs/span.h"
@@ -34,7 +47,8 @@ constexpr const char* kUsage = R"(ccs_serve — cooperative charging as a servic
 
 Reads line-delimited JSON charging requests on stdin; writes one JSON
 response per line on stdout. Control lines: {"cmd":"stats"} and
-{"cmd":"shutdown"}.
+{"cmd":"shutdown"}. With --listen, serves the same protocol over TCP
+instead.
 
 Topology (pick one):
   --instance=PATH            chargers + cost weights from an instance file
@@ -43,6 +57,22 @@ Topology (pick one):
   --field=S                  square field side for --chargers (default 100)
   --seed=K                   layout seed for --chargers (default 1)
   --cap=G                    max coalition size, 0 = unlimited (default 0)
+
+Network front-end (docs/service.md):
+  --listen=HOST:PORT         serve over TCP instead of stdin/stdout
+                             (port 0 = ephemeral; the bound address is
+                             printed to stderr as "listening on ...")
+  --shards=N                 service workers; requests route by instance
+                             fingerprint for cache affinity (default 1)
+  --max-frame-kb=N           reject frames larger than this with
+                             frame_too_large (default 1024)
+  --max-outbound-kb=N        per-connection outbound soft limit; above
+                             it requests are shed with `backpressure`,
+                             above 4x the connection is dropped
+                             (default 256)
+  --sndbuf-kb=N              shrink SO_SNDBUF on accepted sockets so a
+                             slow reader hits the soft limit at small
+                             traffic volumes (default 0 = kernel)
 
 Service knobs:
   --algo=NAME                default scheduler (default ccsa)
@@ -59,11 +89,14 @@ Service knobs:
   --cache-mb=M               cache capacity in MiB (default 64)
   --cache-ttl=S              entry time-to-live seconds, 0 = none
   --stats-interval=S         emit a stats heartbeat line every S seconds
+                             (listen mode: logged to stderr)
 
 Robustness (docs/robustness.md):
   --journal=PATH             crash-safe write-ahead journal: admitted
                              requests survive a crash and are replayed
-                             on the next --journal start
+                             on the next --journal start (listen mode
+                             with --shards=N journals per shard to
+                             PATH.shard0..N-1)
   --journal-sync=MODE        always | batch | off (default always)
   --timeout-ms=T             per-request dispatch deadline enforced by
                              the watchdog, 0 = off (default)
@@ -120,6 +153,73 @@ void print_final_stats(const cc::service::ChargingService& service) {
   }
 }
 
+/// Listen-mode counterpart: the same "received=..." stderr shape the
+/// smoke harnesses grep, fed from the shard aggregate. Router-level
+/// rejections (malformed frames, backpressure sheds) never reach a
+/// shard, so they are folded into received/malformed here.
+void print_final_stats(const cc::net::ShardRouter& router,
+                       const cc::net::NetCounters& counters) {
+  const cc::service::ServiceStats s = router.aggregated_stats();
+  const cc::net::ShardRouter::RouterStats r = router.router_stats();
+  std::size_t queue_peak = 0;
+  for (std::size_t i = 0; i < router.shard_count(); ++i) {
+    queue_peak += router.shard(i).queue_high_watermark();
+  }
+  std::cerr << "ccs_serve: received="
+            << s.received + r.malformed + r.backpressure_sheds
+            << " completed=" << s.completed << " rejected="
+            << s.rejected_total() + r.malformed + r.backpressure_sheds
+            << " (malformed=" << s.rejected_malformed + r.malformed
+            << " overload=" << s.rejected_overload
+            << " deadline=" << s.rejected_deadline
+            << " invalid=" << s.rejected_invalid
+            << " over_budget=" << s.rejected_over_budget
+            << ") errors=" << s.errors << " batches=" << s.batches
+            << " queue_peak=" << queue_peak << '\n';
+  std::cerr << "ccs_serve: net: accepts=" << counters.accepts.load()
+            << " disconnects=" << counters.disconnects.load()
+            << " frames=" << counters.frames.load()
+            << " oversized=" << counters.oversized.load()
+            << " responses=" << counters.responses.load()
+            << " sheds=" << counters.sheds.load()
+            << " overflow_drops=" << counters.overflow_drops.load()
+            << " dropped_responses=" << counters.dropped_responses.load()
+            << " orphaned=" << r.orphaned << '\n';
+  std::cerr << "ccs_serve: routing: fingerprint=" << r.routed_fingerprint
+            << " round_robin=" << r.routed_round_robin
+            << " shards=" << router.shard_count() << '\n';
+  const cc::service::ServiceOptions& options = router.shard(0).options();
+  if (options.cache) {
+    cc::cache::CacheStats c;
+    for (std::size_t i = 0; i < router.shard_count(); ++i) {
+      const cc::cache::CacheStats cs = router.shard(i).cache_stats();
+      c.hits += cs.hits;
+      c.misses += cs.misses;
+      c.evictions += cs.evictions;
+      c.inflight_merged += cs.inflight_merged;
+    }
+    std::cerr << "ccs_serve: cache: hits=" << c.hits
+              << " misses=" << c.misses << " evictions=" << c.evictions
+              << " merged=" << c.inflight_merged << '\n';
+  }
+  if (!options.journal_path.empty()) {
+    long outstanding = 0;
+    for (std::size_t i = 0; i < router.shard_count(); ++i) {
+      if (router.shard(i).journal() != nullptr) {
+        outstanding +=
+            static_cast<long>(router.shard(i).journal()->outstanding());
+      }
+    }
+    std::cerr << "ccs_serve: journal: replayed=" << s.replayed
+              << " outstanding=" << outstanding << '\n';
+  }
+  if (s.deduped > 0 || s.sink_errors > 0 || s.timeouts > 0) {
+    std::cerr << "ccs_serve: robustness: deduped=" << s.deduped
+              << " sink_errors=" << s.sink_errors
+              << " timeouts=" << s.timeouts << '\n';
+  }
+}
+
 void print_chaos_stats(const cc::service::ChaosInjector& chaos) {
   const cc::service::ChaosInjector::Stats c = chaos.stats();
   std::cerr << "ccs_serve: chaos: dropped=" << c.dropped
@@ -129,11 +229,11 @@ void print_chaos_stats(const cc::service::ChaosInjector& chaos) {
 }
 
 /// Periodic stats heartbeat: a detached-looking but joinable thread
-/// that calls `emit_stats()` every `interval_s` until stopped.
+/// that invokes `tick` every `interval_s` until stopped.
 class StatsHeartbeat {
  public:
-  StatsHeartbeat(cc::service::ChargingService& service, double interval_s)
-      : service_(service), interval_s_(interval_s) {
+  StatsHeartbeat(std::function<void()> tick, double interval_s)
+      : tick_(std::move(tick)), interval_s_(interval_s) {
     if (interval_s_ > 0.0) {
       thread_ = std::thread([this] { run(); });
     }
@@ -161,18 +261,198 @@ class StatsHeartbeat {
     std::unique_lock<std::mutex> lock(mutex_);
     while (!cv_.wait_for(lock, interval, [this] { return stopped_; })) {
       lock.unlock();
-      service_.emit_stats();
+      tick_();
       lock.lock();
     }
   }
 
-  cc::service::ChargingService& service_;
+  std::function<void()> tick_;
   double interval_s_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopped_ = false;
   std::thread thread_;
 };
+
+/// SIGTERM/SIGINT → event-loop shutdown (request_shutdown is
+/// async-signal-safe: an atomic store plus one pipe write).
+std::atomic<cc::net::NetServer*> g_signal_server{nullptr};
+
+extern "C" void handle_shutdown_signal(int) {
+  if (cc::net::NetServer* server = g_signal_server.load()) {
+    server->request_shutdown();
+  }
+}
+
+void write_manifest(const cc::util::Cli& cli,
+                    const cc::service::ServiceStats& s,
+                    const cc::service::ServiceOptions& options,
+                    std::size_t queue_peak,
+                    const cc::cache::CacheStats* cache,
+                    const cc::service::Watchdog::Stats* watchdog,
+                    const cc::net::NetServer* net) {
+  std::string manifest_path = cli.get("manifest", "");
+  if (manifest_path.empty() || manifest_path == "true") {
+    manifest_path = "BENCH_ccs_serve.json";
+  }
+  cc::obs::RunManifest manifest = cc::obs::make_manifest("ccs_serve");
+  manifest.set_metric("service.received", static_cast<double>(s.received));
+  manifest.set_metric("service.completed", static_cast<double>(s.completed));
+  manifest.set_metric("service.rejected",
+                      static_cast<double>(s.rejected_total()));
+  manifest.set_metric("service.errors", static_cast<double>(s.errors));
+  manifest.set_metric("service.batches", static_cast<double>(s.batches));
+  manifest.set_metric("service.queue_peak", static_cast<double>(queue_peak));
+  if (cache != nullptr) {
+    manifest.set_metric("cache.hits", static_cast<double>(cache->hits));
+    manifest.set_metric("cache.misses", static_cast<double>(cache->misses));
+    manifest.set_metric("cache.evictions",
+                        static_cast<double>(cache->evictions));
+    manifest.set_metric("cache.inflight_merged",
+                        static_cast<double>(cache->inflight_merged));
+  }
+  if (watchdog != nullptr) {
+    manifest.set_metric("watchdog.timeouts",
+                        static_cast<double>(watchdog->timeouts));
+    manifest.set_metric("watchdog.stalls",
+                        static_cast<double>(watchdog->stalls_detected));
+    manifest.set_metric("watchdog.replaced",
+                        static_cast<double>(watchdog->workers_replaced));
+  }
+  if (!options.journal_path.empty()) {
+    manifest.set_metric("journal.replayed", static_cast<double>(s.replayed));
+  }
+  if (options.dedup_window > 0) {
+    manifest.set_metric("service.deduped", static_cast<double>(s.deduped));
+  }
+  if (net != nullptr) {
+    for (const auto& [name, value] : net->counters().snapshot()) {
+      manifest.set_metric(name, static_cast<double>(value));
+    }
+  }
+  manifest.save(manifest_path);
+  std::cerr << "manifest: " << manifest_path << '\n';
+}
+
+/// TCP front-end: shard router + poll loop until shutdown.
+int run_listen(const cc::util::Cli& cli,
+               std::vector<cc::core::Charger> chargers,
+               cc::core::CostParams params,
+               const cc::service::ServiceOptions& options,
+               cc::service::ChaosInjector* chaos, double stats_interval_s) {
+  const cc::net::Endpoint endpoint =
+      cc::net::parse_endpoint(cli.get("listen", ""));
+  const int shards = cli.get_int("shards", 1);
+  CC_EXPECTS(shards > 0, "--shards must be > 0");
+
+  cc::net::NetServer::Options net_options;
+  net_options.endpoint = endpoint;
+  net_options.max_frame_bytes =
+      static_cast<std::size_t>(cli.get_int("max-frame-kb", 1024)) * 1024;
+  net_options.soft_outbound_bytes =
+      static_cast<std::size_t>(cli.get_int("max-outbound-kb", 256)) * 1024;
+  net_options.sndbuf_bytes =
+      static_cast<std::size_t>(cli.get_int("sndbuf-kb", 0)) * 1024;
+  net_options.chaos = chaos;
+
+  // The router's emit/stats callbacks outlive-safely reference the
+  // server through this pointer; the server is built right after and
+  // destroyed first (reverse order) only after run() returned, when
+  // the shards are already drained and silent.
+  std::unique_ptr<cc::net::NetServer> server;
+  cc::net::ShardRouter router(
+      static_cast<std::size_t>(shards), std::move(chargers), params, options,
+      [&server](std::uint64_t conn, std::string line) {
+        if (server != nullptr) {
+          server->queue_response(conn, std::move(line));
+        }
+      },
+      [&server](std::vector<std::pair<std::string, long>>& fields) {
+        if (server != nullptr) {
+          for (auto& field : server->counters().snapshot()) {
+            fields.push_back(std::move(field));
+          }
+        }
+      });
+  server = std::make_unique<cc::net::NetServer>(net_options, router);
+
+  std::cerr << "ccs_serve: " << "algo=" << options.default_algo
+            << " scheme=" << options.default_scheme
+            << " queue-cap=" << options.queue_capacity
+            << " batch-max=" << options.batch_max << " coalesce="
+            << (options.coalesce ? "on" : "off") << " cache="
+            << (options.cache ? "on" : "off") << " journal="
+            << (options.journal_path.empty() ? "off" : "on")
+            << " watchdog="
+            << (options.request_timeout_ms > 0.0 ? "on" : "off")
+            << (options.chaos != nullptr ? " chaos=on" : "")
+            << " shards=" << shards << '\n';
+  // Machine-greppable bind line (resolves --listen=HOST:0 ephemeral
+  // ports for test harnesses); flushed before any request is served.
+  std::cerr << "ccs_serve: listening on " << endpoint.host << ':'
+            << server->port() << std::endl;
+
+  if (!options.journal_path.empty()) {
+    const std::size_t replayed = router.replay_recovered();
+    std::cerr << "ccs_serve: journal " << options.journal_path
+              << ": replayed " << replayed << " incomplete request"
+              << (replayed == 1 ? "" : "s")
+              << " (responses orphaned; clients re-fetch by id)\n";
+  }
+
+  g_signal_server.store(server.get());
+  std::signal(SIGTERM, handle_shutdown_signal);
+  std::signal(SIGINT, handle_shutdown_signal);
+
+  StatsHeartbeat heartbeat(
+      [&router, &server] {
+        const cc::service::ServiceStats s = router.aggregated_stats();
+        std::cerr << "ccs_serve: heartbeat: received=" << s.received
+                  << " completed=" << s.completed
+                  << " rejected=" << s.rejected_total()
+                  << " errors=" << s.errors << " active="
+                  << server->counters().active.load() << '\n';
+      },
+      stats_interval_s);
+
+  server->run();
+
+  heartbeat.stop();
+  g_signal_server.store(nullptr);
+  router.drain();
+  print_final_stats(router, server->counters());
+  if (chaos != nullptr) {
+    print_chaos_stats(*chaos);
+  }
+
+  if (cli.has("manifest")) {
+    cc::service::ServiceStats s = router.aggregated_stats();
+    const cc::net::ShardRouter::RouterStats r = router.router_stats();
+    s.received += r.malformed + r.backpressure_sheds;
+    s.rejected_malformed += r.malformed;
+    std::size_t queue_peak = 0;
+    cc::cache::CacheStats cache;
+    cc::service::Watchdog::Stats watchdog;
+    for (std::size_t i = 0; i < router.shard_count(); ++i) {
+      queue_peak += router.shard(i).queue_high_watermark();
+      const cc::cache::CacheStats cs = router.shard(i).cache_stats();
+      cache.hits += cs.hits;
+      cache.misses += cs.misses;
+      cache.evictions += cs.evictions;
+      cache.inflight_merged += cs.inflight_merged;
+      const cc::service::Watchdog::Stats ws = router.shard(i).watchdog_stats();
+      watchdog.timeouts += ws.timeouts;
+      watchdog.stalls_detected += ws.stalls_detected;
+      watchdog.workers_replaced += ws.workers_replaced;
+    }
+    write_manifest(cli, s, options, queue_peak,
+                   options.cache ? &cache : nullptr,
+                   options.request_timeout_ms > 0.0 ? &watchdog : nullptr,
+                   server.get());
+  }
+  cc::obs::flush_trace();
+  return 0;
+}
 
 }  // namespace
 
@@ -183,7 +463,9 @@ int main(int argc, char** argv) {
                "deadline-ms", "max-devices", "coalesce", "cache",
                "cache-entries", "cache-mb", "cache-ttl", "stats-interval",
                "journal", "journal-sync", "timeout-ms", "watchdog-workers",
-               "dedup", "chaos", "jobs", "obs", "trace", "manifest"});
+               "dedup", "chaos", "jobs", "obs", "trace", "manifest",
+               "listen", "shards", "max-frame-kb", "max-outbound-kb",
+               "sndbuf-kb"});
   cli.reject_unknown();
   if (cli.get_bool("help", false)) {
     std::cout << kUsage;
@@ -270,6 +552,12 @@ int main(int argc, char** argv) {
     (void)cc::core::make_scheduler(options.default_algo);
     (void)cc::core::sharing_scheme_from_string(options.default_scheme);
 
+    if (cli.has("listen")) {
+      return run_listen(cli, std::move(chargers), params, options,
+                        chaos.get(), stats_interval_s);
+    }
+    CC_EXPECTS(!cli.has("shards"), "--shards requires --listen");
+
     cc::service::ChargingService service(
         std::move(chargers), params, options,
         [](const cc::service::Response& response) {
@@ -302,7 +590,8 @@ int main(int argc, char** argv) {
                 << (replayed == 1 ? "" : "s") << '\n';
     }
 
-    StatsHeartbeat heartbeat(service, stats_interval_s);
+    StatsHeartbeat heartbeat([&service] { service.emit_stats(); },
+                             stats_interval_s);
     std::string line;
     while (std::getline(std::cin, line)) {
       if (line.empty()) {
@@ -329,50 +618,13 @@ int main(int argc, char** argv) {
     }
 
     if (want_manifest) {
-      std::string manifest_path = cli.get("manifest", "");
-      if (manifest_path.empty() || manifest_path == "true") {
-        manifest_path = "BENCH_ccs_serve.json";
-      }
-      cc::obs::RunManifest manifest = cc::obs::make_manifest("ccs_serve");
       const cc::service::ServiceStats s = service.stats();
-      manifest.set_metric("service.received", static_cast<double>(s.received));
-      manifest.set_metric("service.completed",
-                          static_cast<double>(s.completed));
-      manifest.set_metric("service.rejected",
-                          static_cast<double>(s.rejected_total()));
-      manifest.set_metric("service.errors", static_cast<double>(s.errors));
-      manifest.set_metric("service.batches", static_cast<double>(s.batches));
-      manifest.set_metric(
-          "service.queue_peak",
-          static_cast<double>(service.queue_high_watermark()));
-      if (options.cache) {
-        const cc::cache::CacheStats c = service.cache_stats();
-        manifest.set_metric("cache.hits", static_cast<double>(c.hits));
-        manifest.set_metric("cache.misses", static_cast<double>(c.misses));
-        manifest.set_metric("cache.evictions",
-                            static_cast<double>(c.evictions));
-        manifest.set_metric("cache.inflight_merged",
-                            static_cast<double>(c.inflight_merged));
-      }
-      if (options.request_timeout_ms > 0.0) {
-        const cc::service::Watchdog::Stats w = service.watchdog_stats();
-        manifest.set_metric("watchdog.timeouts",
-                            static_cast<double>(w.timeouts));
-        manifest.set_metric("watchdog.stalls",
-                            static_cast<double>(w.stalls_detected));
-        manifest.set_metric("watchdog.replaced",
-                            static_cast<double>(w.workers_replaced));
-      }
-      if (!options.journal_path.empty()) {
-        manifest.set_metric("journal.replayed",
-                            static_cast<double>(s.replayed));
-      }
-      if (options.dedup_window > 0) {
-        manifest.set_metric("service.deduped",
-                            static_cast<double>(s.deduped));
-      }
-      manifest.save(manifest_path);
-      std::cerr << "manifest: " << manifest_path << '\n';
+      const cc::cache::CacheStats cache = service.cache_stats();
+      const cc::service::Watchdog::Stats watchdog = service.watchdog_stats();
+      write_manifest(cli, s, options, service.queue_high_watermark(),
+                     options.cache ? &cache : nullptr,
+                     options.request_timeout_ms > 0.0 ? &watchdog : nullptr,
+                     nullptr);
     }
     cc::obs::flush_trace();
     return 0;
