@@ -6,6 +6,7 @@
 
 #include "cache/fingerprint.h"
 #include "obs/registry.h"
+#include "registry/registry_manager.h"
 #include "util/assert.h"
 
 namespace cc::net {
@@ -66,8 +67,11 @@ bool ShardRouter::submit(std::uint64_t conn, const std::string& line,
     case service::LineKind::kShutdown:
       return false;
     case service::LineKind::kRequest:
+    case service::LineKind::kDelta:
       break;
   }
+  const bool is_delta = parsed.kind == service::LineKind::kDelta;
+  const std::string& id = is_delta ? parsed.delta.id : parsed.request.id;
   if (shed) {
     // The connection is over its outbound soft limit: answering with a
     // small reject keeps the stream one-response-per-request without
@@ -78,21 +82,28 @@ bool ShardRouter::submit(std::uint64_t conn, const std::string& line,
     }
     obs::count("net.router.backpressure_sheds");
     service::Response response;
-    response.id = parsed.request.id;
+    response.id = id;
     response.status = "rejected";
     response.reason = "backpressure";
     emit_(conn, service::to_json_line(response));
     return true;
   }
-  const std::size_t shard = route(parsed.request);
+  const std::size_t shard = is_delta ? route_delta(parsed.delta.tenant)
+                                     : route(parsed.request);
   {
     // Recorded *before* submit: the shard may answer synchronously
     // (cache hit, dedup, rejection) on this very thread.
     std::lock_guard<std::mutex> lock(mutex_);
-    waiting_[shard][parsed.request.id].push_back(conn);
+    waiting_[shard][id].push_back(conn);
     ++inflight_[conn];
   }
-  shards_[shard]->submit(std::move(parsed.request));
+  if (is_delta) {
+    // The raw line goes down whole: the shard journals it verbatim, so
+    // boot replay re-parses exactly what the wire carried.
+    (void)shards_[shard]->submit_line(line);
+  } else {
+    shards_[shard]->submit(std::move(parsed.request));
+  }
   return true;
 }
 
@@ -124,6 +135,24 @@ std::size_t ShardRouter::route(const service::Request& request) {
     round_robin_next_ = (round_robin_next_ + 1) % shards_.size();
     return shard;
   }
+}
+
+std::size_t ShardRouter::route_delta(const std::string& tenant) {
+  // Tenant affinity must survive restarts: a tenant's deltas journal
+  // into one shard's WAL, so the same tenant has to land on the same
+  // shard after a crash. FNV-1a over the tenant name is process-stable
+  // (std::hash is not guaranteed to be).
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : tenant) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.routed_delta;
+  }
+  obs::count("net.router.routed_delta");
+  return static_cast<std::size_t>(h % shards_.size());
 }
 
 void ShardRouter::on_response(std::size_t shard,
@@ -187,6 +216,7 @@ service::Response ShardRouter::stats_reply() const {
       {"net.backpressure_sheds", r.backpressure_sheds},
       {"net.routed_fingerprint", r.routed_fingerprint},
       {"net.routed_round_robin", r.routed_round_robin},
+      {"net.routed_delta", r.routed_delta},
       {"net.orphaned", r.orphaned},
   };
   for (std::size_t i = 0; i < shards_.size(); ++i) {
@@ -243,6 +273,38 @@ service::Response ShardRouter::stats_reply() const {
                                 static_cast<long>(c.evictions));
     response.stats.emplace_back("cache_inflight_merged",
                                 static_cast<long>(c.inflight_merged));
+  }
+  if (options.registry) {
+    registry::RegistryManager::Totals t;
+    for (const auto& shard : shards_) {
+      if (shard->registry_manager() == nullptr) {
+        continue;
+      }
+      const registry::RegistryManager::Totals st =
+          shard->registry_manager()->totals();
+      t.tenants += st.tenants;
+      t.devices += st.devices;
+      t.deltas += st.deltas;
+      t.snapshots += st.snapshots;
+      t.deduped += st.deduped;
+      t.rejected += st.rejected;
+      t.replayed += st.replayed;
+      t.epochs += st.epochs;
+      t.visits += st.visits;
+      t.switches += st.switches;
+      t.reanchors += st.reanchors;
+    }
+    response.stats.emplace_back("registry_tenants", t.tenants);
+    response.stats.emplace_back("registry_devices", t.devices);
+    response.stats.emplace_back("registry_deltas", t.deltas);
+    response.stats.emplace_back("registry_snapshots", t.snapshots);
+    response.stats.emplace_back("registry_deduped", t.deduped);
+    response.stats.emplace_back("registry_rejected", t.rejected);
+    response.stats.emplace_back("registry_replayed", t.replayed);
+    response.stats.emplace_back("registry_epochs", t.epochs);
+    response.stats.emplace_back("registry_visits", t.visits);
+    response.stats.emplace_back("registry_switches", t.switches);
+    response.stats.emplace_back("registry_reanchors", t.reanchors);
   }
   if (stats_augment_ != nullptr) {
     stats_augment_(response.stats);

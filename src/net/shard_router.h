@@ -8,6 +8,9 @@
 /// same instance always lands on the same shard, regardless of which
 /// connection sent it. Requests whose instance cannot be built (they
 /// will be rejected downstream anyway) fall back to round-robin.
+/// Registry deltas route by an FNV-1a fingerprint of their tenant name
+/// instead: a tenant's whole lifecycle — and its slice of the journal —
+/// stays on one shard, stable across restarts (docs/registry.md).
 ///
 /// The router is the bridge between the single-threaded event loop and
 /// the shards' worker threads:
@@ -110,12 +113,14 @@ class ShardRouter {
     long backpressure_sheds = 0; ///< requests shed for slow readers
     long routed_fingerprint = 0;
     long routed_round_robin = 0;
+    long routed_delta = 0;  ///< deltas routed by tenant fingerprint
     long orphaned = 0;  ///< responses whose connection was gone
   };
   [[nodiscard]] RouterStats router_stats() const;
 
  private:
   [[nodiscard]] std::size_t route(const service::Request& request);
+  [[nodiscard]] std::size_t route_delta(const std::string& tenant);
   void on_response(std::size_t shard, const service::Response& response);
   [[nodiscard]] service::Response stats_reply() const;
 

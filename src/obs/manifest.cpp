@@ -186,4 +186,8 @@ bool is_cache_metric(std::string_view key) noexcept {
   return key.starts_with("cache.");
 }
 
+bool is_registry_metric(std::string_view key) noexcept {
+  return key.starts_with("registry.");
+}
+
 }  // namespace cc::obs

@@ -76,4 +76,10 @@ struct RunManifest {
 /// reports them as purely informational and never gates on them.
 [[nodiscard]] bool is_cache_metric(std::string_view key) noexcept;
 
+/// True for device-registry occupancy/work metrics ("registry."
+/// prefix) — delta interleaving and re-anchor triggers shift with
+/// timing, so the differ treats them like cache metrics: informational
+/// only (docs/registry.md).
+[[nodiscard]] bool is_registry_metric(std::string_view key) noexcept;
+
 }  // namespace cc::obs

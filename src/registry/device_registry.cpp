@@ -1,0 +1,214 @@
+#include "registry/device_registry.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/json.h"
+#include "util/assert.h"
+
+namespace cc::registry {
+
+namespace {
+
+/// Effective capacity a battery_pct delta divides against: the delta's
+/// own capacity field when carried, else the stored one.
+double resolve_capacity(const service::DeltaRequest& d,
+                        const DeviceState* existing) {
+  if (d.has_capacity) {
+    return d.capacity_j;
+  }
+  return existing != nullptr ? existing->capacity_j : 0.0;
+}
+
+double demand_from_pct(double capacity_j, double battery_pct) {
+  return capacity_j * (1.0 - battery_pct / 100.0);
+}
+
+}  // namespace
+
+std::string DeviceRegistry::validate(
+    const service::DeltaRequest& d) const {
+  const DeviceState* existing = find(d.device);
+  if (d.verb == "deregister") {
+    return existing != nullptr ? "" : "unknown_device";
+  }
+  if (d.verb == "update") {
+    if (existing == nullptr) {
+      return "unknown_device";
+    }
+  } else if (d.verb == "register") {
+    // A register is a full overwrite: it must be self-contained.
+    if (!d.has_x || !d.has_y) {
+      return "register needs 'x' and 'y'";
+    }
+    if (!d.has_demand && !d.has_battery_pct) {
+      return "register needs 'demand_j' or 'battery_pct'";
+    }
+    existing = nullptr;  // prior state contributes nothing
+  } else {
+    return "delta verb '" + d.verb + "' does not mutate the registry";
+  }
+
+  double capacity =
+      d.has_capacity ? d.capacity_j
+                     : (existing != nullptr ? existing->capacity_j : 0.0);
+  double demand = existing != nullptr ? existing->demand_j : 0.0;
+  if (d.has_battery_pct) {
+    if (resolve_capacity(d, existing) <= 0.0) {
+      return "'battery_pct' needs a positive 'capacity_j'";
+    }
+    demand = demand_from_pct(resolve_capacity(d, existing), d.battery_pct);
+  } else if (d.has_demand) {
+    demand = d.demand_j;
+  }
+  if (capacity != 0.0 && capacity < demand) {
+    return "'capacity_j' must be 0 (auto) or >= the device demand";
+  }
+  return "";
+}
+
+void DeviceRegistry::apply(const service::DeltaRequest& d) {
+  CC_ASSERT(validate(d).empty(), "apply of an invalid delta");
+  if (d.verb == "deregister") {
+    devices_.erase(d.device);
+    return;
+  }
+  DeviceState state;  // register: fresh defaults
+  if (d.verb == "update") {
+    state = devices_.at(d.device);
+  }
+  if (d.has_x) {
+    state.x = d.x;
+  }
+  if (d.has_y) {
+    state.y = d.y;
+  }
+  if (d.has_capacity) {
+    state.capacity_j = d.capacity_j;
+  }
+  if (d.has_battery_pct) {
+    state.demand_j = demand_from_pct(state.capacity_j, d.battery_pct);
+  } else if (d.has_demand) {
+    state.demand_j = d.demand_j;
+  }
+  if (d.has_speed) {
+    state.speed_m_per_s = d.speed_m_per_s;
+  }
+  if (d.has_unit_cost) {
+    state.unit_cost = d.unit_cost;
+  }
+  if (d.has_joules) {
+    state.joules_per_m = d.joules_per_m;
+  }
+  if (d.has_live) {
+    state.live = d.live;
+  } else if (d.verb == "register") {
+    state.live = true;
+  }
+  state.order = next_order_++;  // the device re-arrives
+  devices_[d.device] = state;
+}
+
+const DeviceState* DeviceRegistry::find(const std::string& name) const {
+  const auto it = devices_.find(name);
+  return it == devices_.end() ? nullptr : &it->second;
+}
+
+std::size_t DeviceRegistry::live_count() const {
+  std::size_t n = 0;
+  for (const auto& [name, state] : devices_) {
+    (void)name;
+    if (state.live) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::vector<std::string> DeviceRegistry::live_names() const {
+  std::vector<std::string> names;
+  names.reserve(devices_.size());
+  for (const auto& [name, state] : devices_) {
+    if (state.live) {
+      names.push_back(name);
+    }
+  }
+  return names;  // std::map iteration is already name-sorted
+}
+
+core::Instance DeviceRegistry::build_instance(
+    std::span<const core::Charger> chargers,
+    const core::CostParams& params) const {
+  std::vector<core::Device> out;
+  out.reserve(devices_.size());
+  for (const auto& [name, state] : devices_) {
+    (void)name;
+    if (!state.live) {
+      continue;
+    }
+    core::Device device;
+    device.position = {state.x, state.y};
+    device.demand_j = state.demand_j;
+    device.battery_capacity_j =
+        state.capacity_j > 0.0 ? state.capacity_j : state.demand_j;
+    device.motion.speed_m_per_s = state.speed_m_per_s;
+    device.motion.unit_cost = state.unit_cost;
+    device.motion.joules_per_m = state.joules_per_m;
+    out.push_back(device);
+  }
+  CC_EXPECTS(!out.empty(), "build_instance on an empty registry");
+  return core::Instance(
+      std::move(out),
+      std::vector<core::Charger>(chargers.begin(), chargers.end()), params);
+}
+
+std::vector<core::DeviceId> DeviceRegistry::arrival_order() const {
+  struct Entry {
+    std::uint64_t order;
+    core::DeviceId index;
+  };
+  std::vector<Entry> entries;
+  core::DeviceId index = 0;
+  for (const auto& [name, state] : devices_) {
+    (void)name;
+    if (state.live) {
+      entries.push_back({state.order, index++});
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.order < b.order; });
+  std::vector<core::DeviceId> arrivals;
+  arrivals.reserve(entries.size());
+  for (const Entry& e : entries) {
+    arrivals.push_back(e.index);
+  }
+  return arrivals;
+}
+
+void DeviceRegistry::serialize_into(std::string& out) const {
+  std::ostringstream s;
+  s << "{\"next_order\":" << next_order_ << ",\"devices\":[";
+  bool first = true;
+  for (const auto& [name, state] : devices_) {
+    s << (first ? "" : ",") << "{\"name\":\"" << obs::json_escape(name)
+      << "\",\"x\":" << obs::json_double(state.x)
+      << ",\"y\":" << obs::json_double(state.y)
+      << ",\"demand_j\":" << obs::json_double(state.demand_j)
+      << ",\"capacity_j\":" << obs::json_double(state.capacity_j)
+      << ",\"speed\":" << obs::json_double(state.speed_m_per_s)
+      << ",\"unit_cost\":" << obs::json_double(state.unit_cost)
+      << ",\"joules_per_m\":" << obs::json_double(state.joules_per_m)
+      << ",\"live\":" << (state.live ? "true" : "false")
+      << ",\"order\":" << state.order << '}';
+    first = false;
+  }
+  s << "]}";
+  out += s.str();
+}
+
+void DeviceRegistry::restore_device(const std::string& name,
+                                    const DeviceState& state) {
+  devices_[name] = state;
+}
+
+}  // namespace cc::registry

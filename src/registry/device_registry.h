@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file device_registry.h
+/// Persistent per-tenant device store of the streaming registry
+/// (docs/registry.md). A `DeviceRegistry` holds the durable state one
+/// tenant's sensors report through delta verbs — position, battery,
+/// demand, motion economics, liveness — keyed by stable device names.
+///
+/// Deltas carry *absolute* state: applying the same delta twice leaves
+/// the registry in the same state (idempotency of retried deltas is
+/// enforced one level up, by the manager's applied-id set, because a
+/// re-apply would still bump the arrival order). Every mutation stamps
+/// the device with a monotone arrival order, which is what makes the
+/// registry equivalent to an online arrival process: the schedule the
+/// incremental scheduler maintains matches `run_online` over the live
+/// devices in last-mutation order (the property the registry fuzz test
+/// checks, see tests/registry_test.cpp).
+///
+/// Scheduling view: `build_instance` materializes the live devices in
+/// name-sorted order (deterministic regardless of mutation history)
+/// against the service's fixed charger topology; `arrival_order` gives
+/// the matching arrival permutation.
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "service/protocol.h"
+
+namespace cc::registry {
+
+/// Durable state of one registered device.
+struct DeviceState {
+  double x = 0.0;
+  double y = 0.0;
+  double demand_j = 0.0;
+  double capacity_j = 0.0;  ///< 0 → demand_j (mirrors RequestDevice)
+  double speed_m_per_s = 1.0;
+  double unit_cost = 1.0;
+  double joules_per_m = 0.0;
+  bool live = true;          ///< false: registered but not scheduled
+  std::uint64_t order = 0;   ///< last-mutation (arrival) stamp
+};
+
+class DeviceRegistry {
+ public:
+  /// Checks whether `delta` (a register/update/deregister verb) can be
+  /// applied to the current state. Returns "" when it can, otherwise
+  /// the rejection reason. Never mutates.
+  [[nodiscard]] std::string validate(
+      const service::DeltaRequest& delta) const;
+
+  /// Applies a previously validated delta. `register` overwrites (or
+  /// creates) the whole device; `update` overwrites the carried fields;
+  /// `deregister` removes the device. Register and update both bump the
+  /// device to the back of the arrival order — a mutated device
+  /// "re-arrives". Asserts on a delta `validate` would reject.
+  void apply(const service::DeltaRequest& delta);
+
+  /// Null when `name` is not registered.
+  [[nodiscard]] const DeviceState* find(const std::string& name) const;
+
+  [[nodiscard]] std::size_t live_count() const;
+  [[nodiscard]] std::size_t size() const { return devices_.size(); }
+  [[nodiscard]] const std::map<std::string, DeviceState>& devices() const {
+    return devices_;
+  }
+
+  /// Live device names in name-sorted order — index i of the returned
+  /// vector is device i of `build_instance`'s instance.
+  [[nodiscard]] std::vector<std::string> live_names() const;
+
+  /// The live devices as a scheduling instance (name-sorted, aligned
+  /// with `live_names`). Must not be called on an empty registry
+  /// (core::Instance requires devices).
+  [[nodiscard]] core::Instance build_instance(
+      std::span<const core::Charger> chargers,
+      const core::CostParams& params) const;
+
+  /// Arrival permutation over the name-sorted index space: live device
+  /// indices ordered by their mutation stamp (oldest first).
+  [[nodiscard]] std::vector<core::DeviceId> arrival_order() const;
+
+  /// Canonical JSON of the full registry state (devices + order
+  /// stamps). Byte-stable: serialize(restore(s)) == s.
+  void serialize_into(std::string& out) const;
+
+  /// Rebuilds the registry from `serialize_into` output (one tenant's
+  /// "devices" array plus the order counter). Used by crash recovery.
+  void restore_device(const std::string& name, const DeviceState& state);
+  void set_next_order(std::uint64_t next) { next_order_ = next; }
+  [[nodiscard]] std::uint64_t next_order() const { return next_order_; }
+
+ private:
+  std::map<std::string, DeviceState> devices_;
+  std::uint64_t next_order_ = 0;
+};
+
+}  // namespace cc::registry

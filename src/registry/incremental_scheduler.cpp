@@ -1,0 +1,426 @@
+#include "registry/incremental_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "core/cost_model.h"
+#include "core/online.h"
+#include "core/schedule.h"
+#include "obs/json.h"
+#include "util/assert.h"
+
+namespace cc::registry {
+
+namespace {
+
+/// Mutable working partition over instance indices; empty groups are
+/// tombstones kept for slot reuse during one apply.
+struct Group {
+  core::ChargerId charger = 0;
+  std::vector<core::DeviceId> members;
+};
+
+/// Mirrors the online admission rule of `run_online`: best of a fresh
+/// singleton at the device's own best charger vs joining an open
+/// session at its anchored charger, incumbents consenting. Returns the
+/// chosen group index (possibly fresh).
+std::size_t admit_arrival(const core::CostModel& cost,
+                          core::SharingScheme scheme, double epsilon,
+                          std::vector<Group>& groups, core::DeviceId i,
+                          std::vector<core::DeviceId>& enlarged,
+                          std::vector<double>& before,
+                          std::vector<double>& after) {
+  const auto [own_j, standalone_pay] = cost.standalone(i);
+  double best_pay = standalone_pay;
+  std::size_t best_group = groups.size();  // sentinel: open a singleton
+  for (std::size_t k = 0; k < groups.size(); ++k) {
+    const Group& g = groups[k];
+    if (g.members.empty()) {
+      continue;
+    }
+    const int cap = cost.session_cap(g.charger);
+    if (cap > 0 && static_cast<int>(g.members.size()) >= cap) {
+      continue;
+    }
+    enlarged.assign(g.members.begin(), g.members.end());
+    enlarged.push_back(i);
+    const double pay =
+        core::payment_of(scheme, cost, g.charger, enlarged, i);
+    if (pay >= best_pay) {
+      continue;
+    }
+    core::payments_into(scheme, cost, g.charger, g.members, before);
+    core::payments_into(scheme, cost, g.charger, enlarged, after);
+    bool consent = true;
+    for (std::size_t idx = 0; idx < g.members.size(); ++idx) {
+      if (after[idx] > before[idx] + epsilon) {
+        consent = false;
+        break;
+      }
+    }
+    if (!consent) {
+      continue;
+    }
+    best_pay = pay;
+    best_group = k;
+  }
+  if (best_group == groups.size()) {
+    groups.push_back(Group{own_j, {i}});
+  } else {
+    groups[best_group].members.push_back(i);
+  }
+  return best_group;
+}
+
+void open_singleton(const core::CostModel& cost, std::vector<Group>& groups,
+                    core::DeviceId i) {
+  const core::ChargerId best_j = cost.standalone(i).first;
+  for (Group& g : groups) {
+    if (g.members.empty()) {
+      g.charger = best_j;
+      g.members.push_back(i);
+      return;
+    }
+  }
+  groups.push_back(Group{best_j, {i}});
+}
+
+}  // namespace
+
+IncrementalScheduler::IncrementalScheduler(
+    std::vector<core::Charger> chargers, core::CostParams params,
+    SchedulerOptions options)
+    : chargers_(std::move(chargers)),
+      params_(params),
+      options_(options) {
+  CC_EXPECTS(!chargers_.empty(), "registry scheduler needs chargers");
+}
+
+void IncrementalScheduler::apply(const DeviceRegistry& registry) {
+  ++counters_.applies;
+  ++epoch_;
+  if (registry.live_count() == 0) {
+    coalitions_.clear();
+    total_cost_ = 0.0;
+    anchor_per_device_ = -1.0;
+    return;
+  }
+  if (options_.mode == SchedulerMode::kOnlineReplay) {
+    replay_apply(registry);
+  } else {
+    incremental_apply(registry);
+  }
+}
+
+void IncrementalScheduler::replay_apply(const DeviceRegistry& registry) {
+  const std::vector<std::string> names = registry.live_names();
+  const core::Instance instance =
+      registry.build_instance(chargers_, params_);
+  const std::vector<core::DeviceId> arrivals = registry.arrival_order();
+
+  core::OnlineOptions options;
+  options.scheme = options_.scheme;
+  options.require_consent = true;
+  const core::SchedulerResult result =
+      core::run_online(instance, arrivals, options);
+  counters_.visits += static_cast<std::uint64_t>(names.size());
+
+  const core::CostModel cost(instance);
+  total_cost_ = result.schedule.total_cost(cost);
+  coalitions_.clear();
+  for (const core::Coalition& c : result.schedule.coalitions()) {
+    NamedCoalition named;
+    named.charger = c.charger;
+    for (core::DeviceId i : c.members) {
+      named.members.push_back(names[static_cast<std::size_t>(i)]);
+    }
+    coalitions_.push_back(std::move(named));
+  }
+  canonicalize();
+}
+
+void IncrementalScheduler::incremental_apply(const DeviceRegistry& registry) {
+  const std::vector<std::string> names = registry.live_names();
+  const std::size_t n = names.size();
+  const core::Instance instance =
+      registry.build_instance(chargers_, params_);
+
+  const bool periodic =
+      options_.reanchor_period > 0 &&
+      epoch_ % static_cast<std::uint64_t>(options_.reanchor_period) == 0;
+  if (anchor_per_device_ < 0.0 || periodic) {
+    // First apply (no anchor yet) or periodic consolidation: the cold
+    // run is bit-identical to the batch reference on this state.
+    reanchor(instance, names);
+    return;
+  }
+
+  const core::CostModel cost(instance);
+  std::map<std::string, core::DeviceId> index_of;
+  for (std::size_t i = 0; i < n; ++i) {
+    index_of.emplace(names[i], static_cast<core::DeviceId>(i));
+  }
+
+  // Carry the previous structure over by name; departures just leave,
+  // but their abandoned coalition-mates join the dirty set — the
+  // group's economics changed under them.
+  std::vector<Group> groups;
+  std::vector<bool> placed(n, false);
+  std::set<core::DeviceId> dirty;
+  for (const NamedCoalition& named : coalitions_) {
+    Group g;
+    g.charger = named.charger;
+    bool lost_member = false;
+    for (const std::string& member : named.members) {
+      const auto it = index_of.find(member);
+      if (it != index_of.end()) {
+        g.members.push_back(it->second);
+        placed[static_cast<std::size_t>(it->second)] = true;
+      } else {
+        lost_member = true;
+      }
+    }
+    if (!g.members.empty()) {
+      if (lost_member) {
+        dirty.insert(g.members.begin(), g.members.end());
+      }
+      groups.push_back(std::move(g));
+    }
+  }
+
+  // Admit the arrivals (new and re-lived devices) in arrival order via
+  // the online join rule; the arrival and its new coalition-mates are
+  // all dirty.
+  std::vector<core::DeviceId> enlarged;
+  std::vector<double> before;
+  std::vector<double> after;
+  for (core::DeviceId i : registry.arrival_order()) {
+    if (placed[static_cast<std::size_t>(i)]) {
+      continue;
+    }
+    ++counters_.visits;
+    const std::size_t g =
+        admit_arrival(cost, options_.scheme, options_.epsilon, groups, i,
+                      enlarged, before, after);
+    dirty.insert(groups[g].members.begin(), groups[g].members.end());
+  }
+
+  std::vector<int> group_of(n, -1);
+  for (std::size_t k = 0; k < groups.size(); ++k) {
+    for (core::DeviceId i : groups[k].members) {
+      group_of[static_cast<std::size_t>(i)] = static_cast<int>(k);
+    }
+  }
+
+  // Bounded local repair: drain the dirty set in id order, evaluating
+  // each member's best consent-checked switch; an executed switch marks
+  // both affected coalitions dirty again. This is deliberately local —
+  // untouched coalitions are not re-examined, and the drift/periodic
+  // re-anchors restore global stability.
+  const std::uint64_t budget = static_cast<std::uint64_t>(options_.max_sweeps) *
+                               static_cast<std::uint64_t>(n);
+  std::uint64_t repaired = 0;
+  bool exhausted = false;
+  while (!dirty.empty()) {
+    if (repaired >= budget) {
+      exhausted = true;
+      break;
+    }
+    const core::DeviceId i = *dirty.begin();
+    dirty.erase(dirty.begin());
+    ++repaired;
+    ++counters_.visits;
+    const int cur = group_of[static_cast<std::size_t>(i)];
+    Group& cur_group = groups[static_cast<std::size_t>(cur)];
+    const double cur_pay = core::payment_of(
+        options_.scheme, cost, cur_group.charger, cur_group.members, i);
+    const bool is_singleton = cur_group.members.size() == 1;
+
+    double best_pay = std::numeric_limits<double>::infinity();
+    int best_target = -2;  // -2 none, -1 open singleton, >=0 join
+    for (std::size_t k = 0; k < groups.size(); ++k) {
+      if (static_cast<int>(k) == cur || groups[k].members.empty()) {
+        continue;
+      }
+      const int cap = cost.session_cap(groups[k].charger);
+      if (cap > 0 && static_cast<int>(groups[k].members.size()) >= cap) {
+        continue;
+      }
+      enlarged.assign(groups[k].members.begin(), groups[k].members.end());
+      enlarged.push_back(i);
+      const double pay = core::payment_of(options_.scheme, cost,
+                                          groups[k].charger, enlarged, i);
+      if (pay >= best_pay || pay >= cur_pay - options_.epsilon) {
+        continue;
+      }
+      core::payments_into(options_.scheme, cost, groups[k].charger,
+                          groups[k].members, before);
+      core::payments_into(options_.scheme, cost, groups[k].charger,
+                          enlarged, after);
+      bool consent = true;
+      for (std::size_t idx = 0; idx < groups[k].members.size(); ++idx) {
+        if (after[idx] > before[idx] + options_.epsilon) {
+          consent = false;
+          break;
+        }
+      }
+      if (!consent) {
+        continue;
+      }
+      best_pay = pay;
+      best_target = static_cast<int>(k);
+    }
+    if (!is_singleton) {
+      const double standalone_cost = cost.standalone(i).second;
+      if (standalone_cost < best_pay &&
+          standalone_cost < cur_pay - options_.epsilon) {
+        best_target = -1;
+      }
+    }
+    if (best_target == -2) {
+      continue;
+    }
+    cur_group.members.erase(std::find(cur_group.members.begin(),
+                                      cur_group.members.end(), i));
+    dirty.insert(cur_group.members.begin(), cur_group.members.end());
+    if (best_target >= 0) {
+      Group& target = groups[static_cast<std::size_t>(best_target)];
+      target.members.push_back(i);
+      group_of[static_cast<std::size_t>(i)] = best_target;
+      dirty.insert(target.members.begin(), target.members.end());
+    } else {
+      open_singleton(cost, groups, i);
+      for (std::size_t k = 0; k < groups.size(); ++k) {
+        if (!groups[k].members.empty() && groups[k].members.back() == i) {
+          group_of[static_cast<std::size_t>(i)] = static_cast<int>(k);
+          break;
+        }
+      }
+      dirty.insert(i);
+    }
+    ++counters_.switches;
+  }
+  if (exhausted) {
+    // Repair budget exhausted before the dirty set drained: cold run.
+    reanchor(instance, names);
+    return;
+  }
+
+  double cost_total = 0.0;
+  for (const Group& g : groups) {
+    if (!g.members.empty()) {
+      cost_total += cost.group_cost(g.charger, g.members);
+    }
+  }
+  const double per_device = cost_total / static_cast<double>(n);
+  if (options_.reanchor_drift > 0.0 &&
+      std::abs(per_device - anchor_per_device_) >
+          options_.reanchor_drift * anchor_per_device_) {
+    reanchor(instance, names);
+    return;
+  }
+
+  total_cost_ = cost_total;
+  coalitions_.clear();
+  for (const Group& g : groups) {
+    if (g.members.empty()) {
+      continue;
+    }
+    NamedCoalition named;
+    named.charger = g.charger;
+    for (core::DeviceId i : g.members) {
+      named.members.push_back(names[static_cast<std::size_t>(i)]);
+    }
+    coalitions_.push_back(std::move(named));
+  }
+  canonicalize();
+}
+
+void IncrementalScheduler::reanchor(const core::Instance& instance,
+                                    std::span<const std::string> names) {
+  core::CcsgaOptions options;
+  options.scheme = options_.scheme;
+  options.mode = core::CcsgaMode::kConsent;
+  options.epsilon = options_.epsilon;
+  options.max_rounds = options_.ccsga_max_rounds;
+  options.seed = options_.ccsga_seed;
+  const core::Ccsga solver(options);
+  const core::SchedulerResult result = solver.run(instance);
+  counters_.visits += static_cast<std::uint64_t>(result.stats.iterations) *
+                      static_cast<std::uint64_t>(names.size());
+  counters_.switches += static_cast<std::uint64_t>(result.stats.switches);
+  ++counters_.reanchors;
+
+  const core::CostModel cost(instance);
+  total_cost_ = result.schedule.total_cost(cost);
+  anchor_per_device_ =
+      total_cost_ / static_cast<double>(names.size());
+  coalitions_.clear();
+  for (const core::Coalition& c : result.schedule.coalitions()) {
+    NamedCoalition named;
+    named.charger = c.charger;
+    for (core::DeviceId i : c.members) {
+      named.members.push_back(names[static_cast<std::size_t>(i)]);
+    }
+    coalitions_.push_back(std::move(named));
+  }
+  canonicalize();
+}
+
+void IncrementalScheduler::canonicalize() {
+  for (NamedCoalition& c : coalitions_) {
+    std::sort(c.members.begin(), c.members.end());
+  }
+  std::sort(coalitions_.begin(), coalitions_.end(),
+            [](const NamedCoalition& a, const NamedCoalition& b) {
+              if (a.charger != b.charger) {
+                return a.charger < b.charger;
+              }
+              return a.members < b.members;
+            });
+}
+
+int IncrementalScheduler::charger_of(const std::string& name) const {
+  for (const NamedCoalition& c : coalitions_) {
+    if (std::binary_search(c.members.begin(), c.members.end(), name)) {
+      return c.charger;
+    }
+  }
+  return -1;
+}
+
+void IncrementalScheduler::serialize_into(std::string& out) const {
+  std::ostringstream s;
+  s << "{\"epoch\":" << epoch_
+    << ",\"anchor\":" << obs::json_double(anchor_per_device_)
+    << ",\"cost\":" << obs::json_double(total_cost_) << ",\"coalitions\":[";
+  for (std::size_t c = 0; c < coalitions_.size(); ++c) {
+    s << (c == 0 ? "" : ",") << "{\"charger\":" << coalitions_[c].charger
+      << ",\"members\":[";
+    for (std::size_t m = 0; m < coalitions_[c].members.size(); ++m) {
+      s << (m == 0 ? "" : ",") << '"'
+        << obs::json_escape(coalitions_[c].members[m]) << '"';
+    }
+    s << "]}";
+  }
+  s << "]}";
+  out += s.str();
+}
+
+void IncrementalScheduler::restore(std::uint64_t epoch,
+                                   double anchor_per_device,
+                                   double total_cost,
+                                   std::vector<NamedCoalition> coalitions) {
+  epoch_ = epoch;
+  anchor_per_device_ = anchor_per_device;
+  total_cost_ = total_cost;
+  coalitions_ = std::move(coalitions);
+  canonicalize();
+}
+
+}  // namespace cc::registry

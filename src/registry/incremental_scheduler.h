@@ -1,0 +1,137 @@
+#pragma once
+
+/// \file incremental_scheduler.h
+/// Streaming rescheduler of one registry tenant (docs/registry.md).
+///
+/// The scheduler owns the tenant's current coalition structure (by
+/// stable device *names*, so it survives index churn as devices come
+/// and go) and revises it after every delta batch instead of re-solving
+/// from scratch — the paper's CCSGA switch operation is exactly the
+/// primitive an online service needs, applied from the previous
+/// equilibrium rather than from singletons.
+///
+/// Two modes:
+///  * `kIncremental` (the product): departures leave their coalitions,
+///    arrivals are admitted by the online join rule (best of
+///    standalone-at-best-charger vs joining an open session, incumbent
+///    consent required — the same rule as `run_online`), then bounded
+///    consent-checked switch rounds repair the *touched neighborhood*:
+///    a dirty set seeded with the arrivals and the coalitions they
+///    joined or left, propagated to the members of any coalition a
+///    switch modifies, drained in deterministic id order. A full-CCSGA
+///    "re-anchor" (cold `core::Ccsga` run with a fixed seed, so it is
+///    bit-identical to the batch reference on the same state) runs when
+///    the repair budget is exhausted, when the per-device cost drifts
+///    more than `reanchor_drift` relative to the last anchor, or every
+///    `reanchor_period` epochs — and it seeds the very first apply.
+///  * `kOnlineReplay` (the reference): rebuilds the whole assignment by
+///    replaying `run_online` over the live devices in arrival
+///    (last-mutation) order. This is the executable specification the
+///    property fuzz test compares against.
+///
+/// Work accounting: one *visit* is one device evaluated against every
+/// open coalition (one CCSGA switch evaluation). A full CCSGA run costs
+/// rounds × n visits. The `bench_ext_registry` gate compares the
+/// incremental visit total against re-solving batch CCSGA per delta
+/// batch.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/ccsga.h"
+#include "core/instance.h"
+#include "core/sharing.h"
+#include "registry/device_registry.h"
+
+namespace cc::registry {
+
+enum class SchedulerMode {
+  kIncremental,   ///< repair the carried equilibrium (the product)
+  kOnlineReplay,  ///< re-run run_online over arrival order (reference)
+};
+
+struct SchedulerOptions {
+  SchedulerMode mode = SchedulerMode::kIncremental;
+  core::SharingScheme scheme = core::SharingScheme::kEgalitarian;
+  double epsilon = 1e-9;  ///< strict-improvement margin (CCSGA's)
+  /// Relative per-device cost drift vs the last anchor that triggers a
+  /// full re-anchor; <= 0 disables the drift fallback.
+  double reanchor_drift = 0.5;
+  /// Re-anchor unconditionally every N epochs (periodic consolidation,
+  /// the convergence guarantee of bench_ext_registry); 0 disables.
+  int reanchor_period = 0;
+  /// Repair budget per apply, in multiples of the live-device count
+  /// (max_sweeps * n switch evaluations); exhausting it without
+  /// draining the dirty set triggers a re-anchor.
+  int max_sweeps = 64;
+  /// Cold-run options of the re-anchor (seed fixed so a re-anchor is
+  /// bit-identical to the batch reference on the same state).
+  std::uint64_t ccsga_seed = 7;
+  int ccsga_max_rounds = 1000;
+};
+
+/// One coalition of the maintained structure, by stable names.
+struct NamedCoalition {
+  core::ChargerId charger = 0;
+  std::vector<std::string> members;  ///< name-sorted
+};
+
+/// Monotone work counters (mirrored as registry.* obs counters).
+struct SchedulerCounters {
+  std::uint64_t applies = 0;
+  std::uint64_t visits = 0;    ///< device switch evaluations
+  std::uint64_t switches = 0;  ///< executed switch operations
+  std::uint64_t reanchors = 0;
+};
+
+class IncrementalScheduler {
+ public:
+  IncrementalScheduler(std::vector<core::Charger> chargers,
+                       core::CostParams params, SchedulerOptions options);
+
+  /// Revises the schedule after `registry` mutated. Bumps the epoch.
+  void apply(const DeviceRegistry& registry);
+
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  [[nodiscard]] double total_cost() const noexcept { return total_cost_; }
+  /// Canonical structure: members name-sorted, coalitions sorted by
+  /// (charger, first member). Stable across identical states.
+  [[nodiscard]] const std::vector<NamedCoalition>& coalitions() const {
+    return coalitions_;
+  }
+  /// Coalition charger of `name`, or -1 when unscheduled.
+  [[nodiscard]] int charger_of(const std::string& name) const;
+  [[nodiscard]] const SchedulerCounters& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const SchedulerOptions& options() const { return options_; }
+
+  /// Canonical JSON of the maintained state (epoch, anchor, structure);
+  /// appended to `out`. Byte-stable for identical states.
+  void serialize_into(std::string& out) const;
+  /// Crash recovery: restores what serialize_into wrote.
+  void restore(std::uint64_t epoch, double anchor_per_device,
+               double total_cost, std::vector<NamedCoalition> coalitions);
+
+ private:
+  void replay_apply(const DeviceRegistry& registry);
+  void incremental_apply(const DeviceRegistry& registry);
+  void reanchor(const core::Instance& instance,
+                std::span<const std::string> names);
+  void canonicalize();
+
+  std::vector<core::Charger> chargers_;
+  core::CostParams params_;
+  SchedulerOptions options_;
+
+  std::vector<NamedCoalition> coalitions_;
+  std::uint64_t epoch_ = 0;
+  double total_cost_ = 0.0;
+  /// Per-device cost at the last re-anchor; < 0 = no anchor yet.
+  double anchor_per_device_ = -1.0;
+  SchedulerCounters counters_;
+};
+
+}  // namespace cc::registry

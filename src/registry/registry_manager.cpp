@@ -1,0 +1,298 @@
+#include "registry/registry_manager.h"
+
+#include <algorithm>
+
+#include "core/io.h"
+#include "obs/json.h"
+#include "obs/registry.h"
+#include "util/assert.h"
+
+namespace cc::registry {
+
+namespace {
+
+service::Response rejected(const service::DeltaRequest& delta,
+                           const std::string& reason) {
+  service::Response r;
+  r.id = delta.id;
+  r.status = "rejected";
+  r.reason = reason;
+  return r;
+}
+
+}  // namespace
+
+RegistryManager::RegistryManager(std::vector<core::Charger> chargers,
+                                 core::CostParams params,
+                                 SchedulerOptions options)
+    : chargers_(std::move(chargers)), params_(params), options_(options) {
+  CC_EXPECTS(!chargers_.empty(), "registry manager needs chargers");
+}
+
+service::Response RegistryManager::handle(const service::DeltaRequest& delta,
+                                          const std::string& line,
+                                          service::Journal* journal) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (delta.verb == "snapshot") {
+    ++snapshots_;
+    obs::count("registry.snapshots");
+    return snapshot_locked(delta);
+  }
+  if (applied_.contains(delta.id)) {
+    // Retry of an acknowledged mutation: ids are idempotency keys.
+    ++deduped_;
+    obs::count("registry.deduped");
+    return ack_locked(delta);
+  }
+  const auto tenant_it = tenants_.find(delta.tenant);
+  {
+    static const DeviceRegistry kEmpty;
+    const DeviceRegistry& registry = tenant_it != tenants_.end()
+                                         ? tenant_it->second->registry
+                                         : kEmpty;
+    if (const std::string reason = registry.validate(delta);
+        !reason.empty()) {
+      ++rejected_;
+      obs::count("registry.rejected");
+      return rejected(delta, reason);
+    }
+  }
+  if (journal != nullptr) {
+    // Durable before applied: an acknowledged delta survives a crash.
+    try {
+      (void)journal->append_delta(line);
+    } catch (const core::IoError&) {
+      ++rejected_;
+      return rejected(delta, "journal_write_failed");
+    }
+  }
+  apply_locked(delta);
+  ++deltas_;
+  obs::count("registry.deltas");
+  obs::count("registry." + delta.verb + "s");
+  refresh_gauges_locked();
+  return ack_locked(delta);
+}
+
+void RegistryManager::apply_locked(const service::DeltaRequest& delta) {
+  auto it = tenants_.find(delta.tenant);
+  if (it == tenants_.end()) {
+    it = tenants_
+             .emplace(delta.tenant, std::make_unique<Tenant>(*this))
+             .first;
+  }
+  Tenant& tenant = *it->second;
+  tenant.registry.apply(delta);
+  if (tenant.registry.size() == 0) {
+    tenants_.erase(it);  // last device deregistered: drop the tenant
+  } else {
+    tenant.scheduler.apply(tenant.registry);
+  }
+  applied_.insert(delta.id);
+}
+
+service::Response RegistryManager::ack_locked(
+    const service::DeltaRequest& delta) const {
+  service::Response r;
+  r.id = delta.id;
+  r.status = "ok";
+  r.delta = delta.verb;
+  r.tenant = delta.tenant;
+  r.device = delta.device;
+  const auto it = tenants_.find(delta.tenant);
+  if (it != tenants_.end()) {
+    const Tenant& tenant = *it->second;
+    r.epoch = static_cast<long>(tenant.scheduler.epoch());
+    r.registry_devices = static_cast<long>(tenant.registry.live_count());
+    r.charger = tenant.scheduler.charger_of(delta.device);
+  } else {
+    r.epoch = 0;
+    r.registry_devices = 0;
+  }
+  return r;
+}
+
+service::Response RegistryManager::snapshot_locked(
+    const service::DeltaRequest& delta) const {
+  service::Response r;
+  r.id = delta.id;
+  r.status = "ok";
+  r.delta = "snapshot";
+  r.tenant = delta.tenant;
+  r.epoch = 0;
+  r.registry_devices = 0;
+  const auto it = tenants_.find(delta.tenant);
+  if (it != tenants_.end()) {
+    const Tenant& tenant = *it->second;
+    r.epoch = static_cast<long>(tenant.scheduler.epoch());
+    r.registry_devices = static_cast<long>(tenant.registry.live_count());
+    r.total_cost = tenant.scheduler.total_cost();
+    for (const NamedCoalition& c : tenant.scheduler.coalitions()) {
+      service::ResponseCoalition coalition;
+      coalition.charger = c.charger;
+      coalition.names = c.members;
+      r.coalitions.push_back(std::move(coalition));
+    }
+  }
+  return r;
+}
+
+bool RegistryManager::restore(const std::string& snapshot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tenants_.clear();
+  applied_.clear();
+  if (snapshot.empty()) {
+    return true;
+  }
+  try {
+    const obs::JsonValue doc = obs::parse_json(snapshot);
+    for (const obs::JsonValue& id : doc.at("applied").array) {
+      applied_.insert(id.as_string());
+    }
+    for (const obs::JsonValue& entry : doc.at("tenants").array) {
+      auto tenant = std::make_unique<Tenant>(*this);
+      const obs::JsonValue& reg = entry.at("registry");
+      tenant->registry.set_next_order(
+          static_cast<std::uint64_t>(reg.at("next_order").as_int()));
+      for (const obs::JsonValue& d : reg.at("devices").array) {
+        DeviceState state;
+        state.x = d.at("x").as_number();
+        state.y = d.at("y").as_number();
+        state.demand_j = d.at("demand_j").as_number();
+        state.capacity_j = d.at("capacity_j").as_number();
+        state.speed_m_per_s = d.at("speed").as_number();
+        state.unit_cost = d.at("unit_cost").as_number();
+        state.joules_per_m = d.at("joules_per_m").as_number();
+        state.live = d.at("live").boolean;
+        state.order = static_cast<std::uint64_t>(d.at("order").as_int());
+        tenant->registry.restore_device(d.at("name").as_string(), state);
+      }
+      const obs::JsonValue& sched = entry.at("scheduler");
+      std::vector<NamedCoalition> coalitions;
+      for (const obs::JsonValue& c : sched.at("coalitions").array) {
+        NamedCoalition named;
+        named.charger = static_cast<int>(c.at("charger").as_int());
+        for (const obs::JsonValue& m : c.at("members").array) {
+          named.members.push_back(m.as_string());
+        }
+        coalitions.push_back(std::move(named));
+      }
+      tenant->scheduler.restore(
+          static_cast<std::uint64_t>(sched.at("epoch").as_int()),
+          sched.at("anchor").as_number(), sched.at("cost").as_number(),
+          std::move(coalitions));
+      tenants_.emplace(entry.at("tenant").as_string(), std::move(tenant));
+    }
+  } catch (const std::exception&) {
+    tenants_.clear();
+    applied_.clear();
+    return false;
+  }
+  refresh_gauges_locked();
+  return true;
+}
+
+std::size_t RegistryManager::replay(
+    const std::vector<std::pair<std::uint64_t, std::string>>& deltas) {
+  std::size_t applied = 0;
+  for (const auto& [seq, line] : deltas) {
+    (void)seq;
+    service::ParsedLine parsed;
+    if (!service::parse_line(line, parsed).empty() ||
+        parsed.kind != service::LineKind::kDelta) {
+      continue;  // a torn or foreign record; nothing to re-apply
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (applied_.contains(parsed.delta.id)) {
+      continue;
+    }
+    const auto it = tenants_.find(parsed.delta.tenant);
+    {
+      static const DeviceRegistry kEmpty;
+      const DeviceRegistry& registry =
+          it != tenants_.end() ? it->second->registry : kEmpty;
+      if (!registry.validate(parsed.delta).empty()) {
+        continue;
+      }
+    }
+    apply_locked(parsed.delta);
+    ++applied;
+    ++replayed_;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (applied > 0) {
+    obs::count("registry.replayed", static_cast<long>(applied));
+    refresh_gauges_locked();
+  }
+  return applied;
+}
+
+std::string RegistryManager::serialize() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"applied\":[";
+  bool first = true;
+  for (const std::string& id : applied_) {
+    out += first ? "\"" : ",\"";
+    out += obs::json_escape(id);
+    out += '"';
+    first = false;
+  }
+  out += "],\"tenants\":[";
+  first = true;
+  for (const auto& [name, tenant] : tenants_) {
+    out += first ? "" : ",";
+    out += "{\"tenant\":\"";
+    out += obs::json_escape(name);
+    out += "\",\"registry\":";
+    tenant->registry.serialize_into(out);
+    out += ",\"scheduler\":";
+    tenant->scheduler.serialize_into(out);
+    out += '}';
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
+
+bool RegistryManager::empty() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tenants_.empty() && applied_.empty();
+}
+
+RegistryManager::Totals RegistryManager::totals() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Totals t;
+  t.tenants = static_cast<long>(tenants_.size());
+  t.deltas = deltas_;
+  t.snapshots = snapshots_;
+  t.deduped = deduped_;
+  t.rejected = rejected_;
+  t.replayed = replayed_;
+  for (const auto& [name, tenant] : tenants_) {
+    (void)name;
+    t.devices += static_cast<long>(tenant->registry.live_count());
+    t.epochs += static_cast<long>(tenant->scheduler.epoch());
+    const SchedulerCounters& c = tenant->scheduler.counters();
+    t.visits += static_cast<long>(c.visits);
+    t.switches += static_cast<long>(c.switches);
+    t.reanchors += static_cast<long>(c.reanchors);
+  }
+  return t;
+}
+
+void RegistryManager::refresh_gauges_locked() const {
+  if (!obs::enabled()) {
+    return;
+  }
+  long devices = 0;
+  for (const auto& [name, tenant] : tenants_) {
+    (void)name;
+    devices += static_cast<long>(tenant->registry.live_count());
+  }
+  obs::registry().gauge("registry.devices").set(devices);
+  obs::registry()
+      .gauge("registry.tenants")
+      .set(static_cast<long>(tenants_.size()));
+}
+
+}  // namespace cc::registry

@@ -1,0 +1,117 @@
+#pragma once
+
+/// \file registry_manager.h
+/// Tenant-keyed front door of the registry subsystem: one
+/// `RegistryManager` per `ChargingService` owns every tenant's
+/// `DeviceRegistry` + `IncrementalScheduler` pair, enforces delta-id
+/// idempotency, journals mutations through the service WAL, and builds
+/// the wire acknowledgements (docs/registry.md).
+///
+/// Durability contract: a mutation is appended to the journal as a
+/// kDelta record *before* it is applied, and applied before it is
+/// acknowledged — so an acknowledged delta survives a crash, and a
+/// journaled-but-unacknowledged one is re-applied by boot replay while
+/// the client's retry is absorbed by the applied-id set. On a clean
+/// drained shutdown the service compacts the journal to one registry
+/// snapshot record (`Journal::rewrite_with_snapshot`), which `restore`
+/// + `replay` reverse at the next boot.
+///
+/// Thread-safe: one internal mutex serializes every entry point (delta
+/// traffic is lighter than request traffic; scheduling work for large
+/// tenants still fans out through the cost kernels).
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/instance.h"
+#include "registry/device_registry.h"
+#include "registry/incremental_scheduler.h"
+#include "service/journal.h"
+#include "service/protocol.h"
+
+namespace cc::registry {
+
+class RegistryManager {
+ public:
+  /// Topology is the service's (fixed for the lifetime).
+  RegistryManager(std::vector<core::Charger> chargers,
+                  core::CostParams params, SchedulerOptions options);
+
+  /// Handles one parsed delta end to end: idempotency dedup →
+  /// validation → journal append (`line` is the wire line; `journal`
+  /// may be null) → registry apply → reschedule → acknowledgement.
+  /// Always returns exactly one response.
+  [[nodiscard]] service::Response handle(const service::DeltaRequest& delta,
+                                         const std::string& line,
+                                         service::Journal* journal);
+
+  /// Crash recovery, step 1: restores a `serialize` snapshot. Returns
+  /// false (leaving the manager empty) when the payload does not parse.
+  bool restore(const std::string& snapshot);
+
+  /// Crash recovery, step 2: re-applies journaled delta lines in
+  /// sequence order (skipping already-applied ids and invalid lines).
+  /// Returns the number applied.
+  std::size_t replay(
+      const std::vector<std::pair<std::uint64_t, std::string>>& deltas);
+
+  /// Canonical JSON of the whole manager state (tenants + applied-id
+  /// set). Byte-stable: the crash-replay identity gate compares it.
+  [[nodiscard]] std::string serialize() const;
+
+  [[nodiscard]] bool empty() const;
+
+  /// Flat counters for stats replies, heartbeats and manifests.
+  struct Totals {
+    long tenants = 0;
+    long devices = 0;  ///< live devices across tenants
+    long deltas = 0;   ///< mutations applied (this process)
+    long snapshots = 0;
+    long deduped = 0;   ///< retried ids re-acknowledged
+    long rejected = 0;  ///< invalid deltas refused
+    long replayed = 0;  ///< deltas re-applied by crash recovery
+    long epochs = 0;    ///< sum of tenant epochs
+    long visits = 0;    ///< switch evaluations (see incremental_scheduler.h)
+    long switches = 0;
+    long reanchors = 0;
+  };
+  [[nodiscard]] Totals totals() const;
+
+ private:
+  struct Tenant {
+    DeviceRegistry registry;
+    IncrementalScheduler scheduler;
+    explicit Tenant(const RegistryManager& owner)
+        : scheduler(owner.chargers_, owner.params_, owner.options_) {}
+  };
+
+  /// Applies a validated mutation to its tenant (creating/erasing the
+  /// tenant as needed) and marks the id applied. Lock held.
+  void apply_locked(const service::DeltaRequest& delta);
+  [[nodiscard]] service::Response ack_locked(
+      const service::DeltaRequest& delta) const;
+  [[nodiscard]] service::Response snapshot_locked(
+      const service::DeltaRequest& delta) const;
+  void refresh_gauges_locked() const;
+
+  std::vector<core::Charger> chargers_;
+  core::CostParams params_;
+  SchedulerOptions options_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Tenant>> tenants_;
+  std::set<std::string> applied_;  ///< delta-id idempotency window
+  long deltas_ = 0;
+  long snapshots_ = 0;
+  long deduped_ = 0;
+  long rejected_ = 0;
+  long replayed_ = 0;
+};
+
+}  // namespace cc::registry

@@ -5,6 +5,7 @@
 
 #include <array>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <algorithm>
 #include <fstream>
@@ -21,6 +22,8 @@ constexpr std::uint8_t kMagic = 0xCC;
 constexpr std::uint8_t kRequestRecord = 1;
 constexpr std::uint8_t kCompleteRecord = 2;
 constexpr std::uint8_t kCheckpointRecord = 3;
+constexpr std::uint8_t kDeltaRecord = 4;
+constexpr std::uint8_t kRegistrySnapshotRecord = 5;
 constexpr std::size_t kHeaderBytes = 10;  // magic + type + len + crc
 /// Sanity bound on a frame payload: a corrupt length field must not be
 /// trusted to allocate gigabytes. Wire lines are capped far below this.
@@ -128,7 +131,9 @@ JournalReplay Journal::scan(const std::string& path) {
     if (journal_crc32(payload, len) != crc) {
       break;
     }
-    if ((type == kRequestRecord && len < 8) ||
+    if (((type == kRequestRecord || type == kDeltaRecord ||
+          type == kRegistrySnapshotRecord) &&
+         len < 8) ||
         ((type == kCompleteRecord || type == kCheckpointRecord) &&
          len != 8)) {
       break;  // structurally impossible payload: treat as corruption
@@ -156,12 +161,33 @@ JournalReplay Journal::scan(const std::string& path) {
         replay.max_seq = std::max(replay.max_seq, upto);
         break;
       }
+      case kDeltaRecord: {
+        const std::uint64_t seq = read_u64(payload);
+        replay.deltas.emplace_back(
+            seq, std::string(reinterpret_cast<const char*>(payload) + 8,
+                             len - 8));
+        ++replay.delta_records;
+        replay.max_seq = std::max(replay.max_seq, seq);
+        break;
+      }
+      case kRegistrySnapshotRecord: {
+        // A snapshot is a reset point: it already contains the effect
+        // of every delta before it.
+        const std::uint64_t seq = read_u64(payload);
+        replay.registry_snapshot.assign(
+            reinterpret_cast<const char*>(payload) + 8, len - 8);
+        replay.deltas.clear();
+        ++replay.snapshot_records;
+        replay.max_seq = std::max(replay.max_seq, seq);
+        break;
+      }
       default:
         // Unknown record type: written by a future version or corrupt.
         // Either way nothing after it can be trusted.
         replay.torn_bytes = bytes.size() - offset;
         replay.valid_bytes = offset;
-        replay.records = replay.requests + replay.completes;
+        replay.records = replay.requests + replay.completes +
+                         replay.delta_records + replay.snapshot_records;
         return replay;
     }
     ++replay.records;
@@ -215,6 +241,84 @@ std::uint64_t Journal::append_request(const std::string& line) {
   append_frame(kRequestRecord, payload, /*durable=*/true);
   ++outstanding_;
   return seq;
+}
+
+std::uint64_t Journal::append_delta(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t seq = next_seq_++;
+  std::string payload;
+  payload.reserve(8 + line.size());
+  put_u64(payload, seq);
+  payload.append(line);
+  append_frame(kDeltaRecord, payload, /*durable=*/true);
+  return seq;
+}
+
+void Journal::append_registry_snapshot(const std::string& state) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t seq = next_seq_++;
+  std::string payload;
+  payload.reserve(8 + state.size());
+  put_u64(payload, seq);
+  payload.append(state);
+  append_frame(kRegistrySnapshotRecord, payload, /*durable=*/true);
+}
+
+void Journal::rewrite_with_snapshot(const std::string& state) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CC_ASSERT(fd_ >= 0, "journal used after open failure");
+  const std::uint64_t seq = next_seq_++;
+  std::string payload;
+  payload.reserve(8 + state.size());
+  put_u64(payload, seq);
+  payload.append(state);
+  std::string frame;
+  frame.reserve(kHeaderBytes + payload.size());
+  frame.push_back(static_cast<char>(kMagic));
+  frame.push_back(static_cast<char>(kRegistrySnapshotRecord));
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u32(frame, journal_crc32(payload.data(), payload.size()));
+  frame.append(payload);
+
+  const std::string tmp = path_ + ".compact";
+  const int tmp_fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (tmp_fd < 0) {
+    throw core::IoError("journal: cannot open " + tmp + ": " +
+                        std::strerror(errno));
+  }
+  const char* p = frame.data();
+  std::size_t left = frame.size();
+  while (left > 0) {
+    const ssize_t n = ::write(tmp_fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      const std::string err = std::strerror(errno);
+      ::close(tmp_fd);
+      throw core::IoError("journal: write failed on " + tmp + ": " + err);
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (mode_ != SyncMode::kOff && ::fsync(tmp_fd) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(tmp_fd);
+    throw core::IoError("journal: fsync failed on " + tmp + ": " + err);
+  }
+  ::close(tmp_fd);
+  // The atomic cutover: after the rename either the full old journal
+  // or the one-frame compacted journal is on disk, never a mix.
+  if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+    throw core::IoError("journal: cannot rename " + tmp + " over " + path_ +
+                        ": " + std::strerror(errno));
+  }
+  ::close(fd_);
+  fd_ = ::open(path_.c_str(), O_WRONLY, 0644);
+  if (fd_ < 0 || ::lseek(fd_, 0, SEEK_END) < 0) {
+    throw core::IoError("journal: cannot reopen " + path_ + ": " +
+                        std::strerror(errno));
+  }
 }
 
 void Journal::append_complete(std::uint64_t seq) {

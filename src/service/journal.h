@@ -21,6 +21,17 @@
 ///   kRequest    u64 seq LE + the request's JSON wire line
 ///   kComplete   u64 seq LE              (seq answered)
 ///   kCheckpoint u64 seq LE              (every seq <= value settled)
+///   kDelta      u64 seq LE + the delta's JSON wire line
+///   kSnapshot   u64 seq LE + serialized registry state
+///
+/// Delta records are *state-log* entries, not work items: they carry
+/// registry mutations (docs/registry.md) that boot replay re-applies in
+/// sequence order, so they have no completion records and do not count
+/// as outstanding. A snapshot record is a reset point — it captures the
+/// whole registry state as of its seq, so the scan discards the deltas
+/// before it. `rewrite_with_snapshot` compacts the journal down to one
+/// snapshot frame via an atomic rename (crash-safe: either the old
+/// journal or the compacted one is intact, never a truncated hybrid).
 ///
 /// The CRC (IEEE 802.3, over the payload) plus the magic byte make the
 /// scan torn-tail tolerant: the first frame that fails to parse ends
@@ -46,11 +57,18 @@ namespace cc::service {
 struct JournalReplay {
   /// Admitted-but-unanswered requests in admission order: (seq, line).
   std::vector<std::pair<std::uint64_t, std::string>> incomplete;
+  /// Registry deltas after the last snapshot, in order: (seq, line).
+  std::vector<std::pair<std::uint64_t, std::string>> deltas;
+  /// Serialized registry state of the latest snapshot record; empty
+  /// when the journal holds none (deltas then replay from scratch).
+  std::string registry_snapshot;
   std::uint64_t max_seq = 0;     ///< highest sequence number seen
   std::uint64_t checkpoint = 0;  ///< highest checkpoint (seqs <= settled)
   std::size_t records = 0;       ///< valid frames of any type
   std::size_t requests = 0;
   std::size_t completes = 0;
+  std::size_t delta_records = 0;
+  std::size_t snapshot_records = 0;
   std::size_t valid_bytes = 0;  ///< offset just past the last valid frame
   std::size_t torn_bytes = 0;   ///< trailing bytes dropped as torn
 };
@@ -92,6 +110,24 @@ class Journal {
 
   /// Marks `seq` answered. Not individually fsync'd in any mode.
   void append_complete(std::uint64_t seq);
+
+  /// Appends a registry-delta record (durable like a request, since the
+  /// ack promises the mutation survives a crash) and returns its
+  /// sequence number. Deltas are state-log entries: no completion
+  /// record exists and `outstanding()` is unaffected.
+  [[nodiscard]] std::uint64_t append_delta(const std::string& line);
+
+  /// Appends a registry snapshot record capturing `state` as of the
+  /// current sequence. Boot replay restores it and re-applies only the
+  /// deltas after it. Durable.
+  void append_registry_snapshot(const std::string& state);
+
+  /// Atomically replaces the journal with a single snapshot record
+  /// (write `path.compact`, fsync, rename over `path`, reopen). The
+  /// crash-safe clean-shutdown compaction: settled request history is
+  /// dropped, registry state is kept. Safe only when nothing is
+  /// outstanding. Throws core::IoError on I/O failure.
+  void rewrite_with_snapshot(const std::string& state);
 
   /// Marks every seq <= `upto` settled — written after the recovered
   /// backlog has been resubmitted (under fresh seqs), so a crash

@@ -96,6 +96,156 @@ std::string parse_device(const JsonValue& value, RequestDevice& device) {
   return "";
 }
 
+/// Reads an optional numeric field of a delta into (`has`, `value`).
+std::string read_delta_field(const JsonValue& doc, const std::string& key,
+                             double minimum, bool& has, double& value) {
+  if (!doc.has(key)) {
+    return "";
+  }
+  has = true;
+  return read_number(doc, key, minimum, value);
+}
+
+std::string parse_delta(const JsonValue& doc, DeltaRequest& delta) {
+  static const std::set<std::string> kKeys = {
+      "id",         "delta",     "tenant",       "device",
+      "x",          "y",         "demand_j",     "capacity_j",
+      "battery_pct", "speed",    "unit_cost",    "joules_per_m",
+      "live",       "ck"};
+  for (const auto& [key, member] : doc.object) {
+    (void)member;
+    if (!kKeys.contains(key)) {
+      return "unknown delta field '" + key + "'";
+    }
+  }
+  if (!doc.has("id") || doc.at("id").kind != JsonValue::Kind::kString ||
+      doc.at("id").as_string().empty()) {
+    return "delta needs a nonempty string 'id'";
+  }
+  delta.id = doc.at("id").as_string();
+  if (delta.id.size() > 128) {
+    return "delta 'id' exceeds 128 characters";
+  }
+  if (doc.at("delta").kind != JsonValue::Kind::kString) {
+    return "field 'delta' must be a string";
+  }
+  delta.verb = doc.at("delta").as_string();
+  if (delta.verb != "register" && delta.verb != "update" &&
+      delta.verb != "deregister" && delta.verb != "snapshot") {
+    return "unknown delta verb '" + delta.verb +
+           "' (want register|update|deregister|snapshot)";
+  }
+  if (!doc.has("tenant") ||
+      doc.at("tenant").kind != JsonValue::Kind::kString ||
+      doc.at("tenant").as_string().empty()) {
+    return "delta needs a nonempty string 'tenant'";
+  }
+  delta.tenant = doc.at("tenant").as_string();
+  if (delta.tenant.size() > 64) {
+    return "delta 'tenant' exceeds 64 characters";
+  }
+  if (doc.has("device")) {
+    if (doc.at("device").kind != JsonValue::Kind::kString ||
+        doc.at("device").as_string().empty()) {
+      return "field 'device' must be a nonempty string";
+    }
+    delta.device = doc.at("device").as_string();
+    if (delta.device.size() > 128) {
+      return "delta 'device' exceeds 128 characters";
+    }
+  }
+  if (delta.verb == "snapshot") {
+    if (!delta.device.empty()) {
+      return "snapshot takes no 'device'";
+    }
+  } else if (delta.device.empty()) {
+    return "delta verb '" + delta.verb + "' needs a 'device'";
+  }
+
+  for (const char* key : {"x", "y"}) {
+    if (!doc.has(key)) {
+      continue;
+    }
+    double value = 0.0;
+    if (!finite_number(doc.at(key), value)) {
+      return std::string("field '") + key + "' must be a finite number";
+    }
+    (key[0] == 'x' ? delta.has_x : delta.has_y) = true;
+    (key[0] == 'x' ? delta.x : delta.y) = value;
+  }
+  if (std::string err = read_delta_field(doc, "demand_j", 0.0,
+                                         delta.has_demand, delta.demand_j);
+      !err.empty()) {
+    return err;
+  }
+  if (std::string err = read_delta_field(
+          doc, "capacity_j", 0.0, delta.has_capacity, delta.capacity_j);
+      !err.empty()) {
+    return err;
+  }
+  if (std::string err =
+          read_delta_field(doc, "battery_pct", 0.0, delta.has_battery_pct,
+                           delta.battery_pct);
+      !err.empty()) {
+    return err;
+  }
+  if (delta.has_battery_pct && delta.battery_pct > 100.0) {
+    return "field 'battery_pct' must be <= 100";
+  }
+  if (delta.has_battery_pct && delta.has_demand) {
+    return "delta carries both 'demand_j' and 'battery_pct'";
+  }
+  if (std::string err = read_delta_field(doc, "speed", 0.0, delta.has_speed,
+                                         delta.speed_m_per_s);
+      !err.empty()) {
+    return err;
+  }
+  if (delta.has_speed && delta.speed_m_per_s <= 0.0) {
+    return "field 'speed' must be > 0";
+  }
+  if (std::string err = read_delta_field(
+          doc, "unit_cost", 0.0, delta.has_unit_cost, delta.unit_cost);
+      !err.empty()) {
+    return err;
+  }
+  if (std::string err = read_delta_field(
+          doc, "joules_per_m", 0.0, delta.has_joules, delta.joules_per_m);
+      !err.empty()) {
+    return err;
+  }
+  if (doc.has("live")) {
+    const JsonValue& live = doc.at("live");
+    if (live.kind != JsonValue::Kind::kBool) {
+      return "field 'live' must be a boolean";
+    }
+    delta.has_live = true;
+    delta.live = live.boolean;
+  }
+  const bool carries_state = delta.has_x || delta.has_y || delta.has_demand ||
+                             delta.has_capacity || delta.has_battery_pct ||
+                             delta.has_speed || delta.has_unit_cost ||
+                             delta.has_joules || delta.has_live;
+  if ((delta.verb == "deregister" || delta.verb == "snapshot") &&
+      carries_state) {
+    return "delta verb '" + delta.verb + "' carries no state fields";
+  }
+
+  if (doc.has("ck")) {
+    const JsonValue& ck = doc.at("ck");
+    double raw = 0.0;
+    if (!finite_number(ck, raw) || raw < 0.0 || raw > 4294967295.0 ||
+        raw != std::floor(raw)) {
+      return "field 'ck' must be a CRC-32 integer";
+    }
+    const std::string canonical = to_json_line(delta);
+    if (journal_crc32(canonical.data(), canonical.size()) !=
+        static_cast<std::uint32_t>(raw)) {
+      return "checksum_mismatch: content does not match 'ck'";
+    }
+  }
+  return "";
+}
+
 void append_device(std::ostringstream& out, const RequestDevice& d) {
   out << "{\"x\":" << obs::json_double(d.x)
       << ",\"y\":" << obs::json_double(d.y)
@@ -143,6 +293,12 @@ std::string parse_line(const std::string& line, ParsedLine& out) {
       return "";
     }
     return "unknown command '" + cmd + "'";
+  }
+
+  if (doc.has("delta")) {
+    out.kind = LineKind::kDelta;
+    out.delta = DeltaRequest{};
+    return parse_delta(doc, out.delta);
   }
 
   static const std::set<std::string> kKeys = {
@@ -225,7 +381,32 @@ std::string to_json_line(const Response& r) {
   if (!r.reason.empty()) {
     out << ",\"reason\":\"" << obs::json_escape(r.reason) << '"';
   }
-  if (r.status == "ok") {
+  if (r.status == "ok" && !r.delta.empty()) {
+    // Registry delta acknowledgement (docs/registry.md).
+    out << ",\"delta\":\"" << obs::json_escape(r.delta) << "\",\"tenant\":\""
+        << obs::json_escape(r.tenant) << '"';
+    if (!r.device.empty()) {
+      out << ",\"device\":\"" << obs::json_escape(r.device) << '"';
+    }
+    out << ",\"epoch\":" << r.epoch << ",\"devices\":" << r.registry_devices;
+    if (r.delta == "snapshot") {
+      out << ",\"total_cost\":" << obs::json_double(r.total_cost)
+          << ",\"coalitions\":[";
+      for (std::size_t c = 0; c < r.coalitions.size(); ++c) {
+        const ResponseCoalition& coalition = r.coalitions[c];
+        out << (c == 0 ? "" : ",") << "{\"charger\":" << coalition.charger
+            << ",\"members\":[";
+        for (std::size_t m = 0; m < coalition.names.size(); ++m) {
+          out << (m == 0 ? "" : ",") << '"'
+              << obs::json_escape(coalition.names[m]) << '"';
+        }
+        out << "]}";
+      }
+      out << ']';
+    } else if (r.charger >= 0) {
+      out << ",\"charger\":" << r.charger;
+    }
+  } else if (r.status == "ok") {
     out << ",\"algo\":\"" << obs::json_escape(r.algo) << "\",\"scheme\":\""
         << obs::json_escape(r.scheme) << "\",\"batch_size\":" << r.batch_size
         << ",\"coalesced\":" << (r.coalesced ? "true" : "false")
@@ -285,14 +466,64 @@ std::string to_json_line(const Request& r) {
   return out.str();
 }
 
-std::string to_checksummed_line(const Request& r) {
-  std::string line = to_json_line(r);
+std::string to_json_line(const DeltaRequest& d) {
+  std::ostringstream out;
+  out << "{\"id\":\"" << obs::json_escape(d.id) << "\",\"delta\":\""
+      << obs::json_escape(d.verb) << "\",\"tenant\":\""
+      << obs::json_escape(d.tenant) << '"';
+  if (!d.device.empty()) {
+    out << ",\"device\":\"" << obs::json_escape(d.device) << '"';
+  }
+  if (d.has_x) {
+    out << ",\"x\":" << obs::json_double(d.x);
+  }
+  if (d.has_y) {
+    out << ",\"y\":" << obs::json_double(d.y);
+  }
+  if (d.has_demand) {
+    out << ",\"demand_j\":" << obs::json_double(d.demand_j);
+  }
+  if (d.has_capacity) {
+    out << ",\"capacity_j\":" << obs::json_double(d.capacity_j);
+  }
+  if (d.has_battery_pct) {
+    out << ",\"battery_pct\":" << obs::json_double(d.battery_pct);
+  }
+  if (d.has_speed) {
+    out << ",\"speed\":" << obs::json_double(d.speed_m_per_s);
+  }
+  if (d.has_unit_cost) {
+    out << ",\"unit_cost\":" << obs::json_double(d.unit_cost);
+  }
+  if (d.has_joules) {
+    out << ",\"joules_per_m\":" << obs::json_double(d.joules_per_m);
+  }
+  if (d.has_live) {
+    out << ",\"live\":" << (d.live ? "true" : "false");
+  }
+  out << '}';
+  return out.str();
+}
+
+namespace {
+
+std::string with_checksum(std::string line) {
   const std::uint32_t crc = journal_crc32(line.data(), line.size());
   line.pop_back();  // reopen the object
   line += ",\"ck\":";
   line += std::to_string(crc);
   line += '}';
   return line;
+}
+
+}  // namespace
+
+std::string to_checksummed_line(const Request& r) {
+  return with_checksum(to_json_line(r));
+}
+
+std::string to_checksummed_line(const DeltaRequest& d) {
+  return with_checksum(to_json_line(d));
 }
 
 Response parse_response(const std::string& line) {
@@ -334,10 +565,32 @@ Response parse_response(const std::string& line) {
       ResponseCoalition coalition;
       coalition.charger = static_cast<int>(entry.at("charger").as_int());
       for (const JsonValue& m : entry.at("members").array) {
-        coalition.members.push_back(static_cast<int>(m.as_int()));
+        if (m.kind == JsonValue::Kind::kString) {
+          coalition.names.push_back(m.as_string());  // registry snapshot
+        } else {
+          coalition.members.push_back(static_cast<int>(m.as_int()));
+        }
       }
       r.coalitions.push_back(std::move(coalition));
     }
+  }
+  if (doc.has("delta")) {
+    r.delta = doc.at("delta").as_string();
+  }
+  if (doc.has("tenant")) {
+    r.tenant = doc.at("tenant").as_string();
+  }
+  if (doc.has("device")) {
+    r.device = doc.at("device").as_string();
+  }
+  if (doc.has("epoch")) {
+    r.epoch = doc.at("epoch").as_int();
+  }
+  if (doc.has("devices")) {
+    r.registry_devices = doc.at("devices").as_int();
+  }
+  if (doc.has("charger")) {
+    r.charger = static_cast<int>(doc.at("charger").as_int());
   }
   return r;
 }

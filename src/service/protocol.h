@@ -33,6 +33,22 @@
 /// Control lines share the stream: {"cmd":"stats"} and
 /// {"cmd":"shutdown"}.
 ///
+/// Registry delta lines (docs/registry.md) also share the stream — a
+/// `"delta"` key selects the verb:
+///
+///   {"id":"d1","delta":"register","tenant":"t0","device":"s1",
+///    "x":3.5,"y":8.0,"capacity_j":90.0,"battery_pct":40.0}
+///   {"id":"d2","delta":"update","tenant":"t0","device":"s1",
+///    "battery_pct":25.0}
+///   {"id":"d3","delta":"deregister","tenant":"t0","device":"s1"}
+///   {"id":"d4","delta":"snapshot","tenant":"t0"}
+///
+/// Deltas carry *absolute* state (never increments) and their ids are
+/// idempotency keys: the registry remembers applied ids, so a client
+/// retry of an acknowledged delta is re-acknowledged without mutating
+/// state again. The same optional `"ck"` integrity field applies, over
+/// `to_json_line(DeltaRequest)`.
+///
 /// Response line (status "ok"):
 ///
 ///   {"id":"r7","status":"ok","algo":"ccsa","scheme":"proportional",
@@ -76,11 +92,43 @@ struct Request {
   std::vector<RequestDevice> devices;
 };
 
-enum class LineKind { kRequest, kStats, kShutdown };
+/// One registry mutation (or snapshot probe) of a tenant's persistent
+/// device set (docs/registry.md). Field presence is explicit (`has_*`):
+/// a delta only overwrites the fields it carries, and what it carries
+/// is absolute state. `battery_pct` is sugar for `demand_j` — the
+/// server derives demand = capacity · (1 − pct/100) from the device's
+/// capacity (this delta's, or the stored one).
+struct DeltaRequest {
+  std::string id;      ///< idempotency key (same contract as Request::id)
+  std::string verb;    ///< "register" | "update" | "deregister" | "snapshot"
+  std::string tenant;  ///< registry namespace + shard-routing key
+  std::string device;  ///< stable device name (empty only for snapshot)
+  bool has_x = false;
+  double x = 0.0;
+  bool has_y = false;
+  double y = 0.0;
+  bool has_demand = false;
+  double demand_j = 0.0;
+  bool has_capacity = false;
+  double capacity_j = 0.0;
+  bool has_battery_pct = false;
+  double battery_pct = 0.0;  ///< percent full, [0, 100]
+  bool has_speed = false;
+  double speed_m_per_s = 1.0;
+  bool has_unit_cost = false;
+  double unit_cost = 1.0;
+  bool has_joules = false;
+  double joules_per_m = 0.0;
+  bool has_live = false;
+  bool live = true;
+};
+
+enum class LineKind { kRequest, kDelta, kStats, kShutdown };
 
 struct ParsedLine {
   LineKind kind = LineKind::kRequest;
-  Request request;  ///< filled when kind == kRequest
+  Request request;     ///< filled when kind == kRequest
+  DeltaRequest delta;  ///< filled when kind == kDelta
 };
 
 /// Parses one wire line. Returns an empty string on success, otherwise
@@ -88,10 +136,13 @@ struct ParsedLine {
 [[nodiscard]] std::string parse_line(const std::string& line,
                                      ParsedLine& out);
 
-/// One coalition of a response; members are request-local indices.
+/// One coalition of a response; members are request-local indices —
+/// except in registry snapshot replies, where coalitions carry stable
+/// device `names` instead (the registry has no request to index into).
 struct ResponseCoalition {
   int charger = 0;
   std::vector<int> members;
+  std::vector<std::string> names;  ///< set instead of members for snapshots
 };
 
 struct Response {
@@ -109,6 +160,15 @@ struct Response {
   std::vector<ResponseCoalition> coalitions;
   /// Flat numeric fields of a {"cmd":"stats"} reply (status "stats").
   std::vector<std::pair<std::string, long>> stats;
+  /// Registry-delta acknowledgement fields (docs/registry.md). A
+  /// nonempty `delta` marks the response as a delta ack; snapshot acks
+  /// additionally carry total_cost + named coalitions above.
+  std::string delta;   ///< verb echo
+  std::string tenant;
+  std::string device;
+  long epoch = -1;             ///< tenant schedule epoch (-1 = n/a)
+  long registry_devices = -1;  ///< live devices of the tenant (-1 = n/a)
+  int charger = -1;  ///< mutated device's coalition charger (-1 = none)
 };
 
 /// Serializes a response as one JSON line (no trailing newline).
@@ -118,10 +178,17 @@ struct Response {
 /// left at their defaults so the strict parser round-trips it).
 [[nodiscard]] std::string to_json_line(const Request& request);
 
+/// Serializes a registry delta as one JSON line (canonical form: the
+/// fields it carries, in declaration order; what `ck` covers).
+[[nodiscard]] std::string to_json_line(const DeltaRequest& delta);
+
 /// `to_json_line` plus the trailing `"ck"` integrity field (CRC-32 of
 /// the plain serialization). Parseable-but-corrupted copies of the
 /// line are rejected by the server instead of silently scheduled.
 [[nodiscard]] std::string to_checksummed_line(const Request& request);
+
+/// The delta counterpart of `to_checksummed_line(Request)`.
+[[nodiscard]] std::string to_checksummed_line(const DeltaRequest& delta);
 
 /// Parses a response line (client `--check` path). Throws
 /// `obs::JsonError` on malformed input.

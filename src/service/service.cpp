@@ -10,6 +10,7 @@
 #include "core/io.h"
 #include "obs/registry.h"
 #include "obs/span.h"
+#include "registry/registry_manager.h"
 #include "util/assert.h"
 #include "util/thread_pool.h"
 
@@ -42,6 +43,22 @@ ChargingService::ChargingService(std::vector<core::Charger> chargers,
   if (!options_.journal_path.empty()) {
     journal_ = std::make_unique<Journal>(options_.journal_path,
                                          options_.journal_sync);
+  }
+  if (options_.registry) {
+    registry_ = std::make_unique<registry::RegistryManager>(
+        chargers_, params_, options_.registry_options);
+    if (journal_ != nullptr) {
+      // Registry recovery happens here, before the worker starts:
+      // restore the compacted snapshot (if any), then re-apply the
+      // delta backlog journaled after it. Request replay stays the
+      // caller's explicit replay_recovered() call — the two record
+      // streams are independent.
+      const JournalReplay& recovered = journal_->recovered();
+      if (!registry_->restore(recovered.registry_snapshot)) {
+        obs::count("registry.restore_failed");
+      }
+      (void)registry_->replay(recovered.deltas);
+    }
   }
   if (options_.request_timeout_ms > 0.0) {
     Watchdog::Options wd;
@@ -84,6 +101,26 @@ bool ChargingService::submit_line(const std::string& line) {
     case LineKind::kShutdown:
       shutdown(true);
       return false;
+    case LineKind::kDelta: {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.received;
+      }
+      obs::count("service.received");
+      Response response;
+      if (registry_ == nullptr) {
+        response.id = parsed.delta.id;
+        response.status = "rejected";
+        response.reason = "registry_disabled";
+      } else {
+        // Deltas are served synchronously on the intake thread: the
+        // manager journals (durable), applies and reschedules under
+        // its own lock, so they never occupy a queue slot.
+        response = registry_->handle(parsed.delta, line, journal_.get());
+      }
+      respond(response);
+      return true;
+    }
     case LineKind::kRequest:
       submit(std::move(parsed.request));
       return accepting_.load(std::memory_order_relaxed);
@@ -227,7 +264,19 @@ void ChargingService::shutdown(bool drain) {
           journal_->recovered().incomplete.empty() ||
           replayed_recovered_.load(std::memory_order_relaxed);
       if (journal_->outstanding() == 0 && backlog_settled) {
-        journal_->reset();
+        if (registry_ != nullptr && !registry_->empty()) {
+          // Registry state must outlive the process: compact the
+          // settled history to one snapshot record instead of
+          // truncating. The applied-id set rides along, so delta
+          // retries stay idempotent across the restart.
+          try {
+            journal_->rewrite_with_snapshot(registry_->serialize());
+          } catch (const std::exception&) {
+            obs::count("service.journal.compact_failed");
+          }
+        } else {
+          journal_->reset();
+        }
       }
     }
   });
@@ -334,7 +383,8 @@ void ChargingService::store_dedup(const Response& response) {
   // them, or a clean retry would be re-answered with the rejection.
   if (response.status == "error" || response.reason == "queue_full" ||
       response.reason == "shutting_down" ||
-      response.reason.starts_with("malformed")) {
+      response.reason.starts_with("malformed") ||
+      response.reason.starts_with("journal_write_failed")) {
     return;
   }
   std::lock_guard<std::mutex> lock(dedup_mutex_);
@@ -742,6 +792,20 @@ Response ChargingService::stats_response() const {
                                 static_cast<long>(c.evictions));
     response.stats.emplace_back("cache_inflight_merged",
                                 static_cast<long>(c.inflight_merged));
+  }
+  if (registry_ != nullptr) {
+    const registry::RegistryManager::Totals t = registry_->totals();
+    response.stats.emplace_back("registry_tenants", t.tenants);
+    response.stats.emplace_back("registry_devices", t.devices);
+    response.stats.emplace_back("registry_deltas", t.deltas);
+    response.stats.emplace_back("registry_snapshots", t.snapshots);
+    response.stats.emplace_back("registry_deduped", t.deduped);
+    response.stats.emplace_back("registry_rejected", t.rejected);
+    response.stats.emplace_back("registry_replayed", t.replayed);
+    response.stats.emplace_back("registry_epochs", t.epochs);
+    response.stats.emplace_back("registry_visits", t.visits);
+    response.stats.emplace_back("registry_switches", t.switches);
+    response.stats.emplace_back("registry_reanchors", t.reanchors);
   }
   return response;
 }

@@ -54,6 +54,10 @@
 ///  * Sink write failures are absorbed (`service.sink_errors`): the
 ///    journal keeps the request replayable and a retrying client
 ///    re-fetches the response; the service never dies on a sink.
+///  * Registry deltas (src/registry, docs/registry.md) ride the same
+///    journal as kDelta records, durable before they are acknowledged;
+///    a clean drained shutdown compacts the journal to one registry
+///    snapshot record that the next boot restores.
 
 #include <atomic>
 #include <cstddef>
@@ -71,11 +75,16 @@
 #include "core/instance.h"
 #include "core/scheduler.h"
 #include "core/sharing.h"
+#include "registry/incremental_scheduler.h"
 #include "service/admission.h"
 #include "service/chaos.h"
 #include "service/journal.h"
 #include "service/protocol.h"
 #include "service/watchdog.h"
+
+namespace cc::registry {
+class RegistryManager;
+}  // namespace cc::registry
 
 namespace cc::service {
 
@@ -106,6 +115,11 @@ struct ServiceOptions {
   std::size_t dedup_window = 0;
   /// Optional fault injector (non-owning; must outlive the service).
   ChaosInjector* chaos = nullptr;
+  /// Streaming device-registry deltas (src/registry, docs/registry.md):
+  /// register/update/deregister/snapshot verbs maintained per tenant by
+  /// an incremental rescheduler, journaled through the same WAL.
+  bool registry = true;
+  registry::SchedulerOptions registry_options;
 };
 
 /// Monotone request accounting (also exported as obs counters).
@@ -183,6 +197,10 @@ class ChargingService {
   [[nodiscard]] Watchdog::Stats watchdog_stats() const;
   /// Null when journaling is disabled.
   [[nodiscard]] const Journal* journal() const { return journal_.get(); }
+  /// Null when the registry is disabled.
+  [[nodiscard]] registry::RegistryManager* registry_manager() const {
+    return registry_.get();
+  }
   [[nodiscard]] std::size_t queue_depth() const { return queue_.depth(); }
   [[nodiscard]] std::size_t queue_high_watermark() const {
     return queue_.high_watermark();
@@ -242,6 +260,9 @@ class ChargingService {
   std::mutex sink_mutex_;
 
   std::unique_ptr<Journal> journal_;  ///< null when disabled
+  /// Delta front door (null when disabled). Restored from the journal's
+  /// registry snapshot + delta backlog before the worker starts.
+  std::unique_ptr<registry::RegistryManager> registry_;
   std::atomic<bool> replayed_recovered_{false};
   ChaosInjector* chaos_ = nullptr;    ///< non-owning; may be null
 

@@ -210,6 +210,108 @@ TEST(Journal, ReopenTruncatesTornTailAndContinues) {
   EXPECT_EQ(replay.incomplete[1].second, "{\"id\":\"gamma\"}");
 }
 
+TEST(Journal, DeltaAndSnapshotRecordsRoundTrip) {
+  TempJournal temp;
+  {
+    Journal journal(temp.path(), Journal::SyncMode::kOff);
+    EXPECT_EQ(journal.append_delta("{\"delta\":\"one\"}"), 1u);
+    EXPECT_EQ(journal.append_delta("{\"delta\":\"two\"}"), 2u);
+    journal.append_registry_snapshot("{\"state\":\"v1\"}");
+    EXPECT_EQ(journal.append_delta("{\"delta\":\"three\"}"), 4u);
+    // Deltas are state-log entries, never outstanding work.
+    EXPECT_EQ(journal.outstanding(), 0u);
+  }
+  const JournalReplay replay = Journal::scan(temp.path());
+  EXPECT_EQ(replay.delta_records, 3u);
+  EXPECT_EQ(replay.snapshot_records, 1u);
+  EXPECT_EQ(replay.registry_snapshot, "{\"state\":\"v1\"}");
+  // The snapshot is a reset point: only deltas after it replay.
+  ASSERT_EQ(replay.deltas.size(), 1u);
+  EXPECT_EQ(replay.deltas[0].first, 4u);
+  EXPECT_EQ(replay.deltas[0].second, "{\"delta\":\"three\"}");
+}
+
+/// The torn-write matrix for the registry record types: cut the
+/// journal at every byte of a trailing delta record — the snapshot and
+/// the committed deltas before the cut must survive untouched, the
+/// torn frame must never surface as a phantom delta.
+TEST(Journal, TornDeltaTailRecoversSnapshotAndPrefix) {
+  TempJournal temp;
+  {
+    Journal journal(temp.path(), Journal::SyncMode::kOff);
+    journal.append_registry_snapshot("{\"state\":\"base\"}");
+    (void)journal.append_delta("{\"delta\":\"keep\"}");
+    (void)journal.append_delta("{\"delta\":\"torn\"}");
+  }
+  const std::string full = read_file(temp.path());
+  // Last frame: 10-byte header + 8-byte seq + 16-byte line.
+  const std::size_t last_frame_bytes = 10 + 8 + 16;
+  ASSERT_GT(full.size(), last_frame_bytes);
+  const std::size_t committed = full.size() - last_frame_bytes;
+
+  TempJournal cut;
+  for (std::size_t keep = committed; keep < full.size(); ++keep) {
+    write_file(cut.path(), full.substr(0, keep));
+    const JournalReplay replay = Journal::scan(cut.path());
+    EXPECT_EQ(replay.snapshot_records, 1u) << "cut at byte " << keep;
+    EXPECT_EQ(replay.registry_snapshot, "{\"state\":\"base\"}")
+        << "cut at byte " << keep;
+    EXPECT_EQ(replay.delta_records, 1u) << "cut at byte " << keep;
+    ASSERT_EQ(replay.deltas.size(), 1u) << "cut at byte " << keep;
+    EXPECT_EQ(replay.deltas[0].second, "{\"delta\":\"keep\"}")
+        << "cut at byte " << keep;
+    EXPECT_EQ(replay.torn_bytes, keep - committed) << "cut at byte " << keep;
+  }
+}
+
+/// A torn snapshot record must not poison recovery: the scan falls
+/// back to the previous snapshot (or none) plus the deltas after it.
+TEST(Journal, TornSnapshotFallsBackToPriorState) {
+  TempJournal temp;
+  {
+    Journal journal(temp.path(), Journal::SyncMode::kOff);
+    journal.append_registry_snapshot("{\"state\":\"old\"}");
+    (void)journal.append_delta("{\"delta\":\"after-old\"}");
+    journal.append_registry_snapshot("{\"state\":\"new\"}");
+  }
+  std::string bytes = read_file(temp.path());
+  bytes.resize(bytes.size() - 5);  // tear inside the second snapshot
+  write_file(temp.path(), bytes);
+
+  const JournalReplay replay = Journal::scan(temp.path());
+  EXPECT_EQ(replay.snapshot_records, 1u);
+  EXPECT_EQ(replay.registry_snapshot, "{\"state\":\"old\"}");
+  ASSERT_EQ(replay.deltas.size(), 1u);
+  EXPECT_EQ(replay.deltas[0].second, "{\"delta\":\"after-old\"}");
+  EXPECT_GT(replay.torn_bytes, 0u);
+}
+
+TEST(Journal, RewriteWithSnapshotCompactsAndStaysAppendable) {
+  TempJournal temp;
+  Journal journal(temp.path(), Journal::SyncMode::kOff);
+  (void)journal.append_request("{\"id\":\"r1\"}");
+  journal.append_complete(1);
+  (void)journal.append_delta("{\"delta\":\"one\"}");
+  (void)journal.append_delta("{\"delta\":\"two\"}");
+  journal.rewrite_with_snapshot("{\"state\":\"compact\"}");
+
+  // The settled history is gone; exactly one snapshot frame remains,
+  // and the journal keeps accepting appends after the rename.
+  const JournalReplay compacted = Journal::scan(temp.path());
+  EXPECT_EQ(compacted.records, 1u);
+  EXPECT_EQ(compacted.snapshot_records, 1u);
+  EXPECT_EQ(compacted.registry_snapshot, "{\"state\":\"compact\"}");
+  EXPECT_TRUE(compacted.deltas.empty());
+  EXPECT_TRUE(compacted.incomplete.empty());
+
+  const std::uint64_t seq = journal.append_delta("{\"delta\":\"post\"}");
+  journal.sync();
+  const JournalReplay after = Journal::scan(temp.path());
+  ASSERT_EQ(after.deltas.size(), 1u);
+  EXPECT_EQ(after.deltas[0].first, seq);
+  EXPECT_EQ(after.registry_snapshot, "{\"state\":\"compact\"}");
+}
+
 /// Corrupting any byte of a committed record must not let the scan
 /// trust that record or anything after it.
 TEST(Journal, BitFlipInvalidatesRecordAndSuffix) {

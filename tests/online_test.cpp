@@ -8,6 +8,7 @@
 #include "core/generator.h"
 #include "core/noncoop.h"
 #include "core/online.h"
+#include "obs/registry.h"
 #include "util/assert.h"
 
 namespace {
@@ -137,6 +138,57 @@ TEST(OnlineTest, JoinCountReported) {
   const auto result = OnlineGreedy().run(inst);
   EXPECT_GT(result.stats.switches, 0);  // some arrivals joined sessions
   EXPECT_EQ(result.stats.iterations, 40);
+}
+
+/// The satellite fix: repeated runs reuse the thread-local workspace —
+/// the arena's alloc.* counters must stay flat after the first run at
+/// the high-water instance size (the streaming rescheduler replays
+/// run_online constantly, so steady-state heap traffic would leak
+/// straight into its serve path).
+TEST(OnlineTest, RepeatedRunsKeepAllocCountersFlat) {
+  cc::obs::set_enabled(true);
+  const Instance inst = sample_instance(10, 64, 8);
+  const OnlineGreedy greedy;
+  (void)greedy.run(inst);  // warm the workspace to the high-water size
+  const std::int64_t blocks =
+      cc::obs::registry().counter("alloc.arena_blocks").value();
+  const std::int64_t bytes =
+      cc::obs::registry().counter("alloc.arena_bytes").value();
+  for (int r = 0; r < 10; ++r) {
+    (void)greedy.run(inst);
+  }
+  EXPECT_EQ(cc::obs::registry().counter("alloc.arena_blocks").value(),
+            blocks);
+  EXPECT_EQ(cc::obs::registry().counter("alloc.arena_bytes").value(),
+            bytes);
+  cc::obs::set_enabled(false);
+}
+
+/// The cached kById identity permutation must survive interleaved runs
+/// with other arrival orders (they share the workspace, not the
+/// buffer).
+TEST(OnlineTest, ShuffledRunsDoNotCorruptCachedIdentityOrder) {
+  const Instance inst = sample_instance(11, 32, 6);
+  const CostModel cost(inst);
+  OnlineOptions by_id;
+  by_id.order = ArrivalOrder::kById;
+  const double fresh =
+      OnlineGreedy(by_id).run(inst).schedule.total_cost(cost);
+
+  OnlineOptions shuffled;
+  shuffled.order = ArrivalOrder::kShuffled;
+  (void)OnlineGreedy(shuffled).run(inst);
+
+  const double cached =
+      OnlineGreedy(by_id).run(inst).schedule.total_cost(cost);
+  EXPECT_DOUBLE_EQ(cached, fresh);
+
+  // And against an explicit identity permutation, byte-for-byte.
+  std::vector<cc::core::DeviceId> identity(32);
+  std::iota(identity.begin(), identity.end(), 0);
+  const double expected =
+      run_online(inst, identity).schedule.total_cost(cost);
+  EXPECT_DOUBLE_EQ(cached, expected);
 }
 
 }  // namespace

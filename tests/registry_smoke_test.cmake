@@ -1,0 +1,147 @@
+# The streaming registry end to end (docs/registry.md):
+#
+#  1. 500 registry deltas (+1 snapshot query per tenant) through
+#     `ccs_serve --listen --shards=2 --journal`, driven over TCP by
+#     `ccs_client --delta-mix`.
+#  2. kill -9 the server mid-stream, restart it on the SAME port with
+#     the same journal: the boot replay must rebuild every shard's
+#     registry, the retrying client must reconnect and finish, and the
+#     final per-tenant snapshot responses must be byte-identical to a
+#     fault-free pipe-mode run of the same mix.
+#
+# Invoked by ctest with -DSERVE=<ccs_serve> -DCLIENT=<ccs_client>
+# -DCLI=<ccs_cli>. The background-server choreography needs a real
+# shell; assertions run here in cmake.
+
+set(WORK "${CMAKE_CURRENT_BINARY_DIR}/registry_smoke_work")
+file(REMOVE_RECURSE "${WORK}")
+file(MAKE_DIRECTORY "${WORK}")
+
+find_program(BASH_PROGRAM bash REQUIRED)
+
+function(run label expect_rc)
+  execute_process(
+    COMMAND ${ARGN}
+    WORKING_DIRECTORY "${WORK}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL ${expect_rc})
+    message(FATAL_ERROR
+            "${label} exited ${rc} (expected ${expect_rc}):\n${out}\n${err}")
+  endif()
+  set(last_out "${out}" PARENT_SCOPE)
+  set(last_err "${err}" PARENT_SCOPE)
+endfunction()
+
+# ---------------------------------------------------------------- fixture
+
+run("topology" 0
+    ${CLI} --generate --devices=1 --chargers=6 --seed=42 --out=topo.txt)
+
+# ---------------------------------------------- fault-free reference run
+# The same deterministic delta mix through the stdin pipe path: its
+# final snapshot responses are the ground truth the crash run must hit.
+run("reference delta run" 0
+    ${CLIENT} "--server=${SERVE} --instance=topo.txt --batch-window-ms=0"
+    --delta-mix --requests=500 --tenants=2 --seed=21
+    --responses-out=ref_norm.jsonl)
+if(NOT last_out MATCHES "502 sent, 502 answered")
+  message(FATAL_ERROR "reference delta run lost requests:\n${last_out}")
+endif()
+run("extract reference snapshots" 0
+    ${BASH_PROGRAM} -c
+    "grep '\"id\":\"dsnap' ref_norm.jsonl > ref_snap.jsonl && [ -s ref_snap.jsonl ]")
+
+# --------------------- kill -9 mid-stream, same-port + same-journal boot
+# 127.0.0.2 and a test-unique journal name keep this choreography out
+# of the other kill tests' pgrep patterns (chaos greps journal=wal.bin,
+# net_equiv greps listen=127.0.0.1:0) when ctest runs suites in
+# parallel — kill -9 must never land on a sibling test's server.
+file(WRITE "${WORK}/kill_restart.sh" "#!${BASH_PROGRAM}
+set -u
+cd '${WORK}'
+( '${SERVE}' --listen=127.0.0.2:0 --shards=2 --instance=topo.txt \\
+    --batch-window-ms=0 --journal=rsmoke_wal.bin 2> rs1.log ) &
+for i in $(seq 1 100); do
+  port=$(sed -n 's/.*listening on 127\\.0\\.0\\.2:\\([0-9]*\\).*/\\1/p' rs1.log)
+  [ -n \"$port\" ] && break
+  sleep 0.1
+done
+if [ -z \"$port\" ]; then echo 'server never listened' >&2; exit 1; fi
+
+# A slow reader paces the closed-loop stream so the SIGKILL lands with
+# deltas still unsent; the retrying client then reconnects and carries
+# them across the restart.
+'${CLIENT}' --connect=127.0.0.2:$port --delta-mix --requests=500 \\
+  --tenants=2 --seed=21 --read-stall-ms=5 \\
+  --retries=20 --backoff-ms=100 --backoff-cap-ms=500 \\
+  --response-timeout-ms=2000 --responses-out=crash_norm.jsonl \\
+  > rs_client.out 2>&1 &
+client=$!
+
+sleep 0.8
+spid=$(pgrep -f 'journal=rsmoke_wal.bin' | head -1)
+if [ -z \"$spid\" ]; then echo 'server pid not found' >&2; exit 1; fi
+kill -9 \"$spid\"
+sleep 0.3
+
+# Same port, same journal: the boot replay must restore each shard's
+# registry before the reconnecting client resumes the stream.
+( '${SERVE}' --listen=127.0.0.2:$port --shards=2 --instance=topo.txt \\
+    --batch-window-ms=0 --journal=rsmoke_wal.bin 2> rs2.log ) &
+server2=$!
+for i in $(seq 1 100); do
+  grep -q 'listening on' rs2.log && break
+  sleep 0.1
+done
+grep -q 'listening on' rs2.log || { echo 'rebind failed' >&2; cat rs2.log >&2; exit 1; }
+
+wait $client
+client_rc=$?
+cat rs_client.out
+
+'${CLIENT}' --connect=127.0.0.2:$port --requests=1 --id-prefix=bye \\
+  --shutdown > /dev/null 2>&1
+wait $server2 || { echo 'restarted server exited nonzero' >&2; exit 1; }
+cat rs2.log >&2
+
+if [ $client_rc -ne 0 ]; then
+  echo \"client exited $client_rc\" >&2
+  exit 1
+fi
+exit 0
+")
+run("kill -9 + restart + finish stream" 0
+    ${BASH_PROGRAM} "${WORK}/kill_restart.sh")
+if(NOT last_out MATCHES "502 sent, 502 answered")
+  message(FATAL_ERROR "crash run lost deltas:\n${last_out}")
+endif()
+if(NOT last_out MATCHES "reconnects")
+  message(FATAL_ERROR "client never reconnected:\n${last_out}")
+endif()
+# The restarted server must have rebuilt registry state from its
+# journals, not started empty.
+if(NOT last_err MATCHES "registry:.*replayed=[1-9]")
+  message(FATAL_ERROR
+          "restart did not replay journaled registry deltas:\n${last_err}")
+endif()
+
+# ------------------------------------------------- snapshot equality
+# Duplicates collapsed by the client (latest per id), the final live
+# schedule each tenant sees must be byte-identical to the fault-free
+# reference.
+run("extract crash snapshots" 0
+    ${BASH_PROGRAM} -c
+    "grep '\"id\":\"dsnap' crash_norm.jsonl > crash_snap.jsonl && [ -s crash_snap.jsonl ]")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${WORK}/crash_snap.jsonl" "${WORK}/ref_snap.jsonl"
+  RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR
+          "post-crash snapshots differ from the fault-free run (see "
+          "${WORK}/crash_snap.jsonl vs ref_snap.jsonl)")
+endif()
+message(STATUS "registry smoke: 502/502 answered across kill -9 + "
+               "journal replay, snapshots byte-identical")

@@ -105,6 +105,18 @@ void diff_pair(const cc::obs::RunManifest& base,
       continue;
     }
 
+    if (cc::obs::is_registry_metric(key)) {
+      // Registry occupancy/work counters shift with delta interleaving
+      // and re-anchor triggers: same convention as cache metrics.
+      if (cand_value != base_value) {
+        std::cout << "INFO  " << base.name << " :: " << key << " "
+                  << base_value << " -> " << cand_value
+                  << " (registry counter, informational)\n";
+        ++gate.advisories;
+      }
+      continue;
+    }
+
     if (cc::obs::is_runtime_metric(key)) {
       if (base_value > 0.0) {
         const double regression = (cand_value - base_value) / base_value;

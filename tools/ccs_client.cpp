@@ -76,6 +76,14 @@ Request mix (deterministic in --seed):
                              request's devices/algo/scheme (fresh id) —
                              the cache-hit workload knob
 
+Delta mix (docs/registry.md):
+  --delta-mix                generate registry delta traffic instead of
+                             charging requests: per-tenant device pools
+                             mutate through register/update/deregister
+                             verbs and every tenant ends with a snapshot
+                             query carrying its live schedule
+  --tenants=T                tenant count for --delta-mix (default 2)
+
 Modes:
   --emit                     print request JSONL to stdout (or --out=PATH)
   --server="CMD"             spawn CMD via sh -c and drive it over pipes
@@ -223,6 +231,88 @@ std::vector<cc::service::Request> generate_mix(const cc::util::Cli& cli) {
   return mix;
 }
 
+/// Deterministic registry-delta trace (--delta-mix): every tenant owns
+/// a device pool that registers, drifts (position/battery updates) and
+/// departs; a final snapshot per tenant fetches the live schedule. The
+/// same seed always yields the same byte-identical line sequence — the
+/// registry smoke test replays it against a killed-and-restarted server
+/// and compares final snapshots.
+std::vector<cc::service::DeltaRequest> generate_delta_mix(
+    const cc::util::Cli& cli) {
+  const int count = cli.get_int("requests", 50);
+  const int tenants = cli.get_int("tenants", 2);
+  const double field = cli.get_double("field", 100.0);
+  const std::string id_prefix = cli.get("id-prefix", "d");
+  CC_EXPECTS(count > 0, "--requests must be > 0");
+  CC_EXPECTS(tenants > 0, "--tenants must be > 0");
+  CC_EXPECTS(!id_prefix.empty(), "--id-prefix must be nonempty");
+
+  cc::util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
+  std::vector<std::vector<std::string>> pools(
+      static_cast<std::size_t>(tenants));
+  std::vector<int> next_name(static_cast<std::size_t>(tenants), 0);
+  std::vector<cc::service::DeltaRequest> mix;
+  mix.reserve(static_cast<std::size_t>(count + tenants));
+  for (int i = 0; i < count; ++i) {
+    const auto t = static_cast<std::size_t>(i % tenants);
+    std::vector<std::string>& pool = pools[t];
+    cc::service::DeltaRequest delta;
+    delta.id = id_prefix;
+    delta.id += std::to_string(i);
+    delta.tenant = "tenant" + std::to_string(t);
+    const double roll = rng.uniform(0.0, 1.0);
+    if (pool.empty() || roll < 0.45) {
+      delta.verb = "register";
+      delta.device = "n" + std::to_string(next_name[t]++);
+      delta.has_x = delta.has_y = true;
+      delta.x = rng.uniform(0.0, field);
+      delta.y = rng.uniform(0.0, field);
+      if (rng.bernoulli(0.3)) {
+        // Battery form: demand derived from capacity × (1 − pct/100).
+        delta.has_capacity = delta.has_battery_pct = true;
+        delta.capacity_j = rng.uniform(80.0, 160.0);
+        delta.battery_pct = rng.uniform(5.0, 90.0);
+      } else {
+        delta.has_demand = true;
+        delta.demand_j = rng.uniform(40.0, 120.0);
+      }
+      if (rng.bernoulli(0.25)) {
+        delta.has_unit_cost = true;
+        delta.unit_cost = rng.uniform(0.5, 1.5);
+      }
+      pool.push_back(delta.device);
+    } else if (roll < 0.8) {
+      delta.verb = "update";
+      delta.device = pool[rng.index(pool.size())];
+      if (rng.bernoulli(0.6)) {
+        delta.has_x = delta.has_y = true;
+        delta.x = rng.uniform(0.0, field);
+        delta.y = rng.uniform(0.0, field);
+      } else {
+        delta.has_demand = true;
+        delta.demand_j = rng.uniform(40.0, 120.0);
+      }
+    } else {
+      delta.verb = "deregister";
+      const std::size_t victim = rng.index(pool.size());
+      delta.device = pool[victim];
+      pool.erase(pool.begin() +
+                 static_cast<std::ptrdiff_t>(victim));
+    }
+    mix.push_back(std::move(delta));
+  }
+  for (int t = 0; t < tenants; ++t) {
+    cc::service::DeltaRequest snapshot;
+    snapshot.id = id_prefix;
+    snapshot.id += "snap";
+    snapshot.id += std::to_string(t);
+    snapshot.verb = "snapshot";
+    snapshot.tenant = "tenant" + std::to_string(t);
+    mix.push_back(std::move(snapshot));
+  }
+  return mix;
+}
+
 /// Strict response-contract check beyond JSON well-formedness. Returns
 /// an empty string when the response is valid, else the violation.
 std::string validate_response(const cc::service::Response& response) {
@@ -243,6 +333,20 @@ std::string validate_response(const cc::service::Response& response) {
       return "";
     }
     return "missing id";
+  }
+  if (response.status == "ok" && !response.delta.empty()) {
+    // Registry delta acknowledgement: no schedule payload, but the
+    // tenant echo and occupancy fields must be present.
+    if (response.tenant.empty()) {
+      return "delta ack without tenant";
+    }
+    if (response.epoch < 0) {
+      return "delta ack without epoch";
+    }
+    if (response.registry_devices < 0) {
+      return "delta ack without devices";
+    }
+    return "";
   }
   if (response.status == "ok") {
     if (response.algo.empty() || response.scheme.empty()) {
@@ -389,6 +493,14 @@ int normalize_stream(const std::string& in_path,
 using LinkFactory =
     std::function<std::unique_ptr<cc::net::ClientLink>()>;
 
+/// One wire line of the mix, pre-serialized: the drive loop only needs
+/// the id (to match responses) and the exact bytes to send, so request
+/// and delta mixes share one transport/retry path.
+struct MixItem {
+  std::string id;
+  std::string line;  ///< checksummed JSONL, no newline
+};
+
 struct DriveConfig {
   double rate = 0.0;  ///< > 0 = open loop
   int retries = 0;
@@ -416,7 +528,7 @@ struct DriveResult {
 /// death when retries remain. Mirrors the single-pipe behavior the
 /// tool always had; the transport is behind `make_link`, so the same
 /// loop serves pipes and TCP reconnects.
-DriveResult drive_connection(std::span<const cc::service::Request*> slice,
+DriveResult drive_connection(std::span<const MixItem* const> slice,
                              const LinkFactory& make_link,
                              const DriveConfig& config) {
   DriveResult result;
@@ -454,12 +566,11 @@ DriveResult drive_connection(std::span<const cc::service::Request*> slice,
     // Open loop: fixed send schedule, ignore completions.
     const auto interval = std::chrono::duration<double>(1.0 / config.rate);
     auto next = std::chrono::steady_clock::now();
-    for (const cc::service::Request* request : slice) {
+    for (const MixItem* item : slice) {
       std::this_thread::sleep_until(next);
-      if (link == nullptr ||
-          !link->send(cc::service::to_checksummed_line(*request))) {
+      if (link == nullptr || !link->send(item->line)) {
         result.server_lost = true;
-        result.gave_up.push_back(request->id);
+        result.gave_up.push_back(item->id);
         break;
       }
       next += std::chrono::duration_cast<
@@ -470,15 +581,15 @@ DriveResult drive_connection(std::span<const cc::service::Request*> slice,
     // latency (including retries) measured per request.
     result.latencies_ms.reserve(slice.size());
     bool abort_drive = false;
-    for (const cc::service::Request* request : slice) {
+    for (const MixItem* item : slice) {
       if (abort_drive) {
         break;
       }
-      const std::string line = cc::service::to_checksummed_line(*request);
+      const std::string& line = item->line;
       const auto sent_at = std::chrono::steady_clock::now();
       for (int attempt = 0;; ++attempt) {
         const long have =
-            link != nullptr ? link->id_count(request->id) : 0;
+            link != nullptr ? link->id_count(item->id) : 0;
         cc::net::ClientLink::Wait wait = cc::net::ClientLink::Wait::kEof;
         if (link != nullptr && link->send(line)) {
           auto deadline = std::chrono::steady_clock::time_point::max();
@@ -498,14 +609,14 @@ DriveResult drive_connection(std::span<const cc::service::Request*> slice,
                                   std::chrono::duration<double>(
                                       config.connect_timeout_s)));
           }
-          wait = link->wait_for_id(request->id, have + 1, deadline);
+          wait = link->wait_for_id(item->id, have + 1, deadline);
         }
         if (wait == cc::net::ClientLink::Wait::kGot) {
           awaiting_first = false;
           cc::service::Response response;
           try {
             response =
-                cc::service::parse_response(link->latest_for_id(request->id));
+                cc::service::parse_response(link->latest_for_id(item->id));
           } catch (const cc::obs::JsonError&) {
           }
           if (attempt < config.retries && retryable_response(response)) {
@@ -521,7 +632,7 @@ DriveResult drive_connection(std::span<const cc::service::Request*> slice,
         }
         // EOF (transport death) or a response timeout.
         if (attempt >= config.retries) {
-          result.gave_up.push_back(request->id);
+          result.gave_up.push_back(item->id);
           if (wait == cc::net::ClientLink::Wait::kEof) {
             result.server_lost = true;
             abort_drive = true;  // nobody left to answer the rest
@@ -574,7 +685,8 @@ int main(int argc, char** argv) {
                "recv-buf-kb",
                "rate", "stats", "topology", "dump", "responses-out",
                "retries", "backoff-ms", "backoff-cap-ms",
-               "response-timeout-ms", "connect-timeout", "normalize"});
+               "response-timeout-ms", "connect-timeout", "normalize",
+               "delta-mix", "tenants"});
   cli.reject_unknown();
   if (cli.get_bool("help", false)) {
     std::cout << kUsage;
@@ -589,13 +701,34 @@ int main(int argc, char** argv) {
       return normalize_stream(normalize_in, cli.get("out", ""));
     }
 
-    const std::vector<cc::service::Request> mix = generate_mix(cli);
+    const bool delta_mode = cli.get_bool("delta-mix", false);
+    std::vector<cc::service::Request> mix;
+    std::vector<cc::service::DeltaRequest> delta_mix;
+    if (delta_mode) {
+      delta_mix = generate_delta_mix(cli);
+    } else {
+      mix = generate_mix(cli);
+    }
+    // The transport drives pre-serialized lines; requests and deltas
+    // differ only in how the items were produced.
+    std::vector<MixItem> items;
+    items.reserve(delta_mode ? delta_mix.size() : mix.size());
+    for (const cc::service::Request& request : mix) {
+      items.push_back(
+          {request.id, cc::service::to_checksummed_line(request)});
+    }
+    for (const cc::service::DeltaRequest& delta : delta_mix) {
+      items.push_back({delta.id, cc::service::to_checksummed_line(delta)});
+    }
 
     if (cli.get_bool("emit", false)) {
       const std::string out_path = cli.get("out", "");
       std::ostringstream buffer;
       for (const cc::service::Request& request : mix) {
         buffer << cc::service::to_json_line(request) << '\n';
+      }
+      for (const cc::service::DeltaRequest& delta : delta_mix) {
+        buffer << cc::service::to_json_line(delta) << '\n';
       }
       if (out_path.empty()) {
         std::cout << buffer.str();
@@ -606,7 +739,7 @@ int main(int argc, char** argv) {
         if (!out) {
           throw cc::core::IoError("cannot write " + out_path);
         }
-        std::cerr << "wrote " << mix.size() << " requests to " << out_path
+        std::cerr << "wrote " << items.size() << " lines to " << out_path
                   << '\n';
       }
       return 0;
@@ -629,6 +762,9 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(cli.get_int("recv-buf-kb", 0)) * 1024;
 
     const std::string dump_dir = cli.get("dump", "");
+    CC_EXPECTS(dump_dir.empty() || !delta_mode,
+               "--dump compares offline schedules; not meaningful for "
+               "--delta-mix");
     std::vector<cc::core::Charger> chargers;
     cc::core::CostParams params;
     if (!dump_dir.empty()) {
@@ -677,11 +813,14 @@ int main(int argc, char** argv) {
               });
 
     // Split round-robin so repeat-heavy mixes spread across
-    // connections (adjacent requests often repeat each other).
-    std::vector<std::vector<const cc::service::Request*>> slices(
+    // connections (adjacent requests often repeat each other). Delta
+    // mixes interleave tenants round-robin too, so one connection per
+    // tenant keeps each tenant's mutation order intact.
+    std::vector<std::vector<const MixItem*>> slices(
         static_cast<std::size_t>(connections));
-    for (std::size_t i = 0; i < mix.size(); ++i) {
-      slices[i % static_cast<std::size_t>(connections)].push_back(&mix[i]);
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      slices[i % static_cast<std::size_t>(connections)].push_back(
+          &items[i]);
     }
 
     const auto start = std::chrono::steady_clock::now();
@@ -803,8 +942,8 @@ int main(int argc, char** argv) {
     }
 
     std::size_t answered = 0;
-    for (const cc::service::Request& request : mix) {
-      const auto it = latest.find(request.id);
+    for (const MixItem& item : items) {
+      const auto it = latest.find(item.id);
       if (it == latest.end()) {
         continue;
       }
@@ -818,13 +957,13 @@ int main(int argc, char** argv) {
       }
       if (!dump_dir.empty() && response.status == "ok" &&
           !response.coalesced) {
-        dump_pair(dump_dir, *by_id.at(request.id), response, chargers,
+        dump_pair(dump_dir, *by_id.at(item.id), response, chargers,
                   params);
       }
     }
 
     const long rejected = summary.rejected_total();
-    std::cout << "requests : " << mix.size() << " sent, " << answered
+    std::cout << "requests : " << items.size() << " sent, " << answered
               << " answered in " << elapsed_s << " s ("
               << (elapsed_s > 0.0
                       ? static_cast<double>(answered) / elapsed_s
@@ -859,7 +998,7 @@ int main(int argc, char** argv) {
                 << " ms (" << latencies_ms.size() << " closed-loop sends)\n";
     }
 
-    const bool all_answered = answered == mix.size();
+    const bool all_answered = answered == items.size();
     const long malformed = summary.rejected.contains("malformed")
                                ? summary.rejected.at("malformed")
                                : 0;
@@ -868,19 +1007,19 @@ int main(int argc, char** argv) {
                    "(EOF/EPIPE/ECONNRESET) — server died mid-run\n";
     }
     if (!all_answered) {
-      std::cerr << "error: " << (mix.size() - answered)
+      std::cerr << "error: " << (items.size() - answered)
                 << " requests got no response\n";
       std::string in_flight;
       std::size_t listed = 0;
-      for (const cc::service::Request& request : mix) {
-        if (latest.find(request.id) != latest.end()) {
+      for (const MixItem& item : items) {
+        if (latest.find(item.id) != latest.end()) {
           continue;
         }
         if (listed == 10) {
           in_flight += " ...";
           break;
         }
-        in_flight += (listed == 0 ? "" : " ") + request.id;
+        in_flight += (listed == 0 ? "" : " ") + item.id;
         ++listed;
       }
       std::cerr << "error: in-flight/unanswered ids: " << in_flight << '\n';

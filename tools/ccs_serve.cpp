@@ -36,6 +36,7 @@
 #include "obs/manifest.h"
 #include "obs/registry.h"
 #include "obs/span.h"
+#include "registry/registry_manager.h"
 #include "service/service.h"
 #include "util/assert.h"
 #include "util/cli.h"
@@ -89,7 +90,20 @@ Service knobs:
   --cache-mb=M               cache capacity in MiB (default 64)
   --cache-ttl=S              entry time-to-live seconds, 0 = none
   --stats-interval=S         emit a stats heartbeat line every S seconds
-                             (listen mode: logged to stderr)
+                             (listen mode: logged to stderr, including
+                             registry occupancy)
+
+Device registry (docs/registry.md):
+  --no-registry              disable the streaming delta verbs
+                             ({"delta":...} lines answer registry_disabled)
+  --reanchor-drift=R         relative per-device cost drift vs the last
+                             anchor that forces a full re-anchor
+                             (default 0.5; <= 0 disables the fallback)
+  --reanchor-period=N        re-anchor unconditionally every N delta
+                             batches (periodic consolidation; default 0
+                             = drift/budget triggers only)
+  --max-sweeps=N             repair sweep budget per delta batch before
+                             falling back to a re-anchor (default 64)
 
 Robustness (docs/robustness.md):
   --journal=PATH             crash-safe write-ahead journal: admitted
@@ -151,6 +165,41 @@ void print_final_stats(const cc::service::ChargingService& service) {
               << " sink_errors=" << s.sink_errors
               << " timeouts=" << s.timeouts << '\n';
   }
+  if (service.registry_manager() != nullptr) {
+    const cc::registry::RegistryManager::Totals t =
+        service.registry_manager()->totals();
+    std::cerr << "ccs_serve: registry: tenants=" << t.tenants
+              << " devices=" << t.devices << " deltas=" << t.deltas
+              << " snapshots=" << t.snapshots << " deduped=" << t.deduped
+              << " rejected=" << t.rejected << " replayed=" << t.replayed
+              << " epochs=" << t.epochs << " reanchors=" << t.reanchors
+              << '\n';
+  }
+}
+
+/// Sum of every shard's registry totals (zeros when disabled).
+cc::registry::RegistryManager::Totals aggregate_registry(
+    const cc::net::ShardRouter& router) {
+  cc::registry::RegistryManager::Totals total;
+  for (std::size_t i = 0; i < router.shard_count(); ++i) {
+    if (router.shard(i).registry_manager() == nullptr) {
+      continue;
+    }
+    const cc::registry::RegistryManager::Totals t =
+        router.shard(i).registry_manager()->totals();
+    total.tenants += t.tenants;
+    total.devices += t.devices;
+    total.deltas += t.deltas;
+    total.snapshots += t.snapshots;
+    total.deduped += t.deduped;
+    total.rejected += t.rejected;
+    total.replayed += t.replayed;
+    total.epochs += t.epochs;
+    total.visits += t.visits;
+    total.switches += t.switches;
+    total.reanchors += t.reanchors;
+  }
+  return total;
 }
 
 /// Listen-mode counterpart: the same "received=..." stderr shape the
@@ -217,6 +266,16 @@ void print_final_stats(const cc::net::ShardRouter& router,
     std::cerr << "ccs_serve: robustness: deduped=" << s.deduped
               << " sink_errors=" << s.sink_errors
               << " timeouts=" << s.timeouts << '\n';
+  }
+  if (options.registry) {
+    const cc::registry::RegistryManager::Totals t =
+        aggregate_registry(router);
+    std::cerr << "ccs_serve: registry: tenants=" << t.tenants
+              << " devices=" << t.devices << " deltas=" << t.deltas
+              << " snapshots=" << t.snapshots << " deduped=" << t.deduped
+              << " rejected=" << t.rejected << " replayed=" << t.replayed
+              << " epochs=" << t.epochs << " reanchors=" << t.reanchors
+              << '\n';
   }
 }
 
@@ -290,6 +349,7 @@ void write_manifest(const cc::util::Cli& cli,
                     std::size_t queue_peak,
                     const cc::cache::CacheStats* cache,
                     const cc::service::Watchdog::Stats* watchdog,
+                    const cc::registry::RegistryManager::Totals* registry,
                     const cc::net::NetServer* net) {
   std::string manifest_path = cli.get("manifest", "");
   if (manifest_path.empty() || manifest_path == "true") {
@@ -324,6 +384,30 @@ void write_manifest(const cc::util::Cli& cli,
   }
   if (options.dedup_window > 0) {
     manifest.set_metric("service.deduped", static_cast<double>(s.deduped));
+  }
+  if (registry != nullptr) {
+    manifest.set_metric("registry.tenants",
+                        static_cast<double>(registry->tenants));
+    manifest.set_metric("registry.devices",
+                        static_cast<double>(registry->devices));
+    manifest.set_metric("registry.deltas",
+                        static_cast<double>(registry->deltas));
+    manifest.set_metric("registry.snapshots",
+                        static_cast<double>(registry->snapshots));
+    manifest.set_metric("registry.deduped",
+                        static_cast<double>(registry->deduped));
+    manifest.set_metric("registry.rejected",
+                        static_cast<double>(registry->rejected));
+    manifest.set_metric("registry.replayed",
+                        static_cast<double>(registry->replayed));
+    manifest.set_metric("registry.epochs",
+                        static_cast<double>(registry->epochs));
+    manifest.set_metric("registry.visits",
+                        static_cast<double>(registry->visits));
+    manifest.set_metric("registry.switches",
+                        static_cast<double>(registry->switches));
+    manifest.set_metric("registry.reanchors",
+                        static_cast<double>(registry->reanchors));
   }
   if (net != nullptr) {
     for (const auto& [name, value] : net->counters().snapshot()) {
@@ -405,13 +489,21 @@ int run_listen(const cc::util::Cli& cli,
   std::signal(SIGINT, handle_shutdown_signal);
 
   StatsHeartbeat heartbeat(
-      [&router, &server] {
+      [&router, &server, &options] {
         const cc::service::ServiceStats s = router.aggregated_stats();
         std::cerr << "ccs_serve: heartbeat: received=" << s.received
                   << " completed=" << s.completed
                   << " rejected=" << s.rejected_total()
                   << " errors=" << s.errors << " active="
-                  << server->counters().active.load() << '\n';
+                  << server->counters().active.load();
+        if (options.registry) {
+          const cc::registry::RegistryManager::Totals t =
+              aggregate_registry(router);
+          std::cerr << " registry_devices=" << t.devices
+                    << " registry_tenants=" << t.tenants
+                    << " registry_epochs=" << t.epochs;
+        }
+        std::cerr << '\n';
       },
       stats_interval_s);
 
@@ -445,10 +537,12 @@ int run_listen(const cc::util::Cli& cli,
       watchdog.stalls_detected += ws.stalls_detected;
       watchdog.workers_replaced += ws.workers_replaced;
     }
+    const cc::registry::RegistryManager::Totals registry =
+        aggregate_registry(router);
     write_manifest(cli, s, options, queue_peak,
                    options.cache ? &cache : nullptr,
                    options.request_timeout_ms > 0.0 ? &watchdog : nullptr,
-                   server.get());
+                   options.registry ? &registry : nullptr, server.get());
   }
   cc::obs::flush_trace();
   return 0;
@@ -465,7 +559,8 @@ int main(int argc, char** argv) {
                "journal", "journal-sync", "timeout-ms", "watchdog-workers",
                "dedup", "chaos", "jobs", "obs", "trace", "manifest",
                "listen", "shards", "max-frame-kb", "max-outbound-kb",
-               "sndbuf-kb"});
+               "sndbuf-kb", "no-registry", "reanchor-drift",
+               "reanchor-period", "max-sweeps"});
   cli.reject_unknown();
   if (cli.get_bool("help", false)) {
     std::cout << kUsage;
@@ -552,6 +647,16 @@ int main(int argc, char** argv) {
     (void)cc::core::make_scheduler(options.default_algo);
     (void)cc::core::sharing_scheme_from_string(options.default_scheme);
 
+    options.registry = !cli.get_bool("no-registry", false);
+    options.registry_options.scheme =
+        cc::core::sharing_scheme_from_string(options.default_scheme);
+    options.registry_options.reanchor_drift = cli.get_double(
+        "reanchor-drift", options.registry_options.reanchor_drift);
+    options.registry_options.reanchor_period = cli.get_int(
+        "reanchor-period", options.registry_options.reanchor_period);
+    options.registry_options.max_sweeps =
+        cli.get_int("max-sweeps", options.registry_options.max_sweeps);
+
     if (cli.has("listen")) {
       return run_listen(cli, std::move(chargers), params, options,
                         chaos.get(), stats_interval_s);
@@ -621,9 +726,15 @@ int main(int argc, char** argv) {
       const cc::service::ServiceStats s = service.stats();
       const cc::cache::CacheStats cache = service.cache_stats();
       const cc::service::Watchdog::Stats watchdog = service.watchdog_stats();
+      cc::registry::RegistryManager::Totals registry;
+      if (service.registry_manager() != nullptr) {
+        registry = service.registry_manager()->totals();
+      }
       write_manifest(cli, s, options, service.queue_high_watermark(),
                      options.cache ? &cache : nullptr,
                      options.request_timeout_ms > 0.0 ? &watchdog : nullptr,
+                     service.registry_manager() != nullptr ? &registry
+                                                           : nullptr,
                      nullptr);
     }
     cc::obs::flush_trace();
